@@ -1,0 +1,113 @@
+// Ablation A1: the Section 3.2.1 cost model in practice — skip-pointer
+// segment size M0 and list-size ratio vs. intersection cost.
+//
+// Shape to verify: when one list is orders of magnitude shorter, the
+// skip-based join touches ~|L_short| segments (cost ~ |L_short| * M0),
+// far below |L_1| + |L_2|; when lists are comparably dense, skips cannot
+// help and the join degrades to a full merge.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "index/intersection.h"
+#include "index/posting_list.h"
+#include "util/random.h"
+
+namespace {
+
+using csr::CostCounters;
+using csr::DocId;
+using csr::PostingList;
+
+PostingList MakeUniformList(uint32_t universe, uint32_t stride,
+                            uint32_t segment) {
+  PostingList l(segment);
+  for (DocId d = 0; d < universe; d += stride) l.Append(d, 1);
+  l.FinishBuild();
+  return l;
+}
+
+/// Args: {long-to-short ratio, segment size M0}.
+void BM_SkipIntersection(benchmark::State& state) {
+  const uint32_t kUniverse = 1 << 21;  // ~2M docs
+  uint32_t ratio = static_cast<uint32_t>(state.range(0));
+  uint32_t segment = static_cast<uint32_t>(state.range(1));
+
+  PostingList long_list = MakeUniformList(kUniverse, 2, segment);
+  PostingList short_list = MakeUniformList(kUniverse, 2 * ratio, segment);
+  std::vector<const PostingList*> lists = {&long_list, &short_list};
+
+  uint64_t result = 0;
+  CostCounters cost;
+  for (auto _ : state) {
+    cost.Reset();
+    result = csr::CountIntersection(lists, &cost);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result"] = static_cast<double>(result);
+  state.counters["entries_scanned"] = static_cast<double>(cost.entries_scanned);
+  state.counters["segments"] = static_cast<double>(cost.segments_touched);
+  state.counters["model_cost"] =
+      static_cast<double>(cost.ModelIntersectionCost(segment));
+  state.counters["naive_cost"] =
+      static_cast<double>(long_list.size() + short_list.size());
+}
+BENCHMARK(BM_SkipIntersection)
+    ->ArgsProduct({{1, 16, 256, 4096}, {16, 128, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Merge without skip benefit: both lists dense and interleaved.
+void BM_DenseMerge(benchmark::State& state) {
+  const uint32_t kUniverse = 1 << 20;
+  uint32_t segment = static_cast<uint32_t>(state.range(0));
+  PostingList a(segment), b(segment);
+  csr::SplitMix64 rng(5);
+  for (DocId d = 0; d < kUniverse; ++d) {
+    if (rng.NextBool(0.5)) a.Append(d, 1);
+    if (rng.NextBool(0.5)) b.Append(d, 1);
+  }
+  a.FinishBuild();
+  b.FinishBuild();
+  std::vector<const PostingList*> lists = {&a, &b};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr::CountIntersection(lists));
+  }
+}
+BENCHMARK(BM_DenseMerge)->Arg(16)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Intersection-with-aggregation (the ∩γ operator of Figure 3): the extra
+/// cost of γ_count + γ_sum over plain intersection.
+void BM_IntersectAndAggregate(benchmark::State& state) {
+  const uint32_t kUniverse = 1 << 20;
+  PostingList a = MakeUniformList(kUniverse, 3, 128);
+  PostingList b = MakeUniformList(kUniverse, 5, 128);
+  std::vector<uint32_t> lengths(kUniverse, 100);
+  std::vector<const PostingList*> lists = {&a, &b};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr::IntersectAndAggregate(lists, lengths));
+  }
+}
+BENCHMARK(BM_IntersectAndAggregate)->Unit(benchmark::kMicrosecond);
+
+/// k-way conjunctions: how cost grows with the number of lists (contexts
+/// of 2-5 predicates plus keywords).
+void BM_KWayConjunction(benchmark::State& state) {
+  const uint32_t kUniverse = 1 << 20;
+  uint32_t k = static_cast<uint32_t>(state.range(0));
+  std::vector<PostingList> lists;
+  for (uint32_t i = 0; i < k; ++i) {
+    lists.push_back(MakeUniformList(kUniverse, 2 + i, 128));
+  }
+  std::vector<const PostingList*> ptrs;
+  for (auto& l : lists) ptrs.push_back(&l);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr::CountIntersection(ptrs));
+  }
+}
+BENCHMARK(BM_KWayConjunction)->DenseRange(2, 6)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

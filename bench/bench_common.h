@@ -1,0 +1,90 @@
+#ifndef CSR_BENCH_BENCH_COMMON_H_
+#define CSR_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "util/timer.h"
+
+namespace csr::bench {
+
+/// Shared experiment scale. Override with CSR_BENCH_DOCS=<n> in the
+/// environment; the default is large enough to show the paper's
+/// performance shapes while finishing in minutes.
+inline uint32_t BenchNumDocs(uint32_t fallback = 120000) {
+  const char* env = std::getenv("CSR_BENCH_DOCS");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  return fallback;
+}
+
+inline CorpusConfig BenchCorpusConfig(uint32_t num_docs) {
+  CorpusConfig cfg;
+  cfg.num_docs = num_docs;
+  cfg.vocab_size = 20000;
+  cfg.ontology_fanouts = {12, 8, 6};  // 684 concepts, like the paper's KAG
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// Builds the full engine (indexes + view selection + materialization) and
+/// reports phase timings.
+inline std::unique_ptr<ContextSearchEngine> BuildBenchEngine(
+    uint32_t num_docs, EngineConfig ecfg = {}, bool select_views = true,
+    bool verbose = true) {
+  // Scale the view-size estimator sample with the corpus: the sampling
+  // estimate is a lower bound, and a fixed small sample under-estimates
+  // wide views badly at larger corpus sizes (see bench_ablation_viewsize).
+  if (ecfg.estimator_sample == EngineConfig{}.estimator_sample) {
+    ecfg.estimator_sample = std::max<uint32_t>(20000, num_docs / 3);
+  }
+  WallTimer timer;
+  auto corpus_r = CorpusGenerator(BenchCorpusConfig(num_docs)).Generate();
+  if (!corpus_r.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 corpus_r.status().ToString().c_str());
+    std::exit(1);
+  }
+  double gen_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto engine_r =
+      ContextSearchEngine::Build(std::move(corpus_r).value(), ecfg);
+  if (!engine_r.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine_r.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto engine = std::move(engine_r).value();
+  double index_s = timer.ElapsedSeconds();
+
+  double select_s = 0;
+  if (select_views) {
+    timer.Restart();
+    if (Status s = engine->SelectAndMaterializeViews(); !s.ok()) {
+      std::fprintf(stderr, "view selection failed: %s\n",
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+    select_s = timer.ElapsedSeconds();
+  }
+  if (verbose) {
+    std::fprintf(stderr,
+                 "# setup: %u docs (gen %.1fs, index %.1fs, views %.1fs, "
+                 "%zu views, T_C=%llu)\n",
+                 num_docs, gen_s, index_s, select_s,
+                 engine->catalog().size(),
+                 static_cast<unsigned long long>(engine->context_threshold()));
+  }
+  return engine;
+}
+
+}  // namespace csr::bench
+
+#endif  // CSR_BENCH_BENCH_COMMON_H_

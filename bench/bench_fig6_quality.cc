@@ -1,0 +1,102 @@
+// Reproduces Figure 6 (a-d): ranking quality of top-20 results over 30
+// TREC-Genomics-style topics — precision (relevant docs in top 20) and
+// reciprocal rank, conventional vs. context-sensitive ranking.
+//
+// Paper reference points (PubMed/TREC Genomics 2007, 30 topics):
+//   mean relevant@20:  conventional 7.9,  context-sensitive 10.2
+//   mean reciprocal rank: conventional 0.62, context-sensitive 0.78
+//   context-sensitive wins 21/30 topics; losses are small.
+//
+// The topics here are planted in the synthetic corpus (see
+// eval/topics.h and DESIGN.md for the substitution rationale); the shape
+// to verify is the win/loss profile and the direction of both means.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_common.h"
+#include "eval/metrics.h"
+#include "eval/topics.h"
+
+int main() {
+  using namespace csr;
+  uint32_t num_docs = bench::BenchNumDocs(60000);
+
+  auto corpus_r =
+      CorpusGenerator(bench::BenchCorpusConfig(num_docs)).Generate();
+  if (!corpus_r.ok()) return 1;
+  Corpus corpus = std::move(corpus_r).value();
+
+  TopicPlanterConfig tcfg;
+  tcfg.num_topics = 30;
+  tcfg.poor_fit_fraction = 0.30;  // ~9/30 poorly fitting contexts, like Fig 6
+  tcfg.min_context_size = num_docs / 100;
+  auto topics_r = TopicPlanter(tcfg).Plant(corpus);
+  if (!topics_r.ok()) {
+    std::fprintf(stderr, "%s\n", topics_r.status().ToString().c_str());
+    return 1;
+  }
+  auto topics = std::move(topics_r).value();
+
+  EngineConfig ecfg;
+  ecfg.top_k = 20;
+  auto engine_r = ContextSearchEngine::Build(std::move(corpus), ecfg);
+  if (!engine_r.ok()) return 1;
+  auto engine = std::move(engine_r).value();
+  if (!engine->SelectAndMaterializeViews().ok()) return 1;
+
+  std::printf("=== Figure 6: ranking quality of top-20 results (%zu topics, "
+              "%u docs) ===\n\n",
+              topics.size(), num_docs);
+  std::printf("%-5s %12s %12s   %8s %8s\n", "query", "conv@20", "ctx@20",
+              "conv-RR", "ctx-RR");
+
+  double sum_pc = 0, sum_px = 0, sum_rc = 0, sum_rx = 0;
+  double map_c = 0, map_x = 0, ndcg_c = 0, ndcg_x = 0;
+  int wins = 0, losses = 0, evaluated = 0;
+  for (const Topic& t : topics) {
+    ContextQuery q{t.keywords, t.context};
+    auto conv = engine->Search(q, EvaluationMode::kConventional);
+    auto ctx = engine->Search(q, EvaluationMode::kContextWithViews);
+    if (!conv.ok() || !ctx.ok()) continue;
+    // The paper excludes topics with result sets under 20 docs.
+    if (conv->result_count < 20) continue;
+
+    std::unordered_set<DocId> rel(t.relevant.begin(), t.relevant.end());
+    uint32_t pc = RelevantInTopK(conv->top_docs, rel, 20);
+    uint32_t px = RelevantInTopK(ctx->top_docs, rel, 20);
+    double rc = ReciprocalRank(conv->top_docs, rel);
+    double rx = ReciprocalRank(ctx->top_docs, rel);
+
+    std::printf("%-5s %12u %12u   %8.2f %8.2f%s\n", t.name.c_str(), pc, px,
+                rc, rx, px > pc ? "   +" : (pc > px ? "   -" : ""));
+    sum_pc += pc;
+    sum_px += px;
+    sum_rc += rc;
+    sum_rx += rx;
+    map_c += AveragePrecision(conv->top_docs, rel);
+    map_x += AveragePrecision(ctx->top_docs, rel);
+    ndcg_c += NdcgAtK(conv->top_docs, rel, 20);
+    ndcg_x += NdcgAtK(ctx->top_docs, rel, 20);
+    wins += px > pc;
+    losses += pc > px;
+    ++evaluated;
+  }
+  if (evaluated == 0) {
+    std::fprintf(stderr, "no topics qualified\n");
+    return 1;
+  }
+  std::printf("\nmean relevant@20:     conventional %.1f   context-sensitive "
+              "%.1f   (paper: 7.9 vs 10.2)\n",
+              sum_pc / evaluated, sum_px / evaluated);
+  std::printf("mean reciprocal rank: conventional %.2f   context-sensitive "
+              "%.2f   (paper: 0.62 vs 0.78)\n",
+              sum_rc / evaluated, sum_rx / evaluated);
+  std::printf("context-sensitive better on %d/%d topics, worse on %d "
+              "(paper: 21/30 better)\n",
+              wins, evaluated, losses);
+  std::printf("supplementary: MAP %.3f -> %.3f, NDCG@20 %.3f -> %.3f\n",
+              map_c / evaluated, map_x / evaluated, ndcg_c / evaluated,
+              ndcg_x / evaluated);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces Section 6.2: efficiency of view selection, and storage usage.
+//
+// Paper reference points (PubMed, T_C = 1% = 180k docs, T_V = 4096):
+//   - plain Apriori / FP-Growth on the full collection are infeasible at
+//     scale (FP-Growth runs out of memory; Apriori takes weeks);
+//   - the hybrid approach (graph decomposition + per-clique mining)
+//     finishes and selects 3,523 views;
+//   - 910 tracked keywords -> 912 parameter columns per view; max view
+//     storage 14.3 MB, average 3.71 MB, total 12.77 GB (vs. 70 GB raw
+//     data, 5.72 GB Lucene index).
+//
+// At this corpus' scale full mining still terminates, so the comparison
+// becomes a timing ratio rather than an out-of-memory demonstration; the
+// shape to verify is hybrid <= full mining cost with identical coverage,
+// plus the storage accounting.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "graph/kag.h"
+#include "mining/apriori.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "selection/hybrid.h"
+#include "selection/view_selection.h"
+#include "util/string_util.h"
+#include "views/size_estimator.h"
+
+int main() {
+  using namespace csr;
+  uint32_t num_docs = bench::BenchNumDocs();
+
+  EngineConfig ecfg;
+  auto engine = bench::BuildBenchEngine(num_docs, ecfg,
+                                        /*select_views=*/false);
+  uint64_t t_c = engine->context_threshold();
+  uint64_t t_v = ecfg.view_size_threshold;
+
+  TransactionDb db = TransactionDb::FromCorpus(engine->corpus());
+  ViewSizeEstimator estimator(&engine->corpus(), 9,
+                              ecfg.estimator_sample);
+  ViewSizeFn size_fn = [&estimator](const TermIdSet& k) {
+    return estimator.Estimate(ViewDefinition{k});
+  };
+  SupportFn support = MakeIndexSupportFn(engine->predicate_index());
+
+  std::printf("=== Section 6.2: view selection efficiency (%u docs, T_C=%llu"
+              ", T_V=%llu) ===\n\n",
+              num_docs, static_cast<unsigned long long>(t_c),
+              static_cast<unsigned long long>(t_v));
+
+  // --- Full-collection mining (the approach the paper shows failing at
+  // PubMed scale) + Algorithm 1 covering.
+  MiningOptions mopts;
+  mopts.min_support = t_c;
+  mopts.max_itemset_size = 8;
+
+  WallTimer timer;
+  auto fp = MineFpGrowth(db, mopts);
+  double fp_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto ap = MineApriori(db, mopts);
+  double ap_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto ec = MineEclat(db, mopts);
+  double ec_s = timer.ElapsedSeconds();
+
+  std::printf("full-collection mining at minsup = T_C:\n");
+  std::printf("  %-12s %10.2f s   %8zu frequent itemsets\n", "FP-Growth",
+              fp_s, fp.size());
+  std::printf("  %-12s %10.2f s   %8zu frequent itemsets\n", "Apriori",
+              ap_s, ap.size());
+  std::printf("  %-12s %10.2f s   %8zu frequent itemsets\n", "Eclat", ec_s,
+              ec.size());
+
+  timer.Restart();
+  SelectionOutcome mining_sel = SelectViewsMiningBased(fp, size_fn, t_v);
+  double cover_s = timer.ElapsedSeconds();
+  std::printf("  Algorithm 1 covering: %.2f s -> %zu views\n\n", cover_s,
+              mining_sel.views.size());
+
+  // --- Hybrid approach (Section 5.3).
+  timer.Restart();
+  Kag kag = Kag::Build(db, t_c, t_c);
+  double kag_s = timer.ElapsedSeconds();
+  HybridConfig hcfg;
+  hcfg.thresholds.context_threshold = t_c;
+  hcfg.thresholds.view_size_threshold = t_v;
+  timer.Restart();
+  HybridResult hybrid = SelectViewsHybrid(db, kag, estimator, support, hcfg);
+  double hybrid_s = timer.ElapsedSeconds();
+
+  std::printf("hybrid approach:\n");
+  std::printf("  KAG build: %.2f s (%u vertices, %u edges)\n", kag_s,
+              hybrid.kag_vertices, hybrid.kag_edges);
+  std::printf("  decomposition: %.2f s (%u cuts, %u covered subgraphs, %u "
+              "dense cliques, %llu support checks)\n",
+              hybrid.decompose_seconds, hybrid.decompose_stats.cuts,
+              hybrid.covered_by_decomposition, hybrid.dense_cliques,
+              static_cast<unsigned long long>(
+                  hybrid.decompose_stats.support_checks));
+  std::printf("  per-clique mining + covering: %.2f s (%llu itemsets)\n",
+              hybrid.mining_seconds,
+              static_cast<unsigned long long>(hybrid.mined_itemsets));
+  std::printf("  total: %.2f s -> %zu views   (full mining total: %.2f s -> "
+              "%zu views)\n\n",
+              kag_s + hybrid_s, hybrid.views.size(), fp_s + cover_s,
+              mining_sel.views.size());
+
+  // --- Storage usage (E4): materialize the hybrid's views.
+  timer.Restart();
+  if (!engine->SelectAndMaterializeViews().ok()) return 1;
+  double mat_s = timer.ElapsedSeconds();
+  const ViewCatalog& catalog = engine->catalog();
+
+  uint64_t max_bytes = 0, max_tuples = 0;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    max_bytes = std::max(max_bytes, catalog.view(i).StorageBytes());
+    max_tuples = std::max<uint64_t>(max_tuples, catalog.view(i).NumTuples());
+  }
+  uint32_t param_cols =
+      catalog.size() ? catalog.view(0).NumParameterColumns() : 0;
+
+  std::printf("storage usage (views materialized in %.2f s):\n", mat_s);
+  std::printf("  tracked keywords (|L_w| >= T_C): %zu -> %u parameter "
+              "columns per view (paper: 910 -> 912)\n",
+              engine->tracked().size(), param_cols);
+  std::printf("  views: %zu, tuples total %s, largest view %s tuples\n",
+              catalog.size(), FormatCount(catalog.TotalTuples()).c_str(),
+              FormatCount(max_tuples).c_str());
+  std::printf("  view storage: total %s, max %s, avg %s  (paper: 12.77 GB "
+              "total, 14.3 MB max, 3.71 MB avg)\n",
+              FormatBytes(catalog.TotalStorageBytes()).c_str(),
+              FormatBytes(max_bytes).c_str(),
+              FormatBytes(catalog.size()
+                              ? catalog.TotalStorageBytes() / catalog.size()
+                              : 0)
+                  .c_str());
+  std::printf("  inverted indexes (content + predicate): %s   (paper's "
+              "Lucene index: 5.72 GB for 70 GB of data)\n",
+              FormatBytes(engine->content_index().MemoryBytes() +
+                          engine->predicate_index().MemoryBytes())
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// csr_shell: a minimal interactive shell over the engine, wired through
+// the textual query syntax of Section 2.1 and the snapshot store.
+//
+//   ./build/examples/csr_shell [num_docs] < script.txt
+//
+// Commands (one per line):
+//   <keywords> | <predicates>     run a context-sensitive query, e.g.
+//                                 "w120 w4571 | C3 & C3.7"
+//   <keywords>                    run a conventional query
+//   .mode conv|direct|views       evaluation mode for '|' queries
+//   .context <predicate...>       show a context's size and covering view
+//   .save <dir> / .load <dir>     snapshot the engine / restore it
+//   .stats                        engine statistics
+//   .quit
+//
+// Blank lines and lines starting with '#' are ignored.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "engine/query_parser.h"
+#include "storage/snapshot.h"
+#include "util/string_util.h"
+
+namespace {
+
+csr::EvaluationMode g_mode = csr::EvaluationMode::kContextWithViews;
+
+void RunQuery(csr::ContextSearchEngine& engine,
+              const csr::QueryParser& parser, const std::string& line) {
+  auto parsed = parser.Parse(line);
+  if (!parsed.ok()) {
+    std::printf("error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  csr::EvaluationMode mode = parsed->context.empty()
+                                 ? csr::EvaluationMode::kConventional
+                                 : g_mode;
+  auto result = engine.Search(parsed.value(), mode);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const csr::SearchResult& r = result.value();
+  std::printf("[%s] %llu matches, |D_P|=%llu, %.2f ms%s%s\n",
+              std::string(csr::EvaluationModeName(mode)).c_str(),
+              static_cast<unsigned long long>(r.result_count),
+              static_cast<unsigned long long>(r.stats.cardinality),
+              r.metrics.total_ms, r.metrics.used_view ? " [view]" : "",
+              r.metrics.stats_cache_hit ? " [cached]" : "");
+  for (size_t i = 0; i < r.top_docs.size() && i < 10; ++i) {
+    std::printf("  %2zu. doc %-8u %.4f\n", i + 1, r.top_docs[i].doc,
+                r.top_docs[i].score);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t num_docs = argc > 1 ? static_cast<uint32_t>(atoi(argv[1])) : 30000;
+  csr::CorpusConfig cfg;
+  cfg.num_docs = num_docs;
+  cfg.seed = 42;
+  auto corpus_r = csr::CorpusGenerator(cfg).Generate();
+  if (!corpus_r.ok()) return 1;
+
+  csr::EngineConfig ecfg;
+  ecfg.stats_cache_capacity = 64;
+  auto engine_r =
+      csr::ContextSearchEngine::Build(std::move(corpus_r).value(), ecfg);
+  if (!engine_r.ok()) return 1;
+  auto engine = std::move(engine_r).value();
+  if (!engine->SelectAndMaterializeViews().ok()) return 1;
+  csr::QueryParser parser = csr::QueryParser::ForCorpus(engine->corpus());
+
+  std::printf("csr shell — %u docs, %zu concepts, %zu views. Try:\n"
+              "  w%u w%u | C0\n",
+              num_docs, engine->corpus().ontology.size(),
+              engine->catalog().size(),
+              csr::CorpusGenerator::ConceptTopicalTerm(
+                  0, 0, cfg.vocab_size, cfg.topical_window),
+              csr::CorpusGenerator::ConceptTopicalTerm(
+                  5, 0, cfg.vocab_size, cfg.topical_window));
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == ".quit") break;
+    if (line.rfind(".mode ", 0) == 0) {
+      std::string m = line.substr(6);
+      if (m == "conv") g_mode = csr::EvaluationMode::kConventional;
+      else if (m == "direct") g_mode = csr::EvaluationMode::kContextStraightforward;
+      else if (m == "views") g_mode = csr::EvaluationMode::kContextWithViews;
+      else { std::printf("unknown mode '%s'\n", m.c_str()); continue; }
+      std::printf("mode = %s\n", std::string(csr::EvaluationModeName(g_mode)).c_str());
+      continue;
+    }
+    if (line.rfind(".context ", 0) == 0) {
+      auto q = parser.Parse("w0 | " + line.substr(9));
+      if (!q.ok()) {
+        std::printf("error: %s\n", q.status().ToString().c_str());
+        continue;
+      }
+      uint64_t size = engine->ContextSize(q->context);
+      const csr::MaterializedView* v = engine->catalog().FindBest(q->context);
+      std::printf("context size %llu (T_C=%llu); covering view: %s\n",
+                  static_cast<unsigned long long>(size),
+                  static_cast<unsigned long long>(engine->context_threshold()),
+                  v ? csr::FormatCount(v->NumTuples()).append(" tuples").c_str()
+                    : "none");
+      continue;
+    }
+    if (line.rfind(".save ", 0) == 0) {
+      csr::Status s = csr::SaveEngineSnapshot(*engine, line.substr(6));
+      std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".load ", 0) == 0) {
+      auto loaded = csr::LoadEngineSnapshot(line.substr(6), ecfg);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        continue;
+      }
+      engine = std::move(loaded).value();
+      parser = csr::QueryParser::ForCorpus(engine->corpus());
+      std::printf("loaded (%zu views)\n", engine->catalog().size());
+      continue;
+    }
+    if (line == ".stats") {
+      std::printf("docs=%zu views=%zu view_storage=%s tracked=%zu "
+                  "cache_hits=%llu\n",
+                  engine->corpus().docs.size(), engine->catalog().size(),
+                  csr::FormatBytes(engine->catalog().TotalStorageBytes()).c_str(),
+                  engine->tracked().size(),
+                  static_cast<unsigned long long>(
+                      engine->stats_cache() ? engine->stats_cache()->hits()
+                                            : 0));
+      continue;
+    }
+    RunQuery(*engine, parser, line);
+  }
+  return 0;
+}

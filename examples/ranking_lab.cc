@@ -1,0 +1,95 @@
+// ranking_lab: shows that the (S_q, S_d, S_c) framework of Section 2.2 is
+// ranking-model agnostic — pivoted TF-IDF, BM25, and a Dirichlet language
+// model all become context-sensitive by swapping in context statistics.
+// For each model, compares conventional vs. context-sensitive precision on
+// planted topics.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "eval/metrics.h"
+#include "eval/topics.h"
+
+namespace {
+
+struct ModelRow {
+  const char* name;
+  double conv_precision = 0;
+  double ctx_precision = 0;
+  int wins = 0;
+  int topics = 0;
+};
+
+}  // namespace
+
+int main() {
+  const char* kModels[] = {"pivoted", "bm25", "dirichlet"};
+  std::vector<ModelRow> rows;
+
+  for (const char* model : kModels) {
+    // Each engine owns its corpus, so regenerate per model (cheap).
+    csr::CorpusConfig cfg;
+    cfg.num_docs = 30000;
+    cfg.seed = 99;
+    auto corpus_r = csr::CorpusGenerator(cfg).Generate();
+    if (!corpus_r.ok()) return 1;
+    csr::Corpus corpus = std::move(corpus_r).value();
+
+    csr::TopicPlanterConfig tcfg;
+    tcfg.num_topics = 15;
+    tcfg.min_context_size = 400;
+    auto topics_r = csr::TopicPlanter(tcfg).Plant(corpus);
+    if (!topics_r.ok()) return 1;
+    auto topics = std::move(topics_r).value();
+
+    csr::EngineConfig ecfg;
+    ecfg.top_k = 20;
+    ecfg.ranking = model;
+    ecfg.track_tc = true;  // language models need tc(w, D_P) columns
+    auto engine_r = csr::ContextSearchEngine::Build(std::move(corpus), ecfg);
+    if (!engine_r.ok()) {
+      std::fprintf(stderr, "%s\n", engine_r.status().ToString().c_str());
+      return 1;
+    }
+    auto engine = std::move(engine_r).value();
+    if (!engine->SelectAndMaterializeViews().ok()) return 1;
+
+    ModelRow row;
+    row.name = model;
+    for (const csr::Topic& t : topics) {
+      csr::ContextQuery q{t.keywords, t.context};
+      auto conv = engine->Search(q, csr::EvaluationMode::kConventional);
+      auto ctx = engine->Search(q, csr::EvaluationMode::kContextWithViews);
+      if (!conv.ok() || !ctx.ok() || conv->result_count < 20) continue;
+      std::unordered_set<csr::DocId> rel(t.relevant.begin(),
+                                         t.relevant.end());
+      uint32_t pc = csr::RelevantInTopK(conv->top_docs, rel, 20);
+      uint32_t px = csr::RelevantInTopK(ctx->top_docs, rel, 20);
+      row.conv_precision += pc;
+      row.ctx_precision += px;
+      row.wins += px > pc;
+      row.topics++;
+    }
+    if (row.topics > 0) {
+      row.conv_precision /= row.topics;
+      row.ctx_precision /= row.topics;
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("Context sensitivity across ranking models (mean relevant "
+              "docs in top 20, %s topics each)\n\n",
+              rows.empty() ? "?" : std::to_string(rows[0].topics).c_str());
+  std::printf("%-12s %14s %18s %10s\n", "model", "conventional",
+              "context-sensitive", "wins");
+  for (const ModelRow& r : rows) {
+    std::printf("%-12s %14.2f %18.2f %6d/%d\n", r.name, r.conv_precision,
+                r.ctx_precision, r.wins, r.topics);
+  }
+  std::printf("\nAll three models use the same engine and the same "
+              "materialized views;\nonly f(S_q, S_d, S_c) differs "
+              "(Formula 1 vs 2 of the paper).\n");
+  return 0;
+}

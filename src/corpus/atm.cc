@@ -1,0 +1,65 @@
+#include "corpus/atm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csr {
+
+AtmMapper::AtmMapper(const Corpus* corpus, const InvertedIndex* content_index,
+                     const InvertedIndex* predicate_index, AtmOptions options)
+    : corpus_(corpus),
+      content_index_(content_index),
+      predicate_index_(predicate_index),
+      options_(options) {}
+
+const TermIdSet& AtmMapper::MapKeyword(TermId w) const {
+  auto it = cache_.find(w);
+  if (it != cache_.end()) return it->second;
+
+  TermIdSet mapped;
+  const PostingList* lw = content_index_->list(w);
+  if (lw != nullptr) {
+    // Count annotation co-occurrences over a bounded prefix of L_w.
+    std::unordered_map<TermId, uint32_t> counts;
+    size_t scan = std::min<size_t>(lw->size(), options_.max_scan);
+    for (size_t i = 0; i < scan; ++i) {
+      DocId d = lw->at(i).doc;
+      for (TermId m : corpus_->docs[d].annotations) {
+        if (corpus_->ontology.depth(m) < options_.min_depth) continue;
+        counts[m]++;
+      }
+    }
+    std::vector<std::pair<double, TermId>> scored;
+    scored.reserve(counts.size());
+    for (const auto& [m, c] : counts) {
+      uint64_t df = predicate_index_->df(m);
+      if (df == 0) continue;
+      double score = static_cast<double>(c) / std::sqrt(static_cast<double>(df));
+      scored.emplace_back(score, m);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (size_t i = 0; i < scored.size() && i < options_.top_k_per_keyword;
+         ++i) {
+      mapped.push_back(scored[i].second);
+    }
+    std::sort(mapped.begin(), mapped.end());
+  }
+  auto [pos, _] = cache_.emplace(w, std::move(mapped));
+  return pos->second;
+}
+
+TermIdSet AtmMapper::MapQuery(std::span<const TermId> keywords) const {
+  TermIdSet out;
+  for (TermId w : keywords) {
+    const TermIdSet& m = MapKeyword(w);
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace csr

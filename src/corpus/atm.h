@@ -1,0 +1,60 @@
+#ifndef CSR_CORPUS_ATM_H_
+#define CSR_CORPUS_ATM_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "index/inverted_index.h"
+#include "util/types.h"
+
+namespace csr {
+
+struct AtmOptions {
+  /// Concepts returned per keyword.
+  uint32_t top_k_per_keyword = 1;
+
+  /// At most this many postings of L_w are scanned to collect annotation
+  /// co-occurrence counts (keeps mapping cheap for very frequent keywords).
+  uint32_t max_scan = 4000;
+
+  /// Prefer concepts at least this deep in the ontology (0 = any). Deeper
+  /// concepts are more specific and give more selective contexts.
+  uint32_t min_depth = 1;
+};
+
+/// A stand-in for PubMed's Automatic Term Mapping: maps content keywords to
+/// the ontology concepts they co-occur with most distinctively. Scores a
+/// concept m for keyword w by
+///
+///   score(m) = count(w, m) / sqrt(df(m))
+///
+/// i.e. co-occurrence normalized by concept popularity, which favours
+/// specific concepts over near-universal ancestors. Results are cached per
+/// keyword.
+class AtmMapper {
+ public:
+  /// All pointers must outlive the mapper.
+  AtmMapper(const Corpus* corpus, const InvertedIndex* content_index,
+            const InvertedIndex* predicate_index, AtmOptions options = {});
+
+  /// Concepts mapped from one keyword, best first. Empty if the keyword is
+  /// unknown or co-occurs with nothing.
+  const TermIdSet& MapKeyword(TermId w) const;
+
+  /// Union of per-keyword mappings for a query, sorted and deduplicated —
+  /// the context specification P for Q_k (Section 6.1).
+  TermIdSet MapQuery(std::span<const TermId> keywords) const;
+
+ private:
+  const Corpus* corpus_;
+  const InvertedIndex* content_index_;
+  const InvertedIndex* predicate_index_;
+  AtmOptions options_;
+  mutable std::unordered_map<TermId, TermIdSet> cache_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_CORPUS_ATM_H_

@@ -1,0 +1,48 @@
+#ifndef CSR_CORPUS_DOCUMENT_H_
+#define CSR_CORPUS_DOCUMENT_H_
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace csr {
+
+/// A document in the model of Section 2.1: a tuple of fields, each a bag of
+/// words, plus a predicate field of context predicates (ontology
+/// annotations after inheritance closure).
+///
+/// Content tokens are TermIds in the content vocabulary; annotations are
+/// TermIds in the ontology id space. Field text is kept tokenized — the
+/// engine only ever needs TermIds.
+struct Document {
+  DocId id = kInvalidDocId;
+
+  /// Publication year; a non-keyword attribute usable in range-extended
+  /// context specifications (Section 7).
+  uint16_t year = 0;
+
+  /// Title tokens (may repeat; repetitions carry tf).
+  std::vector<TermId> title;
+
+  /// Abstract tokens.
+  std::vector<TermId> abstract_text;
+
+  /// Sorted, deduplicated ontology annotations including inherited
+  /// ancestors (the paper attaches all ancestors of each MeSH term).
+  TermIdSet annotations;
+
+  /// All content tokens (title followed by abstract). The searchable field.
+  std::vector<TermId> ContentTokens() const {
+    std::vector<TermId> all = title;
+    all.insert(all.end(), abstract_text.begin(), abstract_text.end());
+    return all;
+  }
+
+  uint32_t Length() const {
+    return static_cast<uint32_t>(title.size() + abstract_text.size());
+  }
+};
+
+}  // namespace csr
+
+#endif  // CSR_CORPUS_DOCUMENT_H_

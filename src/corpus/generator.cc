@@ -1,0 +1,121 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace csr {
+
+namespace {
+
+/// Approximately-Poisson length: mean +/- mean/2, uniform. Keeps lengths
+/// bounded and cheap to sample; the exact shape is immaterial.
+uint32_t SampleLength(uint32_t mean, SplitMix64& rng) {
+  if (mean <= 1) return 1;
+  uint32_t lo = mean - mean / 2;
+  uint32_t span = mean;  // lo + [0, span) has mean ~ `mean`
+  return lo + static_cast<uint32_t>(rng.NextBounded(span));
+}
+
+}  // namespace
+
+TermId CorpusGenerator::ConceptWindowStart(TermId c, uint32_t vocab_size,
+                                           uint32_t window) {
+  // Keep windows out of the top of the global Zipf (the first 5% of ranks
+  // are reserved for genuinely global terms) and fully inside the
+  // vocabulary.
+  uint32_t reserved = vocab_size / 20;
+  if (window >= vocab_size - reserved) return reserved;
+  uint64_t span = vocab_size - reserved - window;
+  return reserved + static_cast<TermId>(HashMix64(0xC0FFEE ^ c) % span);
+}
+
+Result<Corpus> CorpusGenerator::Generate() const {
+  if (config_.num_docs == 0) {
+    return Status::InvalidArgument("num_docs must be > 0");
+  }
+  if (config_.vocab_size < 100) {
+    return Status::InvalidArgument("vocab_size must be >= 100");
+  }
+  if (config_.ontology_fanouts.empty()) {
+    return Status::InvalidArgument("ontology_fanouts must be non-empty");
+  }
+  if (config_.max_concepts_per_doc == 0) {
+    return Status::InvalidArgument("max_concepts_per_doc must be > 0");
+  }
+
+  Corpus corpus;
+  corpus.config = config_;
+  corpus.ontology = Ontology::GenerateTree(config_.ontology_fanouts);
+  const Ontology& ont = corpus.ontology;
+
+  std::vector<TermId> leaves = ont.Leaves();
+  if (leaves.empty()) return Status::Internal("generated ontology is empty");
+
+  SplitMix64 rng(config_.seed);
+  // Shuffle leaves once so that leaf popularity is not correlated with
+  // tree position.
+  Shuffle(leaves, rng);
+
+  ZipfDistribution leaf_dist(leaves.size(), config_.leaf_zipf_exponent);
+  ZipfDistribution background(config_.vocab_size,
+                              config_.background_zipf_exponent);
+  ZipfDistribution topical(config_.topical_window,
+                           config_.topical_zipf_exponent);
+
+  uint32_t year_span =
+      config_.year_max >= config_.year_min
+          ? static_cast<uint32_t>(config_.year_max - config_.year_min) + 1
+          : 1;
+
+  corpus.docs.reserve(config_.num_docs);
+  std::vector<TermId> chosen;
+  for (DocId d = 0; d < config_.num_docs; ++d) {
+    Document doc;
+    doc.id = d;
+    // Recent-skewed publication year: max of two uniform draws.
+    uint32_t y1 = static_cast<uint32_t>(rng.NextBounded(year_span));
+    uint32_t y2 = static_cast<uint32_t>(rng.NextBounded(year_span));
+    doc.year = static_cast<uint16_t>(config_.year_min + std::max(y1, y2));
+
+    uint32_t k =
+        1 + static_cast<uint32_t>(rng.NextBounded(config_.max_concepts_per_doc));
+    chosen.clear();
+    for (uint32_t i = 0; i < k; ++i) {
+      chosen.push_back(leaves[leaf_dist.Sample(rng)]);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    doc.annotations = ont.Closure(chosen);
+
+    // The topical sources of this doc: its concepts and their ancestors,
+    // so that internal ontology nodes also develop coherent vocabularies.
+    const TermIdSet& sources = doc.annotations;
+
+    auto sample_token = [&]() -> TermId {
+      if (rng.NextBool(config_.topical_prob)) {
+        TermId c = sources[rng.NextBounded(sources.size())];
+        uint32_t rank = static_cast<uint32_t>(topical.Sample(rng));
+        return ConceptTopicalTerm(c, rank, config_.vocab_size,
+                                  config_.topical_window);
+      }
+      return static_cast<TermId>(background.Sample(rng));
+    };
+
+    uint32_t title_len = SampleLength(config_.title_len_mean, rng);
+    doc.title.reserve(title_len);
+    for (uint32_t i = 0; i < title_len; ++i) doc.title.push_back(sample_token());
+
+    uint32_t abs_len = SampleLength(config_.abstract_len_mean, rng);
+    doc.abstract_text.reserve(abs_len);
+    for (uint32_t i = 0; i < abs_len; ++i) {
+      doc.abstract_text.push_back(sample_token());
+    }
+
+    corpus.docs.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace csr

@@ -1,0 +1,109 @@
+#ifndef CSR_CORPUS_GENERATOR_H_
+#define CSR_CORPUS_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "corpus/ontology.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// Configuration of the synthetic PubMed-like corpus.
+///
+/// The generator substitutes for the paper's PubMed snapshot (see
+/// DESIGN.md): documents carry title/abstract content drawn from a global
+/// Zipfian vocabulary mixed with per-concept topical vocabularies, and are
+/// annotated with ontology concepts plus all their ancestors (MeSH
+/// inheritance). Per-concept vocabularies are what make collection-specific
+/// statistics genuinely context-dependent — the phenomenon the paper's
+/// ranking model exploits.
+struct CorpusConfig {
+  uint64_t seed = 42;
+  uint32_t num_docs = 50000;
+
+  /// Content vocabulary size (terms are named "w0".."wN-1", with w0 the
+  /// globally most frequent).
+  uint32_t vocab_size = 20000;
+
+  /// Ontology tree shape: children per node at each level. The default
+  /// {12, 8, 6} yields 684 concepts — the size of the paper's
+  /// high-frequency MeSH KAG.
+  std::vector<uint32_t> ontology_fanouts = {12, 8, 6};
+
+  /// Popularity skew across leaf concepts (documents pick leaves
+  /// Zipf-distributed with this exponent, so a few concepts are huge and
+  /// most are small — like MeSH).
+  double leaf_zipf_exponent = 0.8;
+
+  /// Each document is annotated with 1..max_concepts_per_doc leaf concepts
+  /// (then the ancestor closure is attached).
+  uint32_t max_concepts_per_doc = 3;
+
+  uint32_t title_len_mean = 8;
+  uint32_t abstract_len_mean = 90;
+
+  /// Probability that a content token is drawn from a topical vocabulary
+  /// of one of the document's concepts (vs. the global background).
+  double topical_prob = 0.55;
+
+  /// Size of each concept's topical vocabulary window.
+  uint32_t topical_window = 400;
+
+  double background_zipf_exponent = 1.05;
+  double topical_zipf_exponent = 1.0;
+
+  /// Publication years are drawn from [year_min, year_max], skewed toward
+  /// recent years (literature grows over time).
+  uint16_t year_min = 1980;
+  uint16_t year_max = 2010;
+};
+
+/// The generated collection: ontology + documents. Content term names are
+/// synthetic ("w17"); `ContentTermName` renders them for examples/demos.
+struct Corpus {
+  CorpusConfig config;
+  Ontology ontology;
+  std::vector<Document> docs;
+
+  uint32_t vocab_size() const { return config.vocab_size; }
+  size_t size() const { return docs.size(); }
+
+  static std::string ContentTermName(TermId t) {
+    return "w" + std::to_string(t);
+  }
+};
+
+/// Deterministic synthetic corpus generator.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusConfig config) : config_(std::move(config)) {}
+
+  /// Generates the corpus. Returns InvalidArgument on nonsensical configs
+  /// (zero docs, empty vocabulary, empty ontology).
+  Result<Corpus> Generate() const;
+
+  /// The start of concept `c`'s topical window in the global vocabulary.
+  /// Deterministic in (c, vocab_size, window): the eval module uses this to
+  /// plant query terms with known context-vs-global frequency profiles.
+  static TermId ConceptWindowStart(TermId c, uint32_t vocab_size,
+                                   uint32_t window);
+
+  /// The `rank`-th most frequent topical term of concept `c`.
+  static TermId ConceptTopicalTerm(TermId c, uint32_t rank,
+                                   uint32_t vocab_size, uint32_t window) {
+    return ConceptWindowStart(c, vocab_size, window) + rank;
+  }
+
+ private:
+  CorpusConfig config_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_CORPUS_GENERATOR_H_

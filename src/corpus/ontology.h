@@ -1,0 +1,78 @@
+#ifndef CSR_CORPUS_ONTOLOGY_H_
+#define CSR_CORPUS_ONTOLOGY_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// A MeSH-like concept hierarchy. Nodes are identified by dense TermIds
+/// (the same ids index the predicate inverted index and view keyword
+/// columns). The paper attaches, for every annotated citation, all
+/// ancestors of its MeSH terms; `Closure` implements that inheritance.
+///
+/// The paper's PubMed KAG has 684 high-frequency MeSH terms; the default
+/// synthetic tree (see GenerateTree) is sized to the same order.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  Ontology(const Ontology&) = default;
+  Ontology& operator=(const Ontology&) = default;
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+
+  /// Adds a root concept; returns its id.
+  TermId AddRoot(std::string name);
+
+  /// Adds a child of `parent`; returns the new id or InvalidArgument if
+  /// the parent id is unknown.
+  Result<TermId> AddChild(TermId parent, std::string name);
+
+  size_t size() const { return parents_.size(); }
+  bool empty() const { return parents_.empty(); }
+
+  /// Parent of `t`, or kInvalidTermId for roots.
+  TermId parent(TermId t) const { return parents_[t]; }
+  const std::vector<TermId>& children(TermId t) const { return children_[t]; }
+  const std::string& name(TermId t) const { return names_[t]; }
+  uint32_t depth(TermId t) const { return depths_[t]; }
+  bool IsLeaf(TermId t) const { return children_[t].empty(); }
+
+  /// Finds a concept by name; kInvalidTermId when absent.
+  TermId Find(std::string_view name) const;
+
+  /// All leaf concept ids.
+  std::vector<TermId> Leaves() const;
+
+  /// Ancestors of `t`, nearest first, excluding `t` itself.
+  std::vector<TermId> Ancestors(TermId t) const;
+
+  /// The inheritance closure of a set of concepts: the concepts plus all
+  /// their ancestors, sorted and deduplicated.
+  TermIdSet Closure(std::span<const TermId> terms) const;
+
+  /// True if `ancestor` is a (possibly transitive) ancestor of `t`.
+  bool IsAncestor(TermId ancestor, TermId t) const;
+
+  /// Generates a uniform tree: `fanouts[l]` children per node at level l.
+  /// E.g. {12, 8, 6} gives 12 + 96 + 576 = 684 concepts, matching the size
+  /// of the paper's high-frequency MeSH KAG. Names are hierarchical paths
+  /// like "C3.7.2".
+  static Ontology GenerateTree(std::span<const uint32_t> fanouts);
+
+ private:
+  std::vector<TermId> parents_;
+  std::vector<std::vector<TermId>> children_;
+  std::vector<std::string> names_;
+  std::vector<uint32_t> depths_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_CORPUS_ONTOLOGY_H_

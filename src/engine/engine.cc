@@ -1,0 +1,385 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/top_k.h"
+#include "index/intersection.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace csr {
+
+std::string_view EvaluationModeName(EvaluationMode mode) {
+  switch (mode) {
+    case EvaluationMode::kConventional:
+      return "conventional";
+    case EvaluationMode::kContextStraightforward:
+      return "context-straightforward";
+    case EvaluationMode::kContextWithViews:
+      return "context-with-views";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Build(
+    Corpus corpus, EngineConfig config) {
+  if (corpus.docs.empty()) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+  if (config.top_k == 0) {
+    return Status::InvalidArgument("top_k must be > 0");
+  }
+  auto engine = std::unique_ptr<ContextSearchEngine>(new ContextSearchEngine());
+  engine->corpus_ = std::move(corpus);
+  engine->config_ = config;
+  engine->ranking_ = MakeRankingFunction(config.ranking);
+  if (engine->ranking_ == nullptr) {
+    return Status::InvalidArgument("unknown ranking function: " +
+                                   config.ranking);
+  }
+  if (engine->ranking_->NeedsTermCounts() && !config.track_tc) {
+    return Status::InvalidArgument(
+        "ranking function '" + config.ranking +
+        "' needs tc statistics; set EngineConfig::track_tc");
+  }
+
+  // Content and predicate indexes.
+  IndexBuilder content_builder(config.segment_size);
+  IndexBuilder predicate_builder(config.segment_size);
+  for (const Document& d : engine->corpus_.docs) {
+    CSR_RETURN_NOT_OK(content_builder.AddDocument(d.id, d.ContentTokens()));
+    CSR_RETURN_NOT_OK(predicate_builder.AddDocument(d.id, d.annotations));
+  }
+  engine->content_index_ = content_builder.Build();
+  engine->predicate_index_ = predicate_builder.Build();
+  engine->years_.reserve(engine->corpus_.docs.size());
+  for (const Document& d : engine->corpus_.docs) {
+    engine->years_.push_back(d.year);
+  }
+
+  engine->context_threshold_ = static_cast<uint64_t>(
+      config.context_threshold_fraction *
+      static_cast<double>(engine->corpus_.docs.size()));
+  if (engine->context_threshold_ == 0) engine->context_threshold_ = 1;
+
+  engine->tracked_ = TrackedKeywords::Select(
+      engine->content_index_, engine->context_threshold_, config.tracked_cap);
+  engine->param_table_ = std::make_unique<DocParamTable>(
+      DocParamTable::Build(engine->content_index_, engine->tracked_));
+  engine->estimator_ = std::make_unique<ViewSizeEstimator>(
+      &engine->corpus_, /*seed=*/engine->corpus_.config.seed ^ 0x5EED,
+      config.estimator_sample);
+  engine->atm_ = std::make_unique<AtmMapper>(&engine->corpus_,
+                                             &engine->content_index_,
+                                             &engine->predicate_index_);
+  if (config.stats_cache_capacity > 0) {
+    engine->stats_cache_ =
+        std::make_unique<StatsCache>(config.stats_cache_capacity);
+  }
+  return engine;
+}
+
+uint64_t ContextSearchEngine::ContextSize(
+    std::span<const TermId> context) const {
+  std::vector<const PostingList*> lists;
+  lists.reserve(context.size());
+  for (TermId m : context) {
+    const PostingList* l = predicate_index_.list(m);
+    if (l == nullptr) return 0;
+    lists.push_back(l);
+  }
+  return CountIntersection(lists);
+}
+
+Status ContextSearchEngine::SelectAndMaterializeViews() {
+  TransactionDb db = TransactionDb::FromCorpus(corpus_);
+  Kag kag = Kag::Build(db, context_threshold_, context_threshold_);
+  SupportFn support = MakeIndexSupportFn(predicate_index_);
+
+  HybridConfig hconfig;
+  hconfig.thresholds.context_threshold = context_threshold_;
+  hconfig.thresholds.view_size_threshold = config_.view_size_threshold;
+  selection_ = SelectViewsHybrid(db, kag, *estimator_, support, hconfig);
+
+  // Deduplicate identical keyword sets produced by different branches.
+  std::unordered_set<uint64_t> seen;
+  std::vector<ViewDefinition> defs;
+  for (ViewDefinition& v : selection_.views) {
+    uint64_t h = HashTermIds(v.keyword_columns);
+    if (seen.insert(h).second) defs.push_back(std::move(v));
+  }
+  selection_.views.clear();
+  return MaterializeViews(std::move(defs));
+}
+
+Status ContextSearchEngine::MaterializeViews(std::vector<ViewDefinition> defs) {
+  ViewParamOptions params;
+  params.track_df = true;
+  params.track_tc = config_.track_tc;
+  params.year_bucket_size = config_.view_year_bucket;
+  ViewBuilder builder(&corpus_, param_table_.get(), params,
+                      static_cast<uint32_t>(tracked_.size()));
+  std::vector<MaterializedView> views = builder.BuildAll(defs);
+  catalog_ = ViewCatalog();
+  for (MaterializedView& v : views) catalog_.Add(std::move(v));
+  return Status::OK();
+}
+
+Status ContextSearchEngine::AppendDocuments(std::vector<Document> docs) {
+  if (docs.empty()) return Status::OK();
+  DocId first_new = static_cast<DocId>(corpus_.docs.size());
+
+  DocId next = first_new;
+  for (Document& d : docs) {
+    d.id = next++;
+    std::sort(d.annotations.begin(), d.annotations.end());
+    d.annotations.erase(
+        std::unique(d.annotations.begin(), d.annotations.end()),
+        d.annotations.end());
+    corpus_.docs.push_back(std::move(d));
+  }
+
+  // Rebuild the inverted indexes over the grown collection. (A segmented
+  // index would avoid the rebuild; the view maintenance below is the part
+  // this library makes incremental, because selection + materialized
+  // aggregates are the expensive artifacts.)
+  IndexBuilder content_builder(config_.segment_size);
+  IndexBuilder predicate_builder(config_.segment_size);
+  for (const Document& d : corpus_.docs) {
+    CSR_RETURN_NOT_OK(content_builder.AddDocument(d.id, d.ContentTokens()));
+    CSR_RETURN_NOT_OK(predicate_builder.AddDocument(d.id, d.annotations));
+  }
+  content_index_ = content_builder.Build();
+  predicate_index_ = predicate_builder.Build();
+
+  years_.clear();
+  years_.reserve(corpus_.docs.size());
+  for (const Document& d : corpus_.docs) years_.push_back(d.year);
+
+  // tracked_ is intentionally NOT recomputed: view parameter columns are
+  // slot-aligned to it. The param table must cover the new documents.
+  param_table_ = std::make_unique<DocParamTable>(
+      DocParamTable::Build(content_index_, tracked_));
+  estimator_ = std::make_unique<ViewSizeEstimator>(
+      &corpus_, corpus_.config.seed ^ 0x5EED, config_.estimator_sample);
+  atm_ = std::make_unique<AtmMapper>(&corpus_, &content_index_,
+                                     &predicate_index_);
+  if (stats_cache_ != nullptr) stats_cache_->Clear();
+
+  // Incremental view maintenance: fold only the new documents.
+  if (catalog_.size() > 0) {
+    std::vector<MaterializedView> views = catalog_.Release();
+    ViewParamOptions params;
+    params.track_df = true;
+    params.track_tc = config_.track_tc;
+    params.year_bucket_size = config_.view_year_bucket;
+    ViewBuilder builder(&corpus_, param_table_.get(), params,
+                        static_cast<uint32_t>(tracked_.size()));
+    builder.UpdateAll(views, first_new);
+    for (MaterializedView& v : views) catalog_.Add(std::move(v));
+  }
+  return Status::OK();
+}
+
+Status ContextSearchEngine::InstallCatalog(
+    ViewCatalog catalog, const std::vector<TermId>& tracked_terms) {
+  if (tracked_terms != tracked_.terms()) {
+    return Status::FailedPrecondition(
+        "snapshot tracked keywords do not match this engine's; was the "
+        "EngineConfig changed since the snapshot was taken?");
+  }
+  catalog_ = std::move(catalog);
+  return Status::OK();
+}
+
+CollectionStats ContextSearchEngine::ComputeContextStats(
+    const ContextQuery& query, const QueryStats& qstats, bool with_views,
+    SearchMetrics& metrics) const {
+  bool need_tc = ranking_->NeedsTermCounts();
+
+  auto straightforward_plan = [&](std::string_view reason) {
+    metrics.plan = "stats: straightforward (Figure 3): gamma over ";
+    metrics.plan += std::to_string(query.context.size());
+    metrics.plan += "-way context intersection + ";
+    metrics.plan += std::to_string(qstats.keywords.size());
+    metrics.plan += " per-keyword intersections";
+    if (!reason.empty()) {
+      metrics.plan += " [";
+      metrics.plan += reason;
+      metrics.plan += "]";
+    }
+  };
+
+  if (!with_views) {
+    straightforward_plan("");
+    return StraightforwardCollectionStats(
+        content_index_, predicate_index_, query.context, qstats.keywords,
+        need_tc, &metrics.cost, years_, query.years);
+  }
+
+  const MaterializedView* view = catalog_.FindBest(query.context);
+  if (view == nullptr ||
+      (query.years.active() && !view->RangeAnswerable(query.years))) {
+    metrics.fell_back_to_straightforward = true;
+    straightforward_plan(view == nullptr
+                             ? "fallback: no usable view"
+                             : "fallback: year range not bucket-aligned");
+    return StraightforwardCollectionStats(
+        content_index_, predicate_index_, query.context, qstats.keywords,
+        need_tc, &metrics.cost, years_, query.years);
+  }
+
+  metrics.used_view = true;
+  metrics.plan = "stats: view scan over V_K (|K|=" +
+                 std::to_string(view->def().num_columns()) + ", " +
+                 std::to_string(view->NumTuples()) + " tuples)";
+  MaterializedView::StatsResult vr = view->ComputeStats(
+      query.context, qstats.keywords, tracked_, &metrics.cost, query.years);
+  metrics.view_tuples_scanned = metrics.cost.view_tuples_scanned;
+
+  CollectionStats stats;
+  stats.cardinality = vr.cardinality;
+  stats.total_length = vr.total_length;
+  stats.df.resize(qstats.keywords.size(), 0);
+  if (need_tc) stats.tc.resize(qstats.keywords.size(), 0);
+
+  // Keywords without a parameter column (|L_w| < T_C) are computed at
+  // query time; their short lists make this cheap (Section 6.2).
+  std::vector<const PostingList*> lists;
+  for (size_t i = 0; i < qstats.keywords.size(); ++i) {
+    if (vr.covered[i]) {
+      stats.df[i] = vr.df[i];
+      if (need_tc) stats.tc[i] = vr.tc[i];
+      continue;
+    }
+    metrics.keywords_uncovered_by_view++;
+    const PostingList* lw = content_index_.list(qstats.keywords[i]);
+    if (lw == nullptr) continue;
+    lists.clear();
+    lists.push_back(lw);
+    bool ok = true;
+    for (TermId m : query.context) {
+      const PostingList* l = predicate_index_.list(m);
+      if (l == nullptr) {
+        ok = false;
+        break;
+      }
+      lists.push_back(l);
+    }
+    if (!ok) continue;
+    uint64_t df = 0;
+    uint64_t tc = 0;
+    for (ConjunctionIterator it(lists, &metrics.cost); !it.AtEnd();
+         it.Next()) {
+      if (!query.years.Contains(years_[it.doc()])) continue;
+      ++df;
+      tc += it.tf(0);
+    }
+    stats.df[i] = df;
+    if (need_tc) stats.tc[i] = tc;
+  }
+  if (metrics.keywords_uncovered_by_view > 0) {
+    metrics.plan += " + " +
+                    std::to_string(metrics.keywords_uncovered_by_view) +
+                    " query-time df intersection(s) for untracked keywords";
+  }
+  return stats;
+}
+
+Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
+                                                 EvaluationMode mode) const {
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  if (mode != EvaluationMode::kConventional && query.context.empty()) {
+    return Status::InvalidArgument(
+        "context-sensitive evaluation requires a context specification");
+  }
+  if (!std::is_sorted(query.context.begin(), query.context.end())) {
+    return Status::InvalidArgument("context predicates must be sorted");
+  }
+
+  WallTimer total_timer;
+  SearchResult result;
+  QueryStats qstats = QueryStats::FromKeywords(query.keywords);
+
+  // Phase 1: collection statistics.
+  WallTimer stats_timer;
+  switch (mode) {
+    case EvaluationMode::kConventional:
+      result.stats = GlobalCollectionStats(content_index_, qstats.keywords);
+      result.metrics.plan =
+          "stats: precomputed global statistics (Qt = Qk ∪ P)";
+      break;
+    case EvaluationMode::kContextStraightforward:
+    case EvaluationMode::kContextWithViews: {
+      bool with_views = mode == EvaluationMode::kContextWithViews;
+      const CollectionStats* cached =
+          stats_cache_ != nullptr
+              ? stats_cache_->Get(query.context, qstats.keywords,
+                                  query.years)
+              : nullptr;
+      if (cached != nullptr) {
+        result.stats = *cached;
+        result.metrics.stats_cache_hit = true;
+        result.metrics.plan = "stats: LRU cache hit";
+      } else {
+        result.stats = ComputeContextStats(query, qstats, with_views,
+                                           result.metrics);
+        if (stats_cache_ != nullptr) {
+          stats_cache_->Put(query.context, qstats.keywords, query.years,
+                            result.stats);
+        }
+      }
+      break;
+    }
+  }
+  result.metrics.stats_ms = stats_timer.ElapsedMillis();
+
+  // Phase 2: retrieval + scoring. The unranked result is the conjunction of
+  // all keyword and predicate lists, evaluated most-selective-first with
+  // skips (identical across modes — only the statistics differ).
+  WallTimer retrieval_timer;
+  std::vector<const PostingList*> lists;
+  bool empty_result = false;
+  for (TermId w : qstats.keywords) {
+    const PostingList* l = content_index_.list(w);
+    if (l == nullptr) empty_result = true;
+    lists.push_back(l);
+  }
+  for (TermId m : query.context) {
+    const PostingList* l = predicate_index_.list(m);
+    if (l == nullptr) empty_result = true;
+    lists.push_back(l);
+  }
+
+  if (!empty_result) {
+    TopKCollector collector(config_.top_k);
+    DocStats dstats;
+    dstats.tf.resize(qstats.keywords.size());
+    for (ConjunctionIterator it(lists, &result.metrics.cost); !it.AtEnd();
+         it.Next()) {
+      if (!query.years.Contains(years_[it.doc()])) continue;
+      result.result_count++;
+      dstats.doc = it.doc();
+      dstats.length = content_index_.doc_length(it.doc());
+      for (size_t i = 0; i < qstats.keywords.size(); ++i) {
+        dstats.tf[i] = it.tf(i);
+      }
+      collector.Offer(dstats.doc,
+                      ranking_->Score(qstats, dstats, result.stats));
+    }
+    result.top_docs = collector.Take();
+  }
+  result.metrics.retrieval_ms = retrieval_timer.ElapsedMillis();
+  result.metrics.total_ms = total_timer.ElapsedMillis();
+  result.metrics.plan += "; retrieval: " +
+                         std::to_string(qstats.keywords.size() +
+                                        query.context.size()) +
+                         "-way conjunction, most selective first, top-" +
+                         std::to_string(config_.top_k);
+  return result;
+}
+
+}  // namespace csr

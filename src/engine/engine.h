@@ -1,0 +1,161 @@
+#ifndef CSR_ENGINE_ENGINE_H_
+#define CSR_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/atm.h"
+#include "corpus/generator.h"
+#include "engine/query.h"
+#include "index/inverted_index.h"
+#include "ranking/ranking_function.h"
+#include "engine/stats_cache.h"
+#include "selection/hybrid.h"
+#include "stats/collector.h"
+#include "util/result.h"
+#include "views/view_builder.h"
+#include "views/view_catalog.h"
+
+namespace csr {
+
+/// Engine configuration. Thresholds follow Section 6.2: T_C defaults to 1%
+/// of the collection and T_V to 4096 tuples.
+struct EngineConfig {
+  /// Ranked results returned per query.
+  uint32_t top_k = 20;
+
+  /// Ranking function name (see MakeRankingFunction).
+  std::string ranking = "pivoted";
+
+  /// Skip-pointer segment size M0.
+  uint32_t segment_size = 128;
+
+  /// T_C as a fraction of |D|.
+  double context_threshold_fraction = 0.01;
+
+  /// T_V in view tuples.
+  uint64_t view_size_threshold = 4096;
+
+  /// Cap on tracked keywords (df-parameter columns per view). The paper's
+  /// PubMed run tracks 910 keywords.
+  uint32_t tracked_cap = 1024;
+
+  /// Documents sampled by the view-size estimator.
+  uint32_t estimator_sample = 20000;
+
+  /// Store tc parameter columns too (needed by language-model ranking).
+  bool track_tc = false;
+
+  /// Year-bucket size for the views' time dimension (Section 7 extension);
+  /// 0 disables it. With a bucket size of e.g. 10, year ranges aligned to
+  /// decades are answerable from views; other ranges fall back to the
+  /// straightforward plan.
+  uint16_t view_year_bucket = 0;
+
+  /// Capacity of the LRU collection-statistics cache (entries). 0 disables
+  /// caching. Context-sensitive workloads revisit contexts heavily, so a
+  /// small cache removes most statistics recomputation; benches keep it
+  /// off to measure the uncached paths.
+  size_t stats_cache_capacity = 0;
+};
+
+/// The system of the paper, end to end: inverted indexes over content and
+/// predicates, conventional and context-sensitive query evaluation, and the
+/// materialized-view pipeline (selection + building + query-time matching).
+///
+/// Typical use:
+///
+///   auto engine = ContextSearchEngine::Build(std::move(corpus), config);
+///   engine->SelectAndMaterializeViews();
+///   ContextQuery q{{w1, w2}, {m1, m2}};
+///   auto result = engine->Search(q, EvaluationMode::kContextWithViews);
+class ContextSearchEngine {
+ public:
+  /// Indexes the corpus. Does not select or build views.
+  static Result<std::unique_ptr<ContextSearchEngine>> Build(
+      Corpus corpus, EngineConfig config);
+
+  /// Runs hybrid view selection (Section 5.3) and materializes the selected
+  /// views. Idempotent: re-running replaces the catalog.
+  Status SelectAndMaterializeViews();
+
+  /// Materializes caller-provided view definitions (bypasses selection);
+  /// used by tests and ablations.
+  Status MaterializeViews(std::vector<ViewDefinition> defs);
+
+  /// Appends documents to the collection (they receive the next docids).
+  /// Inverted indexes are rebuilt from the grown corpus; materialized
+  /// views are maintained *incrementally* — only the new documents are
+  /// folded into their partitions, so the (expensive) view selection and
+  /// the existing aggregates stay valid. The tracked-keyword table and
+  /// T_C are frozen at Build time: views are slot-aligned to them. Any
+  /// cached statistics are invalidated.
+  Status AppendDocuments(std::vector<Document> docs);
+
+  /// Installs a catalog loaded from a snapshot (storage/snapshot.h),
+  /// replacing the current one. `tracked_terms` must match this engine's
+  /// tracked-keyword table — view parameter columns are slot-aligned to
+  /// it — else FailedPrecondition.
+  Status InstallCatalog(ViewCatalog catalog,
+                        const std::vector<TermId>& tracked_terms);
+
+  /// Evaluates Q_c (or the conventional Q_t, per `mode`). Returns
+  /// InvalidArgument for queries with no keywords, or with an empty context
+  /// in the context-sensitive modes.
+  Result<SearchResult> Search(const ContextQuery& query,
+                              EvaluationMode mode) const;
+
+  // -- Accessors --------------------------------------------------------
+  const Corpus& corpus() const { return corpus_; }
+  const InvertedIndex& content_index() const { return content_index_; }
+  const InvertedIndex& predicate_index() const { return predicate_index_; }
+  const ViewCatalog& catalog() const { return catalog_; }
+  const TrackedKeywords& tracked() const { return tracked_; }
+  const AtmMapper& atm() const { return *atm_; }
+  const EngineConfig& config() const { return config_; }
+  const RankingFunction& ranking() const { return *ranking_; }
+
+  /// T_C in absolute documents.
+  uint64_t context_threshold() const { return context_threshold_; }
+
+  /// ContextSize(P) = |∩ L_m|, computed from the predicate index.
+  uint64_t ContextSize(std::span<const TermId> context) const;
+
+  /// Publication year of document d.
+  uint16_t doc_year(DocId d) const { return years_[d]; }
+
+  /// Selection telemetry from the last SelectAndMaterializeViews call.
+  const HybridResult& selection_result() const { return selection_; }
+
+  /// The statistics cache (null when disabled).
+  const StatsCache* stats_cache() const { return stats_cache_.get(); }
+
+ private:
+  ContextSearchEngine() = default;
+
+  CollectionStats ComputeContextStats(const ContextQuery& query,
+                                      const QueryStats& qstats,
+                                      bool with_views,
+                                      SearchMetrics& metrics) const;
+
+  Corpus corpus_;
+  EngineConfig config_;
+  uint64_t context_threshold_ = 0;
+  InvertedIndex content_index_;
+  InvertedIndex predicate_index_;
+  TrackedKeywords tracked_;
+  std::vector<uint16_t> years_;  // per-document publication year
+  std::unique_ptr<DocParamTable> param_table_;
+  std::unique_ptr<ViewSizeEstimator> estimator_;
+  std::unique_ptr<AtmMapper> atm_;
+  std::unique_ptr<RankingFunction> ranking_;
+  ViewCatalog catalog_;
+  HybridResult selection_;
+  // Mutable: Search() is logically const; the cache is an optimization.
+  mutable std::unique_ptr<StatsCache> stats_cache_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_ENGINE_H_

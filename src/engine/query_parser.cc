@@ -1,0 +1,111 @@
+#include "engine/query_parser.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace csr {
+
+namespace {
+
+/// Splits on whitespace and '&', dropping "AND"/"and" connector tokens.
+std::vector<std::string> Terms(std::string_view part) {
+  std::vector<std::string> tokens = SplitString(part, " \t&,");
+  std::vector<std::string> out;
+  for (std::string& t : tokens) {
+    if (t == "AND" || t == "and") continue;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ContextQuery> QueryParser::Parse(std::string_view text) const {
+  size_t bar = text.find('|');
+  std::string_view keyword_part =
+      bar == std::string_view::npos ? text : text.substr(0, bar);
+  std::string_view context_part =
+      bar == std::string_view::npos ? std::string_view{}
+                                    : text.substr(bar + 1);
+
+  ContextQuery q;
+  for (const std::string& name : Terms(keyword_part)) {
+    TermId id = keyword_resolver_(name);
+    if (id == kInvalidTermId) {
+      return Status::NotFound("unknown keyword: " + name);
+    }
+    q.keywords.push_back(id);
+  }
+  if (q.keywords.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+
+  if (bar != std::string_view::npos) {
+    // Optional year-range suffix: "... @ 1990..2005".
+    size_t at = context_part.find('@');
+    if (at != std::string_view::npos) {
+      std::string_view range_part = context_part.substr(at + 1);
+      context_part = context_part.substr(0, at);
+      size_t dots = range_part.find("..");
+      if (dots == std::string_view::npos) {
+        return Status::InvalidArgument(
+            "year range must have the form '@ min..max'");
+      }
+      auto parse_year = [](std::string_view text) -> int32_t {
+        int32_t y = 0;
+        bool any = false;
+        for (char c : text) {
+          if (c == ' ' || c == '\t') continue;
+          if (c < '0' || c > '9' || y > 65535) return -1;
+          y = y * 10 + (c - '0');
+          any = true;
+        }
+        return any ? y : -1;
+      };
+      int32_t lo = parse_year(range_part.substr(0, dots));
+      int32_t hi = parse_year(range_part.substr(dots + 2));
+      if (lo < 0 || hi < 0 || lo > hi || hi > 65535) {
+        return Status::InvalidArgument("invalid year range");
+      }
+      q.years = YearRange{static_cast<uint16_t>(lo),
+                          static_cast<uint16_t>(hi)};
+    }
+    std::vector<std::string> names = Terms(context_part);
+    if (names.empty()) {
+      return Status::InvalidArgument("empty context specification after '|'");
+    }
+    for (const std::string& name : names) {
+      TermId id = predicate_resolver_(name);
+      if (id == kInvalidTermId) {
+        return Status::NotFound("unknown context predicate: " + name);
+      }
+      q.context.push_back(id);
+    }
+    std::sort(q.context.begin(), q.context.end());
+    q.context.erase(std::unique(q.context.begin(), q.context.end()),
+                    q.context.end());
+  }
+  return q;
+}
+
+QueryParser QueryParser::ForCorpus(const Corpus& corpus) {
+  uint32_t vocab_size = corpus.config.vocab_size;
+  Resolver keywords = [vocab_size](std::string_view name) -> TermId {
+    if (name.size() < 2 || name[0] != 'w') return kInvalidTermId;
+    TermId id = 0;
+    for (char c : name.substr(1)) {
+      if (c < '0' || c > '9') return kInvalidTermId;
+      id = id * 10 + static_cast<TermId>(c - '0');
+      if (id >= vocab_size) return kInvalidTermId;
+    }
+    return id;
+  };
+  const Ontology* ont = &corpus.ontology;
+  Resolver predicates = [ont](std::string_view name) -> TermId {
+    return ont->Find(name);
+  };
+  return QueryParser(std::move(keywords), std::move(predicates));
+}
+
+}  // namespace csr

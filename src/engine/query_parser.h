@@ -1,0 +1,58 @@
+#ifndef CSR_ENGINE_QUERY_PARSER_H_
+#define CSR_ENGINE_QUERY_PARSER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "corpus/generator.h"
+#include "engine/query.h"
+#include "util/result.h"
+
+namespace csr {
+
+/// Parses the textual query syntax of Section 2.1:
+///
+///   keyword keyword ... | predicate & predicate & ... [@ min..max]
+///
+/// The '|' separates the keyword query Q_k from the context specification
+/// P; 'AND' and '&' are interchangeable separators on the predicate side,
+/// whitespace on the keyword side. Term strings are resolved to ids by
+/// caller-provided resolvers, so the parser is agnostic to where names
+/// come from (a Vocabulary, the synthetic corpus' "w<id>" scheme, an
+/// ontology).
+///
+/// The optional `@ min..max` suffix restricts the context to publication
+/// years in the inclusive range (Section 7 extension).
+///
+/// Examples:
+///   "pancreas leukemia | digestive_system"
+///   "w120 w4571 | C3 & C3.7"
+///   "w120 w4571 | C3 @ 1990..2005"
+class QueryParser {
+ public:
+  /// Returns kInvalidTermId for unknown names.
+  using Resolver = std::function<TermId(std::string_view)>;
+
+  QueryParser(Resolver keyword_resolver, Resolver predicate_resolver)
+      : keyword_resolver_(std::move(keyword_resolver)),
+        predicate_resolver_(std::move(predicate_resolver)) {}
+
+  /// Parses `text`. Errors:
+  ///   InvalidArgument — no keywords, or empty context after '|'
+  ///   NotFound        — a keyword/predicate name that does not resolve
+  Result<ContextQuery> Parse(std::string_view text) const;
+
+  /// A parser for the synthetic corpus: keywords are "w<id>" (bounded by
+  /// the vocabulary size), predicates are ontology concept names like
+  /// "C3.7.2". The corpus must outlive the parser.
+  static QueryParser ForCorpus(const Corpus& corpus);
+
+ private:
+  Resolver keyword_resolver_;
+  Resolver predicate_resolver_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_QUERY_PARSER_H_

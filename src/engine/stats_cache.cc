@@ -1,0 +1,65 @@
+#include "engine/stats_cache.h"
+
+namespace csr {
+
+TermIdSet StatsCache::MakeKey(std::span<const TermId> context,
+                              std::span<const TermId> keywords,
+                              YearRange range) {
+  // Context and keywords are separated by a sentinel that can appear in
+  // neither, so (ctx={1}, kw={2}) and (ctx={1,2}, kw={}) cannot collide;
+  // the year range is appended the same way.
+  TermIdSet key;
+  key.reserve(context.size() + keywords.size() + 3);
+  key.insert(key.end(), context.begin(), context.end());
+  key.push_back(kInvalidTermId);
+  key.insert(key.end(), keywords.begin(), keywords.end());
+  if (range.active()) {
+    key.push_back(kInvalidTermId);
+    key.push_back(range.min_year);
+    key.push_back(range.max_year);
+  }
+  return key;
+}
+
+const CollectionStats* StatsCache::Get(std::span<const TermId> context,
+                                       std::span<const TermId> keywords,
+                                       YearRange range) {
+  if (capacity_ == 0) return nullptr;
+  TermIdSet key = MakeKey(context, keywords, range);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return &it->second->second;
+}
+
+void StatsCache::Put(std::span<const TermId> context,
+                     std::span<const TermId> keywords, YearRange range,
+                     CollectionStats stats) {
+  if (capacity_ == 0) return;
+  TermIdSet key = MakeKey(context, keywords, range);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(stats);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(stats));
+  map_[std::move(key)] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void StatsCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace csr

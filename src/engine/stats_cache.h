@@ -1,0 +1,69 @@
+#ifndef CSR_ENGINE_STATS_CACHE_H_
+#define CSR_ENGINE_STATS_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "stats/statistics.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// LRU cache for collection statistics keyed by (context, keywords).
+/// Context-sensitive workloads revisit the same few contexts constantly
+/// (every GI researcher searches within "digestive system"), and the
+/// statistics of a context are immutable for a static collection — a
+/// natural cache.
+///
+/// Not thread-safe; the engine guards it per its own threading contract
+/// (one Search at a time).
+class StatsCache {
+ public:
+  /// capacity == 0 disables the cache (Get always misses, Put drops).
+  explicit StatsCache(size_t capacity) : capacity_(capacity) {}
+
+  StatsCache(const StatsCache&) = delete;
+  StatsCache& operator=(const StatsCache&) = delete;
+
+  /// Returns the cached stats or nullptr. The pointer is invalidated by
+  /// the next Put.
+  const CollectionStats* Get(std::span<const TermId> context,
+                             std::span<const TermId> keywords,
+                             YearRange range = {});
+
+  void Put(std::span<const TermId> context,
+           std::span<const TermId> keywords, YearRange range,
+           CollectionStats stats);
+
+  void Put(std::span<const TermId> context,
+           std::span<const TermId> keywords, CollectionStats stats) {
+    Put(context, keywords, YearRange{}, std::move(stats));
+  }
+
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  void Clear();
+
+ private:
+  static TermIdSet MakeKey(std::span<const TermId> context,
+                           std::span<const TermId> keywords,
+                           YearRange range);
+
+  using Entry = std::pair<TermIdSet, CollectionStats>;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<TermIdSet, std::list<Entry>::iterator, TermIdSetHash>
+      map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_STATS_CACHE_H_

@@ -1,0 +1,62 @@
+#ifndef CSR_ENGINE_TOP_K_H_
+#define CSR_ENGINE_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "engine/query.h"
+
+namespace csr {
+
+/// Bounded top-K collector: keeps the K best (score, doc) entries seen so
+/// far in a min-heap. Ties break toward smaller docids so rankings are
+/// fully deterministic.
+class TopKCollector {
+ public:
+  explicit TopKCollector(size_t k) : k_(k) {}
+
+  void Offer(DocId doc, double score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({doc, score});
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+      return;
+    }
+    if (Better(SearchResultEntry{doc, score}, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Worse);
+      heap_.back() = {doc, score};
+      std::push_heap(heap_.begin(), heap_.end(), Worse);
+    }
+  }
+
+  /// Extracts the collected entries, best first. The collector is emptied.
+  std::vector<SearchResultEntry> Take() {
+    std::vector<SearchResultEntry> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(),
+              [](const SearchResultEntry& a, const SearchResultEntry& b) {
+                return Better(a, b);
+              });
+    return out;
+  }
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  static bool Better(const SearchResultEntry& a, const SearchResultEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+  /// Heap comparator: the *worst* entry must surface at front.
+  static bool Worse(const SearchResultEntry& a, const SearchResultEntry& b) {
+    return Better(a, b);
+  }
+
+  size_t k_;
+  std::vector<SearchResultEntry> heap_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_TOP_K_H_

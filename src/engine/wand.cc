@@ -1,0 +1,178 @@
+#include "engine/wand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/top_k.h"
+
+namespace csr {
+
+namespace {
+
+struct TermState {
+  size_t query_index;          // position in QueryStats::keywords
+  PostingList::Iterator iter;
+  double idf_weight;           // tq * ln((|C|+1)/df)
+  double upper_bound;          // idf_weight * max tf part / min norm
+};
+
+double TfPart(uint32_t tf) {
+  return 1.0 + std::log(1.0 + std::log(static_cast<double>(tf)));
+}
+
+/// Builds the per-term states. Terms with df == 0 in `stats` (absent from
+/// the scoring collection) contribute nothing and are dropped.
+std::vector<TermState> BuildStates(const InvertedIndex& index,
+                                   const QueryStats& query,
+                                   const CollectionStats& stats,
+                                   double pivot_s, CostCounters* cost) {
+  std::vector<TermState> states;
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    const PostingList* list = index.list(query.keywords[i]);
+    if (list == nullptr || stats.df[i] == 0) continue;
+    double idf = std::log(static_cast<double>(stats.cardinality + 1) /
+                          static_cast<double>(stats.df[i]));
+    double weight = static_cast<double>(query.tq[i]) * idf;
+    // Most favourable length normalization: norm >= 1 - s for any len >= 0.
+    double ub = weight * TfPart(list->max_tf()) / (1.0 - pivot_s);
+    states.push_back(
+        TermState{i, list->MakeIterator(cost), weight, ub});
+  }
+  return states;
+}
+
+double ScoreDoc(const std::vector<const TermState*>& matching,
+                uint32_t doc_length, double avgdl, double pivot_s) {
+  double norm = (1.0 - pivot_s) +
+                pivot_s * static_cast<double>(doc_length) / avgdl;
+  double score = 0;
+  for (const TermState* t : matching) {
+    score += t->idf_weight * TfPart(t->iter.tf()) / norm;
+  }
+  return score;
+}
+
+}  // namespace
+
+TopKRunResult ExhaustiveOrTopK(const InvertedIndex& index,
+                               const QueryStats& query,
+                               const CollectionStats& stats, uint32_t k,
+                               double pivot_s) {
+  TopKRunResult out;
+  std::vector<TermState> states =
+      BuildStates(index, query, stats, pivot_s, &out.cost);
+  double avgdl = stats.avgdl();
+  if (states.empty() || avgdl <= 0) return out;
+
+  TopKCollector collector(k);
+  std::vector<const TermState*> matching;
+  while (true) {
+    // Document-at-a-time union: the smallest current docid.
+    DocId next = kInvalidDocId;
+    for (const TermState& t : states) {
+      if (!t.iter.AtEnd()) next = std::min(next, t.iter.doc());
+    }
+    if (next == kInvalidDocId) break;
+    matching.clear();
+    for (TermState& t : states) {
+      if (!t.iter.AtEnd() && t.iter.doc() == next) matching.push_back(&t);
+    }
+    collector.Offer(next, ScoreDoc(matching, index.doc_length(next), avgdl,
+                                   pivot_s));
+    out.docs_scored++;
+    for (TermState& t : states) {
+      if (!t.iter.AtEnd() && t.iter.doc() == next) t.iter.Next();
+    }
+  }
+  out.top_docs = collector.Take();
+  return out;
+}
+
+TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
+                       const CollectionStats& stats, uint32_t k,
+                       double pivot_s) {
+  TopKRunResult out;
+  std::vector<TermState> states =
+      BuildStates(index, query, stats, pivot_s, &out.cost);
+  double avgdl = stats.avgdl();
+  if (states.empty() || avgdl <= 0) return out;
+
+  TopKCollector collector(k);
+  double threshold = 0;  // k-th best score so far
+  std::vector<double> heap_scores;  // tracks the k-th best
+
+  std::vector<TermState*> order;
+  for (TermState& t : states) order.push_back(&t);
+  std::vector<const TermState*> matching;
+
+  while (true) {
+    // Sort active terms by current docid.
+    order.erase(std::remove_if(order.begin(), order.end(),
+                               [](TermState* t) { return t->iter.AtEnd(); }),
+                order.end());
+    if (order.empty()) break;
+    std::sort(order.begin(), order.end(), [](TermState* a, TermState* b) {
+      return a->iter.doc() < b->iter.doc();
+    });
+
+    // Find the pivot: the first prefix whose bound sum can beat the
+    // threshold.
+    double acc = 0;
+    size_t pivot = order.size();
+    for (size_t i = 0; i < order.size(); ++i) {
+      acc += order[i]->upper_bound;
+      if (acc > threshold) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == order.size()) break;  // nothing can enter the top K
+    DocId pivot_doc = order[pivot]->iter.doc();
+
+    if (order[0]->iter.doc() == pivot_doc) {
+      // All lists up to the pivot sit on pivot_doc: score it fully.
+      matching.clear();
+      for (TermState* t : order) {
+        if (t->iter.doc() == pivot_doc) matching.push_back(t);
+      }
+      double score = ScoreDoc(matching, index.doc_length(pivot_doc), avgdl,
+                              pivot_s);
+      out.docs_scored++;
+      collector.Offer(pivot_doc, score);
+      // Maintain the pruning threshold as the k-th best score seen: a
+      // min-heap of the k largest scores, its front being the k-th.
+      heap_scores.push_back(score);
+      std::push_heap(heap_scores.begin(), heap_scores.end(),
+                     std::greater<>());
+      if (heap_scores.size() > k) {
+        std::pop_heap(heap_scores.begin(), heap_scores.end(),
+                      std::greater<>());
+        heap_scores.pop_back();
+      }
+      if (heap_scores.size() == k) threshold = heap_scores.front();
+      for (TermState* t : order) {
+        if (t->iter.doc() == pivot_doc) t->iter.Next();
+      }
+    } else {
+      // Advance the highest-bound list strictly before the pivot doc to
+      // pivot_doc; the skipped documents can never reach the threshold.
+      // (Lists between positions 0 and pivot may already sit on pivot_doc;
+      // advancing one of those would not make progress.)
+      size_t best = SIZE_MAX;
+      for (size_t i = 0; i <= pivot; ++i) {
+        if (order[i]->iter.doc() >= pivot_doc) continue;
+        if (best == SIZE_MAX ||
+            order[i]->upper_bound > order[best]->upper_bound) {
+          best = i;
+        }
+      }
+      if (best == SIZE_MAX) break;  // defensive; cannot happen
+      out.docs_skipped += pivot_doc - order[best]->iter.doc();
+      order[best]->iter.SkipTo(pivot_doc);
+    }
+  }
+  out.top_docs = collector.Take();
+  return out;
+}
+
+}  // namespace csr

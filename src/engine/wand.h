@@ -1,0 +1,53 @@
+#ifndef CSR_ENGINE_WAND_H_
+#define CSR_ENGINE_WAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/query.h"
+#include "index/inverted_index.h"
+#include "stats/statistics.h"
+
+namespace csr {
+
+/// Disjunctive (OR-semantics) top-K retrieval over the content index with
+/// pivoted-TF-IDF scoring, in two flavours:
+///
+///  - ExhaustiveOrTopK: document-at-a-time union, scores every matching
+///    document.
+///  - WandTopK: the WAND pruning strategy — per-term score upper bounds
+///    let the driver skip documents that cannot enter the top K.
+///
+/// Both return identical rankings; WAND just scores fewer documents.
+///
+/// This module exists to reproduce the Section 3.2.2 argument: WAND's
+/// upper bounds are functions of the collection statistics (idf, avgdl).
+/// For conventional queries those are known at indexing time, so WAND
+/// prunes aggressively. For context-sensitive queries the statistics only
+/// exist AFTER the context has been materialized and aggregated — by which
+/// point the expensive work is already done, so top-K pruning cannot
+/// rescue the straightforward plan. bench_ablation_wand measures both
+/// sides.
+struct TopKRunResult {
+  std::vector<SearchResultEntry> top_docs;
+  uint64_t docs_scored = 0;    // full scoring computations
+  uint64_t docs_skipped = 0;   // docs bypassed by the pruning bound
+  CostCounters cost;
+};
+
+/// Scores every document containing at least one query keyword.
+TopKRunResult ExhaustiveOrTopK(const InvertedIndex& index,
+                               const QueryStats& query,
+                               const CollectionStats& stats, uint32_t k,
+                               double pivot_s = 0.2);
+
+/// WAND: maintains per-term upper bounds (max-tf term part × idf × tq,
+/// with the most favourable length normalization) and fully scores only
+/// pivot documents whose bound sum reaches the current top-K threshold.
+TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
+                       const CollectionStats& stats, uint32_t k,
+                       double pivot_s = 0.2);
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_WAND_H_

@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csr {
+
+uint32_t RelevantInTopK(std::span<const SearchResultEntry> ranked,
+                        const std::unordered_set<DocId>& relevant, size_t k) {
+  uint32_t n = 0;
+  size_t limit = std::min(k, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranked[i].doc)) ++n;
+  }
+  return n;
+}
+
+double PrecisionAtK(std::span<const SearchResultEntry> ranked,
+                    const std::unordered_set<DocId>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  return static_cast<double>(RelevantInTopK(ranked, relevant, k)) /
+         static_cast<double>(k);
+}
+
+double AveragePrecision(std::span<const SearchResultEntry> ranked,
+                        const std::unordered_set<DocId>& relevant) {
+  if (relevant.empty()) return 0.0;
+  double sum = 0.0;
+  uint32_t hits = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.count(ranked[i].doc)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  size_t denom = std::min(relevant.size(), ranked.size());
+  return denom == 0 ? 0.0 : sum / static_cast<double>(denom);
+}
+
+double NdcgAtK(std::span<const SearchResultEntry> ranked,
+               const std::unordered_set<DocId>& relevant, size_t k) {
+  size_t limit = std::min(k, ranked.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranked[i].doc)) {
+      dcg += 1.0 / std::log2(static_cast<double>(i + 2));
+    }
+  }
+  size_t ideal_hits = std::min(k, relevant.size());
+  double idcg = 0.0;
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i + 2));
+  }
+  return idcg == 0.0 ? 0.0 : dcg / idcg;
+}
+
+double ReciprocalRank(std::span<const SearchResultEntry> ranked,
+                      const std::unordered_set<DocId>& relevant) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.count(ranked[i].doc)) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace csr

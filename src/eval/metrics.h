@@ -1,0 +1,40 @@
+#ifndef CSR_EVAL_METRICS_H_
+#define CSR_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <span>
+#include <unordered_set>
+
+#include "engine/query.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// Number of relevant documents among the top K ranked results — the
+/// y-axis of Figures 6a/6b.
+uint32_t RelevantInTopK(std::span<const SearchResultEntry> ranked,
+                        const std::unordered_set<DocId>& relevant, size_t k);
+
+/// Precision@K = RelevantInTopK / K.
+double PrecisionAtK(std::span<const SearchResultEntry> ranked,
+                    const std::unordered_set<DocId>& relevant, size_t k);
+
+/// Reciprocal rank: 1 / (position of the first relevant result), 0 when no
+/// relevant result is ranked — the y-axis of Figures 6c/6d.
+double ReciprocalRank(std::span<const SearchResultEntry> ranked,
+                      const std::unordered_set<DocId>& relevant);
+
+/// Average precision: mean of precision@i over the ranks i of relevant
+/// results, normalized by min(|relevant|, |ranked|). The building block of
+/// MAP.
+double AveragePrecision(std::span<const SearchResultEntry> ranked,
+                        const std::unordered_set<DocId>& relevant);
+
+/// Binary NDCG@K: DCG with gain 1 for relevant results, normalized by the
+/// ideal ordering's DCG.
+double NdcgAtK(std::span<const SearchResultEntry> ranked,
+               const std::unordered_set<DocId>& relevant, size_t k);
+
+}  // namespace csr
+
+#endif  // CSR_EVAL_METRICS_H_

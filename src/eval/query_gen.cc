@@ -1,0 +1,53 @@
+#include "eval/query_gen.h"
+
+#include <algorithm>
+
+namespace csr {
+
+std::vector<WorkloadQuery> WorkloadGenerator::Generate(uint32_t n,
+                                                       uint32_t num_keywords,
+                                                       uint64_t min_size,
+                                                       uint64_t max_size,
+                                                       uint32_t max_attempts) {
+  std::vector<WorkloadQuery> out;
+  const Corpus& corpus = engine_->corpus();
+  const Ontology& ont = corpus.ontology;
+
+  for (uint32_t attempt = 0; attempt < max_attempts && out.size() < n;
+       ++attempt) {
+    // Keywords from a random document's title (Section 6.3).
+    const Document& doc = corpus.docs[rng_.NextBounded(corpus.docs.size())];
+    if (doc.title.size() < num_keywords) continue;
+    std::vector<TermId> keywords;
+    for (uint32_t tries = 0;
+         keywords.size() < num_keywords && tries < 8 * num_keywords;
+         ++tries) {
+      TermId w = doc.title[rng_.NextBounded(doc.title.size())];
+      if (std::find(keywords.begin(), keywords.end(), w) == keywords.end()) {
+        keywords.push_back(w);
+      }
+    }
+    if (keywords.size() < num_keywords) continue;
+
+    TermIdSet context = engine_->atm().MapQuery(keywords);
+    if (context.empty()) continue;
+    if (lift_to_roots_) {
+      for (TermId& m : context) {
+        while (ont.parent(m) != kInvalidTermId) m = ont.parent(m);
+      }
+      std::sort(context.begin(), context.end());
+      context.erase(std::unique(context.begin(), context.end()),
+                    context.end());
+    }
+
+    uint64_t size = engine_->ContextSize(context);
+    if (size < min_size || (max_size != 0 && size > max_size)) continue;
+
+    out.push_back(WorkloadQuery{ContextQuery{std::move(keywords),
+                                             std::move(context)},
+                                size});
+  }
+  return out;
+}
+
+}  // namespace csr

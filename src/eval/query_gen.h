@@ -1,0 +1,47 @@
+#ifndef CSR_EVAL_QUERY_GEN_H_
+#define CSR_EVAL_QUERY_GEN_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "util/random.h"
+
+namespace csr {
+
+/// A generated workload query plus the size of its context.
+struct WorkloadQuery {
+  ContextQuery query;
+  uint64_t context_size = 0;
+};
+
+/// Random context-sensitive queries in the manner of Section 6.3: keywords
+/// are sampled from document titles, mapped to context predicates by the
+/// ATM stand-in, and classified as large-context (>= T_C, answerable from
+/// views) or small-context (< T_C, straightforward evaluation).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const ContextSearchEngine* engine, uint64_t seed)
+      : engine_(engine), rng_(seed) {}
+
+  /// Generates `n` queries with `num_keywords` title keywords each whose
+  /// mapped context size falls in [min_size, max_size] (max_size == 0
+  /// means unbounded). Gives up on a draw after max_attempts and returns
+  /// however many queries were found.
+  std::vector<WorkloadQuery> Generate(uint32_t n, uint32_t num_keywords,
+                                      uint64_t min_size, uint64_t max_size,
+                                      uint32_t max_attempts = 50000);
+
+  /// When true, each mapped predicate is lifted to its top-level ancestor,
+  /// producing the broad contexts of the Figure 7 experiment.
+  void set_lift_to_roots(bool lift) { lift_to_roots_ = lift; }
+
+ private:
+  const ContextSearchEngine* engine_;
+  SplitMix64 rng_;
+  bool lift_to_roots_ = false;
+};
+
+}  // namespace csr
+
+#endif  // CSR_EVAL_QUERY_GEN_H_

@@ -1,0 +1,70 @@
+#ifndef CSR_EVAL_TOPICS_H_
+#define CSR_EVAL_TOPICS_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// A benchmark topic in the style of TREC Genomics 2007 (Section 6.1): a
+/// keyword query, a context specification derived from it, and a gold
+/// standard of relevant documents.
+struct Topic {
+  std::string name;                // "Q1", "Q2", ...
+  std::vector<TermId> keywords;    // Q_k
+  TermIdSet context;               // P
+  std::vector<DocId> relevant;     // gold standard, sorted
+  bool good_context_fit = true;    // planted to favour context ranking?
+};
+
+struct TopicPlanterConfig {
+  uint64_t seed = 7;
+  uint32_t num_topics = 30;
+
+  /// Gold-standard relevant documents planted per topic.
+  uint32_t relevant_per_topic = 25;
+
+  /// In-context non-relevant documents that also match the query (the
+  /// documents conventional idf mistakes for good answers).
+  uint32_t distractors_per_topic = 60;
+
+  /// Fraction of topics where the context specification fits the
+  /// information need poorly, so conventional ranking wins slightly —
+  /// mirroring the ~9/30 such topics in Figure 6.
+  double poor_fit_fraction = 0.30;
+
+  /// Contexts must contain at least this many documents.
+  uint32_t min_context_size = 400;
+};
+
+/// Plants synthetic topics into a corpus (substituting for the TREC
+/// Genomics gold standard; see DESIGN.md).
+///
+/// Each topic is built around the paper's motivating asymmetry: query term
+/// X is topical in the context (common there, rare globally) while query
+/// term Y is topical elsewhere (common globally, rare in the context).
+/// Relevant documents are planted Y-heavy, distractors X-heavy; both match
+/// the conjunctive query. Conventional ranking overweights X (high global
+/// idf) and surfaces distractors; context-sensitive ranking overweights Y
+/// (high context idf) and surfaces the relevant documents. Poor-fit topics
+/// invert the planting with a mild margin.
+///
+/// Must run BEFORE the engine indexes the corpus: it mutates document
+/// abstracts.
+class TopicPlanter {
+ public:
+  explicit TopicPlanter(TopicPlanterConfig config) : config_(config) {}
+
+  Result<std::vector<Topic>> Plant(Corpus& corpus) const;
+
+ private:
+  TopicPlanterConfig config_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_EVAL_TOPICS_H_

@@ -1,0 +1,142 @@
+#include "graph/decompose.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_set>
+
+namespace csr {
+
+namespace {
+
+class Decomposer {
+ public:
+  Decomposer(const DecomposeOptions& options, const ViewSizeFn& view_size,
+             const SupportFn& support)
+      : options_(options), view_size_(view_size), support_(support) {}
+
+  DecompositionResult Run(const Kag& g) {
+    Work(g);
+    return std::move(result_);
+  }
+
+ private:
+  void Work(const Kag& g) {
+    if (g.num_vertices() == 0) return;
+
+    // Components decompose for free.
+    std::vector<std::vector<uint32_t>> components = g.ConnectedComponents();
+    if (components.size() > 1) {
+      for (const auto& comp : components) Work(g.InducedSubgraph(comp));
+      return;
+    }
+
+    TermIdSet labels = g.LabelSet();
+    if (view_size_(labels) <= options_.view_size_threshold) {
+      result_.covered.push_back(std::move(labels));
+      return;
+    }
+    if (g.IsClique() || g.num_vertices() < 3) {
+      result_.dense.push_back(std::move(labels));
+      return;
+    }
+
+    VertexSeparator sep = FindBalancedSeparator(g, options_.separator);
+    if (!sep.valid) {
+      result_.dense.push_back(std::move(labels));
+      return;
+    }
+    result_.stats.cuts++;
+
+    Kag g1 = BuildHalf(g, sep.s1, sep.s0, /*apply_scheme2=*/false, {});
+    Kag g2 = BuildHalf(g, sep.s2, sep.s0, options_.use_scheme2, sep.s2);
+
+    // Progress guard: both halves must be strictly smaller, else we would
+    // recurse forever (can happen when S0 dominates the graph).
+    if (g1.num_vertices() >= g.num_vertices() ||
+        g2.num_vertices() >= g.num_vertices()) {
+      result_.dense.push_back(g.LabelSet());
+      return;
+    }
+    Work(g1);
+    Work(g2);
+  }
+
+  /// Builds the subgraph on `side ∪ s0`. Edges inside `side`, between side
+  /// and s0, are kept. S0-S0 edges are kept unconditionally in G1
+  /// (apply_scheme2 == false); in G2 they are kept only if a high-support
+  /// clique through the edge reaches into `other_side` (scheme 2), or
+  /// whenever the check budget runs out (scheme 1 fallback).
+  Kag BuildHalf(const Kag& g, const std::vector<uint32_t>& side,
+                const std::vector<uint32_t>& s0, bool apply_scheme2,
+                const std::vector<uint32_t>& other_side) {
+    std::vector<uint32_t> vertices = side;
+    vertices.insert(vertices.end(), s0.begin(), s0.end());
+    std::sort(vertices.begin(), vertices.end());
+
+    std::unordered_set<uint32_t> in_s0(s0.begin(), s0.end());
+    std::unordered_set<uint32_t> in_other(other_side.begin(),
+                                          other_side.end());
+
+    std::vector<uint32_t> remap(g.num_vertices(), UINT32_MAX);
+    std::vector<TermId> labels;
+    labels.reserve(vertices.size());
+    for (uint32_t v : vertices) {
+      remap[v] = static_cast<uint32_t>(labels.size());
+      labels.push_back(g.label(v));
+    }
+
+    std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges;
+    for (uint32_t v : vertices) {
+      for (const auto& [u, w] : g.neighbors(v)) {
+        if (u <= v || remap[u] == UINT32_MAX) continue;
+        bool both_s0 = in_s0.count(v) > 0 && in_s0.count(u) > 0;
+        if (both_s0 && apply_scheme2 &&
+            !MustReplicate(g, v, u, in_other)) {
+          result_.stats.edges_dropped_scheme2++;
+          continue;
+        }
+        if (both_s0 && apply_scheme2) result_.stats.edges_replicated++;
+        edges.emplace_back(remap[v], remap[u], w);
+      }
+    }
+    return Kag::FromEdges(std::move(labels), edges);
+  }
+
+  /// Scheme-2 test for S0-S0 edge {v, u}: the edge must be replicated into
+  /// G2 iff some clique {v, u, x...} with x in S2 has support > T_C.
+  /// Because support is antitone in the itemset, checking the triangles
+  /// {v, u, x} suffices: if every triangle is below T_C, every larger
+  /// clique is too.
+  bool MustReplicate(const Kag& g, uint32_t v, uint32_t u,
+                     const std::unordered_set<uint32_t>& other_side) {
+    uint32_t checks = 0;
+    for (const auto& [x, w] : g.neighbors(v)) {
+      if (!other_side.count(x) || !g.HasEdge(u, x)) continue;
+      if (checks >= options_.max_support_checks_per_edge) {
+        return true;  // budget exhausted: conservatively replicate
+      }
+      ++checks;
+      result_.stats.support_checks++;
+      TermIdSet triple = {g.label(v), g.label(u), g.label(x)};
+      std::sort(triple.begin(), triple.end());
+      if (support_(triple) > options_.context_size_threshold) return true;
+    }
+    return false;  // no qualifying triangle: the edge is decomposable
+  }
+
+  const DecomposeOptions& options_;
+  const ViewSizeFn& view_size_;
+  const SupportFn& support_;
+  DecompositionResult result_;
+};
+
+}  // namespace
+
+DecompositionResult DecomposeKag(const Kag& g, const DecomposeOptions& options,
+                                 const ViewSizeFn& view_size,
+                                 const SupportFn& support) {
+  Decomposer d(options, view_size, support);
+  return d.Run(g);
+}
+
+}  // namespace csr

@@ -1,0 +1,68 @@
+#ifndef CSR_GRAPH_DECOMPOSE_H_
+#define CSR_GRAPH_DECOMPOSE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/kag.h"
+#include "graph/separator.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// Estimates ViewSize(V_K) for a candidate keyword set K (typically a
+/// sampling ViewSizeEstimator).
+using ViewSizeFn = std::function<uint64_t(const TermIdSet&)>;
+
+/// Exact support (document count) of a predicate combination; used by
+/// decomposition scheme 2 to decide whether an S0-S0 edge must be
+/// replicated. Typically backed by predicate inverted-list intersection.
+using SupportFn = std::function<uint64_t(const TermIdSet&)>;
+
+struct DecomposeOptions {
+  /// T_V: a subgraph whose view fits in this many tuples stops decomposing.
+  uint64_t view_size_threshold = 4096;
+
+  /// T_C: supports above this force a clique to stay within one subgraph.
+  uint64_t context_size_threshold = 1000;
+
+  SeparatorOptions separator;
+
+  /// Scheme-2 support checks per S0-S0 edge before conservatively falling
+  /// back to replication (scheme 1 is always correct; Section 5.2.1).
+  uint32_t max_support_checks_per_edge = 8;
+
+  /// When false, scheme 1 (always replicate) is used unconditionally.
+  bool use_scheme2 = true;
+};
+
+struct DecompositionStats {
+  uint32_t cuts = 0;
+  uint64_t support_checks = 0;
+  uint32_t edges_dropped_scheme2 = 0;
+  uint32_t edges_replicated = 0;
+};
+
+/// Output of the top-down phase: keyword sets small enough to be covered by
+/// one view each, plus dense remainders (cliques too large for one view)
+/// that the hybrid approach hands to the data-mining-based selector
+/// (Section 5.3).
+struct DecompositionResult {
+  std::vector<TermIdSet> covered;
+  std::vector<TermIdSet> dense;
+  DecompositionStats stats;
+};
+
+/// Recursively decomposes the KAG per Section 5.2: connected components
+/// first, then balanced vertex separators, replicating S0 into both halves
+/// and applying decomposition scheme 1 or 2 to S0-S0 edges. Recursion stops
+/// when a subgraph's view fits under view_size_threshold (-> covered) or
+/// cannot be split further (-> dense).
+DecompositionResult DecomposeKag(const Kag& g, const DecomposeOptions& options,
+                                 const ViewSizeFn& view_size,
+                                 const SupportFn& support);
+
+}  // namespace csr
+
+#endif  // CSR_GRAPH_DECOMPOSE_H_

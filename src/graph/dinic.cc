@@ -1,0 +1,78 @@
+#include "graph/dinic.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace csr {
+
+uint32_t DinicMaxFlow::AddEdge(uint32_t u, uint32_t v, int64_t capacity) {
+  uint32_t id = static_cast<uint32_t>(edges_.size());
+  edges_.push_back({v, capacity, head_[u]});
+  head_[u] = static_cast<int32_t>(id);
+  edges_.push_back({u, 0, head_[v]});
+  head_[v] = static_cast<int32_t>(id + 1);
+  return id;
+}
+
+bool DinicMaxFlow::Bfs(uint32_t s, uint32_t t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<uint32_t> q;
+  q.push(s);
+  level_[s] = 0;
+  while (!q.empty()) {
+    uint32_t v = q.front();
+    q.pop();
+    for (int32_t e = head_[v]; e != -1; e = edges_[e].next) {
+      if (edges_[e].cap > 0 && level_[edges_[e].to] < 0) {
+        level_[edges_[e].to] = level_[v] + 1;
+        q.push(edges_[e].to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+int64_t DinicMaxFlow::Dfs(uint32_t v, uint32_t t, int64_t pushed) {
+  if (v == t) return pushed;
+  for (int32_t& e = it_[v]; e != -1; e = edges_[e].next) {
+    Edge& edge = edges_[e];
+    if (edge.cap > 0 && level_[edge.to] == level_[v] + 1) {
+      int64_t d = Dfs(edge.to, t, std::min(pushed, edge.cap));
+      if (d > 0) {
+        edge.cap -= d;
+        edges_[e ^ 1].cap += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+int64_t DinicMaxFlow::Compute(uint32_t s, uint32_t t) {
+  int64_t flow = 0;
+  while (Bfs(s, t)) {
+    for (size_t i = 0; i < it_.size(); ++i) it_[i] = head_[i];
+    while (int64_t pushed = Dfs(s, t, kInfinity)) flow += pushed;
+  }
+  return flow;
+}
+
+std::vector<bool> DinicMaxFlow::MinCutSourceSide(uint32_t s) const {
+  std::vector<bool> reachable(head_.size(), false);
+  std::queue<uint32_t> q;
+  q.push(s);
+  reachable[s] = true;
+  while (!q.empty()) {
+    uint32_t v = q.front();
+    q.pop();
+    for (int32_t e = head_[v]; e != -1; e = edges_[e].next) {
+      if (edges_[e].cap > 0 && !reachable[edges_[e].to]) {
+        reachable[edges_[e].to] = true;
+        q.push(edges_[e].to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace csr

@@ -1,0 +1,52 @@
+#ifndef CSR_GRAPH_DINIC_H_
+#define CSR_GRAPH_DINIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace csr {
+
+/// Dinic's maximum-flow algorithm on an explicit flow network. Used by the
+/// vertex-separator search: minimum vertex s-t separators reduce to min cut
+/// on the standard vertex-split network (each vertex becomes in->out with
+/// capacity 1; original edges get infinite capacity).
+class DinicMaxFlow {
+ public:
+  static constexpr int64_t kInfinity = INT64_MAX / 4;
+
+  explicit DinicMaxFlow(uint32_t num_nodes)
+      : head_(num_nodes, -1), level_(num_nodes), it_(num_nodes) {}
+
+  /// Adds a directed edge u->v with the given capacity (and the implicit
+  /// residual reverse edge). Returns the edge id of the forward edge.
+  uint32_t AddEdge(uint32_t u, uint32_t v, int64_t capacity);
+
+  /// Computes max flow from s to t. May be called once per instance.
+  int64_t Compute(uint32_t s, uint32_t t);
+
+  /// After Compute: nodes reachable from s in the residual network (the
+  /// source side of a minimum cut).
+  std::vector<bool> MinCutSourceSide(uint32_t s) const;
+
+  /// Residual capacity of edge `id` (as returned by AddEdge).
+  int64_t Residual(uint32_t id) const { return edges_[id].cap; }
+
+ private:
+  struct Edge {
+    uint32_t to;
+    int64_t cap;
+    int32_t next;  // next edge id in adjacency list, -1 terminates
+  };
+
+  bool Bfs(uint32_t s, uint32_t t);
+  int64_t Dfs(uint32_t v, uint32_t t, int64_t pushed);
+
+  std::vector<Edge> edges_;
+  std::vector<int32_t> head_;
+  std::vector<int32_t> level_;
+  std::vector<int32_t> it_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_GRAPH_DINIC_H_

@@ -1,0 +1,142 @@
+#include "graph/kag.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace csr {
+
+Kag Kag::Build(const TransactionDb& db, uint64_t min_vertex_support,
+               uint64_t min_edge_support) {
+  // Pass 1: vertex supports.
+  std::unordered_map<TermId, uint64_t> supports;
+  for (size_t i = 0; i < db.size(); ++i) {
+    for (TermId t : db.transaction(i)) supports[t]++;
+  }
+  std::vector<TermId> labels;
+  for (const auto& [t, c] : supports) {
+    if (c >= min_vertex_support) labels.push_back(t);
+  }
+  std::sort(labels.begin(), labels.end());
+  std::unordered_map<TermId, uint32_t> vertex_of;
+  for (uint32_t v = 0; v < labels.size(); ++v) vertex_of[labels[v]] = v;
+
+  // Pass 2: pairwise co-occurrence counts among qualifying vertices.
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  std::vector<uint32_t> verts;
+  for (size_t i = 0; i < db.size(); ++i) {
+    verts.clear();
+    for (TermId t : db.transaction(i)) {
+      auto it = vertex_of.find(t);
+      if (it != vertex_of.end()) verts.push_back(it->second);
+    }
+    for (size_t a = 0; a < verts.size(); ++a) {
+      for (size_t b = a + 1; b < verts.size(); ++b) {
+        uint32_t u = std::min(verts[a], verts[b]);
+        uint32_t v = std::max(verts[a], verts[b]);
+        pair_counts[(static_cast<uint64_t>(u) << 32) | v]++;
+      }
+    }
+  }
+
+  Kag g;
+  g.labels_ = std::move(labels);
+  g.adj_.resize(g.labels_.size());
+  for (const auto& [key, w] : pair_counts) {
+    if (w < min_edge_support) continue;
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xFFFFFFFFULL);
+    g.AddEdgeInternal(u, v, w);
+  }
+  for (auto& nbrs : g.adj_) std::sort(nbrs.begin(), nbrs.end());
+  return g;
+}
+
+Kag Kag::FromEdges(
+    std::vector<TermId> labels,
+    const std::vector<std::tuple<uint32_t, uint32_t, uint64_t>>& edges) {
+  Kag g;
+  g.labels_ = std::move(labels);
+  g.adj_.resize(g.labels_.size());
+  for (const auto& [u, v, w] : edges) g.AddEdgeInternal(u, v, w);
+  for (auto& nbrs : g.adj_) std::sort(nbrs.begin(), nbrs.end());
+  return g;
+}
+
+void Kag::AddEdgeInternal(uint32_t u, uint32_t v, uint64_t w) {
+  if (u == v) return;
+  adj_[u].emplace_back(v, w);
+  adj_[v].emplace_back(u, w);
+  ++num_edges_;
+}
+
+bool Kag::HasEdge(uint32_t u, uint32_t v) const {
+  const auto& nbrs = adj_[u];
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const std::pair<uint32_t, uint64_t>& e, uint32_t x) {
+        return e.first < x;
+      });
+  return it != nbrs.end() && it->first == v;
+}
+
+TermIdSet Kag::LabelSet() const {
+  TermIdSet out = labels_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> Kag::ConnectedComponents() const {
+  std::vector<std::vector<uint32_t>> components;
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<uint32_t> stack;
+  for (uint32_t start = 0; start < num_vertices(); ++start) {
+    if (seen[start]) continue;
+    components.emplace_back();
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      components.back().push_back(v);
+      for (const auto& [u, w] : adj_[v]) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(components.back().begin(), components.back().end());
+  }
+  return components;
+}
+
+Kag Kag::InducedSubgraph(std::span<const uint32_t> vertices) const {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  std::vector<TermId> labels;
+  labels.reserve(vertices.size());
+  for (uint32_t v : vertices) {
+    remap[v] = static_cast<uint32_t>(labels.size());
+    labels.push_back(labels_[v]);
+  }
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges;
+  for (uint32_t v : vertices) {
+    for (const auto& [u, w] : adj_[v]) {
+      if (u > v) {
+        auto it = remap.find(u);
+        if (it != remap.end()) edges.emplace_back(remap[v], it->second, w);
+      }
+    }
+  }
+  return FromEdges(std::move(labels), edges);
+}
+
+bool Kag::IsClique() const {
+  size_t n = num_vertices();
+  if (n <= 1) return true;
+  return num_edges_ == n * (n - 1) / 2;
+}
+
+}  // namespace csr

@@ -1,0 +1,79 @@
+#ifndef CSR_GRAPH_KAG_H_
+#define CSR_GRAPH_KAG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mining/transactions.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// The Keyword Association Graph of Definition 3: vertices are context
+/// predicates (keywords usable in context specifications), an edge
+/// {u, v} carries the number of documents in which u and v co-occur.
+/// Edges below the support threshold T_C are dropped at construction —
+/// cliques containing them cannot have support >= T_C.
+///
+/// Vertices are compact indices 0..n-1 with a label() mapping back to the
+/// predicate TermId; subgraphs produced by decomposition re-use the same
+/// label space.
+class Kag {
+ public:
+  Kag() = default;
+
+  /// Builds the KAG from the transaction database. Only predicates with
+  /// df >= min_vertex_support become vertices; only edges with
+  /// co-occurrence >= min_edge_support are kept.
+  static Kag Build(const TransactionDb& db, uint64_t min_vertex_support,
+                   uint64_t min_edge_support);
+
+  /// Builds a graph with explicit labels and weighted edges (u, v, w);
+  /// used by the decomposition to assemble subgraphs.
+  static Kag FromEdges(
+      std::vector<TermId> labels,
+      const std::vector<std::tuple<uint32_t, uint32_t, uint64_t>>& edges);
+
+  size_t num_vertices() const { return labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  TermId label(uint32_t v) const { return labels_[v]; }
+  const std::vector<TermId>& labels() const { return labels_; }
+
+  /// Neighbors of v as (neighbor vertex, edge weight) pairs, sorted by
+  /// neighbor.
+  std::span<const std::pair<uint32_t, uint64_t>> neighbors(uint32_t v) const {
+    return adj_[v];
+  }
+
+  uint32_t degree(uint32_t v) const {
+    return static_cast<uint32_t>(adj_[v].size());
+  }
+
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  /// Sorted labels of all vertices (a candidate view keyword set K).
+  TermIdSet LabelSet() const;
+
+  /// Vertex sets of the connected components.
+  std::vector<std::vector<uint32_t>> ConnectedComponents() const;
+
+  /// Induced subgraph on `vertices` (compacted; labels preserved).
+  Kag InducedSubgraph(std::span<const uint32_t> vertices) const;
+
+  /// True when every pair of vertices is adjacent.
+  bool IsClique() const;
+
+ private:
+  void AddEdgeInternal(uint32_t u, uint32_t v, uint64_t w);
+
+  std::vector<TermId> labels_;
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace csr
+
+#endif  // CSR_GRAPH_KAG_H_

@@ -1,0 +1,114 @@
+#include "graph/separator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/dinic.h"
+
+namespace csr {
+
+namespace {
+
+/// Deterministic BFS ordering from vertex 0; the sweep then cuts along a
+/// breadth-first frontier, which tends to align with natural bottlenecks.
+std::vector<uint32_t> BfsOrder(const Kag& g) {
+  std::vector<uint32_t> order;
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (uint32_t start = 0; start < g.num_vertices(); ++start) {
+    if (seen[start]) continue;
+    std::queue<uint32_t> q;
+    q.push(start);
+    seen[start] = true;
+    while (!q.empty()) {
+      uint32_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (const auto& [u, w] : g.neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+/// One sweep position: min vertex separator between {order[0..i)} and
+/// {order[i..n)} on the vertex-split network.
+VertexSeparator SolvePosition(const Kag& g,
+                              const std::vector<uint32_t>& order, size_t i) {
+  uint32_t n = static_cast<uint32_t>(g.num_vertices());
+  // Node layout: v_in = 2v, v_out = 2v + 1, s = 2n, t = 2n + 1.
+  uint32_t s = 2 * n;
+  uint32_t t = 2 * n + 1;
+  DinicMaxFlow flow(2 * n + 2);
+  std::vector<uint32_t> split_edge(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    split_edge[v] = flow.AddEdge(2 * v, 2 * v + 1, 1);
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    for (const auto& [u, w] : g.neighbors(v)) {
+      if (u > v) {
+        flow.AddEdge(2 * v + 1, 2 * u, DinicMaxFlow::kInfinity);
+        flow.AddEdge(2 * u + 1, 2 * v, DinicMaxFlow::kInfinity);
+      }
+    }
+  }
+  for (size_t j = 0; j < order.size(); ++j) {
+    if (j < i) {
+      flow.AddEdge(s, 2 * order[j], DinicMaxFlow::kInfinity);
+    } else {
+      flow.AddEdge(2 * order[j] + 1, t, DinicMaxFlow::kInfinity);
+    }
+  }
+  flow.Compute(s, t);
+  std::vector<bool> reachable = flow.MinCutSourceSide(s);
+
+  VertexSeparator sep;
+  for (uint32_t v = 0; v < n; ++v) {
+    bool in_r = reachable[2 * v];
+    bool out_r = reachable[2 * v + 1];
+    if (in_r && !out_r) {
+      sep.s0.push_back(v);
+    } else if (in_r && out_r) {
+      sep.s1.push_back(v);
+    } else {
+      sep.s2.push_back(v);
+    }
+  }
+  if (sep.s1.empty() || sep.s2.empty() || sep.s0.empty()) {
+    sep.valid = false;
+    return sep;
+  }
+  sep.valid = true;
+  sep.objective =
+      static_cast<double>(sep.s0.size()) /
+      static_cast<double>(std::min(sep.s1.size(), sep.s2.size()) +
+                          sep.s0.size());
+  return sep;
+}
+
+}  // namespace
+
+VertexSeparator FindBalancedSeparator(const Kag& g,
+                                      const SeparatorOptions& options) {
+  VertexSeparator best;
+  uint32_t n = static_cast<uint32_t>(g.num_vertices());
+  if (n < 3) return best;
+
+  std::vector<uint32_t> order = BfsOrder(g);
+  uint32_t positions = n - 1;  // split after order[0..i), i in [1, n-1]
+  uint32_t stride = 1;
+  if (positions > options.max_sweep_positions) {
+    stride = positions / options.max_sweep_positions;
+  }
+  for (uint32_t i = 1; i < n; i += stride) {
+    VertexSeparator cand = SolvePosition(g, order, i);
+    if (!cand.valid) continue;
+    if (!best.valid || cand.objective < best.objective) best = cand;
+  }
+  return best;
+}
+
+}  // namespace csr

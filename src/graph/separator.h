@@ -1,0 +1,44 @@
+#ifndef CSR_GRAPH_SEPARATOR_H_
+#define CSR_GRAPH_SEPARATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/kag.h"
+
+namespace csr {
+
+/// A balanced vertex separator of a connected graph: removing S0 splits the
+/// remaining vertices into non-adjacent S1 and S2 (Definition 4). The
+/// objective follows Formula 5:
+///
+///     |S0| / (min(|S1|, |S2|) + |S0|)
+///
+/// smaller is better (few replicated vertices, balanced halves).
+struct VertexSeparator {
+  std::vector<uint32_t> s1;
+  std::vector<uint32_t> s2;
+  std::vector<uint32_t> s0;
+  double objective = 0.0;
+  bool valid = false;
+};
+
+struct SeparatorOptions {
+  /// Algorithm 2 sweeps every split position i of the vertex ordering; on
+  /// large graphs we probe at most this many evenly spaced positions.
+  uint32_t max_sweep_positions = 64;
+};
+
+/// Algorithm 2: for a BFS ordering v_1..v_n, augment the graph with a
+/// source adjacent to v_1..v_i and a sink adjacent to v_{i+1}..v_n, find
+/// the minimum-capacity s-t vertex separator via max flow on the
+/// vertex-split network, and return the sweep position minimizing the
+/// balance objective. Returns valid == false when the graph has fewer than
+/// 3 vertices or no balanced cut exists (e.g. cliques, where every
+/// "separator" swallows one side entirely).
+VertexSeparator FindBalancedSeparator(const Kag& g,
+                                      const SeparatorOptions& options = {});
+
+}  // namespace csr
+
+#endif  // CSR_GRAPH_SEPARATOR_H_

@@ -1,0 +1,44 @@
+#ifndef CSR_INDEX_COST_MODEL_H_
+#define CSR_INDEX_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace csr {
+
+/// Counters matching the cost model of Section 3.2.1 of the paper:
+///
+///   cost(L_i ∩ L_j) = M0 * (N_i^o + N_j^o)
+///
+/// where M0 is the skip-segment size and N^o counts segments whose ranges
+/// overlap a segment of the other list. We instrument the actual execution:
+/// `segments_touched` counts segments entered (each costs up to M0 entries),
+/// `entries_scanned` counts postings actually visited, and
+/// `aggregation_entries` counts postings consumed by γ aggregation
+/// operators (cost(γ(P)) = |∩ L_mi|).
+struct CostCounters {
+  uint64_t entries_scanned = 0;
+  uint64_t segments_touched = 0;
+  uint64_t skips_taken = 0;
+  uint64_t aggregation_entries = 0;
+  uint64_t view_tuples_scanned = 0;
+
+  void Reset() { *this = CostCounters(); }
+
+  CostCounters& operator+=(const CostCounters& o) {
+    entries_scanned += o.entries_scanned;
+    segments_touched += o.segments_touched;
+    skips_taken += o.skips_taken;
+    aggregation_entries += o.aggregation_entries;
+    view_tuples_scanned += o.view_tuples_scanned;
+    return *this;
+  }
+
+  /// The paper's model cost for intersections: M0 * segments touched.
+  uint64_t ModelIntersectionCost(uint32_t m0) const {
+    return segments_touched * m0;
+  }
+};
+
+}  // namespace csr
+
+#endif  // CSR_INDEX_COST_MODEL_H_

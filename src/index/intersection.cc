@@ -1,0 +1,112 @@
+#include "index/intersection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace csr {
+
+ConjunctionIterator::ConjunctionIterator(
+    std::span<const PostingList* const> lists, CostCounters* cost) {
+  if (lists.empty()) {
+    at_end_ = true;
+    return;
+  }
+  for (const PostingList* l : lists) {
+    if (l == nullptr || l->empty()) {
+      at_end_ = true;
+      return;
+    }
+  }
+  // Sort list order by length ascending so the shortest list drives.
+  std::vector<size_t> order(lists.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return lists[a]->size() < lists[b]->size();
+  });
+  order_inverse_.resize(lists.size());
+  iters_.reserve(lists.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    iters_.push_back(lists[order[k]]->MakeIterator(cost));
+    order_inverse_[order[k]] = k;
+  }
+  FindNextMatch();
+}
+
+void ConjunctionIterator::FindNextMatch() {
+  // Leapfrog: propose the driver's doc, skip every other list to it; on a
+  // miss, re-propose the larger doc.
+  if (first_) {
+    first_ = false;
+  } else {
+    iters_[0].Next();
+  }
+  while (true) {
+    if (iters_[0].AtEnd()) {
+      at_end_ = true;
+      return;
+    }
+    DocId candidate = iters_[0].doc();
+    bool all_match = true;
+    for (size_t k = 1; k < iters_.size(); ++k) {
+      iters_[k].SkipTo(candidate);
+      if (iters_[k].AtEnd()) {
+        at_end_ = true;
+        return;
+      }
+      if (iters_[k].doc() != candidate) {
+        // Re-align the driver to the larger doc and restart.
+        iters_[0].SkipTo(iters_[k].doc());
+        all_match = false;
+        break;
+      }
+    }
+    if (all_match) {
+      current_doc_ = candidate;
+      return;
+    }
+  }
+}
+
+void ConjunctionIterator::Next() { FindNextMatch(); }
+
+std::vector<DocId> IntersectAll(std::span<const PostingList* const> lists,
+                                CostCounters* cost) {
+  std::vector<DocId> out;
+  for (ConjunctionIterator it(lists, cost); !it.AtEnd(); it.Next()) {
+    out.push_back(it.doc());
+  }
+  return out;
+}
+
+uint64_t CountIntersection(std::span<const PostingList* const> lists,
+                           CostCounters* cost) {
+  uint64_t n = 0;
+  for (ConjunctionIterator it(lists, cost); !it.AtEnd(); it.Next()) ++n;
+  return n;
+}
+
+AggregationResult IntersectAndAggregate(
+    std::span<const PostingList* const> lists,
+    std::span<const uint32_t> doc_lengths, CostCounters* cost) {
+  AggregationResult agg;
+  for (ConjunctionIterator it(lists, cost); !it.AtEnd(); it.Next()) {
+    agg.count++;
+    agg.sum_len += doc_lengths[it.doc()];
+    if (cost != nullptr) cost->aggregation_entries++;
+  }
+  return agg;
+}
+
+uint64_t CountContaining(std::span<const DocId> sorted_docs,
+                         const PostingList& list, CostCounters* cost) {
+  uint64_t n = 0;
+  auto it = list.MakeIterator(cost);
+  for (DocId d : sorted_docs) {
+    it.SkipTo(d);
+    if (it.AtEnd()) break;
+    if (it.doc() == d) ++n;
+  }
+  return n;
+}
+
+}  // namespace csr

@@ -1,0 +1,86 @@
+#ifndef CSR_INDEX_INTERSECTION_H_
+#define CSR_INDEX_INTERSECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/cost_model.h"
+#include "index/posting_list.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// k-way conjunction over posting lists using skip-based leapfrog joins.
+/// Lists are visited most-selective (shortest) first, so the driver list
+/// bounds the number of probes — the optimization the paper relies on for
+/// conventional query evaluation (Section 3.2.2).
+///
+/// Usage:
+///   ConjunctionIterator it(lists, &cost);
+///   for (; !it.AtEnd(); it.Next()) {
+///     DocId d = it.doc();
+///     uint32_t tf0 = it.tf(0);   // tf in lists[0] (caller order)
+///   }
+class ConjunctionIterator {
+ public:
+  /// `lists` must be non-empty; null or empty lists yield an immediately
+  /// exhausted iterator.
+  ConjunctionIterator(std::span<const PostingList* const> lists,
+                      CostCounters* cost = nullptr);
+
+  bool AtEnd() const { return at_end_; }
+  DocId doc() const { return current_doc_; }
+
+  /// tf of the current doc in the i-th list (in the caller's list order).
+  uint32_t tf(size_t i) const { return iters_[order_inverse_[i]].tf(); }
+
+  size_t num_lists() const { return iters_.size(); }
+
+  /// Advances to the next document present in every list.
+  void Next();
+
+ private:
+  void FindNextMatch();
+
+  std::vector<PostingList::Iterator> iters_;  // sorted by list length
+  std::vector<size_t> order_inverse_;         // caller index -> iters_ index
+  DocId current_doc_ = kInvalidDocId;
+  bool at_end_ = false;
+  bool first_ = true;
+};
+
+/// Materializes the docids of the intersection of all lists.
+std::vector<DocId> IntersectAll(std::span<const PostingList* const> lists,
+                                CostCounters* cost = nullptr);
+
+/// Returns |∩ lists| without materializing the result.
+uint64_t CountIntersection(std::span<const PostingList* const> lists,
+                           CostCounters* cost = nullptr);
+
+/// Result of the combined "intersection with aggregation" operator (∩γ in
+/// Figure 3): the context cardinality and the SUM over a per-document
+/// parameter (document length) of the intersection.
+struct AggregationResult {
+  uint64_t count = 0;     // |D_P| : γ_count
+  uint64_t sum_len = 0;   // len(D_P) : γ_sum over doc lengths
+};
+
+/// Computes γ_count and γ_sum(len) over the intersection of `lists`.
+/// `doc_lengths[d]` is the length of document d. The aggregation scans every
+/// element of the intersection (cost(γ(P)) = |∩ L_mi|), which is charged to
+/// cost->aggregation_entries.
+AggregationResult IntersectAndAggregate(
+    std::span<const PostingList* const> lists,
+    std::span<const uint32_t> doc_lengths, CostCounters* cost = nullptr);
+
+/// Counts how many docids in `sorted_docs` appear in `list` (merge with
+/// skips). Used to compute df(w, D_P) against a materialized context.
+uint64_t CountContaining(std::span<const DocId> sorted_docs,
+                         const PostingList& list,
+                         CostCounters* cost = nullptr);
+
+}  // namespace csr
+
+#endif  // CSR_INDEX_INTERSECTION_H_

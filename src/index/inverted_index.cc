@@ -1,0 +1,51 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace csr {
+
+uint64_t InvertedIndex::MemoryBytes() const {
+  uint64_t bytes = doc_lengths_.size() * sizeof(uint32_t);
+  for (const PostingList& l : lists_) bytes += l.MemoryBytes();
+  return bytes;
+}
+
+Status IndexBuilder::AddDocument(DocId doc, std::span<const TermId> tokens) {
+  if (doc != next_doc_) {
+    return Status::InvalidArgument(
+        "documents must be added in contiguous increasing docid order");
+  }
+  ++next_doc_;
+  doc_lengths_.push_back(static_cast<uint32_t>(tokens.size()));
+  total_length_ += tokens.size();
+
+  scratch_.assign(tokens.begin(), tokens.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  for (size_t i = 0; i < scratch_.size();) {
+    TermId t = scratch_[i];
+    size_t j = i;
+    while (j < scratch_.size() && scratch_[j] == t) ++j;
+    uint32_t tf = static_cast<uint32_t>(j - i);
+    if (t >= lists_.size()) {
+      lists_.resize(t + 1, PostingList(segment_size_));
+    }
+    lists_[t].Append(doc, tf);
+    i = j;
+  }
+  return Status::OK();
+}
+
+InvertedIndex IndexBuilder::Build() {
+  InvertedIndex index;
+  for (PostingList& l : lists_) l.FinishBuild();
+  index.lists_ = std::move(lists_);
+  index.doc_lengths_ = std::move(doc_lengths_);
+  index.total_length_ = total_length_;
+  lists_.clear();
+  doc_lengths_.clear();
+  total_length_ = 0;
+  next_doc_ = 0;
+  return index;
+}
+
+}  // namespace csr

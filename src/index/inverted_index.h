@@ -1,0 +1,103 @@
+#ifndef CSR_INDEX_INVERTED_INDEX_H_
+#define CSR_INDEX_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/posting_list.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// An immutable inverted index over one field: TermId -> PostingList, plus
+/// the per-document and whole-collection statistics that conventional
+/// ranking needs (Table 1): |D|, len(D), df(w, D), tc(w, D).
+///
+/// The engine maintains two of these: a content index (keywords in
+/// title/abstract) and a predicate index (ontology annotations used in
+/// context specifications).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  /// Returns the posting list for `t`, or nullptr if the term has no
+  /// postings (unknown id or empty list).
+  const PostingList* list(TermId t) const {
+    if (t >= lists_.size() || lists_[t].empty()) return nullptr;
+    return &lists_[t];
+  }
+
+  size_t num_terms() const { return lists_.size(); }
+  uint64_t num_docs() const { return doc_lengths_.size(); }
+  uint64_t total_length() const { return total_length_; }
+
+  /// Document frequency df(w, D): number of documents containing w.
+  uint64_t df(TermId t) const {
+    return t < lists_.size() ? lists_[t].size() : 0;
+  }
+
+  /// Collection term count tc(w, D): total occurrences of w in D.
+  uint64_t tc(TermId t) const {
+    return t < lists_.size() ? lists_[t].total_tf() : 0;
+  }
+
+  /// Length (token count) of document d.
+  uint32_t doc_length(DocId d) const { return doc_lengths_[d]; }
+  std::span<const uint32_t> doc_lengths() const { return doc_lengths_; }
+
+  /// Average document length over the whole collection.
+  double avg_doc_length() const {
+    return doc_lengths_.empty()
+               ? 0.0
+               : static_cast<double>(total_length_) / doc_lengths_.size();
+  }
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  friend class IndexBuilder;
+
+  std::vector<PostingList> lists_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+};
+
+/// Accumulates documents (in increasing, contiguous DocId order starting at
+/// 0) and produces an immutable InvertedIndex.
+class IndexBuilder {
+ public:
+  explicit IndexBuilder(
+      uint32_t segment_size = PostingList::kDefaultSegmentSize)
+      : segment_size_(segment_size) {}
+
+  /// Adds the tokens of document `doc`. Tokens may repeat; repetitions
+  /// become term frequency. Returns InvalidArgument if `doc` is not exactly
+  /// the next expected docid.
+  Status AddDocument(DocId doc, std::span<const TermId> tokens);
+
+  /// Finalizes and returns the index. The builder is left empty.
+  InvertedIndex Build();
+
+  uint64_t num_docs() const { return next_doc_; }
+
+ private:
+  uint32_t segment_size_;
+  DocId next_doc_ = 0;
+  std::vector<PostingList> lists_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+  // Scratch reused across AddDocument calls.
+  std::vector<TermId> scratch_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_INDEX_INVERTED_INDEX_H_

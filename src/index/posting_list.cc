@@ -1,0 +1,70 @@
+#include "index/posting_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace csr {
+
+void PostingList::Append(DocId doc, uint32_t tf) {
+  assert(postings_.empty() || postings_.back().doc < doc);
+  postings_.push_back(Posting{doc, tf});
+  total_tf_ += tf;
+  if (tf > max_tf_) max_tf_ = tf;
+  finished_ = false;
+}
+
+void PostingList::FinishBuild() {
+  if (finished_) return;
+  skip_.clear();
+  size_t num_segments = (postings_.size() + segment_size_ - 1) / segment_size_;
+  skip_.reserve(num_segments);
+  for (size_t k = 0; k < num_segments; ++k) {
+    size_t last = std::min(postings_.size(), (k + 1) * segment_size_) - 1;
+    skip_.push_back(postings_[last].doc);
+  }
+  finished_ = true;
+}
+
+void PostingList::Iterator::Next() {
+  size_t old_segment = pos_ / list_->segment_size_;
+  ++pos_;
+  if (cost_ != nullptr) {
+    cost_->entries_scanned++;
+    if (!AtEnd() && pos_ / list_->segment_size_ != old_segment) {
+      cost_->segments_touched++;
+    }
+  }
+}
+
+void PostingList::Iterator::SkipTo(DocId target) {
+  const auto& postings = list_->postings_;
+  const auto& skip = list_->skip_;
+  const uint32_t m0 = list_->segment_size_;
+  if (AtEnd()) return;
+  if (postings[pos_].doc >= target) return;
+
+  size_t segment = pos_ / m0;
+  if (skip[segment] < target) {
+    // Current segment cannot contain the target: binary search the skip
+    // table for the first segment whose max docid >= target.
+    auto it = std::lower_bound(skip.begin() + segment + 1, skip.end(), target);
+    if (it == skip.end()) {
+      pos_ = postings.size();
+      if (cost_ != nullptr) cost_->skips_taken++;
+      return;
+    }
+    size_t new_segment = static_cast<size_t>(it - skip.begin());
+    pos_ = new_segment * m0;
+    if (cost_ != nullptr) {
+      cost_->skips_taken++;
+      cost_->segments_touched++;
+    }
+  }
+  // Linear scan within the segment.
+  while (pos_ < postings.size() && postings[pos_].doc < target) {
+    ++pos_;
+    if (cost_ != nullptr) cost_->entries_scanned++;
+  }
+}
+
+}  // namespace csr

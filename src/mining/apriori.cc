@@ -1,0 +1,134 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace csr {
+
+namespace {
+
+using ItemsetCounts =
+    std::unordered_map<TermIdSet, uint64_t, TermIdSetHash>;
+using ItemsetSet = std::unordered_set<TermIdSet, TermIdSetHash>;
+
+/// Candidate generation: join frequent (k-1)-itemsets sharing the first
+/// k-2 items, then prune candidates with an infrequent (k-1)-subset.
+std::vector<TermIdSet> GenerateCandidates(
+    const std::vector<TermIdSet>& frequent_prev, const ItemsetSet& prev_set) {
+  std::vector<TermIdSet> candidates;
+  size_t n = frequent_prev.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const TermIdSet& a = frequent_prev[i];
+      const TermIdSet& b = frequent_prev[j];
+      // Both sorted; require equal prefixes of length k-2.
+      bool join = true;
+      for (size_t p = 0; p + 1 < a.size(); ++p) {
+        if (a[p] != b[p]) {
+          join = false;
+          break;
+        }
+      }
+      if (!join) continue;
+      TermIdSet cand = a;
+      cand.push_back(std::max(a.back(), b.back()));
+      cand[cand.size() - 2] = std::min(a.back(), b.back());
+      // Downward-closure prune: every (k-1)-subset must be frequent.
+      bool prune = false;
+      TermIdSet sub(cand.begin(), cand.end() - 1);
+      for (size_t drop = 0; drop < cand.size(); ++drop) {
+        sub.clear();
+        for (size_t p = 0; p < cand.size(); ++p) {
+          if (p != drop) sub.push_back(cand[p]);
+        }
+        if (!prev_set.count(sub)) {
+          prune = true;
+          break;
+        }
+      }
+      if (!prune) candidates.push_back(std::move(cand));
+    }
+  }
+  return candidates;
+}
+
+/// Enumerates k-combinations of `items` and increments matching candidates.
+void CountSubsets(const TermIdSet& items, size_t k, ItemsetCounts& counts) {
+  if (items.size() < k) return;
+  TermIdSet combo(k);
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    for (size_t i = 0; i < k; ++i) combo[i] = items[idx[i]];
+    auto it = counts.find(combo);
+    if (it != counts.end()) it->second++;
+    // Advance to the next k-combination: bump the rightmost index that has
+    // room, reset the tail.
+    size_t pos = k;
+    while (pos > 0 && idx[pos - 1] == items.size() - k + (pos - 1)) --pos;
+    if (pos == 0) return;
+    --pos;
+    ++idx[pos];
+    for (size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineApriori(const TransactionDb& db,
+                                         const MiningOptions& options) {
+  std::vector<FrequentItemset> result;
+
+  // Level 1.
+  std::unordered_map<TermId, uint64_t> item_counts;
+  for (size_t i = 0; i < db.size(); ++i) {
+    for (TermId t : db.transaction(i)) item_counts[t]++;
+  }
+  std::unordered_set<TermId> frequent_items;
+  std::vector<TermIdSet> level;  // frequent itemsets of the current size
+  for (const auto& [t, c] : item_counts) {
+    if (c >= options.min_support) {
+      frequent_items.insert(t);
+      result.push_back({{t}, c});
+      level.push_back({t});
+    }
+  }
+  std::sort(level.begin(), level.end());
+
+  for (uint32_t k = 2; k <= options.max_itemset_size && level.size() > 1;
+       ++k) {
+    ItemsetSet prev_set(level.begin(), level.end());
+    std::vector<TermIdSet> candidates = GenerateCandidates(level, prev_set);
+    if (candidates.empty()) break;
+    ItemsetCounts counts;
+    counts.reserve(candidates.size() * 2);
+    for (auto& c : candidates) counts.emplace(std::move(c), 0);
+
+    TermIdSet filtered;
+    for (size_t i = 0; i < db.size(); ++i) {
+      auto t = db.transaction(i);
+      filtered.clear();
+      for (TermId item : t) {
+        if (frequent_items.count(item)) filtered.push_back(item);
+      }
+      if (filtered.size() >= k) CountSubsets(filtered, k, counts);
+    }
+
+    level.clear();
+    for (const auto& [items, c] : counts) {
+      if (c >= options.min_support) {
+        result.push_back({items, c});
+        level.push_back(items);
+      }
+    }
+    std::sort(level.begin(), level.end());
+  }
+
+  SortItemsets(result);
+  return result;
+}
+
+}  // namespace csr

@@ -1,0 +1,73 @@
+#include "mining/eclat.h"
+
+#include <algorithm>
+#include <map>
+
+namespace csr {
+
+namespace {
+
+using TidList = std::vector<uint32_t>;
+
+struct Prefixed {
+  TermId item;
+  TidList tids;
+};
+
+void Intersect(const TidList& a, const TidList& b, TidList& out) {
+  out.clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+}
+
+/// DFS over the equivalence class of `prefix`: `klass[i]` are the items
+/// (with tid-lists) that can extend the prefix.
+void Mine(const std::vector<Prefixed>& klass, TermIdSet& prefix,
+          const MiningOptions& options, std::vector<FrequentItemset>& out) {
+  for (size_t i = 0; i < klass.size(); ++i) {
+    prefix.push_back(klass[i].item);
+    TermIdSet sorted = prefix;
+    std::sort(sorted.begin(), sorted.end());
+    out.push_back({std::move(sorted), klass[i].tids.size()});
+
+    if (prefix.size() < options.max_itemset_size) {
+      std::vector<Prefixed> next;
+      TidList buf;
+      for (size_t j = i + 1; j < klass.size(); ++j) {
+        Intersect(klass[i].tids, klass[j].tids, buf);
+        if (buf.size() >= options.min_support) {
+          next.push_back({klass[j].item, buf});
+        }
+      }
+      if (!next.empty()) Mine(next, prefix, options, out);
+    }
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineEclat(const TransactionDb& db,
+                                       const MiningOptions& options) {
+  // Vertical layout: item -> sorted tid-list. std::map keeps items ordered
+  // so the DFS explores a canonical order.
+  std::map<TermId, TidList> vertical;
+  for (uint32_t tid = 0; tid < db.size(); ++tid) {
+    for (TermId item : db.transaction(tid)) {
+      vertical[item].push_back(tid);
+    }
+  }
+  std::vector<Prefixed> root;
+  for (auto& [item, tids] : vertical) {
+    if (tids.size() >= options.min_support) {
+      root.push_back({item, std::move(tids)});
+    }
+  }
+  std::vector<FrequentItemset> out;
+  TermIdSet prefix;
+  Mine(root, prefix, options, out);
+  SortItemsets(out);
+  return out;
+}
+
+}  // namespace csr

@@ -1,0 +1,21 @@
+#ifndef CSR_MINING_ECLAT_H_
+#define CSR_MINING_ECLAT_H_
+
+#include <vector>
+
+#include "mining/transactions.h"
+
+namespace csr {
+
+/// Eclat (Zaki): frequent-itemset mining over the vertical layout. Each
+/// item carries its tid-list (the ids of transactions containing it — in
+/// the paper's setting, exactly the inverted list of the predicate);
+/// supports of extensions are computed by tid-list intersection in a
+/// depth-first equivalence-class traversal. Produces exactly the same
+/// itemsets and supports as MineApriori / MineFpGrowth.
+std::vector<FrequentItemset> MineEclat(const TransactionDb& db,
+                                       const MiningOptions& options);
+
+}  // namespace csr
+
+#endif  // CSR_MINING_ECLAT_H_

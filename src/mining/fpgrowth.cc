@@ -1,0 +1,149 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace csr {
+
+namespace {
+
+/// A weighted transaction: items plus a multiplicity (conditional pattern
+/// bases carry path counts).
+struct WeightedTxn {
+  std::vector<TermId> items;  // ordered by the current tree's item order
+  uint64_t weight = 1;
+};
+
+/// An FP-tree over a (possibly weighted) transaction set.
+class FpTree {
+ public:
+  struct Node {
+    TermId item;
+    uint64_t count = 0;
+    int32_t parent = -1;
+    int32_t next_same = -1;               // header chain
+    std::vector<std::pair<TermId, int32_t>> children;
+  };
+
+  /// Builds the tree. Items below min_support are dropped; surviving items
+  /// are ordered by descending frequency (ties by id) within each
+  /// transaction before insertion.
+  FpTree(const std::vector<WeightedTxn>& txns, uint64_t min_support) {
+    std::unordered_map<TermId, uint64_t> freq;
+    for (const auto& t : txns) {
+      for (TermId i : t.items) freq[i] += t.weight;
+    }
+    for (const auto& [item, c] : freq) {
+      if (c >= min_support) item_counts_.emplace_back(item, c);
+    }
+    // Ascending frequency: mining iterates least-frequent first.
+    std::sort(item_counts_.begin(), item_counts_.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    std::unordered_map<TermId, uint32_t> rank;  // higher rank = rarer
+    for (uint32_t r = 0; r < item_counts_.size(); ++r) {
+      rank[item_counts_[r].first] = r;
+      heads_[item_counts_[r].first] = -1;
+    }
+
+    nodes_.push_back(Node{kInvalidTermId, 0, -1, -1, {}});  // root
+    std::vector<TermId> filtered;
+    for (const auto& t : txns) {
+      filtered.clear();
+      for (TermId i : t.items) {
+        if (rank.count(i)) filtered.push_back(i);
+      }
+      // Descending frequency along the path (most frequent nearest root).
+      std::sort(filtered.begin(), filtered.end(), [&](TermId a, TermId b) {
+        return rank[a] > rank[b];
+      });
+      Insert(filtered, t.weight);
+    }
+  }
+
+  /// Items in ascending-frequency order with their total supports.
+  const std::vector<std::pair<TermId, uint64_t>>& item_counts() const {
+    return item_counts_;
+  }
+
+  /// Conditional pattern base of `item`: for every node of the item, the
+  /// path to the root with the node's count.
+  std::vector<WeightedTxn> ConditionalBase(TermId item) const {
+    std::vector<WeightedTxn> base;
+    for (int32_t n = heads_.at(item); n != -1; n = nodes_[n].next_same) {
+      WeightedTxn t;
+      t.weight = nodes_[n].count;
+      for (int32_t p = nodes_[n].parent; p > 0; p = nodes_[p].parent) {
+        t.items.push_back(nodes_[p].item);
+      }
+      if (!t.items.empty()) base.push_back(std::move(t));
+    }
+    return base;
+  }
+
+ private:
+  void Insert(const std::vector<TermId>& path, uint64_t weight) {
+    int32_t cur = 0;
+    for (TermId item : path) {
+      int32_t child = -1;
+      for (const auto& [ci, cn] : nodes_[cur].children) {
+        if (ci == item) {
+          child = cn;
+          break;
+        }
+      }
+      if (child == -1) {
+        child = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back(Node{item, 0, cur, heads_[item], {}});
+        heads_[item] = child;
+        nodes_[cur].children.emplace_back(item, child);
+      }
+      nodes_[child].count += weight;
+      cur = child;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<TermId, int32_t> heads_;
+  std::vector<std::pair<TermId, uint64_t>> item_counts_;
+};
+
+void Mine(const FpTree& tree, const MiningOptions& options,
+          TermIdSet& suffix, std::vector<FrequentItemset>& out) {
+  for (const auto& [item, support] : tree.item_counts()) {
+    suffix.push_back(item);
+    TermIdSet sorted = suffix;
+    std::sort(sorted.begin(), sorted.end());
+    out.push_back({std::move(sorted), support});
+    if (suffix.size() < options.max_itemset_size) {
+      std::vector<WeightedTxn> base = tree.ConditionalBase(item);
+      if (!base.empty()) {
+        FpTree cond(base, options.min_support);
+        if (!cond.item_counts().empty()) Mine(cond, options, suffix, out);
+      }
+    }
+    suffix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFpGrowth(const TransactionDb& db,
+                                          const MiningOptions& options) {
+  std::vector<WeightedTxn> txns;
+  txns.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    auto t = db.transaction(i);
+    txns.push_back({std::vector<TermId>(t.begin(), t.end()), 1});
+  }
+  FpTree tree(txns, options.min_support);
+  std::vector<FrequentItemset> out;
+  TermIdSet suffix;
+  Mine(tree, options, suffix, out);
+  SortItemsets(out);
+  return out;
+}
+
+}  // namespace csr

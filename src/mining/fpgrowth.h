@@ -1,0 +1,20 @@
+#ifndef CSR_MINING_FPGROWTH_H_
+#define CSR_MINING_FPGROWTH_H_
+
+#include <vector>
+
+#include "mining/transactions.h"
+
+namespace csr {
+
+/// FP-Growth (Han et al.): frequent-itemset mining without candidate
+/// generation. Transactions are compressed into an FP-tree (items ordered
+/// by descending frequency share prefixes); patterns are mined recursively
+/// from conditional trees. Produces exactly the same itemsets and supports
+/// as MineApriori / MineEclat.
+std::vector<FrequentItemset> MineFpGrowth(const TransactionDb& db,
+                                          const MiningOptions& options);
+
+}  // namespace csr
+
+#endif  // CSR_MINING_FPGROWTH_H_

@@ -1,0 +1,81 @@
+#include "mining/transactions.h"
+
+#include <algorithm>
+
+namespace csr {
+
+TransactionDb TransactionDb::FromCorpus(const Corpus& corpus) {
+  TransactionDb db;
+  db.transactions_.reserve(corpus.docs.size());
+  for (const Document& d : corpus.docs) {
+    db.transactions_.push_back(d.annotations);  // already sorted + unique
+  }
+  return db;
+}
+
+TransactionDb TransactionDb::FromVectors(
+    std::vector<TermIdSet> transactions) {
+  TransactionDb db;
+  db.transactions_ = std::move(transactions);
+  return db;
+}
+
+uint64_t TransactionDb::Support(std::span<const TermId> itemset) const {
+  uint64_t n = 0;
+  for (const TermIdSet& t : transactions_) {
+    if (std::includes(t.begin(), t.end(), itemset.begin(), itemset.end())) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TransactionDb TransactionDb::Project(std::span<const TermId> items) const {
+  TransactionDb out;
+  TermIdSet buf;
+  for (const TermIdSet& t : transactions_) {
+    buf.clear();
+    std::set_intersection(t.begin(), t.end(), items.begin(), items.end(),
+                          std::back_inserter(buf));
+    if (!buf.empty()) out.transactions_.push_back(buf);
+  }
+  return out;
+}
+
+void SortItemsets(std::vector<FrequentItemset>& itemsets) {
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+std::vector<FrequentItemset> FilterMaximal(
+    std::vector<FrequentItemset> itemsets) {
+  // Sort by size descending; an itemset can only be contained in a larger
+  // (or equal-size distinct — impossible) one, so each candidate needs
+  // checking only against already-kept sets.
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items.size() > b.items.size();
+            });
+  std::vector<FrequentItemset> kept;
+  for (auto& cand : itemsets) {
+    bool subsumed = false;
+    for (const auto& k : kept) {
+      if (k.items.size() <= cand.items.size()) continue;
+      if (std::includes(k.items.begin(), k.items.end(), cand.items.begin(),
+                        cand.items.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(std::move(cand));
+  }
+  SortItemsets(kept);
+  return kept;
+}
+
+}  // namespace csr

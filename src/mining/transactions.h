@@ -1,0 +1,78 @@
+#ifndef CSR_MINING_TRANSACTIONS_H_
+#define CSR_MINING_TRANSACTIONS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// A transaction database for frequent-itemset mining. In the paper's
+/// reduction (Section 5), an item is a context predicate (MeSH term) and a
+/// transaction is a document's annotation set; itemsets with support >= T_C
+/// are the context specifications that views must cover.
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// One transaction per document: its (closed) annotation set.
+  static TransactionDb FromCorpus(const Corpus& corpus);
+
+  /// Direct construction; each transaction must be sorted and deduplicated.
+  static TransactionDb FromVectors(std::vector<TermIdSet> transactions);
+
+  size_t size() const { return transactions_.size(); }
+
+  std::span<const TermId> transaction(size_t i) const {
+    return transactions_[i];
+  }
+
+  /// Exact support of an itemset (sorted) by a full scan. O(n log n) per
+  /// call; used by tests and by the selection algorithms when they need an
+  /// accurate support for a specific combination.
+  uint64_t Support(std::span<const TermId> itemset) const;
+
+  /// Projects the database onto `items` (sorted): every transaction is
+  /// intersected with the item set and empty transactions are dropped.
+  /// Used by the hybrid selector to mine inside a dense subgraph only.
+  TransactionDb Project(std::span<const TermId> items) const;
+
+ private:
+  std::vector<TermIdSet> transactions_;
+};
+
+/// A frequent itemset and its support.
+struct FrequentItemset {
+  TermIdSet items;  // sorted
+  uint64_t support = 0;
+
+  bool operator==(const FrequentItemset& o) const {
+    return items == o.items && support == o.support;
+  }
+};
+
+/// Shared options for the mining algorithms.
+struct MiningOptions {
+  /// Minimum support (absolute document count), the paper's T_C.
+  uint64_t min_support = 1;
+
+  /// Upper bound on itemset size (the paper caps combinations at ~5-8
+  /// keywords, Section 5.1).
+  uint32_t max_itemset_size = 8;
+};
+
+/// Sorts itemsets canonically (by size, then lexicographically) — handy for
+/// comparing the outputs of different algorithms.
+void SortItemsets(std::vector<FrequentItemset>& itemsets);
+
+/// Keeps only maximal itemsets: those not a subset of another itemset in
+/// the input (heuristic 1 of Algorithm 1).
+std::vector<FrequentItemset> FilterMaximal(
+    std::vector<FrequentItemset> itemsets);
+
+}  // namespace csr
+
+#endif  // CSR_MINING_TRANSACTIONS_H_

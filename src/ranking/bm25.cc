@@ -1,0 +1,28 @@
+#include "ranking/bm25.h"
+
+#include <cmath>
+
+namespace csr {
+
+double Bm25::Score(const QueryStats& q, const DocStats& d,
+                   const CollectionStats& c) const {
+  double avgdl = c.avgdl();
+  if (avgdl <= 0.0) return 0.0;
+  double score = 0.0;
+  for (size_t i = 0; i < q.keywords.size(); ++i) {
+    uint32_t tf = d.tf[i];
+    uint64_t df = c.df[i];
+    if (tf == 0 || df == 0) continue;
+    double n = static_cast<double>(c.cardinality);
+    double idf = std::log(
+        1.0 + (n - static_cast<double>(df) + 0.5) /
+                  (static_cast<double>(df) + 0.5));
+    double tfd = static_cast<double>(tf);
+    double denom =
+        tfd + k1_ * (1.0 - b_ + b_ * static_cast<double>(d.length) / avgdl);
+    score += idf * (tfd * (k1_ + 1.0) / denom) * static_cast<double>(q.tq[i]);
+  }
+  return score;
+}
+
+}  // namespace csr

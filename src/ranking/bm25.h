@@ -1,0 +1,31 @@
+#ifndef CSR_RANKING_BM25_H_
+#define CSR_RANKING_BM25_H_
+
+#include "ranking/ranking_function.h"
+
+namespace csr {
+
+/// Okapi BM25 (probabilistic relevance model). Included to show that the
+/// framework of Section 2.2 is model-agnostic: BM25 consumes the same
+/// (S_q, S_d, S_c) triple as TF-IDF, so it becomes context-sensitive by
+/// feeding it context statistics.
+///
+///   idf(w) = ln(1 + (|C| - df + 0.5) / (df + 0.5))
+///   score  = Σ idf(w) · tf·(k1+1) / (tf + k1·(1 - b + b·len/avgdl)) · tq
+class Bm25 : public RankingFunction {
+ public:
+  Bm25(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+
+  std::string_view name() const override { return "bm25"; }
+
+  double Score(const QueryStats& q, const DocStats& d,
+               const CollectionStats& c) const override;
+
+ private:
+  double k1_;
+  double b_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_RANKING_BM25_H_

@@ -1,0 +1,37 @@
+#ifndef CSR_RANKING_DIRICHLET_LM_H_
+#define CSR_RANKING_DIRICHLET_LM_H_
+
+#include "ranking/ranking_function.h"
+
+namespace csr {
+
+/// Query-likelihood language model with Dirichlet smoothing. Demonstrates a
+/// ranking function that needs the tc(w, C) collection statistic (term
+/// count, not just document frequency) — see Section 6.3's remark that
+/// language-model smoothing is exactly where per-context statistics matter
+/// most.
+///
+///   p(w|d)  = (tf(w,d) + µ·p(w|C)) / (len(d) + µ)
+///   p(w|C)  = tc(w,C) / len(C)
+///   score   = Σ tq(w,Q) · ln p(w|d)
+///
+/// Keywords with tc(w,C) == 0 are skipped (their smoothed probability is
+/// undefined in the context).
+class DirichletLm : public RankingFunction {
+ public:
+  explicit DirichletLm(double mu = 2000.0) : mu_(mu) {}
+
+  std::string_view name() const override { return "dirichlet-lm"; }
+
+  double Score(const QueryStats& q, const DocStats& d,
+               const CollectionStats& c) const override;
+
+  bool NeedsTermCounts() const override { return true; }
+
+ private:
+  double mu_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_RANKING_DIRICHLET_LM_H_

@@ -1,0 +1,23 @@
+#include "ranking/jelinek_mercer_lm.h"
+
+#include <cmath>
+
+namespace csr {
+
+double JelinekMercerLm::Score(const QueryStats& q, const DocStats& d,
+                              const CollectionStats& c) const {
+  if (c.total_length == 0 || c.tc.empty() || d.length == 0) return 0.0;
+  double score = 0.0;
+  double len_c = static_cast<double>(c.total_length);
+  double len_d = static_cast<double>(d.length);
+  for (size_t i = 0; i < q.keywords.size(); ++i) {
+    uint64_t tc = c.tc[i];
+    if (tc == 0) continue;
+    double p_wd = (1.0 - lambda_) * static_cast<double>(d.tf[i]) / len_d +
+                  lambda_ * static_cast<double>(tc) / len_c;
+    score += static_cast<double>(q.tq[i]) * std::log(p_wd);
+  }
+  return score;
+}
+
+}  // namespace csr

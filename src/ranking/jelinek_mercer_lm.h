@@ -1,0 +1,36 @@
+#ifndef CSR_RANKING_JELINEK_MERCER_LM_H_
+#define CSR_RANKING_JELINEK_MERCER_LM_H_
+
+#include "ranking/ranking_function.h"
+
+namespace csr {
+
+/// Query-likelihood language model with Jelinek-Mercer (linear
+/// interpolation) smoothing — the second classic smoothing scheme next to
+/// Dirichlet, and the one whose behaviour is most sensitive to the
+/// collection model p(w|C). Under context-sensitive ranking p(w|C) comes
+/// from the context, which is precisely where Section 6.3 argues
+/// per-context statistics matter most.
+///
+///   p(w|d)  = (1 - λ)·tf(w,d)/len(d) + λ·tc(w,C)/len(C)
+///   score   = Σ tq(w,Q) · ln p(w|d)
+///
+/// Keywords with tc(w,C) == 0 are skipped, mirroring DirichletLm.
+class JelinekMercerLm : public RankingFunction {
+ public:
+  explicit JelinekMercerLm(double lambda = 0.4) : lambda_(lambda) {}
+
+  std::string_view name() const override { return "jelinek-mercer-lm"; }
+
+  double Score(const QueryStats& q, const DocStats& d,
+               const CollectionStats& c) const override;
+
+  bool NeedsTermCounts() const override { return true; }
+
+ private:
+  double lambda_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_RANKING_JELINEK_MERCER_LM_H_

@@ -1,0 +1,25 @@
+#include "ranking/pivoted_tfidf.h"
+
+#include <cmath>
+
+namespace csr {
+
+double PivotedTfIdf::Score(const QueryStats& q, const DocStats& d,
+                           const CollectionStats& c) const {
+  double avgdl = c.avgdl();
+  if (avgdl <= 0.0) return 0.0;
+  double norm = (1.0 - s_) + s_ * static_cast<double>(d.length) / avgdl;
+  double score = 0.0;
+  for (size_t i = 0; i < q.keywords.size(); ++i) {
+    uint32_t tf = d.tf[i];
+    uint64_t df = c.df[i];
+    if (tf == 0 || df == 0) continue;
+    double tf_part = 1.0 + std::log(1.0 + std::log(static_cast<double>(tf)));
+    double idf = std::log(static_cast<double>(c.cardinality + 1) /
+                          static_cast<double>(df));
+    score += tf_part / norm * static_cast<double>(q.tq[i]) * idf;
+  }
+  return score;
+}
+
+}  // namespace csr

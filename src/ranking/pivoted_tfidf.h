@@ -1,0 +1,31 @@
+#ifndef CSR_RANKING_PIVOTED_TFIDF_H_
+#define CSR_RANKING_PIVOTED_TFIDF_H_
+
+#include "ranking/ranking_function.h"
+
+namespace csr {
+
+/// Pivoted-normalization TF-IDF (Singhal), Formula 3 of the paper:
+///
+///             1 + ln(1 + ln(tf(w,d)))
+///   score = Σ ----------------------- · tq(w,Q) · ln((|C|+1) / df(w,C))
+///         w∈Q (1-s) + s·len(d)/avgdl
+///
+/// with s = 0.2. Substituting context statistics for |C|, df and avgdl
+/// yields the context-sensitive variant (Formula 4) with no code change.
+class PivotedTfIdf : public RankingFunction {
+ public:
+  explicit PivotedTfIdf(double s = 0.2) : s_(s) {}
+
+  std::string_view name() const override { return "pivoted-tfidf"; }
+
+  double Score(const QueryStats& q, const DocStats& d,
+               const CollectionStats& c) const override;
+
+ private:
+  double s_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_RANKING_PIVOTED_TFIDF_H_

@@ -1,0 +1,24 @@
+#include "ranking/ranking_function.h"
+
+#include "ranking/bm25.h"
+#include "ranking/dirichlet_lm.h"
+#include "ranking/jelinek_mercer_lm.h"
+#include "ranking/pivoted_tfidf.h"
+
+namespace csr {
+
+std::unique_ptr<RankingFunction> MakeRankingFunction(std::string_view name) {
+  if (name == "pivoted" || name == "pivoted-tfidf" || name == "tfidf") {
+    return std::make_unique<PivotedTfIdf>();
+  }
+  if (name == "bm25") return std::make_unique<Bm25>();
+  if (name == "dirichlet" || name == "dirichlet-lm" || name == "lm") {
+    return std::make_unique<DirichletLm>();
+  }
+  if (name == "jelinek-mercer" || name == "jm" || name == "jm-lm") {
+    return std::make_unique<JelinekMercerLm>();
+  }
+  return nullptr;
+}
+
+}  // namespace csr

@@ -1,0 +1,44 @@
+#ifndef CSR_RANKING_RANKING_FUNCTION_H_
+#define CSR_RANKING_RANKING_FUNCTION_H_
+
+#include <memory>
+#include <string_view>
+
+#include "stats/statistics.h"
+
+namespace csr {
+
+/// The generic ranking-function interface of Section 2.2:
+///
+///   score(Q, d) = f(S_q(Q), S_d(d), S_c(C))
+///
+/// The same f serves both conventional and context-sensitive ranking — the
+/// only difference is whether the CollectionStats argument was computed
+/// over the whole collection D or over the context D_P (Formula 1 vs. 2).
+/// Implementations must be stateless and thread-compatible.
+class RankingFunction {
+ public:
+  virtual ~RankingFunction() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Scores one document. `d.tf` and `c.df` are aligned with `q.keywords`.
+  /// Implementations must tolerate tf == 0 (keyword absent from the
+  /// document) and df == 0 (keyword absent from the context) by skipping
+  /// the keyword.
+  virtual double Score(const QueryStats& q, const DocStats& d,
+                       const CollectionStats& c) const = 0;
+
+  /// True if Score reads CollectionStats::tc (so the evaluator must compute
+  /// collection term counts, not just document frequencies).
+  virtual bool NeedsTermCounts() const { return false; }
+};
+
+/// Creates a ranking function by name: "pivoted" (default TF-IDF pivoted
+/// normalization, Formula 3/4), "bm25", or "dirichlet". Returns nullptr for
+/// unknown names.
+std::unique_ptr<RankingFunction> MakeRankingFunction(std::string_view name);
+
+}  // namespace csr
+
+#endif  // CSR_RANKING_RANKING_FUNCTION_H_

@@ -1,0 +1,90 @@
+#include "selection/hybrid.h"
+
+#include <algorithm>
+
+#include "mining/fpgrowth.h"
+#include "util/timer.h"
+
+namespace csr {
+
+namespace {
+
+ViewSizeFn MakeEstimatorFn(const ViewSizeEstimator& estimator) {
+  return [&estimator](const TermIdSet& k) -> uint64_t {
+    return estimator.Estimate(ViewDefinition{k});
+  };
+}
+
+DecompositionResult RunDecomposition(const Kag& kag,
+                                     const ViewSizeEstimator& estimator,
+                                     const SupportFn& support,
+                                     const HybridConfig& config,
+                                     HybridResult& result) {
+  DecomposeOptions opts = config.decompose;
+  opts.view_size_threshold = config.thresholds.view_size_threshold;
+  opts.context_size_threshold = config.thresholds.context_threshold;
+
+  WallTimer timer;
+  ViewSizeFn size_fn = MakeEstimatorFn(estimator);
+  DecompositionResult dec = DecomposeKag(kag, opts, size_fn, support);
+  result.decompose_seconds = timer.ElapsedSeconds();
+  result.decompose_stats = dec.stats;
+  result.kag_vertices = static_cast<uint32_t>(kag.num_vertices());
+  result.kag_edges = static_cast<uint32_t>(kag.num_edges());
+  result.covered_by_decomposition =
+      static_cast<uint32_t>(dec.covered.size());
+  result.dense_cliques = static_cast<uint32_t>(dec.dense.size());
+  for (TermIdSet& k : dec.covered) {
+    result.views.push_back(ViewDefinition{std::move(k)});
+  }
+  return dec;
+}
+
+}  // namespace
+
+HybridResult SelectViewsHybrid(const TransactionDb& db, const Kag& kag,
+                               const ViewSizeEstimator& estimator,
+                               const SupportFn& support,
+                               const HybridConfig& config) {
+  HybridResult result;
+  DecompositionResult dec =
+      RunDecomposition(kag, estimator, support, config, result);
+
+  // Refine each dense remainder with data-mining-based selection over the
+  // projected transactions (Section 5.3).
+  WallTimer timer;
+  ViewSizeFn size_fn = MakeEstimatorFn(estimator);
+  for (const TermIdSet& clique : dec.dense) {
+    TransactionDb projected = db.Project(clique);
+    MiningOptions mining = config.mining;
+    mining.min_support = config.thresholds.context_threshold;
+    mining.max_itemset_size = std::min<uint32_t>(
+        config.max_combination_size, static_cast<uint32_t>(clique.size()));
+    std::vector<FrequentItemset> combos = MineFpGrowth(projected, mining);
+    result.mined_itemsets += combos.size();
+    SelectionOutcome cover = SelectViewsMiningBased(
+        std::move(combos), size_fn, config.thresholds.view_size_threshold);
+    result.oversized_combinations += cover.oversized_combinations;
+    for (ViewDefinition& v : cover.views) {
+      result.views.push_back(std::move(v));
+    }
+  }
+  result.mining_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+HybridResult SelectViewsDecompositionOnly(const Kag& kag,
+                                          const ViewSizeEstimator& estimator,
+                                          const SupportFn& support,
+                                          const HybridConfig& config) {
+  HybridResult result;
+  DecompositionResult dec =
+      RunDecomposition(kag, estimator, support, config, result);
+  for (TermIdSet& k : dec.dense) {
+    result.oversized_combinations++;
+    result.views.push_back(ViewDefinition{std::move(k)});
+  }
+  return result;
+}
+
+}  // namespace csr

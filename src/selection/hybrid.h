@@ -1,0 +1,60 @@
+#ifndef CSR_SELECTION_HYBRID_H_
+#define CSR_SELECTION_HYBRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/decompose.h"
+#include "graph/kag.h"
+#include "mining/transactions.h"
+#include "selection/view_selection.h"
+#include "views/size_estimator.h"
+
+namespace csr {
+
+struct HybridConfig {
+  SelectionThresholds thresholds;
+  DecomposeOptions decompose;  // view/context thresholds are overwritten
+                               // from `thresholds`
+  MiningOptions mining;        // min_support is overwritten with T_C
+
+  /// Mining inside dense cliques caps itemset size here (Section 5.1's
+  /// observation that context specifications are short).
+  uint32_t max_combination_size = 8;
+};
+
+struct HybridResult {
+  std::vector<ViewDefinition> views;
+
+  // Telemetry for the Section 6.2 experiment.
+  uint32_t kag_vertices = 0;
+  uint32_t kag_edges = 0;
+  uint32_t covered_by_decomposition = 0;
+  uint32_t dense_cliques = 0;
+  uint64_t mined_itemsets = 0;
+  uint32_t oversized_combinations = 0;
+  DecompositionStats decompose_stats;
+  double decompose_seconds = 0.0;
+  double mining_seconds = 0.0;
+};
+
+/// Section 5.3's hybrid approach: decompose the KAG top-down until
+/// subgraphs either fit one view or are dense cliques; then run
+/// data-mining-based selection (FP-Growth + Algorithm 1) inside each dense
+/// clique, where the projected item universe is small.
+HybridResult SelectViewsHybrid(const TransactionDb& db, const Kag& kag,
+                               const ViewSizeEstimator& estimator,
+                               const SupportFn& support,
+                               const HybridConfig& config);
+
+/// The pure decomposition-based selector (Section 5.2): like the hybrid but
+/// dense cliques are emitted as (possibly oversized) views instead of being
+/// refined by mining. Exposed mainly for the ablation benchmarks.
+HybridResult SelectViewsDecompositionOnly(const Kag& kag,
+                                          const ViewSizeEstimator& estimator,
+                                          const SupportFn& support,
+                                          const HybridConfig& config);
+
+}  // namespace csr
+
+#endif  // CSR_SELECTION_HYBRID_H_

@@ -1,0 +1,89 @@
+#include "stats/collector.h"
+
+#include <vector>
+
+#include "index/intersection.h"
+
+namespace csr {
+
+CollectionStats GlobalCollectionStats(const InvertedIndex& content_index,
+                                      std::span<const TermId> keywords) {
+  CollectionStats stats;
+  stats.cardinality = content_index.num_docs();
+  stats.total_length = content_index.total_length();
+  stats.df.reserve(keywords.size());
+  stats.tc.reserve(keywords.size());
+  for (TermId w : keywords) {
+    stats.df.push_back(content_index.df(w));
+    stats.tc.push_back(content_index.tc(w));
+  }
+  return stats;
+}
+
+CollectionStats StraightforwardCollectionStats(
+    const InvertedIndex& content_index, const InvertedIndex& predicate_index,
+    std::span<const TermId> context, std::span<const TermId> keywords,
+    bool compute_tc, CostCounters* cost, std::span<const uint16_t> years,
+    YearRange range) {
+  CollectionStats stats;
+  auto year_ok = [&](DocId d) {
+    return !range.active() || (d < years.size() && range.Contains(years[d]));
+  };
+
+  // Context predicate lists. A missing list means an unsatisfiable context.
+  std::vector<const PostingList*> context_lists;
+  context_lists.reserve(context.size());
+  bool empty_context = false;
+  for (TermId m : context) {
+    const PostingList* l = predicate_index.list(m);
+    if (l == nullptr) empty_context = true;
+    context_lists.push_back(l);
+  }
+
+  if (!empty_context) {
+    // γ_count and γ_sum(len) over L_m1 ∩ ... ∩ L_mc (Figure 3, bottom),
+    // with the optional year predicate applied inside the aggregation.
+    if (!range.active()) {
+      AggregationResult agg = IntersectAndAggregate(
+          context_lists, content_index.doc_lengths(), cost);
+      stats.cardinality = agg.count;
+      stats.total_length = agg.sum_len;
+    } else {
+      for (ConjunctionIterator it(context_lists, cost); !it.AtEnd();
+           it.Next()) {
+        if (!year_ok(it.doc())) continue;
+        stats.cardinality++;
+        stats.total_length += content_index.doc_length(it.doc());
+        if (cost != nullptr) cost->aggregation_entries++;
+      }
+    }
+  }
+
+  // df (and tc) per keyword: L_wi ∩ L_m1 ∩ ... ∩ L_mc.
+  stats.df.reserve(keywords.size());
+  if (compute_tc) stats.tc.reserve(keywords.size());
+  std::vector<const PostingList*> lists;
+  for (TermId w : keywords) {
+    const PostingList* lw = content_index.list(w);
+    if (lw == nullptr || empty_context || stats.cardinality == 0) {
+      stats.df.push_back(0);
+      if (compute_tc) stats.tc.push_back(0);
+      continue;
+    }
+    lists.clear();
+    lists.push_back(lw);
+    lists.insert(lists.end(), context_lists.begin(), context_lists.end());
+    uint64_t df = 0;
+    uint64_t tc = 0;
+    for (ConjunctionIterator it(lists, cost); !it.AtEnd(); it.Next()) {
+      if (!year_ok(it.doc())) continue;
+      ++df;
+      if (compute_tc) tc += it.tf(0);  // tf in L_w (caller order index 0)
+    }
+    stats.df.push_back(df);
+    if (compute_tc) stats.tc.push_back(tc);
+  }
+  return stats;
+}
+
+}  // namespace csr

@@ -1,0 +1,39 @@
+#ifndef CSR_STATS_COLLECTOR_H_
+#define CSR_STATS_COLLECTOR_H_
+
+#include <span>
+
+#include "index/cost_model.h"
+#include "index/inverted_index.h"
+#include "stats/statistics.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// Computes S_c(D) for the whole collection — the conventional-ranking
+/// statistics, all precomputable at indexing time.
+CollectionStats GlobalCollectionStats(const InvertedIndex& content_index,
+                                      std::span<const TermId> keywords);
+
+/// Computes S_c(D_P) exactly by the straightforward plan of Section 3.1
+/// (Figure 3): intersect the context predicate lists with aggregation
+/// (γ_count, γ_sum over document length), and intersect each keyword list
+/// with the context lists for df (and tc). This is both the baseline
+/// evaluation strategy the paper measures and the ground truth that
+/// view-based computation is tested against.
+///
+/// `context` must be non-empty and sorted. Cost counters, when supplied,
+/// are charged per the Section 3.2.1 model instrumentation.
+/// `years`/`range` implement the Section 7 time extension: when `range` is
+/// active, the context is additionally restricted to documents whose
+/// publication year falls inside it; `years[d]` must then give document
+/// d's year.
+CollectionStats StraightforwardCollectionStats(
+    const InvertedIndex& content_index, const InvertedIndex& predicate_index,
+    std::span<const TermId> context, std::span<const TermId> keywords,
+    bool compute_tc = false, CostCounters* cost = nullptr,
+    std::span<const uint16_t> years = {}, YearRange range = {});
+
+}  // namespace csr
+
+#endif  // CSR_STATS_COLLECTOR_H_

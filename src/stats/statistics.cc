@@ -1,0 +1,22 @@
+#include "stats/statistics.h"
+
+#include <algorithm>
+
+namespace csr {
+
+QueryStats QueryStats::FromKeywords(std::span<const TermId> raw) {
+  QueryStats q;
+  q.length = static_cast<uint32_t>(raw.size());
+  for (TermId w : raw) {
+    auto it = std::find(q.keywords.begin(), q.keywords.end(), w);
+    if (it == q.keywords.end()) {
+      q.keywords.push_back(w);
+      q.tq.push_back(1);
+    } else {
+      q.tq[static_cast<size_t>(it - q.keywords.begin())]++;
+    }
+  }
+  return q;
+}
+
+}  // namespace csr

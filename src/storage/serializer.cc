@@ -1,0 +1,151 @@
+#include "storage/serializer.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace csr {
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf_.append(b, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void BinaryWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void BinaryWriter::PutDouble(double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.append(s);
+}
+
+Status BinaryWriter::WriteFile(const std::string& path,
+                               uint32_t magic) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  uint64_t checksum = Fnv1a(buf_);
+  bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+            (buf_.empty() ||
+             std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size()) &&
+            std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::OpenFile(const std::string& path,
+                                            uint32_t magic) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < static_cast<long>(sizeof(uint32_t) + sizeof(uint64_t))) {
+    std::fclose(f);
+    return Status::InvalidArgument("file too small: " + path);
+  }
+  uint32_t file_magic = 0;
+  if (std::fread(&file_magic, sizeof(file_magic), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Internal("short read: " + path);
+  }
+  if (file_magic != magic) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  size_t payload = static_cast<size_t>(size) - sizeof(uint32_t) -
+                   sizeof(uint64_t);
+  std::string data(payload, '\0');
+  uint64_t checksum = 0;
+  bool ok = (payload == 0 ||
+             std::fread(data.data(), 1, payload, f) == payload) &&
+            std::fread(&checksum, sizeof(checksum), 1, f) == 1;
+  std::fclose(f);
+  if (!ok) return Status::Internal("short read: " + path);
+  if (Fnv1a(data) != checksum) {
+    return Status::InvalidArgument("checksum mismatch in " + path);
+  }
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::GetU8(uint8_t* v) {
+  CSR_RETURN_NOT_OK(Need(1));
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status BinaryReader::GetU32(uint32_t* v) {
+  CSR_RETURN_NOT_OK(Need(4));
+  std::memcpy(v, data_.data() + pos_, 4);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status BinaryReader::GetU64(uint64_t* v) {
+  CSR_RETURN_NOT_OK(Need(8));
+  std::memcpy(v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status BinaryReader::GetVarint(uint64_t* v) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63; shift += 7) {
+    CSR_RETURN_NOT_OK(Need(1));
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("overlong varint");
+}
+
+Status BinaryReader::GetDouble(double* v) {
+  CSR_RETURN_NOT_OK(Need(8));
+  std::memcpy(v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status BinaryReader::GetString(std::string* s) {
+  uint64_t n;
+  CSR_RETURN_NOT_OK(GetVarint(&n));
+  CSR_RETURN_NOT_OK(Need(n));
+  s->assign(data_, pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace csr

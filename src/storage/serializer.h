@@ -1,0 +1,97 @@
+#ifndef CSR_STORAGE_SERIALIZER_H_
+#define CSR_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// Append-only binary writer with varint/fixed primitives. Buffers in
+/// memory; Flush writes the buffer to a file prefixed by a magic tag and
+/// suffixed by a FNV-1a checksum, so corrupt or foreign files are rejected
+/// at load time rather than silently misread.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);  // varint length + bytes
+
+  template <typename T>
+  void PutVarintVector(const std::vector<T>& v) {
+    PutVarint(v.size());
+    for (const T& x : v) PutVarint(static_cast<uint64_t>(x));
+  }
+
+  const std::string& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  /// Writes magic + buffer + checksum to `path`. Returns Internal on I/O
+  /// failure.
+  Status WriteFile(const std::string& path, uint32_t magic) const;
+
+ private:
+  std::string buf_;
+};
+
+/// Sequential reader over a loaded buffer. All getters return OutOfRange
+/// on truncation; callers are expected to CSR_RETURN_NOT_OK each step.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string data) : data_(std::move(data)) {}
+
+  /// Loads `path`, verifies magic and checksum.
+  static Result<BinaryReader> OpenFile(const std::string& path,
+                                       uint32_t magic);
+
+  Status GetU8(uint8_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetVarint(uint64_t* v);
+  Status GetDouble(double* v);
+  Status GetString(std::string* s);
+
+  template <typename T>
+  Status GetVarintVector(std::vector<T>* v) {
+    uint64_t n;
+    CSR_RETURN_NOT_OK(GetVarint(&n));
+    v->clear();
+    v->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t x;
+      CSR_RETURN_NOT_OK(GetVarint(&x));
+      v->push_back(static_cast<T>(x));
+    }
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::OutOfRange("truncated input");
+    }
+    return Status::OK();
+  }
+
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a over a byte range; the integrity check used by WriteFile.
+uint64_t Fnv1a(std::string_view data);
+
+}  // namespace csr
+
+#endif  // CSR_STORAGE_SERIALIZER_H_

@@ -1,0 +1,234 @@
+#include "storage/snapshot.h"
+
+#include <utility>
+
+namespace csr {
+
+namespace {
+
+constexpr uint32_t kCorpusMagic = 0x43535243;  // "CSRC"
+constexpr uint32_t kViewsMagic = 0x43535256;   // "CSRV"
+constexpr uint32_t kCorpusVersion = 1;
+constexpr uint32_t kViewsVersion = 1;
+
+void PutConfig(BinaryWriter& w, const CorpusConfig& c) {
+  w.PutU64(c.seed);
+  w.PutU32(c.num_docs);
+  w.PutU32(c.vocab_size);
+  w.PutVarintVector(c.ontology_fanouts);
+  w.PutDouble(c.leaf_zipf_exponent);
+  w.PutU32(c.max_concepts_per_doc);
+  w.PutU32(c.title_len_mean);
+  w.PutU32(c.abstract_len_mean);
+  w.PutDouble(c.topical_prob);
+  w.PutU32(c.topical_window);
+  w.PutDouble(c.background_zipf_exponent);
+  w.PutDouble(c.topical_zipf_exponent);
+  w.PutVarint(c.year_min);
+  w.PutVarint(c.year_max);
+}
+
+Status GetConfig(BinaryReader& r, CorpusConfig* c) {
+  CSR_RETURN_NOT_OK(r.GetU64(&c->seed));
+  CSR_RETURN_NOT_OK(r.GetU32(&c->num_docs));
+  CSR_RETURN_NOT_OK(r.GetU32(&c->vocab_size));
+  CSR_RETURN_NOT_OK(r.GetVarintVector(&c->ontology_fanouts));
+  CSR_RETURN_NOT_OK(r.GetDouble(&c->leaf_zipf_exponent));
+  CSR_RETURN_NOT_OK(r.GetU32(&c->max_concepts_per_doc));
+  CSR_RETURN_NOT_OK(r.GetU32(&c->title_len_mean));
+  CSR_RETURN_NOT_OK(r.GetU32(&c->abstract_len_mean));
+  CSR_RETURN_NOT_OK(r.GetDouble(&c->topical_prob));
+  CSR_RETURN_NOT_OK(r.GetU32(&c->topical_window));
+  CSR_RETURN_NOT_OK(r.GetDouble(&c->background_zipf_exponent));
+  CSR_RETURN_NOT_OK(r.GetDouble(&c->topical_zipf_exponent));
+  uint64_t ymin, ymax;
+  CSR_RETURN_NOT_OK(r.GetVarint(&ymin));
+  CSR_RETURN_NOT_OK(r.GetVarint(&ymax));
+  c->year_min = static_cast<uint16_t>(ymin);
+  c->year_max = static_cast<uint16_t>(ymax);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  BinaryWriter w;
+  w.PutU32(kCorpusVersion);
+  PutConfig(w, corpus.config);
+
+  // Ontology: ids are assigned in construction order, so parents always
+  // precede children and the (parent, name) arrays rebuild it exactly.
+  w.PutVarint(corpus.ontology.size());
+  for (TermId t = 0; t < corpus.ontology.size(); ++t) {
+    TermId p = corpus.ontology.parent(t);
+    w.PutVarint(p == kInvalidTermId ? 0 : static_cast<uint64_t>(p) + 1);
+    w.PutString(corpus.ontology.name(t));
+  }
+
+  w.PutVarint(corpus.docs.size());
+  for (const Document& d : corpus.docs) {
+    w.PutVarint(d.year);
+    w.PutVarintVector(d.title);
+    w.PutVarintVector(d.abstract_text);
+    w.PutVarintVector(d.annotations);
+  }
+  return w.WriteFile(path, kCorpusMagic);
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  CSR_ASSIGN_OR_RETURN(BinaryReader r,
+                       BinaryReader::OpenFile(path, kCorpusMagic));
+  uint32_t version;
+  CSR_RETURN_NOT_OK(r.GetU32(&version));
+  if (version != kCorpusVersion) {
+    return Status::InvalidArgument("unsupported corpus version");
+  }
+  Corpus corpus;
+  CSR_RETURN_NOT_OK(GetConfig(r, &corpus.config));
+
+  uint64_t num_concepts;
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_concepts));
+  for (uint64_t t = 0; t < num_concepts; ++t) {
+    uint64_t parent_plus1;
+    std::string name;
+    CSR_RETURN_NOT_OK(r.GetVarint(&parent_plus1));
+    CSR_RETURN_NOT_OK(r.GetString(&name));
+    if (parent_plus1 == 0) {
+      corpus.ontology.AddRoot(std::move(name));
+    } else {
+      TermId parent = static_cast<TermId>(parent_plus1 - 1);
+      if (parent >= t) {
+        return Status::InvalidArgument("corrupt ontology: child before parent");
+      }
+      CSR_RETURN_NOT_OK(
+          corpus.ontology.AddChild(parent, std::move(name)).status());
+    }
+  }
+
+  uint64_t num_docs;
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_docs));
+  corpus.docs.reserve(num_docs);
+  for (uint64_t i = 0; i < num_docs; ++i) {
+    Document d;
+    d.id = static_cast<DocId>(i);
+    uint64_t year;
+    CSR_RETURN_NOT_OK(r.GetVarint(&year));
+    d.year = static_cast<uint16_t>(year);
+    CSR_RETURN_NOT_OK(r.GetVarintVector(&d.title));
+    CSR_RETURN_NOT_OK(r.GetVarintVector(&d.abstract_text));
+    CSR_RETURN_NOT_OK(r.GetVarintVector(&d.annotations));
+    corpus.docs.push_back(std::move(d));
+  }
+  return corpus;
+}
+
+/// Accesses MaterializedView internals for persistence (friend).
+class ViewSerializer {
+ public:
+  static void Save(const MaterializedView& v, BinaryWriter& w) {
+    w.PutVarintVector(v.def_.keyword_columns);
+    w.PutU8(v.options_.track_df);
+    w.PutU8(v.options_.track_tc);
+    w.PutVarint(v.options_.year_bucket_size);
+    w.PutU32(v.num_tracked_);
+    w.PutVarint(v.rows_.size());
+    for (const auto& [key, row] : v.rows_) {
+      w.PutVarint(key.bucket);
+      w.PutVarintVector(key.sig.raw_words());
+      w.PutVarint(row.count);
+      w.PutVarint(row.sum_len);
+      w.PutVarintVector(row.df);
+      w.PutVarintVector(row.tc);
+    }
+  }
+
+  static Result<MaterializedView> Load(BinaryReader& r) {
+    ViewDefinition def;
+    CSR_RETURN_NOT_OK(r.GetVarintVector(&def.keyword_columns));
+    uint8_t track_df, track_tc;
+    CSR_RETURN_NOT_OK(r.GetU8(&track_df));
+    CSR_RETURN_NOT_OK(r.GetU8(&track_tc));
+    uint64_t bucket_size;
+    CSR_RETURN_NOT_OK(r.GetVarint(&bucket_size));
+    uint32_t num_tracked;
+    CSR_RETURN_NOT_OK(r.GetU32(&num_tracked));
+    ViewParamOptions options{track_df != 0, track_tc != 0,
+                             static_cast<uint16_t>(bucket_size)};
+    MaterializedView v(std::move(def), options, num_tracked);
+
+    uint64_t num_rows;
+    CSR_RETURN_NOT_OK(r.GetVarint(&num_rows));
+    size_t expected_words =
+        (v.def_.keyword_columns.size() + 63) / 64;
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      uint64_t bucket;
+      CSR_RETURN_NOT_OK(r.GetVarint(&bucket));
+      std::vector<uint64_t> words;
+      CSR_RETURN_NOT_OK(r.GetVarintVector(&words));
+      if (words.size() != expected_words) {
+        return Status::InvalidArgument("corrupt view row signature");
+      }
+      MaterializedView::Row row;
+      CSR_RETURN_NOT_OK(r.GetVarint(&row.count));
+      CSR_RETURN_NOT_OK(r.GetVarint(&row.sum_len));
+      CSR_RETURN_NOT_OK(r.GetVarintVector(&row.df));
+      CSR_RETURN_NOT_OK(r.GetVarintVector(&row.tc));
+      v.rows_.emplace(
+          MaterializedView::TupleKey{
+              BitSignature::FromWords(std::move(words)),
+              static_cast<uint16_t>(bucket)},
+          std::move(row));
+    }
+    return v;
+  }
+};
+
+Status SaveViews(const ViewCatalog& catalog, const TrackedKeywords& tracked,
+                 const std::string& path) {
+  BinaryWriter w;
+  w.PutU32(kViewsVersion);
+  w.PutVarintVector(tracked.terms());
+  w.PutVarint(catalog.size());
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    ViewSerializer::Save(catalog.view(i), w);
+  }
+  return w.WriteFile(path, kViewsMagic);
+}
+
+Result<LoadedViews> LoadViews(const std::string& path) {
+  CSR_ASSIGN_OR_RETURN(BinaryReader r,
+                       BinaryReader::OpenFile(path, kViewsMagic));
+  uint32_t version;
+  CSR_RETURN_NOT_OK(r.GetU32(&version));
+  if (version != kViewsVersion) {
+    return Status::InvalidArgument("unsupported views version");
+  }
+  LoadedViews out;
+  CSR_RETURN_NOT_OK(r.GetVarintVector(&out.tracked_terms));
+  uint64_t num_views;
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_views));
+  for (uint64_t i = 0; i < num_views; ++i) {
+    CSR_ASSIGN_OR_RETURN(MaterializedView v, ViewSerializer::Load(r));
+    out.catalog.Add(std::move(v));
+  }
+  return out;
+}
+
+Status SaveEngineSnapshot(const ContextSearchEngine& engine,
+                          const std::string& dir) {
+  CSR_RETURN_NOT_OK(SaveCorpus(engine.corpus(), dir + "/corpus.csr"));
+  return SaveViews(engine.catalog(), engine.tracked(), dir + "/views.csr");
+}
+
+Result<std::unique_ptr<ContextSearchEngine>> LoadEngineSnapshot(
+    const std::string& dir, const EngineConfig& config) {
+  CSR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(dir + "/corpus.csr"));
+  CSR_ASSIGN_OR_RETURN(std::unique_ptr<ContextSearchEngine> engine,
+                       ContextSearchEngine::Build(std::move(corpus), config));
+  CSR_ASSIGN_OR_RETURN(LoadedViews views, LoadViews(dir + "/views.csr"));
+  CSR_RETURN_NOT_OK(engine->InstallCatalog(std::move(views.catalog),
+                                           views.tracked_terms));
+  return engine;
+}
+
+}  // namespace csr

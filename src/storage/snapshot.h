@@ -1,0 +1,52 @@
+#ifndef CSR_STORAGE_SNAPSHOT_H_
+#define CSR_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "storage/serializer.h"
+#include "views/view_catalog.h"
+
+namespace csr {
+
+/// On-disk persistence for the engine's expensive artifacts. A snapshot
+/// directory holds:
+///
+///   corpus.csr   ontology + documents + generator config
+///   views.csr    tracked keywords + every materialized view (defs + rows)
+///
+/// Inverted indexes are rebuilt from the corpus at load time (they are a
+/// deterministic, fast function of it); view selection + materialization —
+/// the hours-long phase at paper scale — is what the snapshot avoids.
+/// All files are checksummed; corrupt or mismatched files fail loudly.
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+Result<Corpus> LoadCorpus(const std::string& path);
+
+/// Serializes the catalog (definitions, parameter options, and all rows)
+/// plus the tracked-keyword table it is aligned with.
+Status SaveViews(const ViewCatalog& catalog, const TrackedKeywords& tracked,
+                 const std::string& path);
+
+struct LoadedViews {
+  ViewCatalog catalog;
+  std::vector<TermId> tracked_terms;
+};
+Result<LoadedViews> LoadViews(const std::string& path);
+
+/// Saves corpus + views under `dir` (created by the caller).
+Status SaveEngineSnapshot(const ContextSearchEngine& engine,
+                          const std::string& dir);
+
+/// Rebuilds an engine from a snapshot: loads the corpus, re-indexes,
+/// installs the persisted views. Fails with FailedPrecondition if the
+/// snapshot's tracked keywords do not match the rebuilt engine's (e.g. the
+/// EngineConfig changed since the snapshot was taken).
+Result<std::unique_ptr<ContextSearchEngine>> LoadEngineSnapshot(
+    const std::string& dir, const EngineConfig& config);
+
+}  // namespace csr
+
+#endif  // CSR_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,44 @@
+#include "text/analyzer.h"
+
+namespace csr {
+
+namespace {
+
+const char* const kDefaultStopwords[] = {
+    "a",    "an",   "and",  "are", "as",   "at",   "be",   "but", "by",
+    "for",  "if",   "in",   "into", "is",  "it",   "no",   "not", "of",
+    "on",   "or",   "such", "that", "the", "their", "then", "there",
+    "these", "they", "this", "to",  "was", "will", "with"};
+
+}  // namespace
+
+Analyzer::Analyzer() {
+  for (const char* w : kDefaultStopwords) stopwords_.insert(w);
+}
+
+Analyzer::Analyzer(std::vector<std::string> stopwords) {
+  for (auto& w : stopwords) stopwords_.insert(std::move(w));
+}
+
+std::vector<TermId> Analyzer::AnalyzeAndIntern(std::string_view text,
+                                               Vocabulary& vocab) const {
+  std::vector<TermId> out;
+  for (const std::string& tok : tokenizer_.Tokenize(text)) {
+    if (stopwords_.count(tok)) continue;
+    out.push_back(vocab.Intern(tok));
+  }
+  return out;
+}
+
+std::vector<TermId> Analyzer::AnalyzeReadOnly(std::string_view text,
+                                              const Vocabulary& vocab) const {
+  std::vector<TermId> out;
+  for (const std::string& tok : tokenizer_.Tokenize(text)) {
+    if (stopwords_.count(tok)) continue;
+    TermId id = vocab.Lookup(tok);
+    if (id != kInvalidTermId) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace csr

@@ -1,0 +1,47 @@
+#ifndef CSR_TEXT_ANALYZER_H_
+#define CSR_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// Tokenizer + stopword filter + vocabulary interning. This is the analysis
+/// chain applied both at indexing time and at query time, so that query
+/// keywords and indexed terms agree on TermIds.
+class Analyzer {
+ public:
+  /// Creates an analyzer with the default English stopword list.
+  Analyzer();
+
+  /// Creates an analyzer with a caller-provided stopword list.
+  explicit Analyzer(std::vector<std::string> stopwords);
+
+  /// Tokenizes, filters stopwords, and interns into the vocabulary.
+  /// Mutates the vocabulary (indexing path).
+  std::vector<TermId> AnalyzeAndIntern(std::string_view text,
+                                       Vocabulary& vocab) const;
+
+  /// Tokenizes, filters stopwords, and looks up ids without interning
+  /// (query path). Unknown terms are dropped.
+  std::vector<TermId> AnalyzeReadOnly(std::string_view text,
+                                      const Vocabulary& vocab) const;
+
+  bool IsStopword(std::string_view token) const {
+    return stopwords_.count(std::string(token)) > 0;
+  }
+
+ private:
+  Tokenizer tokenizer_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_TEXT_ANALYZER_H_

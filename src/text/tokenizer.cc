@@ -1,0 +1,23 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace csr {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current += static_cast<char>(std::tolower(uc));
+    } else if (!current.empty()) {
+      if (current.size() >= min_length_) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= min_length_) tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace csr

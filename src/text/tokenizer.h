@@ -1,0 +1,26 @@
+#ifndef CSR_TEXT_TOKENIZER_H_
+#define CSR_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csr {
+
+/// Splits raw text into lowercase alphanumeric tokens. Anything that is not
+/// [A-Za-z0-9] terminates a token. Tokens shorter than `min_length` are
+/// dropped.
+class Tokenizer {
+ public:
+  explicit Tokenizer(size_t min_length = 2) : min_length_(min_length) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  size_t min_length_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_TEXT_TOKENIZER_H_

@@ -1,0 +1,20 @@
+#include "text/vocabulary.h"
+
+namespace csr {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(names_.size());
+  names_.emplace_back(term);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  if (it == ids_.end()) return kInvalidTermId;
+  return it->second;
+}
+
+}  // namespace csr

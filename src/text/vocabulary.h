@@ -1,0 +1,46 @@
+#ifndef CSR_TEXT_VOCABULARY_H_
+#define CSR_TEXT_VOCABULARY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace csr {
+
+/// Bidirectional string <-> TermId interner. Ids are dense and assigned in
+/// first-seen order, so a Vocabulary built deterministically yields
+/// deterministic ids. Two separate vocabularies are used in the engine: one
+/// for content keywords and one for context predicates (ontology terms).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  Vocabulary(const Vocabulary&) = default;
+  Vocabulary& operator=(const Vocabulary&) = default;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term`, or kInvalidTermId if unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the string for a valid id. id must be < size().
+  const std::string& Name(TermId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_TEXT_VOCABULARY_H_

@@ -1,0 +1,46 @@
+#ifndef CSR_UTIL_HASH_H_
+#define CSR_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace csr {
+
+/// 64-bit mix used to combine hash values (based on the finalizer of
+/// MurmurHash3 / SplitMix64).
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return HashMix64(seed ^ (v + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                           (seed >> 2)));
+}
+
+/// Order-sensitive hash of a term-id sequence. Used to key itemsets and
+/// view signatures; the inputs are always kept sorted, so order sensitivity
+/// is fine (and cheaper than an order-free hash).
+inline uint64_t HashTermIds(const TermIdSet& ids) {
+  uint64_t h = 0x8445D61A4E774912ULL;
+  for (TermId t : ids) h = HashCombine(h, t);
+  return h;
+}
+
+/// std::unordered_map-compatible hasher for sorted TermIdSet keys.
+struct TermIdSetHash {
+  size_t operator()(const TermIdSet& ids) const {
+    return static_cast<size_t>(HashTermIds(ids));
+  }
+};
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_HASH_H_

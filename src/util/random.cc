@@ -1,0 +1,54 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace csr {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s_);
+    cdf_[i] = acc;
+  }
+  norm_ = acc;
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= norm_;
+}
+
+size_t ZipfDistribution::Sample(SplitMix64& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(size_t rank) const {
+  assert(rank < cdf_.size());
+  return (1.0 / std::pow(static_cast<double>(rank + 1), s_)) / norm_;
+}
+
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k,
+                                             SplitMix64& rng) {
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: k draws, no rejection loops beyond hash lookups.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k * 2);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = rng.NextBounded(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace csr

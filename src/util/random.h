@@ -1,0 +1,83 @@
+#ifndef CSR_UTIL_RANDOM_H_
+#define CSR_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace csr {
+
+/// SplitMix64: fast, high-quality 64-bit generator used to seed and to draw
+/// deterministic pseudo-random streams. All randomness in the library flows
+/// through explicitly seeded instances so that corpora, query workloads and
+/// experiments are reproducible.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed sampler over ranks 0..n-1 with exponent s (s=1 is the
+/// classic Zipf law). Uses the inverse-CDF method over a precomputed
+/// cumulative table, so sampling is O(log n).
+///
+/// Term-frequency distributions in text are famously Zipfian; the synthetic
+/// corpus generator uses this sampler for both background and per-context
+/// topical vocabularies.
+class ZipfDistribution {
+ public:
+  /// Builds the cumulative table. n must be >= 1; s must be > 0.
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(SplitMix64& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+  /// Probability mass of the given rank.
+  double pmf(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+  double s_;
+  double norm_;
+};
+
+/// Fisher-Yates shuffle of a vector with the library RNG.
+template <typename T>
+void Shuffle(std::vector<T>& v, SplitMix64& rng) {
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+/// Reservoir-samples k items from [0, n) without replacement. Returns a
+/// sorted vector of indices. k may exceed n, in which case all indices are
+/// returned.
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k,
+                                             SplitMix64& rng);
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_RANDOM_H_

@@ -1,0 +1,85 @@
+#ifndef CSR_UTIL_RESULT_H_
+#define CSR_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace csr {
+
+/// Result<T> holds either a value of type T or a non-OK Status. It is the
+/// return type of factory functions and other fallible producers, so that
+/// object constructors never need to signal errors.
+///
+/// Typical use:
+///
+///   Result<InvertedIndex> r = IndexBuilder::Build(corpus);
+///   if (!r.ok()) return r.status();
+///   InvertedIndex index = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status; OK() when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors require ok(). Checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback when the result is an error.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns the error
+/// status to the caller.
+#define CSR_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto CSR_CONCAT_(_res_, __LINE__) = (expr);               \
+  if (!CSR_CONCAT_(_res_, __LINE__).ok())                   \
+    return CSR_CONCAT_(_res_, __LINE__).status();           \
+  lhs = std::move(CSR_CONCAT_(_res_, __LINE__)).value()
+
+#define CSR_CONCAT_(a, b) CSR_CONCAT_IMPL_(a, b)
+#define CSR_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_RESULT_H_

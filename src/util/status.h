@@ -1,0 +1,91 @@
+#ifndef CSR_UTIL_STATUS_H_
+#define CSR_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace csr {
+
+/// Error categories used across the library. The set is deliberately small:
+/// callers usually branch only on ok() vs. !ok() and surface the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// A lightweight status object in the RocksDB/Arrow style. The library does
+/// not throw exceptions; every operation that can fail returns a Status (or
+/// a Result<T>, see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: empty query".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Propagates a non-OK status to the caller. Mirrors the common
+/// RETURN_NOT_OK macro in database codebases.
+#define CSR_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::csr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef CSR_UTIL_STRING_UTIL_H_
+#define CSR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csr {
+
+/// Splits `s` on any character in `delims`, discarding empty pieces.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+/// Joins the pieces with the separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// ASCII lowercase in place.
+void AsciiLower(std::string& s);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t n);
+
+/// Formats bytes human-readably, e.g. "3.71 MB".
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_STRING_UTIL_H_

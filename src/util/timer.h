@@ -1,0 +1,38 @@
+#ifndef CSR_UTIL_TIMER_H_
+#define CSR_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace csr {
+
+/// Monotonic wall-clock timer used by benches and query-time metrics.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_TIMER_H_

@@ -1,0 +1,43 @@
+#ifndef CSR_UTIL_TYPES_H_
+#define CSR_UTIL_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace csr {
+
+/// Dense document identifier. Documents are numbered 0..N-1 in corpus order;
+/// posting lists are sorted by DocId.
+using DocId = uint32_t;
+
+/// Dense term identifier assigned by the Vocabulary on first sight. Both
+/// content keywords and context predicates (ontology terms) are TermIds;
+/// they live in separate vocabularies.
+using TermId = uint32_t;
+
+inline constexpr DocId kInvalidDocId = std::numeric_limits<DocId>::max();
+inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
+
+/// A sorted set of term ids; used for context specifications, view keyword
+/// columns, and mined itemsets.
+using TermIdSet = std::vector<TermId>;
+
+/// An inclusive year range extending a context specification along the
+/// time dimension (the Section 7 extension: "documents published after
+/// 1998"). A default-constructed range is inactive (no restriction).
+struct YearRange {
+  uint16_t min_year = 0;
+  uint16_t max_year = 0;
+
+  bool active() const { return max_year != 0; }
+  bool Contains(uint16_t y) const {
+    return !active() || (y >= min_year && y <= max_year);
+  }
+  bool operator==(const YearRange&) const = default;
+};
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_TYPES_H_

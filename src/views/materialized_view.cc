@@ -1,0 +1,109 @@
+#include "views/materialized_view.h"
+
+namespace csr {
+
+void MaterializedView::AddDocument(
+    const BitSignature& sig, uint32_t doc_length,
+    std::span<const std::pair<uint32_t, uint32_t>> tracked_terms,
+    uint16_t year) {
+  TupleKey key{sig, 0};
+  if (options_.year_bucket_size > 0) {
+    key.bucket = static_cast<uint16_t>(year / options_.year_bucket_size);
+  }
+  Row& row = rows_[key];
+  if (row.count == 0 && options_.track_df) {
+    row.df.assign(num_tracked_, 0);
+  }
+  if (row.count == 0 && options_.track_tc) {
+    row.tc.assign(num_tracked_, 0);
+  }
+  row.count++;
+  row.sum_len += doc_length;
+  if (options_.track_df || options_.track_tc) {
+    for (const auto& [slot, tf] : tracked_terms) {
+      if (options_.track_df) row.df[slot]++;
+      if (options_.track_tc) row.tc[slot] += tf;
+    }
+  }
+}
+
+bool MaterializedView::RangeAnswerable(YearRange range) const {
+  if (!range.active()) return true;
+  uint16_t b = options_.year_bucket_size;
+  if (b == 0) return false;
+  // The range must cover whole buckets: [min, max] answerable iff min is a
+  // bucket start and max is a bucket end.
+  return range.min_year % b == 0 && (range.max_year + 1) % b == 0 &&
+         range.min_year <= range.max_year;
+}
+
+MaterializedView::StatsResult MaterializedView::ComputeStats(
+    std::span<const TermId> context, std::span<const TermId> keywords,
+    const TrackedKeywords& tracked, CostCounters* cost,
+    YearRange range) const {
+  StatsResult out;
+  out.df.assign(keywords.size(), 0);
+  out.tc.assign(keywords.size(), 0);
+  out.covered.assign(keywords.size(), false);
+
+  if (!def_.Covers(context)) return out;
+  if (!RangeAnswerable(range)) {
+    out.range_answerable = false;
+    return out;
+  }
+  uint16_t bucket_lo = 0;
+  uint16_t bucket_hi = UINT16_MAX;
+  if (range.active()) {
+    bucket_lo = static_cast<uint16_t>(range.min_year /
+                                      options_.year_bucket_size);
+    bucket_hi = static_cast<uint16_t>(range.max_year /
+                                      options_.year_bucket_size);
+  }
+
+  // Which keywords have a parameter column in this view.
+  std::vector<int32_t> slots(keywords.size(), -1);
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    int32_t slot = tracked.SlotOf(keywords[i]);
+    slots[i] = slot;
+    out.covered[i] = slot >= 0 && (options_.track_df || options_.track_tc);
+  }
+
+  // Build the probe mask for P.
+  BitSignature mask(def_.num_columns());
+  for (TermId m : context) {
+    int32_t bit = def_.BitOf(m);
+    if (bit < 0) return out;  // unreachable given Covers(context)
+    mask.Set(static_cast<uint32_t>(bit));
+  }
+
+  // Full scan of the view (Theorem 4.2).
+  for (const auto& [key, row] : rows_) {
+    if (cost != nullptr) cost->view_tuples_scanned++;
+    if (key.bucket < bucket_lo || key.bucket > bucket_hi) continue;
+    if (!key.sig.ContainsAll(mask)) continue;
+    out.cardinality += row.count;
+    out.total_length += row.sum_len;
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      if (slots[i] < 0) continue;
+      if (options_.track_df && !row.df.empty()) {
+        out.df[i] += row.df[slots[i]];
+      }
+      if (options_.track_tc && !row.tc.empty()) {
+        out.tc[i] += row.tc[slots[i]];
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t MaterializedView::StorageBytes() const {
+  if (rows_.empty()) return 0;
+  uint64_t key_bytes = BitSignature(def_.num_columns()).StorageBytes();
+  if (options_.year_bucket_size > 0) key_bytes += sizeof(uint16_t);
+  uint64_t row_bytes = 2 * sizeof(uint64_t);
+  if (options_.track_df) row_bytes += 4ULL * num_tracked_;
+  if (options_.track_tc) row_bytes += 4ULL * num_tracked_;
+  return rows_.size() * (key_bytes + row_bytes);
+}
+
+}  // namespace csr

@@ -1,0 +1,50 @@
+#include "views/size_estimator.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace csr {
+
+ViewSizeEstimator::ViewSizeEstimator(const Corpus* corpus, uint64_t seed,
+                                     uint32_t sample_size)
+    : corpus_(corpus) {
+  SplitMix64 rng(seed);
+  size_t n = corpus_->docs.size();
+  std::vector<size_t> idx = SampleWithoutReplacement(n, sample_size, rng);
+  sample_.reserve(idx.size());
+  for (size_t i : idx) sample_.push_back(static_cast<DocId>(i));
+  all_docs_.reserve(n);
+  for (size_t i = 0; i < n; ++i) all_docs_.push_back(static_cast<DocId>(i));
+}
+
+uint64_t ViewSizeEstimator::CountDistinct(
+    const ViewDefinition& def, const std::vector<DocId>& docs) const {
+  // Signatures are summarized by a 64-bit hash of the sorted bit positions;
+  // a collision would undercount by one tuple, which is harmless for the
+  // thresholding these estimates feed.
+  std::unordered_set<uint64_t> seen;
+  for (DocId d : docs) {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    bool any = false;
+    for (TermId m : corpus_->docs[d].annotations) {
+      int32_t bit = def.BitOf(m);
+      if (bit < 0) continue;
+      any = true;
+      h = HashCombine(h, static_cast<uint64_t>(bit));
+    }
+    if (any) seen.insert(h);
+  }
+  return seen.size();
+}
+
+uint64_t ViewSizeEstimator::Estimate(const ViewDefinition& def) const {
+  return CountDistinct(def, sample_);
+}
+
+uint64_t ViewSizeEstimator::Exact(const ViewDefinition& def) const {
+  return CountDistinct(def, all_docs_);
+}
+
+}  // namespace csr

@@ -1,0 +1,45 @@
+#ifndef CSR_VIEWS_SIZE_ESTIMATOR_H_
+#define CSR_VIEWS_SIZE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "views/view_def.h"
+
+namespace csr {
+
+/// Estimates ViewSize(V_K) — the number of non-empty tuples — by mapping a
+/// document sample onto the view's partitions and counting distinct
+/// signatures (Section 4.3). Since distinct-count over a sample only grows
+/// with more data, the estimate is a lower bound on the exact size; the
+/// view-selection algorithms compensate by comparing against T_V with the
+/// full sample.
+class ViewSizeEstimator {
+ public:
+  /// Draws a fixed document sample once; every Estimate call reuses it.
+  /// sample_size >= |corpus| makes Estimate exact.
+  ViewSizeEstimator(const Corpus* corpus, uint64_t seed,
+                    uint32_t sample_size = 20000);
+
+  /// Estimated number of non-empty (non-zero-signature) tuples of V_K.
+  uint64_t Estimate(const ViewDefinition& def) const;
+
+  /// Exact count over the full collection.
+  uint64_t Exact(const ViewDefinition& def) const;
+
+  size_t sample_size() const { return sample_.size(); }
+
+ private:
+  uint64_t CountDistinct(const ViewDefinition& def,
+                         const std::vector<DocId>& docs) const;
+
+  const Corpus* corpus_;
+  std::vector<DocId> sample_;
+  std::vector<DocId> all_docs_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_VIEWS_SIZE_ESTIMATOR_H_

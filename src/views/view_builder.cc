@@ -1,0 +1,62 @@
+#include "views/view_builder.h"
+
+#include <unordered_map>
+
+namespace csr {
+
+std::vector<MaterializedView> ViewBuilder::BuildAll(
+    std::span<const ViewDefinition> defs) const {
+  std::vector<MaterializedView> views;
+  views.reserve(defs.size());
+  for (const ViewDefinition& def : defs) {
+    views.emplace_back(def, options_, num_tracked_);
+  }
+  Route(views, /*first_doc=*/0);
+  return views;
+}
+
+void ViewBuilder::UpdateAll(std::vector<MaterializedView>& views,
+                            DocId first_doc) const {
+  Route(views, first_doc);
+}
+
+void ViewBuilder::Route(std::vector<MaterializedView>& views,
+                        DocId first_doc) const {
+  // Inverted routing: predicate term -> (view index, bit position).
+  std::unordered_map<TermId, std::vector<std::pair<uint32_t, uint32_t>>>
+      routes;
+  for (uint32_t v = 0; v < views.size(); ++v) {
+    const TermIdSet& cols = views[v].def().keyword_columns;
+    for (uint32_t bit = 0; bit < cols.size(); ++bit) {
+      routes[cols[bit]].emplace_back(v, bit);
+    }
+  }
+
+  // One pass over documents; per document, visit only the views that share
+  // at least one keyword column with its annotations.
+  std::vector<std::vector<uint32_t>> bits_of_view(views.size());
+  std::vector<uint32_t> touched;
+  for (size_t i = first_doc; i < corpus_->docs.size(); ++i) {
+    const Document& doc = corpus_->docs[i];
+    touched.clear();
+    for (TermId m : doc.annotations) {
+      auto it = routes.find(m);
+      if (it == routes.end()) continue;
+      for (const auto& [v, bit] : it->second) {
+        if (bits_of_view[v].empty()) touched.push_back(v);
+        bits_of_view[v].push_back(bit);
+      }
+    }
+    if (touched.empty()) continue;
+    auto tracked_terms = table_->TrackedOf(doc.id);
+    uint32_t len = table_->doc_length(doc.id);
+    for (uint32_t v : touched) {
+      BitSignature sig(views[v].def().num_columns());
+      for (uint32_t bit : bits_of_view[v]) sig.Set(bit);
+      views[v].AddDocument(sig, len, tracked_terms, doc.year);
+      bits_of_view[v].clear();
+    }
+  }
+}
+
+}  // namespace csr

@@ -1,0 +1,53 @@
+#ifndef CSR_VIEWS_VIEW_BUILDER_H_
+#define CSR_VIEWS_VIEW_BUILDER_H_
+
+#include <span>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "views/materialized_view.h"
+#include "views/wide_table.h"
+
+namespace csr {
+
+/// Materializes a batch of views in a single pass over the document
+/// collection (the GROUP BY of Section 4.1 for every view at once).
+///
+/// Views do not store the all-zero partition (documents containing none of
+/// K): a statistics query for a non-empty context P never aggregates it,
+/// and skipping it keeps the builder pass O(Σ_d |annotations(d) ∩ any K|)
+/// instead of O(|D| · #views). ViewSize therefore counts partitions with at
+/// least one keyword column set; the size estimator uses the same
+/// convention.
+class ViewBuilder {
+ public:
+  /// All pointers must outlive the builder.
+  ViewBuilder(const Corpus* corpus, const DocParamTable* table,
+              ViewParamOptions options, uint32_t num_tracked)
+      : corpus_(corpus),
+        table_(table),
+        options_(options),
+        num_tracked_(num_tracked) {}
+
+  /// Builds one materialized view per definition.
+  std::vector<MaterializedView> BuildAll(
+      std::span<const ViewDefinition> defs) const;
+
+  /// Incremental maintenance: folds documents with id >= first_doc into
+  /// the existing views (same routing as BuildAll, restricted to the new
+  /// suffix of the corpus). Views must have been built against the same
+  /// tracked-keyword table.
+  void UpdateAll(std::vector<MaterializedView>& views, DocId first_doc) const;
+
+ private:
+  void Route(std::vector<MaterializedView>& views, DocId first_doc) const;
+
+  const Corpus* corpus_;
+  const DocParamTable* table_;
+  ViewParamOptions options_;
+  uint32_t num_tracked_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_VIEWS_VIEW_BUILDER_H_

@@ -1,0 +1,51 @@
+#ifndef CSR_VIEWS_VIEW_CATALOG_H_
+#define CSR_VIEWS_VIEW_CATALOG_H_
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "views/materialized_view.h"
+
+namespace csr {
+
+/// The set of materialized views available at query time, with a matcher
+/// that finds, for a context specification P, a usable view (P ⊆ K). When
+/// several views are usable the smallest one (fewest tuples) is picked, as
+/// in Section 6.3.
+class ViewCatalog {
+ public:
+  ViewCatalog() = default;
+
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+  ViewCatalog(ViewCatalog&&) = default;
+  ViewCatalog& operator=(ViewCatalog&&) = default;
+
+  void Add(MaterializedView view);
+
+  /// Removes and returns all views (for incremental maintenance: update
+  /// the rows, then Add them back). The catalog is left empty.
+  std::vector<MaterializedView> Release();
+
+  /// Smallest usable view for the sorted context P, or nullptr when no
+  /// view covers P (the query then falls back to the straightforward
+  /// plan).
+  const MaterializedView* FindBest(std::span<const TermId> context) const;
+
+  size_t size() const { return views_.size(); }
+  const MaterializedView& view(size_t i) const { return views_[i]; }
+
+  uint64_t TotalStorageBytes() const;
+  uint64_t TotalTuples() const;
+
+ private:
+  std::vector<MaterializedView> views_;
+  // Predicate term -> indices of views whose K contains it.
+  std::unordered_map<TermId, std::vector<uint32_t>> by_term_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_VIEWS_VIEW_CATALOG_H_

@@ -1,0 +1,44 @@
+#ifndef CSR_VIEWS_VIEW_DEF_H_
+#define CSR_VIEWS_VIEW_DEF_H_
+
+#include <cstddef>
+#include <algorithm>
+#include <span>
+
+#include "util/types.h"
+
+namespace csr {
+
+/// The definition of a materialized view V_K (Section 4.1): the set K of
+/// keyword columns it groups by. Parameter columns (count, sum(len), df per
+/// tracked keyword, optionally tc) are uniform across views and configured
+/// on the builder, mirroring the paper's setup where every view carries the
+/// same 912 parameter columns.
+struct ViewDefinition {
+  /// Sorted, deduplicated keyword (context-predicate) columns.
+  TermIdSet keyword_columns;
+
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(keyword_columns.size());
+  }
+
+  /// Theorem 4.1 condition (2): V_K is usable for context P iff P ⊆ K.
+  /// `context` must be sorted.
+  bool Covers(std::span<const TermId> context) const {
+    return std::includes(keyword_columns.begin(), keyword_columns.end(),
+                         context.begin(), context.end());
+  }
+
+  /// Bit position of predicate `m` within this view's signature, or -1 if
+  /// m ∉ K.
+  int32_t BitOf(TermId m) const {
+    auto it = std::lower_bound(keyword_columns.begin(), keyword_columns.end(),
+                               m);
+    if (it == keyword_columns.end() || *it != m) return -1;
+    return static_cast<int32_t>(it - keyword_columns.begin());
+  }
+};
+
+}  // namespace csr
+
+#endif  // CSR_VIEWS_VIEW_DEF_H_

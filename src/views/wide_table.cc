@@ -1,0 +1,66 @@
+#include "views/wide_table.h"
+
+#include <algorithm>
+
+namespace csr {
+
+TrackedKeywords TrackedKeywords::Select(const InvertedIndex& content_index,
+                                        uint64_t min_df, uint32_t cap) {
+  // Gather qualifying terms, most frequent first, then cap.
+  std::vector<std::pair<uint64_t, TermId>> qualifying;
+  for (TermId t = 0; t < content_index.num_terms(); ++t) {
+    uint64_t df = content_index.df(t);
+    if (df >= min_df) qualifying.emplace_back(df, t);
+  }
+  std::sort(qualifying.begin(), qualifying.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  if (qualifying.size() > cap) qualifying.resize(cap);
+
+  TrackedKeywords out;
+  out.terms_.reserve(qualifying.size());
+  for (const auto& [df, t] : qualifying) out.terms_.push_back(t);
+  std::sort(out.terms_.begin(), out.terms_.end());
+  for (uint32_t i = 0; i < out.terms_.size(); ++i) {
+    out.slots_.emplace(out.terms_[i], i);
+  }
+  return out;
+}
+
+DocParamTable DocParamTable::Build(const InvertedIndex& content_index,
+                                   const TrackedKeywords& tracked) {
+  DocParamTable table;
+  uint64_t n = content_index.num_docs();
+  table.doc_lengths_.assign(content_index.doc_lengths().begin(),
+                            content_index.doc_lengths().end());
+
+  // Count entries per doc, then fill CSR.
+  std::vector<uint32_t> counts(n, 0);
+  for (uint32_t slot = 0; slot < tracked.size(); ++slot) {
+    const PostingList* l = content_index.list(tracked.TermAt(slot));
+    if (l == nullptr) continue;
+    for (size_t i = 0; i < l->size(); ++i) counts[l->at(i).doc]++;
+  }
+  table.offsets_.resize(n + 1, 0);
+  for (uint64_t d = 0; d < n; ++d) {
+    table.offsets_[d + 1] = table.offsets_[d] + counts[d];
+  }
+  table.entries_.resize(table.offsets_[n]);
+  std::vector<uint64_t> cursor(table.offsets_.begin(),
+                               table.offsets_.end() - 1);
+  // Slots are visited in increasing order, so per-doc entries end up sorted
+  // by slot.
+  for (uint32_t slot = 0; slot < tracked.size(); ++slot) {
+    const PostingList* l = content_index.list(tracked.TermAt(slot));
+    if (l == nullptr) continue;
+    for (size_t i = 0; i < l->size(); ++i) {
+      const Posting& p = l->at(i);
+      table.entries_[cursor[p.doc]++] = {slot, p.tf};
+    }
+  }
+  return table;
+}
+
+}  // namespace csr

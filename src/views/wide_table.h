@@ -1,0 +1,89 @@
+#ifndef CSR_VIEWS_WIDE_TABLE_H_
+#define CSR_VIEWS_WIDE_TABLE_H_
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "index/inverted_index.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// The set of "tracked" keywords whose per-context document counts are
+/// stored as view parameter columns. Following Section 6.2, a keyword w is
+/// tracked iff |L_w| >= min_df (the paper uses min_df = T_C, yielding 910
+/// tracked keywords on PubMed); df of untracked keywords is cheap to compute
+/// at query time precisely because their lists are short.
+class TrackedKeywords {
+ public:
+  TrackedKeywords() = default;
+
+  /// Selects keywords with df >= min_df from the content index, capped at
+  /// `cap` keywords (most frequent first) to bound view storage.
+  static TrackedKeywords Select(const InvertedIndex& content_index,
+                                uint64_t min_df, uint32_t cap = 4096);
+
+  size_t size() const { return terms_.size(); }
+
+  /// Slot of keyword w among tracked keywords, or -1 if untracked.
+  int32_t SlotOf(TermId w) const {
+    auto it = slots_.find(w);
+    return it == slots_.end() ? -1 : static_cast<int32_t>(it->second);
+  }
+
+  bool IsTracked(TermId w) const { return slots_.count(w) > 0; }
+
+  TermId TermAt(uint32_t slot) const { return terms_[slot]; }
+  const std::vector<TermId>& terms() const { return terms_; }
+
+ private:
+  std::vector<TermId> terms_;  // sorted by TermId
+  std::unordered_map<TermId, uint32_t> slots_;
+};
+
+/// A materialization of the wide sparse table T of Section 4.1, restricted
+/// to what view building needs per document (row): the parameter columns
+/// len(d) and tf(d, w) for tracked keywords w, in forward (document-major)
+/// order. Keyword columns (the 0/1 context-predicate entries) stay in the
+/// corpus' per-document annotation sets.
+///
+/// Stored CSR-style: tracked (slot, tf) pairs of document d live in
+/// entries_[offsets_[d] .. offsets_[d+1]).
+class DocParamTable {
+ public:
+  /// One pass over the tracked keywords' posting lists.
+  static DocParamTable Build(const InvertedIndex& content_index,
+                             const TrackedKeywords& tracked);
+
+  uint64_t num_docs() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  uint32_t doc_length(DocId d) const { return doc_lengths_[d]; }
+
+  /// The tracked keywords present in document d, as (slot, tf) pairs sorted
+  /// by slot.
+  std::span<const std::pair<uint32_t, uint32_t>> TrackedOf(DocId d) const {
+    return std::span(entries_).subspan(offsets_[d],
+                                       offsets_[d + 1] - offsets_[d]);
+  }
+
+  uint64_t MemoryBytes() const {
+    return entries_.size() * sizeof(entries_[0]) +
+           offsets_.size() * sizeof(uint64_t) +
+           doc_lengths_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<std::pair<uint32_t, uint32_t>> entries_;  // (slot, tf)
+  std::vector<uint32_t> doc_lengths_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_VIEWS_WIDE_TABLE_H_

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "index/codec.h"
+#include "index/intersection.h"
+#include "util/random.h"
+
+namespace csr {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  const uint32_t values[] = {0,       1,          127,        128,
+                             16383,   16384,      2097151,    2097152,
+                             1u << 28, UINT32_MAX};
+  for (uint32_t v : values) {
+    std::string buf;
+    PutVarint32(buf, v);
+    uint32_t decoded = 0;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+    const uint8_t* end =
+        GetVarint32(p, p + buf.size(), &decoded);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(end, p + buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedInputRejected) {
+  std::string buf;
+  PutVarint32(buf, 1u << 20);  // multi-byte
+  uint32_t v;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  EXPECT_EQ(GetVarint32(p, p + 1, &v), nullptr);
+}
+
+TEST(BlockCodecTest, RoundTrip) {
+  std::vector<Posting> postings = {
+      {0, 1}, {5, 3}, {6, 1}, {1000, 255}, {1000000, 1}};
+  std::string buf;
+  PostingBlockCodec::Encode(postings, 0, buf);
+  EXPECT_LT(buf.size(), postings.size() * sizeof(Posting));
+
+  std::vector<Posting> decoded;
+  ASSERT_TRUE(
+      PostingBlockCodec::Decode(buf, 0, postings.size(), decoded).ok());
+  EXPECT_EQ(decoded, postings);
+}
+
+TEST(BlockCodecTest, RoundTripWithBase) {
+  std::vector<Posting> postings = {{500, 2}, {501, 1}, {900, 7}};
+  std::string buf;
+  PostingBlockCodec::Encode(postings, 499, buf);
+  std::vector<Posting> decoded;
+  ASSERT_TRUE(PostingBlockCodec::Decode(buf, 499, 3, decoded).ok());
+  EXPECT_EQ(decoded, postings);
+}
+
+TEST(BlockCodecTest, TruncationDetected) {
+  std::vector<Posting> postings = {{10, 1}, {20, 2}, {30, 3}};
+  std::string buf;
+  PostingBlockCodec::Encode(postings, 0, buf);
+  std::vector<Posting> decoded;
+  Status s = PostingBlockCodec::Decode(
+      std::string_view(buf).substr(0, buf.size() / 2), 0, 3, decoded);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+PostingList MakeRandomList(SplitMix64& rng, uint32_t universe,
+                           double density) {
+  PostingList l(128);
+  for (DocId d = 0; d < universe; ++d) {
+    if (rng.NextBool(density)) {
+      l.Append(d, 1 + static_cast<uint32_t>(rng.NextBounded(9)));
+    }
+  }
+  l.FinishBuild();
+  return l;
+}
+
+class CompressedListProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, uint32_t>> {};
+
+TEST_P(CompressedListProperty, DecodesBackExactly) {
+  auto [seed, density, block] = GetParam();
+  SplitMix64 rng(static_cast<uint64_t>(seed));
+  PostingList plain = MakeRandomList(rng, 20000, density);
+  auto compressed = CompressedPostingList::FromPostingList(plain, block);
+
+  EXPECT_EQ(compressed.size(), plain.size());
+  std::vector<Posting> decoded = compressed.Decode();
+  ASSERT_EQ(decoded.size(), plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(decoded[i], plain.at(i));
+  }
+  if (plain.size() > 100) {
+    EXPECT_LT(compressed.MemoryBytes(), plain.MemoryBytes())
+        << "compression made things bigger";
+  }
+}
+
+TEST_P(CompressedListProperty, IteratorMatchesPlain) {
+  auto [seed, density, block] = GetParam();
+  SplitMix64 rng(static_cast<uint64_t>(seed) ^ 0xFEED);
+  PostingList plain = MakeRandomList(rng, 20000, density);
+  if (plain.empty()) return;
+  auto compressed = CompressedPostingList::FromPostingList(plain, block);
+
+  auto pi = plain.MakeIterator();
+  auto ci = compressed.MakeIterator();
+  while (!pi.AtEnd()) {
+    ASSERT_FALSE(ci.AtEnd());
+    EXPECT_EQ(ci.doc(), pi.doc());
+    EXPECT_EQ(ci.tf(), pi.tf());
+    pi.Next();
+    ci.Next();
+  }
+  EXPECT_TRUE(ci.AtEnd());
+}
+
+TEST_P(CompressedListProperty, SkipToMatchesPlain) {
+  auto [seed, density, block] = GetParam();
+  SplitMix64 rng(static_cast<uint64_t>(seed) ^ 0xBEEF);
+  PostingList plain = MakeRandomList(rng, 20000, density);
+  if (plain.empty()) return;
+  auto compressed = CompressedPostingList::FromPostingList(plain, block);
+
+  auto pi = plain.MakeIterator();
+  auto ci = compressed.MakeIterator();
+  DocId target = 0;
+  while (true) {
+    target += static_cast<DocId>(1 + rng.NextBounded(400));
+    pi.SkipTo(target);
+    ci.SkipTo(target);
+    if (pi.AtEnd()) {
+      EXPECT_TRUE(ci.AtEnd());
+      break;
+    }
+    ASSERT_FALSE(ci.AtEnd());
+    EXPECT_EQ(ci.doc(), pi.doc());
+    EXPECT_EQ(ci.tf(), pi.tf());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressedListProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.002, 0.05, 0.6),
+                       ::testing::Values(16u, 128u, 1024u)));
+
+TEST(CompressedIntersectionTest, MatchesPlainIntersection) {
+  SplitMix64 rng(77);
+  PostingList a = MakeRandomList(rng, 30000, 0.1);
+  PostingList b = MakeRandomList(rng, 30000, 0.02);
+  auto ca = CompressedPostingList::FromPostingList(a);
+  auto cb = CompressedPostingList::FromPostingList(b);
+
+  std::vector<const PostingList*> lists = {&a, &b};
+  uint64_t expected = CountIntersection(lists);
+  EXPECT_EQ(CountCompressedIntersection(ca, cb), expected);
+  EXPECT_EQ(CountCompressedIntersection(cb, ca), expected);
+}
+
+TEST(CompressedIntersectionTest, EmptyLists) {
+  PostingList empty(128);
+  empty.FinishBuild();
+  PostingList one(128);
+  one.Append(5, 1);
+  one.FinishBuild();
+  auto ce = CompressedPostingList::FromPostingList(empty);
+  auto co = CompressedPostingList::FromPostingList(one);
+  EXPECT_EQ(CountCompressedIntersection(ce, co), 0u);
+  EXPECT_TRUE(ce.empty());
+}
+
+TEST(CompressedListTest, CompressionRatioOnDenseList) {
+  // Dense docids (delta 1-2) should compress ~4x vs 8-byte postings.
+  PostingList plain(128);
+  for (DocId d = 0; d < 100000; d += 2) plain.Append(d, 1);
+  plain.FinishBuild();
+  auto compressed = CompressedPostingList::FromPostingList(plain);
+  double ratio = static_cast<double>(plain.MemoryBytes()) /
+                 static_cast<double>(compressed.MemoryBytes());
+  EXPECT_GT(ratio, 3.0) << "ratio " << ratio;
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "corpus/atm.h"
+#include "corpus/generator.h"
+#include "corpus/ontology.h"
+#include "index/inverted_index.h"
+
+namespace csr {
+namespace {
+
+TEST(OntologyTest, TreeStructure) {
+  Ontology o;
+  TermId root = o.AddRoot("diseases");
+  TermId child = o.AddChild(root, "neoplasms").value();
+  TermId grand = o.AddChild(child, "leukemia").value();
+
+  EXPECT_EQ(o.size(), 3u);
+  EXPECT_EQ(o.parent(root), kInvalidTermId);
+  EXPECT_EQ(o.parent(child), root);
+  EXPECT_EQ(o.depth(root), 0u);
+  EXPECT_EQ(o.depth(grand), 2u);
+  EXPECT_TRUE(o.IsLeaf(grand));
+  EXPECT_FALSE(o.IsLeaf(root));
+  EXPECT_EQ(o.Find("neoplasms"), child);
+  EXPECT_EQ(o.Find("nope"), kInvalidTermId);
+}
+
+TEST(OntologyTest, AddChildUnknownParentFails) {
+  Ontology o;
+  auto r = o.AddChild(42, "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OntologyTest, AncestorsNearestFirst) {
+  Ontology o;
+  TermId a = o.AddRoot("a");
+  TermId b = o.AddChild(a, "b").value();
+  TermId c = o.AddChild(b, "c").value();
+  auto anc = o.Ancestors(c);
+  ASSERT_EQ(anc.size(), 2u);
+  EXPECT_EQ(anc[0], b);
+  EXPECT_EQ(anc[1], a);
+  EXPECT_TRUE(o.Ancestors(a).empty());
+}
+
+TEST(OntologyTest, ClosureAttachesAllAncestors) {
+  Ontology o;
+  TermId a = o.AddRoot("a");
+  TermId b = o.AddChild(a, "b").value();
+  TermId c = o.AddChild(b, "c").value();
+  TermId d = o.AddChild(a, "d").value();
+
+  TermIdSet closure = o.Closure(std::vector<TermId>{c, d});
+  EXPECT_EQ(closure, (TermIdSet{a, b, c, d}));
+  EXPECT_TRUE(std::is_sorted(closure.begin(), closure.end()));
+}
+
+TEST(OntologyTest, IsAncestor) {
+  Ontology o;
+  TermId a = o.AddRoot("a");
+  TermId b = o.AddChild(a, "b").value();
+  TermId c = o.AddChild(b, "c").value();
+  TermId d = o.AddRoot("d");
+  EXPECT_TRUE(o.IsAncestor(a, c));
+  EXPECT_TRUE(o.IsAncestor(b, c));
+  EXPECT_FALSE(o.IsAncestor(c, a));
+  EXPECT_FALSE(o.IsAncestor(d, c));
+  EXPECT_FALSE(o.IsAncestor(c, c));
+}
+
+TEST(OntologyTest, GenerateTreeShape) {
+  std::vector<uint32_t> fanouts = {12, 8, 6};
+  Ontology o = Ontology::GenerateTree(fanouts);
+  // 12 + 96 + 576 = 684, the paper's KAG size.
+  EXPECT_EQ(o.size(), 684u);
+  EXPECT_EQ(o.Leaves().size(), 576u);
+  // Hierarchical names resolve.
+  TermId node = o.Find("C3.7.2");
+  ASSERT_NE(node, kInvalidTermId);
+  EXPECT_EQ(o.depth(node), 2u);
+  EXPECT_EQ(o.name(o.parent(node)), "C3.7");
+}
+
+CorpusConfig SmallConfig() {
+  CorpusConfig cfg;
+  cfg.num_docs = 2000;
+  cfg.vocab_size = 2000;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(CorpusGeneratorTest, RejectsBadConfigs) {
+  CorpusConfig cfg = SmallConfig();
+  cfg.num_docs = 0;
+  EXPECT_FALSE(CorpusGenerator(cfg).Generate().ok());
+  cfg = SmallConfig();
+  cfg.vocab_size = 10;
+  EXPECT_FALSE(CorpusGenerator(cfg).Generate().ok());
+  cfg = SmallConfig();
+  cfg.ontology_fanouts.clear();
+  EXPECT_FALSE(CorpusGenerator(cfg).Generate().ok());
+}
+
+TEST(CorpusGeneratorTest, GeneratesValidDocuments) {
+  auto r = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(r.ok());
+  const Corpus& c = r.value();
+  EXPECT_EQ(c.docs.size(), 2000u);
+  EXPECT_EQ(c.ontology.size(), 4u + 12u);
+
+  for (const Document& d : c.docs) {
+    EXPECT_FALSE(d.title.empty());
+    EXPECT_FALSE(d.abstract_text.empty());
+    EXPECT_FALSE(d.annotations.empty());
+    EXPECT_TRUE(std::is_sorted(d.annotations.begin(), d.annotations.end()));
+    // Annotations are closed under ancestors.
+    for (TermId m : d.annotations) {
+      TermId p = c.ontology.parent(m);
+      if (p != kInvalidTermId) {
+        EXPECT_TRUE(std::binary_search(d.annotations.begin(),
+                                       d.annotations.end(), p))
+            << "annotation " << m << " missing ancestor " << p;
+      }
+    }
+    for (TermId w : d.title) EXPECT_LT(w, c.config.vocab_size);
+    for (TermId w : d.abstract_text) EXPECT_LT(w, c.config.vocab_size);
+  }
+}
+
+TEST(CorpusGeneratorTest, Deterministic) {
+  auto a = CorpusGenerator(SmallConfig()).Generate();
+  auto b = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->docs.size(), b->docs.size());
+  for (size_t i = 0; i < a->docs.size(); ++i) {
+    EXPECT_EQ(a->docs[i].title, b->docs[i].title);
+    EXPECT_EQ(a->docs[i].annotations, b->docs[i].annotations);
+  }
+}
+
+TEST(CorpusGeneratorTest, DifferentSeedsDiffer) {
+  CorpusConfig cfg2 = SmallConfig();
+  cfg2.seed = 100;
+  auto a = CorpusGenerator(SmallConfig()).Generate();
+  auto b = CorpusGenerator(cfg2).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->docs.size() && !any_diff; ++i) {
+    any_diff = a->docs[i].title != b->docs[i].title;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CorpusGeneratorTest, TopicalTermsConcentrateInConcept) {
+  // The defining property of the synthetic corpus: a concept_id's top topical
+  // term must be far denser inside the concept_id than outside.
+  CorpusConfig cfg = SmallConfig();
+  cfg.num_docs = 5000;
+  auto r = CorpusGenerator(cfg).Generate();
+  ASSERT_TRUE(r.ok());
+  const Corpus& c = r.value();
+
+  // Pick the concept_id with the most documents.
+  std::vector<uint32_t> member_count(c.ontology.size(), 0);
+  for (const Document& d : c.docs) {
+    for (TermId m : d.annotations) member_count[m]++;
+  }
+  TermId concept_id = static_cast<TermId>(
+      std::max_element(member_count.begin(), member_count.end()) -
+      member_count.begin());
+  TermId topical = CorpusGenerator::ConceptTopicalTerm(
+      concept_id, 0, cfg.vocab_size, cfg.topical_window);
+
+  uint64_t in_ctx_docs = 0, in_ctx_hits = 0, out_docs = 0, out_hits = 0;
+  for (const Document& d : c.docs) {
+    bool in_ctx = std::binary_search(d.annotations.begin(),
+                                     d.annotations.end(), concept_id);
+    bool has = false;
+    for (TermId w : d.title) has = has || (w == topical);
+    for (TermId w : d.abstract_text) has = has || (w == topical);
+    if (in_ctx) {
+      in_ctx_docs++;
+      in_ctx_hits += has;
+    } else {
+      out_docs++;
+      out_hits += has;
+    }
+  }
+  ASSERT_GT(in_ctx_docs, 0u);
+  ASSERT_GT(out_docs, 0u);
+  double rate_in = static_cast<double>(in_ctx_hits) / in_ctx_docs;
+  double rate_out = static_cast<double>(out_hits) / out_docs;
+  EXPECT_GT(rate_in, 4.0 * rate_out)
+      << "topical term not context-concentrated: " << rate_in << " vs "
+      << rate_out;
+}
+
+TEST(ConceptWindowTest, DeterministicAndInRange) {
+  for (TermId c = 0; c < 100; ++c) {
+    TermId s1 = CorpusGenerator::ConceptWindowStart(c, 20000, 400);
+    TermId s2 = CorpusGenerator::ConceptWindowStart(c, 20000, 400);
+    EXPECT_EQ(s1, s2);
+    EXPECT_GE(s1, 1000u);            // past the reserved global head
+    EXPECT_LE(s1 + 400, 20000u);     // window inside vocabulary
+  }
+}
+
+TEST(AtmMapperTest, MapsTopicalKeywordToItsConcept) {
+  CorpusConfig cfg = SmallConfig();
+  cfg.num_docs = 4000;
+  auto r = CorpusGenerator(cfg).Generate();
+  ASSERT_TRUE(r.ok());
+  Corpus corpus = std::move(r).value();
+
+  IndexBuilder cb, pb;
+  for (const Document& d : corpus.docs) {
+    ASSERT_TRUE(cb.AddDocument(d.id, d.ContentTokens()).ok());
+    ASSERT_TRUE(pb.AddDocument(d.id, d.annotations).ok());
+  }
+  InvertedIndex content = cb.Build();
+  InvertedIndex predicates = pb.Build();
+
+  AtmMapper atm(&corpus, &content, &predicates);
+
+  // The top topical term of a leaf concept_id should map back to that concept_id
+  // or one of its ancestors.
+  std::vector<TermId> leaves = corpus.ontology.Leaves();
+  int mapped_to_related = 0, total = 0;
+  for (TermId leaf : leaves) {
+    TermId w = CorpusGenerator::ConceptTopicalTerm(leaf, 0, cfg.vocab_size,
+                                                   cfg.topical_window);
+    const TermIdSet& mapped = atm.MapKeyword(w);
+    if (mapped.empty()) continue;
+    ++total;
+    TermId m = mapped[0];
+    if (m == leaf || corpus.ontology.IsAncestor(m, leaf)) mapped_to_related++;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(mapped_to_related * 2, total)
+      << "ATM mapped only " << mapped_to_related << "/" << total
+      << " topical terms to a related concept_id";
+
+  // MapQuery unions and sorts.
+  TermId w0 = CorpusGenerator::ConceptTopicalTerm(leaves[0], 0,
+                                                  cfg.vocab_size,
+                                                  cfg.topical_window);
+  TermId w1 = CorpusGenerator::ConceptTopicalTerm(leaves[1], 0,
+                                                  cfg.vocab_size,
+                                                  cfg.topical_window);
+  TermIdSet ctx = atm.MapQuery(std::vector<TermId>{w0, w1});
+  EXPECT_TRUE(std::is_sorted(ctx.begin(), ctx.end()));
+  EXPECT_TRUE(std::adjacent_find(ctx.begin(), ctx.end()) == ctx.end());
+}
+
+TEST(AtmMapperTest, UnknownKeywordMapsToNothing) {
+  CorpusConfig cfg = SmallConfig();
+  auto r = CorpusGenerator(cfg).Generate();
+  ASSERT_TRUE(r.ok());
+  Corpus corpus = std::move(r).value();
+  IndexBuilder cb, pb;
+  for (const Document& d : corpus.docs) {
+    ASSERT_TRUE(cb.AddDocument(d.id, d.ContentTokens()).ok());
+    ASSERT_TRUE(pb.AddDocument(d.id, d.annotations).ok());
+  }
+  InvertedIndex content = cb.Build();
+  InvertedIndex predicates = pb.Build();
+  AtmMapper atm(&corpus, &content, &predicates);
+  EXPECT_TRUE(atm.MapKeyword(kInvalidTermId - 1).empty());
+}
+
+}  // namespace
+}  // namespace csr

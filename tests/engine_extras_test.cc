@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "engine/query_parser.h"
+#include "engine/stats_cache.h"
+#include "engine/wand.h"
+#include "stats/collector.h"
+
+namespace csr {
+namespace {
+
+Corpus SmallCorpus(uint32_t docs = 5000) {
+  CorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 2000;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = 61;
+  return CorpusGenerator(cfg).Generate().value();
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(QueryParserTest, ParsesKeywordsAndContext) {
+  Corpus corpus = SmallCorpus(200);
+  QueryParser parser = QueryParser::ForCorpus(corpus);
+  auto q = parser.Parse("w12 w7 | C1 & C2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->keywords, (std::vector<TermId>{12, 7}));
+  TermId c1 = corpus.ontology.Find("C1");
+  TermId c2 = corpus.ontology.Find("C2");
+  TermIdSet expected = {c1, c2};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(q->context, expected);
+}
+
+TEST(QueryParserTest, AndConnectorAndDuplicates) {
+  Corpus corpus = SmallCorpus(200);
+  QueryParser parser = QueryParser::ForCorpus(corpus);
+  auto q = parser.Parse("w3 w3 | C0 AND C0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords.size(), 2u);  // duplicates kept: they feed tq
+  EXPECT_EQ(q->context.size(), 1u);   // context deduplicated
+}
+
+TEST(QueryParserTest, NoContextPart) {
+  Corpus corpus = SmallCorpus(200);
+  QueryParser parser = QueryParser::ForCorpus(corpus);
+  auto q = parser.Parse("w1 w2 w3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->context.empty());
+  EXPECT_EQ(q->keywords.size(), 3u);
+}
+
+TEST(QueryParserTest, Errors) {
+  Corpus corpus = SmallCorpus(200);
+  QueryParser parser = QueryParser::ForCorpus(corpus);
+  EXPECT_EQ(parser.Parse("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parser.Parse("w1 |").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parser.Parse("nosuchword | C0").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(parser.Parse("w1 | NoSuchConcept").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(parser.Parse("w999999999 | C0").status().code(),
+            StatusCode::kNotFound);  // out of vocabulary range
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(StatsCacheTest, HitAfterPut) {
+  StatsCache cache(4);
+  TermIdSet ctx = {1, 2};
+  std::vector<TermId> kws = {10};
+  EXPECT_EQ(cache.Get(ctx, kws), nullptr);
+  CollectionStats s;
+  s.cardinality = 99;
+  cache.Put(ctx, kws, s);
+  const CollectionStats* hit = cache.Get(ctx, kws);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cardinality, 99u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(StatsCacheTest, ContextKeywordBoundaryUnambiguous) {
+  StatsCache cache(4);
+  CollectionStats s1, s2;
+  s1.cardinality = 1;
+  s2.cardinality = 2;
+  cache.Put(TermIdSet{1}, std::vector<TermId>{2}, s1);
+  cache.Put(TermIdSet{1, 2}, std::vector<TermId>{}, s2);
+  EXPECT_EQ(cache.Get(TermIdSet{1}, std::vector<TermId>{2})->cardinality, 1u);
+  EXPECT_EQ(cache.Get(TermIdSet{1, 2}, std::vector<TermId>{})->cardinality,
+            2u);
+}
+
+TEST(StatsCacheTest, EvictsLeastRecentlyUsed) {
+  StatsCache cache(2);
+  CollectionStats s;
+  cache.Put(TermIdSet{1}, {}, s);
+  cache.Put(TermIdSet{2}, {}, s);
+  EXPECT_NE(cache.Get(TermIdSet{1}, {}), nullptr);  // 1 now most recent
+  cache.Put(TermIdSet{3}, {}, s);                   // evicts 2
+  EXPECT_NE(cache.Get(TermIdSet{1}, {}), nullptr);
+  EXPECT_EQ(cache.Get(TermIdSet{2}, {}), nullptr);
+  EXPECT_NE(cache.Get(TermIdSet{3}, {}), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(StatsCacheTest, ZeroCapacityDisabled) {
+  StatsCache cache(0);
+  CollectionStats s;
+  cache.Put(TermIdSet{1}, {}, s);
+  EXPECT_EQ(cache.Get(TermIdSet{1}, {}), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(StatsCacheTest, EngineUsesCache) {
+  EngineConfig ecfg;
+  ecfg.stats_cache_capacity = 16;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+  const CorpusConfig& cc = engine->corpus().config;
+  TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                 cc.topical_window);
+  ContextQuery q{{w}, {0}};
+  auto first = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->metrics.stats_cache_hit);
+  auto second = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->metrics.stats_cache_hit);
+  EXPECT_EQ(first->stats.df, second->stats.df);
+  ASSERT_EQ(first->top_docs.size(), second->top_docs.size());
+  for (size_t i = 0; i < first->top_docs.size(); ++i) {
+    EXPECT_EQ(first->top_docs[i].doc, second->top_docs[i].doc);
+  }
+  ASSERT_NE(engine->stats_cache(), nullptr);
+  EXPECT_GE(engine->stats_cache()->hits(), 1u);
+}
+
+TEST(ExplainTest, PlanStringsDescribeExecution) {
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), {}).value();
+  ASSERT_TRUE(engine->MaterializeViews({ViewDefinition{{0, 1, 2, 3}}}).ok());
+  const CorpusConfig& cc = engine->corpus().config;
+  TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                 cc.topical_window);
+  ContextQuery q{{w}, {0}};
+
+  auto conv = engine->Search(q, EvaluationMode::kConventional);
+  ASSERT_TRUE(conv.ok());
+  EXPECT_NE(conv->metrics.plan.find("global statistics"), std::string::npos)
+      << conv->metrics.plan;
+
+  auto direct = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NE(direct->metrics.plan.find("straightforward"), std::string::npos);
+  EXPECT_NE(direct->metrics.plan.find("retrieval"), std::string::npos);
+
+  auto viewed = engine->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(viewed.ok());
+  EXPECT_NE(viewed->metrics.plan.find("view scan"), std::string::npos)
+      << viewed->metrics.plan;
+
+  // Fallback reason is spelled out.
+  ContextQuery uncovered{{w}, {0, 4}};
+  auto fb = engine->Search(uncovered, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(fb.ok());
+  EXPECT_NE(fb->metrics.plan.find("no usable view"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ WAND
+
+class WandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig ecfg;
+    engine_ = ContextSearchEngine::Build(SmallCorpus(8000), ecfg).value();
+  }
+  std::unique_ptr<ContextSearchEngine> engine_;
+};
+
+TEST_F(WandTest, MatchesExhaustiveRanking) {
+  const CorpusConfig& cc = engine_->corpus().config;
+  for (TermId c : {0u, 1u, 2u}) {
+    std::vector<TermId> kws = {
+        CorpusGenerator::ConceptTopicalTerm(c, 0, cc.vocab_size,
+                                            cc.topical_window),
+        CorpusGenerator::ConceptTopicalTerm(c + 4, 0, cc.vocab_size,
+                                            cc.topical_window),
+        5 /* a globally common background term */};
+    QueryStats q = QueryStats::FromKeywords(kws);
+    CollectionStats stats =
+        GlobalCollectionStats(engine_->content_index(), q.keywords);
+
+    auto ex = ExhaustiveOrTopK(engine_->content_index(), q, stats, 10);
+    auto wd = WandTopK(engine_->content_index(), q, stats, 10);
+    ASSERT_EQ(ex.top_docs.size(), wd.top_docs.size());
+    for (size_t i = 0; i < ex.top_docs.size(); ++i) {
+      EXPECT_EQ(ex.top_docs[i].doc, wd.top_docs[i].doc) << "rank " << i;
+      EXPECT_DOUBLE_EQ(ex.top_docs[i].score, wd.top_docs[i].score);
+    }
+    // WAND must actually prune.
+    EXPECT_LT(wd.docs_scored, ex.docs_scored)
+        << "WAND scored as many docs as exhaustive";
+  }
+}
+
+TEST_F(WandTest, PrunesMoreWithSkewedWeights) {
+  // One very rare + one very common term: the common term alone cannot
+  // reach the threshold, so WAND should skip most of its list.
+  const CorpusConfig& cc = engine_->corpus().config;
+  TermId rare = CorpusGenerator::ConceptTopicalTerm(3, 50, cc.vocab_size,
+                                                    cc.topical_window);
+  std::vector<TermId> kws = {rare, 2 /* top background term */};
+  QueryStats q = QueryStats::FromKeywords(kws);
+  CollectionStats stats =
+      GlobalCollectionStats(engine_->content_index(), q.keywords);
+  if (stats.df[0] == 0) GTEST_SKIP() << "rare term absent at this seed";
+
+  auto ex = ExhaustiveOrTopK(engine_->content_index(), q, stats, 10);
+  auto wd = WandTopK(engine_->content_index(), q, stats, 10);
+  ASSERT_FALSE(wd.top_docs.empty());
+  EXPECT_LT(wd.docs_scored * 2, ex.docs_scored)
+      << "expected >2x pruning, got " << wd.docs_scored << " vs "
+      << ex.docs_scored;
+}
+
+TEST_F(WandTest, EmptyAndUnknownTerms) {
+  QueryStats q = QueryStats::FromKeywords(std::vector<TermId>{1999999});
+  CollectionStats stats;
+  stats.cardinality = 10;
+  stats.total_length = 100;
+  stats.df = {0};
+  auto wd = WandTopK(engine_->content_index(), q, stats, 10);
+  EXPECT_TRUE(wd.top_docs.empty());
+  auto ex = ExhaustiveOrTopK(engine_->content_index(), q, stats, 10);
+  EXPECT_TRUE(ex.top_docs.empty());
+}
+
+}  // namespace
+}  // namespace csr

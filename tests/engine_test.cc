@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "engine/top_k.h"
+
+namespace csr {
+namespace {
+
+Corpus MakeCorpus(uint32_t docs = 4000, uint64_t seed = 23) {
+  CorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 2000;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = seed;
+  auto r = CorpusGenerator(cfg).Generate();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+EngineConfig SmallEngineConfig() {
+  EngineConfig cfg;
+  cfg.top_k = 10;
+  cfg.context_threshold_fraction = 0.02;
+  cfg.view_size_threshold = 128;
+  cfg.estimator_sample = 2000;
+  return cfg;
+}
+
+TEST(TopKCollectorTest, KeepsBestKSorted) {
+  TopKCollector c(3);
+  c.Offer(1, 0.5);
+  c.Offer(2, 0.9);
+  c.Offer(3, 0.1);
+  c.Offer(4, 0.7);
+  c.Offer(5, 0.3);
+  auto out = c.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].doc, 2u);
+  EXPECT_EQ(out[1].doc, 4u);
+  EXPECT_EQ(out[2].doc, 1u);
+}
+
+TEST(TopKCollectorTest, TieBreaksByDocId) {
+  TopKCollector c(2);
+  c.Offer(9, 1.0);
+  c.Offer(3, 1.0);
+  c.Offer(7, 1.0);
+  auto out = c.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 3u);
+  EXPECT_EQ(out[1].doc, 7u);
+}
+
+TEST(TopKCollectorTest, FewerThanK) {
+  TopKCollector c(10);
+  c.Offer(1, 0.2);
+  auto out = c.Take();
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(EngineBuildTest, RejectsBadInputs) {
+  EXPECT_FALSE(ContextSearchEngine::Build(Corpus{}, EngineConfig{}).ok());
+
+  Corpus corpus = MakeCorpus(500);
+  EngineConfig cfg;
+  cfg.top_k = 0;
+  EXPECT_FALSE(ContextSearchEngine::Build(std::move(corpus), cfg).ok());
+
+  Corpus corpus2 = MakeCorpus(500);
+  EngineConfig cfg2;
+  cfg2.ranking = "no-such-ranker";
+  EXPECT_FALSE(ContextSearchEngine::Build(std::move(corpus2), cfg2).ok());
+
+  // Dirichlet LM needs tc columns.
+  Corpus corpus3 = MakeCorpus(500);
+  EngineConfig cfg3;
+  cfg3.ranking = "dirichlet";
+  cfg3.track_tc = false;
+  EXPECT_FALSE(ContextSearchEngine::Build(std::move(corpus3), cfg3).ok());
+  Corpus corpus4 = MakeCorpus(500);
+  cfg3.track_tc = true;
+  EXPECT_TRUE(ContextSearchEngine::Build(std::move(corpus4), cfg3).ok());
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = ContextSearchEngine::Build(MakeCorpus(), SmallEngineConfig());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    engine_ = std::move(r).value();
+  }
+
+  /// A query guaranteed to have matches: the top topical term of a root
+  /// concept, searched within that concept.
+  ContextQuery TopicalQuery(TermId root = 0) {
+    const CorpusConfig& cfg = engine_->corpus().config;
+    TermId w = CorpusGenerator::ConceptTopicalTerm(
+        root, 0, cfg.vocab_size, cfg.topical_window);
+    return ContextQuery{{w}, {root}};
+  }
+
+  std::unique_ptr<ContextSearchEngine> engine_;
+};
+
+TEST_F(EngineFixture, SearchValidation) {
+  EXPECT_FALSE(engine_->Search(ContextQuery{{}, {0}},
+                               EvaluationMode::kConventional)
+                   .ok());
+  EXPECT_FALSE(engine_->Search(ContextQuery{{1}, {}},
+                               EvaluationMode::kContextStraightforward)
+                   .ok());
+  EXPECT_FALSE(engine_->Search(ContextQuery{{1}, {5, 2}},  // unsorted
+                               EvaluationMode::kContextStraightforward)
+                   .ok());
+  // Conventional mode with empty context is fine.
+  EXPECT_TRUE(
+      engine_->Search(ContextQuery{{1}, {}}, EvaluationMode::kConventional)
+          .ok());
+}
+
+TEST_F(EngineFixture, ResultSetIdenticalAcrossModes) {
+  ContextQuery q = TopicalQuery();
+  auto conv = engine_->Search(q, EvaluationMode::kConventional);
+  auto ctx = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(conv.ok());
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_GT(conv->result_count, 0u);
+  // Query semantics: same unranked result (Section 3.2.2).
+  EXPECT_EQ(conv->result_count, ctx->result_count);
+}
+
+TEST_F(EngineFixture, ContextStatsDifferFromGlobal) {
+  ContextQuery q = TopicalQuery();
+  auto conv = engine_->Search(q, EvaluationMode::kConventional);
+  auto ctx = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(conv.ok());
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_GT(conv->stats.cardinality, ctx->stats.cardinality);
+  EXPECT_LE(ctx->stats.df[0], conv->stats.df[0]);
+  EXPECT_GT(ctx->stats.cardinality, 0u);
+}
+
+TEST_F(EngineFixture, ViewsProduceExactlyStraightforwardRanking) {
+  // Materialize a view over the root concepts, then verify the view-based
+  // plan returns bit-identical statistics AND ranking as the
+  // straightforward plan. This is the end-to-end Theorem 4.1 check.
+  ASSERT_TRUE(engine_->MaterializeViews({ViewDefinition{{0, 1, 2, 3}}}).ok());
+
+  for (TermId root = 0; root < 4; ++root) {
+    ContextQuery q = TopicalQuery(root);
+    auto direct = engine_->Search(q, EvaluationMode::kContextStraightforward);
+    auto viewed = engine_->Search(q, EvaluationMode::kContextWithViews);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(viewed.ok());
+
+    EXPECT_TRUE(viewed->metrics.used_view);
+    EXPECT_FALSE(viewed->metrics.fell_back_to_straightforward);
+    EXPECT_EQ(viewed->stats.cardinality, direct->stats.cardinality);
+    EXPECT_EQ(viewed->stats.total_length, direct->stats.total_length);
+    EXPECT_EQ(viewed->stats.df, direct->stats.df);
+
+    ASSERT_EQ(viewed->top_docs.size(), direct->top_docs.size());
+    for (size_t i = 0; i < viewed->top_docs.size(); ++i) {
+      EXPECT_EQ(viewed->top_docs[i].doc, direct->top_docs[i].doc);
+      EXPECT_DOUBLE_EQ(viewed->top_docs[i].score, direct->top_docs[i].score);
+    }
+  }
+}
+
+TEST_F(EngineFixture, UncoveredContextFallsBack) {
+  ASSERT_TRUE(engine_->MaterializeViews({ViewDefinition{{0, 1}}}).ok());
+  ContextQuery q = TopicalQuery(2);  // context {2} not covered
+  auto r = engine_->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->metrics.used_view);
+  EXPECT_TRUE(r->metrics.fell_back_to_straightforward);
+  // Still exact.
+  auto direct = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(r->stats.df, direct->stats.df);
+}
+
+TEST_F(EngineFixture, UntrackedKeywordComputedAtQueryTime) {
+  ASSERT_TRUE(engine_->MaterializeViews({ViewDefinition{{0, 1, 2, 3}}}).ok());
+  // Find an existing but untracked keyword that co-occurs with context 0.
+  const InvertedIndex& content = engine_->content_index();
+  TermId untracked = kInvalidTermId;
+  for (TermId w = 0; w < content.num_terms(); ++w) {
+    if (content.df(w) >= 3 && !engine_->tracked().IsTracked(w)) {
+      untracked = w;
+      break;
+    }
+  }
+  ASSERT_NE(untracked, kInvalidTermId);
+  ContextQuery q{{untracked}, {0}};
+  auto viewed = engine_->Search(q, EvaluationMode::kContextWithViews);
+  auto direct = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(viewed.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(viewed->metrics.used_view);
+  EXPECT_EQ(viewed->metrics.keywords_uncovered_by_view, 1u);
+  EXPECT_EQ(viewed->stats.df, direct->stats.df);
+}
+
+TEST_F(EngineFixture, SelectAndMaterializeCoversLargeContexts) {
+  ASSERT_TRUE(engine_->SelectAndMaterializeViews().ok());
+  EXPECT_GT(engine_->catalog().size(), 0u);
+
+  // Every single-predicate context above T_C must hit a view.
+  uint64_t t_c = engine_->context_threshold();
+  const InvertedIndex& preds = engine_->predicate_index();
+  uint32_t checked = 0;
+  for (TermId m = 0; m < preds.num_terms(); ++m) {
+    if (preds.df(m) < t_c) continue;
+    ++checked;
+    EXPECT_NE(engine_->catalog().FindBest(TermIdSet{m}), nullptr)
+        << "predicate " << m << " with df " << preds.df(m) << " uncovered";
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(EngineFixture, MetricsArePopulated) {
+  ContextQuery q = TopicalQuery();
+  auto r = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->metrics.cost.entries_scanned, 0u);
+  EXPECT_GT(r->metrics.cost.aggregation_entries, 0u);
+  EXPECT_GE(r->metrics.total_ms, 0.0);
+  EXPECT_LE(r->top_docs.size(), engine_->config().top_k);
+}
+
+TEST_F(EngineFixture, ContextSizeMatchesCardinality) {
+  ContextQuery q = TopicalQuery();
+  auto r = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine_->ContextSize(q.context), r->stats.cardinality);
+  EXPECT_EQ(engine_->ContextSize(TermIdSet{99999}), 0u);
+}
+
+/// Results must be invariant under the skip-segment size M0 — it is a
+/// performance knob only (Section 3.2.1).
+class SegmentSizeInvariance : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SegmentSizeInvariance, RankingIndependentOfM0) {
+  EngineConfig cfg = SmallEngineConfig();
+  cfg.segment_size = GetParam();
+  auto engine = ContextSearchEngine::Build(MakeCorpus(3000), cfg).value();
+  const CorpusConfig& cc = engine->corpus().config;
+  TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                 cc.topical_window);
+  ContextQuery q{{w}, {0}};
+  auto r = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(r.ok());
+
+  // Reference at the default segment size.
+  EngineConfig ref_cfg = SmallEngineConfig();
+  auto ref_engine =
+      ContextSearchEngine::Build(MakeCorpus(3000), ref_cfg).value();
+  auto ref = ref_engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(ref.ok());
+
+  EXPECT_EQ(r->result_count, ref->result_count);
+  EXPECT_EQ(r->stats.df, ref->stats.df);
+  ASSERT_EQ(r->top_docs.size(), ref->top_docs.size());
+  for (size_t i = 0; i < r->top_docs.size(); ++i) {
+    EXPECT_EQ(r->top_docs[i].doc, ref->top_docs[i].doc);
+    EXPECT_DOUBLE_EQ(r->top_docs[i].score, ref->top_docs[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(M0Sweep, SegmentSizeInvariance,
+                         ::testing::Values(4u, 16u, 64u, 256u, 1024u));
+
+TEST_F(EngineFixture, EvaluationModeNames) {
+  EXPECT_EQ(EvaluationModeName(EvaluationMode::kConventional),
+            "conventional");
+  EXPECT_EQ(EvaluationModeName(EvaluationMode::kContextStraightforward),
+            "context-straightforward");
+  EXPECT_EQ(EvaluationModeName(EvaluationMode::kContextWithViews),
+            "context-with-views");
+}
+
+}  // namespace
+}  // namespace csr

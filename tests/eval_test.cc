@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
+#include "eval/topics.h"
+
+namespace csr {
+namespace {
+
+TEST(MetricsTest, RelevantInTopK) {
+  std::vector<SearchResultEntry> ranked = {
+      {10, 0.9}, {20, 0.8}, {30, 0.7}, {40, 0.6}};
+  std::unordered_set<DocId> rel = {20, 40, 99};
+  EXPECT_EQ(RelevantInTopK(ranked, rel, 1), 0u);
+  EXPECT_EQ(RelevantInTopK(ranked, rel, 2), 1u);
+  EXPECT_EQ(RelevantInTopK(ranked, rel, 4), 2u);
+  EXPECT_EQ(RelevantInTopK(ranked, rel, 100), 2u);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, rel, 0), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecision) {
+  std::vector<SearchResultEntry> ranked = {
+      {10, .9}, {20, .8}, {30, .7}, {40, .6}};
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  std::unordered_set<DocId> rel = {10, 30};
+  EXPECT_NEAR(AveragePrecision(ranked, rel), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  // Perfect ranking.
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, {{10, 20, 30, 40}}), 1.0);
+  // Nothing relevant.
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, {{99}}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, {}), 0.0);
+}
+
+TEST(MetricsTest, NdcgAtK) {
+  std::vector<SearchResultEntry> ranked = {
+      {10, .9}, {20, .8}, {30, .7}};
+  // All relevant: perfect NDCG.
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, {{10, 20, 30}}, 3), 1.0);
+  // Single relevant at rank 2 of 2 ideal... ideal puts it at rank 1:
+  // dcg = 1/log2(3), idcg = 1/log2(2) = 1.
+  EXPECT_NEAR(NdcgAtK(ranked, {{20}}, 3), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, {{99}}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, {{1}}, 3), 0.0);
+  // Order matters: relevant at rank 1 beats relevant at rank 3.
+  EXPECT_GT(NdcgAtK(ranked, {{10}}, 3), NdcgAtK(ranked, {{30}}, 3));
+}
+
+TEST(MetricsTest, ReciprocalRank) {
+  std::vector<SearchResultEntry> ranked = {
+      {10, 0.9}, {20, 0.8}, {30, 0.7}};
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, {{10}}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, {{30}}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ranked, {{77}}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}, {{1}}), 0.0);
+}
+
+Corpus EvalCorpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 8000;
+  cfg.vocab_size = 3000;
+  cfg.ontology_fanouts = {5, 4};
+  cfg.seed = 77;
+  auto r = CorpusGenerator(cfg).Generate();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(TopicPlanterTest, PlantsValidTopics) {
+  Corpus corpus = EvalCorpus();
+  TopicPlanterConfig cfg;
+  cfg.num_topics = 12;
+  cfg.min_context_size = 300;
+  auto r = TopicPlanter(cfg).Plant(corpus);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& topics = r.value();
+  EXPECT_GE(topics.size(), 8u);  // some draws may be skipped
+
+  for (const Topic& t : topics) {
+    EXPECT_EQ(t.keywords.size(), 2u);
+    EXPECT_NE(t.keywords[0], t.keywords[1]);
+    EXPECT_FALSE(t.context.empty());
+    EXPECT_GE(t.relevant.size(), cfg.relevant_per_topic);
+    EXPECT_TRUE(std::is_sorted(t.relevant.begin(), t.relevant.end()));
+    // Every relevant doc lies inside the context and matches the query.
+    for (DocId d : t.relevant) {
+      const Document& doc = corpus.docs[d];
+      for (TermId m : t.context) {
+        EXPECT_TRUE(std::binary_search(doc.annotations.begin(),
+                                       doc.annotations.end(), m));
+      }
+      auto tokens = doc.ContentTokens();
+      for (TermId w : t.keywords) {
+        EXPECT_NE(std::find(tokens.begin(), tokens.end(), w), tokens.end())
+            << "relevant doc missing query keyword";
+      }
+    }
+  }
+}
+
+TEST(TopicPlanterTest, FailsOnTinyCorpus) {
+  CorpusConfig cfg;
+  cfg.num_docs = 200;
+  cfg.vocab_size = 500;
+  cfg.ontology_fanouts = {3};
+  auto corpus = CorpusGenerator(cfg).Generate();
+  ASSERT_TRUE(corpus.ok());
+  Corpus c = std::move(corpus).value();
+  TopicPlanterConfig tcfg;
+  tcfg.min_context_size = 100000;
+  EXPECT_FALSE(TopicPlanter(tcfg).Plant(c).ok());
+}
+
+TEST(TopicPlanterTest, GoodFitTopicFavorsContextRanking) {
+  // The headline quality claim in miniature: on a good-fit topic,
+  // context-sensitive ranking must beat conventional ranking.
+  Corpus corpus = EvalCorpus();
+  TopicPlanterConfig tcfg;
+  tcfg.num_topics = 10;
+  tcfg.poor_fit_fraction = 0.0;  // all topics favour context
+  tcfg.min_context_size = 300;
+  auto topics_r = TopicPlanter(tcfg).Plant(corpus);
+  ASSERT_TRUE(topics_r.ok());
+  auto topics = std::move(topics_r).value();
+
+  EngineConfig ecfg;
+  ecfg.top_k = 20;
+  auto engine_r = ContextSearchEngine::Build(std::move(corpus), ecfg);
+  ASSERT_TRUE(engine_r.ok());
+  auto engine = std::move(engine_r).value();
+
+  double conv_total = 0, ctx_total = 0;
+  int evaluated = 0;
+  for (const Topic& t : topics) {
+    ContextQuery q{t.keywords, t.context};
+    auto conv = engine->Search(q, EvaluationMode::kConventional);
+    auto ctx = engine->Search(q, EvaluationMode::kContextStraightforward);
+    ASSERT_TRUE(conv.ok());
+    ASSERT_TRUE(ctx.ok());
+    if (conv->result_count < 20) continue;  // mirror the paper's filter
+    std::unordered_set<DocId> rel(t.relevant.begin(), t.relevant.end());
+    conv_total += RelevantInTopK(conv->top_docs, rel, 20);
+    ctx_total += RelevantInTopK(ctx->top_docs, rel, 20);
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 3);
+  EXPECT_GT(ctx_total, conv_total)
+      << "context-sensitive ranking did not improve precision on planted "
+         "good-fit topics (ctx "
+      << ctx_total << " vs conv " << conv_total << " over " << evaluated
+      << " topics)";
+}
+
+TEST(WorkloadGeneratorTest, GeneratesClassifiedQueries) {
+  Corpus corpus = EvalCorpus();
+  EngineConfig ecfg;
+  auto engine_r = ContextSearchEngine::Build(std::move(corpus), ecfg);
+  ASSERT_TRUE(engine_r.ok());
+  auto engine = std::move(engine_r).value();
+
+  WorkloadGenerator gen(engine.get(), 5);
+  auto small = gen.Generate(5, 2, 1, 200, 20000);
+  for (const auto& wq : small) {
+    EXPECT_EQ(wq.query.keywords.size(), 2u);
+    EXPECT_FALSE(wq.query.context.empty());
+    EXPECT_TRUE(std::is_sorted(wq.query.context.begin(),
+                               wq.query.context.end()));
+    EXPECT_GE(wq.context_size, 1u);
+    EXPECT_LE(wq.context_size, 200u);
+    EXPECT_EQ(engine->ContextSize(wq.query.context), wq.context_size);
+  }
+
+  WorkloadGenerator gen2(engine.get(), 6);
+  gen2.set_lift_to_roots(true);
+  auto large = gen2.Generate(5, 3, 400, 0, 20000);
+  EXPECT_FALSE(large.empty());
+  for (const auto& wq : large) {
+    EXPECT_GE(wq.context_size, 400u);
+    for (TermId m : wq.query.context) {
+      EXPECT_EQ(engine->corpus().ontology.depth(m), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/decompose.h"
+#include "graph/dinic.h"
+#include "graph/kag.h"
+#include "graph/separator.h"
+#include "mining/transactions.h"
+
+namespace csr {
+namespace {
+
+TEST(KagTest, BuildFromTransactions) {
+  TransactionDb db = TransactionDb::FromVectors({
+      {1, 2},
+      {1, 2},
+      {1, 2, 3},
+      {3, 4},
+      {4},
+  });
+  // Vertices need support >= 2: supports 1:3, 2:3, 3:2, 4:2. Edges need
+  // co-occurrence >= 2: only {1,2} (3 co-occurrences) qualifies.
+  Kag g = Kag::Build(db, 2, 2);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 1u);
+
+  // Labels are the original TermIds, sorted.
+  EXPECT_EQ(g.LabelSet(), (TermIdSet{1, 2, 3, 4}));
+
+  uint32_t v1 = 0;  // label 1
+  uint32_t v2 = 1;  // label 2
+  EXPECT_TRUE(g.HasEdge(v1, v2));
+  EXPECT_EQ(g.neighbors(v1)[0].second, 3u);  // weight = co-occurrence
+
+  auto comps = g.ConnectedComponents();
+  EXPECT_EQ(comps.size(), 3u);  // {1,2}, {3}, {4}
+}
+
+TEST(KagTest, InducedSubgraphAndClique) {
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges = {
+      {0, 1, 5}, {1, 2, 5}, {0, 2, 5}, {2, 3, 5}};
+  Kag g = Kag::FromEdges({10, 20, 30, 40}, edges);
+  EXPECT_FALSE(g.IsClique());
+
+  std::vector<uint32_t> tri = {0, 1, 2};
+  Kag sub = g.InducedSubgraph(tri);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);
+  EXPECT_TRUE(sub.IsClique());
+  EXPECT_EQ(sub.LabelSet(), (TermIdSet{10, 20, 30}));
+}
+
+TEST(KagTest, SingleVertexIsClique) {
+  Kag g = Kag::FromEdges({7}, {});
+  EXPECT_TRUE(g.IsClique());
+}
+
+TEST(DinicTest, SimpleNetwork) {
+  // s=0 -> 1 (3), s -> 2 (2), 1 -> t=3 (2), 2 -> 3 (3), 1 -> 2 (1).
+  DinicMaxFlow f(4);
+  f.AddEdge(0, 1, 3);
+  f.AddEdge(0, 2, 2);
+  f.AddEdge(1, 3, 2);
+  f.AddEdge(2, 3, 3);
+  f.AddEdge(1, 2, 1);
+  EXPECT_EQ(f.Compute(0, 3), 5);
+}
+
+TEST(DinicTest, DisconnectedIsZero) {
+  DinicMaxFlow f(4);
+  f.AddEdge(0, 1, 10);
+  f.AddEdge(2, 3, 10);
+  EXPECT_EQ(f.Compute(0, 3), 0);
+  auto side = f.MinCutSourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(DinicTest, MinCutMatchesFlow) {
+  // Classic: cut of capacity 4 between the two halves.
+  DinicMaxFlow f(6);
+  f.AddEdge(0, 1, 10);
+  f.AddEdge(0, 2, 10);
+  f.AddEdge(1, 3, 2);
+  f.AddEdge(2, 3, 2);
+  f.AddEdge(1, 4, 1);
+  f.AddEdge(2, 4, 3);
+  f.AddEdge(3, 5, 10);
+  f.AddEdge(4, 5, 10);
+  EXPECT_EQ(f.Compute(0, 5), 8);
+}
+
+/// A barbell: two K4 cliques joined by a single bridge vertex 8. The only
+/// balanced separator is {8}.
+Kag Barbell() {
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = i + 1; j < 4; ++j) edges.push_back({i, j, 10});
+  }
+  for (uint32_t i = 4; i < 8; ++i) {
+    for (uint32_t j = i + 1; j < 8; ++j) edges.push_back({i, j, 10});
+  }
+  edges.push_back({3, 8, 10});
+  edges.push_back({8, 4, 10});
+  std::vector<TermId> labels;
+  for (TermId t = 100; t < 109; ++t) labels.push_back(t);
+  return Kag::FromEdges(std::move(labels), edges);
+}
+
+TEST(SeparatorTest, FindsBridgeVertex) {
+  Kag g = Barbell();
+  VertexSeparator sep = FindBalancedSeparator(g);
+  ASSERT_TRUE(sep.valid);
+  ASSERT_EQ(sep.s0.size(), 1u);
+  EXPECT_EQ(g.label(sep.s0[0]), 108u);  // the bridge
+  EXPECT_EQ(sep.s1.size() + sep.s2.size(), 8u);
+  EXPECT_EQ(std::min(sep.s1.size(), sep.s2.size()), 4u);
+
+  // No edge may cross S1-S2.
+  std::set<uint32_t> s1(sep.s1.begin(), sep.s1.end());
+  std::set<uint32_t> s2(sep.s2.begin(), sep.s2.end());
+  for (uint32_t v : sep.s1) {
+    for (const auto& [u, w] : g.neighbors(v)) {
+      EXPECT_FALSE(s2.count(u)) << "edge crosses the separator";
+    }
+  }
+}
+
+TEST(SeparatorTest, CliqueHasNoBalancedSeparator) {
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges;
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = i + 1; j < 5; ++j) edges.push_back({i, j, 1});
+  }
+  std::vector<TermId> labels = {0, 1, 2, 3, 4};
+  Kag g = Kag::FromEdges(std::move(labels), edges);
+  VertexSeparator sep = FindBalancedSeparator(g);
+  // In a clique every s-t cut must swallow one side entirely (S1 or S2
+  // empty), so no valid balanced separator exists.
+  EXPECT_FALSE(sep.valid);
+}
+
+TEST(SeparatorTest, TinyGraphInvalid) {
+  Kag g = Kag::FromEdges({1, 2}, {{0, 1, 1}});
+  EXPECT_FALSE(FindBalancedSeparator(g).valid);
+}
+
+TEST(DecomposeTest, CoveredWhenViewFits) {
+  Kag g = Barbell();
+  DecomposeOptions opts;
+  opts.view_size_threshold = 1000;
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  auto support_fn = [](const TermIdSet&) -> uint64_t { return 0; };
+  auto result = DecomposeKag(g, opts, size_fn, support_fn);
+  ASSERT_EQ(result.covered.size(), 1u);
+  EXPECT_EQ(result.covered[0].size(), 9u);
+  EXPECT_TRUE(result.dense.empty());
+}
+
+TEST(DecomposeTest, SplitsBarbellAndReplicatesSeparator) {
+  Kag g = Barbell();
+  DecomposeOptions opts;
+  // Force one split: a 9-vertex view is too big, 5-vertex is fine.
+  opts.view_size_threshold = 6;
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  auto support_fn = [](const TermIdSet&) -> uint64_t { return 0; };
+  auto result = DecomposeKag(g, opts, size_fn, support_fn);
+
+  EXPECT_EQ(result.stats.cuts, 1u);
+  ASSERT_EQ(result.covered.size(), 2u);
+  EXPECT_TRUE(result.dense.empty());
+
+  // The bridge vertex (label 108) must appear in both halves (replication)
+  // and every original vertex must be covered somewhere.
+  int bridge_count = 0;
+  std::set<TermId> all;
+  for (const TermIdSet& k : result.covered) {
+    for (TermId t : k) all.insert(t);
+    if (std::binary_search(k.begin(), k.end(), TermId{108})) bridge_count++;
+  }
+  EXPECT_EQ(bridge_count, 2);
+  EXPECT_EQ(all.size(), 9u);
+}
+
+TEST(DecomposeTest, CliqueTooBigBecomesDense) {
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges;
+  for (uint32_t i = 0; i < 6; ++i) {
+    for (uint32_t j = i + 1; j < 6; ++j) edges.push_back({i, j, 100});
+  }
+  std::vector<TermId> labels = {0, 1, 2, 3, 4, 5};
+  Kag g = Kag::FromEdges(std::move(labels), edges);
+  DecomposeOptions opts;
+  opts.view_size_threshold = 3;
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  auto support_fn = [](const TermIdSet&) -> uint64_t { return 1000000; };
+  auto result = DecomposeKag(g, opts, size_fn, support_fn);
+  ASSERT_EQ(result.dense.size(), 1u);
+  EXPECT_EQ(result.dense[0].size(), 6u);
+  EXPECT_TRUE(result.covered.empty());
+}
+
+TEST(DecomposeTest, ComponentsSplitForFree) {
+  // Two disjoint triangles.
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges = {
+      {0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {3, 4, 1}, {4, 5, 1}, {3, 5, 1}};
+  std::vector<TermId> labels = {0, 1, 2, 3, 4, 5};
+  Kag g = Kag::FromEdges(std::move(labels), edges);
+  DecomposeOptions opts;
+  opts.view_size_threshold = 4;
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  auto support_fn = [](const TermIdSet&) -> uint64_t { return 0; };
+  auto result = DecomposeKag(g, opts, size_fn, support_fn);
+  EXPECT_EQ(result.covered.size(), 2u);
+  EXPECT_EQ(result.stats.cuts, 0u);
+}
+
+TEST(DecomposeTest, Scheme2DropsLowSupportEdges) {
+  // Barbell again, but now the S0 side would carry S0-S0 edges; with a
+  // single bridge vertex there are no S0-S0 edges, so craft a graph with a
+  // 2-vertex separator: two cliques joined through vertices {8, 9} that are
+  // adjacent to each other.
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> edges;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = i + 1; j < 4; ++j) edges.push_back({i, j, 10});
+  }
+  for (uint32_t i = 4; i < 8; ++i) {
+    for (uint32_t j = i + 1; j < 8; ++j) edges.push_back({i, j, 10});
+  }
+  edges.push_back({8, 9, 10});  // the S0-S0 edge
+  // Connect both separator vertices to EVERY clique vertex, so {8, 9} is
+  // the unique minimum separator (any other cut needs >= 4 vertices).
+  for (uint32_t side = 0; side < 8; ++side) {
+    edges.push_back({side, 8, 10});
+    edges.push_back({side, 9, 10});
+  }
+  std::vector<TermId> labels;
+  for (TermId t = 0; t < 10; ++t) labels.push_back(t);
+  Kag g = Kag::FromEdges(std::move(labels), edges);
+
+  DecomposeOptions opts;
+  opts.view_size_threshold = 7;
+  opts.context_size_threshold = 50;
+  opts.use_scheme2 = true;
+
+  uint64_t checks = 0;
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  // All triple supports below T_C: scheme 2 may drop the S0-S0 edge in G2.
+  auto support_low = [&checks](const TermIdSet&) -> uint64_t {
+    ++checks;
+    return 10;
+  };
+  auto result = DecomposeKag(g, opts, size_fn, support_low);
+  EXPECT_GT(checks, 0u);
+  EXPECT_GE(result.stats.support_checks, 1u);
+  // Regardless of scheme, all 10 vertices stay covered.
+  std::set<TermId> all;
+  for (const TermIdSet& k : result.covered) {
+    for (TermId t : k) all.insert(t);
+  }
+  for (const TermIdSet& k : result.dense) {
+    for (TermId t : k) all.insert(t);
+  }
+  EXPECT_EQ(all.size(), 10u);
+}
+
+}  // namespace
+}  // namespace csr

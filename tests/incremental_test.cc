@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+
+namespace csr {
+namespace {
+
+// Incremental view maintenance: an engine built on a prefix of the corpus
+// and fed the remainder through AppendDocuments must end up with exactly
+// the same statistics (and therefore rankings) as an engine built on the
+// full corpus with the same view definitions.
+
+Corpus MakeCorpus(uint32_t docs, uint64_t seed = 222) {
+  CorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 2000;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = seed;
+  return CorpusGenerator(cfg).Generate().value();
+}
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    full_corpus_ = MakeCorpus(6000);
+
+    // Prefix corpus: the first 4000 docs.
+    Corpus prefix = full_corpus_;
+    prefix.docs.resize(4000);
+    prefix.config.num_docs = 4000;
+
+    // IMPORTANT: both engines must share the tracked-keyword table; the
+    // incremental engine freezes it at Build time, so give both engines
+    // identical tracked sets by pinning the threshold in documents.
+    ecfg_.top_k = 10;
+    ecfg_.estimator_sample = 2000;
+
+    incremental_ =
+        ContextSearchEngine::Build(std::move(prefix), ecfg_).value();
+    ASSERT_TRUE(incremental_->MaterializeViews(Defs()).ok());
+
+    std::vector<Document> tail(full_corpus_.docs.begin() + 4000,
+                               full_corpus_.docs.end());
+    ASSERT_TRUE(incremental_->AppendDocuments(std::move(tail)).ok());
+  }
+
+  static std::vector<ViewDefinition> Defs() {
+    return {ViewDefinition{{0, 1, 2, 3}}, ViewDefinition{{0, 1}}};
+  }
+
+  ContextQuery TopicalQuery(TermId root) const {
+    const CorpusConfig& cc = full_corpus_.config;
+    TermId w = CorpusGenerator::ConceptTopicalTerm(root, 0, cc.vocab_size,
+                                                   cc.topical_window);
+    return ContextQuery{{w}, {root}};
+  }
+
+  Corpus full_corpus_;
+  EngineConfig ecfg_;
+  std::unique_ptr<ContextSearchEngine> incremental_;
+};
+
+TEST_F(IncrementalTest, CorpusGrew) {
+  EXPECT_EQ(incremental_->corpus().docs.size(), 6000u);
+  EXPECT_EQ(incremental_->content_index().num_docs(), 6000u);
+  EXPECT_EQ(incremental_->predicate_index().num_docs(), 6000u);
+  // Ids are contiguous.
+  for (size_t i = 0; i < 6000; ++i) {
+    EXPECT_EQ(incremental_->corpus().docs[i].id, i);
+  }
+}
+
+TEST_F(IncrementalTest, ViewStatsMatchStraightforwardAfterAppend) {
+  // The incremental views must agree with the straightforward plan, which
+  // always reads the (rebuilt) indexes directly.
+  for (TermId root = 0; root < 4; ++root) {
+    ContextQuery q = TopicalQuery(root);
+    auto viewed =
+        incremental_->Search(q, EvaluationMode::kContextWithViews);
+    auto direct =
+        incremental_->Search(q, EvaluationMode::kContextStraightforward);
+    ASSERT_TRUE(viewed.ok());
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(viewed->metrics.used_view);
+    EXPECT_EQ(viewed->stats.cardinality, direct->stats.cardinality);
+    EXPECT_EQ(viewed->stats.total_length, direct->stats.total_length);
+    EXPECT_EQ(viewed->stats.df, direct->stats.df);
+  }
+}
+
+TEST_F(IncrementalTest, MatchesFromScratchEngineWithSameTrackedSet) {
+  // A from-scratch engine on the full corpus. Its tracked set may differ
+  // (df thresholds moved with the corpus), so compare only cardinality and
+  // total_length from views, plus full straightforward agreement.
+  Corpus full = full_corpus_;
+  auto scratch = ContextSearchEngine::Build(std::move(full), ecfg_).value();
+  ASSERT_TRUE(scratch->MaterializeViews(Defs()).ok());
+
+  for (TermId root = 0; root < 4; ++root) {
+    ContextQuery q = TopicalQuery(root);
+    auto a = incremental_->Search(q, EvaluationMode::kContextWithViews);
+    auto b = scratch->Search(q, EvaluationMode::kContextWithViews);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->stats.cardinality, b->stats.cardinality);
+    EXPECT_EQ(a->stats.total_length, b->stats.total_length);
+    EXPECT_EQ(a->result_count, b->result_count);
+  }
+}
+
+TEST_F(IncrementalTest, AppendInvalidatesStatsCache) {
+  EngineConfig ecfg = ecfg_;
+  ecfg.stats_cache_capacity = 8;
+  Corpus prefix = MakeCorpus(3000, 333);
+  auto engine = ContextSearchEngine::Build(std::move(prefix), ecfg).value();
+  const CorpusConfig& cc = engine->corpus().config;
+  TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                 cc.topical_window);
+  ContextQuery q{{w}, {0}};
+  auto before = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(before.ok());
+
+  Corpus extra = MakeCorpus(1000, 999);
+  ASSERT_TRUE(engine->AppendDocuments(std::move(extra.docs)).ok());
+
+  auto after = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->metrics.stats_cache_hit)
+      << "stale statistics served from cache after append";
+  EXPECT_GE(after->stats.cardinality, before->stats.cardinality);
+}
+
+TEST_F(IncrementalTest, EmptyAppendIsNoOp) {
+  uint64_t tuples = incremental_->catalog().TotalTuples();
+  ASSERT_TRUE(incremental_->AppendDocuments({}).ok());
+  EXPECT_EQ(incremental_->catalog().TotalTuples(), tuples);
+  EXPECT_EQ(incremental_->corpus().docs.size(), 6000u);
+}
+
+TEST_F(IncrementalTest, AnnotationsNormalizedOnAppend) {
+  Corpus base = MakeCorpus(500, 7);
+  auto engine = ContextSearchEngine::Build(std::move(base), EngineConfig{})
+                    .value();
+  Document d;
+  d.year = 2000;
+  d.title = {1, 2};
+  d.abstract_text = {3};
+  d.annotations = {2, 0, 2, 1};  // unsorted, duplicated
+  ASSERT_TRUE(engine->AppendDocuments({d}).ok());
+  const Document& stored = engine->corpus().docs.back();
+  EXPECT_EQ(stored.annotations, (TermIdSet{0, 1, 2}));
+  EXPECT_EQ(stored.id, 500u);
+}
+
+}  // namespace
+}  // namespace csr

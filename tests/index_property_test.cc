@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "index/intersection.h"
+#include "index/posting_list.h"
+#include "util/random.h"
+
+namespace csr {
+namespace {
+
+/// Property suite: skip-based intersection must agree with a reference
+/// std::set_intersection for arbitrary list shapes, densities, and segment
+/// sizes.
+class IntersectionProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, uint32_t>> {};
+
+std::vector<DocId> RandomDocs(SplitMix64& rng, uint32_t universe,
+                              double density) {
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < universe; ++d) {
+    if (rng.NextBool(density)) docs.push_back(d);
+  }
+  return docs;
+}
+
+PostingList BuildList(const std::vector<DocId>& docs, uint32_t segment) {
+  PostingList l(segment);
+  for (DocId d : docs) l.Append(d, (d % 5) + 1);
+  l.FinishBuild();
+  return l;
+}
+
+TEST_P(IntersectionProperty, MatchesReference) {
+  auto [seed, density_b, segment] = GetParam();
+  SplitMix64 rng(static_cast<uint64_t>(seed));
+  const uint32_t kUniverse = 5000;
+
+  std::vector<DocId> da = RandomDocs(rng, kUniverse, 0.2);
+  std::vector<DocId> db = RandomDocs(rng, kUniverse, density_b);
+  std::vector<DocId> dc = RandomDocs(rng, kUniverse, 0.5);
+
+  std::vector<DocId> expected_ab;
+  std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                        std::back_inserter(expected_ab));
+  std::vector<DocId> expected_abc;
+  std::set_intersection(expected_ab.begin(), expected_ab.end(), dc.begin(),
+                        dc.end(), std::back_inserter(expected_abc));
+
+  PostingList a = BuildList(da, segment);
+  PostingList b = BuildList(db, segment);
+  PostingList c = BuildList(dc, segment);
+
+  std::vector<const PostingList*> two = {&a, &b};
+  EXPECT_EQ(IntersectAll(two), expected_ab);
+  EXPECT_EQ(CountIntersection(two), expected_ab.size());
+
+  std::vector<const PostingList*> three = {&a, &b, &c};
+  EXPECT_EQ(IntersectAll(three), expected_abc);
+
+  // Order of the input lists must not change the result.
+  std::vector<const PostingList*> reordered = {&c, &a, &b};
+  EXPECT_EQ(IntersectAll(reordered), expected_abc);
+}
+
+TEST_P(IntersectionProperty, AggregationMatchesReference) {
+  auto [seed, density_b, segment] = GetParam();
+  SplitMix64 rng(static_cast<uint64_t>(seed) ^ 0xABCD);
+  const uint32_t kUniverse = 3000;
+
+  std::vector<DocId> da = RandomDocs(rng, kUniverse, 0.3);
+  std::vector<DocId> db = RandomDocs(rng, kUniverse, density_b);
+  std::vector<uint32_t> lengths(kUniverse);
+  for (uint32_t i = 0; i < kUniverse; ++i) {
+    lengths[i] = static_cast<uint32_t>(rng.NextBounded(200));
+  }
+
+  std::vector<DocId> expected;
+  std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                        std::back_inserter(expected));
+  uint64_t expected_sum = 0;
+  for (DocId d : expected) expected_sum += lengths[d];
+
+  PostingList a = BuildList(da, segment);
+  PostingList b = BuildList(db, segment);
+  std::vector<const PostingList*> lists = {&a, &b};
+  auto agg = IntersectAndAggregate(lists, lengths);
+  EXPECT_EQ(agg.count, expected.size());
+  EXPECT_EQ(agg.sum_len, expected_sum);
+}
+
+TEST_P(IntersectionProperty, SkipToFromEveryPosition) {
+  auto [seed, density_b, segment] = GetParam();
+  SplitMix64 rng(static_cast<uint64_t>(seed) ^ 0x1111);
+  std::vector<DocId> docs = RandomDocs(rng, 2000, density_b);
+  if (docs.empty()) return;
+  PostingList l = BuildList(docs, segment);
+
+  // Probing arbitrary targets must land on lower_bound(target).
+  for (int probe = 0; probe < 100; ++probe) {
+    DocId target = static_cast<DocId>(rng.NextBounded(2200));
+    auto it = l.MakeIterator();
+    it.SkipTo(target);
+    auto ref = std::lower_bound(docs.begin(), docs.end(), target);
+    if (ref == docs.end()) {
+      EXPECT_TRUE(it.AtEnd());
+    } else {
+      ASSERT_FALSE(it.AtEnd());
+      EXPECT_EQ(it.doc(), *ref);
+    }
+  }
+
+  // Monotone probe sequence on a single iterator.
+  auto it = l.MakeIterator();
+  DocId target = 0;
+  while (true) {
+    target += static_cast<DocId>(1 + rng.NextBounded(50));
+    it.SkipTo(target);
+    auto ref = std::lower_bound(docs.begin(), docs.end(), target);
+    if (ref == docs.end()) {
+      EXPECT_TRUE(it.AtEnd());
+      break;
+    }
+    ASSERT_FALSE(it.AtEnd());
+    EXPECT_EQ(it.doc(), *ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntersectionProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.005, 0.05, 0.5),
+                       ::testing::Values(4u, 32u, 128u)));
+
+TEST(IntersectionCostTest, SelectiveDriverSkipsSegments) {
+  // |L_a| = 10, |L_b| = 100000: the skip-based join must touch far fewer
+  // entries of b than a full merge (Section 3.2.2).
+  PostingList a(128), b(128);
+  for (int i = 0; i < 10; ++i) a.Append(static_cast<DocId>(i * 9000), 1);
+  for (DocId d = 0; d < 100000; ++d) b.Append(d, 1);
+  a.FinishBuild();
+  b.FinishBuild();
+
+  CostCounters cost;
+  std::vector<const PostingList*> lists = {&b, &a};  // order irrelevant
+  uint64_t n = CountIntersection(lists, &cost);
+  EXPECT_EQ(n, 10u);
+  EXPECT_LT(cost.entries_scanned, 5000u);  // ≪ 100010
+  EXPECT_LT(cost.segments_touched, 100u);
+}
+
+TEST(IntersectionCostTest, DenseJoinScansEverything) {
+  // Both lists dense: skips cannot help; cost approaches |a| + |b|.
+  PostingList a(128), b(128);
+  for (DocId d = 0; d < 20000; ++d) {
+    if (d % 2 == 0) a.Append(d, 1);
+    if (d % 3 == 0) b.Append(d, 1);
+  }
+  a.FinishBuild();
+  b.FinishBuild();
+  CostCounters cost;
+  std::vector<const PostingList*> lists = {&a, &b};
+  CountIntersection(lists, &cost);
+  EXPECT_GT(cost.entries_scanned, 10000u);
+}
+
+}  // namespace
+}  // namespace csr

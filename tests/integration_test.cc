@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
+#include "eval/topics.h"
+#include "views/size_estimator.h"
+
+namespace csr {
+namespace {
+
+/// Full-pipeline test on a mid-size corpus: generate, plant topics, index,
+/// select + materialize views, then verify the paper's end-to-end
+/// guarantees:
+///   1. Every large-context query is answered from a view (no fallback).
+///   2. View-based statistics and rankings are bit-identical to the
+///      straightforward plan on every generated query.
+///   3. View sizes respect T_V where the selector could enforce it.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusConfig cfg;
+    cfg.num_docs = 20000;
+    cfg.vocab_size = 5000;
+    cfg.ontology_fanouts = {6, 4, 3};  // 6 + 24 + 72 + ... = 102 concepts
+    cfg.seed = 1234;
+    auto corpus_r = CorpusGenerator(cfg).Generate();
+    ASSERT_TRUE(corpus_r.ok());
+    Corpus corpus = std::move(corpus_r).value();
+
+    TopicPlanterConfig tcfg;
+    tcfg.num_topics = 10;
+    tcfg.min_context_size = 400;
+    auto topics_r = TopicPlanter(tcfg).Plant(corpus);
+    ASSERT_TRUE(topics_r.ok());
+    topics_ = new std::vector<Topic>(std::move(topics_r).value());
+
+    EngineConfig ecfg;
+    ecfg.top_k = 20;
+    ecfg.context_threshold_fraction = 0.01;
+    ecfg.view_size_threshold = 512;
+    ecfg.estimator_sample = 5000;
+    auto engine_r = ContextSearchEngine::Build(std::move(corpus), ecfg);
+    ASSERT_TRUE(engine_r.ok());
+    engine_ = engine_r.value().release();
+    ASSERT_TRUE(engine_->SelectAndMaterializeViews().ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete topics_;
+    engine_ = nullptr;
+    topics_ = nullptr;
+  }
+
+  static ContextSearchEngine* engine_;
+  static std::vector<Topic>* topics_;
+};
+
+ContextSearchEngine* PipelineTest::engine_ = nullptr;
+std::vector<Topic>* PipelineTest::topics_ = nullptr;
+
+TEST_F(PipelineTest, SelectionProducedViews) {
+  EXPECT_GT(engine_->catalog().size(), 0u);
+  EXPECT_GT(engine_->catalog().TotalTuples(), 0u);
+  const HybridResult& sel = engine_->selection_result();
+  EXPECT_GT(sel.kag_vertices, 0u);
+}
+
+TEST_F(PipelineTest, LargeContextQueriesUseViewsAndMatchExactly) {
+  WorkloadGenerator gen(engine_, 42);
+  gen.set_lift_to_roots(true);
+  uint64_t t_c = engine_->context_threshold();
+
+  int verified = 0;
+  for (uint32_t nk = 2; nk <= 4; ++nk) {
+    auto queries = gen.Generate(8, nk, t_c, 0, 60000);
+    for (const auto& wq : queries) {
+      auto viewed =
+          engine_->Search(wq.query, EvaluationMode::kContextWithViews);
+      auto direct = engine_->Search(wq.query,
+                                    EvaluationMode::kContextStraightforward);
+      ASSERT_TRUE(viewed.ok());
+      ASSERT_TRUE(direct.ok());
+
+      EXPECT_TRUE(viewed->metrics.used_view)
+          << "large context (size " << wq.context_size
+          << ") not covered by any view";
+      EXPECT_EQ(viewed->stats.cardinality, direct->stats.cardinality);
+      EXPECT_EQ(viewed->stats.total_length, direct->stats.total_length);
+      EXPECT_EQ(viewed->stats.df, direct->stats.df);
+      ASSERT_EQ(viewed->top_docs.size(), direct->top_docs.size());
+      for (size_t i = 0; i < viewed->top_docs.size(); ++i) {
+        EXPECT_EQ(viewed->top_docs[i].doc, direct->top_docs[i].doc);
+        EXPECT_DOUBLE_EQ(viewed->top_docs[i].score,
+                         direct->top_docs[i].score);
+      }
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 5) << "too few large-context queries generated";
+}
+
+TEST_F(PipelineTest, SmallContextQueriesStayExact) {
+  WorkloadGenerator gen(engine_, 43);
+  uint64_t t_c = engine_->context_threshold();
+  auto queries = gen.Generate(10, 2, 1, t_c > 1 ? t_c - 1 : 1, 60000);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& wq : queries) {
+    auto viewed = engine_->Search(wq.query, EvaluationMode::kContextWithViews);
+    auto direct =
+        engine_->Search(wq.query, EvaluationMode::kContextStraightforward);
+    ASSERT_TRUE(viewed.ok());
+    ASSERT_TRUE(direct.ok());
+    // Whether or not a view happens to cover the small context, statistics
+    // must agree exactly.
+    EXPECT_EQ(viewed->stats.df, direct->stats.df);
+    EXPECT_EQ(viewed->stats.cardinality, direct->stats.cardinality);
+  }
+}
+
+TEST_F(PipelineTest, MaterializedViewsRespectThreshold) {
+  // The selector's contract is on ESTIMATED sizes (the paper estimates
+  // ViewSize by sampling, Section 4.3): recreate the engine's estimator
+  // and verify every selected view's estimate is within T_V, except the
+  // combinations the selector explicitly flagged as unsplittable.
+  const ViewCatalog& catalog = engine_->catalog();
+  uint64_t t_v = engine_->config().view_size_threshold;
+  ViewSizeEstimator estimator(&engine_->corpus(),
+                              engine_->corpus().config.seed ^ 0x5EED,
+                              engine_->config().estimator_sample);
+  uint32_t over_estimate = 0;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (estimator.Estimate(catalog.view(i).def()) > t_v) ++over_estimate;
+  }
+  EXPECT_LE(over_estimate,
+            engine_->selection_result().oversized_combinations +
+                engine_->selection_result().dense_cliques);
+
+  // Sampling error can make true sizes exceed the estimate, but not
+  // unboundedly: materialized sizes stay within a small factor of T_V.
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_LE(catalog.view(i).NumTuples(), 16 * t_v)
+        << "view " << i << " wildly exceeds the size threshold";
+  }
+}
+
+TEST_F(PipelineTest, QualityImprovesOnPlantedTopics) {
+  double conv = 0, ctx = 0;
+  int wins = 0, losses = 0, evaluated = 0;
+  for (const Topic& t : *topics_) {
+    ContextQuery q{t.keywords, t.context};
+    auto c = engine_->Search(q, EvaluationMode::kConventional);
+    auto x = engine_->Search(q, EvaluationMode::kContextWithViews);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(x.ok());
+    if (c->result_count < 20) continue;
+    std::unordered_set<DocId> rel(t.relevant.begin(), t.relevant.end());
+    uint32_t pc = RelevantInTopK(c->top_docs, rel, 20);
+    uint32_t px = RelevantInTopK(x->top_docs, rel, 20);
+    conv += pc;
+    ctx += px;
+    wins += px > pc;
+    losses += pc > px;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 4);
+  EXPECT_GT(ctx, conv) << "mean precision did not improve";
+  EXPECT_GT(wins, losses) << "context ranking won fewer topics";
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mining/apriori.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "mining/transactions.h"
+#include "util/random.h"
+
+namespace csr {
+namespace {
+
+TransactionDb ClassicDb() {
+  // The textbook example: 5 transactions over items 1..5.
+  return TransactionDb::FromVectors({
+      {1, 3, 4},
+      {2, 3, 5},
+      {1, 2, 3, 5},
+      {2, 5},
+      {1, 2, 3, 5},
+  });
+}
+
+TEST(TransactionDbTest, SupportByScan) {
+  TransactionDb db = ClassicDb();
+  EXPECT_EQ(db.Support(TermIdSet{3}), 4u);
+  EXPECT_EQ(db.Support(TermIdSet{2, 5}), 4u);
+  EXPECT_EQ(db.Support(TermIdSet{1, 2, 3, 5}), 2u);
+  EXPECT_EQ(db.Support(TermIdSet{4, 5}), 0u);
+  EXPECT_EQ(db.Support(TermIdSet{}), 5u);
+}
+
+TEST(TransactionDbTest, ProjectKeepsOnlyListedItems) {
+  TransactionDb db = ClassicDb();
+  TransactionDb p = db.Project(TermIdSet{2, 3});
+  // Transactions: {3}, {2,3}, {2,3}, {2}, {2,3} — all non-empty kept.
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.Support(TermIdSet{2, 3}), 3u);
+  EXPECT_EQ(p.Support(TermIdSet{5}), 0u);
+
+  TransactionDb q = db.Project(TermIdSet{4});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+void ExpectContains(const std::vector<FrequentItemset>& itemsets,
+                    const TermIdSet& items, uint64_t support) {
+  for (const auto& f : itemsets) {
+    if (f.items == items) {
+      EXPECT_EQ(f.support, support) << "support mismatch";
+      return;
+    }
+  }
+  FAIL() << "itemset of size " << items.size() << " not found";
+}
+
+TEST(AprioriTest, ClassicExample) {
+  MiningOptions opts;
+  opts.min_support = 2;
+  auto result = MineApriori(ClassicDb(), opts);
+
+  ExpectContains(result, {1}, 3);
+  ExpectContains(result, {2}, 4);
+  ExpectContains(result, {3}, 4);
+  ExpectContains(result, {5}, 4);
+  ExpectContains(result, {1, 3}, 3);
+  ExpectContains(result, {2, 3}, 3);
+  ExpectContains(result, {2, 5}, 4);
+  ExpectContains(result, {3, 5}, 3);
+  ExpectContains(result, {2, 3, 5}, 3);
+  ExpectContains(result, {1, 2, 3, 5}, 2);
+  // {4} has support 1 and must be absent.
+  for (const auto& f : result) {
+    EXPECT_EQ(std::find(f.items.begin(), f.items.end(), 4u), f.items.end());
+    EXPECT_GE(f.support, 2u);
+  }
+}
+
+TEST(AprioriTest, MaxSizeCapsOutput) {
+  MiningOptions opts;
+  opts.min_support = 2;
+  opts.max_itemset_size = 2;
+  auto result = MineApriori(ClassicDb(), opts);
+  for (const auto& f : result) EXPECT_LE(f.items.size(), 2u);
+  ExpectContains(result, {2, 5}, 4);
+}
+
+TEST(FpGrowthTest, ClassicExample) {
+  MiningOptions opts;
+  opts.min_support = 2;
+  auto result = MineFpGrowth(ClassicDb(), opts);
+  ExpectContains(result, {2, 3, 5}, 3);
+  ExpectContains(result, {1, 2, 3, 5}, 2);
+}
+
+TEST(EclatTest, ClassicExample) {
+  MiningOptions opts;
+  opts.min_support = 2;
+  auto result = MineEclat(ClassicDb(), opts);
+  ExpectContains(result, {2, 3, 5}, 3);
+  ExpectContains(result, {1, 2, 3, 5}, 2);
+}
+
+TEST(MiningTest, EmptyWhenSupportTooHigh) {
+  MiningOptions opts;
+  opts.min_support = 100;
+  EXPECT_TRUE(MineApriori(ClassicDb(), opts).empty());
+  EXPECT_TRUE(MineFpGrowth(ClassicDb(), opts).empty());
+  EXPECT_TRUE(MineEclat(ClassicDb(), opts).empty());
+}
+
+/// Cross-algorithm agreement on random databases — the strongest check we
+/// have: three independent implementations must produce identical
+/// (itemset, support) sets.
+class MiningAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MiningAgreement, AllThreeAlgorithmsAgree) {
+  auto [seed, num_txns, min_support] = GetParam();
+  SplitMix64 rng(static_cast<uint64_t>(seed));
+  std::vector<TermIdSet> txns;
+  const uint32_t kItems = 20;
+  for (int i = 0; i < num_txns; ++i) {
+    TermIdSet t;
+    for (TermId item = 0; item < kItems; ++item) {
+      // Skewed inclusion: low ids are frequent.
+      if (rng.NextBool(0.6 / (1.0 + item * 0.4))) t.push_back(item);
+    }
+    if (!t.empty()) txns.push_back(std::move(t));
+  }
+  TransactionDb db = TransactionDb::FromVectors(std::move(txns));
+
+  MiningOptions opts;
+  opts.min_support = static_cast<uint64_t>(min_support);
+  opts.max_itemset_size = 5;
+
+  auto a = MineApriori(db, opts);
+  auto f = MineFpGrowth(db, opts);
+  auto e = MineEclat(db, opts);
+
+  ASSERT_EQ(a.size(), f.size());
+  ASSERT_EQ(a.size(), e.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].items, f[i].items);
+    EXPECT_EQ(a[i].support, f[i].support);
+    EXPECT_EQ(a[i].items, e[i].items);
+    EXPECT_EQ(a[i].support, e[i].support);
+  }
+
+  // Spot-verify supports against the exact scan.
+  for (size_t i = 0; i < a.size(); i += 7) {
+    EXPECT_EQ(a[i].support, db.Support(a[i].items));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MiningAgreement,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(50, 300),
+                       ::testing::Values(3, 10, 25)));
+
+TEST(FilterMaximalTest, RemovesSubsets) {
+  std::vector<FrequentItemset> in = {
+      {{1}, 5},
+      {{1, 2}, 4},
+      {{1, 2, 3}, 3},
+      {{4}, 3},
+      {{2, 3}, 3},
+  };
+  auto out = FilterMaximal(in);
+  ASSERT_EQ(out.size(), 2u);
+  // Canonical order: by size then lexicographic.
+  EXPECT_EQ(out[0].items, (TermIdSet{4}));
+  EXPECT_EQ(out[1].items, (TermIdSet{1, 2, 3}));
+}
+
+TEST(FilterMaximalTest, KeepsIncomparableSets) {
+  std::vector<FrequentItemset> in = {
+      {{1, 2}, 4},
+      {{2, 3}, 4},
+      {{3, 4}, 4},
+  };
+  auto out = FilterMaximal(in);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(SortItemsetsTest, CanonicalOrder) {
+  std::vector<FrequentItemset> v = {
+      {{2, 3}, 1},
+      {{1}, 1},
+      {{1, 2}, 1},
+      {{3}, 1},
+  };
+  SortItemsets(v);
+  EXPECT_EQ(v[0].items, (TermIdSet{1}));
+  EXPECT_EQ(v[1].items, (TermIdSet{3}));
+  EXPECT_EQ(v[2].items, (TermIdSet{1, 2}));
+  EXPECT_EQ(v[3].items, (TermIdSet{2, 3}));
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "corpus/generator.h"
+#include "graph/decompose.h"
+#include "graph/kag.h"
+#include "index/inverted_index.h"
+#include "mining/fpgrowth.h"
+#include "selection/view_selection.h"
+#include "stats/collector.h"
+#include "util/random.h"
+#include "views/view_builder.h"
+
+namespace csr {
+namespace {
+
+// Randomized cross-checks of the paper's central equivalences, swept over
+// seeds. These complement the targeted unit tests with shapes nobody
+// hand-picked.
+
+class RandomViewEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomViewEquivalence, ViewStatsAlwaysMatchStraightforward) {
+  SplitMix64 rng(static_cast<uint64_t>(GetParam()));
+
+  CorpusConfig cfg;
+  cfg.num_docs = 2500;
+  cfg.vocab_size = 1200;
+  // A deeper ontology so views can have > 64 keyword columns (multi-word
+  // signatures).
+  cfg.ontology_fanouts = {6, 4, 3};
+  cfg.seed = rng.Next();
+  Corpus corpus = CorpusGenerator(cfg).Generate().value();
+
+  IndexBuilder cb, pb;
+  for (const Document& d : corpus.docs) {
+    ASSERT_TRUE(cb.AddDocument(d.id, d.ContentTokens()).ok());
+    ASSERT_TRUE(pb.AddDocument(d.id, d.annotations).ok());
+  }
+  InvertedIndex content = cb.Build();
+  InvertedIndex predicates = pb.Build();
+  TrackedKeywords tracked = TrackedKeywords::Select(content, 20, 128);
+  DocParamTable table = DocParamTable::Build(content, tracked);
+
+  // Random view definition: 40-90 random concepts (can cross the 64-bit
+  // signature word boundary).
+  size_t num_concepts = corpus.ontology.size();
+  uint32_t k_size = 40 + static_cast<uint32_t>(rng.NextBounded(51));
+  std::vector<size_t> picks =
+      SampleWithoutReplacement(num_concepts, k_size, rng);
+  TermIdSet k(picks.begin(), picks.end());
+
+  ViewParamOptions params;
+  params.track_df = true;
+  params.track_tc = true;
+  ViewBuilder builder(&corpus, &table, params,
+                      static_cast<uint32_t>(tracked.size()));
+  std::vector<ViewDefinition> defs = {ViewDefinition{k}};
+  auto views = builder.BuildAll(defs);
+  const MaterializedView& view = views[0];
+
+  // Random keywords: some tracked, some not.
+  std::vector<TermId> keywords;
+  if (tracked.size() > 0) {
+    keywords.push_back(tracked.TermAt(
+        static_cast<uint32_t>(rng.NextBounded(tracked.size()))));
+  }
+  keywords.push_back(static_cast<TermId>(rng.NextBounded(cfg.vocab_size)));
+
+  // Random contexts ⊆ K of size 1..3.
+  for (int probe = 0; probe < 12; ++probe) {
+    uint32_t c_size = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    TermIdSet ctx;
+    for (uint32_t i = 0; i < c_size; ++i) {
+      ctx.push_back(k[rng.NextBounded(k.size())]);
+    }
+    std::sort(ctx.begin(), ctx.end());
+    ctx.erase(std::unique(ctx.begin(), ctx.end()), ctx.end());
+    ASSERT_TRUE(view.def().Covers(ctx));
+
+    auto vr = view.ComputeStats(ctx, keywords, tracked);
+    CollectionStats exact = StraightforwardCollectionStats(
+        content, predicates, ctx, keywords, /*compute_tc=*/true);
+    EXPECT_EQ(vr.cardinality, exact.cardinality);
+    EXPECT_EQ(vr.total_length, exact.total_length);
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      if (!vr.covered[i]) continue;
+      EXPECT_EQ(vr.df[i], exact.df[i]);
+      EXPECT_EQ(vr.tc[i], exact.tc[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomViewEquivalence,
+                         ::testing::Range(1, 9));
+
+class RandomDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDecomposition, HighSupportEdgesStayCovered) {
+  // Random transaction sets -> KAG -> decomposition. Every high-support
+  // PAIR (a 2-clique, the base case of the coverage principle) must end up
+  // inside at least one emitted subgraph, whether covered or dense.
+  SplitMix64 rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const uint32_t kItems = 40;
+  const uint64_t kMinSupport = 12;
+
+  std::vector<TermIdSet> txns;
+  for (int i = 0; i < 600; ++i) {
+    TermIdSet t;
+    // Clustered items so the KAG has structure: pick a hub, then nearby
+    // items.
+    TermId hub = static_cast<TermId>(rng.NextBounded(kItems));
+    t.push_back(hub);
+    for (int j = 0; j < 5; ++j) {
+      TermId item = (hub + static_cast<TermId>(rng.NextBounded(8))) % kItems;
+      t.push_back(item);
+    }
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    txns.push_back(std::move(t));
+  }
+  TransactionDb db = TransactionDb::FromVectors(std::move(txns));
+  Kag kag = Kag::Build(db, kMinSupport, kMinSupport);
+  if (kag.num_vertices() == 0) GTEST_SKIP() << "degenerate draw";
+
+  DecomposeOptions opts;
+  opts.view_size_threshold = 6;  // force real decomposition
+  opts.context_size_threshold = kMinSupport;
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  auto support_fn = [&db](const TermIdSet& k) -> uint64_t {
+    return db.Support(k);
+  };
+  auto result = DecomposeKag(kag, opts, size_fn, support_fn);
+
+  std::vector<TermIdSet> emitted = result.covered;
+  emitted.insert(emitted.end(), result.dense.begin(), result.dense.end());
+  ASSERT_FALSE(emitted.empty());
+
+  auto covered_together = [&](TermId a, TermId b) {
+    for (const TermIdSet& k : emitted) {
+      if (std::binary_search(k.begin(), k.end(), a) &&
+          std::binary_search(k.begin(), k.end(), b)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (uint32_t v = 0; v < kag.num_vertices(); ++v) {
+    for (const auto& [u, w] : kag.neighbors(v)) {
+      if (u <= v) continue;
+      // KAG edges already have weight >= kMinSupport.
+      EXPECT_TRUE(covered_together(kag.label(v), kag.label(u)))
+          << "edge {" << kag.label(v) << "," << kag.label(u)
+          << "} with support " << w << " lost by decomposition";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDecomposition,
+                         ::testing::Range(1, 9));
+
+class RandomCovering : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCovering, EveryMinedCombinationCovered) {
+  SplitMix64 rng(static_cast<uint64_t>(GetParam()) * 104729);
+  std::vector<TermIdSet> txns;
+  for (int i = 0; i < 400; ++i) {
+    TermIdSet t;
+    for (TermId item = 0; item < 25; ++item) {
+      if (rng.NextBool(0.5 / (1.0 + item * 0.3))) t.push_back(item);
+    }
+    if (!t.empty()) txns.push_back(std::move(t));
+  }
+  TransactionDb db = TransactionDb::FromVectors(std::move(txns));
+
+  MiningOptions mopts;
+  mopts.min_support = 8;
+  mopts.max_itemset_size = 5;
+  auto combos = MineFpGrowth(db, mopts);
+  if (combos.empty()) GTEST_SKIP() << "degenerate draw";
+
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size() * 3; };
+  SelectionOutcome out = SelectViewsMiningBased(combos, size_fn, 40);
+  for (const auto& c : combos) {
+    bool covered = false;
+    for (const ViewDefinition& v : out.views) {
+      if (v.Covers(c.items)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "mined combination uncovered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCovering, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace csr

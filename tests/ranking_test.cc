@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ranking/bm25.h"
+#include "ranking/dirichlet_lm.h"
+#include "ranking/jelinek_mercer_lm.h"
+#include "ranking/pivoted_tfidf.h"
+#include "ranking/ranking_function.h"
+
+namespace csr {
+namespace {
+
+QueryStats OneWordQuery() {
+  return QueryStats::FromKeywords(std::vector<TermId>{1});
+}
+
+CollectionStats MakeCollection(uint64_t n, uint64_t total_len, uint64_t df,
+                               uint64_t tc = 0) {
+  CollectionStats c;
+  c.cardinality = n;
+  c.total_length = total_len;
+  c.df = {df};
+  c.tc = {tc};
+  return c;
+}
+
+TEST(PivotedTfIdfTest, MatchesFormulaByHand) {
+  // Formula 3 with s = 0.2, tf = 3, len = 10, avgdl = 20, |D| = 99, df = 10.
+  PivotedTfIdf f(0.2);
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {3};
+  d.length = 10;
+  CollectionStats c = MakeCollection(99, 99 * 20, 10);
+
+  double tf_part = 1.0 + std::log(1.0 + std::log(3.0));
+  double norm = 0.8 + 0.2 * (10.0 / 20.0);
+  double idf = std::log(100.0 / 10.0);
+  EXPECT_NEAR(f.Score(q, d, c), tf_part / norm * idf, 1e-12);
+}
+
+TEST(PivotedTfIdfTest, SkipsZeroTfAndZeroDf) {
+  PivotedTfIdf f;
+  QueryStats q = QueryStats::FromKeywords(std::vector<TermId>{1, 2});
+  DocStats d;
+  d.tf = {0, 2};
+  d.length = 10;
+  CollectionStats c;
+  c.cardinality = 100;
+  c.total_length = 1000;
+  c.df = {50, 0};  // keyword 1 absent from doc; keyword 2 absent from ctx
+  EXPECT_DOUBLE_EQ(f.Score(q, d, c), 0.0);
+}
+
+TEST(PivotedTfIdfTest, RarerTermScoresHigher) {
+  // Same tf; the keyword that is rarer in the collection must contribute
+  // more — the idf property the whole paper leans on.
+  PivotedTfIdf f;
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {2};
+  d.length = 20;
+  double rare = f.Score(q, d, MakeCollection(10000, 200000, 10));
+  double common = f.Score(q, d, MakeCollection(10000, 200000, 5000));
+  EXPECT_GT(rare, common);
+}
+
+TEST(PivotedTfIdfTest, ContextReversal) {
+  // The paper's motivating example (Section 1.1): two docs matching one
+  // query term each swap order when statistics switch from global to
+  // context. Doc A matches "pancreas", doc B matches "leukemia".
+  PivotedTfIdf f;
+  QueryStats q = QueryStats::FromKeywords(std::vector<TermId>{1, 2});
+
+  DocStats a;  // contains keyword 1 only
+  a.tf = {1, 0};
+  a.length = 10;
+  DocStats b;  // contains keyword 2 only
+  b.tf = {0, 1};
+  b.length = 10;
+
+  // Global stats: keyword 1 rare (df 100), keyword 2 common (df 5000).
+  CollectionStats global;
+  global.cardinality = 100000;
+  global.total_length = 1000000;
+  global.df = {100, 5000};
+  EXPECT_GT(f.Score(q, a, global), f.Score(q, b, global));
+
+  // Context stats: keyword 1 common in context, keyword 2 rare.
+  CollectionStats ctx;
+  ctx.cardinality = 2000;
+  ctx.total_length = 20000;
+  ctx.df = {800, 20};
+  EXPECT_LT(f.Score(q, a, ctx), f.Score(q, b, ctx));
+}
+
+TEST(PivotedTfIdfTest, TqMultipliesContribution) {
+  PivotedTfIdf f;
+  QueryStats q1 = QueryStats::FromKeywords(std::vector<TermId>{1});
+  QueryStats q2 = QueryStats::FromKeywords(std::vector<TermId>{1, 1});
+  DocStats d;
+  d.tf = {2};
+  d.length = 10;
+  CollectionStats c = MakeCollection(100, 1000, 5);
+  EXPECT_NEAR(f.Score(q2, d, c), 2.0 * f.Score(q1, d, c), 1e-12);
+}
+
+TEST(Bm25Test, BasicPropertiesHold) {
+  Bm25 f;
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {2};
+  d.length = 15;
+  CollectionStats c = MakeCollection(1000, 15000, 30);
+  double base = f.Score(q, d, c);
+  EXPECT_GT(base, 0.0);
+
+  // More occurrences help, sublinearly.
+  DocStats d2 = d;
+  d2.tf = {4};
+  double more = f.Score(q, d2, c);
+  EXPECT_GT(more, base);
+  EXPECT_LT(more, 2.0 * base);
+
+  // Rarer keyword scores higher.
+  double rare = f.Score(q, d, MakeCollection(1000, 15000, 3));
+  EXPECT_GT(rare, base);
+
+  // Longer documents are penalized.
+  DocStats longdoc = d;
+  longdoc.length = 60;
+  EXPECT_LT(f.Score(q, longdoc, c), base);
+}
+
+TEST(Bm25Test, ZeroAvgdlGivesZero) {
+  Bm25 f;
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {1};
+  d.length = 5;
+  CollectionStats c;  // empty context
+  c.df = {1};
+  EXPECT_DOUBLE_EQ(f.Score(q, d, c), 0.0);
+}
+
+TEST(DirichletLmTest, NeedsTermCounts) {
+  DirichletLm f;
+  EXPECT_TRUE(f.NeedsTermCounts());
+  PivotedTfIdf p;
+  EXPECT_FALSE(p.NeedsTermCounts());
+}
+
+TEST(DirichletLmTest, MatchesFormulaByHand) {
+  DirichletLm f(2000.0);
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {3};
+  d.length = 100;
+  CollectionStats c = MakeCollection(1000, 100000, 50, /*tc=*/500);
+
+  double p_wc = 500.0 / 100000.0;
+  double expected = std::log((3.0 + 2000.0 * p_wc) / (100.0 + 2000.0));
+  EXPECT_NEAR(f.Score(q, d, c), expected, 1e-12);
+}
+
+TEST(DirichletLmTest, HigherTfScoresHigher) {
+  DirichletLm f;
+  QueryStats q = OneWordQuery();
+  CollectionStats c = MakeCollection(1000, 100000, 50, 500);
+  DocStats lo, hi;
+  lo.tf = {1};
+  lo.length = 100;
+  hi.tf = {5};
+  hi.length = 100;
+  EXPECT_GT(f.Score(q, hi, c), f.Score(q, lo, c));
+}
+
+TEST(DirichletLmTest, SkipsKeywordsAbsentFromContext) {
+  DirichletLm f;
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {1};
+  d.length = 10;
+  CollectionStats c = MakeCollection(100, 1000, 0, /*tc=*/0);
+  EXPECT_DOUBLE_EQ(f.Score(q, d, c), 0.0);
+}
+
+TEST(JelinekMercerLmTest, MatchesFormulaByHand) {
+  JelinekMercerLm f(0.4);
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {2};
+  d.length = 50;
+  CollectionStats c = MakeCollection(1000, 100000, 40, /*tc=*/800);
+  double p = 0.6 * (2.0 / 50.0) + 0.4 * (800.0 / 100000.0);
+  EXPECT_NEAR(f.Score(q, d, c), std::log(p), 1e-12);
+}
+
+TEST(JelinekMercerLmTest, SmoothingKeepsZeroTfFinite) {
+  JelinekMercerLm f(0.4);
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {0};
+  d.length = 50;
+  CollectionStats c = MakeCollection(1000, 100000, 40, 800);
+  double s = f.Score(q, d, c);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_LT(s, 0.0);  // log of a small probability
+  // A doc that contains the term scores higher.
+  DocStats d2 = d;
+  d2.tf = {3};
+  EXPECT_GT(f.Score(q, d2, c), s);
+}
+
+TEST(JelinekMercerLmTest, SkipsKeywordsAbsentFromContext) {
+  JelinekMercerLm f;
+  QueryStats q = OneWordQuery();
+  DocStats d;
+  d.tf = {1};
+  d.length = 10;
+  CollectionStats c = MakeCollection(100, 1000, 0, /*tc=*/0);
+  EXPECT_DOUBLE_EQ(f.Score(q, d, c), 0.0);
+  EXPECT_TRUE(f.NeedsTermCounts());
+}
+
+TEST(RankingFactoryTest, ResolvesNamesAndAliases) {
+  EXPECT_NE(MakeRankingFunction("pivoted"), nullptr);
+  EXPECT_NE(MakeRankingFunction("pivoted-tfidf"), nullptr);
+  EXPECT_NE(MakeRankingFunction("tfidf"), nullptr);
+  EXPECT_NE(MakeRankingFunction("bm25"), nullptr);
+  EXPECT_NE(MakeRankingFunction("dirichlet"), nullptr);
+  EXPECT_NE(MakeRankingFunction("lm"), nullptr);
+  EXPECT_NE(MakeRankingFunction("jelinek-mercer"), nullptr);
+  EXPECT_NE(MakeRankingFunction("jm"), nullptr);
+  EXPECT_EQ(MakeRankingFunction("jm")->name(), "jelinek-mercer-lm");
+  EXPECT_EQ(MakeRankingFunction("pagerank"), nullptr);
+  EXPECT_EQ(MakeRankingFunction("pivoted")->name(), "pivoted-tfidf");
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "corpus/generator.h"
+#include "index/inverted_index.h"
+#include "mining/fpgrowth.h"
+#include "selection/hybrid.h"
+#include "selection/view_selection.h"
+#include "views/size_estimator.h"
+
+namespace csr {
+namespace {
+
+bool CoveredBySome(const std::vector<ViewDefinition>& views,
+                   const TermIdSet& p) {
+  for (const ViewDefinition& v : views) {
+    if (v.Covers(p)) return true;
+  }
+  return false;
+}
+
+TEST(MiningBasedSelectionTest, EveryCombinationCovered) {
+  std::vector<FrequentItemset> combos = {
+      {{1, 2}, 100}, {{2, 3}, 90}, {{1, 2, 3}, 80},
+      {{5, 6}, 70},  {{7}, 60},    {{6, 8}, 50},
+  };
+  auto size_fn = [](const TermIdSet& k) -> uint64_t {
+    return 1ULL << std::min<size_t>(k.size(), 20);
+  };
+  SelectionOutcome out = SelectViewsMiningBased(combos, size_fn, 64);
+  ASSERT_FALSE(out.views.empty());
+  for (const auto& c : combos) {
+    EXPECT_TRUE(CoveredBySome(out.views, c.items))
+        << "combination uncovered";
+  }
+  EXPECT_EQ(out.oversized_combinations, 0u);
+}
+
+TEST(MiningBasedSelectionTest, MergesOverlappingCombinations) {
+  // {1,2,3} and {2,3,4} overlap heavily; with a permissive T_V they should
+  // end up in one view.
+  std::vector<FrequentItemset> combos = {{{1, 2, 3}, 10}, {{2, 3, 4}, 10}};
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  SelectionOutcome out = SelectViewsMiningBased(combos, size_fn, 100);
+  ASSERT_EQ(out.views.size(), 1u);
+  EXPECT_EQ(out.views[0].keyword_columns, (TermIdSet{1, 2, 3, 4}));
+}
+
+TEST(MiningBasedSelectionTest, TightThresholdSplitsViews) {
+  std::vector<FrequentItemset> combos = {{{1, 2, 3}, 10}, {{4, 5, 6}, 10}};
+  // Any union of the two would have estimated size 6 >= 5.
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  SelectionOutcome out = SelectViewsMiningBased(combos, size_fn, 5);
+  EXPECT_EQ(out.views.size(), 2u);
+}
+
+TEST(MiningBasedSelectionTest, SubsetsRemovedFirst) {
+  std::vector<FrequentItemset> combos = {
+      {{1}, 50}, {{1, 2}, 40}, {{1, 2, 3}, 30}};
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  SelectionOutcome out = SelectViewsMiningBased(combos, size_fn, 100);
+  ASSERT_EQ(out.views.size(), 1u);
+  EXPECT_EQ(out.views[0].keyword_columns, (TermIdSet{1, 2, 3}));
+}
+
+TEST(MiningBasedSelectionTest, OversizedCombinationFlagged) {
+  std::vector<FrequentItemset> combos = {{{1, 2, 3, 4, 5, 6, 7, 8}, 10}};
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size() * 10; };
+  SelectionOutcome out = SelectViewsMiningBased(combos, size_fn, 16);
+  EXPECT_EQ(out.oversized_combinations, 1u);
+  ASSERT_EQ(out.views.size(), 1u);  // still emitted
+}
+
+TEST(MiningBasedSelectionTest, EmptyInput) {
+  auto size_fn = [](const TermIdSet& k) -> uint64_t { return k.size(); };
+  SelectionOutcome out = SelectViewsMiningBased({}, size_fn, 10);
+  EXPECT_TRUE(out.views.empty());
+}
+
+/// End-to-end guarantee (Problem Statement 5.1) on a real synthetic corpus:
+/// after hybrid selection, EVERY frequent predicate combination must be
+/// covered by at least one selected view.
+class HybridSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusConfig cfg;
+    cfg.num_docs = 6000;
+    cfg.vocab_size = 2000;
+    cfg.ontology_fanouts = {5, 4};  // 25 concepts
+    cfg.seed = 31;
+    auto r = CorpusGenerator(cfg).Generate();
+    ASSERT_TRUE(r.ok());
+    corpus_ = std::move(r).value();
+    IndexBuilder pb;
+    for (const Document& d : corpus_.docs) {
+      ASSERT_TRUE(pb.AddDocument(d.id, d.annotations).ok());
+    }
+    predicates_ = pb.Build();
+  }
+
+  Corpus corpus_;
+  InvertedIndex predicates_;
+};
+
+TEST_F(HybridSelectionTest, AllFrequentCombinationsCovered) {
+  const uint64_t t_c = 120;  // 2% of 6000
+  TransactionDb db = TransactionDb::FromCorpus(corpus_);
+  Kag kag = Kag::Build(db, t_c, t_c);
+  ASSERT_GT(kag.num_vertices(), 0u);
+
+  ViewSizeEstimator estimator(&corpus_, 5, 4000);
+  SupportFn support = MakeIndexSupportFn(predicates_);
+
+  HybridConfig config;
+  config.thresholds.context_threshold = t_c;
+  config.thresholds.view_size_threshold = 64;
+  HybridResult result =
+      SelectViewsHybrid(db, kag, estimator, support, config);
+  ASSERT_FALSE(result.views.empty());
+
+  // Ground truth: all frequent combinations of predicates, mined exactly.
+  MiningOptions mopts;
+  mopts.min_support = t_c;
+  mopts.max_itemset_size = 6;
+  auto frequent = MineFpGrowth(db, mopts);
+  ASSERT_FALSE(frequent.empty());
+
+  uint32_t uncovered = 0;
+  for (const auto& f : frequent) {
+    if (!CoveredBySome(result.views, f.items)) {
+      ++uncovered;
+    }
+  }
+  EXPECT_EQ(uncovered, 0u)
+      << uncovered << " of " << frequent.size()
+      << " frequent combinations uncovered — Problem 5.1 violated";
+}
+
+TEST_F(HybridSelectionTest, DecompositionOnlyAlsoCoversButMayOversize) {
+  const uint64_t t_c = 120;
+  TransactionDb db = TransactionDb::FromCorpus(corpus_);
+  Kag kag = Kag::Build(db, t_c, t_c);
+  ViewSizeEstimator estimator(&corpus_, 5, 4000);
+  SupportFn support = MakeIndexSupportFn(predicates_);
+
+  HybridConfig config;
+  config.thresholds.context_threshold = t_c;
+  config.thresholds.view_size_threshold = 64;
+  HybridResult result =
+      SelectViewsDecompositionOnly(kag, estimator, support, config);
+  ASSERT_FALSE(result.views.empty());
+
+  MiningOptions mopts;
+  mopts.min_support = t_c;
+  mopts.max_itemset_size = 6;
+  auto frequent = MineFpGrowth(db, mopts);
+  for (const auto& f : frequent) {
+    EXPECT_TRUE(CoveredBySome(result.views, f.items));
+  }
+}
+
+TEST_F(HybridSelectionTest, IndexSupportFnMatchesScan) {
+  TransactionDb db = TransactionDb::FromCorpus(corpus_);
+  SupportFn support = MakeIndexSupportFn(predicates_);
+  // Probe a handful of combinations of top-level concepts.
+  for (TermId a = 0; a < 5; ++a) {
+    for (TermId b = a + 1; b < 5; ++b) {
+      TermIdSet p = {a, b};
+      EXPECT_EQ(support(p), db.Support(p));
+    }
+  }
+  EXPECT_EQ(support(TermIdSet{9999}), 0u);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "stats/collector.h"
+#include "stats/statistics.h"
+
+namespace csr {
+namespace {
+
+TEST(QueryStatsTest, DeduplicatesAndCountsTq) {
+  std::vector<TermId> raw = {5, 7, 5, 9, 5};
+  QueryStats q = QueryStats::FromKeywords(raw);
+  EXPECT_EQ(q.length, 5u);
+  EXPECT_EQ(q.unique_terms(), 3u);
+  ASSERT_EQ(q.keywords, (std::vector<TermId>{5, 7, 9}));
+  EXPECT_EQ(q.tq, (std::vector<uint32_t>{3, 1, 1}));
+}
+
+TEST(CollectionStatsTest, AvgdlHandlesEmpty) {
+  CollectionStats s;
+  EXPECT_DOUBLE_EQ(s.avgdl(), 0.0);
+  s.cardinality = 4;
+  s.total_length = 100;
+  EXPECT_DOUBLE_EQ(s.avgdl(), 25.0);
+}
+
+/// A tiny hand-built corpus for exact verification:
+///
+/// doc | content (term: tf)       | predicates
+///  0  | 1:2, 2:1   (len 3)       | 10, 11
+///  1  | 1:1        (len 1)       | 10
+///  2  | 2:3        (len 3)       | 10, 11, 12
+///  3  | 1:1, 2:1   (len 2)       | 11, 12
+///  4  | 3:4        (len 4)       | 10, 11
+struct TinyFixture {
+  InvertedIndex content;
+  InvertedIndex predicates;
+
+  TinyFixture() {
+    IndexBuilder cb, pb;
+    auto add = [&](DocId d, std::vector<TermId> tokens,
+                   std::vector<TermId> preds) {
+      ASSERT_TRUE(cb.AddDocument(d, tokens).ok());
+      ASSERT_TRUE(pb.AddDocument(d, preds).ok());
+    };
+    add(0, {1, 1, 2}, {10, 11});
+    add(1, {1}, {10});
+    add(2, {2, 2, 2}, {10, 11, 12});
+    add(3, {1, 2}, {11, 12});
+    add(4, {3, 3, 3, 3}, {10, 11});
+    content = cb.Build();
+    predicates = pb.Build();
+  }
+};
+
+TEST(GlobalStatsTest, MatchesIndexTotals) {
+  TinyFixture f;
+  std::vector<TermId> keywords = {1, 2, 3, 99};
+  CollectionStats s = GlobalCollectionStats(f.content, keywords);
+  EXPECT_EQ(s.cardinality, 5u);
+  EXPECT_EQ(s.total_length, 13u);
+  EXPECT_EQ(s.df, (std::vector<uint64_t>{3, 3, 1, 0}));
+  EXPECT_EQ(s.tc, (std::vector<uint64_t>{4, 5, 4, 0}));
+}
+
+TEST(StraightforwardStatsTest, SinglePredicateContext) {
+  TinyFixture f;
+  // Context {11} = docs {0, 2, 3, 4}.
+  TermIdSet ctx = {11};
+  std::vector<TermId> keywords = {1, 2};
+  CollectionStats s = StraightforwardCollectionStats(
+      f.content, f.predicates, ctx, keywords, /*compute_tc=*/true);
+  EXPECT_EQ(s.cardinality, 4u);
+  EXPECT_EQ(s.total_length, 3u + 3u + 2u + 4u);
+  // df(1, ctx): docs 0, 3 -> 2. df(2, ctx): docs 0, 2, 3 -> 3.
+  EXPECT_EQ(s.df, (std::vector<uint64_t>{2, 3}));
+  // tc(1, ctx) = 2 + 1 = 3. tc(2, ctx) = 1 + 3 + 1 = 5.
+  EXPECT_EQ(s.tc, (std::vector<uint64_t>{3, 5}));
+}
+
+TEST(StraightforwardStatsTest, ConjunctiveContext) {
+  TinyFixture f;
+  // Context {10, 11} = docs {0, 2, 4}.
+  TermIdSet ctx = {10, 11};
+  std::vector<TermId> keywords = {1, 2, 3};
+  CollectionStats s = StraightforwardCollectionStats(
+      f.content, f.predicates, ctx, keywords, /*compute_tc=*/true);
+  EXPECT_EQ(s.cardinality, 3u);
+  EXPECT_EQ(s.total_length, 10u);
+  EXPECT_EQ(s.df, (std::vector<uint64_t>{1, 2, 1}));
+  EXPECT_EQ(s.tc, (std::vector<uint64_t>{2, 4, 4}));
+}
+
+TEST(StraightforwardStatsTest, UnknownPredicateGivesEmptyContext) {
+  TinyFixture f;
+  TermIdSet ctx = {10, 999};
+  std::vector<TermId> keywords = {1};
+  CollectionStats s = StraightforwardCollectionStats(
+      f.content, f.predicates, ctx, keywords);
+  EXPECT_EQ(s.cardinality, 0u);
+  EXPECT_EQ(s.total_length, 0u);
+  EXPECT_EQ(s.df, (std::vector<uint64_t>{0}));
+}
+
+TEST(StraightforwardStatsTest, UnknownKeywordGetsZeroDf) {
+  TinyFixture f;
+  TermIdSet ctx = {10};
+  std::vector<TermId> keywords = {777};
+  CollectionStats s = StraightforwardCollectionStats(
+      f.content, f.predicates, ctx, keywords);
+  EXPECT_EQ(s.cardinality, 4u);
+  EXPECT_EQ(s.df, (std::vector<uint64_t>{0}));
+}
+
+TEST(StraightforwardStatsTest, ChargesAggregationCost) {
+  TinyFixture f;
+  TermIdSet ctx = {10};
+  std::vector<TermId> keywords = {1};
+  CostCounters cost;
+  StraightforwardCollectionStats(f.content, f.predicates, ctx, keywords,
+                                 false, &cost);
+  // The γ aggregation must scan each of the 4 context docs.
+  EXPECT_EQ(cost.aggregation_entries, 4u);
+  EXPECT_GT(cost.entries_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace csr

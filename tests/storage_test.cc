@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "storage/serializer.h"
+#include "storage/snapshot.h"
+
+namespace csr {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("csr_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path(const std::string& name = "") const {
+    return name.empty() ? path_.string() : (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(SerializerTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x123456789ABCDEF0ULL);
+  w.PutVarint(0);
+  w.PutVarint(300);
+  w.PutVarint(UINT64_MAX);
+  w.PutDouble(3.14159);
+  w.PutString("hello");
+  w.PutVarintVector(std::vector<uint32_t>{1, 2, 3});
+
+  BinaryReader r(w.buffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64, v;
+  double d;
+  std::string s;
+  std::vector<uint32_t> vec;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  EXPECT_EQ(u8, 7);
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  EXPECT_EQ(u64, 0x123456789ABCDEF0ULL);
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, 300u);
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, UINT64_MAX);
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(r.GetVarintVector(&vec).ok());
+  EXPECT_EQ(vec, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, TruncationReturnsOutOfRange) {
+  BinaryReader r("ab");
+  uint64_t v;
+  EXPECT_EQ(r.GetU64(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializerTest, FileRoundTripWithChecksum) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("payload");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0xABCD).ok());
+
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0xABCD);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string s;
+  ASSERT_TRUE(r->GetString(&s).ok());
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(SerializerTest, WrongMagicRejected) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutU32(1);
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x1111).ok());
+  EXPECT_FALSE(BinaryReader::OpenFile(dir.path("f.bin"), 0x2222).ok());
+}
+
+TEST(SerializerTest, CorruptionDetectedByChecksum) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("sensitive bytes");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x3333).ok());
+
+  // Flip one payload byte.
+  std::FILE* f = std::fopen(dir.path("f.bin").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8, SEEK_SET);
+  std::fputc('X', f);
+  std::fclose(f);
+
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializerTest, MissingFileIsNotFound) {
+  EXPECT_EQ(BinaryReader::OpenFile("/nonexistent/f.bin", 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+Corpus SmallCorpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 3000;
+  cfg.vocab_size = 1500;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = 5;
+  return CorpusGenerator(cfg).Generate().value();
+}
+
+TEST(SnapshotTest, CorpusRoundTrip) {
+  TempDir dir;
+  Corpus original = SmallCorpus();
+  ASSERT_TRUE(SaveCorpus(original, dir.path("corpus.csr")).ok());
+
+  auto loaded = LoadCorpus(dir.path("corpus.csr"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->docs.size(), original.docs.size());
+  EXPECT_EQ(loaded->ontology.size(), original.ontology.size());
+  EXPECT_EQ(loaded->config.seed, original.config.seed);
+  EXPECT_EQ(loaded->config.vocab_size, original.config.vocab_size);
+  for (size_t i = 0; i < original.docs.size(); ++i) {
+    EXPECT_EQ(loaded->docs[i].id, original.docs[i].id);
+    EXPECT_EQ(loaded->docs[i].title, original.docs[i].title);
+    EXPECT_EQ(loaded->docs[i].abstract_text, original.docs[i].abstract_text);
+    EXPECT_EQ(loaded->docs[i].annotations, original.docs[i].annotations);
+  }
+  for (TermId t = 0; t < original.ontology.size(); ++t) {
+    EXPECT_EQ(loaded->ontology.parent(t), original.ontology.parent(t));
+    EXPECT_EQ(loaded->ontology.name(t), original.ontology.name(t));
+    EXPECT_EQ(loaded->ontology.depth(t), original.ontology.depth(t));
+  }
+}
+
+TEST(SnapshotTest, EngineSnapshotRoundTripPreservesSearch) {
+  TempDir dir;
+  EngineConfig ecfg;
+  ecfg.top_k = 10;
+  ecfg.estimator_sample = 2000;
+  auto engine_r = ContextSearchEngine::Build(SmallCorpus(), ecfg);
+  ASSERT_TRUE(engine_r.ok());
+  auto engine = std::move(engine_r).value();
+  ASSERT_TRUE(engine->SelectAndMaterializeViews().ok());
+  ASSERT_TRUE(SaveEngineSnapshot(*engine, dir.path()).ok());
+
+  auto loaded_r = LoadEngineSnapshot(dir.path(), ecfg);
+  ASSERT_TRUE(loaded_r.ok()) << loaded_r.status().ToString();
+  auto loaded = std::move(loaded_r).value();
+  EXPECT_EQ(loaded->catalog().size(), engine->catalog().size());
+  EXPECT_EQ(loaded->catalog().TotalTuples(), engine->catalog().TotalTuples());
+
+  // Identical results from both engines, view-backed.
+  const CorpusConfig& cc = engine->corpus().config;
+  TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                 cc.topical_window);
+  ContextQuery q{{w}, {0}};
+  auto a = engine->Search(q, EvaluationMode::kContextWithViews);
+  auto b = loaded->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->metrics.used_view);
+  EXPECT_EQ(a->stats.cardinality, b->stats.cardinality);
+  EXPECT_EQ(a->stats.df, b->stats.df);
+  ASSERT_EQ(a->top_docs.size(), b->top_docs.size());
+  for (size_t i = 0; i < a->top_docs.size(); ++i) {
+    EXPECT_EQ(a->top_docs[i].doc, b->top_docs[i].doc);
+    EXPECT_DOUBLE_EQ(a->top_docs[i].score, b->top_docs[i].score);
+  }
+}
+
+TEST(SnapshotTest, MismatchedConfigRejectedAtInstall) {
+  TempDir dir;
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+  ASSERT_TRUE(engine->SelectAndMaterializeViews().ok());
+  ASSERT_TRUE(SaveEngineSnapshot(*engine, dir.path()).ok());
+
+  // A different tracked-keyword cap changes slot alignment: must refuse.
+  EngineConfig other = ecfg;
+  other.tracked_cap = 3;
+  auto loaded = LoadEngineSnapshot(dir.path(), other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, MissingSnapshotDirFails) {
+  EngineConfig ecfg;
+  auto loaded = LoadEngineSnapshot("/nonexistent_dir", ecfg);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace csr {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  Tokenizer t(1);
+  auto tokens = t.Tokenize("Pancreas Transplant, 2011!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "pancreas");
+  EXPECT_EQ(tokens[1], "transplant");
+  EXPECT_EQ(tokens[2], "2011");
+}
+
+TEST(TokenizerTest, MinLengthDropsShortTokens) {
+  Tokenizer t(3);
+  auto tokens = t.Tokenize("a ab abc abcd");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "abc");
+  EXPECT_EQ(tokens[1], "abcd");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("...!  ").empty());
+}
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("alpha"), 0u);
+  EXPECT_EQ(v.Intern("beta"), 1u);
+  EXPECT_EQ(v.Intern("alpha"), 0u);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.Name(0), "alpha");
+  EXPECT_EQ(v.Name(1), "beta");
+}
+
+TEST(VocabularyTest, LookupUnknownReturnsInvalid) {
+  Vocabulary v;
+  v.Intern("x");
+  EXPECT_EQ(v.Lookup("x"), 0u);
+  EXPECT_EQ(v.Lookup("y"), kInvalidTermId);
+}
+
+TEST(AnalyzerTest, FiltersStopwordsAndInterns) {
+  Analyzer a;
+  Vocabulary v;
+  auto ids = a.AnalyzeAndIntern("the organ failure in patients", v);
+  // "the" and "in" are stopwords.
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(v.Name(ids[0]), "organ");
+  EXPECT_EQ(v.Name(ids[1]), "failure");
+  EXPECT_EQ(v.Name(ids[2]), "patients");
+}
+
+TEST(AnalyzerTest, ReadOnlyDropsUnknownTerms) {
+  Analyzer a;
+  Vocabulary v;
+  a.AnalyzeAndIntern("pancreas leukemia", v);
+  auto ids = a.AnalyzeReadOnly("pancreas unknownterm leukemia", v);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(v.Name(ids[0]), "pancreas");
+  EXPECT_EQ(v.Name(ids[1]), "leukemia");
+  EXPECT_EQ(v.size(), 2u);  // read-only path must not intern
+}
+
+TEST(AnalyzerTest, CustomStopwords) {
+  Analyzer a({"pancreas"});
+  EXPECT_TRUE(a.IsStopword("pancreas"));
+  EXPECT_FALSE(a.IsStopword("the"));
+  Vocabulary v;
+  auto ids = a.AnalyzeAndIntern("the pancreas", v);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(v.Name(ids[0]), "the");
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace csr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad query");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad query");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad query");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailingOperation() { return Status::OutOfRange("boom"); }
+
+Status PropagatingCaller() {
+  CSR_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(PropagatingCaller().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SplitMix64Test, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, BoundedStaysInBound) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(7), 7u);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(50, 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < 50; ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfDistribution z(100, 1.2);
+  for (size_t i = 1; i < 100; ++i) EXPECT_LT(z.pmf(i), z.pmf(i - 1));
+}
+
+TEST(ZipfTest, SampleRespectsSkew) {
+  ZipfDistribution z(1000, 1.0);
+  SplitMix64 rng(11);
+  std::vector<int> counts(1000, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[z.Sample(rng)]++;
+  // Rank 0 should dominate rank 99 by roughly 100x under s=1.
+  EXPECT_GT(counts[0], counts[99] * 20);
+  // Observed frequency of rank 0 near its pmf.
+  double freq0 = static_cast<double>(counts[0]) / kDraws;
+  EXPECT_NEAR(freq0, z.pmf(0), 0.02);
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution z(1, 1.0);
+  SplitMix64 rng(3);
+  EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_NEAR(z.pmf(0), 1.0, 1e-12);
+}
+
+TEST(ShuffleTest, IsPermutationAndDeterministic) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> w = v;
+  SplitMix64 r1(42), r2(42);
+  Shuffle(v, r1);
+  Shuffle(w, r2);
+  EXPECT_EQ(v, w);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(SampleWithoutReplacementTest, CorrectSizeSortedUnique) {
+  SplitMix64 rng(8);
+  auto s = SampleWithoutReplacement(1000, 100, rng);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 100u);
+  for (size_t x : s) EXPECT_LT(x, 1000u);
+}
+
+TEST(SampleWithoutReplacementTest, KGreaterThanNReturnsAll) {
+  SplitMix64 rng(8);
+  auto s = SampleWithoutReplacement(10, 50, rng);
+  EXPECT_EQ(s.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto parts = SplitString("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(JoinStrings(parts, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, SplitEmptyAndNoDelims) {
+  EXPECT_TRUE(SplitString("", ",").empty());
+  auto parts = SplitString("abc", ",");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, AsciiLower) {
+  std::string s = "HeLLo123";
+  AsciiLower(s);
+  EXPECT_EQ(s, "hello123");
+}
+
+TEST(StringUtilTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024ull * 1024ull), "3.00 MB");
+}
+
+TEST(HashTest, TermIdSetHashDiffersByContent) {
+  TermIdSet a = {1, 2, 3};
+  TermIdSet b = {1, 2, 4};
+  TermIdSet c = {1, 2, 3};
+  EXPECT_NE(HashTermIds(a), HashTermIds(b));
+  EXPECT_EQ(HashTermIds(a), HashTermIds(c));
+}
+
+TEST(HashTest, MixAvalanches) {
+  // Flipping one input bit should change roughly half the output bits.
+  uint64_t h1 = HashMix64(0x1234);
+  uint64_t h2 = HashMix64(0x1235);
+  int differing = __builtin_popcountll(h1 ^ h2);
+  EXPECT_GT(differing, 16);
+  EXPECT_LT(differing, 48);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corpus/generator.h"
+#include "index/inverted_index.h"
+#include "stats/collector.h"
+#include "views/materialized_view.h"
+#include "views/signature.h"
+#include "views/size_estimator.h"
+#include "views/view_builder.h"
+#include "views/view_catalog.h"
+#include "views/view_def.h"
+#include "views/wide_table.h"
+
+namespace csr {
+namespace {
+
+TEST(BitSignatureTest, SetTestAndPopCount) {
+  BitSignature s(130);
+  EXPECT_FALSE(s.Any());
+  s.Set(0);
+  s.Set(64);
+  s.Set(129);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(129));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.PopCount(), 3u);
+  EXPECT_TRUE(s.Any());
+  EXPECT_EQ(s.num_words(), 3u);
+}
+
+TEST(BitSignatureTest, ContainsAll) {
+  BitSignature s(128), mask(128);
+  s.Set(3);
+  s.Set(70);
+  s.Set(100);
+  mask.Set(3);
+  mask.Set(100);
+  EXPECT_TRUE(s.ContainsAll(mask));
+  mask.Set(5);
+  EXPECT_FALSE(s.ContainsAll(mask));
+}
+
+TEST(BitSignatureTest, HashAndEquality) {
+  BitSignature a(64), b(64), c(64);
+  a.Set(7);
+  b.Set(7);
+  c.Set(8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(ViewDefinitionTest, CoversAndBitOf) {
+  ViewDefinition def{TermIdSet{3, 7, 12, 20}};
+  EXPECT_TRUE(def.Covers(TermIdSet{3, 12}));
+  EXPECT_TRUE(def.Covers(TermIdSet{}));
+  EXPECT_TRUE(def.Covers(TermIdSet{3, 7, 12, 20}));
+  EXPECT_FALSE(def.Covers(TermIdSet{3, 8}));
+  EXPECT_EQ(def.BitOf(3), 0);
+  EXPECT_EQ(def.BitOf(20), 3);
+  EXPECT_EQ(def.BitOf(8), -1);
+}
+
+/// Shared fixture: a small synthetic corpus with indexes and the view
+/// plumbing.
+class ViewsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusConfig cfg;
+    cfg.num_docs = 3000;
+    cfg.vocab_size = 1500;
+    cfg.ontology_fanouts = {4, 3};
+    cfg.seed = 17;
+    auto r = CorpusGenerator(cfg).Generate();
+    ASSERT_TRUE(r.ok());
+    corpus_ = std::move(r).value();
+
+    IndexBuilder cb, pb;
+    for (const Document& d : corpus_.docs) {
+      ASSERT_TRUE(cb.AddDocument(d.id, d.ContentTokens()).ok());
+      ASSERT_TRUE(pb.AddDocument(d.id, d.annotations).ok());
+    }
+    content_ = cb.Build();
+    predicates_ = pb.Build();
+    tracked_ = TrackedKeywords::Select(content_, /*min_df=*/30, /*cap=*/256);
+    table_ = std::make_unique<DocParamTable>(
+        DocParamTable::Build(content_, tracked_));
+  }
+
+  MaterializedView BuildView(const TermIdSet& k, bool track_tc = true) {
+    ViewParamOptions params;
+    params.track_df = true;
+    params.track_tc = track_tc;
+    ViewBuilder builder(&corpus_, table_.get(), params,
+                        static_cast<uint32_t>(tracked_.size()));
+    std::vector<ViewDefinition> defs = {ViewDefinition{k}};
+    auto views = builder.BuildAll(defs);
+    return std::move(views[0]);
+  }
+
+  Corpus corpus_;
+  InvertedIndex content_;
+  InvertedIndex predicates_;
+  TrackedKeywords tracked_;
+  std::unique_ptr<DocParamTable> table_;
+};
+
+TEST_F(ViewsFixture, TrackedKeywordsRespectThresholdAndCap) {
+  for (TermId t : tracked_.terms()) {
+    EXPECT_GE(content_.df(t), 30u);
+  }
+  EXPECT_LE(tracked_.size(), 256u);
+  // Slots round-trip.
+  for (uint32_t slot = 0; slot < tracked_.size(); ++slot) {
+    EXPECT_EQ(tracked_.SlotOf(tracked_.TermAt(slot)),
+              static_cast<int32_t>(slot));
+  }
+  EXPECT_EQ(tracked_.SlotOf(kInvalidTermId - 1), -1);
+}
+
+TEST_F(ViewsFixture, DocParamTableMatchesIndex) {
+  EXPECT_EQ(table_->num_docs(), content_.num_docs());
+  // Spot-check: every tracked entry of a doc matches the index's tf.
+  for (DocId d = 0; d < 200; ++d) {
+    EXPECT_EQ(table_->doc_length(d), content_.doc_length(d));
+    for (const auto& [slot, tf] : table_->TrackedOf(d)) {
+      TermId w = tracked_.TermAt(slot);
+      const PostingList* l = content_.list(w);
+      ASSERT_NE(l, nullptr);
+      auto it = l->MakeIterator();
+      it.SkipTo(d);
+      ASSERT_FALSE(it.AtEnd());
+      ASSERT_EQ(it.doc(), d);
+      EXPECT_EQ(it.tf(), tf);
+    }
+  }
+}
+
+TEST_F(ViewsFixture, ViewStatsMatchStraightforward) {
+  // THE core correctness property (Theorem 4.1): statistics computed from
+  // a usable materialized view must equal the straightforward plan's.
+  TermIdSet roots = {0, 1, 2, 3};  // the 4 top-level concepts
+  MaterializedView view = BuildView(roots);
+
+  std::vector<TermId> keywords;
+  // A mix of tracked and untracked keywords.
+  keywords.push_back(tracked_.TermAt(0));
+  keywords.push_back(tracked_.TermAt(tracked_.size() / 2));
+
+  std::vector<TermIdSet> contexts = {{0}, {1}, {0, 2}, {1, 2, 3}, {0, 1, 2, 3}};
+  for (const TermIdSet& ctx : contexts) {
+    SCOPED_TRACE("context size " + std::to_string(ctx.size()));
+    ASSERT_TRUE(view.def().Covers(ctx));
+    auto vr = view.ComputeStats(ctx, keywords, tracked_);
+    CollectionStats exact = StraightforwardCollectionStats(
+        content_, predicates_, ctx, keywords, /*compute_tc=*/true);
+    EXPECT_EQ(vr.cardinality, exact.cardinality);
+    EXPECT_EQ(vr.total_length, exact.total_length);
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      ASSERT_TRUE(vr.covered[i]);
+      EXPECT_EQ(vr.df[i], exact.df[i]) << "df keyword " << i;
+      EXPECT_EQ(vr.tc[i], exact.tc[i]) << "tc keyword " << i;
+    }
+  }
+}
+
+TEST_F(ViewsFixture, UntrackedKeywordNotCovered) {
+  TermIdSet roots = {0, 1};
+  MaterializedView view = BuildView(roots);
+  // Find a keyword that exists but is untracked.
+  TermId untracked = kInvalidTermId;
+  for (TermId w = 0; w < content_.num_terms(); ++w) {
+    if (content_.df(w) > 0 && !tracked_.IsTracked(w)) {
+      untracked = w;
+      break;
+    }
+  }
+  ASSERT_NE(untracked, kInvalidTermId);
+  std::vector<TermId> keywords = {untracked};
+  auto vr = view.ComputeStats(TermIdSet{0}, keywords, tracked_);
+  EXPECT_FALSE(vr.covered[0]);
+  // Cardinality is still exact.
+  CollectionStats exact = StraightforwardCollectionStats(
+      content_, predicates_, TermIdSet{0}, keywords);
+  EXPECT_EQ(vr.cardinality, exact.cardinality);
+}
+
+TEST_F(ViewsFixture, NonCoveredContextReturnsZeroed) {
+  MaterializedView view = BuildView(TermIdSet{0, 1});
+  std::vector<TermId> keywords = {tracked_.TermAt(0)};
+  auto vr = view.ComputeStats(TermIdSet{0, 2}, keywords, tracked_);
+  EXPECT_EQ(vr.cardinality, 0u);
+  EXPECT_FALSE(vr.covered[0]);
+}
+
+TEST_F(ViewsFixture, ViewSizeBoundedByPartitions) {
+  TermIdSet roots = {0, 1, 2, 3};
+  MaterializedView view = BuildView(roots);
+  EXPECT_GT(view.NumTuples(), 0u);
+  EXPECT_LE(view.NumTuples(), 15u);  // 2^4 - 1 non-zero signatures
+  EXPECT_GT(view.StorageBytes(), 0u);
+  EXPECT_EQ(view.NumParameterColumns(),
+            2u + 2u * static_cast<uint32_t>(tracked_.size()));
+}
+
+TEST_F(ViewsFixture, CostCountersChargeTupleScans) {
+  TermIdSet roots = {0, 1, 2, 3};
+  MaterializedView view = BuildView(roots);
+  std::vector<TermId> keywords = {tracked_.TermAt(0)};
+  CostCounters cost;
+  view.ComputeStats(TermIdSet{0}, keywords, tracked_, &cost);
+  EXPECT_EQ(cost.view_tuples_scanned, view.NumTuples());
+}
+
+TEST_F(ViewsFixture, SizeEstimatorExactMatchesView) {
+  TermIdSet roots = {0, 1, 2, 3};
+  MaterializedView view = BuildView(roots);
+  ViewSizeEstimator full(&corpus_, 1, /*sample_size=*/1u << 30);
+  EXPECT_EQ(full.Exact(view.def()), view.NumTuples());
+  EXPECT_EQ(full.Estimate(view.def()), view.NumTuples());
+}
+
+TEST_F(ViewsFixture, SizeEstimatorSampleIsLowerBoundAndClose) {
+  ViewDefinition def{TermIdSet{0, 1, 2, 3, 4, 5, 6}};
+  ViewSizeEstimator sampler(&corpus_, 2, /*sample_size=*/800);
+  ViewSizeEstimator full(&corpus_, 3, /*sample_size=*/1u << 30);
+  uint64_t est = sampler.Estimate(def);
+  uint64_t exact = full.Exact(def);
+  EXPECT_LE(est, exact);
+  EXPECT_GE(est * 4, exact) << "sample estimate implausibly low";
+}
+
+TEST_F(ViewsFixture, CatalogFindsSmallestUsableView) {
+  ViewParamOptions params;
+  ViewBuilder builder(&corpus_, table_.get(), params,
+                      static_cast<uint32_t>(tracked_.size()));
+  std::vector<ViewDefinition> defs = {
+      ViewDefinition{TermIdSet{0, 1, 2, 3}},
+      ViewDefinition{TermIdSet{0, 1}},
+      ViewDefinition{TermIdSet{2, 3}},
+  };
+  auto views = builder.BuildAll(defs);
+  ViewCatalog catalog;
+  for (auto& v : views) catalog.Add(std::move(v));
+
+  const MaterializedView* best = catalog.FindBest(TermIdSet{0, 1});
+  ASSERT_NE(best, nullptr);
+  // Both {0,1,2,3} and {0,1} cover; {0,1} has fewer tuples.
+  EXPECT_EQ(best->def().keyword_columns, (TermIdSet{0, 1}));
+
+  const MaterializedView* broad = catalog.FindBest(TermIdSet{0, 2});
+  ASSERT_NE(broad, nullptr);
+  EXPECT_EQ(broad->def().keyword_columns, (TermIdSet{0, 1, 2, 3}));
+
+  EXPECT_EQ(catalog.FindBest(TermIdSet{0, 999}), nullptr);
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_GT(catalog.TotalStorageBytes(), 0u);
+  EXPECT_GT(catalog.TotalTuples(), 0u);
+}
+
+}  // namespace
+}  // namespace csr

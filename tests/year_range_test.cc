@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "engine/query_parser.h"
+#include "stats/collector.h"
+#include "storage/snapshot.h"
+
+namespace csr {
+namespace {
+
+// The Section 7 extension: contexts restricted along a time dimension,
+// answered from views when the range aligns to the views' year buckets.
+
+TEST(YearRangeTest, Semantics) {
+  YearRange none;
+  EXPECT_FALSE(none.active());
+  EXPECT_TRUE(none.Contains(0));
+  EXPECT_TRUE(none.Contains(2005));
+
+  YearRange r{1990, 1999};
+  EXPECT_TRUE(r.active());
+  EXPECT_TRUE(r.Contains(1990));
+  EXPECT_TRUE(r.Contains(1999));
+  EXPECT_FALSE(r.Contains(1989));
+  EXPECT_FALSE(r.Contains(2000));
+}
+
+class YearFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusConfig cfg;
+    cfg.num_docs = 8000;
+    cfg.vocab_size = 2000;
+    cfg.ontology_fanouts = {4, 3};
+    cfg.seed = 404;
+    cfg.year_min = 1980;
+    cfg.year_max = 2009;  // 30 years, 3 decade buckets
+    Corpus corpus = CorpusGenerator(cfg).Generate().value();
+
+    EngineConfig ecfg;
+    ecfg.top_k = 10;
+    ecfg.view_year_bucket = 10;  // decade buckets
+    ecfg.estimator_sample = 2000;
+    engine_ = ContextSearchEngine::Build(std::move(corpus), ecfg)
+                  .value()
+                  .release();
+    ASSERT_TRUE(engine_->MaterializeViews({ViewDefinition{{0, 1, 2, 3}}}).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static ContextQuery TopicalQuery(YearRange range) {
+    const CorpusConfig& cc = engine_->corpus().config;
+    TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                   cc.topical_window);
+    ContextQuery q{{w}, {0}};
+    q.years = range;
+    return q;
+  }
+
+  static ContextSearchEngine* engine_;
+};
+
+ContextSearchEngine* YearFixture::engine_ = nullptr;
+
+TEST_F(YearFixture, GeneratorYearsInRange) {
+  for (const Document& d : engine_->corpus().docs) {
+    EXPECT_GE(d.year, 1980);
+    EXPECT_LE(d.year, 2009);
+  }
+}
+
+TEST_F(YearFixture, StraightforwardStatsMatchBruteForce) {
+  const Corpus& corpus = engine_->corpus();
+  YearRange range{1990, 1999};
+  TermId kw = CorpusGenerator::ConceptTopicalTerm(
+      0, 0, corpus.config.vocab_size, corpus.config.topical_window);
+
+  // Brute force over the corpus.
+  uint64_t card = 0, len = 0, df = 0;
+  for (const Document& d : corpus.docs) {
+    bool in_ctx = std::binary_search(d.annotations.begin(),
+                                     d.annotations.end(), TermId{0});
+    if (!in_ctx || !range.Contains(d.year)) continue;
+    ++card;
+    len += d.Length();
+    auto tokens = d.ContentTokens();
+    df += std::find(tokens.begin(), tokens.end(), kw) != tokens.end();
+  }
+  ASSERT_GT(card, 0u);
+
+  std::vector<uint16_t> years;
+  for (const Document& d : corpus.docs) years.push_back(d.year);
+  CollectionStats stats = StraightforwardCollectionStats(
+      engine_->content_index(), engine_->predicate_index(), TermIdSet{0},
+      std::vector<TermId>{kw}, false, nullptr, years, range);
+  EXPECT_EQ(stats.cardinality, card);
+  EXPECT_EQ(stats.total_length, len);
+  EXPECT_EQ(stats.df[0], df);
+}
+
+TEST_F(YearFixture, AlignedRangeAnsweredFromView) {
+  ContextQuery q = TopicalQuery(YearRange{1990, 1999});  // decade-aligned
+  auto viewed = engine_->Search(q, EvaluationMode::kContextWithViews);
+  auto direct = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(viewed.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(viewed->metrics.used_view);
+  EXPECT_FALSE(viewed->metrics.fell_back_to_straightforward);
+  EXPECT_EQ(viewed->stats.cardinality, direct->stats.cardinality);
+  EXPECT_EQ(viewed->stats.total_length, direct->stats.total_length);
+  EXPECT_EQ(viewed->stats.df, direct->stats.df);
+  ASSERT_EQ(viewed->top_docs.size(), direct->top_docs.size());
+  for (size_t i = 0; i < viewed->top_docs.size(); ++i) {
+    EXPECT_EQ(viewed->top_docs[i].doc, direct->top_docs[i].doc);
+  }
+  // The range genuinely restricts the context.
+  ContextQuery unrestricted = TopicalQuery({});
+  auto full = engine_->Search(unrestricted,
+                              EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(viewed->stats.cardinality, full->stats.cardinality);
+}
+
+TEST_F(YearFixture, MisalignedRangeFallsBackButStaysExact) {
+  ContextQuery q = TopicalQuery(YearRange{1995, 2004});  // crosses buckets
+  auto viewed = engine_->Search(q, EvaluationMode::kContextWithViews);
+  auto direct = engine_->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(viewed.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_FALSE(viewed->metrics.used_view);
+  EXPECT_TRUE(viewed->metrics.fell_back_to_straightforward);
+  EXPECT_EQ(viewed->stats.cardinality, direct->stats.cardinality);
+  EXPECT_EQ(viewed->stats.df, direct->stats.df);
+}
+
+TEST_F(YearFixture, ResultSetRestrictedByRange) {
+  ContextQuery q = TopicalQuery(YearRange{2000, 2009});
+  auto r = engine_->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(r.ok());
+  for (const auto& entry : r->top_docs) {
+    uint16_t y = engine_->corpus().docs[entry.doc].year;
+    EXPECT_GE(y, 2000);
+    EXPECT_LE(y, 2009);
+  }
+  // Same restriction applies in conventional mode (the year is a filter).
+  auto conv = engine_->Search(q, EvaluationMode::kConventional);
+  ASSERT_TRUE(conv.ok());
+  EXPECT_EQ(conv->result_count, r->result_count);
+}
+
+TEST_F(YearFixture, BucketedViewHasMoreTuplesThanFlatView) {
+  // Same definition without the time dimension for comparison.
+  EngineConfig flat_cfg = engine_->config();
+  flat_cfg.view_year_bucket = 0;
+  CorpusConfig cc = engine_->corpus().config;
+  Corpus copy = CorpusGenerator(cc).Generate().value();
+  auto flat = ContextSearchEngine::Build(std::move(copy), flat_cfg).value();
+  ASSERT_TRUE(flat->MaterializeViews({ViewDefinition{{0, 1, 2, 3}}}).ok());
+  EXPECT_GT(engine_->catalog().view(0).NumTuples(),
+            flat->catalog().view(0).NumTuples());
+  // But at most #buckets times as many.
+  EXPECT_LE(engine_->catalog().view(0).NumTuples(),
+            3 * flat->catalog().view(0).NumTuples());
+}
+
+TEST_F(YearFixture, SnapshotPreservesBuckets) {
+  std::string dir = std::string("/tmp/csr_year_snapshot_") +
+                    std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveEngineSnapshot(*engine_, dir).ok());
+  auto loaded = LoadEngineSnapshot(dir, engine_->config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ContextQuery q = TopicalQuery(YearRange{1990, 1999});
+  auto a = engine_->Search(q, EvaluationMode::kContextWithViews);
+  auto b = (*loaded)->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->metrics.used_view);
+  EXPECT_EQ(a->stats.cardinality, b->stats.cardinality);
+  EXPECT_EQ(a->stats.df, b->stats.df);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(YearRangeParserTest, ParsesRangeSuffix) {
+  CorpusConfig cfg;
+  cfg.num_docs = 200;
+  cfg.vocab_size = 500;
+  cfg.ontology_fanouts = {3};
+  Corpus corpus = CorpusGenerator(cfg).Generate().value();
+  QueryParser parser = QueryParser::ForCorpus(corpus);
+
+  auto q = parser.Parse("w1 w2 | C0 @ 1990..2005");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->years, (YearRange{1990, 2005}));
+
+  auto no_range = parser.Parse("w1 | C0");
+  ASSERT_TRUE(no_range.ok());
+  EXPECT_FALSE(no_range->years.active());
+
+  EXPECT_EQ(parser.Parse("w1 | C0 @ 1990").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parser.Parse("w1 | C0 @ 2005..1990").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parser.Parse("w1 | C0 @ abc..def").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace csr
