@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mining.dir/bench_ablation_mining.cc.o"
+  "CMakeFiles/bench_ablation_mining.dir/bench_ablation_mining.cc.o.d"
+  "bench_ablation_mining"
+  "bench_ablation_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

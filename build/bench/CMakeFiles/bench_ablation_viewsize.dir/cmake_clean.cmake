@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_viewsize.dir/bench_ablation_viewsize.cc.o"
+  "CMakeFiles/bench_ablation_viewsize.dir/bench_ablation_viewsize.cc.o.d"
+  "bench_ablation_viewsize"
+  "bench_ablation_viewsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_viewsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

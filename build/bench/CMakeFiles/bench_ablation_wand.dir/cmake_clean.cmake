@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wand.dir/bench_ablation_wand.cc.o"
+  "CMakeFiles/bench_ablation_wand.dir/bench_ablation_wand.cc.o.d"
+  "bench_ablation_wand"
+  "bench_ablation_wand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_small_contexts.dir/bench_fig8_small_contexts.cc.o"
+  "CMakeFiles/bench_fig8_small_contexts.dir/bench_fig8_small_contexts.cc.o.d"
+  "bench_fig8_small_contexts"
+  "bench_fig8_small_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_small_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

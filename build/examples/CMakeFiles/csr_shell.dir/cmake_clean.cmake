@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_shell.dir/csr_shell.cc.o"
+  "CMakeFiles/csr_shell.dir/csr_shell.cc.o.d"
+  "csr_shell"
+  "csr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubmed_search.dir/pubmed_search.cc.o"
+  "CMakeFiles/pubmed_search.dir/pubmed_search.cc.o.d"
+  "pubmed_search"
+  "pubmed_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubmed_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_lab.dir/ranking_lab.cc.o"
+  "CMakeFiles/ranking_lab.dir/ranking_lab.cc.o.d"
+  "ranking_lab"
+  "ranking_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("text")
+subdirs("index")
+subdirs("corpus")
+subdirs("stats")
+subdirs("ranking")
+subdirs("views")
+subdirs("mining")
+subdirs("graph")
+subdirs("selection")
+subdirs("engine")
+subdirs("storage")
+subdirs("eval")

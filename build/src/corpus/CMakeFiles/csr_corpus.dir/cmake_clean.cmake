@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_corpus.dir/atm.cc.o"
+  "CMakeFiles/csr_corpus.dir/atm.cc.o.d"
+  "CMakeFiles/csr_corpus.dir/generator.cc.o"
+  "CMakeFiles/csr_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/csr_corpus.dir/ontology.cc.o"
+  "CMakeFiles/csr_corpus.dir/ontology.cc.o.d"
+  "libcsr_corpus.a"
+  "libcsr_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

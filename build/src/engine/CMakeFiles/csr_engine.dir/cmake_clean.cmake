@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_engine.dir/engine.cc.o"
+  "CMakeFiles/csr_engine.dir/engine.cc.o.d"
+  "CMakeFiles/csr_engine.dir/query_parser.cc.o"
+  "CMakeFiles/csr_engine.dir/query_parser.cc.o.d"
+  "CMakeFiles/csr_engine.dir/stats_cache.cc.o"
+  "CMakeFiles/csr_engine.dir/stats_cache.cc.o.d"
+  "CMakeFiles/csr_engine.dir/wand.cc.o"
+  "CMakeFiles/csr_engine.dir/wand.cc.o.d"
+  "libcsr_engine.a"
+  "libcsr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

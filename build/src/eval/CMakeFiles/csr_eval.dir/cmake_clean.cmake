@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_eval.dir/metrics.cc.o"
+  "CMakeFiles/csr_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/csr_eval.dir/query_gen.cc.o"
+  "CMakeFiles/csr_eval.dir/query_gen.cc.o.d"
+  "CMakeFiles/csr_eval.dir/topics.cc.o"
+  "CMakeFiles/csr_eval.dir/topics.cc.o.d"
+  "libcsr_eval.a"
+  "libcsr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/decompose.cc" "src/graph/CMakeFiles/csr_graph.dir/decompose.cc.o" "gcc" "src/graph/CMakeFiles/csr_graph.dir/decompose.cc.o.d"
+  "/root/repo/src/graph/dinic.cc" "src/graph/CMakeFiles/csr_graph.dir/dinic.cc.o" "gcc" "src/graph/CMakeFiles/csr_graph.dir/dinic.cc.o.d"
+  "/root/repo/src/graph/kag.cc" "src/graph/CMakeFiles/csr_graph.dir/kag.cc.o" "gcc" "src/graph/CMakeFiles/csr_graph.dir/kag.cc.o.d"
+  "/root/repo/src/graph/separator.cc" "src/graph/CMakeFiles/csr_graph.dir/separator.cc.o" "gcc" "src/graph/CMakeFiles/csr_graph.dir/separator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/csr_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/csr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/csr_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_graph.dir/decompose.cc.o"
+  "CMakeFiles/csr_graph.dir/decompose.cc.o.d"
+  "CMakeFiles/csr_graph.dir/dinic.cc.o"
+  "CMakeFiles/csr_graph.dir/dinic.cc.o.d"
+  "CMakeFiles/csr_graph.dir/kag.cc.o"
+  "CMakeFiles/csr_graph.dir/kag.cc.o.d"
+  "CMakeFiles/csr_graph.dir/separator.cc.o"
+  "CMakeFiles/csr_graph.dir/separator.cc.o.d"
+  "libcsr_graph.a"
+  "libcsr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/codec.cc" "src/index/CMakeFiles/csr_index.dir/codec.cc.o" "gcc" "src/index/CMakeFiles/csr_index.dir/codec.cc.o.d"
+  "/root/repo/src/index/intersection.cc" "src/index/CMakeFiles/csr_index.dir/intersection.cc.o" "gcc" "src/index/CMakeFiles/csr_index.dir/intersection.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/csr_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/csr_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/posting_list.cc" "src/index/CMakeFiles/csr_index.dir/posting_list.cc.o" "gcc" "src/index/CMakeFiles/csr_index.dir/posting_list.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

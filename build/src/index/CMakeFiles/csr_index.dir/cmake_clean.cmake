@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_index.dir/codec.cc.o"
+  "CMakeFiles/csr_index.dir/codec.cc.o.d"
+  "CMakeFiles/csr_index.dir/intersection.cc.o"
+  "CMakeFiles/csr_index.dir/intersection.cc.o.d"
+  "CMakeFiles/csr_index.dir/inverted_index.cc.o"
+  "CMakeFiles/csr_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/csr_index.dir/posting_list.cc.o"
+  "CMakeFiles/csr_index.dir/posting_list.cc.o.d"
+  "libcsr_index.a"
+  "libcsr_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

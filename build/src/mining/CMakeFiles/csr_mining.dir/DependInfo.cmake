@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/csr_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/csr_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/eclat.cc" "src/mining/CMakeFiles/csr_mining.dir/eclat.cc.o" "gcc" "src/mining/CMakeFiles/csr_mining.dir/eclat.cc.o.d"
+  "/root/repo/src/mining/fpgrowth.cc" "src/mining/CMakeFiles/csr_mining.dir/fpgrowth.cc.o" "gcc" "src/mining/CMakeFiles/csr_mining.dir/fpgrowth.cc.o.d"
+  "/root/repo/src/mining/transactions.cc" "src/mining/CMakeFiles/csr_mining.dir/transactions.cc.o" "gcc" "src/mining/CMakeFiles/csr_mining.dir/transactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/csr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/csr_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

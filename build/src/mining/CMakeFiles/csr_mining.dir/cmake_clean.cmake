@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_mining.dir/apriori.cc.o"
+  "CMakeFiles/csr_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/csr_mining.dir/eclat.cc.o"
+  "CMakeFiles/csr_mining.dir/eclat.cc.o.d"
+  "CMakeFiles/csr_mining.dir/fpgrowth.cc.o"
+  "CMakeFiles/csr_mining.dir/fpgrowth.cc.o.d"
+  "CMakeFiles/csr_mining.dir/transactions.cc.o"
+  "CMakeFiles/csr_mining.dir/transactions.cc.o.d"
+  "libcsr_mining.a"
+  "libcsr_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ranking/bm25.cc" "src/ranking/CMakeFiles/csr_ranking.dir/bm25.cc.o" "gcc" "src/ranking/CMakeFiles/csr_ranking.dir/bm25.cc.o.d"
+  "/root/repo/src/ranking/dirichlet_lm.cc" "src/ranking/CMakeFiles/csr_ranking.dir/dirichlet_lm.cc.o" "gcc" "src/ranking/CMakeFiles/csr_ranking.dir/dirichlet_lm.cc.o.d"
+  "/root/repo/src/ranking/jelinek_mercer_lm.cc" "src/ranking/CMakeFiles/csr_ranking.dir/jelinek_mercer_lm.cc.o" "gcc" "src/ranking/CMakeFiles/csr_ranking.dir/jelinek_mercer_lm.cc.o.d"
+  "/root/repo/src/ranking/pivoted_tfidf.cc" "src/ranking/CMakeFiles/csr_ranking.dir/pivoted_tfidf.cc.o" "gcc" "src/ranking/CMakeFiles/csr_ranking.dir/pivoted_tfidf.cc.o.d"
+  "/root/repo/src/ranking/ranking_function.cc" "src/ranking/CMakeFiles/csr_ranking.dir/ranking_function.cc.o" "gcc" "src/ranking/CMakeFiles/csr_ranking.dir/ranking_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/csr_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_ranking.dir/bm25.cc.o"
+  "CMakeFiles/csr_ranking.dir/bm25.cc.o.d"
+  "CMakeFiles/csr_ranking.dir/dirichlet_lm.cc.o"
+  "CMakeFiles/csr_ranking.dir/dirichlet_lm.cc.o.d"
+  "CMakeFiles/csr_ranking.dir/jelinek_mercer_lm.cc.o"
+  "CMakeFiles/csr_ranking.dir/jelinek_mercer_lm.cc.o.d"
+  "CMakeFiles/csr_ranking.dir/pivoted_tfidf.cc.o"
+  "CMakeFiles/csr_ranking.dir/pivoted_tfidf.cc.o.d"
+  "CMakeFiles/csr_ranking.dir/ranking_function.cc.o"
+  "CMakeFiles/csr_ranking.dir/ranking_function.cc.o.d"
+  "libcsr_ranking.a"
+  "libcsr_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selection/hybrid.cc" "src/selection/CMakeFiles/csr_selection.dir/hybrid.cc.o" "gcc" "src/selection/CMakeFiles/csr_selection.dir/hybrid.cc.o.d"
+  "/root/repo/src/selection/view_selection.cc" "src/selection/CMakeFiles/csr_selection.dir/view_selection.cc.o" "gcc" "src/selection/CMakeFiles/csr_selection.dir/view_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/csr_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/csr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/csr_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/csr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/csr_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

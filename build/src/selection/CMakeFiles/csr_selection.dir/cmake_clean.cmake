@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_selection.dir/hybrid.cc.o"
+  "CMakeFiles/csr_selection.dir/hybrid.cc.o.d"
+  "CMakeFiles/csr_selection.dir/view_selection.cc.o"
+  "CMakeFiles/csr_selection.dir/view_selection.cc.o.d"
+  "libcsr_selection.a"
+  "libcsr_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

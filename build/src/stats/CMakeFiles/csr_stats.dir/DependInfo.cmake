@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/collector.cc" "src/stats/CMakeFiles/csr_stats.dir/collector.cc.o" "gcc" "src/stats/CMakeFiles/csr_stats.dir/collector.cc.o.d"
+  "/root/repo/src/stats/statistics.cc" "src/stats/CMakeFiles/csr_stats.dir/statistics.cc.o" "gcc" "src/stats/CMakeFiles/csr_stats.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/csr_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_stats.dir/collector.cc.o"
+  "CMakeFiles/csr_stats.dir/collector.cc.o.d"
+  "CMakeFiles/csr_stats.dir/statistics.cc.o"
+  "CMakeFiles/csr_stats.dir/statistics.cc.o.d"
+  "libcsr_stats.a"
+  "libcsr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_storage.dir/serializer.cc.o"
+  "CMakeFiles/csr_storage.dir/serializer.cc.o.d"
+  "CMakeFiles/csr_storage.dir/snapshot.cc.o"
+  "CMakeFiles/csr_storage.dir/snapshot.cc.o.d"
+  "libcsr_storage.a"
+  "libcsr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

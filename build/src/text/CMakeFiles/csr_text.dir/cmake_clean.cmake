@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_text.dir/analyzer.cc.o"
+  "CMakeFiles/csr_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/csr_text.dir/tokenizer.cc.o"
+  "CMakeFiles/csr_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/csr_text.dir/vocabulary.cc.o"
+  "CMakeFiles/csr_text.dir/vocabulary.cc.o.d"
+  "libcsr_text.a"
+  "libcsr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsr_text.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_util.dir/random.cc.o"
+  "CMakeFiles/csr_util.dir/random.cc.o.d"
+  "CMakeFiles/csr_util.dir/status.cc.o"
+  "CMakeFiles/csr_util.dir/status.cc.o.d"
+  "CMakeFiles/csr_util.dir/string_util.cc.o"
+  "CMakeFiles/csr_util.dir/string_util.cc.o.d"
+  "libcsr_util.a"
+  "libcsr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/views/materialized_view.cc" "src/views/CMakeFiles/csr_views.dir/materialized_view.cc.o" "gcc" "src/views/CMakeFiles/csr_views.dir/materialized_view.cc.o.d"
+  "/root/repo/src/views/size_estimator.cc" "src/views/CMakeFiles/csr_views.dir/size_estimator.cc.o" "gcc" "src/views/CMakeFiles/csr_views.dir/size_estimator.cc.o.d"
+  "/root/repo/src/views/view_builder.cc" "src/views/CMakeFiles/csr_views.dir/view_builder.cc.o" "gcc" "src/views/CMakeFiles/csr_views.dir/view_builder.cc.o.d"
+  "/root/repo/src/views/view_catalog.cc" "src/views/CMakeFiles/csr_views.dir/view_catalog.cc.o" "gcc" "src/views/CMakeFiles/csr_views.dir/view_catalog.cc.o.d"
+  "/root/repo/src/views/wide_table.cc" "src/views/CMakeFiles/csr_views.dir/wide_table.cc.o" "gcc" "src/views/CMakeFiles/csr_views.dir/wide_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/csr_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/csr_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_views.dir/materialized_view.cc.o"
+  "CMakeFiles/csr_views.dir/materialized_view.cc.o.d"
+  "CMakeFiles/csr_views.dir/size_estimator.cc.o"
+  "CMakeFiles/csr_views.dir/size_estimator.cc.o.d"
+  "CMakeFiles/csr_views.dir/view_builder.cc.o"
+  "CMakeFiles/csr_views.dir/view_builder.cc.o.d"
+  "CMakeFiles/csr_views.dir/view_catalog.cc.o"
+  "CMakeFiles/csr_views.dir/view_catalog.cc.o.d"
+  "CMakeFiles/csr_views.dir/wide_table.cc.o"
+  "CMakeFiles/csr_views.dir/wide_table.cc.o.d"
+  "libcsr_views.a"
+  "libcsr_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_extras_test.dir/engine_extras_test.cc.o"
+  "CMakeFiles/engine_extras_test.dir/engine_extras_test.cc.o.d"
+  "engine_extras_test"
+  "engine_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

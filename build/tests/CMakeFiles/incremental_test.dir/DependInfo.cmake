@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/incremental_test.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/incremental_test.dir/incremental_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/csr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/csr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/csr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/csr_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/csr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/csr_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/csr_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranking/CMakeFiles/csr_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/csr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/csr_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/csr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/year_range_test.dir/year_range_test.cc.o"
+  "CMakeFiles/year_range_test.dir/year_range_test.cc.o.d"
+  "year_range_test"
+  "year_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/year_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
