@@ -46,12 +46,16 @@ void RunQuery(csr::ContextSearchEngine& engine,
     return;
   }
   const csr::SearchResult& r = result.value();
-  std::printf("[%s] %llu matches, |D_P|=%llu, %.2f ms%s%s\n",
+  std::printf("[%s] %llu matches, |D_P|=%llu, %.2f ms%s%s%s\n",
               std::string(csr::EvaluationModeName(mode)).c_str(),
               static_cast<unsigned long long>(r.result_count),
               static_cast<unsigned long long>(r.stats.cardinality),
               r.metrics.total_ms, r.metrics.used_view ? " [view]" : "",
-              r.metrics.stats_cache_hit ? " [cached]" : "");
+              r.metrics.stats_cache_hit ? " [cached]" : "",
+              r.metrics.degraded ? " [degraded]" : "");
+  if (r.metrics.degraded) {
+    std::printf("  degraded: %s\n", r.metrics.degraded_reason.c_str());
+  }
   for (size_t i = 0; i < r.top_docs.size() && i < 10; ++i) {
     std::printf("  %2zu. doc %-8u %.4f\n", i + 1, r.top_docs[i].doc,
                 r.top_docs[i].score);
@@ -139,6 +143,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       engine->stats_cache() ? engine->stats_cache()->hits()
                                             : 0));
+      const csr::DegradationStats& d = engine->degradation();
+      std::printf("degradation: quarantined=%llu fallbacks=%llu "
+                  "deadline=%llu budget=%llu faults=%llu degraded=%llu\n",
+                  static_cast<unsigned long long>(d.views_quarantined),
+                  static_cast<unsigned long long>(d.quarantine_fallbacks),
+                  static_cast<unsigned long long>(d.deadline_hits),
+                  static_cast<unsigned long long>(d.budget_hits),
+                  static_cast<unsigned long long>(d.fault_trips),
+                  static_cast<unsigned long long>(d.degraded_queries));
       continue;
     }
     RunQuery(*engine, parser, line);

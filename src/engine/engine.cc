@@ -189,13 +189,14 @@ Status ContextSearchEngine::InstallCatalog(
         "snapshot tracked keywords do not match this engine's; was the "
         "EngineConfig changed since the snapshot was taken?");
   }
+  degradation_.views_quarantined += catalog.quarantined().size();
   catalog_ = std::move(catalog);
   return Status::OK();
 }
 
 CollectionStats ContextSearchEngine::ComputeContextStats(
     const ContextQuery& query, const QueryStats& qstats, bool with_views,
-    SearchMetrics& metrics) const {
+    SearchMetrics& metrics, ScanGuard* guard) const {
   bool need_tc = ranking_->NeedsTermCounts();
 
   auto straightforward_plan = [&](std::string_view reason) {
@@ -215,19 +216,34 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     straightforward_plan("");
     return StraightforwardCollectionStats(
         content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years);
+        need_tc, &metrics.cost, years_, query.years, guard);
   }
 
   const MaterializedView* view = catalog_.FindBest(query.context);
   if (view == nullptr ||
       (query.years.active() && !view->RangeAnswerable(query.years))) {
     metrics.fell_back_to_straightforward = true;
-    straightforward_plan(view == nullptr
+    std::string reason = view == nullptr
                              ? "fallback: no usable view"
-                             : "fallback: year range not bucket-aligned");
+                             : "fallback: year range not bucket-aligned";
+    if (view == nullptr) {
+      // Attribute the miss when the covering view was dropped at snapshot
+      // load: the fallback is then a degradation, not a planning choice.
+      const QuarantinedView* q =
+          catalog_.FindQuarantinedCovering(query.context);
+      if (q != nullptr) {
+        metrics.degraded = true;
+        metrics.degraded_reason =
+            "view for this context was quarantined at load (" + q->reason +
+            "); answered by the straightforward plan";
+        reason = "fallback: covering view quarantined";
+        degradation_.quarantine_fallbacks++;
+      }
+    }
+    straightforward_plan(reason);
     return StraightforwardCollectionStats(
         content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years);
+        need_tc, &metrics.cost, years_, query.years, guard);
   }
 
   metrics.used_view = true;
@@ -270,7 +286,7 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     if (!ok) continue;
     uint64_t df = 0;
     uint64_t tc = 0;
-    for (ConjunctionIterator it(lists, &metrics.cost); !it.AtEnd();
+    for (ConjunctionIterator it(lists, &metrics.cost, guard); !it.AtEnd();
          it.Next()) {
       if (!query.years.Contains(years_[it.doc()])) continue;
       ++df;
@@ -287,6 +303,42 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
   return stats;
 }
 
+namespace {
+
+/// The typed failure for a tripped guard when degradation is disabled (or
+/// impossible). Never kInternal: callers branch on the taxonomy.
+Status TripStatus(const ScanGuard& guard) {
+  switch (guard.trip()) {
+    case ScanGuard::Trip::kDeadline:
+      return Status::DeadlineExceeded("query " + guard.TripReason());
+    case ScanGuard::Trip::kBudget:
+      return Status::ResourceExhausted("query " + guard.TripReason());
+    case ScanGuard::Trip::kFault:
+      return Status::DataLoss("query aborted: " + guard.TripReason());
+    case ScanGuard::Trip::kNone:
+      break;
+  }
+  return Status::Internal("TripStatus on untripped guard");
+}
+
+}  // namespace
+
+void ContextSearchEngine::RecordTrip(const ScanGuard& guard) const {
+  switch (guard.trip()) {
+    case ScanGuard::Trip::kDeadline:
+      degradation_.deadline_hits++;
+      break;
+    case ScanGuard::Trip::kBudget:
+      degradation_.budget_hits++;
+      break;
+    case ScanGuard::Trip::kFault:
+      degradation_.fault_trips++;
+      break;
+    case ScanGuard::Trip::kNone:
+      break;
+  }
+}
+
 Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
                                                  EvaluationMode mode) const {
   if (query.keywords.empty()) {
@@ -301,6 +353,9 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
   }
 
   WallTimer total_timer;
+  // One guard spans both phases: the deadline clock covers the whole
+  // query; the posting budget is re-granted once when the plan degrades.
+  ScanGuard guard(config_.deadline_ms, config_.posting_scan_budget);
   SearchResult result;
   QueryStats qstats = QueryStats::FromKeywords(query.keywords);
 
@@ -326,8 +381,23 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
         result.metrics.plan = "stats: LRU cache hit";
       } else {
         result.stats = ComputeContextStats(query, qstats, with_views,
-                                           result.metrics);
-        if (stats_cache_ != nullptr) {
+                                           result.metrics, &guard);
+        if (guard.tripped()) {
+          // Degradation rung 2: context statistics are partial, therefore
+          // unusable — rank with the (precomputed, exact) global
+          // statistics instead of failing or serving garbage.
+          RecordTrip(guard);
+          if (!config_.degrade_gracefully) return TripStatus(guard);
+          result.stats =
+              GlobalCollectionStats(content_index_, qstats.keywords);
+          result.metrics.degraded = true;
+          result.metrics.degraded_reason =
+              "context statistics abandoned (" + guard.TripReason() +
+              "); ranked with global collection statistics";
+          result.metrics.plan += " -> degraded: global statistics";
+          guard.Reprieve();
+        } else if (stats_cache_ != nullptr) {
+          // Only exact statistics enter the cache.
           stats_cache_->Put(query.context, qstats.keywords, query.years,
                             result.stats);
         }
@@ -354,12 +424,13 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
     lists.push_back(l);
   }
 
+  bool retrieval_aborted = false;
   if (!empty_result) {
     TopKCollector collector(config_.top_k);
     DocStats dstats;
     dstats.tf.resize(qstats.keywords.size());
-    for (ConjunctionIterator it(lists, &result.metrics.cost); !it.AtEnd();
-         it.Next()) {
+    ConjunctionIterator it(lists, &result.metrics.cost, &guard);
+    for (; !it.AtEnd(); it.Next()) {
       if (!query.years.Contains(years_[it.doc()])) continue;
       result.result_count++;
       dstats.doc = it.doc();
@@ -370,8 +441,30 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
       collector.Offer(dstats.doc,
                       ranking_->Score(qstats, dstats, result.stats));
     }
+    retrieval_aborted = it.aborted();
     result.top_docs = collector.Take();
   }
+
+  if (retrieval_aborted) {
+    // Degradation rung 3: partial top-k over the documents seen so far.
+    RecordTrip(guard);
+    if (!config_.degrade_gracefully) return TripStatus(guard);
+    if (result.result_count == 0) {
+      // Nothing was salvaged — an empty "success" would be
+      // indistinguishable from a real empty result, so fail typed.
+      return TripStatus(guard);
+    }
+    result.metrics.degraded = true;
+    if (!result.metrics.degraded_reason.empty()) {
+      result.metrics.degraded_reason += "; ";
+    }
+    result.metrics.degraded_reason +=
+        "retrieval stopped early (" + guard.TripReason() +
+        "); top-k ranks the " + std::to_string(result.result_count) +
+        " documents matched before the stop";
+  }
+  if (result.metrics.degraded) degradation_.degraded_queries++;
+
   result.metrics.retrieval_ms = retrieval_timer.ElapsedMillis();
   result.metrics.total_ms = total_timer.ElapsedMillis();
   result.metrics.plan += "; retrieval: " +
@@ -379,6 +472,7 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
                                         query.context.size()) +
                          "-way conjunction, most selective first, top-" +
                          std::to_string(config_.top_k);
+  if (retrieval_aborted) result.metrics.plan += " (partial)";
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "corpus/generator.h"
 #include "engine/query.h"
 #include "index/inverted_index.h"
+#include "index/scan_guard.h"
 #include "ranking/ranking_function.h"
 #include "engine/stats_cache.h"
 #include "selection/hybrid.h"
@@ -58,6 +59,35 @@ struct EngineConfig {
   /// small cache removes most statistics recomputation; benches keep it
   /// off to measure the uncached paths.
   size_t stats_cache_capacity = 0;
+
+  /// Per-query wall-clock deadline in milliseconds; 0 disables it. A
+  /// pathological context query can otherwise scan postings unboundedly;
+  /// when the deadline expires mid-plan the query degrades (see
+  /// `degrade_gracefully`) instead of running away.
+  double deadline_ms = 0.0;
+
+  /// Per-query posting-scan budget (conjunction advances); 0 disables it.
+  /// The degraded plan gets one fresh budget, so a query scans at most
+  /// twice this many postings end to end.
+  uint64_t posting_scan_budget = 0;
+
+  /// What exhaustion does. true (default): the plan degrades — context
+  /// statistics fall back to global statistics, retrieval returns the
+  /// partial top-k collected so far — and the result carries
+  /// SearchMetrics::degraded with a reason. false: Search fails fast with
+  /// a typed status (kDeadlineExceeded / kResourceExhausted / kDataLoss).
+  bool degrade_gracefully = true;
+};
+
+/// Cumulative fault-tolerance telemetry for one engine, surfaced through
+/// ContextSearchEngine::degradation(). Counters only ever increase.
+struct DegradationStats {
+  uint64_t views_quarantined = 0;     // dropped while loading a snapshot
+  uint64_t quarantine_fallbacks = 0;  // queries routed around a dropped view
+  uint64_t deadline_hits = 0;         // ScanGuard deadline trips
+  uint64_t budget_hits = 0;           // ScanGuard posting-budget trips
+  uint64_t fault_trips = 0;           // injected posting faults observed
+  uint64_t degraded_queries = 0;      // results returned with degraded=true
 };
 
 /// The system of the paper, end to end: inverted indexes over content and
@@ -131,13 +161,21 @@ class ContextSearchEngine {
   /// The statistics cache (null when disabled).
   const StatsCache* stats_cache() const { return stats_cache_.get(); }
 
+  /// Fault-tolerance telemetry: quarantined views, fallbacks, deadline and
+  /// budget trips, degraded queries.
+  const DegradationStats& degradation() const { return degradation_; }
+
  private:
   ContextSearchEngine() = default;
 
   CollectionStats ComputeContextStats(const ContextQuery& query,
                                       const QueryStats& qstats,
                                       bool with_views,
-                                      SearchMetrics& metrics) const;
+                                      SearchMetrics& metrics,
+                                      ScanGuard* guard) const;
+
+  /// Folds a tripped guard into the degradation telemetry.
+  void RecordTrip(const ScanGuard& guard) const;
 
   Corpus corpus_;
   EngineConfig config_;
@@ -154,6 +192,8 @@ class ContextSearchEngine {
   HybridResult selection_;
   // Mutable: Search() is logically const; the cache is an optimization.
   mutable std::unique_ptr<StatsCache> stats_cache_;
+  // Mutable for the same reason: telemetry about const queries.
+  mutable DegradationStats degradation_;
 };
 
 }  // namespace csr

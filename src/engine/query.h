@@ -67,6 +67,17 @@ struct SearchMetrics {
   uint32_t keywords_uncovered_by_view = 0;
   CostCounters cost;
 
+  /// True when the engine could not execute the ideal plan and degraded
+  /// rather than fail: the view it would have used was quarantined at
+  /// snapshot load, the context-statistics phase blew its deadline or
+  /// posting budget (statistics degrade to global), or retrieval stopped
+  /// early (top-k is a partial ranking of the documents seen so far).
+  /// `degraded_reason` says which. Degraded results are well-formed and
+  /// safe to serve; callers that prefer failure set
+  /// EngineConfig::degrade_gracefully = false.
+  bool degraded = false;
+  std::string degraded_reason;
+
   /// Human-readable description of the executed plan (EXPLAIN-style).
   std::string plan;
 };

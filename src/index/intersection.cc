@@ -6,7 +6,9 @@
 namespace csr {
 
 ConjunctionIterator::ConjunctionIterator(
-    std::span<const PostingList* const> lists, CostCounters* cost) {
+    std::span<const PostingList* const> lists, CostCounters* cost,
+    ScanGuard* guard)
+    : guard_(guard) {
   if (lists.empty()) {
     at_end_ = true;
     return;
@@ -43,6 +45,11 @@ void ConjunctionIterator::FindNextMatch() {
   while (true) {
     if (iters_[0].AtEnd()) {
       at_end_ = true;
+      return;
+    }
+    if (guard_ != nullptr && guard_->Tick()) {
+      at_end_ = true;
+      aborted_ = true;
       return;
     }
     DocId candidate = iters_[0].doc();
@@ -87,9 +94,10 @@ uint64_t CountIntersection(std::span<const PostingList* const> lists,
 
 AggregationResult IntersectAndAggregate(
     std::span<const PostingList* const> lists,
-    std::span<const uint32_t> doc_lengths, CostCounters* cost) {
+    std::span<const uint32_t> doc_lengths, CostCounters* cost,
+    ScanGuard* guard) {
   AggregationResult agg;
-  for (ConjunctionIterator it(lists, cost); !it.AtEnd(); it.Next()) {
+  for (ConjunctionIterator it(lists, cost, guard); !it.AtEnd(); it.Next()) {
     agg.count++;
     agg.sum_len += doc_lengths[it.doc()];
     if (cost != nullptr) cost->aggregation_entries++;

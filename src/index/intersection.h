@@ -8,6 +8,7 @@
 
 #include "index/cost_model.h"
 #include "index/posting_list.h"
+#include "index/scan_guard.h"
 #include "util/types.h"
 
 namespace csr {
@@ -26,12 +27,19 @@ namespace csr {
 class ConjunctionIterator {
  public:
   /// `lists` must be non-empty; null or empty lists yield an immediately
-  /// exhausted iterator.
+  /// exhausted iterator. An optional `guard` is charged one tick per
+  /// candidate advance; when it trips (deadline, budget, or injected
+  /// fault), the iterator stops early and reports aborted().
   ConjunctionIterator(std::span<const PostingList* const> lists,
-                      CostCounters* cost = nullptr);
+                      CostCounters* cost = nullptr,
+                      ScanGuard* guard = nullptr);
 
   bool AtEnd() const { return at_end_; }
   DocId doc() const { return current_doc_; }
+
+  /// True when iteration stopped because the guard tripped rather than
+  /// because the conjunction was exhausted.
+  bool aborted() const { return aborted_; }
 
   /// tf of the current doc in the i-th list (in the caller's list order).
   uint32_t tf(size_t i) const { return iters_[order_inverse_[i]].tf(); }
@@ -46,8 +54,10 @@ class ConjunctionIterator {
 
   std::vector<PostingList::Iterator> iters_;  // sorted by list length
   std::vector<size_t> order_inverse_;         // caller index -> iters_ index
+  ScanGuard* guard_ = nullptr;
   DocId current_doc_ = kInvalidDocId;
   bool at_end_ = false;
+  bool aborted_ = false;
   bool first_ = true;
 };
 
@@ -73,7 +83,8 @@ struct AggregationResult {
 /// cost->aggregation_entries.
 AggregationResult IntersectAndAggregate(
     std::span<const PostingList* const> lists,
-    std::span<const uint32_t> doc_lengths, CostCounters* cost = nullptr);
+    std::span<const uint32_t> doc_lengths, CostCounters* cost = nullptr,
+    ScanGuard* guard = nullptr);
 
 /// Counts how many docids in `sorted_docs` appear in `list` (merge with
 /// skips). Used to compute df(w, D_P) against a materialized context.

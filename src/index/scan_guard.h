@@ -1,0 +1,90 @@
+#ifndef CSR_INDEX_SCAN_GUARD_H_
+#define CSR_INDEX_SCAN_GUARD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/fault.h"
+#include "util/timer.h"
+
+namespace csr {
+
+/// Per-query resource guard charged on every posting-list conjunction
+/// advance. Bounds the work of a single query by a wall-clock deadline and
+/// a posting-scan budget, and carries the kPostingAdvance fault-injection
+/// point so tests can force a mid-scan media failure. A tripped guard makes
+/// every subsequent Tick() return true, so all iterators sharing the guard
+/// stop promptly; the query layer then degrades the plan (or fails with a
+/// typed status) instead of scanning unboundedly.
+class ScanGuard {
+ public:
+  enum class Trip { kNone, kDeadline, kBudget, kFault };
+
+  /// `deadline_ms` <= 0 disables the deadline; `posting_budget` 0 disables
+  /// the scan budget. The deadline clock starts at construction.
+  ScanGuard(double deadline_ms, uint64_t posting_budget)
+      : deadline_ms_(deadline_ms), budget_(posting_budget) {}
+
+  /// Charges one posting advance. Returns true when the scan must stop.
+  /// The deadline is polled on the first tick and every 64th after, so a
+  /// tick is normally counter arithmetic only.
+  bool Tick() {
+    if (trip_ != Trip::kNone) return true;
+    ++ticks_;
+    if (FaultHit(FaultPoint::kPostingAdvance)) {
+      trip_ = Trip::kFault;
+      return true;
+    }
+    if (budget_ != 0 && ticks_ > budget_) {
+      trip_ = Trip::kBudget;
+      return true;
+    }
+    if (deadline_ms_ > 0 && (ticks_ & 0x3F) == 1 &&
+        timer_.ElapsedMillis() > deadline_ms_) {
+      trip_ = Trip::kDeadline;
+      return true;
+    }
+    return false;
+  }
+
+  bool tripped() const { return trip_ != Trip::kNone; }
+  Trip trip() const { return trip_; }
+  uint64_t ticks() const { return ticks_; }
+
+  /// Human-readable trip cause for degradation reasons and error messages.
+  std::string TripReason() const {
+    switch (trip_) {
+      case Trip::kNone:
+        return "not tripped";
+      case Trip::kDeadline:
+        return "deadline of " + std::to_string(deadline_ms_) + " ms exceeded";
+      case Trip::kBudget:
+        return "posting scan budget of " + std::to_string(budget_) +
+               " exhausted";
+      case Trip::kFault:
+        return "posting read fault (injected at " +
+               std::string(FaultPointName(FaultPoint::kPostingAdvance)) + ")";
+    }
+    return "unknown";
+  }
+
+  /// Grants a degraded plan a fresh run: clears the trip and restarts the
+  /// budget counter. The deadline clock keeps running, so a query never
+  /// exceeds its wall-clock limit by more than one poll interval; the scan
+  /// budget is at most doubled across the whole query.
+  void Reprieve() {
+    trip_ = Trip::kNone;
+    ticks_ = 0;
+  }
+
+ private:
+  WallTimer timer_;
+  double deadline_ms_;
+  uint64_t budget_;
+  uint64_t ticks_ = 0;
+  Trip trip_ = Trip::kNone;
+};
+
+}  // namespace csr
+
+#endif  // CSR_INDEX_SCAN_GUARD_H_

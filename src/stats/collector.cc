@@ -24,7 +24,7 @@ CollectionStats StraightforwardCollectionStats(
     const InvertedIndex& content_index, const InvertedIndex& predicate_index,
     std::span<const TermId> context, std::span<const TermId> keywords,
     bool compute_tc, CostCounters* cost, std::span<const uint16_t> years,
-    YearRange range) {
+    YearRange range, ScanGuard* guard) {
   CollectionStats stats;
   auto year_ok = [&](DocId d) {
     return !range.active() || (d < years.size() && range.Contains(years[d]));
@@ -45,11 +45,11 @@ CollectionStats StraightforwardCollectionStats(
     // with the optional year predicate applied inside the aggregation.
     if (!range.active()) {
       AggregationResult agg = IntersectAndAggregate(
-          context_lists, content_index.doc_lengths(), cost);
+          context_lists, content_index.doc_lengths(), cost, guard);
       stats.cardinality = agg.count;
       stats.total_length = agg.sum_len;
     } else {
-      for (ConjunctionIterator it(context_lists, cost); !it.AtEnd();
+      for (ConjunctionIterator it(context_lists, cost, guard); !it.AtEnd();
            it.Next()) {
         if (!year_ok(it.doc())) continue;
         stats.cardinality++;
@@ -75,7 +75,7 @@ CollectionStats StraightforwardCollectionStats(
     lists.insert(lists.end(), context_lists.begin(), context_lists.end());
     uint64_t df = 0;
     uint64_t tc = 0;
-    for (ConjunctionIterator it(lists, cost); !it.AtEnd(); it.Next()) {
+    for (ConjunctionIterator it(lists, cost, guard); !it.AtEnd(); it.Next()) {
       if (!year_ok(it.doc())) continue;
       ++df;
       if (compute_tc) tc += it.tf(0);  // tf in L_w (caller order index 0)

@@ -5,6 +5,7 @@
 
 #include "index/cost_model.h"
 #include "index/inverted_index.h"
+#include "index/scan_guard.h"
 #include "stats/statistics.h"
 #include "util/types.h"
 
@@ -28,11 +29,17 @@ CollectionStats GlobalCollectionStats(const InvertedIndex& content_index,
 /// active, the context is additionally restricted to documents whose
 /// publication year falls inside it; `years[d]` must then give document
 /// d's year.
+///
+/// When a `guard` is supplied and trips mid-plan, the scan stops early and
+/// the returned statistics are PARTIAL — the caller must inspect
+/// guard->tripped() and discard or degrade; partial statistics are never
+/// silently usable.
 CollectionStats StraightforwardCollectionStats(
     const InvertedIndex& content_index, const InvertedIndex& predicate_index,
     std::span<const TermId> context, std::span<const TermId> keywords,
     bool compute_tc = false, CostCounters* cost = nullptr,
-    std::span<const uint16_t> years = {}, YearRange range = {});
+    std::span<const uint16_t> years = {}, YearRange range = {},
+    ScanGuard* guard = nullptr);
 
 }  // namespace csr
 

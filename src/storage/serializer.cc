@@ -1,9 +1,22 @@
 #include "storage/serializer.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
+#include "util/fault.h"
+
 namespace csr {
+
+namespace {
+// Container framing: magic(u32) + payload_size(u64) + payload +
+// fnv1a(payload)(u64). The explicit payload size makes truncation and
+// trailing garbage distinguishable and detectable independently of the
+// checksum.
+constexpr size_t kHeaderBytes = sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kFooterBytes = sizeof(uint64_t);
+}  // namespace
 
 uint64_t Fnv1a(std::string_view data) {
   uint64_t h = 0xCBF29CE484222325ULL;
@@ -47,51 +60,96 @@ void BinaryWriter::PutString(std::string_view s) {
 
 Status BinaryWriter::WriteFile(const std::string& path,
                                uint32_t magic) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Internal("cannot open for writing: " + path);
+  if (FaultHit(FaultPoint::kStorageWrite)) {
+    return Status::Internal("injected storage write fault: " + path);
   }
+  // Crash safety: write to a temp file, fsync it, then atomically rename
+  // onto the destination. A crash at any point leaves either the previous
+  // file intact or the new one complete — never a torn file at `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + tmp);
+  }
+  uint64_t payload_size = buf_.size();
   uint64_t checksum = Fnv1a(buf_);
   bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fwrite(&payload_size, sizeof(payload_size), 1, f) == 1 &&
             (buf_.empty() ||
              std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size()) &&
             std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
+  ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   ok = std::fclose(f) == 0 && ok;
-  if (!ok) return Status::Internal("short write: " + path);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 
 Result<BinaryReader> BinaryReader::OpenFile(const std::string& path,
-                                            uint32_t magic) {
+                                            uint32_t magic,
+                                            OpenOptions options) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::NotFound("cannot open: " + path);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < static_cast<long>(sizeof(uint32_t) + sizeof(uint64_t))) {
+  if (FaultHit(FaultPoint::kStorageRead)) {
     std::fclose(f);
-    return Status::InvalidArgument("file too small: " + path);
+    return Status::DataLoss("injected storage read fault: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long fsize = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  size_t size = fsize < 0 ? 0 : static_cast<size_t>(fsize);
+  if (size < kHeaderBytes) {
+    std::fclose(f);
+    return Status::DataLoss("truncated header in " + path);
   }
   uint32_t file_magic = 0;
-  if (std::fread(&file_magic, sizeof(file_magic), 1, f) != 1) {
+  uint64_t payload_size = 0;
+  if (std::fread(&file_magic, sizeof(file_magic), 1, f) != 1 ||
+      std::fread(&payload_size, sizeof(payload_size), 1, f) != 1) {
     std::fclose(f);
-    return Status::Internal("short read: " + path);
+    return Status::DataLoss("short read: " + path);
   }
   if (file_magic != magic) {
     std::fclose(f);
-    return Status::InvalidArgument("bad magic in " + path);
+    return Status::DataLoss("bad magic in " + path);
   }
-  size_t payload = static_cast<size_t>(size) - sizeof(uint32_t) -
-                   sizeof(uint64_t);
+
+  size_t available = size - kHeaderBytes;  // payload + footer on disk
+  size_t payload;
+  if (options.strict) {
+    if (payload_size + kFooterBytes < payload_size ||  // overflow guard
+        available < payload_size + kFooterBytes) {
+      std::fclose(f);
+      return Status::DataLoss("truncated file: " + path);
+    }
+    if (available > payload_size + kFooterBytes) {
+      std::fclose(f);
+      return Status::DataLoss("trailing garbage after checksum in " + path);
+    }
+    payload = payload_size;
+  } else {
+    // Tolerant open: hand back whatever payload prefix survives; the
+    // caller's frame checksums decide what is salvageable.
+    payload = payload_size < available ? static_cast<size_t>(payload_size)
+                                       : available;
+  }
+
   std::string data(payload, '\0');
+  bool ok = payload == 0 || std::fread(data.data(), 1, payload, f) == payload;
   uint64_t checksum = 0;
-  bool ok = (payload == 0 ||
-             std::fread(data.data(), 1, payload, f) == payload) &&
-            std::fread(&checksum, sizeof(checksum), 1, f) == 1;
+  if (ok && options.strict) {
+    ok = std::fread(&checksum, sizeof(checksum), 1, f) == 1;
+  }
   std::fclose(f);
-  if (!ok) return Status::Internal("short read: " + path);
-  if (Fnv1a(data) != checksum) {
-    return Status::InvalidArgument("checksum mismatch in " + path);
+  if (!ok) return Status::DataLoss("short read: " + path);
+  if (options.strict && Fnv1a(data) != checksum) {
+    return Status::DataLoss("checksum mismatch in " + path);
   }
   return BinaryReader(std::move(data));
 }
@@ -144,6 +202,13 @@ Status BinaryReader::GetString(std::string* s) {
   CSR_RETURN_NOT_OK(GetVarint(&n));
   CSR_RETURN_NOT_OK(Need(n));
   s->assign(data_, pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::GetBytes(std::string* out, size_t n) {
+  CSR_RETURN_NOT_OK(Need(n));
+  out->assign(data_, pos_, n);
   pos_ += n;
   return Status::OK();
 }

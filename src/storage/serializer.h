@@ -12,9 +12,10 @@
 namespace csr {
 
 /// Append-only binary writer with varint/fixed primitives. Buffers in
-/// memory; Flush writes the buffer to a file prefixed by a magic tag and
-/// suffixed by a FNV-1a checksum, so corrupt or foreign files are rejected
-/// at load time rather than silently misread.
+/// memory; WriteFile persists the buffer in a self-describing container —
+/// magic tag, explicit payload length, payload, FNV-1a checksum — so
+/// corrupt, truncated, or garbage-extended files are rejected at load time
+/// rather than silently misread.
 class BinaryWriter {
  public:
   BinaryWriter() = default;
@@ -25,6 +26,7 @@ class BinaryWriter {
   void PutVarint(uint64_t v);
   void PutDouble(double v);
   void PutString(std::string_view s);  // varint length + bytes
+  void PutRaw(std::string_view bytes) { buf_.append(bytes); }
 
   template <typename T>
   void PutVarintVector(const std::vector<T>& v) {
@@ -35,12 +37,27 @@ class BinaryWriter {
   const std::string& buffer() const { return buf_; }
   size_t size() const { return buf_.size(); }
 
-  /// Writes magic + buffer + checksum to `path`. Returns Internal on I/O
-  /// failure.
+  /// Writes magic + payload length + buffer + checksum to `path`,
+  /// crash-safely: the bytes land in `path + ".tmp"` first, are fsync'd,
+  /// and are atomically renamed onto `path`, so a crash mid-write never
+  /// leaves a torn file at the final path — either the old file survives
+  /// intact or the new one is complete. Returns Internal on I/O failure
+  /// (the destination is untouched in that case).
   Status WriteFile(const std::string& path, uint32_t magic) const;
 
  private:
   std::string buf_;
+};
+
+/// How OpenFile treats files that fail integrity checks. The strict
+/// default is right for files whose loader has no recovery path; loaders
+/// that can salvage partial content (per-view framed files with their own
+/// frame checksums) open tolerantly and self-verify each frame.
+struct OpenOptions {
+  /// Verify the whole-file FNV-1a checksum and that the file length
+  /// matches the stored payload length exactly (no truncation, no trailing
+  /// garbage). Violations are kDataLoss.
+  bool strict = true;
 };
 
 /// Sequential reader over a loaded buffer. All getters return OutOfRange
@@ -49,9 +66,14 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::string data) : data_(std::move(data)) {}
 
-  /// Loads `path`, verifies magic and checksum.
+  /// Loads `path` and verifies its container framing. With strict options
+  /// (default), magic/length/checksum violations return kDataLoss; with
+  /// tolerant options the available payload prefix is returned and frame-
+  /// level checksums are the caller's responsibility. A missing file is
+  /// kNotFound either way; a foreign or corrupt magic is always rejected.
   static Result<BinaryReader> OpenFile(const std::string& path,
-                                       uint32_t magic);
+                                       uint32_t magic,
+                                       OpenOptions options = {});
 
   Status GetU8(uint8_t* v);
   Status GetU32(uint32_t* v);
@@ -59,6 +81,9 @@ class BinaryReader {
   Status GetVarint(uint64_t* v);
   Status GetDouble(double* v);
   Status GetString(std::string* s);
+
+  /// Reads `n` raw bytes (frame extraction for per-view framing).
+  Status GetBytes(std::string* out, size_t n);
 
   template <typename T>
   Status GetVarintVector(std::vector<T>* v) {
@@ -79,7 +104,9 @@ class BinaryReader {
 
  private:
   Status Need(size_t n) {
-    if (pos_ + n > data_.size()) {
+    // Overflow-safe: pos_ <= data_.size() is an invariant, so the
+    // subtraction cannot wrap even when a corrupt length is huge.
+    if (n > data_.size() - pos_) {
       return Status::OutOfRange("truncated input");
     }
     return Status::OK();

@@ -1,15 +1,21 @@
 #include "storage/snapshot.h"
 
+#include <cstdio>
 #include <utility>
+
+#include "util/fault.h"
 
 namespace csr {
 
 namespace {
 
-constexpr uint32_t kCorpusMagic = 0x43535243;  // "CSRC"
-constexpr uint32_t kViewsMagic = 0x43535256;   // "CSRV"
+constexpr uint32_t kCorpusMagic = 0x43535243;    // "CSRC"
+constexpr uint32_t kViewsMagic = 0x43535256;     // "CSRV"
+constexpr uint32_t kManifestMagic = 0x4353524D;  // "CSRM"
 constexpr uint32_t kCorpusVersion = 1;
-constexpr uint32_t kViewsVersion = 1;
+constexpr uint32_t kViewsVersion = 2;  // v2: per-view framing + directory
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 void PutConfig(BinaryWriter& w, const CorpusConfig& c) {
   w.PutU64(c.seed);
@@ -183,45 +189,238 @@ class ViewSerializer {
   }
 };
 
+// views.csr v2 payload layout (the outer container is opened *tolerantly*;
+// integrity lives in the header and frame checksums below, so corruption in
+// one view frame cannot take down the whole catalog):
+//
+//   varint  header_len
+//   u64     fnv1a(header)
+//   header:
+//     u32     views format version
+//     varint* tracked keyword terms
+//     varint  num_views
+//     per view (the frame directory):
+//       varint  frame_len
+//       u64     fnv1a(frame)
+//       varint* keyword_columns     (def, for quarantine attribution)
+//   view frames, concatenated (frame i decoded by ViewSerializer::Load)
+namespace {
+
+struct ViewFrameEntry {
+  uint64_t frame_len = 0;
+  uint64_t frame_sum = 0;
+  TermIdSet keyword_columns;
+};
+
+}  // namespace
+
 Status SaveViews(const ViewCatalog& catalog, const TrackedKeywords& tracked,
                  const std::string& path) {
-  BinaryWriter w;
-  w.PutU32(kViewsVersion);
-  w.PutVarintVector(tracked.terms());
-  w.PutVarint(catalog.size());
+  std::vector<std::string> frames;
+  frames.reserve(catalog.size());
   for (size_t i = 0; i < catalog.size(); ++i) {
-    ViewSerializer::Save(catalog.view(i), w);
+    BinaryWriter fw;
+    ViewSerializer::Save(catalog.view(i), fw);
+    frames.push_back(fw.buffer());
   }
+
+  BinaryWriter header;
+  header.PutU32(kViewsVersion);
+  header.PutVarintVector(tracked.terms());
+  header.PutVarint(catalog.size());
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    header.PutVarint(frames[i].size());
+    header.PutU64(Fnv1a(frames[i]));
+    header.PutVarintVector(catalog.view(i).def().keyword_columns);
+  }
+
+  BinaryWriter w;
+  w.PutVarint(header.size());
+  w.PutU64(Fnv1a(header.buffer()));
+  w.PutRaw(header.buffer());
+  for (const std::string& f : frames) w.PutRaw(f);
   return w.WriteFile(path, kViewsMagic);
 }
 
 Result<LoadedViews> LoadViews(const std::string& path) {
-  CSR_ASSIGN_OR_RETURN(BinaryReader r,
-                       BinaryReader::OpenFile(path, kViewsMagic));
-  uint32_t version;
-  CSR_RETURN_NOT_OK(r.GetU32(&version));
+  // Tolerant open: the whole-file checksum is advisory here; the header
+  // and per-frame checksums below are authoritative, which is what lets a
+  // single corrupt view be dropped instead of failing the load wholesale.
+  CSR_ASSIGN_OR_RETURN(
+      BinaryReader r,
+      BinaryReader::OpenFile(path, kViewsMagic, OpenOptions{.strict = false}));
+
+  uint64_t header_len = 0;
+  uint64_t header_sum = 0;
+  std::string header_bytes;
+  if (!r.GetVarint(&header_len).ok() || !r.GetU64(&header_sum).ok() ||
+      !r.GetBytes(&header_bytes, header_len).ok()) {
+    return Status::DataLoss("views header truncated in " + path);
+  }
+  if (Fnv1a(header_bytes) != header_sum) {
+    return Status::DataLoss("views header checksum mismatch in " + path);
+  }
+
+  BinaryReader h(std::move(header_bytes));
+  uint32_t version = 0;
+  CSR_RETURN_NOT_OK(h.GetU32(&version));
   if (version != kViewsVersion) {
-    return Status::InvalidArgument("unsupported views version");
+    return Status::InvalidArgument("unsupported views version " +
+                                   std::to_string(version) + " in " + path);
   }
   LoadedViews out;
-  CSR_RETURN_NOT_OK(r.GetVarintVector(&out.tracked_terms));
-  uint64_t num_views;
-  CSR_RETURN_NOT_OK(r.GetVarint(&num_views));
+  CSR_RETURN_NOT_OK(h.GetVarintVector(&out.tracked_terms));
+  uint64_t num_views = 0;
+  CSR_RETURN_NOT_OK(h.GetVarint(&num_views));
+  std::vector<ViewFrameEntry> directory(num_views);
   for (uint64_t i = 0; i < num_views; ++i) {
-    CSR_ASSIGN_OR_RETURN(MaterializedView v, ViewSerializer::Load(r));
-    out.catalog.Add(std::move(v));
+    CSR_RETURN_NOT_OK(h.GetVarint(&directory[i].frame_len));
+    CSR_RETURN_NOT_OK(h.GetU64(&directory[i].frame_sum));
+    CSR_RETURN_NOT_OK(h.GetVarintVector(&directory[i].keyword_columns));
+  }
+
+  for (uint64_t i = 0; i < num_views; ++i) {
+    ViewFrameEntry& e = directory[i];
+    auto quarantine = [&](std::string reason) {
+      out.catalog.RecordQuarantine(
+          QuarantinedView{e.keyword_columns, std::move(reason)});
+    };
+
+    std::string frame;
+    if (!r.GetBytes(&frame, e.frame_len).ok()) {
+      // The file ends mid-frame: this frame and everything after it are
+      // gone, but views already decoded stay usable.
+      for (uint64_t j = i; j < num_views; ++j) {
+        out.catalog.RecordQuarantine(QuarantinedView{
+            directory[j].keyword_columns, "view frame truncated"});
+      }
+      break;
+    }
+    if (FaultHit(FaultPoint::kViewDecode)) {
+      quarantine("injected view decode fault");
+      continue;
+    }
+    if (Fnv1a(frame) != e.frame_sum) {
+      quarantine("view frame checksum mismatch");
+      continue;
+    }
+    BinaryReader fr(std::move(frame));
+    Result<MaterializedView> v = ViewSerializer::Load(fr);
+    if (!v.ok()) {
+      quarantine("view frame decode failed: " + v.status().ToString());
+      continue;
+    }
+    if (!fr.AtEnd()) {
+      quarantine("trailing bytes in view frame");
+      continue;
+    }
+    if (v->def().keyword_columns != e.keyword_columns) {
+      quarantine("view definition does not match frame directory");
+      continue;
+    }
+    out.catalog.Add(std::move(*v));
   }
   return out;
 }
 
+namespace {
+
+/// Size + FNV-1a over a whole file's bytes, for the manifest.
+Status HashFile(const std::string& path, uint64_t* size, uint64_t* sum) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  uint64_t n = 0;
+  char buf[1 << 14];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    for (size_t i = 0; i < got; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 0x100000001B3ULL;
+    }
+    n += got;
+  }
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::Internal("read error: " + path);
+  *size = n;
+  *sum = h;
+  return Status::OK();
+}
+
+Status SaveManifest(const std::string& dir,
+                    const std::vector<std::string>& names) {
+  BinaryWriter w;
+  w.PutU32(kManifestVersion);
+  w.PutU32(kSnapshotFormatVersion);
+  w.PutVarint(names.size());
+  for (const std::string& name : names) {
+    uint64_t size = 0, sum = 0;
+    CSR_RETURN_NOT_OK(HashFile(dir + "/" + name, &size, &sum));
+    w.PutString(name);
+    w.PutU64(size);
+    w.PutU64(sum);
+  }
+  return w.WriteFile(dir + "/MANIFEST.csr", kManifestMagic);
+}
+
+/// Verifies the manifest when present. Listed files must exist — a missing
+/// one means a torn multi-file save or a partially copied snapshot, which
+/// is kDataLoss. Content integrity is delegated to each file's own
+/// checksums: corpus.csr is strict, views.csr self-heals per frame, so a
+/// manifest-level byte comparison would only turn salvageable view
+/// corruption into a wholesale failure.
+Status VerifyManifest(const std::string& dir) {
+  auto r = BinaryReader::OpenFile(dir + "/MANIFEST.csr", kManifestMagic);
+  if (!r.ok()) {
+    // Pre-manifest snapshots stay loadable; anything but "absent" is real.
+    if (r.status().code() == StatusCode::kNotFound) return Status::OK();
+    return r.status();
+  }
+  uint32_t manifest_version = 0, format_version = 0;
+  CSR_RETURN_NOT_OK(r->GetU32(&manifest_version));
+  CSR_RETURN_NOT_OK(r->GetU32(&format_version));
+  if (manifest_version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported manifest version " +
+                                   std::to_string(manifest_version));
+  }
+  if (format_version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(format_version));
+  }
+  uint64_t num_files = 0;
+  CSR_RETURN_NOT_OK(r->GetVarint(&num_files));
+  for (uint64_t i = 0; i < num_files; ++i) {
+    std::string name;
+    uint64_t size = 0, sum = 0;
+    CSR_RETURN_NOT_OK(r->GetString(&name));
+    CSR_RETURN_NOT_OK(r->GetU64(&size));
+    CSR_RETURN_NOT_OK(r->GetU64(&sum));
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "rb");
+    if (f == nullptr) {
+      return Status::DataLoss("snapshot incomplete: manifest lists missing " +
+                              name);
+    }
+    std::fclose(f);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status SaveEngineSnapshot(const ContextSearchEngine& engine,
                           const std::string& dir) {
   CSR_RETURN_NOT_OK(SaveCorpus(engine.corpus(), dir + "/corpus.csr"));
-  return SaveViews(engine.catalog(), engine.tracked(), dir + "/views.csr");
+  CSR_RETURN_NOT_OK(
+      SaveViews(engine.catalog(), engine.tracked(), dir + "/views.csr"));
+  // Manifest last: a crash before this point leaves no (or a stale)
+  // manifest rather than a manifest describing files that never landed.
+  return SaveManifest(dir, {"corpus.csr", "views.csr"});
 }
 
 Result<std::unique_ptr<ContextSearchEngine>> LoadEngineSnapshot(
     const std::string& dir, const EngineConfig& config) {
+  CSR_RETURN_NOT_OK(VerifyManifest(dir));
   CSR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(dir + "/corpus.csr"));
   CSR_ASSIGN_OR_RETURN(std::unique_ptr<ContextSearchEngine> engine,
                        ContextSearchEngine::Build(std::move(corpus), config));

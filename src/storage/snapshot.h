@@ -14,36 +14,60 @@ namespace csr {
 /// On-disk persistence for the engine's expensive artifacts. A snapshot
 /// directory holds:
 ///
-///   corpus.csr   ontology + documents + generator config
-///   views.csr    tracked keywords + every materialized view (defs + rows)
+///   corpus.csr     ontology + documents + generator config
+///   views.csr      tracked keywords + every materialized view (defs + rows)
+///   MANIFEST.csr   versioned inventory of the snapshot's files
 ///
 /// Inverted indexes are rebuilt from the corpus at load time (they are a
 /// deterministic, fast function of it); view selection + materialization —
 /// the hours-long phase at paper scale — is what the snapshot avoids.
-/// All files are checksummed; corrupt or mismatched files fail loudly.
+///
+/// Failure model: every file is written to a temp path, fsync'd, and
+/// atomically renamed, so crashes never leave torn files at final paths.
+/// corpus.csr is all-or-nothing — any corruption is kDataLoss, because a
+/// wrong corpus silently changes every answer. views.csr is per-view
+/// framed with its own frame checksums: a corrupt view is *quarantined*
+/// (dropped, with the reason recorded in the catalog) while the rest of
+/// the catalog loads; queries whose context only that view covered degrade
+/// to the straightforward plan and are flagged degraded.
 
 Status SaveCorpus(const Corpus& corpus, const std::string& path);
 Result<Corpus> LoadCorpus(const std::string& path);
 
 /// Serializes the catalog (definitions, parameter options, and all rows)
-/// plus the tracked-keyword table it is aligned with.
+/// plus the tracked-keyword table it is aligned with. Each view lands in
+/// its own checksummed frame; frame lengths and definitions live in a
+/// checksummed directory so a corrupt view body never desynchronizes its
+/// neighbours.
 Status SaveViews(const ViewCatalog& catalog, const TrackedKeywords& tracked,
                  const std::string& path);
 
 struct LoadedViews {
+  /// Successfully decoded views; quarantined views (and why they were
+  /// dropped) are recorded in catalog.quarantined().
   ViewCatalog catalog;
   std::vector<TermId> tracked_terms;
 };
+
+/// Loads what is salvageable from `path`. Corruption confined to view
+/// frames quarantines exactly the affected views; corruption in the header
+/// (tracked keywords, frame directory) is kDataLoss — without the
+/// directory nothing is attributable.
 Result<LoadedViews> LoadViews(const std::string& path);
 
-/// Saves corpus + views under `dir` (created by the caller).
+/// Saves corpus + views + manifest under `dir` (created by the caller).
+/// The manifest is written last, so a crash mid-save is detectable as a
+/// manifest/file mismatch rather than silently served.
 Status SaveEngineSnapshot(const ContextSearchEngine& engine,
                           const std::string& dir);
 
-/// Rebuilds an engine from a snapshot: loads the corpus, re-indexes,
-/// installs the persisted views. Fails with FailedPrecondition if the
-/// snapshot's tracked keywords do not match the rebuilt engine's (e.g. the
-/// EngineConfig changed since the snapshot was taken).
+/// Rebuilds an engine from a snapshot: verifies the manifest (when
+/// present), loads the corpus, re-indexes, installs the persisted views.
+/// Views quarantined during load are surfaced through the engine's
+/// degradation telemetry. Fails with FailedPrecondition if the snapshot's
+/// tracked keywords do not match the rebuilt engine's (e.g. the
+/// EngineConfig changed since the snapshot was taken), kDataLoss if a
+/// manifest-listed file is missing or the corpus is corrupt.
 Result<std::unique_ptr<ContextSearchEngine>> LoadEngineSnapshot(
     const std::string& dir, const EngineConfig& config);
 

@@ -1,0 +1,72 @@
+#include "util/fault.h"
+
+namespace csr {
+
+std::string_view FaultPointName(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kStorageRead:
+      return "storage-read";
+    case FaultPoint::kStorageWrite:
+      return "storage-write";
+    case FaultPoint::kViewDecode:
+      return "view-decode";
+    case FaultPoint::kPostingAdvance:
+      return "posting-advance";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Arm(FaultPoint p, uint64_t nth) {
+  Slot& s = slots_[static_cast<size_t>(p)];
+  if (nth == 0) nth = 1;
+  s.hits.store(0, std::memory_order_relaxed);
+  uint64_t prev = s.fail_at.exchange(nth, std::memory_order_relaxed);
+  if (prev == 0) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(FaultPoint p) {
+  Slot& s = slots_[static_cast<size_t>(p)];
+  uint64_t prev = s.fail_at.exchange(0, std::memory_order_relaxed);
+  if (prev != 0) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  for (size_t i = 0; i < kNumFaultPoints; ++i) {
+    Disarm(static_cast<FaultPoint>(i));
+  }
+}
+
+bool FaultInjector::Hit(FaultPoint p) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  Slot& s = slots_[static_cast<size_t>(p)];
+  uint64_t fail_at = s.fail_at.load(std::memory_order_relaxed);
+  if (fail_at == 0) return false;
+  uint64_t h = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (h != fail_at) return false;
+  // One-shot: the armed failure fires exactly once, then self-disarms.
+  s.trips.fetch_add(1, std::memory_order_relaxed);
+  Disarm(p);
+  return true;
+}
+
+bool FaultInjector::armed(FaultPoint p) const {
+  return slots_[static_cast<size_t>(p)].fail_at.load(
+             std::memory_order_relaxed) != 0;
+}
+
+uint64_t FaultInjector::hits(FaultPoint p) const {
+  return slots_[static_cast<size_t>(p)].hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::trips(FaultPoint p) const {
+  return slots_[static_cast<size_t>(p)].trips.load(std::memory_order_relaxed);
+}
+
+bool FaultHit(FaultPoint p) { return FaultInjector::Instance().Hit(p); }
+
+}  // namespace csr

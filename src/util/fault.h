@@ -1,0 +1,79 @@
+#ifndef CSR_UTIL_FAULT_H_
+#define CSR_UTIL_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace csr {
+
+/// Named fault-injection points. Each site in the library that can fail for
+/// environmental reasons (media errors, corrupt bytes) consults its point
+/// via FaultHit() so tests can force the failure deterministically.
+enum class FaultPoint : uint32_t {
+  kStorageRead = 0,   // BinaryReader::OpenFile (snapshot file read)
+  kStorageWrite,      // BinaryWriter::WriteFile (snapshot file write)
+  kViewDecode,        // LoadViews per-view frame decode
+  kPostingAdvance,    // ScanGuard tick inside posting-list conjunctions
+};
+inline constexpr size_t kNumFaultPoints = 4;
+
+std::string_view FaultPointName(FaultPoint p);
+
+/// Deterministic fault-injection registry (process-wide singleton). Tests
+/// Arm() a point to fail on the Nth hit after arming; the armed failure is
+/// one-shot — it fires exactly once, then the point disarms itself, so a
+/// test observes precisely one injected fault per Arm(). Hits are counted
+/// only while a point is armed, keeping the unarmed fast path to a single
+/// relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `p` to fail on the `nth` hit (1-based) from now.
+  void Arm(FaultPoint p, uint64_t nth = 1);
+  void Disarm(FaultPoint p);
+  void DisarmAll();
+
+  /// Called at injection sites. Returns true exactly on the armed Nth hit.
+  bool Hit(FaultPoint p);
+
+  bool armed(FaultPoint p) const;
+  uint64_t hits(FaultPoint p) const;
+  /// Number of times this point has actually fired since process start.
+  uint64_t trips(FaultPoint p) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Slot {
+    std::atomic<uint64_t> fail_at{0};  // 0 = disarmed
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> trips{0};
+  };
+  std::array<Slot, kNumFaultPoints> slots_;
+  std::atomic<int> armed_count_{0};
+};
+
+/// Injection-site helper: one relaxed load when nothing is armed.
+bool FaultHit(FaultPoint p);
+
+/// RAII arming for tests: disarms (if still pending) on scope exit.
+class ScopedFault {
+ public:
+  explicit ScopedFault(FaultPoint p, uint64_t nth = 1) : p_(p) {
+    FaultInjector::Instance().Arm(p_, nth);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(p_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultPoint p_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_FAULT_H_

@@ -18,6 +18,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// A lightweight status object in the RocksDB/Arrow style. The library does
@@ -54,6 +56,16 @@ class Status {
   }
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
+  }
+  /// A per-query deadline or time budget expired before the operation
+  /// finished (the operation may have partially completed).
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  /// Unrecoverable corruption or loss of persisted data (bad checksum,
+  /// truncated snapshot, failed media read).
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, msg);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

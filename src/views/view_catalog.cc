@@ -1,5 +1,7 @@
 #include "views/view_catalog.h"
 
+#include <algorithm>
+
 namespace csr {
 
 void ViewCatalog::Add(MaterializedView view) {
@@ -38,6 +40,17 @@ const MaterializedView* ViewCatalog::FindBest(
     if (best == nullptr || v.NumTuples() < best->NumTuples()) best = &v;
   }
   return best;
+}
+
+const QuarantinedView* ViewCatalog::FindQuarantinedCovering(
+    std::span<const TermId> context) const {
+  for (const QuarantinedView& q : quarantined_) {
+    if (std::includes(q.keyword_columns.begin(), q.keyword_columns.end(),
+                      context.begin(), context.end())) {
+      return &q;
+    }
+  }
+  return nullptr;
 }
 
 uint64_t ViewCatalog::TotalStorageBytes() const {

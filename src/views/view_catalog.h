@@ -3,12 +3,24 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "views/materialized_view.h"
 
 namespace csr {
+
+/// Record of a materialized view dropped at load time because its persisted
+/// bytes were corrupt (or a decode fault was injected). The keyword columns
+/// come from the snapshot's frame directory, so they are known even when
+/// the view body itself is unreadable; query-time fallbacks use them to
+/// explain why a context that *should* have been view-answerable degraded
+/// to the straightforward plan.
+struct QuarantinedView {
+  TermIdSet keyword_columns;
+  std::string reason;
+};
 
 /// The set of materialized views available at query time, with a matcher
 /// that finds, for a context specification P, a usable view (P ⊆ K). When
@@ -37,11 +49,27 @@ class ViewCatalog {
   size_t size() const { return views_.size(); }
   const MaterializedView& view(size_t i) const { return views_[i]; }
 
+  /// Records a view dropped during snapshot load. Quarantined views never
+  /// match queries; they exist so degradation can be attributed.
+  void RecordQuarantine(QuarantinedView q) {
+    quarantined_.push_back(std::move(q));
+  }
+  const std::vector<QuarantinedView>& quarantined() const {
+    return quarantined_;
+  }
+
+  /// A quarantined view that would have covered `context` (sorted), or
+  /// nullptr. Used to mark query results degraded when the view they would
+  /// have used was dropped at load time.
+  const QuarantinedView* FindQuarantinedCovering(
+      std::span<const TermId> context) const;
+
   uint64_t TotalStorageBytes() const;
   uint64_t TotalTuples() const;
 
  private:
   std::vector<MaterializedView> views_;
+  std::vector<QuarantinedView> quarantined_;
   // Predicate term -> indices of views whose K contains it.
   std::unordered_map<TermId, std::vector<uint32_t>> by_term_;
 };

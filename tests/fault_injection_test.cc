@@ -1,0 +1,396 @@
+// Fault-injection suite: armed storage/decode/posting faults, quarantine of
+// corrupt view frames, and graceful query degradation. Run with
+// `ctest -L fault` (optionally under -DCSR_SANITIZE=address).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "storage/serializer.h"
+#include "storage/snapshot.h"
+#include "util/fault.h"
+
+namespace csr {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("csr_fault_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path(const std::string& name = "") const {
+    return name.empty() ? path_.string() : (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+Corpus SmallCorpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 3000;
+  cfg.vocab_size = 1500;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = 5;
+  return CorpusGenerator(cfg).Generate().value();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  if (f != nullptr) {
+    char buf[1 << 14];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+    std::fclose(f);
+  }
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+// Every test leaves the process-wide injector clean for the next one.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().DisarmAll(); }
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+// -- FaultInjector semantics ------------------------------------------------
+
+using FaultInjectorTest = FaultTest;
+
+TEST_F(FaultInjectorTest, OneShotNthHitSemantics) {
+  auto& fi = FaultInjector::Instance();
+  EXPECT_FALSE(FaultHit(FaultPoint::kStorageRead));
+  const uint64_t trips_before = fi.trips(FaultPoint::kStorageRead);
+
+  fi.Arm(FaultPoint::kStorageRead, 3);
+  EXPECT_TRUE(fi.armed(FaultPoint::kStorageRead));
+  EXPECT_FALSE(FaultHit(FaultPoint::kStorageRead));  // hit 1
+  EXPECT_FALSE(FaultHit(FaultPoint::kStorageRead));  // hit 2
+  EXPECT_TRUE(FaultHit(FaultPoint::kStorageRead));   // hit 3 fires
+
+  // One-shot: fired exactly once, then self-disarmed.
+  EXPECT_FALSE(fi.armed(FaultPoint::kStorageRead));
+  EXPECT_FALSE(FaultHit(FaultPoint::kStorageRead));
+  EXPECT_EQ(fi.trips(FaultPoint::kStorageRead), trips_before + 1);
+}
+
+TEST_F(FaultInjectorTest, ArmingIsPerPoint) {
+  auto& fi = FaultInjector::Instance();
+  fi.Arm(FaultPoint::kViewDecode, 1);
+  EXPECT_FALSE(FaultHit(FaultPoint::kStorageRead));
+  EXPECT_FALSE(FaultHit(FaultPoint::kStorageWrite));
+  EXPECT_TRUE(FaultHit(FaultPoint::kViewDecode));
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnScopeExit) {
+  auto& fi = FaultInjector::Instance();
+  {
+    ScopedFault f(FaultPoint::kViewDecode, 100);
+    EXPECT_TRUE(fi.armed(FaultPoint::kViewDecode));
+  }
+  EXPECT_FALSE(fi.armed(FaultPoint::kViewDecode));
+  EXPECT_FALSE(FaultHit(FaultPoint::kViewDecode));
+}
+
+TEST_F(FaultInjectorTest, PointNamesAreDistinct) {
+  std::vector<std::string_view> names;
+  for (size_t i = 0; i < kNumFaultPoints; ++i) {
+    std::string_view n = FaultPointName(static_cast<FaultPoint>(i));
+    EXPECT_FALSE(n.empty());
+    EXPECT_NE(n, "unknown");
+    for (std::string_view seen : names) EXPECT_NE(n, seen);
+    names.push_back(n);
+  }
+}
+
+// -- Storage faults ---------------------------------------------------------
+
+using StorageFaultTest = FaultTest;
+
+TEST_F(StorageFaultTest, WriteFaultLeavesPreviousFileIntact) {
+  TempDir dir;
+  BinaryWriter w1;
+  w1.PutString("durable");
+  ASSERT_TRUE(w1.WriteFile(dir.path("f.bin"), 0x2222).ok());
+
+  {
+    ScopedFault f(FaultPoint::kStorageWrite);
+    BinaryWriter w2;
+    w2.PutString("lost");
+    Status s = w2.WriteFile(dir.path("f.bin"), 0x2222);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+  }
+
+  // The fault fired before any byte moved: no temp debris, old content
+  // still loadable.
+  EXPECT_FALSE(std::filesystem::exists(dir.path("f.bin.tmp")));
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x2222);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string s;
+  ASSERT_TRUE(r->GetString(&s).ok());
+  EXPECT_EQ(s, "durable");
+}
+
+TEST_F(StorageFaultTest, ReadFaultIsTypedDataLoss) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("payload");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x3333).ok());
+
+  ScopedFault f(FaultPoint::kStorageRead);
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+
+  // One-shot: the retry succeeds.
+  auto retry = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+// -- View decode faults and quarantine --------------------------------------
+
+using ViewFaultTest = FaultTest;
+
+TEST_F(ViewFaultTest, DecodeFaultQuarantinesExactlyTheArmedView) {
+  TempDir dir;
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+  std::vector<ViewDefinition> defs(3);
+  defs[0].keyword_columns = {0};
+  defs[1].keyword_columns = {1};
+  defs[2].keyword_columns = {2};
+  ASSERT_TRUE(engine->MaterializeViews(defs).ok());
+  const TermIdSet second_def = engine->catalog().view(1).def().keyword_columns;
+  ASSERT_TRUE(SaveViews(engine->catalog(), engine->tracked(),
+                        dir.path("views.csr"))
+                  .ok());
+
+  ScopedFault f(FaultPoint::kViewDecode, 2);
+  auto loaded = LoadViews(dir.path("views.csr"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->catalog.size(), 2u);
+  ASSERT_EQ(loaded->catalog.quarantined().size(), 1u);
+  EXPECT_EQ(loaded->catalog.quarantined()[0].keyword_columns, second_def);
+  EXPECT_NE(loaded->catalog.quarantined()[0].reason.find("injected"),
+            std::string::npos);
+}
+
+// -- End-to-end: corrupted snapshot view, degraded query --------------------
+
+using SnapshotFaultTest = FaultTest;
+
+TEST_F(SnapshotFaultTest, CorruptedViewQuarantinedAndQueriesDegrade) {
+  TempDir dir;
+  EngineConfig ecfg;
+  ecfg.top_k = 10;
+  ecfg.estimator_sample = 2000;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+  std::vector<ViewDefinition> defs(2);
+  defs[0].keyword_columns = {0};
+  defs[1].keyword_columns = {1};
+  ASSERT_TRUE(engine->MaterializeViews(defs).ok());
+  ASSERT_TRUE(SaveEngineSnapshot(*engine, dir.path()).ok());
+
+  // Flip one bit in the last payload byte of views.csr — the tail of the
+  // last view's frame (the 8 bytes after it are the container checksum).
+  std::string bytes = ReadFileBytes(dir.path("views.csr"));
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[bytes.size() - 9] = static_cast<char>(bytes[bytes.size() - 9] ^ 0x01);
+  WriteFileBytes(dir.path("views.csr"), bytes);
+
+  auto loaded_r = LoadEngineSnapshot(dir.path(), ecfg);
+  ASSERT_TRUE(loaded_r.ok()) << loaded_r.status().ToString();
+  auto loaded = std::move(loaded_r).value();
+
+  // Exactly the corrupted view is gone; the rest of the catalog loaded.
+  EXPECT_EQ(loaded->catalog().size(), 1u);
+  ASSERT_EQ(loaded->catalog().quarantined().size(), 1u);
+  EXPECT_EQ(loaded->catalog().quarantined()[0].reason,
+            "view frame checksum mismatch");
+  EXPECT_EQ(loaded->degradation().views_quarantined, 1u);
+
+  ASSERT_EQ(loaded->catalog().quarantined()[0].keyword_columns.size(), 1u);
+  const TermId bad_ctx = loaded->catalog().quarantined()[0].keyword_columns[0];
+  const TermId good_ctx = loaded->catalog().view(0).def().keyword_columns[0];
+  ASSERT_NE(bad_ctx, good_ctx);
+
+  const CorpusConfig& cc = loaded->corpus().config;
+  auto topical = [&](TermId c) {
+    return CorpusGenerator::ConceptTopicalTerm(c, 0, cc.vocab_size,
+                                               cc.topical_window);
+  };
+
+  // The affected context is answered by the straightforward plan, flagged
+  // degraded with an attributable reason, and ranks identically to the
+  // intact engine.
+  ContextQuery affected{{topical(bad_ctx)}, {bad_ctx}};
+  auto impaired = loaded->Search(affected, EvaluationMode::kContextWithViews);
+  auto intact = engine->Search(affected, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(impaired.ok()) << impaired.status().ToString();
+  ASSERT_TRUE(intact.ok());
+  EXPECT_FALSE(impaired->metrics.used_view);
+  EXPECT_TRUE(impaired->metrics.fell_back_to_straightforward);
+  EXPECT_TRUE(impaired->metrics.degraded);
+  EXPECT_NE(impaired->metrics.degraded_reason.find("quarantined"),
+            std::string::npos);
+  ASSERT_FALSE(impaired->top_docs.empty());
+  ASSERT_EQ(impaired->top_docs.size(), intact->top_docs.size());
+  for (size_t i = 0; i < intact->top_docs.size(); ++i) {
+    EXPECT_EQ(impaired->top_docs[i].doc, intact->top_docs[i].doc);
+    EXPECT_DOUBLE_EQ(impaired->top_docs[i].score, intact->top_docs[i].score);
+  }
+  EXPECT_EQ(loaded->degradation().quarantine_fallbacks, 1u);
+  EXPECT_EQ(loaded->degradation().degraded_queries, 1u);
+
+  // An unaffected context is still view-backed, undegraded, and identical.
+  ContextQuery unaffected{{topical(good_ctx)}, {good_ctx}};
+  auto healthy = loaded->Search(unaffected, EvaluationMode::kContextWithViews);
+  auto baseline = engine->Search(unaffected, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_TRUE(healthy->metrics.used_view);
+  EXPECT_FALSE(healthy->metrics.degraded);
+  ASSERT_EQ(healthy->top_docs.size(), baseline->top_docs.size());
+  for (size_t i = 0; i < baseline->top_docs.size(); ++i) {
+    EXPECT_EQ(healthy->top_docs[i].doc, baseline->top_docs[i].doc);
+    EXPECT_DOUBLE_EQ(healthy->top_docs[i].score, baseline->top_docs[i].score);
+  }
+  EXPECT_EQ(loaded->degradation().degraded_queries, 1u);
+}
+
+// -- Query-time degradation ------------------------------------------------
+
+using DegradationTest = FaultTest;
+
+ContextQuery Concept0Query(const ContextSearchEngine& engine) {
+  const CorpusConfig& cc = engine.corpus().config;
+  TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                 cc.topical_window);
+  return ContextQuery{{w}, {0}};
+}
+
+TEST_F(DegradationTest, PostingFaultDegradesToPopulatedResult) {
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;  // degrade_gracefully defaults to true
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+
+  // The one-shot fault fires early in the statistics phase; the reprieved
+  // retrieval then runs to completion, so the result is populated and
+  // degraded rather than an error or an empty success.
+  ScopedFault f(FaultPoint::kPostingAdvance, 5);
+  auto r = engine->Search(Concept0Query(*engine),
+                          EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->metrics.degraded);
+  EXPECT_NE(r->metrics.degraded_reason.find("fault"), std::string::npos);
+  EXPECT_FALSE(r->top_docs.empty());
+  EXPECT_GT(r->result_count, 0u);
+  EXPECT_EQ(engine->degradation().fault_trips, 1u);
+  EXPECT_EQ(engine->degradation().degraded_queries, 1u);
+}
+
+TEST_F(DegradationTest, BudgetExhaustionNeverEmptyOnSuccess) {
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;
+  ecfg.posting_scan_budget = 40;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+
+  auto r = engine->Search(Concept0Query(*engine),
+                          EvaluationMode::kContextStraightforward);
+  if (r.ok()) {
+    // A degraded success must be populated: an empty "ok" would be
+    // indistinguishable from a genuine empty result.
+    EXPECT_TRUE(r->metrics.degraded);
+    EXPECT_FALSE(r->top_docs.empty());
+    EXPECT_GT(r->result_count, 0u);
+  } else {
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_GT(engine->degradation().budget_hits, 0u);
+}
+
+TEST_F(DegradationTest, FailFastBudgetReturnsResourceExhausted) {
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;
+  ecfg.posting_scan_budget = 1;
+  ecfg.degrade_gracefully = false;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+
+  auto r = engine->Search(Concept0Query(*engine),
+                          EvaluationMode::kContextStraightforward);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(engine->degradation().budget_hits, 0u);
+}
+
+TEST_F(DegradationTest, FailFastDeadlineReturnsDeadlineExceeded) {
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;
+  ecfg.deadline_ms = 1e-7;  // expires before the first poll
+  ecfg.degrade_gracefully = false;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+
+  auto r = engine->Search(Concept0Query(*engine),
+                          EvaluationMode::kContextStraightforward);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(engine->degradation().deadline_hits, 0u);
+}
+
+TEST_F(DegradationTest, FailFastPostingFaultReturnsDataLoss) {
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;
+  ecfg.degrade_gracefully = false;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+
+  ScopedFault f(FaultPoint::kPostingAdvance, 1);
+  auto r = engine->Search(Concept0Query(*engine),
+                          EvaluationMode::kContextStraightforward);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(engine->degradation().fault_trips, 1u);
+}
+
+TEST_F(DegradationTest, UnguardedQueriesAreUnaffected) {
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;  // no deadline, no budget, nothing armed
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+
+  auto r = engine->Search(Concept0Query(*engine),
+                          EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->metrics.degraded);
+  EXPECT_TRUE(r->metrics.degraded_reason.empty());
+  EXPECT_FALSE(r->top_docs.empty());
+  const DegradationStats& d = engine->degradation();
+  EXPECT_EQ(d.deadline_hits + d.budget_hits + d.fault_trips +
+                d.degraded_queries + d.quarantine_fallbacks,
+            0u);
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "corpus/generator.h"
 #include "engine/engine.h"
@@ -102,21 +106,89 @@ TEST(SerializerTest, CorruptionDetectedByChecksum) {
   w.PutString("sensitive bytes");
   ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x3333).ok());
 
-  // Flip one payload byte.
+  // Flip one payload byte (the payload starts after magic + length, at 12).
   std::FILE* f = std::fopen(dir.path("f.bin").c_str(), "r+b");
   ASSERT_NE(f, nullptr);
-  std::fseek(f, 8, SEEK_SET);
+  std::fseek(f, 14, SEEK_SET);
   std::fputc('X', f);
   std::fclose(f);
 
   auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(SerializerTest, MissingFileIsNotFound) {
   EXPECT_EQ(BinaryReader::OpenFile("/nonexistent/f.bin", 1).status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(SerializerTest, TrailingGarbageAfterChecksumRejected) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("payload");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x4444).ok());
+
+  std::FILE* f = std::fopen(dir.path("f.bin").c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage appended by a buggy tool", f);
+  std::fclose(f);
+
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x4444);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializerTest, TruncationIsDataLoss) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("a reasonably long payload for truncation");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x5555).ok());
+  std::error_code ec;
+  auto size = std::filesystem::file_size(dir.path("f.bin"), ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(dir.path("f.bin"), size / 2, ec);
+  ASSERT_FALSE(ec);
+
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x5555);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializerTest, WriteIsAtomicNoTempLeftBehind) {
+  TempDir dir;
+  BinaryWriter w1;
+  w1.PutString("version one");
+  ASSERT_TRUE(w1.WriteFile(dir.path("f.bin"), 0x6666).ok());
+  BinaryWriter w2;
+  w2.PutString("version two");
+  ASSERT_TRUE(w2.WriteFile(dir.path("f.bin"), 0x6666).ok());
+
+  EXPECT_FALSE(std::filesystem::exists(dir.path("f.bin.tmp")));
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x6666);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string s;
+  ASSERT_TRUE(r->GetString(&s).ok());
+  EXPECT_EQ(s, "version two");
+}
+
+TEST(SerializerTest, StaleTempFileDoesNotShadowDestination) {
+  // A crash after writing path.tmp but before rename leaves a stale temp;
+  // the destination must stay authoritative and the next save must succeed.
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("real data");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x7777).ok());
+  {
+    std::FILE* f = std::fopen(dir.path("f.bin.tmp").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn", f);
+    std::fclose(f);
+  }
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x7777);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x7777).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir.path("f.bin.tmp")));
 }
 
 Corpus SmallCorpus() {
@@ -208,6 +280,127 @@ TEST(SnapshotTest, MissingSnapshotDirFails) {
   EngineConfig ecfg;
   auto loaded = LoadEngineSnapshot("/nonexistent_dir", ecfg);
   EXPECT_FALSE(loaded.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption sweep: truncate at representative offsets and flip one bit per
+// container region. Loads must either succeed with every view accounted for
+// (decoded or quarantined) or fail with a clean kDataLoss — never crash,
+// never silently mis-load.
+// ---------------------------------------------------------------------------
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  if (f != nullptr) {
+    char buf[1 << 14];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+    std::fclose(f);
+  }
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+// Representative offsets for a container of size s: inside the magic, both
+// ends of the length field, the first payload byte, the middle, the last
+// payload byte, and the trailing checksum.
+std::vector<size_t> SweepOffsets(size_t s) {
+  std::vector<size_t> offs = {0, 1, 4, 11, 12, s / 2, s - 9, s - 1};
+  offs.erase(std::remove_if(offs.begin(), offs.end(),
+                            [s](size_t o) { return o >= s; }),
+             offs.end());
+  std::sort(offs.begin(), offs.end());
+  offs.erase(std::unique(offs.begin(), offs.end()), offs.end());
+  return offs;
+}
+
+TEST(SnapshotCorruptionSweepTest, CorpusCorruptionIsAlwaysCleanDataLoss) {
+  TempDir dir;
+  ASSERT_TRUE(SaveCorpus(SmallCorpus(), dir.path("corpus.csr")).ok());
+  const std::string pristine = ReadFileBytes(dir.path("corpus.csr"));
+  const size_t s = pristine.size();
+  ASSERT_GT(s, 32u);
+  const std::string victim = dir.path("victim.csr");
+
+  for (size_t cut : SweepOffsets(s)) {
+    SCOPED_TRACE("truncate corpus.csr to " + std::to_string(cut) + " bytes");
+    WriteFileBytes(victim, std::string_view(pristine).substr(0, cut));
+    auto r = LoadCorpus(victim);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  }
+
+  for (size_t off : SweepOffsets(s)) {
+    SCOPED_TRACE("flip bit at offset " + std::to_string(off));
+    std::string bytes = pristine;
+    bytes[off] = static_cast<char>(bytes[off] ^ 0x40);
+    WriteFileBytes(victim, bytes);
+    auto r = LoadCorpus(victim);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(SnapshotCorruptionSweepTest, ViewsCorruptionQuarantinesOrDataLoss) {
+  TempDir dir;
+  EngineConfig ecfg;
+  ecfg.estimator_sample = 2000;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+  std::vector<ViewDefinition> defs(4);
+  defs[0].keyword_columns = {0};
+  defs[1].keyword_columns = {1};
+  defs[2].keyword_columns = {2};
+  defs[3].keyword_columns = {0, 1};
+  ASSERT_TRUE(engine->MaterializeViews(defs).ok());
+  ASSERT_TRUE(SaveViews(engine->catalog(), engine->tracked(),
+                        dir.path("views.csr"))
+                  .ok());
+
+  auto pristine_load = LoadViews(dir.path("views.csr"));
+  ASSERT_TRUE(pristine_load.ok()) << pristine_load.status().ToString();
+  const size_t num_views = pristine_load->catalog.size();
+  ASSERT_EQ(num_views, defs.size());
+  ASSERT_TRUE(pristine_load->catalog.quarantined().empty());
+  const std::vector<TermId> tracked = pristine_load->tracked_terms;
+
+  const std::string pristine = ReadFileBytes(dir.path("views.csr"));
+  const size_t s = pristine.size();
+  ASSERT_GT(s, 32u);
+  const std::string victim = dir.path("victim_views.csr");
+
+  auto check = [&](const std::string& label, std::string_view bytes) {
+    SCOPED_TRACE(label);
+    WriteFileBytes(victim, bytes);
+    auto r = LoadViews(victim);
+    if (r.ok()) {
+      // Every persisted view is accounted for: decoded or quarantined.
+      EXPECT_EQ(r->catalog.size() + r->catalog.quarantined().size(),
+                num_views);
+      EXPECT_EQ(r->tracked_terms, tracked);
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    }
+  };
+
+  for (size_t cut : SweepOffsets(s)) {
+    check("truncate views.csr to " + std::to_string(cut) + " bytes",
+          std::string_view(pristine).substr(0, cut));
+  }
+  for (size_t off : SweepOffsets(s)) {
+    std::string bytes = pristine;
+    bytes[off] = static_cast<char>(bytes[off] ^ 0x40);
+    check("flip bit at offset " + std::to_string(off), bytes);
+  }
 }
 
 }  // namespace

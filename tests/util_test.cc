@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <set>
+#include <string_view>
 
 #include "util/hash.h"
 #include "util/random.h"
@@ -37,6 +39,38 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
             "ResourceExhausted");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughName) {
+  const StatusCode all[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted, StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,  StatusCode::kDataLoss,
+  };
+  std::set<std::string_view> names;
+  for (StatusCode c : all) {
+    std::string_view name = StatusCodeName(c);
+    EXPECT_FALSE(name.empty());
+    // A code that falls through the switch renders "Unknown" — every
+    // member of the enum must have a real, distinct name.
+    EXPECT_NE(name, "Unknown") << static_cast<int>(c);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(StatusTest, NewFailureTaxonomyFactories) {
+  Status d = Status::DeadlineExceeded("query ran too long");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: query ran too long");
+  Status l = Status::DataLoss("checksum mismatch");
+  EXPECT_EQ(l.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(l.ToString(), "DataLoss: checksum mismatch");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
