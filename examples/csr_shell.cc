@@ -9,19 +9,23 @@
 //   <keywords>                    run a conventional query
 //   .mode conv|direct|views       evaluation mode for '|' queries
 //   .context <predicate...>       show a context's size and covering view
+//   .pool <n>                     route queries through an n-thread
+//                                 QueryExecutor (0 disables the pool)
 //   .save <dir> / .load <dir>     snapshot the engine / restore it
-//   .stats                        engine statistics
+//   .stats                        engine statistics (incl. pool metrics)
 //   .quit
 //
 // Blank lines and lines starting with '#' are ignored.
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "corpus/generator.h"
 #include "engine/engine.h"
+#include "engine/executor.h"
 #include "engine/query_parser.h"
 #include "storage/snapshot.h"
 #include "util/string_util.h"
@@ -29,6 +33,9 @@
 namespace {
 
 csr::EvaluationMode g_mode = csr::EvaluationMode::kContextWithViews;
+// Optional worker pool. Holds a raw pointer into the current engine, so it
+// MUST be reset before the engine is replaced (see .load).
+std::unique_ptr<csr::QueryExecutor> g_pool;
 
 void RunQuery(csr::ContextSearchEngine& engine,
               const csr::QueryParser& parser, const std::string& line) {
@@ -40,7 +47,8 @@ void RunQuery(csr::ContextSearchEngine& engine,
   csr::EvaluationMode mode = parsed->context.empty()
                                  ? csr::EvaluationMode::kConventional
                                  : g_mode;
-  auto result = engine.Search(parsed.value(), mode);
+  auto result = g_pool ? g_pool->SubmitSearch(parsed.value(), mode).get()
+                       : engine.Search(parsed.value(), mode);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -118,6 +126,21 @@ int main(int argc, char** argv) {
                     : "none");
       continue;
     }
+    if (line.rfind(".pool ", 0) == 0) {
+      long n = atol(line.substr(6).c_str());
+      if (n < 0) { std::printf("pool size must be >= 0\n"); continue; }
+      g_pool.reset();  // drain the old pool before rewiring
+      if (n == 0) {
+        std::printf("pool disabled\n");
+      } else {
+        csr::ExecutorConfig pcfg;
+        pcfg.num_threads = static_cast<uint32_t>(n);
+        g_pool = std::make_unique<csr::QueryExecutor>(engine.get(), pcfg);
+        std::printf("pool = %u threads, queue capacity %zu\n",
+                    g_pool->num_threads(), pcfg.queue_capacity);
+      }
+      continue;
+    }
     if (line.rfind(".save ", 0) == 0) {
       csr::Status s = csr::SaveEngineSnapshot(*engine, line.substr(6));
       std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
@@ -128,6 +151,11 @@ int main(int argc, char** argv) {
       if (!loaded.ok()) {
         std::printf("error: %s\n", loaded.status().ToString().c_str());
         continue;
+      }
+      if (g_pool) {
+        // The pool references the engine being replaced; drain it first.
+        g_pool.reset();
+        std::printf("pool disabled (engine replaced; re-run .pool)\n");
       }
       engine = std::move(loaded).value();
       parser = csr::QueryParser::ForCorpus(engine->corpus());
@@ -152,9 +180,22 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(d.budget_hits),
                   static_cast<unsigned long long>(d.fault_trips),
                   static_cast<unsigned long long>(d.degraded_queries));
+      if (g_pool) {
+        csr::ExecutorMetrics m = g_pool->metrics();
+        std::printf("pool: threads=%u submitted=%llu completed=%llu "
+                    "rejected=%llu depth=%zu max_depth=%zu "
+                    "wait_ms=%.2f exec_ms=%.2f\n",
+                    g_pool->num_threads(),
+                    static_cast<unsigned long long>(m.submitted),
+                    static_cast<unsigned long long>(m.completed),
+                    static_cast<unsigned long long>(m.rejected),
+                    m.queue_depth, m.max_queue_depth, m.queue_wait_ms_total,
+                    m.exec_ms_total);
+      }
       continue;
     }
     RunQuery(*engine, parser, line);
   }
+  g_pool.reset();  // drain before `engine` (a main() local) is destroyed
   return 0;
 }

@@ -13,9 +13,22 @@ AtmMapper::AtmMapper(const Corpus* corpus, const InvertedIndex* content_index,
       options_(options) {}
 
 const TermIdSet& AtmMapper::MapKeyword(TermId w) const {
-  auto it = cache_.find(w);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(w);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: mapping scans up to max_scan postings, and
+  // holding the mutex across that would serialize unrelated keywords.
+  TermIdSet mapped = ComputeMapping(w);
+  std::lock_guard<std::mutex> lock(mu_);
+  // emplace keeps the first insert if another thread raced us here; the
+  // computation is deterministic, so the discarded duplicate was equal.
+  auto [pos, _] = cache_.emplace(w, std::move(mapped));
+  return pos->second;
+}
 
+TermIdSet AtmMapper::ComputeMapping(TermId w) const {
   TermIdSet mapped;
   const PostingList* lw = content_index_->list(w);
   if (lw != nullptr) {
@@ -47,8 +60,7 @@ const TermIdSet& AtmMapper::MapKeyword(TermId w) const {
     }
     std::sort(mapped.begin(), mapped.end());
   }
-  auto [pos, _] = cache_.emplace(w, std::move(mapped));
-  return pos->second;
+  return mapped;
 }
 
 TermIdSet AtmMapper::MapQuery(std::span<const TermId> keywords) const {

@@ -1,6 +1,7 @@
 #ifndef CSR_CORPUS_ATM_H_
 #define CSR_CORPUS_ATM_H_
 
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -32,7 +33,11 @@ struct AtmOptions {
 ///
 /// i.e. co-occurrence normalized by concept popularity, which favours
 /// specific concepts over near-universal ancestors. Results are cached per
-/// keyword.
+/// keyword; the memo cache is mutex-guarded, so the const mapping calls
+/// are safe from concurrent threads (workload generators run alongside a
+/// serving engine). A racing miss may compute the same mapping twice; the
+/// first insert wins and the duplicate is discarded — the mapping is
+/// deterministic, so both are identical anyway.
 class AtmMapper {
  public:
   /// All pointers must outlive the mapper.
@@ -48,10 +53,16 @@ class AtmMapper {
   TermIdSet MapQuery(std::span<const TermId> keywords) const;
 
  private:
+  /// Uncached mapping computation (pure; no shared state touched).
+  TermIdSet ComputeMapping(TermId w) const;
+
   const Corpus* corpus_;
   const InvertedIndex* content_index_;
   const InvertedIndex* predicate_index_;
   AtmOptions options_;
+  // Guards cache_. References into the (node-based) map stay valid after
+  // the lock is dropped: entries are never erased or overwritten.
+  mutable std::mutex mu_;
   mutable std::unordered_map<TermId, TermIdSet> cache_;
 };
 

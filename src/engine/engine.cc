@@ -340,7 +340,8 @@ void ContextSearchEngine::RecordTrip(const ScanGuard& guard) const {
 }
 
 Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
-                                                 EvaluationMode mode) const {
+                                                 EvaluationMode mode,
+                                                 double elapsed_ms) const {
   if (query.keywords.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -351,11 +352,24 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
   if (!std::is_sorted(query.context.begin(), query.context.end())) {
     return Status::InvalidArgument("context predicates must be sorted");
   }
+  if (config_.deadline_ms > 0 && elapsed_ms >= config_.deadline_ms) {
+    // The deadline expired before execution began (typically in the
+    // executor queue). Shed the query instead of starting work it is
+    // already too late for; the degradation ladder cannot salvage a query
+    // that never ran.
+    degradation_.deadline_hits++;
+    return Status::DeadlineExceeded(
+        "query deadline of " + std::to_string(config_.deadline_ms) +
+        " ms consumed before execution (" + std::to_string(elapsed_ms) +
+        " ms elapsed in queue)");
+  }
 
   WallTimer total_timer;
   // One guard spans both phases: the deadline clock covers the whole
-  // query; the posting budget is re-granted once when the plan degrades.
-  ScanGuard guard(config_.deadline_ms, config_.posting_scan_budget);
+  // query — including time already spent queued — and the posting budget
+  // is re-granted once when the plan degrades.
+  ScanGuard guard(config_.deadline_ms, config_.posting_scan_budget,
+                  elapsed_ms);
   SearchResult result;
   QueryStats qstats = QueryStats::FromKeywords(query.keywords);
 
@@ -370,13 +384,13 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
     case EvaluationMode::kContextStraightforward:
     case EvaluationMode::kContextWithViews: {
       bool with_views = mode == EvaluationMode::kContextWithViews;
-      const CollectionStats* cached =
+      std::optional<CollectionStats> cached =
           stats_cache_ != nullptr
               ? stats_cache_->Get(query.context, qstats.keywords,
                                   query.years)
-              : nullptr;
-      if (cached != nullptr) {
-        result.stats = *cached;
+              : std::nullopt;
+      if (cached.has_value()) {
+        result.stats = *std::move(cached);
         result.metrics.stats_cache_hit = true;
         result.metrics.plan = "stats: LRU cache hit";
       } else {

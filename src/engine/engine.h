@@ -1,6 +1,7 @@
 #ifndef CSR_ENGINE_ENGINE_H_
 #define CSR_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,13 +82,21 @@ struct EngineConfig {
 
 /// Cumulative fault-tolerance telemetry for one engine, surfaced through
 /// ContextSearchEngine::degradation(). Counters only ever increase.
+///
+/// Memory-order contract: each counter is an independent monotonic event
+/// count. Writers (concurrent Search calls) increment with relaxed
+/// ordering; readers load with relaxed ordering (the atomics' implicit
+/// conversion does this). No ordering is implied *between* counters — a
+/// reader polling during a burst may, e.g., observe degraded_queries
+/// already incremented while the deadline_hits that caused it still reads
+/// the old value. Quiescent reads (no Search in flight) are exact.
 struct DegradationStats {
-  uint64_t views_quarantined = 0;     // dropped while loading a snapshot
-  uint64_t quarantine_fallbacks = 0;  // queries routed around a dropped view
-  uint64_t deadline_hits = 0;         // ScanGuard deadline trips
-  uint64_t budget_hits = 0;           // ScanGuard posting-budget trips
-  uint64_t fault_trips = 0;           // injected posting faults observed
-  uint64_t degraded_queries = 0;      // results returned with degraded=true
+  std::atomic<uint64_t> views_quarantined{0};  // dropped loading a snapshot
+  std::atomic<uint64_t> quarantine_fallbacks{0};  // routed around a drop
+  std::atomic<uint64_t> deadline_hits{0};  // ScanGuard deadline trips
+  std::atomic<uint64_t> budget_hits{0};    // ScanGuard posting-budget trips
+  std::atomic<uint64_t> fault_trips{0};    // injected posting faults seen
+  std::atomic<uint64_t> degraded_queries{0};  // results with degraded=true
 };
 
 /// The system of the paper, end to end: inverted indexes over content and
@@ -100,6 +109,16 @@ struct DegradationStats {
 ///   engine->SelectAndMaterializeViews();
 ///   ContextQuery q{{w1, w2}, {m1, m2}};
 ///   auto result = engine->Search(q, EvaluationMode::kContextWithViews);
+///
+/// Threading model (see DESIGN.md §9): Search() and the const accessors
+/// are safe to call from any number of threads concurrently — the indexes,
+/// corpus, catalog, and ranking are immutable after construction, the
+/// statistics cache is internally synchronized (mutex-striped shards), and
+/// the degradation telemetry is atomic. The *mutating* operations —
+/// Build(), SelectAndMaterializeViews(), MaterializeViews(),
+/// AppendDocuments(), InstallCatalog() — require exclusive access: no
+/// Search may be in flight while one of them runs. engine/executor.h
+/// provides a thread pool that serves Search under this contract.
 class ContextSearchEngine {
  public:
   /// Indexes the corpus. Does not select or build views.
@@ -132,9 +151,17 @@ class ContextSearchEngine {
 
   /// Evaluates Q_c (or the conventional Q_t, per `mode`). Returns
   /// InvalidArgument for queries with no keywords, or with an empty context
-  /// in the context-sensitive modes.
-  Result<SearchResult> Search(const ContextQuery& query,
-                              EvaluationMode mode) const;
+  /// in the context-sensitive modes. Safe for concurrent callers (see the
+  /// class threading model).
+  ///
+  /// `elapsed_ms` is time already consumed on this query's behalf before
+  /// execution started (the executor passes its queue wait); it counts
+  /// against EngineConfig::deadline_ms. A query whose deadline fully
+  /// elapsed before execution is shed with kDeadlineExceeded — even under
+  /// degrade_gracefully, since any salvage work would violate the deadline
+  /// it already missed.
+  Result<SearchResult> Search(const ContextQuery& query, EvaluationMode mode,
+                              double elapsed_ms = 0.0) const;
 
   // -- Accessors --------------------------------------------------------
   const Corpus& corpus() const { return corpus_; }
@@ -191,8 +218,12 @@ class ContextSearchEngine {
   ViewCatalog catalog_;
   HybridResult selection_;
   // Mutable: Search() is logically const; the cache is an optimization.
+  // The pointer itself is fixed after Build(); the pointee is internally
+  // synchronized (mutex-striped shards), so concurrent Searches may share
+  // it freely.
   mutable std::unique_ptr<StatsCache> stats_cache_;
-  // Mutable for the same reason: telemetry about const queries.
+  // Mutable for the same reason: telemetry about const queries. All
+  // members are relaxed atomics (see DegradationStats).
   mutable DegradationStats degradation_;
 };
 

@@ -1,0 +1,134 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csr {
+
+QueryExecutor::QueryExecutor(const ContextSearchEngine* engine,
+                             ExecutorConfig config)
+    : engine_(engine), config_(config) {
+  uint32_t threads = config_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  workers_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() { Shutdown(); }
+
+void QueryExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // join_mu_ serializes concurrent Shutdown callers (join is not).
+  std::lock_guard<std::mutex> jlock(join_mu_);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<Result<SearchResult>> QueryExecutor::Enqueue(ContextQuery query,
+                                                         EvaluationMode mode,
+                                                         bool block) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (block) {
+    not_full_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < config_.queue_capacity;
+    });
+  }
+  if (shutdown_) {
+    lock.unlock();
+    std::promise<Result<SearchResult>> p;
+    p.set_value(Status::FailedPrecondition("executor is shut down"));
+    return p.get_future();
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    metrics_.rejected++;
+    lock.unlock();
+    std::promise<Result<SearchResult>> p;
+    p.set_value(Status::ResourceExhausted(
+        "executor queue full (" + std::to_string(config_.queue_capacity) +
+        " queries queued); retry or shed load"));
+    return p.get_future();
+  }
+  queue_.push_back(Task{std::move(query), mode, {}, {}});
+  std::future<Result<SearchResult>> f = queue_.back().promise.get_future();
+  metrics_.submitted++;
+  metrics_.max_queue_depth =
+      std::max(metrics_.max_queue_depth, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return f;
+}
+
+std::future<Result<SearchResult>> QueryExecutor::SubmitSearch(
+    ContextQuery query, EvaluationMode mode) {
+  return Enqueue(std::move(query), mode, /*block=*/false);
+}
+
+std::vector<Result<SearchResult>> QueryExecutor::SearchBatch(
+    std::span<const ContextQuery> queries, EvaluationMode mode) {
+  std::vector<std::future<Result<SearchResult>>> futures;
+  futures.reserve(queries.size());
+  for (const ContextQuery& q : queries) {
+    futures.push_back(Enqueue(q, mode, /*block=*/true));
+  }
+  std::vector<Result<SearchResult>> results;
+  results.reserve(queries.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void QueryExecutor::WorkerLoop() {
+  for (;;) {
+    Task task;
+    double wait_ms;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      wait_ms = task.queued.ElapsedMillis();
+      metrics_.queue_wait_ms_total += wait_ms;
+      metrics_.queue_wait_ms_max =
+          std::max(metrics_.queue_wait_ms_max, wait_ms);
+    }
+    not_full_.notify_one();
+
+    WallTimer exec_timer;
+    Result<SearchResult> result =
+        engine_->Search(task.query, task.mode, wait_ms);
+    double exec_ms = exec_timer.ElapsedMillis();
+    {
+      // Count completion BEFORE fulfilling the promise: a caller that has
+      // observed its future ready must see `completed` include that task.
+      std::lock_guard<std::mutex> lock(mu_);
+      metrics_.completed++;
+      metrics_.exec_ms_total += exec_ms;
+    }
+    task.promise.set_value(std::move(result));
+  }
+}
+
+ExecutorMetrics QueryExecutor::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExecutorMetrics snapshot = metrics_;
+  snapshot.queue_depth = queue_.size();
+  return snapshot;
+}
+
+size_t QueryExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace csr

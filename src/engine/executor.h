@@ -1,0 +1,125 @@
+#ifndef CSR_ENGINE_EXECUTOR_H_
+#define CSR_ENGINE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace csr {
+
+struct ExecutorConfig {
+  /// Worker threads. 0 picks std::thread::hardware_concurrency() (min 1).
+  uint32_t num_threads = 0;
+
+  /// Bound on queued-but-not-started queries. A full queue rejects
+  /// SubmitSearch with kResourceExhausted (backpressure) instead of
+  /// buffering unboundedly; SearchBatch blocks for space instead.
+  size_t queue_capacity = 256;
+};
+
+/// Point-in-time executor telemetry. Counters are cumulative since
+/// construction; submitted == completed + rejected + queue_depth +
+/// currently-executing.
+struct ExecutorMetrics {
+  uint64_t submitted = 0;   // accepted into the queue
+  uint64_t rejected = 0;    // refused with kResourceExhausted (queue full)
+  uint64_t completed = 0;   // promise fulfilled (ok or error)
+  size_t queue_depth = 0;   // tasks waiting right now
+  size_t max_queue_depth = 0;
+  double queue_wait_ms_total = 0;  // summed over completed tasks
+  double queue_wait_ms_max = 0;
+  double exec_ms_total = 0;  // summed Search wall time, completed tasks
+};
+
+/// A fixed-size thread pool serving ContextSearchEngine::Search under the
+/// engine's threading contract (Search is safe concurrently; mutations
+/// need exclusive access — do not Append/Install/Materialize while an
+/// executor is attached and live).
+///
+/// Two entry points:
+///  - SubmitSearch: non-blocking; returns a future. When the queue is at
+///    capacity the future is already resolved with kResourceExhausted so
+///    callers get immediate backpressure, never an unbounded buffer.
+///  - SearchBatch: convenience for offline/bench workloads; blocks for
+///    queue space, preserves input order in the returned vector, and only
+///    returns when every query has finished.
+///
+/// Deadlines: each task records its enqueue time, and the measured queue
+/// wait is passed to Search as `elapsed_ms`, so EngineConfig::deadline_ms
+/// bounds end-to-end latency (queue wait + execution). A query whose
+/// deadline expires while still queued is shed with kDeadlineExceeded.
+///
+/// Destruction/Shutdown drains: queued tasks still execute, then workers
+/// join. Submissions after Shutdown resolve to kFailedPrecondition.
+class QueryExecutor {
+ public:
+  /// `engine` must outlive the executor.
+  explicit QueryExecutor(const ContextSearchEngine* engine,
+                         ExecutorConfig config = {});
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Enqueues one query. Never blocks: a full queue (or a shut-down
+  /// executor) yields an already-resolved future carrying the typed error.
+  std::future<Result<SearchResult>> SubmitSearch(ContextQuery query,
+                                                 EvaluationMode mode);
+
+  /// Runs the whole batch through the pool and returns results in input
+  /// order. Blocks for queue space (no kResourceExhausted rejections) and
+  /// for completion.
+  std::vector<Result<SearchResult>> SearchBatch(
+      std::span<const ContextQuery> queries, EvaluationMode mode);
+
+  /// Stops accepting work, drains the queue, joins workers. Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+  ExecutorMetrics metrics() const;
+  size_t queue_depth() const;
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  const ContextSearchEngine& engine() const { return *engine_; }
+
+ private:
+  struct Task {
+    ContextQuery query;
+    EvaluationMode mode;
+    std::promise<Result<SearchResult>> promise;
+    WallTimer queued;  // started at enqueue; read at dequeue = queue wait
+  };
+
+  /// Shared enqueue path; `block` selects SearchBatch (wait for space) vs
+  /// SubmitSearch (reject) semantics.
+  std::future<Result<SearchResult>> Enqueue(ContextQuery query,
+                                            EvaluationMode mode, bool block);
+  void WorkerLoop();
+
+  const ContextSearchEngine* engine_;
+  ExecutorConfig config_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::mutex join_mu_;                 // serializes Shutdown callers
+  std::condition_variable not_empty_;  // signalled on push and shutdown
+  std::condition_variable not_full_;   // signalled on pop
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  ExecutorMetrics metrics_;  // guarded by mu_; queue_depth derived
+};
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_EXECUTOR_H_

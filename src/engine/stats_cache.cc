@@ -1,6 +1,24 @@
 #include "engine/stats_cache.h"
 
+#include <algorithm>
+
 namespace csr {
+
+StatsCache::StatsCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
+  if (num_shards == 0) {
+    num_shards = std::min(kDefaultShards, std::max<size_t>(capacity, 1));
+  }
+  num_shards_ = num_shards;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  // Distribute the total capacity; the first (capacity % shards) shards
+  // take one extra entry so the shard capacities sum to `capacity`.
+  size_t base = capacity_ / num_shards_;
+  size_t extra = capacity_ % num_shards_;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shards_[i].capacity = base + (i < extra ? 1 : 0);
+  }
+}
 
 TermIdSet StatsCache::MakeKey(std::span<const TermId> context,
                               std::span<const TermId> keywords,
@@ -21,19 +39,21 @@ TermIdSet StatsCache::MakeKey(std::span<const TermId> context,
   return key;
 }
 
-const CollectionStats* StatsCache::Get(std::span<const TermId> context,
-                                       std::span<const TermId> keywords,
-                                       YearRange range) {
-  if (capacity_ == 0) return nullptr;
+std::optional<CollectionStats> StatsCache::Get(
+    std::span<const TermId> context, std::span<const TermId> keywords,
+    YearRange range) {
+  if (capacity_ == 0) return std::nullopt;
   TermIdSet key = MakeKey(context, keywords, range);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
-    return nullptr;
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return std::nullopt;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  return &it->second->second;
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;  // copy out under the lock
 }
 
 void StatsCache::Put(std::span<const TermId> context,
@@ -41,25 +61,93 @@ void StatsCache::Put(std::span<const TermId> context,
                      CollectionStats stats) {
   if (capacity_ == 0) return;
   TermIdSet key = MakeKey(context, keywords, range);
-  auto it = map_.find(key);
-  if (it != map_.end()) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.capacity == 0) return;  // capacity < num_shards leaves some empty
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
     it->second->second = std::move(stats);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(stats));
-  map_[std::move(key)] = lru_.begin();
-  if (map_.size() > capacity_) {
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
+  shard.lru.emplace_front(key, std::move(stats));
+  shard.map[std::move(key)] = shard.lru.begin();
+  if (shard.map.size() > shard.capacity) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
 }
 
+size_t StatsCache::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].map.size();
+  }
+  return total;
+}
+
+uint64_t StatsCache::hits() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].hits;
+  }
+  return total;
+}
+
+uint64_t StatsCache::misses() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].misses;
+  }
+  return total;
+}
+
+uint64_t StatsCache::evictions() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].evictions;
+  }
+  return total;
+}
+
+size_t StatsCache::shard_size(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  return shards_[shard].map.size();
+}
+
+size_t StatsCache::shard_capacity(size_t shard) const {
+  return shards_[shard].capacity;
+}
+
+uint64_t StatsCache::shard_hits(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  return shards_[shard].hits;
+}
+
+uint64_t StatsCache::shard_misses(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  return shards_[shard].misses;
+}
+
+uint64_t StatsCache::shard_evictions(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  return shards_[shard].evictions;
+}
+
 void StatsCache::Clear() {
-  lru_.clear();
-  map_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].lru.clear();
+    shards_[i].map.clear();
+    shards_[i].hits = 0;
+    shards_[i].misses = 0;
+    shards_[i].evictions = 0;
+  }
 }
 
 }  // namespace csr

@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -13,27 +16,48 @@
 
 namespace csr {
 
-/// LRU cache for collection statistics keyed by (context, keywords).
-/// Context-sensitive workloads revisit the same few contexts constantly
-/// (every GI researcher searches within "digestive system"), and the
-/// statistics of a context are immutable for a static collection — a
-/// natural cache.
+/// Thread-safe LRU cache for collection statistics keyed by
+/// (context, keywords, year range). Context-sensitive workloads revisit the
+/// same few contexts constantly (every GI researcher searches within
+/// "digestive system"), and the statistics of a context are immutable for a
+/// static collection — a natural cache.
 ///
-/// Not thread-safe; the engine guards it per its own threading contract
-/// (one Search at a time).
+/// Concurrency: the cache is striped into `num_shards` independent LRU
+/// shards, each guarded by its own mutex. A key maps to exactly one shard
+/// (by hash of its context signature), so concurrent queries over
+/// *different* contexts proceed without contending on a lock, and
+/// contention on the *same* context is limited to the microseconds of a
+/// map lookup + splice. Get/Put/Clear and all counters are safe to call
+/// from any number of threads; LRU order and capacity are maintained per
+/// shard.
+///
+/// Counters (hits/misses/evictions) are maintained under the shard mutex,
+/// so they are exact — hits() + misses() equals the number of Get calls
+/// that reached a shard, even under concurrent hammering. Aggregate
+/// accessors sum the shards and are monotonic but not a single atomic
+/// snapshot across shards.
 class StatsCache {
  public:
+  /// Default shard count; the real count is min(this, capacity) so a tiny
+  /// cache is not split into empty shards.
+  static constexpr size_t kDefaultShards = 8;
+
   /// capacity == 0 disables the cache (Get always misses, Put drops).
-  explicit StatsCache(size_t capacity) : capacity_(capacity) {}
+  /// `num_shards` == 0 picks min(kDefaultShards, capacity); tests pass 1
+  /// for a single deterministic LRU. The total capacity is distributed
+  /// across shards (each shard gets capacity/num_shards, remainder spread
+  /// over the first shards), so the sum of shard capacities == capacity.
+  explicit StatsCache(size_t capacity, size_t num_shards = 0);
 
   StatsCache(const StatsCache&) = delete;
   StatsCache& operator=(const StatsCache&) = delete;
 
-  /// Returns the cached stats or nullptr. The pointer is invalidated by
-  /// the next Put.
-  const CollectionStats* Get(std::span<const TermId> context,
-                             std::span<const TermId> keywords,
-                             YearRange range = {});
+  /// Returns a copy of the cached stats, or nullopt on a miss. A copy —
+  /// not a pointer — because a concurrent Put/eviction on the same shard
+  /// may drop the entry the moment the shard lock is released.
+  std::optional<CollectionStats> Get(std::span<const TermId> context,
+                                     std::span<const TermId> keywords,
+                                     YearRange range = {});
 
   void Put(std::span<const TermId> context,
            std::span<const TermId> keywords, YearRange range,
@@ -44,9 +68,21 @@ class StatsCache {
     Put(context, keywords, YearRange{}, std::move(stats));
   }
 
-  size_t size() const { return map_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  /// Entries currently cached, summed over shards.
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return num_shards_; }
+
+  // Per-shard introspection (tests, telemetry).
+  size_t shard_size(size_t shard) const;
+  size_t shard_capacity(size_t shard) const;
+  uint64_t shard_hits(size_t shard) const;
+  uint64_t shard_misses(size_t shard) const;
+  uint64_t shard_evictions(size_t shard) const;
 
   void Clear();
 
@@ -56,12 +92,29 @@ class StatsCache {
                            YearRange range);
 
   using Entry = std::pair<TermIdSet, CollectionStats>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<TermIdSet, std::list<Entry>::iterator, TermIdSetHash>
+        map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Key -> shard. Uses the upper bits of the key hash so the shard choice
+  /// stays decorrelated from the in-shard bucket choice (which uses the
+  /// low bits).
+  size_t ShardIndex(const TermIdSet& key) const {
+    uint64_t h = HashTermIds(key);
+    return static_cast<size_t>((h >> 32) ^ h) % num_shards_;
+  }
+
   size_t capacity_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<TermIdSet, std::list<Entry>::iterator, TermIdSetHash>
-      map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace csr

@@ -21,9 +21,16 @@ class ScanGuard {
   enum class Trip { kNone, kDeadline, kBudget, kFault };
 
   /// `deadline_ms` <= 0 disables the deadline; `posting_budget` 0 disables
-  /// the scan budget. The deadline clock starts at construction.
-  ScanGuard(double deadline_ms, uint64_t posting_budget)
-      : deadline_ms_(deadline_ms), budget_(posting_budget) {}
+  /// the scan budget. The deadline clock starts at construction, but
+  /// `initial_elapsed_ms` is charged against the deadline up front — the
+  /// query executor passes the time a query spent waiting in its queue, so
+  /// a deadline bounds the *end-to-end* latency a caller observes, not
+  /// just the execution slice.
+  ScanGuard(double deadline_ms, uint64_t posting_budget,
+            double initial_elapsed_ms = 0.0)
+      : deadline_ms_(deadline_ms),
+        budget_(posting_budget),
+        initial_elapsed_ms_(initial_elapsed_ms) {}
 
   /// Charges one posting advance. Returns true when the scan must stop.
   /// The deadline is polled on the first tick and every 64th after, so a
@@ -40,7 +47,7 @@ class ScanGuard {
       return true;
     }
     if (deadline_ms_ > 0 && (ticks_ & 0x3F) == 1 &&
-        timer_.ElapsedMillis() > deadline_ms_) {
+        initial_elapsed_ms_ + timer_.ElapsedMillis() > deadline_ms_) {
       trip_ = Trip::kDeadline;
       return true;
     }
@@ -56,8 +63,15 @@ class ScanGuard {
     switch (trip_) {
       case Trip::kNone:
         return "not tripped";
-      case Trip::kDeadline:
-        return "deadline of " + std::to_string(deadline_ms_) + " ms exceeded";
+      case Trip::kDeadline: {
+        std::string r =
+            "deadline of " + std::to_string(deadline_ms_) + " ms exceeded";
+        if (initial_elapsed_ms_ > 0) {
+          r += " (incl. " + std::to_string(initial_elapsed_ms_) +
+               " ms of queue wait)";
+        }
+        return r;
+      }
       case Trip::kBudget:
         return "posting scan budget of " + std::to_string(budget_) +
                " exhausted";
@@ -81,6 +95,7 @@ class ScanGuard {
   WallTimer timer_;
   double deadline_ms_;
   uint64_t budget_;
+  double initial_elapsed_ms_ = 0.0;
   uint64_t ticks_ = 0;
   Trip trip_ = Trip::kNone;
 };

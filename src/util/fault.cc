@@ -42,15 +42,25 @@ void FaultInjector::DisarmAll() {
 }
 
 bool FaultInjector::Hit(FaultPoint p) {
-  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  if (armed_count_.load(std::memory_order_acquire) == 0) return false;
   Slot& s = slots_[static_cast<size_t>(p)];
-  uint64_t fail_at = s.fail_at.load(std::memory_order_relaxed);
+  uint64_t fail_at = s.fail_at.load(std::memory_order_acquire);
   if (fail_at == 0) return false;
-  uint64_t h = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t h = s.hits.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (h != fail_at) return false;
-  // One-shot: the armed failure fires exactly once, then self-disarms.
+  // One-shot: claim the trigger with a CAS so exactly one thread fires per
+  // Arm(). The previous Disarm()-based path raced concurrent callers — a
+  // re-Arm() between the counter check and the disarm could be wiped out
+  // and armed_count_ double-decremented. If the CAS loses (another thread
+  // fired, or a Disarm/Arm replaced the trigger), this hit is an ordinary
+  // non-fault hit.
+  if (!s.fail_at.compare_exchange_strong(fail_at, 0,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    return false;
+  }
+  armed_count_.fetch_sub(1, std::memory_order_release);
   s.trips.fetch_add(1, std::memory_order_relaxed);
-  Disarm(p);
   return true;
 }
 

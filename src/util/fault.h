@@ -25,9 +25,17 @@ std::string_view FaultPointName(FaultPoint p);
 /// Deterministic fault-injection registry (process-wide singleton). Tests
 /// Arm() a point to fail on the Nth hit after arming; the armed failure is
 /// one-shot — it fires exactly once, then the point disarms itself, so a
-/// test observes precisely one injected fault per Arm(). Hits are counted
-/// only while a point is armed, keeping the unarmed fast path to a single
-/// relaxed atomic load.
+/// test observes precisely one injected fault per Arm().
+///
+/// Single-fire semantics under concurrency: Hit() may be called from any
+/// number of threads (every query's ScanGuard ticks through it). The Nth
+/// hit is claimed with a compare-exchange on the trigger, so exactly one
+/// thread fires per Arm() no matter how many race past the counter — the
+/// loser threads observe an ordinary non-fault hit. Arm()/Disarm() are
+/// test-thread operations: arm before starting concurrent work (arming
+/// while hits are in flight counts hits from both armings against the new
+/// trigger). hits() may overcount by in-flight callers that loaded the
+/// trigger just before it self-disarmed; trips() is exact.
 class FaultInjector {
  public:
   static FaultInjector& Instance();

@@ -1,0 +1,217 @@
+// StatsCache unit suite: sharded LRU semantics (eviction order per shard,
+// capacity accounting across shards) and counter correctness, including
+// under concurrent hammering. The engine-level cache behaviour (cache hits
+// during Search, invalidation on append) lives in engine_extras_test.cc
+// and incremental_test.cc.
+
+#include "engine/stats_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace csr {
+namespace {
+
+CollectionStats StatsWithCardinality(uint64_t c) {
+  CollectionStats s;
+  s.cardinality = c;
+  return s;
+}
+
+TEST(StatsCacheTest, HitAfterPut) {
+  StatsCache cache(4);
+  TermIdSet ctx = {1, 2};
+  std::vector<TermId> kws = {10};
+  EXPECT_FALSE(cache.Get(ctx, kws).has_value());
+  cache.Put(ctx, kws, StatsWithCardinality(99));
+  std::optional<CollectionStats> hit = cache.Get(ctx, kws);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cardinality, 99u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(StatsCacheTest, ContextKeywordBoundaryUnambiguous) {
+  StatsCache cache(4);
+  cache.Put(TermIdSet{1}, std::vector<TermId>{2}, StatsWithCardinality(1));
+  cache.Put(TermIdSet{1, 2}, std::vector<TermId>{}, StatsWithCardinality(2));
+  EXPECT_EQ(cache.Get(TermIdSet{1}, std::vector<TermId>{2})->cardinality,
+            1u);
+  EXPECT_EQ(cache.Get(TermIdSet{1, 2}, std::vector<TermId>{})->cardinality,
+            2u);
+}
+
+TEST(StatsCacheTest, ZeroCapacityDisabled) {
+  StatsCache cache(0);
+  cache.Put(TermIdSet{1}, {}, StatsWithCardinality(1));
+  EXPECT_FALSE(cache.Get(TermIdSet{1}, {}).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// LRU order within a shard: forced to one shard so the eviction order is
+// fully deterministic.
+TEST(StatsCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  StatsCache cache(2, /*num_shards=*/1);
+  ASSERT_EQ(cache.num_shards(), 1u);
+  cache.Put(TermIdSet{1}, {}, StatsWithCardinality(1));
+  cache.Put(TermIdSet{2}, {}, StatsWithCardinality(2));
+  EXPECT_TRUE(cache.Get(TermIdSet{1}, {}).has_value());  // 1 most recent
+  cache.Put(TermIdSet{3}, {}, StatsWithCardinality(3));  // evicts 2
+  EXPECT_TRUE(cache.Get(TermIdSet{1}, {}).has_value());
+  EXPECT_FALSE(cache.Get(TermIdSet{2}, {}).has_value());
+  EXPECT_TRUE(cache.Get(TermIdSet{3}, {}).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(StatsCacheTest, EvictionOrderSurvivesPutRefresh) {
+  StatsCache cache(2, /*num_shards=*/1);
+  cache.Put(TermIdSet{1}, {}, StatsWithCardinality(1));
+  cache.Put(TermIdSet{2}, {}, StatsWithCardinality(2));
+  // Re-Put of key 1 refreshes it to most-recent without growing the shard.
+  cache.Put(TermIdSet{1}, {}, StatsWithCardinality(11));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put(TermIdSet{3}, {}, StatsWithCardinality(3));  // evicts 2, not 1
+  EXPECT_EQ(cache.Get(TermIdSet{1}, {})->cardinality, 11u);
+  EXPECT_FALSE(cache.Get(TermIdSet{2}, {}).has_value());
+}
+
+TEST(StatsCacheTest, CapacityAccountingAcrossShards) {
+  StatsCache cache(8, /*num_shards=*/4);
+  ASSERT_EQ(cache.num_shards(), 4u);
+  // Shard capacities partition the total.
+  size_t cap_sum = 0;
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    EXPECT_EQ(cache.shard_capacity(s), 2u);
+    cap_sum += cache.shard_capacity(s);
+  }
+  EXPECT_EQ(cap_sum, cache.capacity());
+
+  // Saturate every shard: with 256 distinct keys each shard sees far more
+  // keys than its capacity, so each ends exactly full.
+  for (TermId k = 0; k < 256; ++k) {
+    cache.Put(TermIdSet{k}, {}, StatsWithCardinality(k));
+  }
+  EXPECT_EQ(cache.size(), cache.capacity());
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    EXPECT_EQ(cache.shard_size(s), cache.shard_capacity(s)) << "shard " << s;
+  }
+  // Every insert beyond a shard's capacity evicted exactly one entry.
+  EXPECT_EQ(cache.evictions(), 256u - cache.capacity());
+}
+
+TEST(StatsCacheTest, UnevenCapacitySpreadsRemainder) {
+  StatsCache cache(5, /*num_shards=*/4);
+  size_t cap_sum = 0;
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    cap_sum += cache.shard_capacity(s);
+    EXPECT_LE(cache.shard_capacity(s), 2u);
+  }
+  EXPECT_EQ(cap_sum, 5u);
+  for (TermId k = 0; k < 200; ++k) {
+    cache.Put(TermIdSet{k}, {}, StatsWithCardinality(k));
+  }
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(StatsCacheTest, AutoShardCountClampedByCapacity) {
+  EXPECT_EQ(StatsCache(2).num_shards(), 2u);   // no empty shards
+  EXPECT_EQ(StatsCache(64).num_shards(), StatsCache::kDefaultShards);
+  EXPECT_EQ(StatsCache(0).num_shards(), 1u);   // disabled but well-formed
+}
+
+TEST(StatsCacheTest, ClearResetsEntriesAndCounters) {
+  StatsCache cache(4, 2);
+  cache.Put(TermIdSet{1}, {}, StatsWithCardinality(1));
+  cache.Get(TermIdSet{1}, {});
+  cache.Get(TermIdSet{9}, {});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_FALSE(cache.Get(TermIdSet{1}, {}).has_value());
+}
+
+// Counter exactness under concurrent hits: every Get is tallied under the
+// shard mutex, so hits + misses must equal the number of Get calls even
+// when 8 threads hammer overlapping keys.
+TEST(StatsCacheTest, CountersExactUnderConcurrentHits) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kGetsPerThread = 2000;
+  constexpr TermId kPresent = 16;  // keys [0, 16) cached, [16, 32) absent
+
+  StatsCache cache(64, 8);
+  for (TermId k = 0; k < kPresent; ++k) {
+    cache.Put(TermIdSet{k}, {}, StatsWithCardinality(k + 1));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (size_t i = 0; i < kGetsPerThread; ++i) {
+        // Even iterations hit, odd iterations miss; per-thread offset
+        // spreads the traffic over all shards.
+        TermId k = static_cast<TermId>((i + t) % kPresent);
+        if (i % 2 == 1) k += kPresent;  // absent range
+        std::optional<CollectionStats> got = cache.Get(TermIdSet{k}, {});
+        if (k < kPresent) {
+          // Cached entries are never evicted here (capacity 64 > 16 keys),
+          // so present keys always hit — and with the right payload.
+          ASSERT_TRUE(got.has_value());
+          ASSERT_EQ(got->cardinality, k + 1u);
+        } else {
+          ASSERT_FALSE(got.has_value());
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  uint64_t total_gets = kThreads * kGetsPerThread;
+  EXPECT_EQ(cache.hits(), total_gets / 2);
+  EXPECT_EQ(cache.misses(), total_gets / 2);
+  EXPECT_EQ(cache.hits() + cache.misses(), total_gets);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+// Eviction-churn stress: capacity far below the working set, concurrent
+// Put+Get. Verifies no lost capacity accounting and that any value read is
+// coherent (the payload always matches its key).
+TEST(StatsCacheTest, ConcurrentPutGetChurnStaysWithinCapacity) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 1500;
+  constexpr TermId kKeySpace = 64;
+
+  StatsCache cache(8, 4);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        TermId k = static_cast<TermId>((i * 7 + t * 13) % kKeySpace);
+        if ((i + t) % 3 == 0) {
+          cache.Put(TermIdSet{k}, {}, StatsWithCardinality(k * 100 + 7));
+        } else {
+          std::optional<CollectionStats> got = cache.Get(TermIdSet{k}, {});
+          if (got.has_value()) {
+            ASSERT_EQ(got->cardinality, k * 100u + 7u) << "torn read";
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_LE(cache.size(), cache.capacity());
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    EXPECT_LE(cache.shard_size(s), cache.shard_capacity(s));
+  }
+  EXPECT_GT(cache.evictions(), 0u) << "churn workload never evicted";
+}
+
+}  // namespace
+}  // namespace csr
