@@ -4,20 +4,33 @@
 // Shape to verify: when one list is orders of magnitude shorter, the
 // skip-based join touches ~|L_short| segments (cost ~ |L_short| * M0),
 // far below |L_1| + |L_2|; when lists are comparably dense, skips cannot
-// help and the join degrades to a full merge.
+// help and the join degrades to a full merge. Galloping SkipTo beats a
+// linear merge by orders of magnitude on skewed pairs and loses nothing
+// on balanced ones; the same leapfrog join over compressed cursors stays
+// competitive because block skips avoid decoding untouched blocks.
+//
+// `--json <path>` writes a machine-readable summary of these shapes.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
+#include "index/codec.h"
 #include "index/intersection.h"
+#include "index/posting_cursor.h"
 #include "index/posting_list.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace {
 
+using csr::CompressedPostingList;
 using csr::CostCounters;
 using csr::DocId;
+using csr::PostingCursor;
 using csr::PostingList;
 
 PostingList MakeUniformList(uint32_t universe, uint32_t stride,
@@ -108,6 +121,160 @@ void BM_KWayConjunction(benchmark::State& state) {
 }
 BENCHMARK(BM_KWayConjunction)->DenseRange(2, 6)->Unit(benchmark::kMicrosecond);
 
+/// Linear two-pointer merge with Next() only — the baseline galloping
+/// SkipTo replaces. Works over any pair of cursors.
+uint64_t LinearMergeCount(PostingCursor a, PostingCursor b) {
+  uint64_t count = 0;
+  while (!a.AtEnd() && !b.AtEnd()) {
+    if (a.doc() == b.doc()) {
+      ++count;
+      a.Next();
+      b.Next();
+    } else if (a.doc() < b.doc()) {
+      a.Next();
+    } else {
+      b.Next();
+    }
+  }
+  return count;
+}
+
+uint64_t GallopCount(PostingCursor a, PostingCursor b) {
+  std::vector<PostingCursor> cursors;
+  cursors.push_back(std::move(a));
+  cursors.push_back(std::move(b));
+  return csr::CountIntersection(std::move(cursors));
+}
+
+/// Galloping SkipTo vs linear merge, uncompressed and compressed cursors.
+/// Args: {strategy (0=linear, 1=gallop), compressed, long-to-short ratio}.
+void BM_GallopVsLinear(benchmark::State& state) {
+  const uint32_t kUniverse = 1 << 21;
+  bool gallop = state.range(0) != 0;
+  bool compressed = state.range(1) != 0;
+  uint32_t ratio = static_cast<uint32_t>(state.range(2));
+  PostingList long_list = MakeUniformList(kUniverse, 2, 128);
+  PostingList short_list = MakeUniformList(kUniverse, 2 * ratio, 128);
+  CompressedPostingList clong, cshort;
+  if (compressed) {
+    clong = CompressedPostingList::FromPostingList(long_list, 128);
+    cshort = CompressedPostingList::FromPostingList(short_list, 128);
+  }
+  uint64_t result = 0;
+  for (auto _ : state) {
+    PostingCursor a = compressed ? PostingCursor(&clong, nullptr)
+                                 : PostingCursor(&long_list, nullptr);
+    PostingCursor b = compressed ? PostingCursor(&cshort, nullptr)
+                                 : PostingCursor(&short_list, nullptr);
+    result = gallop ? GallopCount(std::move(a), std::move(b))
+                    : LinearMergeCount(std::move(a), std::move(b));
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result"] = static_cast<double>(result);
+}
+BENCHMARK(BM_GallopVsLinear)
+    ->ArgsProduct({{0, 1}, {0, 1}, {1, 256, 4096}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// k-way leapfrog over mixed representations: uncompressed driver with
+/// compressed followers, as the engine serves after partial compaction.
+void BM_MixedConjunction(benchmark::State& state) {
+  const uint32_t kUniverse = 1 << 20;
+  uint32_t k = static_cast<uint32_t>(state.range(0));
+  std::vector<PostingList> lists;
+  std::vector<CompressedPostingList> clists;
+  for (uint32_t i = 0; i < k; ++i) {
+    lists.push_back(MakeUniformList(kUniverse, 2 + i, 128));
+  }
+  for (uint32_t i = 1; i < k; ++i) {
+    clists.push_back(CompressedPostingList::FromPostingList(lists[i], 128));
+  }
+  for (auto _ : state) {
+    std::vector<PostingCursor> cursors;
+    cursors.emplace_back(&lists[0], nullptr);
+    for (auto& cl : clists) cursors.emplace_back(&cl, nullptr);
+    benchmark::DoNotOptimize(csr::CountIntersection(std::move(cursors)));
+  }
+}
+BENCHMARK(BM_MixedConjunction)->DenseRange(2, 5)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Deterministic --json report.
+
+template <typename Fn>
+double MeasureQps(Fn&& fn) {
+  fn();
+  csr::WallTimer timer;
+  uint64_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedSeconds() < 0.3);
+  return static_cast<double>(iters) / timer.ElapsedSeconds();
+}
+
+void WriteJsonReport(const std::string& path) {
+  const uint32_t kUniverse = 1 << 21;
+  PostingList long_list = MakeUniformList(kUniverse, 2, 128);
+  PostingList short_list = MakeUniformList(kUniverse, 2 * 256, 128);
+  CompressedPostingList clong =
+      CompressedPostingList::FromPostingList(long_list, 128);
+  CompressedPostingList cshort =
+      CompressedPostingList::FromPostingList(short_list, 128);
+
+  csr::bench::JsonWriter j;
+  j.Open();
+  j.Field("bench", std::string("bench_ablation_intersection"));
+  j.Field("long_size", static_cast<uint64_t>(long_list.size()));
+  j.Field("short_size", static_cast<uint64_t>(short_list.size()));
+
+  j.OpenObject("skewed_256x");
+  j.Field("linear_uncompressed_qps", MeasureQps([&] {
+            LinearMergeCount(PostingCursor(&long_list, nullptr),
+                             PostingCursor(&short_list, nullptr));
+          }));
+  j.Field("gallop_uncompressed_qps", MeasureQps([&] {
+            GallopCount(PostingCursor(&long_list, nullptr),
+                        PostingCursor(&short_list, nullptr));
+          }));
+  j.Field("linear_compressed_qps", MeasureQps([&] {
+            LinearMergeCount(PostingCursor(&clong, nullptr),
+                             PostingCursor(&cshort, nullptr));
+          }));
+  j.Field("gallop_compressed_qps", MeasureQps([&] {
+            GallopCount(PostingCursor(&clong, nullptr),
+                        PostingCursor(&cshort, nullptr));
+          }));
+  CostCounters cost;
+  uint64_t result = GallopCount(PostingCursor(&clong, &cost),
+                                PostingCursor(&cshort, &cost));
+  j.Field("result", result);
+  j.Field("blocks_skipped", cost.blocks_skipped);
+  j.Field("bytes_touched", cost.bytes_touched);
+  j.Field("compressed_bytes_total",
+          static_cast<uint64_t>(clong.MemoryBytes() + cshort.MemoryBytes()));
+  j.CloseObject();
+  j.Close();
+
+  if (csr::Status s = j.WriteFile(path); !s.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "# wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = csr::bench::TakeJsonFlag(&argc, argv);
+  if (json_path.empty()) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  WriteJsonReport(json_path);
+  return 0;
+}

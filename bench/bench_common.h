@@ -5,12 +5,92 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "corpus/generator.h"
 #include "engine/engine.h"
 #include "util/timer.h"
 
 namespace csr::bench {
+
+/// Strips `--json <path>` from argv (for mains that hand the rest to the
+/// benchmark library) and returns the path, or "" when absent.
+inline std::string TakeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+/// Minimal flat-ish JSON emitter for machine-readable bench reports
+/// (BENCH_*.json): objects of string/number/bool fields plus nested
+/// objects, enough for the report shapes the benches emit.
+class JsonWriter {
+ public:
+  void Open() { Append("{"); }
+  void Close() {
+    buf_ += "\n}\n";
+    depth_ = 0;
+  }
+  void OpenObject(const std::string& key) {
+    Append("\"" + key + "\": {");
+  }
+  void CloseObject() {
+    depth_--;
+    buf_ += "\n" + std::string(static_cast<size_t>(depth_) * 2, ' ') + "}";
+    first_ = false;
+  }
+  void Field(const std::string& key, double v) {
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.6g", v);
+    AppendField(key, num);
+  }
+  void Field(const std::string& key, uint64_t v) {
+    AppendField(key, std::to_string(v));
+  }
+  void Field(const std::string& key, bool v) {
+    AppendField(key, v ? "true" : "false");
+  }
+  void Field(const std::string& key, const std::string& v) {
+    AppendField(key, "\"" + v + "\"");
+  }
+
+  Status WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return Status::Internal("cannot open " + path);
+    std::fwrite(buf_.data(), 1, buf_.size(), f);
+    std::fclose(f);
+    return Status::OK();
+  }
+  const std::string& str() const { return buf_; }
+
+ private:
+  void Append(const std::string& s) {
+    if (!first_ && !buf_.empty() && buf_.back() != '{') buf_ += ",";
+    buf_ += "\n" + std::string(static_cast<size_t>(depth_) * 2, ' ') + s;
+    depth_++;
+    first_ = true;
+  }
+  void AppendField(const std::string& key, const std::string& value) {
+    if (!first_) buf_ += ",";
+    buf_ += "\n" + std::string(static_cast<size_t>(depth_) * 2, ' ') + "\"" +
+            key + "\": " + value;
+    first_ = false;
+  }
+
+  std::string buf_;
+  int depth_ = 0;
+  bool first_ = true;
+};
 
 /// Shared experiment scale. Override with CSR_BENCH_DOCS=<n> in the
 /// environment; the default is large enough to show the paper's

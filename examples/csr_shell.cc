@@ -12,7 +12,9 @@
 //   .pool <n>                     route queries through an n-thread
 //                                 QueryExecutor (0 disables the pool)
 //   .save <dir> / .load <dir>     snapshot the engine / restore it
-//   .stats                        engine statistics (incl. pool metrics)
+//   .index compact                compress the inverted indexes + views
+//   .stats                        engine statistics (incl. index memory
+//                                 and pool metrics)
 //   .quit
 //
 // Blank lines and lines starting with '#' are ignored.
@@ -162,6 +164,25 @@ int main(int argc, char** argv) {
       std::printf("loaded (%zu views)\n", engine->catalog().size());
       continue;
     }
+    if (line == ".index compact") {
+      if (g_pool) {
+        // CompactIndexes requires exclusive access; drain the pool first.
+        g_pool.reset();
+        std::printf("pool disabled (index mutated; re-run .pool)\n");
+      }
+      uint64_t before = engine->content_index().MemoryBytes() +
+                        engine->predicate_index().MemoryBytes();
+      engine->CompactIndexes();
+      uint64_t after = engine->content_index().MemoryBytes() +
+                       engine->predicate_index().MemoryBytes();
+      std::printf("compacted: %s -> %s (%.2fx)\n",
+                  csr::FormatBytes(before).c_str(),
+                  csr::FormatBytes(after).c_str(),
+                  after > 0 ? static_cast<double>(before) /
+                                  static_cast<double>(after)
+                            : 0.0);
+      continue;
+    }
     if (line == ".stats") {
       std::printf("docs=%zu views=%zu view_storage=%s tracked=%zu "
                   "cache_hits=%llu\n",
@@ -171,6 +192,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       engine->stats_cache() ? engine->stats_cache()->hits()
                                             : 0));
+      uint64_t mem = engine->content_index().MemoryBytes() +
+                     engine->predicate_index().MemoryBytes();
+      uint64_t unc = engine->content_index().UncompressedMemoryBytes() +
+                     engine->predicate_index().UncompressedMemoryBytes();
+      std::printf("index: %s %s (uncompressed %s, ratio %.2fx)\n",
+                  engine->content_index().compressed() ? "compressed"
+                                                       : "uncompressed",
+                  csr::FormatBytes(mem).c_str(), csr::FormatBytes(unc).c_str(),
+                  mem > 0 ? static_cast<double>(unc) /
+                                static_cast<double>(mem)
+                          : 0.0);
       const csr::DegradationStats& d = engine->degradation();
       std::printf("degradation: quarantined=%llu fallbacks=%llu "
                   "deadline=%llu budget=%llu faults=%llu degraded=%llu\n",

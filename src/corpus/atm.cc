@@ -30,13 +30,13 @@ const TermIdSet& AtmMapper::MapKeyword(TermId w) const {
 
 TermIdSet AtmMapper::ComputeMapping(TermId w) const {
   TermIdSet mapped;
-  const PostingList* lw = content_index_->list(w);
-  if (lw != nullptr) {
+  PostingCursor lw = content_index_->cursor(w);
+  if (lw.valid()) {
     // Count annotation co-occurrences over a bounded prefix of L_w.
     std::unordered_map<TermId, uint32_t> counts;
-    size_t scan = std::min<size_t>(lw->size(), options_.max_scan);
-    for (size_t i = 0; i < scan; ++i) {
-      DocId d = lw->at(i).doc;
+    size_t scan = std::min<size_t>(lw.size(), options_.max_scan);
+    for (size_t i = 0; i < scan; ++i, lw.Next()) {
+      DocId d = lw.doc();
       for (TermId m : corpus_->docs[d].annotations) {
         if (corpus_->ontology.depth(m) < options_.min_depth) continue;
         counts[m]++;

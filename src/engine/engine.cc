@@ -53,6 +53,49 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Build(
   }
   engine->content_index_ = content_builder.Build();
   engine->predicate_index_ = predicate_builder.Build();
+  return Finish(std::move(engine));
+}
+
+Result<std::unique_ptr<ContextSearchEngine>>
+ContextSearchEngine::BuildWithIndexes(Corpus corpus, EngineConfig config,
+                                      InvertedIndex content_index,
+                                      InvertedIndex predicate_index) {
+  if (corpus.docs.empty()) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+  if (config.top_k == 0) {
+    return Status::InvalidArgument("top_k must be > 0");
+  }
+  if (content_index.num_docs() != corpus.docs.size() ||
+      predicate_index.num_docs() != corpus.docs.size()) {
+    return Status::InvalidArgument(
+        "indexes cover " + std::to_string(content_index.num_docs()) + "/" +
+        std::to_string(predicate_index.num_docs()) +
+        " documents but the corpus has " + std::to_string(corpus.docs.size()));
+  }
+  auto engine = std::unique_ptr<ContextSearchEngine>(new ContextSearchEngine());
+  engine->corpus_ = std::move(corpus);
+  engine->config_ = config;
+  engine->ranking_ = MakeRankingFunction(config.ranking);
+  if (engine->ranking_ == nullptr) {
+    return Status::InvalidArgument("unknown ranking function: " +
+                                   config.ranking);
+  }
+  if (engine->ranking_->NeedsTermCounts() && !config.track_tc) {
+    return Status::InvalidArgument(
+        "ranking function '" + config.ranking +
+        "' needs tc statistics; set EngineConfig::track_tc");
+  }
+  engine->content_index_ = std::move(content_index);
+  engine->predicate_index_ = std::move(predicate_index);
+  return Finish(std::move(engine));
+}
+
+Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Finish(
+    std::unique_ptr<ContextSearchEngine> engine) {
+  const EngineConfig& config = engine->config_;
+  if (config.compressed_postings) engine->CompactIndexes();
+
   engine->years_.reserve(engine->corpus_.docs.size());
   for (const Document& d : engine->corpus_.docs) {
     engine->years_.push_back(d.year);
@@ -80,16 +123,22 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Build(
   return engine;
 }
 
+void ContextSearchEngine::CompactIndexes() {
+  content_index_.Compact();
+  predicate_index_.Compact();
+  catalog_.CompactAll();
+}
+
 uint64_t ContextSearchEngine::ContextSize(
     std::span<const TermId> context) const {
-  std::vector<const PostingList*> lists;
-  lists.reserve(context.size());
+  std::vector<PostingCursor> cursors;
+  cursors.reserve(context.size());
   for (TermId m : context) {
-    const PostingList* l = predicate_index_.list(m);
-    if (l == nullptr) return 0;
-    lists.push_back(l);
+    PostingCursor c = predicate_index_.cursor(m);
+    if (!c.valid()) return 0;
+    cursors.push_back(std::move(c));
   }
-  return CountIntersection(lists);
+  return CountIntersection(std::move(cursors));
 }
 
 Status ContextSearchEngine::SelectAndMaterializeViews() {
@@ -123,6 +172,7 @@ Status ContextSearchEngine::MaterializeViews(std::vector<ViewDefinition> defs) {
   std::vector<MaterializedView> views = builder.BuildAll(defs);
   catalog_ = ViewCatalog();
   for (MaterializedView& v : views) catalog_.Add(std::move(v));
+  if (config_.compressed_postings) catalog_.CompactAll();
   return Status::OK();
 }
 
@@ -152,6 +202,10 @@ Status ContextSearchEngine::AppendDocuments(std::vector<Document> docs) {
   }
   content_index_ = content_builder.Build();
   predicate_index_ = predicate_builder.Build();
+  if (config_.compressed_postings) {
+    content_index_.Compact();
+    predicate_index_.Compact();
+  }
 
   years_.clear();
   years_.reserve(corpus_.docs.size());
@@ -178,6 +232,7 @@ Status ContextSearchEngine::AppendDocuments(std::vector<Document> docs) {
                         static_cast<uint32_t>(tracked_.size()));
     builder.UpdateAll(views, first_new);
     for (MaterializedView& v : views) catalog_.Add(std::move(v));
+    if (config_.compressed_postings) catalog_.CompactAll();
   }
   return Status::OK();
 }
@@ -191,6 +246,7 @@ Status ContextSearchEngine::InstallCatalog(
   }
   degradation_.views_quarantined += catalog.quarantined().size();
   catalog_ = std::move(catalog);
+  if (config_.compressed_postings) catalog_.CompactAll();
   return Status::OK();
 }
 
@@ -261,8 +317,8 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
   if (need_tc) stats.tc.resize(qstats.keywords.size(), 0);
 
   // Keywords without a parameter column (|L_w| < T_C) are computed at
-  // query time; their short lists make this cheap (Section 6.2).
-  std::vector<const PostingList*> lists;
+  // query time; their short lists make this cheap (Section 6.2). Cursors
+  // are single-pass, so each keyword's conjunction gets a fresh set.
   for (size_t i = 0; i < qstats.keywords.size(); ++i) {
     if (vr.covered[i]) {
       stats.df[i] = vr.df[i];
@@ -270,23 +326,22 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
       continue;
     }
     metrics.keywords_uncovered_by_view++;
-    const PostingList* lw = content_index_.list(qstats.keywords[i]);
-    if (lw == nullptr) continue;
-    lists.clear();
-    lists.push_back(lw);
+    std::vector<PostingCursor> cursors;
+    cursors.push_back(
+        content_index_.cursor(qstats.keywords[i], &metrics.cost));
+    if (!cursors.back().valid()) continue;
     bool ok = true;
     for (TermId m : query.context) {
-      const PostingList* l = predicate_index_.list(m);
-      if (l == nullptr) {
+      cursors.push_back(predicate_index_.cursor(m, &metrics.cost));
+      if (!cursors.back().valid()) {
         ok = false;
         break;
       }
-      lists.push_back(l);
     }
     if (!ok) continue;
     uint64_t df = 0;
     uint64_t tc = 0;
-    for (ConjunctionIterator it(lists, &metrics.cost, guard); !it.AtEnd();
+    for (ConjunctionIterator it(std::move(cursors), guard); !it.AtEnd();
          it.Next()) {
       if (!query.years.Contains(years_[it.doc()])) continue;
       ++df;
@@ -425,17 +480,15 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
   // all keyword and predicate lists, evaluated most-selective-first with
   // skips (identical across modes — only the statistics differ).
   WallTimer retrieval_timer;
-  std::vector<const PostingList*> lists;
+  std::vector<PostingCursor> cursors;
   bool empty_result = false;
   for (TermId w : qstats.keywords) {
-    const PostingList* l = content_index_.list(w);
-    if (l == nullptr) empty_result = true;
-    lists.push_back(l);
+    cursors.push_back(content_index_.cursor(w, &result.metrics.cost));
+    if (!cursors.back().valid()) empty_result = true;
   }
   for (TermId m : query.context) {
-    const PostingList* l = predicate_index_.list(m);
-    if (l == nullptr) empty_result = true;
-    lists.push_back(l);
+    cursors.push_back(predicate_index_.cursor(m, &result.metrics.cost));
+    if (!cursors.back().valid()) empty_result = true;
   }
 
   bool retrieval_aborted = false;
@@ -443,7 +496,7 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
     TopKCollector collector(config_.top_k);
     DocStats dstats;
     dstats.tf.resize(qstats.keywords.size());
-    ConjunctionIterator it(lists, &result.metrics.cost, &guard);
+    ConjunctionIterator it(std::move(cursors), &guard);
     for (; !it.AtEnd(); it.Next()) {
       if (!query.years.Contains(years_[it.doc()])) continue;
       result.result_count++;

@@ -33,6 +33,12 @@ struct EngineConfig {
   /// Skip-pointer segment size M0.
   uint32_t segment_size = 128;
 
+  /// Serve postings from the FOR/varint block-compressed representation.
+  /// Build() compacts both indexes before any query runs; snapshots then
+  /// persist the compressed bytes directly. Off reproduces the uncompressed
+  /// serving path (the differential tests prove identical results).
+  bool compressed_postings = true;
+
   /// T_C as a fraction of |D|.
   double context_threshold_fraction = 0.01;
 
@@ -125,6 +131,19 @@ class ContextSearchEngine {
   static Result<std::unique_ptr<ContextSearchEngine>> Build(
       Corpus corpus, EngineConfig config);
 
+  /// Builds an engine around already-constructed indexes (the snapshot load
+  /// path: compressed postings are installed directly, no decode-reencode
+  /// or rebuild). The indexes must cover exactly `corpus.docs`.
+  static Result<std::unique_ptr<ContextSearchEngine>> BuildWithIndexes(
+      Corpus corpus, EngineConfig config, InvertedIndex content_index,
+      InvertedIndex predicate_index);
+
+  /// Converts both inverted indexes and all materialized views to their
+  /// compressed representations. Idempotent; called by Build() when
+  /// EngineConfig::compressed_postings is set, and by the shell's
+  /// `.index compact`. Requires exclusive access (no Search in flight).
+  void CompactIndexes();
+
   /// Runs hybrid view selection (Section 5.3) and materializes the selected
   /// views. Idempotent: re-running replaces the catalog.
   Status SelectAndMaterializeViews();
@@ -194,6 +213,12 @@ class ContextSearchEngine {
 
  private:
   ContextSearchEngine() = default;
+
+  /// Shared tail of Build/BuildWithIndexes: everything after the indexes
+  /// exist (thresholds, tracked keywords, parameter table, ATM, cache), plus
+  /// the compaction pass when configured.
+  static Result<std::unique_ptr<ContextSearchEngine>> Finish(
+      std::unique_ptr<ContextSearchEngine> engine);
 
   CollectionStats ComputeContextStats(const ContextQuery& query,
                                       const QueryStats& qstats,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "engine/top_k.h"
+#include "index/posting_cursor.h"
 
 namespace csr {
 
@@ -11,12 +12,13 @@ namespace {
 
 struct TermState {
   size_t query_index;          // position in QueryStats::keywords
-  PostingList::Iterator iter;
+  PostingCursor iter;
   double idf_weight;           // tq * ln((|C|+1)/df)
   double upper_bound;          // idf_weight * max tf part / min norm
 };
 
 double TfPart(uint32_t tf) {
+  if (tf == 0) return 0.0;
   return 1.0 + std::log(1.0 + std::log(static_cast<double>(tf)));
 }
 
@@ -28,15 +30,15 @@ std::vector<TermState> BuildStates(const InvertedIndex& index,
                                    double pivot_s, CostCounters* cost) {
   std::vector<TermState> states;
   for (size_t i = 0; i < query.keywords.size(); ++i) {
-    const PostingList* list = index.list(query.keywords[i]);
-    if (list == nullptr || stats.df[i] == 0) continue;
+    PostingCursor cursor = index.cursor(query.keywords[i], cost);
+    if (!cursor.valid() || stats.df[i] == 0) continue;
     double idf = std::log(static_cast<double>(stats.cardinality + 1) /
                           static_cast<double>(stats.df[i]));
     double weight = static_cast<double>(query.tq[i]) * idf;
     // Most favourable length normalization: norm >= 1 - s for any len >= 0.
-    double ub = weight * TfPart(list->max_tf()) / (1.0 - pivot_s);
-    states.push_back(
-        TermState{i, list->MakeIterator(cost), weight, ub});
+    double ub = weight * TfPart(index.term_max_tf(query.keywords[i])) /
+                (1.0 - pivot_s);
+    states.push_back(TermState{i, std::move(cursor), weight, ub});
   }
   return states;
 }
@@ -90,7 +92,7 @@ TopKRunResult ExhaustiveOrTopK(const InvertedIndex& index,
 
 TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
                        const CollectionStats& stats, uint32_t k,
-                       double pivot_s) {
+                       double pivot_s, bool block_max) {
   TopKRunResult out;
   std::vector<TermState> states =
       BuildStates(index, query, stats, pivot_s, &out.cost);
@@ -130,10 +132,49 @@ TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
     DocId pivot_doc = order[pivot]->iter.doc();
 
     if (order[0]->iter.doc() == pivot_doc) {
-      // All lists up to the pivot sit on pivot_doc: score it fully.
+      // All prefix lists sit on pivot_doc. Block-max refinement: re-bound
+      // the prefix using the per-block max tf covering pivot_doc. Any
+      // document in [pivot_doc, block_end] scores at most the block bound
+      // sum against the prefix terms, and the suffix terms all sit at
+      // docids past the pivot — so if even the block bound cannot beat the
+      // threshold, the whole covered range is skipped without decoding.
+      if (block_max && threshold > 0) {
+        double block_acc = 0;
+        DocId block_end = kInvalidDocId;
+        bool bounded = true;
+        for (size_t i = 0; i <= pivot; ++i) {
+          DocId last_doc = 0;
+          uint32_t btf = 0;
+          if (!order[i]->iter.BlockBound(pivot_doc, &last_doc, &btf)) {
+            bounded = false;
+            break;
+          }
+          block_acc += order[i]->idf_weight * TfPart(btf) / (1.0 - pivot_s);
+          block_end = std::min(block_end, last_doc);
+        }
+        if (bounded && block_acc <= threshold) {
+          DocId next_doc = block_end == kInvalidDocId
+                               ? kInvalidDocId
+                               : block_end + 1;
+          if (pivot + 1 < order.size()) {
+            next_doc = std::min(next_doc, order[pivot + 1]->iter.doc());
+          }
+          if (next_doc > pivot_doc) {
+            out.blocks_skipped++;
+            out.docs_skipped += next_doc - pivot_doc;
+            for (size_t i = 0; i <= pivot; ++i) {
+              order[i]->iter.SkipTo(next_doc);
+            }
+            continue;
+          }
+        }
+      }
+      // Score pivot_doc fully.
       matching.clear();
       for (TermState* t : order) {
-        if (t->iter.doc() == pivot_doc) matching.push_back(t);
+        if (!t->iter.AtEnd() && t->iter.doc() == pivot_doc) {
+          matching.push_back(t);
+        }
       }
       double score = ScoreDoc(matching, index.doc_length(pivot_doc), avgdl,
                               pivot_s);
@@ -151,7 +192,7 @@ TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
       }
       if (heap_scores.size() == k) threshold = heap_scores.front();
       for (TermState* t : order) {
-        if (t->iter.doc() == pivot_doc) t->iter.Next();
+        if (!t->iter.AtEnd() && t->iter.doc() == pivot_doc) t->iter.Next();
       }
     } else {
       // Advance the highest-bound list strictly before the pivot doc to

@@ -16,7 +16,11 @@ namespace csr {
 ///  - ExhaustiveOrTopK: document-at-a-time union, scores every matching
 ///    document.
 ///  - WandTopK: the WAND pruning strategy — per-term score upper bounds
-///    let the driver skip documents that cannot enter the top K.
+///    let the driver skip documents that cannot enter the top K. With
+///    block-max enabled (the default), the per-block max tf recorded in
+///    the posting skip metadata refines the pivot's bound: when even the
+///    blocks covering the pivot cannot beat the heap threshold, the whole
+///    block range is skipped without decoding it (Block-Max WAND).
 ///
 /// Both return identical rankings; WAND just scores fewer documents.
 ///
@@ -32,6 +36,7 @@ struct TopKRunResult {
   std::vector<SearchResultEntry> top_docs;
   uint64_t docs_scored = 0;    // full scoring computations
   uint64_t docs_skipped = 0;   // docs bypassed by the pruning bound
+  uint64_t blocks_skipped = 0; // block ranges bypassed by block-max bounds
   CostCounters cost;
 };
 
@@ -44,9 +49,11 @@ TopKRunResult ExhaustiveOrTopK(const InvertedIndex& index,
 /// WAND: maintains per-term upper bounds (max-tf term part × idf × tq,
 /// with the most favourable length normalization) and fully scores only
 /// pivot documents whose bound sum reaches the current top-K threshold.
+/// `block_max` toggles the block-max refinement (off reproduces classic
+/// WAND, for the ablation bench).
 TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
                        const CollectionStats& stats, uint32_t k,
-                       double pivot_s = 0.2);
+                       double pivot_s = 0.2, bool block_max = true);
 
 }  // namespace csr
 

@@ -1,6 +1,8 @@
 #include "index/codec.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 namespace csr {
 
@@ -38,11 +40,12 @@ void PostingBlockCodec::Encode(std::span<const Posting> postings, DocId base,
   for (const Posting& p : postings) PutVarint32(out, p.tf);
 }
 
-Status PostingBlockCodec::Decode(std::string_view in, DocId base,
-                                 size_t count, std::vector<Posting>& out) {
-  out.clear();
-  out.reserve(count);
-  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data());
+Status PostingBlockCodec::DecodeDocs(std::string_view in, DocId base,
+                                     size_t count, std::vector<DocId>& docs,
+                                     size_t* tf_offset) {
+  docs.resize(count);
+  const uint8_t* start = reinterpret_cast<const uint8_t*>(in.data());
+  const uint8_t* p = start;
   const uint8_t* end = p + in.size();
   DocId prev = base;
   bool first = true;
@@ -55,41 +58,408 @@ Status PostingBlockCodec::Decode(std::string_view in, DocId base,
     }
     prev += delta;
     first = false;
-    out.push_back(Posting{prev, 0});
+    docs[i] = prev;
   }
+  *tf_offset = static_cast<size_t>(p - start);
+  return Status::OK();
+}
+
+Status PostingBlockCodec::DecodeTfs(std::string_view in, size_t tf_offset,
+                                    size_t count,
+                                    std::vector<uint32_t>& tfs) {
+  if (tf_offset > in.size()) {
+    return Status::OutOfRange("truncated tf section");
+  }
+  tfs.resize(count);
+  const uint8_t* p =
+      reinterpret_cast<const uint8_t*>(in.data()) + tf_offset;
+  const uint8_t* end = reinterpret_cast<const uint8_t*>(in.data()) + in.size();
   for (size_t i = 0; i < count; ++i) {
-    uint32_t tf;
-    p = GetVarint32(p, end, &tf);
+    p = GetVarint32(p, end, &tfs[i]);
     if (p == nullptr) return Status::OutOfRange("truncated tf section");
-    out[i].tf = tf;
   }
   return Status::OK();
 }
 
-CompressedPostingList CompressedPostingList::FromPostingList(
-    const PostingList& list, uint32_t block_size) {
+Status PostingBlockCodec::Decode(std::string_view in, DocId base,
+                                 size_t count, std::vector<Posting>& out) {
+  std::vector<DocId> docs;
+  std::vector<uint32_t> tfs;
+  size_t tf_offset = 0;
+  CSR_RETURN_NOT_OK(DecodeDocs(in, base, count, docs, &tf_offset));
+  CSR_RETURN_NOT_OK(DecodeTfs(in, tf_offset, count, tfs));
+  out.resize(count);
+  for (size_t i = 0; i < count; ++i) out[i] = Posting{docs[i], tfs[i]};
+  return Status::OK();
+}
+
+namespace {
+
+inline uint32_t BitsNeeded(uint32_t v) {
+  return v == 0 ? 0 : 32 - static_cast<uint32_t>(std::countl_zero(v));
+}
+
+inline size_t PackedBytes(size_t count, uint32_t bits) {
+  return (count * bits + 7) / 8;
+}
+
+/// Computes the per-value maximum bit widths of a block without building
+/// the delta array. First delta is doc0 - base; later deltas are stored
+/// minus 1 (consecutive docids pack to width 0).
+void ForWidths(std::span<const Posting> postings, DocId base,
+               uint32_t* doc_bits, uint32_t* tf_bits) {
+  uint32_t db = 0, tb = 0;
+  DocId prev = base;
+  bool first = true;
+  for (const Posting& p : postings) {
+    uint32_t delta = first ? p.doc - prev : p.doc - prev - 1;
+    db = std::max(db, BitsNeeded(delta));
+    tb = std::max(tb, BitsNeeded(p.tf));
+    prev = p.doc;
+    first = false;
+  }
+  *doc_bits = db;
+  *tf_bits = tb;
+}
+
+}  // namespace
+
+void ForBlockCodec::PackBits(const uint32_t* values, size_t count,
+                             uint32_t bits, std::string& out) {
+  if (bits == 0) return;
+  uint64_t acc = 0;
+  uint32_t acc_bits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    acc |= static_cast<uint64_t>(values[i]) << acc_bits;
+    acc_bits += bits;
+    while (acc_bits >= 8) {
+      out.push_back(static_cast<char>(acc & 0xFF));
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out.push_back(static_cast<char>(acc & 0xFF));
+}
+
+Status ForBlockCodec::UnpackBits(const uint8_t* p, size_t avail,
+                                 size_t count, uint32_t bits,
+                                 uint32_t* out) {
+  if (bits == 0) {
+    std::fill(out, out + count, 0u);
+    return Status::OK();
+  }
+  if (bits > 32) return Status::InvalidArgument("bit width > 32");
+  if (PackedBytes(count, bits) > avail) {
+    return Status::OutOfRange("truncated bit-packed section");
+  }
+  // Scalar unpack: a 64-bit accumulator, refilled a 32-bit word at a time
+  // on little-endian targets (bytewise near the end of the buffer and on
+  // big-endian ones). acc_bits stays < 32 before a refill and <= 63 after,
+  // so no value straddles the accumulator. The loop shape is the scalar
+  // form of SIMD unpack kernels. Values are extracted low-bits-first, so
+  // a refill that pulls in bytes past the packed section (but within
+  // `avail`) never contaminates the decoded values.
+  const uint64_t mask = bits == 32 ? ~0ull >> 32 : (1ull << bits) - 1;
+  const uint8_t* hard_end = p + avail;
+  uint64_t acc = 0;
+  uint32_t acc_bits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (acc_bits < bits) {
+      if constexpr (std::endian::native == std::endian::little) {
+        if (hard_end - p >= 4) {
+          uint32_t word;
+          std::memcpy(&word, p, sizeof(word));
+          acc |= static_cast<uint64_t>(word) << acc_bits;
+          p += 4;
+          acc_bits += 32;
+        }
+      }
+      while (acc_bits < bits) {
+        acc |= static_cast<uint64_t>(*p++) << acc_bits;
+        acc_bits += 8;
+      }
+    }
+    out[i] = static_cast<uint32_t>(acc & mask);
+    acc >>= bits;
+    acc_bits -= bits;
+  }
+  return Status::OK();
+}
+
+void ForBlockCodec::Encode(std::span<const Posting> postings, DocId base,
+                           std::string& out) {
+  uint32_t doc_bits = 0, tf_bits = 0;
+  ForWidths(postings, base, &doc_bits, &tf_bits);
+  out.push_back(static_cast<char>(doc_bits));
+  out.push_back(static_cast<char>(tf_bits));
+
+  std::vector<uint32_t> scratch(postings.size());
+  DocId prev = base;
+  bool first = true;
+  for (size_t i = 0; i < postings.size(); ++i) {
+    scratch[i] = first ? postings[i].doc - prev : postings[i].doc - prev - 1;
+    prev = postings[i].doc;
+    first = false;
+  }
+  PackBits(scratch.data(), scratch.size(), doc_bits, out);
+  for (size_t i = 0; i < postings.size(); ++i) scratch[i] = postings[i].tf;
+  PackBits(scratch.data(), scratch.size(), tf_bits, out);
+}
+
+size_t ForBlockCodec::EncodedSize(std::span<const Posting> postings,
+                                  DocId base) {
+  uint32_t doc_bits = 0, tf_bits = 0;
+  ForWidths(postings, base, &doc_bits, &tf_bits);
+  return 2 + PackedBytes(postings.size(), doc_bits) +
+         PackedBytes(postings.size(), tf_bits);
+}
+
+Status ForBlockCodec::DecodeDocs(std::string_view in, DocId base,
+                                 size_t count, std::vector<DocId>& docs,
+                                 size_t* tf_offset) {
+  if (in.size() < 2) return Status::OutOfRange("truncated FOR header");
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data());
+  uint32_t doc_bits = p[0];
+  uint32_t tf_bits = p[1];
+  if (doc_bits > 32 || tf_bits > 32) {
+    return Status::InvalidArgument("corrupt FOR bit width");
+  }
+  size_t doc_bytes = PackedBytes(count, doc_bits);
+  size_t tf_bytes = PackedBytes(count, tf_bits);
+  if (in.size() < 2 + doc_bytes + tf_bytes) {
+    return Status::OutOfRange("truncated FOR block");
+  }
+
+  // Unpack the deltas directly into the output, then prefix-sum in place.
+  // Monotonicity means overflow anywhere implies overflow of the final
+  // docid, so one check at the end suffices.
+  docs.resize(count);
+  CSR_RETURN_NOT_OK(UnpackBits(p + 2, doc_bytes, count, doc_bits,
+                               docs.data()));
+  uint64_t prev = base;
+  for (size_t i = 0; i < count; ++i) {
+    prev += i == 0 ? static_cast<uint64_t>(docs[i])
+                   : static_cast<uint64_t>(docs[i]) + 1;
+    docs[i] = static_cast<DocId>(prev);
+  }
+  if (count > 0 && prev > kInvalidDocId - 1) {
+    return Status::InvalidArgument("docid overflow in FOR block");
+  }
+  *tf_offset = 2 + doc_bytes;
+  return Status::OK();
+}
+
+Status ForBlockCodec::DecodeTfs(std::string_view in, size_t tf_offset,
+                                size_t count, std::vector<uint32_t>& tfs) {
+  if (in.size() < 2 || tf_offset > in.size()) {
+    return Status::OutOfRange("truncated FOR block");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data());
+  uint32_t tf_bits = p[1];
+  if (tf_bits > 32) return Status::InvalidArgument("corrupt FOR bit width");
+  size_t tf_bytes = PackedBytes(count, tf_bits);
+  if (in.size() < tf_offset + tf_bytes) {
+    return Status::OutOfRange("truncated FOR block");
+  }
+  tfs.resize(count);
+  return UnpackBits(p + tf_offset, tf_bytes, count, tf_bits, tfs.data());
+}
+
+Status ForBlockCodec::Decode(std::string_view in, DocId base, size_t count,
+                             std::vector<Posting>& out) {
+  std::vector<DocId> docs;
+  std::vector<uint32_t> tfs;
+  size_t tf_offset = 0;
+  CSR_RETURN_NOT_OK(DecodeDocs(in, base, count, docs, &tf_offset));
+  CSR_RETURN_NOT_OK(DecodeTfs(in, tf_offset, count, tfs));
+  out.resize(count);
+  for (size_t i = 0; i < count; ++i) out[i] = Posting{docs[i], tfs[i]};
+  return Status::OK();
+}
+
+namespace {
+
+/// Encodes one block with a leading codec tag, picking the smaller
+/// encoding under kAuto (the auto-selection rule: FOR's size is computed
+/// analytically, varint's by encoding into scratch).
+void EncodeTaggedBlock(std::span<const Posting> block, DocId base,
+                       CodecPolicy policy, std::string& out,
+                       std::string& scratch) {
+  bool use_for;
+  switch (policy) {
+    case CodecPolicy::kVarintOnly:
+      use_for = false;
+      break;
+    case CodecPolicy::kForOnly:
+      use_for = true;
+      break;
+    case CodecPolicy::kAuto:
+    default: {
+      scratch.clear();
+      PostingBlockCodec::Encode(block, base, scratch);
+      use_for = ForBlockCodec::EncodedSize(block, base) < scratch.size();
+      break;
+    }
+  }
+  if (use_for) {
+    out.push_back(static_cast<char>(BlockCodec::kFor));
+    ForBlockCodec::Encode(block, base, out);
+  } else {
+    out.push_back(static_cast<char>(BlockCodec::kVarint));
+    if (policy == CodecPolicy::kAuto) {
+      out.append(scratch);  // already encoded by the size probe
+    } else {
+      PostingBlockCodec::Encode(block, base, out);
+    }
+  }
+}
+
+/// Decodes a tagged block. Typed errors on unknown tags or corrupt bodies.
+Status DecodeTaggedBlock(std::string_view in, DocId base, size_t count,
+                         std::vector<Posting>& out) {
+  if (in.empty()) return Status::OutOfRange("empty posting block");
+  auto tag = static_cast<uint8_t>(in[0]);
+  std::string_view body = in.substr(1);
+  switch (static_cast<BlockCodec>(tag)) {
+    case BlockCodec::kVarint:
+      return PostingBlockCodec::Decode(body, base, count, out);
+    case BlockCodec::kFor:
+      return ForBlockCodec::Decode(body, base, count, out);
+  }
+  return Status::InvalidArgument("unknown posting block codec tag");
+}
+
+/// Split-decode variants for the iterator's lazy-tf path. `tf_offset` is
+/// relative to the block body (after the tag byte).
+Status DecodeTaggedDocs(std::string_view in, DocId base, size_t count,
+                        std::vector<DocId>& docs, size_t* tf_offset) {
+  if (in.empty()) return Status::OutOfRange("empty posting block");
+  auto tag = static_cast<uint8_t>(in[0]);
+  std::string_view body = in.substr(1);
+  switch (static_cast<BlockCodec>(tag)) {
+    case BlockCodec::kVarint:
+      return PostingBlockCodec::DecodeDocs(body, base, count, docs,
+                                           tf_offset);
+    case BlockCodec::kFor:
+      return ForBlockCodec::DecodeDocs(body, base, count, docs, tf_offset);
+  }
+  return Status::InvalidArgument("unknown posting block codec tag");
+}
+
+Status DecodeTaggedTfs(std::string_view in, size_t tf_offset, size_t count,
+                       std::vector<uint32_t>& tfs) {
+  if (in.empty()) return Status::OutOfRange("empty posting block");
+  auto tag = static_cast<uint8_t>(in[0]);
+  std::string_view body = in.substr(1);
+  switch (static_cast<BlockCodec>(tag)) {
+    case BlockCodec::kVarint:
+      return PostingBlockCodec::DecodeTfs(body, tf_offset, count, tfs);
+    case BlockCodec::kFor:
+      return ForBlockCodec::DecodeTfs(body, tf_offset, count, tfs);
+  }
+  return Status::InvalidArgument("unknown posting block codec tag");
+}
+
+}  // namespace
+
+CompressedPostingList CompressedPostingList::FromPostings(
+    std::span<const Posting> postings, uint32_t block_size,
+    CodecPolicy policy) {
   CompressedPostingList out;
   out.block_size_ = block_size == 0 ? kDefaultBlockSize : block_size;
-  out.num_postings_ = list.size();
+  out.num_postings_ = postings.size();
 
-  std::vector<Posting> block;
-  block.reserve(out.block_size_);
+  std::string scratch;
   DocId base = 0;
-  for (size_t i = 0; i < list.size(); i += out.block_size_) {
-    size_t n = std::min<size_t>(out.block_size_, list.size() - i);
-    block.clear();
-    for (size_t j = 0; j < n; ++j) block.push_back(list.at(i + j));
+  for (size_t i = 0; i < postings.size(); i += out.block_size_) {
+    size_t n = std::min<size_t>(out.block_size_, postings.size() - i);
+    std::span<const Posting> block = postings.subspan(i, n);
 
     BlockMeta meta;
     meta.base = base;
     meta.max_doc = block.back().doc;
     meta.offset = static_cast<uint32_t>(out.bytes_.size());
     meta.count = static_cast<uint32_t>(n);
-    PostingBlockCodec::Encode(block, base, out.bytes_);
+    meta.max_tf = 0;
+    for (const Posting& p : block) {
+      meta.max_tf = std::max(meta.max_tf, p.tf);
+      out.total_tf_ += p.tf;
+    }
+    out.max_tf_ = std::max(out.max_tf_, meta.max_tf);
+    EncodeTaggedBlock(block, base, policy, out.bytes_, scratch);
     out.blocks_.push_back(meta);
     base = meta.max_doc;
   }
   return out;
+}
+
+CompressedPostingList CompressedPostingList::FromPostingList(
+    const PostingList& list, uint32_t block_size, CodecPolicy policy) {
+  std::vector<Posting> postings;
+  postings.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) postings.push_back(list.at(i));
+  return FromPostings(postings, block_size, policy);
+}
+
+Result<CompressedPostingList> CompressedPostingList::FromParts(Parts parts) {
+  CompressedPostingList out;
+  out.block_size_ = parts.block_size == 0 ? kDefaultBlockSize
+                                          : parts.block_size;
+  out.num_postings_ = parts.num_postings;
+  out.total_tf_ = parts.total_tf;
+  out.max_tf_ = parts.max_tf;
+  out.bytes_ = std::move(parts.bytes);
+  out.blocks_ = std::move(parts.blocks);
+
+  uint64_t counted = 0;
+  for (size_t b = 0; b < out.blocks_.size(); ++b) {
+    const BlockMeta& m = out.blocks_[b];
+    if (m.count == 0 || m.count > out.block_size_) {
+      return Status::InvalidArgument("corrupt block count");
+    }
+    if (m.offset >= out.bytes_.size()) {
+      return Status::InvalidArgument("block offset beyond encoded bytes");
+    }
+    if (b == 0) {
+      if (m.offset != 0 || m.base != 0) {
+        return Status::InvalidArgument("corrupt first block metadata");
+      }
+    } else {
+      const BlockMeta& prev = out.blocks_[b - 1];
+      if (m.offset <= prev.offset || m.base != prev.max_doc ||
+          m.max_doc <= prev.max_doc) {
+        return Status::InvalidArgument("non-monotone block metadata");
+      }
+    }
+    if (m.max_tf > out.max_tf_) {
+      return Status::InvalidArgument("block max_tf exceeds list max_tf");
+    }
+    counted += m.count;
+  }
+  if (counted != out.num_postings_) {
+    return Status::InvalidArgument("block counts disagree with list size");
+  }
+  if (out.blocks_.empty() != (out.num_postings_ == 0)) {
+    return Status::InvalidArgument("block directory / size mismatch");
+  }
+  return out;
+}
+
+bool CompressedPostingList::BlockBound(DocId target, size_t hint,
+                                       DocId* block_last_doc,
+                                       uint32_t* block_max_tf) const {
+  size_t b = std::min(hint, blocks_.size());
+  if (b >= blocks_.size()) return false;
+  if (blocks_[b].max_doc < target) {
+    auto it = std::lower_bound(
+        blocks_.begin() + b + 1, blocks_.end(), target,
+        [](const BlockMeta& m, DocId t) { return m.max_doc < t; });
+    if (it == blocks_.end()) return false;
+    b = static_cast<size_t>(it - blocks_.begin());
+  }
+  *block_last_doc = blocks_[b].max_doc;
+  *block_max_tf = blocks_[b].max_tf;
+  return true;
 }
 
 std::vector<Posting> CompressedPostingList::Decode() const {
@@ -102,7 +472,7 @@ std::vector<Posting> CompressedPostingList::Decode() const {
                                           : bytes_.size();
     std::string_view raw(bytes_.data() + meta.offset, end - meta.offset);
     // Corruption is impossible for self-built lists; assert via ok().
-    Status s = PostingBlockCodec::Decode(raw, meta.base, meta.count, block);
+    Status s = DecodeTaggedBlock(raw, meta.base, meta.count, block);
     if (!s.ok()) return all;
     all.insert(all.end(), block.begin(), block.end());
   }
@@ -119,23 +489,58 @@ CompressedPostingList::Iterator::Iterator(const CompressedPostingList* list,
   LoadBlock(0);
 }
 
-void CompressedPostingList::Iterator::LoadBlock(size_t block) {
-  block_ = block;
-  pos_ = 0;
+std::string_view CompressedPostingList::Iterator::BlockBytes(
+    size_t block) const {
   const BlockMeta& meta = list_->blocks_[block];
   size_t end = (block + 1 < list_->blocks_.size())
                    ? list_->blocks_[block + 1].offset
                    : list_->bytes_.size();
-  std::string_view raw(list_->bytes_.data() + meta.offset,
-                       end - meta.offset);
-  PostingBlockCodec::Decode(raw, meta.base, meta.count, buffer_);
-  if (cost_ != nullptr) cost_->segments_touched++;
+  return std::string_view(list_->bytes_.data() + meta.offset,
+                          end - meta.offset);
+}
+
+void CompressedPostingList::Iterator::LoadBlock(size_t block) {
+  block_ = block;
+  pos_ = 0;
+  tfs_loaded_ = false;
+  const BlockMeta& meta = list_->blocks_[block];
+  Status s = DecodeTaggedDocs(BlockBytes(block), meta.base, meta.count,
+                              docs_, &tf_offset_);
+  if (!s.ok() || docs_.empty()) {
+    // Defensive: self-built lists cannot hit this, and persisted lists are
+    // whole-file checksummed before they get here. Poison rather than UB.
+    docs_.clear();
+    at_end_ = true;
+    return;
+  }
+  if (cost_ != nullptr) {
+    cost_->segments_touched++;
+    cost_->bytes_touched += 1 + tf_offset_;  // tag + docid section
+  }
+}
+
+void CompressedPostingList::Iterator::LoadTfs() const {
+  tfs_loaded_ = true;
+  if (at_end_ || docs_.empty()) {
+    tfs_.clear();
+    return;
+  }
+  std::string_view raw = BlockBytes(block_);
+  Status s =
+      DecodeTaggedTfs(raw, tf_offset_, list_->blocks_[block_].count, tfs_);
+  if (!s.ok()) {
+    tfs_.clear();  // tf() degrades to 0; docids stay servable
+    return;
+  }
+  if (cost_ != nullptr) {
+    cost_->bytes_touched += raw.size() - (1 + tf_offset_);
+  }
 }
 
 void CompressedPostingList::Iterator::Next() {
   if (cost_ != nullptr) cost_->entries_scanned++;
   ++pos_;
-  if (pos_ >= buffer_.size()) {
+  if (pos_ >= docs_.size()) {
     if (block_ + 1 >= list_->blocks_.size()) {
       at_end_ = true;
       return;
@@ -146,32 +551,59 @@ void CompressedPostingList::Iterator::Next() {
 
 void CompressedPostingList::Iterator::SkipTo(DocId target) {
   if (at_end_) return;
-  if (buffer_[pos_].doc >= target) return;
+  if (docs_[pos_] >= target) return;
 
-  if (list_->blocks_[block_].max_doc < target) {
-    // Binary search the block whose max_doc >= target.
-    size_t lo = block_ + 1, hi = list_->blocks_.size();
-    while (lo < hi) {
-      size_t mid = (lo + hi) / 2;
-      if (list_->blocks_[mid].max_doc < target) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
+  const auto& blocks = list_->blocks_;
+  if (blocks[block_].max_doc < target) {
+    // Gallop over block metadata: exponential probes bracket the first
+    // block whose max_doc >= target, then binary search the bracket. The
+    // skipped blocks are never decoded.
+    size_t bound = 1;
+    while (block_ + bound < blocks.size() &&
+           blocks[block_ + bound].max_doc < target) {
+      bound <<= 1;
     }
-    if (lo >= list_->blocks_.size()) {
+    size_t lo = block_ + bound / 2 + 1;
+    size_t hi = std::min(block_ + bound + 1, blocks.size());
+    auto it = std::lower_bound(
+        blocks.begin() + lo, blocks.begin() + hi, target,
+        [](const BlockMeta& m, DocId t) { return m.max_doc < t; });
+    if (cost_ != nullptr) cost_->skips_taken++;
+    if (it == blocks.begin() + hi && hi == blocks.size()) {
       at_end_ = true;
-      if (cost_ != nullptr) cost_->skips_taken++;
       return;
     }
-    LoadBlock(lo);
-    if (cost_ != nullptr) cost_->skips_taken++;
+    size_t next = static_cast<size_t>(it - blocks.begin());
+    if (cost_ != nullptr) cost_->blocks_skipped += next - block_ - 1;
+    LoadBlock(next);
+    if (at_end_) return;  // poisoned by a decode failure
   }
-  while (pos_ < buffer_.size() && buffer_[pos_].doc < target) {
-    ++pos_;
+
+  if (docs_[pos_] >= target) {
     if (cost_ != nullptr) cost_->entries_scanned++;
+    return;
   }
-  // Within the located block max_doc >= target, so pos_ is in range.
+  // Gallop within the decoded buffer; docs_[pos_] < target and the
+  // located block's max_doc >= target guarantee a hit past pos_.
+  size_t bound = 1;
+  size_t probes = 1;
+  while (pos_ + bound < docs_.size() && docs_[pos_ + bound] < target) {
+    bound <<= 1;
+    ++probes;
+  }
+  size_t lo = pos_ + bound / 2 + 1;
+  size_t hi = std::min(pos_ + bound + 1, docs_.size());
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    ++probes;
+    if (docs_[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  pos_ = lo;
+  if (cost_ != nullptr) cost_->entries_scanned += probes;
 }
 
 uint64_t CountCompressedIntersection(const CompressedPostingList& a,

@@ -35,51 +35,164 @@ class PostingBlockCodec {
   /// InvalidArgument on corrupt (non-increasing) docids.
   static Status Decode(std::string_view in, DocId base, size_t count,
                        std::vector<Posting>& out);
+
+  /// Decodes only the docid section (what intersections touch); sets
+  /// *tf_offset to the byte offset of the tf section for DecodeTfs.
+  static Status DecodeDocs(std::string_view in, DocId base, size_t count,
+                           std::vector<DocId>& docs, size_t* tf_offset);
+  static Status DecodeTfs(std::string_view in, size_t tf_offset, size_t count,
+                          std::vector<uint32_t>& tfs);
 };
 
+/// Frame-of-Reference block codec: every docid delta (first delta = doc0 -
+/// base, then doc[i] - doc[i-1] - 1) and every tf is stored at the block's
+/// maximum bit width, so decoding is a branch-light fixed-width unpack —
+/// the layout SIMD bit-unpacking kernels assume, implemented here with a
+/// portable scalar kernel.
+///
+/// Block layout:
+///   u8  doc_bits   (0..32; bit width of the docid deltas)
+///   u8  tf_bits    (0..32; bit width of the tfs)
+///   ceil(count * doc_bits / 8) bytes of LSB-first packed deltas
+///   ceil(count * tf_bits / 8)  bytes of LSB-first packed tfs
+class ForBlockCodec {
+ public:
+  static void Encode(std::span<const Posting> postings, DocId base,
+                     std::string& out);
+
+  /// Decodes exactly `count` postings. OutOfRange on truncation,
+  /// InvalidArgument on corrupt widths or docid overflow. Never reads
+  /// outside `in`.
+  static Status Decode(std::string_view in, DocId base, size_t count,
+                       std::vector<Posting>& out);
+
+  /// Split decode (see PostingBlockCodec): docids only, then tfs on
+  /// demand. The fixed widths make the tf offset analytic — 2 header
+  /// bytes plus the packed docid section.
+  static Status DecodeDocs(std::string_view in, DocId base, size_t count,
+                           std::vector<DocId>& docs, size_t* tf_offset);
+  static Status DecodeTfs(std::string_view in, size_t tf_offset, size_t count,
+                          std::vector<uint32_t>& tfs);
+
+  /// Exact encoded size in bytes, without encoding (auto-selection probe).
+  static size_t EncodedSize(std::span<const Posting> postings, DocId base);
+
+  /// Fixed-width kernels, exposed for tests and benches. PackBits appends
+  /// `count` values at `bits` width (LSB-first) to out; UnpackBits reads
+  /// them back, returning OutOfRange when `avail` bytes cannot hold them.
+  static void PackBits(const uint32_t* values, size_t count, uint32_t bits,
+                       std::string& out);
+  static Status UnpackBits(const uint8_t* p, size_t avail, size_t count,
+                           uint32_t bits, uint32_t* out);
+};
+
+/// Per-block codec tag (first byte of every encoded block).
+enum class BlockCodec : uint8_t { kVarint = 0, kFor = 1 };
+
+/// How blocks pick their codec. kAuto takes whichever encoding is smaller
+/// per block; the forced policies exist for the codec ablation bench.
+enum class CodecPolicy { kAuto, kVarintOnly, kForOnly };
+
 /// An immutable, block-compressed posting list with a per-block skip
-/// table. Functionally equivalent to PostingList (same iterator contract,
-/// including SkipTo), at a fraction of the memory; the ablation bench
-/// bench_ablation_codec quantifies both sides of the trade.
+/// table carrying block-max metadata (max docid AND max tf per block, the
+/// block-max WAND structure). Functionally equivalent to PostingList (same
+/// iterator contract, including SkipTo), at a fraction of the memory; the
+/// ablation bench bench_ablation_codec quantifies both sides of the trade.
 class CompressedPostingList {
  public:
   static constexpr uint32_t kDefaultBlockSize = 128;
 
+  struct BlockMeta {
+    DocId max_doc;        // largest docid in the block
+    DocId base;           // docid base for delta decoding
+    uint32_t offset;      // byte offset into bytes_ (tag byte included)
+    uint32_t count;       // postings in the block
+    uint32_t max_tf;      // largest tf in the block (block-max WAND)
+  };
+
   /// Compresses an existing in-memory list.
-  static CompressedPostingList FromPostingList(const PostingList& list,
-                                               uint32_t block_size =
-                                                   kDefaultBlockSize);
+  static CompressedPostingList FromPostingList(
+      const PostingList& list, uint32_t block_size = kDefaultBlockSize,
+      CodecPolicy policy = CodecPolicy::kAuto);
+
+  /// Compresses a raw sorted posting span (snapshot tooling, tests).
+  static CompressedPostingList FromPostings(
+      std::span<const Posting> postings,
+      uint32_t block_size = kDefaultBlockSize,
+      CodecPolicy policy = CodecPolicy::kAuto);
+
+  /// Reassembles a list from persisted parts WITHOUT re-encoding (the
+  /// snapshot load path). Validates the block metadata invariants
+  /// (monotone offsets and docids, counts summing to num_postings);
+  /// corrupt metadata is InvalidArgument.
+  struct Parts {
+    uint32_t block_size = kDefaultBlockSize;
+    uint64_t num_postings = 0;
+    uint64_t total_tf = 0;
+    uint32_t max_tf = 0;
+    std::string bytes;
+    std::vector<BlockMeta> blocks;
+  };
+  static Result<CompressedPostingList> FromParts(Parts parts);
 
   size_t size() const { return num_postings_; }
   bool empty() const { return num_postings_ == 0; }
   uint32_t block_size() const { return block_size_; }
+  uint64_t total_tf() const { return total_tf_; }
+  uint32_t max_tf() const { return max_tf_; }
+
+  size_t num_blocks() const { return blocks_.size(); }
+  std::span<const BlockMeta> blocks() const { return blocks_; }
+  /// Raw encoded bytes (serialized verbatim by the snapshot writer).
+  const std::string& raw_bytes() const { return bytes_; }
 
   uint64_t MemoryBytes() const {
     return bytes_.size() + blocks_.size() * sizeof(BlockMeta);
   }
 
+  /// Block-max probe: finds the block holding the first posting with
+  /// docid >= target (searching forward from block `hint`) and reports its
+  /// last docid and max tf WITHOUT decoding it. Returns false when every
+  /// remaining posting is < target.
+  bool BlockBound(DocId target, size_t hint, DocId* block_last_doc,
+                  uint32_t* block_max_tf) const;
+
   /// Decompresses the whole list (mainly for tests / rebuilds).
   std::vector<Posting> Decode() const;
 
-  /// Iterator decoding one block at a time, with skip support mirroring
-  /// PostingList::Iterator.
+  /// Iterator decoding one block at a time, with galloping skip support
+  /// mirroring PostingList::Iterator. Only the docid section is decoded on
+  /// block load; the tf section is decoded lazily on the first tf() call
+  /// into the block, so intersections (which never read tfs) pay for
+  /// exactly the bytes they touch. Charges cost per posting probed, per
+  /// section decoded (segments_touched + bytes_touched), and per
+  /// cross-block jump (skips_taken).
   class Iterator {
    public:
     Iterator(const CompressedPostingList* list, CostCounters* cost);
 
     bool AtEnd() const { return at_end_; }
-    DocId doc() const { return buffer_[pos_].doc; }
-    uint32_t tf() const { return buffer_[pos_].tf; }
+    DocId doc() const { return docs_[pos_]; }
+    uint32_t tf() const {
+      if (!tfs_loaded_) LoadTfs();
+      return pos_ < tfs_.size() ? tfs_[pos_] : 0;
+    }
+    size_t block() const { return block_; }
 
     void Next();
     void SkipTo(DocId target);
 
    private:
     void LoadBlock(size_t block);
+    void LoadTfs() const;
+    std::string_view BlockBytes(size_t block) const;
 
     const CompressedPostingList* list_;
     CostCounters* cost_;
-    std::vector<Posting> buffer_;  // decoded current block
+    std::vector<DocId> docs_;  // decoded docids of the current block
+    mutable std::vector<uint32_t> tfs_;
+    mutable bool tfs_loaded_ = false;
+    size_t tf_offset_ = 0;  // tf section offset within the block body
     size_t block_ = 0;
     size_t pos_ = 0;
     bool at_end_ = false;
@@ -90,15 +203,10 @@ class CompressedPostingList {
   }
 
  private:
-  struct BlockMeta {
-    DocId max_doc;        // largest docid in the block
-    DocId base;           // docid base for delta decoding
-    uint32_t offset;      // byte offset into bytes_
-    uint32_t count;       // postings in the block
-  };
-
   uint32_t block_size_ = kDefaultBlockSize;
   size_t num_postings_ = 0;
+  uint64_t total_tf_ = 0;
+  uint32_t max_tf_ = 0;
   std::string bytes_;
   std::vector<BlockMeta> blocks_;
 };

@@ -21,6 +21,12 @@ struct CostCounters {
   uint64_t skips_taken = 0;
   uint64_t aggregation_entries = 0;
   uint64_t view_tuples_scanned = 0;
+  /// Whole blocks bypassed without decoding: block-max WAND pruning plus
+  /// compressed SkipTo jumps that never materialize the skipped blocks.
+  uint64_t blocks_skipped = 0;
+  /// Encoded bytes actually decoded (compressed serving only). The working
+  /// -set metric the compression is meant to shrink.
+  uint64_t bytes_touched = 0;
 
   void Reset() { *this = CostCounters(); }
 
@@ -30,6 +36,8 @@ struct CostCounters {
     skips_taken += o.skips_taken;
     aggregation_entries += o.aggregation_entries;
     view_tuples_scanned += o.view_tuples_scanned;
+    blocks_skipped += o.blocks_skipped;
+    bytes_touched += o.bytes_touched;
     return *this;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace csr {
 
@@ -9,26 +10,39 @@ ConjunctionIterator::ConjunctionIterator(
     std::span<const PostingList* const> lists, CostCounters* cost,
     ScanGuard* guard)
     : guard_(guard) {
-  if (lists.empty()) {
+  std::vector<PostingCursor> cursors;
+  cursors.reserve(lists.size());
+  for (const PostingList* l : lists) cursors.emplace_back(l, cost);
+  Init(std::move(cursors));
+}
+
+ConjunctionIterator::ConjunctionIterator(std::vector<PostingCursor> cursors,
+                                         ScanGuard* guard)
+    : guard_(guard) {
+  Init(std::move(cursors));
+}
+
+void ConjunctionIterator::Init(std::vector<PostingCursor> cursors) {
+  if (cursors.empty()) {
     at_end_ = true;
     return;
   }
-  for (const PostingList* l : lists) {
-    if (l == nullptr || l->empty()) {
+  for (const PostingCursor& c : cursors) {
+    if (!c.valid()) {
       at_end_ = true;
       return;
     }
   }
   // Sort list order by length ascending so the shortest list drives.
-  std::vector<size_t> order(lists.size());
+  std::vector<size_t> order(cursors.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return lists[a]->size() < lists[b]->size();
+    return cursors[a].size() < cursors[b].size();
   });
-  order_inverse_.resize(lists.size());
-  iters_.reserve(lists.size());
+  order_inverse_.resize(cursors.size());
+  iters_.reserve(cursors.size());
   for (size_t k = 0; k < order.size(); ++k) {
-    iters_.push_back(lists[order[k]]->MakeIterator(cost));
+    iters_.push_back(std::move(cursors[order[k]]));
     order_inverse_[order[k]] = k;
   }
   FindNextMatch();
@@ -92,12 +106,36 @@ uint64_t CountIntersection(std::span<const PostingList* const> lists,
   return n;
 }
 
+uint64_t CountIntersection(std::vector<PostingCursor> cursors,
+                           ScanGuard* guard) {
+  uint64_t n = 0;
+  for (ConjunctionIterator it(std::move(cursors), guard); !it.AtEnd();
+       it.Next()) {
+    ++n;
+  }
+  return n;
+}
+
 AggregationResult IntersectAndAggregate(
     std::span<const PostingList* const> lists,
     std::span<const uint32_t> doc_lengths, CostCounters* cost,
     ScanGuard* guard) {
   AggregationResult agg;
   for (ConjunctionIterator it(lists, cost, guard); !it.AtEnd(); it.Next()) {
+    agg.count++;
+    agg.sum_len += doc_lengths[it.doc()];
+    if (cost != nullptr) cost->aggregation_entries++;
+  }
+  return agg;
+}
+
+AggregationResult IntersectAndAggregate(
+    std::vector<PostingCursor> cursors,
+    std::span<const uint32_t> doc_lengths, CostCounters* cost,
+    ScanGuard* guard) {
+  AggregationResult agg;
+  for (ConjunctionIterator it(std::move(cursors), guard); !it.AtEnd();
+       it.Next()) {
     agg.count++;
     agg.sum_len += doc_lengths[it.doc()];
     if (cost != nullptr) cost->aggregation_entries++;

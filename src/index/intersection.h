@@ -7,16 +7,21 @@
 #include <vector>
 
 #include "index/cost_model.h"
+#include "index/posting_cursor.h"
 #include "index/posting_list.h"
 #include "index/scan_guard.h"
 #include "util/types.h"
 
 namespace csr {
 
-/// k-way conjunction over posting lists using skip-based leapfrog joins.
-/// Lists are visited most-selective (shortest) first, so the driver list
-/// bounds the number of probes — the optimization the paper relies on for
-/// conventional query evaluation (Section 3.2.2).
+/// k-way conjunction over posting cursors using skip-based leapfrog joins
+/// with galloping SkipTo. Lists are visited most-selective (shortest)
+/// first, so the driver list bounds the number of probes — the
+/// optimization the paper relies on for conventional query evaluation
+/// (Section 3.2.2). Cursors type-erase the posting representation, so a
+/// conjunction can mix uncompressed PostingLists and block-compressed
+/// CompressedPostingLists freely; guard ticks and cost counters are
+/// charged identically either way.
 ///
 /// Usage:
 ///   ConjunctionIterator it(lists, &cost);
@@ -34,6 +39,11 @@ class ConjunctionIterator {
                       CostCounters* cost = nullptr,
                       ScanGuard* guard = nullptr);
 
+  /// Cursor form: cost counters are already bound inside each cursor. Any
+  /// invalid cursor (missing term) yields an exhausted iterator.
+  explicit ConjunctionIterator(std::vector<PostingCursor> cursors,
+                               ScanGuard* guard = nullptr);
+
   bool AtEnd() const { return at_end_; }
   DocId doc() const { return current_doc_; }
 
@@ -50,10 +60,11 @@ class ConjunctionIterator {
   void Next();
 
  private:
+  void Init(std::vector<PostingCursor> cursors);
   void FindNextMatch();
 
-  std::vector<PostingList::Iterator> iters_;  // sorted by list length
-  std::vector<size_t> order_inverse_;         // caller index -> iters_ index
+  std::vector<PostingCursor> iters_;   // sorted by list length
+  std::vector<size_t> order_inverse_;  // caller index -> iters_ index
   ScanGuard* guard_ = nullptr;
   DocId current_doc_ = kInvalidDocId;
   bool at_end_ = false;
@@ -68,6 +79,8 @@ std::vector<DocId> IntersectAll(std::span<const PostingList* const> lists,
 /// Returns |∩ lists| without materializing the result.
 uint64_t CountIntersection(std::span<const PostingList* const> lists,
                            CostCounters* cost = nullptr);
+uint64_t CountIntersection(std::vector<PostingCursor> cursors,
+                           ScanGuard* guard = nullptr);
 
 /// Result of the combined "intersection with aggregation" operator (∩γ in
 /// Figure 3): the context cardinality and the SUM over a per-document
@@ -83,6 +96,10 @@ struct AggregationResult {
 /// cost->aggregation_entries.
 AggregationResult IntersectAndAggregate(
     std::span<const PostingList* const> lists,
+    std::span<const uint32_t> doc_lengths, CostCounters* cost = nullptr,
+    ScanGuard* guard = nullptr);
+AggregationResult IntersectAndAggregate(
+    std::vector<PostingCursor> cursors,
     std::span<const uint32_t> doc_lengths, CostCounters* cost = nullptr,
     ScanGuard* guard = nullptr);
 

@@ -1,12 +1,56 @@
 #include "index/inverted_index.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace csr {
 
+void InvertedIndex::Compact(uint32_t block_size, CodecPolicy policy) {
+  if (compacted_) return;
+  clists_.reserve(lists_.size());
+  for (const PostingList& l : lists_) {
+    clists_.push_back(
+        CompressedPostingList::FromPostingList(l, block_size, policy));
+  }
+  lists_.clear();
+  lists_.shrink_to_fit();
+  compacted_ = true;
+}
+
+InvertedIndex InvertedIndex::FromCompressedParts(
+    std::vector<CompressedPostingList> lists,
+    std::vector<uint32_t> doc_lengths, uint64_t total_length) {
+  InvertedIndex index;
+  index.clists_ = std::move(lists);
+  index.doc_lengths_ = std::move(doc_lengths);
+  index.total_length_ = total_length;
+  index.compacted_ = true;
+  return index;
+}
+
 uint64_t InvertedIndex::MemoryBytes() const {
   uint64_t bytes = doc_lengths_.size() * sizeof(uint32_t);
-  for (const PostingList& l : lists_) bytes += l.MemoryBytes();
+  if (compacted_) {
+    for (const CompressedPostingList& l : clists_) bytes += l.MemoryBytes();
+  } else {
+    for (const PostingList& l : lists_) bytes += l.MemoryBytes();
+  }
+  return bytes;
+}
+
+uint64_t InvertedIndex::UncompressedMemoryBytes() const {
+  uint64_t bytes = doc_lengths_.size() * sizeof(uint32_t);
+  if (compacted_) {
+    // Model the pre-compaction layout: 8-byte postings plus one skip docid
+    // and one skip max-tf per block.
+    for (const CompressedPostingList& l : clists_) {
+      uint64_t blocks = l.num_blocks();
+      bytes += l.size() * sizeof(Posting) +
+               blocks * (sizeof(DocId) + sizeof(uint32_t));
+    }
+  } else {
+    for (const PostingList& l : lists_) bytes += l.MemoryBytes();
+  }
   return bytes;
 }
 

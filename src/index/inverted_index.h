@@ -6,15 +6,24 @@
 #include <span>
 #include <vector>
 
+#include "index/codec.h"
+#include "index/posting_cursor.h"
 #include "index/posting_list.h"
 #include "util/result.h"
 #include "util/types.h"
 
 namespace csr {
 
-/// An immutable inverted index over one field: TermId -> PostingList, plus
+/// An immutable inverted index over one field: TermId -> posting list, plus
 /// the per-document and whole-collection statistics that conventional
 /// ranking needs (Table 1): |D|, len(D), df(w, D), tc(w, D).
+///
+/// The index serves from one of two representations: uncompressed
+/// PostingLists (the build-time form) or, after Compact(), FOR/varint
+/// block-compressed lists with block-max metadata. All read paths go
+/// through cursor()/df()/tc()/term_max_tf(), which work identically on
+/// either representation; list() is the legacy uncompressed accessor and
+/// returns nullptr once the index is compacted.
 ///
 /// The engine maintains two of these: a content index (keywords in
 /// title/abstract) and a predicate index (ontology annotations used in
@@ -28,25 +37,65 @@ class InvertedIndex {
   InvertedIndex(InvertedIndex&&) = default;
   InvertedIndex& operator=(InvertedIndex&&) = default;
 
-  /// Returns the posting list for `t`, or nullptr if the term has no
-  /// postings (unknown id or empty list).
+  /// Converts every posting list to the block-compressed representation
+  /// and frees the uncompressed lists. Idempotent. `block_size` 0 means
+  /// CompressedPostingList::kDefaultBlockSize.
+  void Compact(uint32_t block_size = 0,
+               CodecPolicy policy = CodecPolicy::kAuto);
+
+  bool compressed() const { return compacted_; }
+
+  /// Assembles a compacted index directly from persisted compressed lists
+  /// (the snapshot load path; no decode-reencode round trip).
+  static InvertedIndex FromCompressedParts(
+      std::vector<CompressedPostingList> lists,
+      std::vector<uint32_t> doc_lengths, uint64_t total_length);
+
+  /// Returns the uncompressed posting list for `t`, or nullptr if the term
+  /// has no postings — or the index has been compacted (use cursor()).
   const PostingList* list(TermId t) const {
-    if (t >= lists_.size() || lists_[t].empty()) return nullptr;
+    if (compacted_ || t >= lists_.size() || lists_[t].empty()) return nullptr;
     return &lists_[t];
   }
 
-  size_t num_terms() const { return lists_.size(); }
+  /// The compressed posting list for `t`, or nullptr when the term has no
+  /// postings or the index is uncompacted.
+  const CompressedPostingList* clist(TermId t) const {
+    if (!compacted_ || t >= clists_.size() || clists_[t].empty()) {
+      return nullptr;
+    }
+    return &clists_[t];
+  }
+
+  /// A cursor over term t's postings in whichever representation the index
+  /// holds; invalid (cursor.valid() == false) when the term is absent.
+  PostingCursor cursor(TermId t, CostCounters* cost = nullptr) const {
+    if (compacted_) return PostingCursor(clist(t), cost);
+    return PostingCursor(list(t), cost);
+  }
+
+  size_t num_terms() const {
+    return compacted_ ? clists_.size() : lists_.size();
+  }
   uint64_t num_docs() const { return doc_lengths_.size(); }
   uint64_t total_length() const { return total_length_; }
 
   /// Document frequency df(w, D): number of documents containing w.
   uint64_t df(TermId t) const {
+    if (compacted_) return t < clists_.size() ? clists_[t].size() : 0;
     return t < lists_.size() ? lists_[t].size() : 0;
   }
 
   /// Collection term count tc(w, D): total occurrences of w in D.
   uint64_t tc(TermId t) const {
+    if (compacted_) return t < clists_.size() ? clists_[t].total_tf() : 0;
     return t < lists_.size() ? lists_[t].total_tf() : 0;
+  }
+
+  /// Largest tf of term t in any document; feeds WAND upper bounds.
+  uint32_t term_max_tf(TermId t) const {
+    if (compacted_) return t < clists_.size() ? clists_[t].max_tf() : 0;
+    return t < lists_.size() ? lists_[t].max_tf() : 0;
   }
 
   /// Length (token count) of document d.
@@ -62,10 +111,17 @@ class InvertedIndex {
 
   uint64_t MemoryBytes() const;
 
+  /// What the postings would occupy uncompressed (actual bytes before
+  /// Compact(), the modeled equivalent after); the numerator of the
+  /// compression ratio reported by .stats and the codec bench.
+  uint64_t UncompressedMemoryBytes() const;
+
  private:
   friend class IndexBuilder;
 
+  bool compacted_ = false;
   std::vector<PostingList> lists_;
+  std::vector<CompressedPostingList> clists_;
   std::vector<uint32_t> doc_lengths_;
   uint64_t total_length_ = 0;
 };

@@ -1,0 +1,98 @@
+#ifndef CSR_INDEX_POSTING_CURSOR_H_
+#define CSR_INDEX_POSTING_CURSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "index/codec.h"
+#include "index/cost_model.h"
+#include "index/posting_list.h"
+#include "util/types.h"
+
+namespace csr {
+
+/// A type-erased forward cursor over either posting representation —
+/// uncompressed PostingList or block-compressed CompressedPostingList —
+/// with the shared iterator contract (AtEnd/doc/tf/Next/SkipTo) plus the
+/// block-max probe WAND pruning needs. ConjunctionIterator and the engine
+/// serve exclusively through this type, so cost AND guard accounting are
+/// identical whichever representation backs a term: the guard ticks once
+/// per candidate advance in the conjunction regardless of codec (the
+/// historical bug was compressed lists bypassing ScanGuard entirely).
+///
+/// A default-constructed cursor is invalid (missing term); valid() must be
+/// checked before iterating. Cursors are single-pass: create a fresh one
+/// per scan.
+class PostingCursor {
+ public:
+  PostingCursor() = default;
+
+  PostingCursor(const PostingList* list, CostCounters* cost)
+      : plain_src_(list), size_(list == nullptr ? 0 : list->size()) {
+    if (size_ > 0) plain_.emplace(list->MakeIterator(cost));
+  }
+
+  PostingCursor(const CompressedPostingList* list, CostCounters* cost)
+      : packed_src_(list), size_(list == nullptr ? 0 : list->size()) {
+    if (size_ > 0) packed_.emplace(list->MakeIterator(cost));
+  }
+
+  /// False for a missing or empty term; such a cursor is immediately
+  /// AtEnd and must not be dereferenced.
+  bool valid() const { return size_ > 0; }
+  size_t size() const { return size_; }
+
+  bool AtEnd() const {
+    if (plain_) return plain_->AtEnd();
+    if (packed_) return packed_->AtEnd();
+    return true;
+  }
+  DocId doc() const { return plain_ ? plain_->doc() : packed_->doc(); }
+  uint32_t tf() const { return plain_ ? plain_->tf() : packed_->tf(); }
+
+  void Next() {
+    if (plain_) {
+      plain_->Next();
+    } else {
+      packed_->Next();
+    }
+  }
+
+  void SkipTo(DocId target) {
+    if (plain_) {
+      plain_->SkipTo(target);
+    } else {
+      packed_->SkipTo(target);
+    }
+  }
+
+  /// Block-max probe from the cursor's current block/segment: reports the
+  /// last docid and max tf of the block holding the first posting with
+  /// docid >= target, without decoding it. False when exhausted.
+  bool BlockBound(DocId target, DocId* block_last_doc,
+                  uint32_t* block_max_tf) const {
+    if (plain_) {
+      return plain_src_->SegmentBound(target, plain_->segment(),
+                                      block_last_doc, block_max_tf);
+    }
+    if (packed_) {
+      return packed_src_->BlockBound(target, packed_->block(),
+                                     block_last_doc, block_max_tf);
+    }
+    return false;
+  }
+
+ private:
+  // Exactly one iterator engaged for a valid cursor; the source pointers
+  // back the block-max probes (iterators do not expose their lists).
+  std::optional<PostingList::Iterator> plain_;
+  std::optional<CompressedPostingList::Iterator> packed_;
+  const PostingList* plain_src_ = nullptr;
+  const CompressedPostingList* packed_src_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace csr
+
+#endif  // CSR_INDEX_POSTING_CURSOR_H_

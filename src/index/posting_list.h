@@ -57,10 +57,19 @@ class PostingList {
   /// Largest tf in the list; feeds WAND score upper bounds.
   uint32_t max_tf() const { return max_tf_; }
 
-  /// Approximate in-memory footprint in bytes (postings + skip table).
+  /// Approximate in-memory footprint in bytes (postings + skip tables).
   uint64_t MemoryBytes() const {
-    return postings_.size() * sizeof(Posting) + skip_.size() * sizeof(DocId);
+    return postings_.size() * sizeof(Posting) +
+           skip_.size() * sizeof(DocId) +
+           skip_max_tf_.size() * sizeof(uint32_t);
   }
+
+  /// Block-max probe mirroring CompressedPostingList::BlockBound: finds
+  /// the segment holding the first posting with docid >= target (searching
+  /// forward from segment `hint`) and reports its last docid and max tf.
+  /// Returns false when every remaining posting is < target.
+  bool SegmentBound(DocId target, size_t hint, DocId* seg_last_doc,
+                    uint32_t* seg_max_tf) const;
 
   /// Forward iterator with skip support. Lifetime: must not outlive the
   /// list; the list must not be mutated during iteration.
@@ -75,12 +84,16 @@ class PostingList {
     DocId doc() const { return list_->postings_[pos_].doc; }
     uint32_t tf() const { return list_->postings_[pos_].tf; }
     size_t position() const { return pos_; }
+    size_t segment() const { return pos_ / list_->segment_size_; }
 
     /// Moves to the next posting.
     void Next();
 
-    /// Advances to the first posting with docid >= target, using the skip
-    /// table to jump over non-overlapping segments.
+    /// Advances to the first posting with docid >= target: a galloping
+    /// (exponential-probe) search over the skip table bounds the segment,
+    /// then a gallop + binary search inside it finds the posting — probes
+    /// are charged to entries_scanned, so the counters keep modeling work
+    /// actually done.
     void SkipTo(DocId target);
 
    private:
@@ -99,6 +112,7 @@ class PostingList {
   uint32_t segment_size_;
   std::vector<Posting> postings_;
   std::vector<DocId> skip_;  // skip_[k] = max docid in segment k
+  std::vector<uint32_t> skip_max_tf_;  // max tf in segment k (block-max)
   uint64_t total_tf_ = 0;
   uint32_t max_tf_ = 0;
   bool finished_ = false;

@@ -12,14 +12,14 @@ namespace csr {
 
 SupportFn MakeIndexSupportFn(const InvertedIndex& predicate_index) {
   return [&predicate_index](const TermIdSet& itemset) -> uint64_t {
-    std::vector<const PostingList*> lists;
-    lists.reserve(itemset.size());
+    std::vector<PostingCursor> cursors;
+    cursors.reserve(itemset.size());
     for (TermId m : itemset) {
-      const PostingList* l = predicate_index.list(m);
-      if (l == nullptr) return 0;
-      lists.push_back(l);
+      PostingCursor c = predicate_index.cursor(m);
+      if (!c.valid()) return 0;
+      cursors.push_back(std::move(c));
     }
-    return CountIntersection(lists);
+    return CountIntersection(std::move(cursors));
   };
 }
 

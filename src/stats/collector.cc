@@ -30,26 +30,31 @@ CollectionStats StraightforwardCollectionStats(
     return !range.active() || (d < years.size() && range.Contains(years[d]));
   };
 
-  // Context predicate lists. A missing list means an unsatisfiable context.
-  std::vector<const PostingList*> context_lists;
-  context_lists.reserve(context.size());
+  // Cursors are single-pass, so every conjunction below opens fresh ones.
+  // A missing context list means an unsatisfiable context.
   bool empty_context = false;
   for (TermId m : context) {
-    const PostingList* l = predicate_index.list(m);
-    if (l == nullptr) empty_context = true;
-    context_lists.push_back(l);
+    if (predicate_index.df(m) == 0) empty_context = true;
   }
+  auto context_cursors = [&]() {
+    std::vector<PostingCursor> cursors;
+    cursors.reserve(context.size());
+    for (TermId m : context) {
+      cursors.push_back(predicate_index.cursor(m, cost));
+    }
+    return cursors;
+  };
 
   if (!empty_context) {
     // γ_count and γ_sum(len) over L_m1 ∩ ... ∩ L_mc (Figure 3, bottom),
     // with the optional year predicate applied inside the aggregation.
     if (!range.active()) {
       AggregationResult agg = IntersectAndAggregate(
-          context_lists, content_index.doc_lengths(), cost, guard);
+          context_cursors(), content_index.doc_lengths(), cost, guard);
       stats.cardinality = agg.count;
       stats.total_length = agg.sum_len;
     } else {
-      for (ConjunctionIterator it(context_lists, cost, guard); !it.AtEnd();
+      for (ConjunctionIterator it(context_cursors(), guard); !it.AtEnd();
            it.Next()) {
         if (!year_ok(it.doc())) continue;
         stats.cardinality++;
@@ -62,20 +67,23 @@ CollectionStats StraightforwardCollectionStats(
   // df (and tc) per keyword: L_wi ∩ L_m1 ∩ ... ∩ L_mc.
   stats.df.reserve(keywords.size());
   if (compute_tc) stats.tc.reserve(keywords.size());
-  std::vector<const PostingList*> lists;
   for (TermId w : keywords) {
-    const PostingList* lw = content_index.list(w);
-    if (lw == nullptr || empty_context || stats.cardinality == 0) {
+    if (content_index.df(w) == 0 || empty_context ||
+        stats.cardinality == 0) {
       stats.df.push_back(0);
       if (compute_tc) stats.tc.push_back(0);
       continue;
     }
-    lists.clear();
-    lists.push_back(lw);
-    lists.insert(lists.end(), context_lists.begin(), context_lists.end());
+    std::vector<PostingCursor> cursors;
+    cursors.reserve(context.size() + 1);
+    cursors.push_back(content_index.cursor(w, cost));
+    for (TermId m : context) {
+      cursors.push_back(predicate_index.cursor(m, cost));
+    }
     uint64_t df = 0;
     uint64_t tc = 0;
-    for (ConjunctionIterator it(lists, cost, guard); !it.AtEnd(); it.Next()) {
+    for (ConjunctionIterator it(std::move(cursors), guard); !it.AtEnd();
+         it.Next()) {
       if (!year_ok(it.doc())) continue;
       ++df;
       if (compute_tc) tc += it.tf(0);  // tf in L_w (caller order index 0)

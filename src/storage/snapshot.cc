@@ -1,6 +1,7 @@
 #include "storage/snapshot.h"
 
 #include <cstdio>
+#include <span>
 #include <utility>
 
 #include "util/fault.h"
@@ -11,9 +12,11 @@ namespace {
 
 constexpr uint32_t kCorpusMagic = 0x43535243;    // "CSRC"
 constexpr uint32_t kViewsMagic = 0x43535256;     // "CSRV"
+constexpr uint32_t kPostingsMagic = 0x43535250;  // "CSRP"
 constexpr uint32_t kManifestMagic = 0x4353524D;  // "CSRM"
 constexpr uint32_t kCorpusVersion = 1;
 constexpr uint32_t kViewsVersion = 2;  // v2: per-view framing + directory
+constexpr uint32_t kPostingsVersion = 1;
 constexpr uint32_t kManifestVersion = 1;
 constexpr uint32_t kSnapshotFormatVersion = 2;
 
@@ -137,14 +140,33 @@ class ViewSerializer {
     w.PutU8(v.options_.track_tc);
     w.PutVarint(v.options_.year_bucket_size);
     w.PutU32(v.num_tracked_);
-    w.PutVarint(v.rows_.size());
-    for (const auto& [key, row] : v.rows_) {
+    w.PutVarint(v.NumTuples());
+    auto put_row = [&](const MaterializedView::TupleKey& key, uint64_t count,
+                       uint64_t sum_len, std::span<const uint32_t> df,
+                       std::span<const uint32_t> tc) {
       w.PutVarint(key.bucket);
       w.PutVarintVector(key.sig.raw_words());
-      w.PutVarint(row.count);
-      w.PutVarint(row.sum_len);
-      w.PutVarintVector(row.df);
-      w.PutVarintVector(row.tc);
+      w.PutVarint(count);
+      w.PutVarint(sum_len);
+      w.PutVarint(df.size());
+      for (uint32_t x : df) w.PutVarint(x);
+      w.PutVarint(tc.size());
+      for (uint32_t x : tc) w.PutVarint(x);
+    };
+    if (v.compacted_) {
+      const MaterializedView::FlatRows& f = v.flat_;
+      size_t stride = v.num_tracked_;
+      for (size_t r = 0; r < f.keys.size(); ++r) {
+        std::span<const uint32_t> df;
+        std::span<const uint32_t> tc;
+        if (!f.df.empty()) df = {f.df.data() + r * stride, stride};
+        if (!f.tc.empty()) tc = {f.tc.data() + r * stride, stride};
+        put_row(f.keys[r], f.counts[r], f.sum_lens[r], df, tc);
+      }
+    } else {
+      for (const auto& [key, row] : v.rows_) {
+        put_row(key, row.count, row.sum_len, row.df, row.tc);
+      }
     }
   }
 
@@ -325,6 +347,153 @@ Result<LoadedViews> LoadViews(const std::string& path) {
 
 namespace {
 
+/// One compressed index: collection stats, then per term the block
+/// metadata and the raw encoded block bytes, verbatim.
+void PutIndex(BinaryWriter& w, const InvertedIndex& index) {
+  w.PutVarint(index.total_length());
+  w.PutVarint(index.doc_lengths().size());
+  for (uint32_t len : index.doc_lengths()) w.PutVarint(len);
+  w.PutVarint(index.num_terms());
+  for (TermId t = 0; t < index.num_terms(); ++t) {
+    const CompressedPostingList* l = index.clist(t);
+    if (l == nullptr) {
+      w.PutVarint(0);
+      continue;
+    }
+    w.PutVarint(l->size());
+    w.PutVarint(l->block_size());
+    w.PutVarint(l->total_tf());
+    w.PutVarint(l->max_tf());
+    w.PutVarint(l->num_blocks());
+    for (const CompressedPostingList::BlockMeta& b : l->blocks()) {
+      w.PutVarint(b.max_doc);
+      w.PutVarint(b.base);
+      w.PutVarint(b.offset);
+      w.PutVarint(b.count);
+      w.PutVarint(b.max_tf);
+    }
+    w.PutString(l->raw_bytes());
+  }
+}
+
+Result<InvertedIndex> GetIndex(BinaryReader& r, uint64_t expected_docs) {
+  uint64_t total_length = 0;
+  CSR_RETURN_NOT_OK(r.GetVarint(&total_length));
+  uint64_t num_lengths = 0;
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_lengths));
+  if (num_lengths != expected_docs) {
+    return Status::InvalidArgument(
+        "postings snapshot covers " + std::to_string(num_lengths) +
+        " documents; corpus has " + std::to_string(expected_docs));
+  }
+  std::vector<uint32_t> doc_lengths;
+  doc_lengths.reserve(num_lengths);
+  for (uint64_t i = 0; i < num_lengths; ++i) {
+    uint64_t len = 0;
+    CSR_RETURN_NOT_OK(r.GetVarint(&len));
+    doc_lengths.push_back(static_cast<uint32_t>(len));
+  }
+
+  uint64_t num_terms = 0;
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_terms));
+  std::vector<CompressedPostingList> lists;
+  lists.reserve(num_terms);
+  for (uint64_t t = 0; t < num_terms; ++t) {
+    uint64_t num_postings = 0;
+    CSR_RETURN_NOT_OK(r.GetVarint(&num_postings));
+    if (num_postings == 0) {
+      lists.emplace_back();
+      continue;
+    }
+    CompressedPostingList::Parts parts;
+    parts.num_postings = num_postings;
+    uint64_t block_size = 0, total_tf = 0, max_tf = 0, num_blocks = 0;
+    CSR_RETURN_NOT_OK(r.GetVarint(&block_size));
+    CSR_RETURN_NOT_OK(r.GetVarint(&total_tf));
+    CSR_RETURN_NOT_OK(r.GetVarint(&max_tf));
+    CSR_RETURN_NOT_OK(r.GetVarint(&num_blocks));
+    parts.block_size = static_cast<uint32_t>(block_size);
+    parts.total_tf = total_tf;
+    parts.max_tf = static_cast<uint32_t>(max_tf);
+    parts.blocks.reserve(num_blocks);
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+      uint64_t max_doc = 0, base = 0, offset = 0, count = 0, bmax_tf = 0;
+      CSR_RETURN_NOT_OK(r.GetVarint(&max_doc));
+      CSR_RETURN_NOT_OK(r.GetVarint(&base));
+      CSR_RETURN_NOT_OK(r.GetVarint(&offset));
+      CSR_RETURN_NOT_OK(r.GetVarint(&count));
+      CSR_RETURN_NOT_OK(r.GetVarint(&bmax_tf));
+      parts.blocks.push_back(CompressedPostingList::BlockMeta{
+          static_cast<DocId>(max_doc), static_cast<DocId>(base),
+          static_cast<uint32_t>(offset), static_cast<uint32_t>(count),
+          static_cast<uint32_t>(bmax_tf)});
+    }
+    CSR_RETURN_NOT_OK(r.GetString(&parts.bytes));
+    // FromParts re-validates the metadata invariants; corrupt metadata is
+    // a typed error, never a malformed list.
+    CSR_ASSIGN_OR_RETURN(CompressedPostingList list,
+                         CompressedPostingList::FromParts(std::move(parts)));
+    if (!list.blocks().empty() &&
+        list.blocks().back().max_doc >= expected_docs) {
+      return Status::InvalidArgument(
+          "postings snapshot references docids beyond the corpus");
+    }
+    lists.push_back(std::move(list));
+  }
+  return InvertedIndex::FromCompressedParts(std::move(lists),
+                                            std::move(doc_lengths),
+                                            total_length);
+}
+
+}  // namespace
+
+Status SavePostings(const ContextSearchEngine& engine,
+                    const std::string& path) {
+  if (!engine.content_index().compressed() ||
+      !engine.predicate_index().compressed()) {
+    return Status::FailedPrecondition(
+        "engine serves uncompressed postings; nothing compressed to persist");
+  }
+  BinaryWriter w;
+  w.PutU32(kPostingsVersion);
+  w.PutVarint(engine.corpus().docs.size());
+  PutIndex(w, engine.content_index());
+  PutIndex(w, engine.predicate_index());
+  return w.WriteFile(path, kPostingsMagic);
+}
+
+Result<LoadedPostings> LoadPostings(const std::string& path,
+                                    uint64_t expected_docs) {
+  // Strict open: the whole-file checksum is authoritative here. Unlike
+  // views there is no per-list salvage — a damaged postings file is simply
+  // ignored in favour of rebuilding from the corpus, so partial recovery
+  // would buy nothing.
+  CSR_ASSIGN_OR_RETURN(BinaryReader r,
+                       BinaryReader::OpenFile(path, kPostingsMagic));
+  uint32_t version = 0;
+  CSR_RETURN_NOT_OK(r.GetU32(&version));
+  if (version != kPostingsVersion) {
+    return Status::InvalidArgument("unsupported postings version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  uint64_t num_docs = 0;
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_docs));
+  if (num_docs != expected_docs) {
+    return Status::InvalidArgument(
+        "postings snapshot covers " + std::to_string(num_docs) +
+        " documents; corpus has " + std::to_string(expected_docs));
+  }
+  LoadedPostings out;
+  CSR_ASSIGN_OR_RETURN(out.content_index, GetIndex(r, expected_docs));
+  CSR_ASSIGN_OR_RETURN(out.predicate_index, GetIndex(r, expected_docs));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in postings snapshot");
+  }
+  return out;
+}
+
+namespace {
+
 /// Size + FNV-1a over a whole file's bytes, for the manifest.
 Status HashFile(const std::string& path, uint64_t* size, uint64_t* sum) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -413,17 +582,40 @@ Status SaveEngineSnapshot(const ContextSearchEngine& engine,
   CSR_RETURN_NOT_OK(SaveCorpus(engine.corpus(), dir + "/corpus.csr"));
   CSR_RETURN_NOT_OK(
       SaveViews(engine.catalog(), engine.tracked(), dir + "/views.csr"));
+  std::vector<std::string> names = {"corpus.csr", "views.csr"};
+  if (engine.content_index().compressed() &&
+      engine.predicate_index().compressed()) {
+    CSR_RETURN_NOT_OK(SavePostings(engine, dir + "/postings.csr"));
+    names.push_back("postings.csr");
+  }
   // Manifest last: a crash before this point leaves no (or a stale)
   // manifest rather than a manifest describing files that never landed.
-  return SaveManifest(dir, {"corpus.csr", "views.csr"});
+  return SaveManifest(dir, names);
 }
 
 Result<std::unique_ptr<ContextSearchEngine>> LoadEngineSnapshot(
     const std::string& dir, const EngineConfig& config) {
   CSR_RETURN_NOT_OK(VerifyManifest(dir));
   CSR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(dir + "/corpus.csr"));
-  CSR_ASSIGN_OR_RETURN(std::unique_ptr<ContextSearchEngine> engine,
-                       ContextSearchEngine::Build(std::move(corpus), config));
+  std::unique_ptr<ContextSearchEngine> engine;
+  if (config.compressed_postings) {
+    // Fast path: install the persisted compressed postings directly. Any
+    // failure (absent file, checksum mismatch, bad metadata, doc-count
+    // mismatch with the corpus) falls back to rebuilding from the corpus —
+    // a stale or damaged postings file costs load time, not correctness.
+    Result<LoadedPostings> lp =
+        LoadPostings(dir + "/postings.csr", corpus.docs.size());
+    if (lp.ok()) {
+      CSR_ASSIGN_OR_RETURN(
+          engine, ContextSearchEngine::BuildWithIndexes(
+                      std::move(corpus), config, std::move(lp->content_index),
+                      std::move(lp->predicate_index)));
+    }
+  }
+  if (engine == nullptr) {
+    CSR_ASSIGN_OR_RETURN(engine,
+                         ContextSearchEngine::Build(std::move(corpus), config));
+  }
   CSR_ASSIGN_OR_RETURN(LoadedViews views, LoadViews(dir + "/views.csr"));
   CSR_RETURN_NOT_OK(engine->InstallCatalog(std::move(views.catalog),
                                            views.tracked_terms));

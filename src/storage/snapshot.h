@@ -16,11 +16,18 @@ namespace csr {
 ///
 ///   corpus.csr     ontology + documents + generator config
 ///   views.csr      tracked keywords + every materialized view (defs + rows)
+///   postings.csr   both compressed inverted indexes, raw encoded bytes
 ///   MANIFEST.csr   versioned inventory of the snapshot's files
 ///
-/// Inverted indexes are rebuilt from the corpus at load time (they are a
-/// deterministic, fast function of it); view selection + materialization —
-/// the hours-long phase at paper scale — is what the snapshot avoids.
+/// postings.csr serializes the block-compressed postings verbatim (no
+/// decode-reencode): the per-list block metadata plus the raw FOR/varint
+/// block bytes. Loading installs them directly via
+/// CompressedPostingList::FromParts + InvertedIndex::FromCompressedParts.
+/// When it is absent or unreadable, indexes are rebuilt from the corpus
+/// (they are a deterministic function of it), so an old or damaged
+/// postings file degrades load time, never correctness. View selection +
+/// materialization — the hours-long phase at paper scale — is what the
+/// snapshot exists to avoid.
 ///
 /// Failure model: every file is written to a temp path, fsync'd, and
 /// atomically renamed, so crashes never leave torn files at final paths.
@@ -55,7 +62,26 @@ struct LoadedViews {
 /// directory nothing is attributable.
 Result<LoadedViews> LoadViews(const std::string& path);
 
-/// Saves corpus + views + manifest under `dir` (created by the caller).
+/// Serializes both compressed indexes (content + predicate) of `engine`
+/// into `path`, block bytes verbatim. FailedPrecondition when the engine
+/// serves uncompressed postings (nothing compressed to persist).
+Status SavePostings(const ContextSearchEngine& engine,
+                    const std::string& path);
+
+struct LoadedPostings {
+  InvertedIndex content_index;
+  InvertedIndex predicate_index;
+};
+
+/// Loads both indexes from `path`, validating checksums, block metadata
+/// invariants, and that the indexes cover exactly `expected_docs`
+/// documents. Any mismatch is a typed error (callers fall back to
+/// rebuilding from the corpus).
+Result<LoadedPostings> LoadPostings(const std::string& path,
+                                    uint64_t expected_docs);
+
+/// Saves corpus + views + compressed postings (when the engine serves
+/// them) + manifest under `dir` (created by the caller).
 /// The manifest is written last, so a crash mid-save is detectable as a
 /// manifest/file mismatch rather than silently served.
 Status SaveEngineSnapshot(const ContextSearchEngine& engine,

@@ -1,11 +1,15 @@
 #include "views/materialized_view.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace csr {
 
 void MaterializedView::AddDocument(
     const BitSignature& sig, uint32_t doc_length,
     std::span<const std::pair<uint32_t, uint32_t>> tracked_terms,
     uint16_t year) {
+  if (compacted_) Uncompact();
   TupleKey key{sig, 0};
   if (options_.year_bucket_size > 0) {
     key.bucket = static_cast<uint16_t>(year / options_.year_bucket_size);
@@ -76,34 +80,135 @@ MaterializedView::StatsResult MaterializedView::ComputeStats(
     mask.Set(static_cast<uint32_t>(bit));
   }
 
-  // Full scan of the view (Theorem 4.2).
-  for (const auto& [key, row] : rows_) {
+  // Full scan of the view (Theorem 4.2), over whichever row store is live.
+  auto fold = [&](const TupleKey& key, uint64_t count, uint64_t sum_len,
+                  const uint32_t* df_row, const uint32_t* tc_row) {
     if (cost != nullptr) cost->view_tuples_scanned++;
-    if (key.bucket < bucket_lo || key.bucket > bucket_hi) continue;
-    if (!key.sig.ContainsAll(mask)) continue;
-    out.cardinality += row.count;
-    out.total_length += row.sum_len;
+    if (key.bucket < bucket_lo || key.bucket > bucket_hi) return;
+    if (!key.sig.ContainsAll(mask)) return;
+    out.cardinality += count;
+    out.total_length += sum_len;
     for (size_t i = 0; i < keywords.size(); ++i) {
       if (slots[i] < 0) continue;
-      if (options_.track_df && !row.df.empty()) {
-        out.df[i] += row.df[slots[i]];
+      if (options_.track_df && df_row != nullptr) {
+        out.df[i] += df_row[slots[i]];
       }
-      if (options_.track_tc && !row.tc.empty()) {
-        out.tc[i] += row.tc[slots[i]];
+      if (options_.track_tc && tc_row != nullptr) {
+        out.tc[i] += tc_row[slots[i]];
       }
+    }
+  };
+  if (compacted_) {
+    for (size_t r = 0; r < flat_.keys.size(); ++r) {
+      fold(flat_.keys[r], flat_.counts[r], flat_.sum_lens[r],
+           flat_.df.empty() ? nullptr : flat_.df.data() + r * num_tracked_,
+           flat_.tc.empty() ? nullptr : flat_.tc.data() + r * num_tracked_);
+    }
+  } else {
+    for (const auto& [key, row] : rows_) {
+      fold(key, row.count, row.sum_len,
+           row.df.empty() ? nullptr : row.df.data(),
+           row.tc.empty() ? nullptr : row.tc.data());
     }
   }
   return out;
 }
 
+void MaterializedView::Compact() {
+  if (compacted_) return;
+  // Sort by (bucket, signature words) so the compacted order — and
+  // therefore serialized snapshots — is deterministic, unlike hash-map
+  // iteration.
+  std::vector<const std::pair<const TupleKey, Row>*> sorted;
+  sorted.reserve(rows_.size());
+  for (const auto& kv : rows_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    if (a->first.bucket != b->first.bucket) {
+      return a->first.bucket < b->first.bucket;
+    }
+    return a->first.sig.raw_words() < b->first.sig.raw_words();
+  });
+
+  size_t n = sorted.size();
+  flat_.keys.reserve(n);
+  flat_.counts.reserve(n);
+  flat_.sum_lens.reserve(n);
+  if (options_.track_df) flat_.df.reserve(n * num_tracked_);
+  if (options_.track_tc) flat_.tc.reserve(n * num_tracked_);
+  for (const auto* kv : sorted) {
+    const Row& row = kv->second;
+    flat_.keys.push_back(kv->first);
+    flat_.counts.push_back(row.count);
+    flat_.sum_lens.push_back(row.sum_len);
+    if (options_.track_df) {
+      if (row.df.empty()) {
+        flat_.df.insert(flat_.df.end(), num_tracked_, 0);
+      } else {
+        flat_.df.insert(flat_.df.end(), row.df.begin(), row.df.end());
+      }
+    }
+    if (options_.track_tc) {
+      if (row.tc.empty()) {
+        flat_.tc.insert(flat_.tc.end(), num_tracked_, 0);
+      } else {
+        flat_.tc.insert(flat_.tc.end(), row.tc.begin(), row.tc.end());
+      }
+    }
+  }
+  rows_ = {};
+  compacted_ = true;
+}
+
+void MaterializedView::Uncompact() {
+  if (!compacted_) return;
+  rows_.reserve(flat_.keys.size());
+  for (size_t r = 0; r < flat_.keys.size(); ++r) {
+    Row& row = rows_[flat_.keys[r]];
+    row.count = flat_.counts[r];
+    row.sum_len = flat_.sum_lens[r];
+    if (!flat_.df.empty()) {
+      auto it = flat_.df.begin() + static_cast<ptrdiff_t>(r * num_tracked_);
+      row.df.assign(it, it + num_tracked_);
+    }
+    if (!flat_.tc.empty()) {
+      auto it = flat_.tc.begin() + static_cast<ptrdiff_t>(r * num_tracked_);
+      row.tc.assign(it, it + num_tracked_);
+    }
+  }
+  flat_ = FlatRows();
+  compacted_ = false;
+}
+
+uint64_t MaterializedView::MemoryBytes() const {
+  uint64_t sig_bytes = 0;
+  if (NumTuples() > 0) {
+    sig_bytes = (compacted_ ? flat_.keys.front().sig : rows_.begin()->first.sig)
+                    .raw_words()
+                    .size() *
+                sizeof(uint64_t);
+  }
+  if (compacted_) {
+    return flat_.keys.size() * (sizeof(TupleKey) + sig_bytes +
+                                sizeof(uint64_t) * 2) +
+           (flat_.df.size() + flat_.tc.size()) * sizeof(uint32_t);
+  }
+  uint64_t bytes = 0;
+  for (const auto& [key, row] : rows_) {
+    bytes += sizeof(TupleKey) + sig_bytes + sizeof(Row) +
+             (row.df.capacity() + row.tc.capacity()) * sizeof(uint32_t) +
+             sizeof(void*);  // hash-table node overhead, roughly
+  }
+  return bytes;
+}
+
 uint64_t MaterializedView::StorageBytes() const {
-  if (rows_.empty()) return 0;
+  if (NumTuples() == 0) return 0;
   uint64_t key_bytes = BitSignature(def_.num_columns()).StorageBytes();
   if (options_.year_bucket_size > 0) key_bytes += sizeof(uint16_t);
   uint64_t row_bytes = 2 * sizeof(uint64_t);
   if (options_.track_df) row_bytes += 4ULL * num_tracked_;
   if (options_.track_tc) row_bytes += 4ULL * num_tracked_;
-  return rows_.size() * (key_bytes + row_bytes);
+  return NumTuples() * (key_bytes + row_bytes);
 }
 
 }  // namespace csr

@@ -90,7 +90,21 @@ class MaterializedView {
   bool RangeAnswerable(YearRange range) const;
 
   /// Number of non-empty tuples (the paper's ViewSize).
-  size_t NumTuples() const { return rows_.size(); }
+  size_t NumTuples() const {
+    return compacted_ ? flat_.keys.size() : rows_.size();
+  }
+
+  /// Converts the hash-map row store into flat column arenas sorted by
+  /// tuple key: one contiguous parameter block instead of two heap vectors
+  /// per row. ComputeStats serves either representation identically (the
+  /// scan is full either way); AddDocument on a compacted view lazily
+  /// un-compacts first. Idempotent.
+  void Compact();
+  bool compacted() const { return compacted_; }
+
+  /// Actual resident bytes of the row store (keys + aggregates + parameter
+  /// columns + per-row container overhead when uncompacted).
+  uint64_t MemoryBytes() const;
 
   /// Modeled on-disk storage: per tuple, the packed signature key plus
   /// 8-byte count/sum columns and 4-byte df/tc columns.
@@ -131,10 +145,26 @@ class MaterializedView {
     }
   };
 
+  /// Compacted row store: structure-of-arrays with df/tc packed row-major
+  /// into one arena each (stride num_tracked_).
+  struct FlatRows {
+    std::vector<TupleKey> keys;
+    std::vector<uint64_t> counts;
+    std::vector<uint64_t> sum_lens;
+    std::vector<uint32_t> df;
+    std::vector<uint32_t> tc;
+  };
+
+  /// Rebuilds rows_ from flat_ (incremental maintenance needs keyed
+  /// upserts).
+  void Uncompact();
+
   ViewDefinition def_;
   ViewParamOptions options_;
   uint32_t num_tracked_;
   std::unordered_map<TupleKey, Row, TupleKeyHash> rows_;
+  bool compacted_ = false;
+  FlatRows flat_;
 };
 
 }  // namespace csr

@@ -59,6 +59,10 @@ uint64_t ViewCatalog::TotalStorageBytes() const {
   return total;
 }
 
+void ViewCatalog::CompactAll() {
+  for (MaterializedView& v : views_) v.Compact();
+}
+
 uint64_t ViewCatalog::TotalTuples() const {
   uint64_t total = 0;
   for (const auto& v : views_) total += v.NumTuples();

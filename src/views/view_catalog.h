@@ -67,6 +67,11 @@ class ViewCatalog {
   uint64_t TotalStorageBytes() const;
   uint64_t TotalTuples() const;
 
+  /// Compacts every view's row store (MaterializedView::Compact).
+  /// Idempotent; incremental maintenance transparently un-compacts the
+  /// views it touches.
+  void CompactAll();
+
  private:
   std::vector<MaterializedView> views_;
   std::vector<QuarantinedView> quarantined_;

@@ -36,28 +36,28 @@ DocParamTable DocParamTable::Build(const InvertedIndex& content_index,
   table.doc_lengths_.assign(content_index.doc_lengths().begin(),
                             content_index.doc_lengths().end());
 
-  // Count entries per doc, then fill CSR.
+  // Count entries per doc, then fill CSR. Posting cursors (single-pass)
+  // serve either index representation.
   std::vector<uint32_t> counts(n, 0);
   for (uint32_t slot = 0; slot < tracked.size(); ++slot) {
-    const PostingList* l = content_index.list(tracked.TermAt(slot));
-    if (l == nullptr) continue;
-    for (size_t i = 0; i < l->size(); ++i) counts[l->at(i).doc]++;
+    for (PostingCursor c = content_index.cursor(tracked.TermAt(slot));
+         c.valid() && !c.AtEnd(); c.Next()) {
+      counts[c.doc()]++;
+    }
   }
   table.offsets_.resize(n + 1, 0);
   for (uint64_t d = 0; d < n; ++d) {
     table.offsets_[d + 1] = table.offsets_[d] + counts[d];
   }
   table.entries_.resize(table.offsets_[n]);
-  std::vector<uint64_t> cursor(table.offsets_.begin(),
-                               table.offsets_.end() - 1);
+  std::vector<uint64_t> fill(table.offsets_.begin(),
+                             table.offsets_.end() - 1);
   // Slots are visited in increasing order, so per-doc entries end up sorted
   // by slot.
   for (uint32_t slot = 0; slot < tracked.size(); ++slot) {
-    const PostingList* l = content_index.list(tracked.TermAt(slot));
-    if (l == nullptr) continue;
-    for (size_t i = 0; i < l->size(); ++i) {
-      const Posting& p = l->at(i);
-      table.entries_[cursor[p.doc]++] = {slot, p.tf};
+    for (PostingCursor c = content_index.cursor(tracked.TermAt(slot));
+         c.valid() && !c.AtEnd(); c.Next()) {
+      table.entries_[fill[c.doc()]++] = {slot, c.tf()};
     }
   }
   return table;

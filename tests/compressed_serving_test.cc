@@ -1,0 +1,318 @@
+// Differential suite for the compressed serving path (`ctest -L postings`):
+// compressed and uncompressed engines must produce BIT-identical top-k
+// scores and identical degradation behaviour across every ranking function
+// and evaluation mode, compaction must hit the advertised ratio without
+// changing results, and snapshots must round-trip the compressed bytes
+// (falling back to a rebuild when postings.csr is damaged).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "engine/wand.h"
+#include "stats/collector.h"
+#include "storage/snapshot.h"
+
+namespace csr {
+namespace {
+
+Corpus MakeCorpus(uint32_t docs = 3000, uint64_t seed = 23) {
+  CorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 1500;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = seed;
+  auto r = CorpusGenerator(cfg).Generate();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.top_k = 10;
+  cfg.context_threshold_fraction = 0.02;
+  cfg.view_size_threshold = 128;
+  cfg.estimator_sample = 2000;
+  cfg.track_tc = true;  // language-model rankings need tc columns
+  return cfg;
+}
+
+std::unique_ptr<ContextSearchEngine> BuildEngine(EngineConfig cfg,
+                                                 bool with_views = true,
+                                                 uint64_t seed = 23) {
+  auto r = ContextSearchEngine::Build(MakeCorpus(3000, seed), cfg);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  auto engine = std::move(r).value();
+  if (with_views) {
+    Status s = engine->SelectAndMaterializeViews();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return engine;
+}
+
+ContextQuery TopicalQuery(const ContextSearchEngine& engine, TermId root) {
+  const CorpusConfig& cfg = engine.corpus().config;
+  TermId w = CorpusGenerator::ConceptTopicalTerm(root, 0, cfg.vocab_size,
+                                                 cfg.topical_window);
+  return ContextQuery{{w, 5 /* common background term */}, {root}};
+}
+
+// Asserts two results are indistinguishable: same docs, bit-identical
+// scores (EXPECT_EQ on the doubles, not a tolerance), same result size,
+// same statistics cardinality, same degradation story.
+void ExpectIdentical(const SearchResult& a, const SearchResult& b,
+                     std::string_view what) {
+  ASSERT_EQ(a.top_docs.size(), b.top_docs.size()) << what;
+  for (size_t i = 0; i < a.top_docs.size(); ++i) {
+    EXPECT_EQ(a.top_docs[i].doc, b.top_docs[i].doc) << what << " rank " << i;
+    EXPECT_EQ(a.top_docs[i].score, b.top_docs[i].score)
+        << what << " rank " << i << " (scores must be bit-identical)";
+  }
+  EXPECT_EQ(a.result_count, b.result_count) << what;
+  EXPECT_EQ(a.stats.cardinality, b.stats.cardinality) << what;
+  EXPECT_EQ(a.metrics.degraded, b.metrics.degraded) << what;
+  EXPECT_EQ(a.metrics.degraded_reason, b.metrics.degraded_reason) << what;
+}
+
+// -- Differential: every ranking function, every evaluation mode -----------
+
+TEST(CompressedServingTest, BitIdenticalTopKAcrossRankingsAndModes) {
+  const EvaluationMode kModes[] = {EvaluationMode::kConventional,
+                                   EvaluationMode::kContextStraightforward,
+                                   EvaluationMode::kContextWithViews};
+  for (const char* ranking : {"pivoted", "bm25", "dirichlet", "jm"}) {
+    EngineConfig compressed_cfg = BaseConfig();
+    compressed_cfg.ranking = ranking;
+    compressed_cfg.compressed_postings = true;
+    EngineConfig plain_cfg = compressed_cfg;
+    plain_cfg.compressed_postings = false;
+
+    auto compressed = BuildEngine(compressed_cfg);
+    auto plain = BuildEngine(plain_cfg);
+    ASSERT_TRUE(compressed->content_index().compressed());
+    ASSERT_FALSE(plain->content_index().compressed());
+
+    for (TermId root : {0u, 1u, 2u, 3u}) {
+      ContextQuery q = TopicalQuery(*compressed, root);
+      for (EvaluationMode mode : kModes) {
+        auto rc = compressed->Search(q, mode);
+        auto rp = plain->Search(q, mode);
+        ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+        ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+        ASSERT_FALSE(rc->top_docs.empty())
+            << ranking << " root " << root;
+        ExpectIdentical(*rc, *rp,
+                        std::string(ranking) + "/" +
+                            std::string(EvaluationModeName(mode)) + "/root" +
+                            std::to_string(root));
+      }
+    }
+  }
+}
+
+// -- Differential: degradation fires identically ----------------------------
+
+TEST(CompressedServingTest, BudgetDegradationMatchesUncompressed) {
+  // The scan budget is charged per posting advance through the shared
+  // cursor, so compressed and uncompressed serving must exhaust it at the
+  // same point: same degraded flag, same reason, same partial top-k.
+  EngineConfig compressed_cfg = BaseConfig();
+  compressed_cfg.posting_scan_budget = 200;
+  EngineConfig plain_cfg = compressed_cfg;
+  plain_cfg.compressed_postings = false;
+
+  auto compressed = BuildEngine(compressed_cfg, /*with_views=*/false);
+  auto plain = BuildEngine(plain_cfg, /*with_views=*/false);
+
+  bool saw_degraded = false;
+  for (TermId root : {0u, 1u, 2u, 3u}) {
+    ContextQuery q = TopicalQuery(*compressed, root);
+    auto rc = compressed->Search(q, EvaluationMode::kContextStraightforward);
+    auto rp = plain->Search(q, EvaluationMode::kContextStraightforward);
+    ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+    ExpectIdentical(*rc, *rp, "budget/root" + std::to_string(root));
+    saw_degraded |= rc->metrics.degraded;
+  }
+  EXPECT_TRUE(saw_degraded) << "budget of 200 postings never exhausted";
+  EXPECT_EQ(compressed->degradation().budget_hits,
+            plain->degradation().budget_hits);
+}
+
+// -- ScanGuard coverage on the compressed path ------------------------------
+
+TEST(CompressedServingTest, ScanGuardBudgetFiresOnCompressedLists) {
+  EngineConfig cfg = BaseConfig();
+  cfg.posting_scan_budget = 1;
+  auto engine = BuildEngine(cfg, /*with_views=*/false);
+  ASSERT_TRUE(engine->content_index().compressed());
+
+  auto r = engine->Search(TopicalQuery(*engine, 0),
+                          EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->metrics.degraded);
+  EXPECT_NE(r->metrics.degraded_reason.find("budget"), std::string::npos)
+      << r->metrics.degraded_reason;
+  EXPECT_GT(engine->degradation().budget_hits, 0u);
+}
+
+TEST(CompressedServingTest, ScanGuardDeadlineFiresOnCompressedLists) {
+  EngineConfig cfg = BaseConfig();
+  cfg.deadline_ms = 1e-7;  // expires before the first poll
+  auto engine = BuildEngine(cfg, /*with_views=*/false);
+
+  auto r = engine->Search(TopicalQuery(*engine, 0),
+                          EvaluationMode::kContextStraightforward);
+  if (r.ok()) {
+    // Deadline tripped mid-plan: graceful degradation with a reason.
+    EXPECT_TRUE(r->metrics.degraded);
+    EXPECT_NE(r->metrics.degraded_reason.find("deadline"), std::string::npos)
+        << r->metrics.degraded_reason;
+  } else {
+    // Deadline fully elapsed before execution: the query is shed even
+    // under degrade_gracefully (salvage work would violate it anyway).
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_GT(engine->degradation().deadline_hits, 0u);
+}
+
+// -- Compaction: ratio, idempotence, unchanged results ----------------------
+
+TEST(CompressedServingTest, CompactHitsRatioAndKeepsResults) {
+  EngineConfig cfg = BaseConfig();
+  cfg.compressed_postings = false;
+  auto engine = BuildEngine(cfg, /*with_views=*/false);
+  ASSERT_FALSE(engine->content_index().compressed());
+
+  ContextQuery q = TopicalQuery(*engine, 0);
+  auto before = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(before.ok());
+
+  uint64_t plain_bytes = engine->content_index().MemoryBytes() +
+                         engine->predicate_index().MemoryBytes();
+  engine->CompactIndexes();
+  ASSERT_TRUE(engine->content_index().compressed());
+  uint64_t packed_bytes = engine->content_index().MemoryBytes() +
+                          engine->predicate_index().MemoryBytes();
+  double ratio = static_cast<double>(plain_bytes) /
+                 static_cast<double>(packed_bytes);
+  EXPECT_GE(ratio, 3.0) << plain_bytes << " -> " << packed_bytes;
+  EXPECT_EQ(engine->content_index().UncompressedMemoryBytes() +
+                engine->predicate_index().UncompressedMemoryBytes(),
+            plain_bytes);
+
+  auto after = engine->Search(q, EvaluationMode::kContextStraightforward);
+  ASSERT_TRUE(after.ok());
+  ExpectIdentical(*before, *after, "pre/post compact");
+
+  // Idempotent: a second compaction is a no-op.
+  engine->CompactIndexes();
+  EXPECT_EQ(engine->content_index().MemoryBytes() +
+                engine->predicate_index().MemoryBytes(),
+            packed_bytes);
+}
+
+// -- WAND: block-max pruning is invisible in the ranking --------------------
+
+TEST(CompressedServingTest, BlockMaxWandMatchesClassicAndUncompressed) {
+  EngineConfig cfg = BaseConfig();
+  auto compressed = BuildEngine(cfg, /*with_views=*/false);
+  EngineConfig plain_cfg = cfg;
+  plain_cfg.compressed_postings = false;
+  auto plain = BuildEngine(plain_cfg, /*with_views=*/false);
+
+  const CorpusConfig& cc = compressed->corpus().config;
+  for (TermId c : {0u, 1u, 2u}) {
+    std::vector<TermId> kws = {
+        CorpusGenerator::ConceptTopicalTerm(c, 0, cc.vocab_size,
+                                            cc.topical_window),
+        5 /* common background term */};
+    QueryStats q = QueryStats::FromKeywords(kws);
+    CollectionStats stats =
+        GlobalCollectionStats(compressed->content_index(), q.keywords);
+
+    auto classic = WandTopK(compressed->content_index(), q, stats, 10, 0.2,
+                            /*block_max=*/false);
+    auto blockmax = WandTopK(compressed->content_index(), q, stats, 10, 0.2,
+                             /*block_max=*/true);
+    auto reference = ExhaustiveOrTopK(plain->content_index(), q, stats, 10);
+
+    ASSERT_EQ(blockmax.top_docs.size(), reference.top_docs.size());
+    for (size_t i = 0; i < reference.top_docs.size(); ++i) {
+      EXPECT_EQ(blockmax.top_docs[i].doc, reference.top_docs[i].doc);
+      EXPECT_EQ(classic.top_docs[i].doc, reference.top_docs[i].doc);
+      EXPECT_DOUBLE_EQ(blockmax.top_docs[i].score,
+                       reference.top_docs[i].score);
+    }
+    EXPECT_LE(blockmax.docs_scored, classic.docs_scored)
+        << "block-max scored more docs than classic WAND";
+  }
+}
+
+// -- Snapshot: compressed bytes round-trip, damage falls back ---------------
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("csr_postings_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path(const std::string& name = "") const {
+    return name.empty() ? path_.string() : (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(CompressedServingTest, SnapshotRoundTripAndCorruptFallback) {
+  EngineConfig cfg = BaseConfig();
+  auto engine = BuildEngine(cfg, /*with_views=*/true);
+  ContextQuery q = TopicalQuery(*engine, 0);
+  auto want = engine->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(want.ok());
+
+  TempDir dir;
+  ASSERT_TRUE(SaveEngineSnapshot(*engine, dir.path()).ok());
+
+  // Fast path: compressed postings installed verbatim.
+  auto loaded = LoadEngineSnapshot(dir.path(), cfg);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->content_index().compressed());
+  auto got = (*loaded)->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(got.ok());
+  ExpectIdentical(*want, *got, "snapshot fast path");
+
+  // Damage postings.csr in place (same size, so the manifest still lists
+  // it): the checksum fails and load falls back to rebuilding from the
+  // corpus — slower, never wrong.
+  const std::string postings_path = dir.path("postings.csr");
+  {
+    std::FILE* f = std::fopen(postings_path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    const char junk[8] = {0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A};
+    ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f), sizeof(junk));
+    std::fclose(f);
+  }
+  auto fallback = LoadEngineSnapshot(dir.path(), cfg);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_TRUE((*fallback)->content_index().compressed());
+  auto rebuilt = (*fallback)->Search(q, EvaluationMode::kContextWithViews);
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectIdentical(*want, *rebuilt, "snapshot corrupt fallback");
+}
+
+}  // namespace
+}  // namespace csr
