@@ -1,18 +1,23 @@
 // Ablation A5: posting-list compression — memory saved vs. serving cost,
-// across codecs (FOR bit-packed vs varint vs uncompressed), block sizes,
-// and list densities.
+// across codecs (FOR bit-packed vs varint vs bitmap vs uncompressed),
+// block sizes, and list densities.
 //
-// Shape to verify: >= 3x memory reduction on realistic lists; skewed
-// (selective) intersections stay within ~10% of the uncompressed QPS
-// because galloping block skips avoid decoding most blocks; block-max
-// WAND scores strictly fewer postings than classic WAND.
+// Shape to verify: >= 3x memory reduction on realistic lists; dense
+// intersections meet or beat the uncompressed QPS now that dense blocks
+// auto-select the bitmap container (word-wise AND / O(1) probes) and FOR
+// decodes go through the SIMD kernels; skewed (selective) intersections
+// stay within ~10% of the uncompressed QPS because galloping block skips
+// avoid decoding most blocks; block-max WAND scores strictly fewer
+// postings than classic WAND.
 //
 // `--json <path>` additionally runs a deterministic self-timed pass and
 // writes a machine-readable report (see README: BENCH_postings.json).
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -23,6 +28,7 @@
 #include "index/inverted_index.h"
 #include "index/posting_cursor.h"
 #include "index/posting_list.h"
+#include "index/simd_unpack.h"
 #include "stats/collector.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -50,7 +56,7 @@ PostingList MakeList(uint32_t universe, double density, uint64_t seed) {
 }
 
 // Codec under test: 0 = uncompressed, 1 = varint-only, 2 = FOR-only,
-// 3 = auto (per-block smaller of the two).
+// 3 = auto (per-block smallest of the three), 4 = bitmap-preferred.
 constexpr int kPlain = 0;
 
 CodecPolicy PolicyOf(int codec) {
@@ -59,6 +65,8 @@ CodecPolicy PolicyOf(int codec) {
       return CodecPolicy::kVarintOnly;
     case 2:
       return CodecPolicy::kForOnly;
+    case 4:
+      return CodecPolicy::kBitmapPreferred;
     default:
       return CodecPolicy::kAuto;
   }
@@ -95,7 +103,7 @@ void BM_CodecIntersection(benchmark::State& state) {
       static_cast<double>(a.MemoryBytes() + b.MemoryBytes());
 }
 BENCHMARK(BM_CodecIntersection)
-    ->ArgsProduct({{0, 1, 2, 3}, {500, 50}, {128}})
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {500, 50}, {128}})
     ->Unit(benchmark::kMicrosecond);
 
 /// Full-list decode throughput per codec and block size.
@@ -145,10 +153,37 @@ uint64_t IntersectCompressed(const CompressedPostingList& a,
   return csr::CountIntersection(std::move(cursors));
 }
 
+/// Runs the intersection several times against one shared CostCounters and
+/// verifies the exactly-once-per-block charging contract: bytes_touched
+/// must advance by the identical amount every pass (each pass touches the
+/// same blocks) and never decrease. Returns the per-pass byte count.
+uint64_t CheckedBytesTouched(const CompressedPostingList& a,
+                             const CompressedPostingList& b) {
+  CostCounters cost;
+  IntersectCompressed(a, b, &cost);
+  const uint64_t per_pass = cost.bytes_touched;
+  uint64_t prev = cost.bytes_touched;
+  for (int pass = 0; pass < 3; ++pass) {
+    IntersectCompressed(a, b, &cost);
+    if (cost.bytes_touched < prev ||
+        cost.bytes_touched - prev != per_pass) {
+      std::fprintf(stderr,
+                   "bytes_touched violates monotone/exactly-once charging: "
+                   "first pass %llu, pass %d delta %llu\n",
+                   static_cast<unsigned long long>(per_pass), pass,
+                   static_cast<unsigned long long>(cost.bytes_touched - prev));
+      std::exit(1);
+    }
+    prev = cost.bytes_touched;
+  }
+  return per_pass;
+}
+
 void WriteJsonReport(const std::string& path) {
   using csr::bench::JsonWriter;
   const uint32_t kUniverse = 1 << 20;
   PostingList dense = MakeList(kUniverse, 0.5, 1);
+  PostingList dense2 = MakeList(kUniverse, 0.5, 7);
   PostingList mid = MakeList(kUniverse, 0.0625, 2);
   PostingList sparse = MakeList(kUniverse, 0.002, 3);
 
@@ -156,7 +191,8 @@ void WriteJsonReport(const std::string& path) {
     return std::vector<CompressedPostingList>{
         CompressedPostingList::FromPostingList(dense, 128, p),
         CompressedPostingList::FromPostingList(mid, 128, p),
-        CompressedPostingList::FromPostingList(sparse, 128, p)};
+        CompressedPostingList::FromPostingList(sparse, 128, p),
+        CompressedPostingList::FromPostingList(dense2, 128, p)};
   };
   auto total_bytes = [](const std::vector<CompressedPostingList>& ls) {
     uint64_t n = 0;
@@ -168,11 +204,15 @@ void WriteJsonReport(const std::string& path) {
       compress_all(CodecPolicy::kForOnly);
   std::vector<CompressedPostingList> v_varint =
       compress_all(CodecPolicy::kVarintOnly);
+  std::vector<CompressedPostingList> v_bm =
+      compress_all(CodecPolicy::kBitmapPreferred);
 
   uint64_t num_postings = dense.size() + mid.size() + sparse.size();
   uint64_t plain_bytes =
       dense.MemoryBytes() + mid.MemoryBytes() + sparse.MemoryBytes();
-  uint64_t auto_bytes = total_bytes(v_auto);
+  uint64_t auto_bytes =
+      v_auto[0].MemoryBytes() + v_auto[1].MemoryBytes() +
+      v_auto[2].MemoryBytes();
 
   JsonWriter j;
   j.Open();
@@ -182,8 +222,9 @@ void WriteJsonReport(const std::string& path) {
   j.OpenObject("memory");
   j.Field("uncompressed_bytes", plain_bytes);
   j.Field("auto_bytes", auto_bytes);
-  j.Field("for_bytes", total_bytes(v_for));
-  j.Field("varint_bytes", total_bytes(v_varint));
+  j.Field("for_bytes", total_bytes(v_for) - v_for[3].MemoryBytes());
+  j.Field("varint_bytes", total_bytes(v_varint) - v_varint[3].MemoryBytes());
+  j.Field("bitmap_bytes", total_bytes(v_bm) - v_bm[3].MemoryBytes());
   j.Field("bytes_per_posting_uncompressed",
           static_cast<double>(plain_bytes) / num_postings);
   j.Field("bytes_per_posting_auto",
@@ -192,20 +233,43 @@ void WriteJsonReport(const std::string& path) {
           static_cast<double>(plain_bytes) / auto_bytes);
   j.CloseObject();
 
-  // Intersection QPS: dense∩mid (merge-ish) and dense∩sparse (skewed —
+  // Intersection QPS: dense∩mid (merge-ish; the PR-3 regression case),
+  // dense∩dense (bitmap word-AND territory), and dense∩sparse (skewed —
   // the shape context conjunctions actually have, where galloping block
   // skips pay off).
   std::vector<const PostingList*> plain_dm = {&dense, &mid};
+  std::vector<const PostingList*> plain_dd = {&dense, &dense2};
   std::vector<const PostingList*> plain_ds = {&dense, &sparse};
+  double dm_unc_qps = MeasureQps([&] { csr::CountIntersection(plain_dm); });
+  double dm_auto_qps =
+      MeasureQps([&] { IntersectCompressed(v_auto[0], v_auto[1]); });
+  double dd_unc_qps = MeasureQps([&] { csr::CountIntersection(plain_dd); });
+  double dd_auto_qps =
+      MeasureQps([&] { IntersectCompressed(v_auto[0], v_auto[3]); });
   j.OpenObject("intersection");
-  j.Field("dense_mid_uncompressed_qps",
-          MeasureQps([&] { csr::CountIntersection(plain_dm); }));
-  j.Field("dense_mid_auto_qps",
-          MeasureQps([&] { IntersectCompressed(v_auto[0], v_auto[1]); }));
+  j.Field("dense_mid_uncompressed_qps", dm_unc_qps);
+  j.Field("dense_mid_auto_qps", dm_auto_qps);
   j.Field("dense_mid_for_qps",
           MeasureQps([&] { IntersectCompressed(v_for[0], v_for[1]); }));
   j.Field("dense_mid_varint_qps",
           MeasureQps([&] { IntersectCompressed(v_varint[0], v_varint[1]); }));
+  j.Field("dense_mid_result", IntersectCompressed(v_auto[0], v_auto[1]));
+  // PR-3 under-reported this scenario's decode traffic (only the skewed
+  // case carried a bytes_touched figure); charge-exactly-once is now
+  // asserted, not assumed.
+  j.Field("dense_mid_bytes_touched",
+          CheckedBytesTouched(v_auto[0], v_auto[1]));
+  j.Field("dense_mid_total_bytes",
+          v_auto[0].MemoryBytes() + v_auto[1].MemoryBytes());
+  j.Field("dense_dense_uncompressed_qps", dd_unc_qps);
+  j.Field("dense_dense_auto_qps", dd_auto_qps);
+  j.Field("dense_dense_bitmap_qps",
+          MeasureQps([&] { IntersectCompressed(v_bm[0], v_bm[3]); }));
+  j.Field("dense_dense_for_qps",
+          MeasureQps([&] { IntersectCompressed(v_for[0], v_for[3]); }));
+  j.Field("dense_dense_result", IntersectCompressed(v_auto[0], v_auto[3]));
+  j.Field("dense_dense_bytes_touched",
+          CheckedBytesTouched(v_auto[0], v_auto[3]));
   j.Field("skewed_uncompressed_qps",
           MeasureQps([&] { csr::CountIntersection(plain_ds); }));
   j.Field("skewed_auto_qps",
@@ -217,6 +281,43 @@ void WriteJsonReport(const std::string& path) {
   j.Field("skewed_bytes_touched", skew_cost.bytes_touched);
   j.Field("skewed_total_bytes", v_auto[0].MemoryBytes());
   j.CloseObject();
+
+  // Decode-kernel report: which unpack level the dispatcher picked, its
+  // decode throughput against the portable scalar kernel (same FOR list,
+  // bit-identical output), the per-representation block mix the auto
+  // policy chose, and the headline per-representation intersection QPS.
+  {
+    auto decode_all = [](const CompressedPostingList& l) {
+      uint64_t sum = 0;
+      for (auto it = l.MakeIterator(); !it.AtEnd(); it.Next()) {
+        sum += it.doc();
+      }
+      benchmark::DoNotOptimize(sum);
+    };
+    double active_qps = MeasureQps([&] { decode_all(v_for[0]); });
+    csr::SetUnpackLevelForTest(csr::UnpackLevel::kScalar);
+    double scalar_qps = MeasureQps([&] { decode_all(v_for[0]); });
+    csr::ClearUnpackLevelOverride();
+    std::array<uint64_t, 3> blocks{};
+    for (const CompressedPostingList& l : v_auto) {
+      const std::array<uint64_t, 3>& c = l.codec_block_counts();
+      for (size_t k = 0; k < blocks.size(); ++k) blocks[k] += c[k];
+    }
+    const double mpost = static_cast<double>(v_for[0].size()) / 1e6;
+    j.OpenObject("kernels");
+    j.Field("dispatch_level",
+            std::string(csr::UnpackLevelName(csr::ActiveUnpackLevel())));
+    j.Field("scalar_decode_mps", scalar_qps * mpost);
+    j.Field("active_decode_mps", active_qps * mpost);
+    j.Field("blocks_varint", blocks[0]);
+    j.Field("blocks_for", blocks[1]);
+    j.Field("blocks_bitmap", blocks[2]);
+    j.Field("dense_mid_uncompressed_qps", dm_unc_qps);
+    j.Field("dense_mid_auto_qps", dm_auto_qps);
+    j.Field("dense_dense_uncompressed_qps", dd_unc_qps);
+    j.Field("dense_dense_auto_qps", dd_auto_qps);
+    j.CloseObject();
+  }
 
   // Block-max WAND vs classic WAND over a small synthetic index.
   {

@@ -19,6 +19,7 @@
 //
 // Blank lines and lines starting with '#' are ignored.
 
+#include <array>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -28,6 +29,7 @@
 #include "corpus/generator.h"
 #include "engine/engine.h"
 #include "engine/executor.h"
+#include "index/simd_unpack.h"
 #include "engine/query_parser.h"
 #include "storage/snapshot.h"
 #include "util/string_util.h"
@@ -203,6 +205,18 @@ int main(int argc, char** argv) {
                   mem > 0 ? static_cast<double>(unc) /
                                 static_cast<double>(mem)
                           : 0.0);
+      std::array<uint64_t, 3> blocks =
+          engine->content_index().CodecBlockCounts();
+      const std::array<uint64_t, 3> pred =
+          engine->predicate_index().CodecBlockCounts();
+      for (size_t k = 0; k < blocks.size(); ++k) blocks[k] += pred[k];
+      std::printf("kernels: dispatch=%s blocks{varint=%llu for=%llu "
+                  "bitmap=%llu}\n",
+                  std::string(csr::UnpackLevelName(csr::ActiveUnpackLevel()))
+                      .c_str(),
+                  static_cast<unsigned long long>(blocks[0]),
+                  static_cast<unsigned long long>(blocks[1]),
+                  static_cast<unsigned long long>(blocks[2]));
       const csr::DegradationStats& d = engine->degradation();
       std::printf("degradation: quarantined=%llu fallbacks=%llu "
                   "deadline=%llu budget=%llu faults=%llu degraded=%llu\n",

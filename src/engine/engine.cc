@@ -124,8 +124,8 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Finish(
 }
 
 void ContextSearchEngine::CompactIndexes() {
-  content_index_.Compact();
-  predicate_index_.Compact();
+  content_index_.Compact(/*block_size=*/0, config_.codec_policy);
+  predicate_index_.Compact(/*block_size=*/0, config_.codec_policy);
   catalog_.CompactAll();
 }
 
@@ -203,8 +203,8 @@ Status ContextSearchEngine::AppendDocuments(std::vector<Document> docs) {
   content_index_ = content_builder.Build();
   predicate_index_ = predicate_builder.Build();
   if (config_.compressed_postings) {
-    content_index_.Compact();
-    predicate_index_.Compact();
+    content_index_.Compact(/*block_size=*/0, config_.codec_policy);
+    predicate_index_.Compact(/*block_size=*/0, config_.codec_policy);
   }
 
   years_.clear();

@@ -39,6 +39,14 @@ struct EngineConfig {
   /// serving path (the differential tests prove identical results).
   bool compressed_postings = true;
 
+  /// How Compact() picks each block's representation. kAuto sizes varint,
+  /// FOR, and bitmap per block and keeps the smallest; kBitmapPreferred
+  /// biases dense blocks toward the bitmap container (fast word-wise AND)
+  /// whenever it does not regress memory past the uncompressed baseline.
+  /// The forced policies exist for ablation benches and differential
+  /// tests.
+  CodecPolicy codec_policy = CodecPolicy::kAuto;
+
   /// T_C as a fraction of |D|.
   double context_threshold_fraction = 0.01;
 

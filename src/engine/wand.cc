@@ -15,6 +15,12 @@ struct TermState {
   PostingCursor iter;
   double idf_weight;           // tq * ln((|C|+1)/df)
   double upper_bound;          // idf_weight * max tf part / min norm
+  // Block-max memo: TfPart of the most recently probed block, keyed by
+  // that block's last docid (strictly increasing across a list, so the
+  // key is unique). Successive pivots usually land in the same block;
+  // the memo spares the double-log per re-probe.
+  DocId bound_block_end = kInvalidDocId;
+  double bound_tf_part = 0.0;
 };
 
 double TfPart(uint32_t tf) {
@@ -138,6 +144,10 @@ TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
       // sum against the prefix terms, and the suffix terms all sit at
       // docids past the pivot — so if even the block bound cannot beat the
       // threshold, the whole covered range is skipped without decoding.
+      // The probe reads only BlockMeta (base/max_doc/max_tf recorded at
+      // encode time), so it is representation-blind: varint, FOR, and
+      // bitmap blocks all bound — and skip — identically; only a block
+      // that survives pruning is decoded, through its codec tag.
       if (block_max && threshold > 0) {
         double block_acc = 0;
         DocId block_end = kInvalidDocId;
@@ -145,11 +155,16 @@ TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
         for (size_t i = 0; i <= pivot; ++i) {
           DocId last_doc = 0;
           uint32_t btf = 0;
-          if (!order[i]->iter.BlockBound(pivot_doc, &last_doc, &btf)) {
+          TermState* t = order[i];
+          if (!t->iter.BlockBound(pivot_doc, &last_doc, &btf)) {
             bounded = false;
             break;
           }
-          block_acc += order[i]->idf_weight * TfPart(btf) / (1.0 - pivot_s);
+          if (t->bound_block_end != last_doc) {
+            t->bound_block_end = last_doc;
+            t->bound_tf_part = TfPart(btf);
+          }
+          block_acc += t->idf_weight * t->bound_tf_part / (1.0 - pivot_s);
           block_end = std::min(block_end, last_doc);
         }
         if (bounded && block_acc <= threshold) {

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "index/simd_unpack.h"
+
 namespace csr {
 
 void PutVarint32(std::string& out, uint32_t v) {
@@ -152,37 +154,12 @@ Status ForBlockCodec::UnpackBits(const uint8_t* p, size_t avail,
   if (PackedBytes(count, bits) > avail) {
     return Status::OutOfRange("truncated bit-packed section");
   }
-  // Scalar unpack: a 64-bit accumulator, refilled a 32-bit word at a time
-  // on little-endian targets (bytewise near the end of the buffer and on
-  // big-endian ones). acc_bits stays < 32 before a refill and <= 63 after,
-  // so no value straddles the accumulator. The loop shape is the scalar
-  // form of SIMD unpack kernels. Values are extracted low-bits-first, so
-  // a refill that pulls in bytes past the packed section (but within
-  // `avail`) never contaminates the decoded values.
-  const uint64_t mask = bits == 32 ? ~0ull >> 32 : (1ull << bits) - 1;
-  const uint8_t* hard_end = p + avail;
-  uint64_t acc = 0;
-  uint32_t acc_bits = 0;
-  for (size_t i = 0; i < count; ++i) {
-    if (acc_bits < bits) {
-      if constexpr (std::endian::native == std::endian::little) {
-        if (hard_end - p >= 4) {
-          uint32_t word;
-          std::memcpy(&word, p, sizeof(word));
-          acc |= static_cast<uint64_t>(word) << acc_bits;
-          p += 4;
-          acc_bits += 32;
-        }
-      }
-      while (acc_bits < bits) {
-        acc |= static_cast<uint64_t>(*p++) << acc_bits;
-        acc_bits += 8;
-      }
-    }
-    out[i] = static_cast<uint32_t>(acc & mask);
-    acc >>= bits;
-    acc_bits -= bits;
-  }
+  // Validation done; the unpack itself goes through the runtime-dispatched
+  // kernel (simd_unpack.cc: scalar / SSE2 / AVX2, bit-identical output).
+  // Values are extracted low-bits-first, so a wide load that pulls in
+  // bytes past the packed section (but within `avail`) never contaminates
+  // the decoded values.
+  UnpackBitsDispatch(p, avail, count, bits, out);
   return Status::OK();
 }
 
@@ -279,39 +256,208 @@ Status ForBlockCodec::Decode(std::string_view in, DocId base, size_t count,
 
 namespace {
 
-/// Encodes one block with a leading codec tag, picking the smaller
-/// encoding under kAuto (the auto-selection rule: FOR's size is computed
-/// analytically, varint's by encoding into scratch).
-void EncodeTaggedBlock(std::span<const Posting> block, DocId base,
-                       CodecPolicy policy, std::string& out,
-                       std::string& scratch) {
-  bool use_for;
+inline size_t BitmapBytesFor(uint32_t range) { return (range + 7) / 8; }
+
+/// Max tf bit width of a block (the bitmap header's only per-value width).
+uint32_t TfWidth(std::span<const Posting> postings) {
+  uint32_t tb = 0;
+  for (const Posting& p : postings) tb = std::max(tb, BitsNeeded(p.tf));
+  return tb;
+}
+
+}  // namespace
+
+size_t BitmapBlockCodec::EncodedSize(std::span<const Posting> postings,
+                                     DocId base) {
+  if (postings.empty()) return SIZE_MAX;
+  // Bit 0 maps to docid base + 1: a first block starting at docid 0 (doc
+  // == base == 0) has no slot, so it cannot be bitmapped.
+  if (postings.front().doc <= base) return SIZE_MAX;
+  uint32_t range = postings.back().doc - base;
+  if (range > kMaxRange) return SIZE_MAX;
+  return 1 + 4 + BitmapBytesFor(range) +
+         PackedBytes(postings.size(), TfWidth(postings));
+}
+
+void BitmapBlockCodec::Encode(std::span<const Posting> postings, DocId base,
+                              std::string& out) {
+  const uint32_t range = postings.back().doc - base;
+  const uint32_t tf_bits = TfWidth(postings);
+  out.push_back(static_cast<char>(tf_bits));
+  for (int b = 0; b < 4; ++b) {
+    out.push_back(static_cast<char>((range >> (8 * b)) & 0xFF));
+  }
+  const size_t bm_start = out.size();
+  out.append(BitmapBytesFor(range), '\0');
+  for (const Posting& p : postings) {
+    uint32_t off = p.doc - base - 1;  // bit 0 <=> docid base + 1
+    out[bm_start + (off >> 3)] |= static_cast<char>(1u << (off & 7));
+  }
+  std::vector<uint32_t> tfs(postings.size());
+  for (size_t i = 0; i < postings.size(); ++i) tfs[i] = postings[i].tf;
+  ForBlockCodec::PackBits(tfs.data(), tfs.size(), tf_bits, out);
+}
+
+Result<BitmapBlockCodec::View> BitmapBlockCodec::MakeView(
+    std::string_view in, DocId base) {
+  if (in.size() < 5) return Status::OutOfRange("truncated bitmap header");
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data());
+  uint32_t range = 0;
+  for (int b = 0; b < 4; ++b) range |= static_cast<uint32_t>(p[1 + b]) << (8 * b);
+  if (range == 0 || range > kMaxRange) {
+    return Status::InvalidArgument("corrupt bitmap range");
+  }
+  if (in.size() < 5 + BitmapBytesFor(range)) {
+    return Status::OutOfRange("truncated bitmap block");
+  }
+  if (base + static_cast<uint64_t>(range) >= kInvalidDocId) {
+    return Status::InvalidArgument("docid overflow in bitmap block");
+  }
+  View v;
+  v.bits = p + 5;
+  v.range = range;
+  v.first = base + 1;
+  return v;
+}
+
+Status BitmapBlockCodec::DecodeDocs(std::string_view in, DocId base,
+                                    size_t count, std::vector<DocId>& docs,
+                                    size_t* tf_offset) {
+  auto view_r = MakeView(in, base);
+  CSR_RETURN_NOT_OK(view_r.status());
+  const View& v = view_r.value();
+  if (v.range < count) {
+    return Status::InvalidArgument("bitmap range below block count");
+  }
+  const size_t bm_bytes = BitmapBytesFor(v.range);
+  docs.clear();
+  docs.reserve(count);
+  // Word-wise scan: load 8 bitmap bytes at a time, peel set bits with
+  // countr_zero. Bits at or past `range` in the final word must be zero —
+  // set ones are corruption, as is any population other than `count`.
+  for (size_t byte = 0; byte < bm_bytes; byte += 8) {
+    uint64_t w = 0;
+    size_t n = std::min<size_t>(8, bm_bytes - byte);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&w, v.bits + byte, n);
+    } else {
+      for (size_t k = 0; k < n; ++k) {
+        w |= static_cast<uint64_t>(v.bits[byte + k]) << (8 * k);
+      }
+    }
+    const uint64_t bit_base = byte * 8;
+    if (bit_base + 64 > v.range) {
+      uint64_t valid = v.range - bit_base;  // < 64
+      if ((w >> valid) != 0) {
+        return Status::InvalidArgument("bitmap bits set past range");
+      }
+    }
+    while (w != 0) {
+      unsigned b = static_cast<unsigned>(std::countr_zero(w));
+      if (docs.size() == count) {
+        return Status::InvalidArgument("bitmap population mismatch");
+      }
+      docs.push_back(v.first + static_cast<DocId>(bit_base + b));
+      w &= w - 1;
+    }
+  }
+  if (docs.size() != count) {
+    return Status::InvalidArgument("bitmap population mismatch");
+  }
+  *tf_offset = 5 + bm_bytes;
+  return Status::OK();
+}
+
+Status BitmapBlockCodec::DecodeTfs(std::string_view in, size_t tf_offset,
+                                   size_t count, std::vector<uint32_t>& tfs) {
+  if (in.size() < 5 || tf_offset > in.size()) {
+    return Status::OutOfRange("truncated bitmap block");
+  }
+  uint32_t tf_bits = static_cast<uint8_t>(in[0]);
+  if (tf_bits > 32) {
+    return Status::InvalidArgument("corrupt bitmap tf width");
+  }
+  size_t tf_bytes = PackedBytes(count, tf_bits);
+  if (in.size() < tf_offset + tf_bytes) {
+    return Status::OutOfRange("truncated bitmap block");
+  }
+  tfs.resize(count);
+  return ForBlockCodec::UnpackBits(
+      reinterpret_cast<const uint8_t*>(in.data()) + tf_offset, tf_bytes,
+      count, tf_bits, tfs.data());
+}
+
+Status BitmapBlockCodec::Decode(std::string_view in, DocId base,
+                                size_t count, std::vector<Posting>& out) {
+  std::vector<DocId> docs;
+  std::vector<uint32_t> tfs;
+  size_t tf_offset = 0;
+  CSR_RETURN_NOT_OK(DecodeDocs(in, base, count, docs, &tf_offset));
+  CSR_RETURN_NOT_OK(DecodeTfs(in, tf_offset, count, tfs));
+  out.resize(count);
+  for (size_t i = 0; i < count; ++i) out[i] = Posting{docs[i], tfs[i]};
+  return Status::OK();
+}
+
+namespace {
+
+/// Encodes one block with a leading codec tag, picking the smallest
+/// encoding under kAuto (the auto-selection rule: FOR's and the bitmap's
+/// sizes are computed analytically, varint's by encoding into scratch).
+BlockCodec EncodeTaggedBlock(std::span<const Posting> block, DocId base,
+                             CodecPolicy policy, std::string& out,
+                             std::string& scratch) {
+  BlockCodec pick;
   switch (policy) {
     case CodecPolicy::kVarintOnly:
-      use_for = false;
+      pick = BlockCodec::kVarint;
       break;
     case CodecPolicy::kForOnly:
-      use_for = true;
+      pick = BlockCodec::kFor;
       break;
+    case CodecPolicy::kBitmapPreferred: {
+      // Bitmap whenever representable without exceeding the uncompressed
+      // footprint; FOR otherwise (sparse blocks would explode as bitsets).
+      size_t bm = BitmapBlockCodec::EncodedSize(block, base);
+      pick = bm != SIZE_MAX && bm <= block.size() * sizeof(Posting)
+                 ? BlockCodec::kBitmap
+                 : BlockCodec::kFor;
+      break;
+    }
     case CodecPolicy::kAuto:
     default: {
       scratch.clear();
       PostingBlockCodec::Encode(block, base, scratch);
-      use_for = ForBlockCodec::EncodedSize(block, base) < scratch.size();
+      size_t var_size = scratch.size();
+      size_t for_size = ForBlockCodec::EncodedSize(block, base);
+      size_t bm_size = BitmapBlockCodec::EncodedSize(block, base);
+      if (bm_size <= for_size && bm_size <= var_size) {
+        pick = BlockCodec::kBitmap;  // ties go to the faster probes
+      } else if (for_size < var_size) {
+        pick = BlockCodec::kFor;
+      } else {
+        pick = BlockCodec::kVarint;
+      }
       break;
     }
   }
-  if (use_for) {
-    out.push_back(static_cast<char>(BlockCodec::kFor));
-    ForBlockCodec::Encode(block, base, out);
-  } else {
-    out.push_back(static_cast<char>(BlockCodec::kVarint));
-    if (policy == CodecPolicy::kAuto) {
-      out.append(scratch);  // already encoded by the size probe
-    } else {
-      PostingBlockCodec::Encode(block, base, out);
-    }
+  out.push_back(static_cast<char>(pick));
+  switch (pick) {
+    case BlockCodec::kFor:
+      ForBlockCodec::Encode(block, base, out);
+      break;
+    case BlockCodec::kBitmap:
+      BitmapBlockCodec::Encode(block, base, out);
+      break;
+    case BlockCodec::kVarint:
+      if (policy == CodecPolicy::kAuto) {
+        out.append(scratch);  // already encoded by the size probe
+      } else {
+        PostingBlockCodec::Encode(block, base, out);
+      }
+      break;
   }
+  return pick;
 }
 
 /// Decodes a tagged block. Typed errors on unknown tags or corrupt bodies.
@@ -325,6 +471,8 @@ Status DecodeTaggedBlock(std::string_view in, DocId base, size_t count,
       return PostingBlockCodec::Decode(body, base, count, out);
     case BlockCodec::kFor:
       return ForBlockCodec::Decode(body, base, count, out);
+    case BlockCodec::kBitmap:
+      return BitmapBlockCodec::Decode(body, base, count, out);
   }
   return Status::InvalidArgument("unknown posting block codec tag");
 }
@@ -342,6 +490,9 @@ Status DecodeTaggedDocs(std::string_view in, DocId base, size_t count,
                                            tf_offset);
     case BlockCodec::kFor:
       return ForBlockCodec::DecodeDocs(body, base, count, docs, tf_offset);
+    case BlockCodec::kBitmap:
+      return BitmapBlockCodec::DecodeDocs(body, base, count, docs,
+                                          tf_offset);
   }
   return Status::InvalidArgument("unknown posting block codec tag");
 }
@@ -356,6 +507,8 @@ Status DecodeTaggedTfs(std::string_view in, size_t tf_offset, size_t count,
       return PostingBlockCodec::DecodeTfs(body, tf_offset, count, tfs);
     case BlockCodec::kFor:
       return ForBlockCodec::DecodeTfs(body, tf_offset, count, tfs);
+    case BlockCodec::kBitmap:
+      return BitmapBlockCodec::DecodeTfs(body, tf_offset, count, tfs);
   }
   return Status::InvalidArgument("unknown posting block codec tag");
 }
@@ -386,7 +539,9 @@ CompressedPostingList CompressedPostingList::FromPostings(
       out.total_tf_ += p.tf;
     }
     out.max_tf_ = std::max(out.max_tf_, meta.max_tf);
-    EncodeTaggedBlock(block, base, policy, out.bytes_, scratch);
+    BlockCodec picked =
+        EncodeTaggedBlock(block, base, policy, out.bytes_, scratch);
+    out.codec_counts_[static_cast<size_t>(picked)]++;
     out.blocks_.push_back(meta);
     base = meta.max_doc;
   }
@@ -434,6 +589,15 @@ Result<CompressedPostingList> CompressedPostingList::FromParts(Parts parts) {
     if (m.max_tf > out.max_tf_) {
       return Status::InvalidArgument("block max_tf exceeds list max_tf");
     }
+    // The codec tag is part of the persisted bytes; an unknown value means
+    // the file was corrupted (or written by a future format) — reject here
+    // so the snapshot loader can fall back to a rebuild instead of
+    // poisoning iterators at query time.
+    uint8_t tag = static_cast<uint8_t>(out.bytes_[m.offset]);
+    if (tag > static_cast<uint8_t>(BlockCodec::kBitmap)) {
+      return Status::InvalidArgument("unknown posting block codec tag");
+    }
+    out.codec_counts_[tag]++;
     counted += m.count;
   }
   if (counted != out.num_postings_) {
@@ -462,17 +626,21 @@ bool CompressedPostingList::BlockBound(DocId target, size_t hint,
   return true;
 }
 
+std::string_view CompressedPostingList::BlockBytes(size_t block) const {
+  const BlockMeta& meta = blocks_[block];
+  size_t end =
+      (block + 1 < blocks_.size()) ? blocks_[block + 1].offset : bytes_.size();
+  return std::string_view(bytes_.data() + meta.offset, end - meta.offset);
+}
+
 std::vector<Posting> CompressedPostingList::Decode() const {
   std::vector<Posting> all;
   all.reserve(num_postings_);
   std::vector<Posting> block;
   for (size_t b = 0; b < blocks_.size(); ++b) {
     const BlockMeta& meta = blocks_[b];
-    size_t end = (b + 1 < blocks_.size()) ? blocks_[b + 1].offset
-                                          : bytes_.size();
-    std::string_view raw(bytes_.data() + meta.offset, end - meta.offset);
     // Corruption is impossible for self-built lists; assert via ok().
-    Status s = DecodeTaggedBlock(raw, meta.base, meta.count, block);
+    Status s = DecodeTaggedBlock(BlockBytes(b), meta.base, meta.count, block);
     if (!s.ok()) return all;
     all.insert(all.end(), block.begin(), block.end());
   }
@@ -491,12 +659,7 @@ CompressedPostingList::Iterator::Iterator(const CompressedPostingList* list,
 
 std::string_view CompressedPostingList::Iterator::BlockBytes(
     size_t block) const {
-  const BlockMeta& meta = list_->blocks_[block];
-  size_t end = (block + 1 < list_->blocks_.size())
-                   ? list_->blocks_[block + 1].offset
-                   : list_->bytes_.size();
-  return std::string_view(list_->bytes_.data() + meta.offset,
-                          end - meta.offset);
+  return list_->BlockBytes(block);
 }
 
 void CompressedPostingList::Iterator::LoadBlock(size_t block) {
@@ -606,28 +769,326 @@ void CompressedPostingList::Iterator::SkipTo(DocId target) {
   if (cost_ != nullptr) cost_->entries_scanned += probes;
 }
 
+void CompressedPostingList::Iterator::MergeTo(DocId target) {
+  while (!at_end_ && docs_[pos_] < target) {
+    if (pos_ + 1 < docs_.size()) {
+      ++pos_;
+      if (cost_ != nullptr) cost_->entries_scanned++;
+    } else if (block_ + 1 < list_->blocks_.size() &&
+               list_->blocks_[block_ + 1].max_doc >= target) {
+      LoadBlock(block_ + 1);
+      if (cost_ != nullptr) cost_->entries_scanned++;
+    } else {
+      // Either exhausted or the next block(s) lie entirely below target:
+      // let SkipTo bypass them without decoding.
+      SkipTo(target);
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// 64 bitmap bits starting at bit `bit_off`; bits past the bitmap's end
+/// read as zero. LSB of the result is bit `bit_off`.
+inline uint64_t BitmapWindow(const uint8_t* bits, size_t nbytes,
+                             uint64_t bit_off) {
+  const size_t byte = bit_off >> 3;
+  const unsigned sh = static_cast<unsigned>(bit_off & 7);
+  if (byte >= nbytes) return 0;
+  const size_t n = nbytes - byte;
+  uint64_t lo = 0;
+  uint8_t ex = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    if (n >= 9) {
+      std::memcpy(&lo, bits + byte, 8);
+      ex = bits[byte + 8];
+    } else {
+      std::memcpy(&lo, bits + byte, std::min<size_t>(n, 8));
+    }
+  } else {
+    for (size_t k = 0; k < n && k < 8; ++k) {
+      lo |= static_cast<uint64_t>(bits[byte + k]) << (8 * k);
+    }
+    if (n >= 9) ex = bits[byte + 8];
+  }
+  return sh == 0 ? lo
+                 : (lo >> sh) | (static_cast<uint64_t>(ex) << (64 - sh));
+}
+
+/// One side of the pairwise kernel: walks the block directory forward,
+/// materializing per block either the bitmap view (zero-copy) or the
+/// decoded docid array — whichever the probes need — and charging the
+/// block's decode bytes to CostCounters exactly once however many probes
+/// land in it.
+class PairwiseSide {
+ public:
+  PairwiseSide(const CompressedPostingList& list, CostCounters* cost)
+      : list_(list), cost_(cost) {}
+
+  bool exhausted() const { return cur_ >= list_.num_blocks(); }
+  const CompressedPostingList::BlockMeta& meta() const {
+    return list_.blocks()[cur_];
+  }
+  bool loaded() const { return charged_; }
+  size_t current_block() const { return cur_; }
+
+  void MoveTo(size_t next) {
+    cur_ = next;
+    tagged_ = false;
+    view_ok_ = false;
+    docs_ok_ = false;
+    charged_ = false;
+    pos_ = 0;
+  }
+
+  /// Advances the current block until meta().max_doc >= d (gallop +
+  /// binary search over the directory, skipped blocks never decoded).
+  bool SeekBlock(DocId d) {
+    auto blocks = list_.blocks();
+    if (cur_ >= blocks.size()) return false;
+    if (blocks[cur_].max_doc >= d) return true;
+    size_t bound = 1;
+    while (cur_ + bound < blocks.size() &&
+           blocks[cur_ + bound].max_doc < d) {
+      bound <<= 1;
+    }
+    size_t lo = cur_ + bound / 2 + 1;
+    size_t hi = std::min(cur_ + bound + 1, blocks.size());
+    auto it = std::lower_bound(
+        blocks.begin() + lo, blocks.begin() + hi, d,
+        [](const CompressedPostingList::BlockMeta& m, DocId t) {
+          return m.max_doc < t;
+        });
+    size_t next = static_cast<size_t>(it - blocks.begin());
+    if (cost_ != nullptr) {
+      cost_->skips_taken++;
+      if (next > cur_ + 1) cost_->blocks_skipped += next - cur_ - 1;
+    }
+    MoveTo(next);
+    return cur_ < blocks.size();
+  }
+
+  bool IsBitmap() {
+    if (!tagged_) {
+      tagged_ = true;
+      is_bitmap_ = list_.BlockCodecTag(cur_) == BlockCodec::kBitmap;
+    }
+    return is_bitmap_;
+  }
+
+  /// Zero-copy bitmap view of the current (bitmap) block.
+  const BitmapBlockCodec::View& View() {
+    if (!view_ok_) {
+      view_ok_ = true;
+      std::string_view raw = list_.BlockBytes(cur_);
+      auto v = BitmapBlockCodec::MakeView(raw.substr(1), meta().base);
+      // Self-built or checksum-verified bytes; a failure here means the
+      // in-memory image was corrupted. Poison to an empty view.
+      view_ = v.ok() ? v.value() : BitmapBlockCodec::View{};
+      ChargeOnce(1 + 5 + (static_cast<size_t>(view_.range) + 7) / 8);
+    }
+    return view_;
+  }
+
+  /// Decoded docids of the current block (any representation).
+  std::span<const DocId> Docs() {
+    if (!docs_ok_) {
+      docs_ok_ = true;
+      size_t tf_offset = 0;
+      Status s = DecodeTaggedDocs(list_.BlockBytes(cur_), meta().base,
+                                  meta().count, docs_, &tf_offset);
+      if (!s.ok()) docs_.clear();  // poison, mirroring Iterator::LoadBlock
+      ChargeOnce(1 + tf_offset);
+    }
+    return docs_;
+  }
+
+  size_t& pos() { return pos_; }
+
+  /// Membership probe for d in the current block; d must not exceed
+  /// meta().max_doc. Probes are monotone within a block, advancing an
+  /// internal cursor by linear (merge) or galloping steps.
+  bool Contains(DocId d, bool merge_probe) {
+    const auto& m = meta();
+    // In the gap before this block. Block 0 may legitimately start AT its
+    // base (docid 0, base 0); every later block's docs are strictly > base.
+    if (d < m.base || (d == m.base && cur_ != 0)) return false;
+    if (cost_ != nullptr) cost_->entries_scanned++;
+    if (IsBitmap()) return View().Test(d);
+    std::span<const DocId> docs = Docs();
+    if (merge_probe) {
+      while (pos_ < docs.size() && docs[pos_] < d) ++pos_;
+    } else {
+      size_t bound = 1;
+      while (pos_ + bound < docs.size() && docs[pos_ + bound] < d) {
+        bound <<= 1;
+      }
+      size_t lo = pos_ + bound / 2;
+      size_t hi = std::min(pos_ + bound + 1, docs.size());
+      pos_ = static_cast<size_t>(
+          std::lower_bound(docs.begin() + lo, docs.begin() + hi, d) -
+          docs.begin());
+    }
+    return pos_ < docs.size() && docs[pos_] == d;
+  }
+
+ private:
+  void ChargeOnce(size_t bytes) {
+    if (charged_ || cost_ == nullptr) return;
+    charged_ = true;
+    cost_->segments_touched++;
+    cost_->bytes_touched += bytes;
+  }
+
+  const CompressedPostingList& list_;
+  CostCounters* cost_;
+  size_t cur_ = 0;
+  bool tagged_ = false;
+  bool is_bitmap_ = false;
+  bool view_ok_ = false;
+  bool docs_ok_ = false;
+  bool charged_ = false;
+  BitmapBlockCodec::View view_;
+  std::vector<DocId> docs_;
+  size_t pos_ = 0;
+};
+
+/// The pairwise loop: for each driver block, windows of candidate docids
+/// are intersected against the probe side's blocks. Sink sees either
+/// whole 64-bit AND words (Word) or individual matches (Doc), always in
+/// increasing docid order.
+template <typename Sink>
+void PairwiseIntersectImpl(const CompressedPostingList& drv,
+                           const CompressedPostingList& oth,
+                           CostCounters* drv_cost, CostCounters* oth_cost,
+                           bool merge_probe, Sink&& sink) {
+  PairwiseSide a(drv, drv_cost);
+  PairwiseSide b(oth, oth_cost);
+  const size_t nblocks = drv.num_blocks();
+  for (size_t db = 0; db < nblocks; ++db) {
+    a.MoveTo(db);
+    const auto& m = a.meta();
+    // Candidates live in [base, max_doc] for the very first block (docid
+    // 0 can equal base 0) and (base, max_doc] afterwards.
+    uint64_t next_d = static_cast<uint64_t>(m.base) + (db == 0 ? 0 : 1);
+    bool drv_block_touched = false;
+    while (next_d <= m.max_doc) {
+      if (!b.SeekBlock(static_cast<DocId>(next_d))) return;
+      const auto& om = b.meta();
+      if (om.base > m.max_doc) break;  // no probe docs within this block
+      const DocId hi = std::min(m.max_doc, om.max_doc);
+      if (a.IsBitmap() && b.IsBitmap()) {
+        const BitmapBlockCodec::View& va = a.View();
+        const BitmapBlockCodec::View& vb = b.View();
+        drv_block_touched = true;
+        const size_t na = (static_cast<size_t>(va.range) + 7) / 8;
+        const size_t nb = (static_cast<size_t>(vb.range) + 7) / 8;
+        uint64_t lo = std::max({next_d, static_cast<uint64_t>(va.first),
+                                static_cast<uint64_t>(vb.first)});
+        for (uint64_t chunk = lo; chunk <= hi; chunk += 64) {
+          uint64_t w = BitmapWindow(va.bits, na, chunk - va.first) &
+                       BitmapWindow(vb.bits, nb, chunk - vb.first);
+          const uint64_t span = hi - chunk;  // inclusive span minus one
+          if (span < 63) w &= (1ull << (span + 1)) - 1;
+          if (w != 0) sink.Word(static_cast<DocId>(chunk), w);
+        }
+        if (oth_cost != nullptr) {
+          oth_cost->entries_scanned += (hi - lo) / 64 + 1;
+        }
+      } else {
+        std::span<const DocId> docs = a.Docs();
+        drv_block_touched = true;
+        size_t& pos = a.pos();
+        while (pos < docs.size() && docs[pos] < next_d) ++pos;
+        for (; pos < docs.size() && docs[pos] <= hi; ++pos) {
+          if (b.Contains(docs[pos], merge_probe)) sink.Doc(docs[pos]);
+        }
+        if (pos >= docs.size()) break;  // driver block exhausted
+        if (docs[pos] > hi) {
+          // Gallop straight to the next driver candidate: SeekBlock can
+          // then leap candidate-free probe blocks (charged to
+          // blocks_skipped) instead of walking them one by one.
+          next_d = docs[pos];
+          continue;
+        }
+      }
+      if (hi >= m.max_doc) break;
+      next_d = static_cast<uint64_t>(hi) + 1;
+    }
+    if (!drv_block_touched && drv_cost != nullptr) {
+      drv_cost->blocks_skipped++;  // bypassed without decoding
+    }
+    if (b.exhausted()) return;
+  }
+}
+
+struct CountSink {
+  uint64_t n = 0;
+  void Doc(DocId) { ++n; }
+  void Word(DocId, uint64_t w) { n += static_cast<uint64_t>(std::popcount(w)); }
+};
+
+struct ScanSink {
+  const std::function<void(DocId)>* fn;
+  uint64_t n = 0;
+  void Doc(DocId d) {
+    ++n;
+    (*fn)(d);
+  }
+  void Word(DocId first, uint64_t w) {
+    while (w != 0) {
+      unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      Doc(first + bit);
+      w &= w - 1;
+    }
+  }
+};
+
+bool PairwiseMergeProbe(const CompressedPostingList& drv,
+                        const CompressedPostingList& oth) {
+  return ChooseIntersectStrategy(drv.size(), oth.size(),
+                                 drv.has_bitmap_blocks(),
+                                 oth.has_bitmap_blocks()) ==
+         IntersectStrategy::kMerge;
+}
+
+}  // namespace
+
+uint64_t CountPairwiseIntersection(const CompressedPostingList& a,
+                                   const CompressedPostingList& b,
+                                   CostCounters* cost_a,
+                                   CostCounters* cost_b) {
+  if (a.empty() || b.empty()) return 0;
+  const bool a_drives = a.size() <= b.size();
+  const CompressedPostingList& drv = a_drives ? a : b;
+  const CompressedPostingList& oth = a_drives ? b : a;
+  CountSink sink;
+  PairwiseIntersectImpl(drv, oth, a_drives ? cost_a : cost_b,
+                        a_drives ? cost_b : cost_a,
+                        PairwiseMergeProbe(drv, oth), sink);
+  return sink.n;
+}
+
+uint64_t ScanPairwiseIntersection(const CompressedPostingList& a,
+                                  const CompressedPostingList& b,
+                                  CostCounters* cost_a, CostCounters* cost_b,
+                                  const std::function<void(DocId)>& on_match) {
+  if (a.empty() || b.empty()) return 0;
+  const bool a_drives = a.size() <= b.size();
+  const CompressedPostingList& drv = a_drives ? a : b;
+  const CompressedPostingList& oth = a_drives ? b : a;
+  ScanSink sink{&on_match};
+  PairwiseIntersectImpl(drv, oth, a_drives ? cost_a : cost_b,
+                        a_drives ? cost_b : cost_a,
+                        PairwiseMergeProbe(drv, oth), sink);
+  return sink.n;
+}
+
 uint64_t CountCompressedIntersection(const CompressedPostingList& a,
                                      const CompressedPostingList& b,
                                      CostCounters* cost) {
-  if (a.empty() || b.empty()) return 0;
-  // Drive with the shorter list.
-  const CompressedPostingList& drv = a.size() <= b.size() ? a : b;
-  const CompressedPostingList& oth = a.size() <= b.size() ? b : a;
-  uint64_t n = 0;
-  auto di = drv.MakeIterator(cost);
-  auto oi = oth.MakeIterator(cost);
-  while (!di.AtEnd() && !oi.AtEnd()) {
-    DocId d = di.doc();
-    oi.SkipTo(d);
-    if (oi.AtEnd()) break;
-    if (oi.doc() == d) {
-      ++n;
-      di.Next();
-    } else {
-      di.SkipTo(oi.doc());
-    }
-  }
-  return n;
+  return CountPairwiseIntersection(a, b, cost, cost);
 }
 
 }  // namespace csr

@@ -1,8 +1,10 @@
 #ifndef CSR_INDEX_CODEC_H_
 #define CSR_INDEX_CODEC_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -80,18 +82,82 @@ class ForBlockCodec {
   /// Fixed-width kernels, exposed for tests and benches. PackBits appends
   /// `count` values at `bits` width (LSB-first) to out; UnpackBits reads
   /// them back, returning OutOfRange when `avail` bytes cannot hold them.
+  /// UnpackBits validates, then runs the SIMD-dispatched kernel
+  /// (simd_unpack.h) — scalar, SSE2, or AVX2, selected once at startup.
   static void PackBits(const uint32_t* values, size_t count, uint32_t bits,
                        std::string& out);
   static Status UnpackBits(const uint8_t* p, size_t avail, size_t count,
                            uint32_t bits, uint32_t* out);
 };
 
-/// Per-block codec tag (first byte of every encoded block).
-enum class BlockCodec : uint8_t { kVarint = 0, kFor = 1 };
+/// Bitmap block container: when a block's doc range is dense enough that
+/// one bit per candidate docid beats one packed delta per posting, the
+/// docid section becomes a plain bitset. Membership probes are O(1) and
+/// intersection against another bitmap is a word-wise AND — the kernels
+/// intersection.cc uses for dense∧dense and dense∧sparse block pairs.
+///
+/// Block layout (after the 1-byte codec tag):
+///   u8  tf_bits                  (0..32; bit width of the tfs)
+///   u32 range                    (LE; bitmap bit count, see below)
+///   ceil(range / 8) bitmap bytes (LSB-first; bit j set <=> docid
+///                                 base + 1 + j is present)
+///   ceil(count * tf_bits / 8) bytes of LSB-first packed tfs (doc order)
+///
+/// `range` = last docid - base, so the bitmap covers (base, last] with no
+/// slack. Selection (kAuto) is purely by encoded size, which makes the
+/// break-even analytic: the bitmap wins when the block density
+/// count/range exceeds roughly doc_bits/8 bits-per-slot of FOR.
+class BitmapBlockCodec {
+ public:
+  /// Densest range the codec will bitmap (guards pathological forced
+  /// encodes; kAuto is additionally size-gated so it never gets close).
+  static constexpr uint32_t kMaxRange = 1u << 20;
 
-/// How blocks pick their codec. kAuto takes whichever encoding is smaller
-/// per block; the forced policies exist for the codec ablation bench.
-enum class CodecPolicy { kAuto, kVarintOnly, kForOnly };
+  /// SIZE_MAX when the block cannot be bitmapped (empty or range beyond
+  /// kMaxRange); otherwise the exact encoded body size for auto-selection.
+  static size_t EncodedSize(std::span<const Posting> postings, DocId base);
+
+  static void Encode(std::span<const Posting> postings, DocId base,
+                     std::string& out);
+
+  /// Decodes exactly `count` postings. OutOfRange on truncation;
+  /// InvalidArgument on corrupt range, set bits past the range, a
+  /// population disagreeing with `count`, or docid overflow.
+  static Status Decode(std::string_view in, DocId base, size_t count,
+                       std::vector<Posting>& out);
+  static Status DecodeDocs(std::string_view in, DocId base, size_t count,
+                           std::vector<DocId>& docs, size_t* tf_offset);
+  static Status DecodeTfs(std::string_view in, size_t tf_offset,
+                          size_t count, std::vector<uint32_t>& tfs);
+
+  /// Zero-copy view of the bitmap section for the block-wise intersection
+  /// kernels: membership of docid d is bit (d - first) for d in
+  /// [first, first + range). Validates the header and section bounds but
+  /// not the population (the strict Decode path does).
+  struct View {
+    const uint8_t* bits = nullptr;
+    uint32_t range = 0;
+    DocId first = 0;  // docid of bit 0 (= block base + 1)
+    bool Test(DocId d) const {
+      uint32_t off = d - first;  // wraps for d < first; range check catches
+      return off < range && (bits[off >> 3] >> (off & 7)) & 1;
+    }
+  };
+  static Result<View> MakeView(std::string_view in, DocId base);
+};
+
+/// Per-block codec tag (first byte of every encoded block). Persisted
+/// verbatim by the snapshot writer; an unknown tag is typed
+/// InvalidArgument at load/decode time, which the snapshot reader treats
+/// as corruption and falls back to a rebuild.
+enum class BlockCodec : uint8_t { kVarint = 0, kFor = 1, kBitmap = 2 };
+
+/// How blocks pick their codec. kAuto takes whichever encoding is
+/// smallest per block (varint vs FOR vs bitmap); kBitmapPreferred forces
+/// the bitmap whenever the block is bitmappable without blowing past the
+/// uncompressed footprint (representation-matrix tests); the remaining
+/// forced policies exist for the codec ablation bench.
+enum class CodecPolicy { kAuto, kVarintOnly, kForOnly, kBitmapPreferred };
 
 /// An immutable, block-compressed posting list with a per-block skip
 /// table carrying block-max metadata (max docid AND max tf per block, the
@@ -146,6 +212,26 @@ class CompressedPostingList {
   /// Raw encoded bytes (serialized verbatim by the snapshot writer).
   const std::string& raw_bytes() const { return bytes_; }
 
+  /// The encoded bytes of one block: tag byte + body.
+  std::string_view BlockBytes(size_t block) const;
+  /// Codec tag of one block (what the first byte says; never validated
+  /// against the enum here — decode paths type the error).
+  BlockCodec BlockCodecTag(size_t block) const {
+    return static_cast<BlockCodec>(
+        static_cast<uint8_t>(bytes_[blocks_[block].offset]));
+  }
+
+  /// Per-representation block tally, indexed by BlockCodec — the
+  /// dispatch report surfaced by shell .stats and the kernels bench
+  /// section. Maintained by both build paths (FromPostings counts as it
+  /// encodes; FromParts counts while validating tags).
+  const std::array<uint64_t, 3>& codec_block_counts() const {
+    return codec_counts_;
+  }
+  bool has_bitmap_blocks() const {
+    return codec_counts_[static_cast<size_t>(BlockCodec::kBitmap)] > 0;
+  }
+
   uint64_t MemoryBytes() const {
     return bytes_.size() + blocks_.size() * sizeof(BlockMeta);
   }
@@ -182,6 +268,12 @@ class CompressedPostingList {
     void Next();
     void SkipTo(DocId target);
 
+    /// Advances to the first posting with docid >= target by linear
+    /// stepping within the current block — the merge strategy for
+    /// comparably-sized lists. Falls back to SkipTo at block boundaries
+    /// so runs of non-overlapping blocks are still bypassed undecoded.
+    void MergeTo(DocId target);
+
    private:
     void LoadBlock(size_t block);
     void LoadTfs() const;
@@ -209,10 +301,32 @@ class CompressedPostingList {
   uint32_t max_tf_ = 0;
   std::string bytes_;
   std::vector<BlockMeta> blocks_;
+  std::array<uint64_t, 3> codec_counts_{};  // indexed by BlockCodec
 };
 
-/// Counts the intersection of two compressed lists (leapfrog with skips);
-/// exercised by tests and the codec ablation.
+/// Block-wise pairwise intersection — the guard-free fast path the
+/// entry points in intersection.h route two-list conjunctions through.
+/// Drives with the shorter list; bitmap blocks are consumed via word-wise
+/// AND (both sides bitmap) or O(1) membership probes (one side bitmap),
+/// array blocks are SIMD-decoded once per block and probed by galloping
+/// or linear merge steps per ChooseIntersectStrategy. Blocks whose range
+/// cannot overlap the other list are skipped without decoding, and decode
+/// bytes are charged to CostCounters exactly once per block touched.
+/// Matches arrive in increasing docid order. Guarded scans must use
+/// ConjunctionIterator instead: its per-candidate ScanGuard ticks are
+/// representation-independent, which the degradation-parity contract
+/// relies on.
+uint64_t CountPairwiseIntersection(const CompressedPostingList& a,
+                                   const CompressedPostingList& b,
+                                   CostCounters* cost_a = nullptr,
+                                   CostCounters* cost_b = nullptr);
+uint64_t ScanPairwiseIntersection(const CompressedPostingList& a,
+                                  const CompressedPostingList& b,
+                                  CostCounters* cost_a, CostCounters* cost_b,
+                                  const std::function<void(DocId)>& on_match);
+
+/// Counts the intersection of two compressed lists; exercised by tests
+/// and the codec ablation. Delegates to CountPairwiseIntersection.
 uint64_t CountCompressedIntersection(const CompressedPostingList& a,
                                      const CompressedPostingList& b,
                                      CostCounters* cost = nullptr);

@@ -47,6 +47,34 @@ struct CostCounters {
   }
 };
 
+/// How a pairwise intersection steps its lists. Chosen per list-pair from
+/// the lengths and block representations (ChooseIntersectStrategy below);
+/// every strategy visits exactly the same matches — only the probe cost
+/// differs — so results are bit-identical by construction.
+enum class IntersectStrategy : uint8_t {
+  kMerge,      // linear stepping: comparable lengths, gaps of O(1) steps
+  kGallop,     // exponential probes: one list much longer than the other
+  kBitmapAnd,  // word-wise AND / O(1) bit probes through bitmap blocks
+};
+
+/// Expected inter-match gap in the longer list ~= length ratio; galloping
+/// costs ~2·log2(gap) probes against the merge's gap single-compare
+/// steps, which puts the crossover near a ratio of 16.
+inline constexpr uint64_t kGallopRatioThreshold = 16;
+
+inline IntersectStrategy ChooseIntersectStrategy(uint64_t short_len,
+                                                 uint64_t long_len,
+                                                 bool short_has_bitmaps,
+                                                 bool long_has_bitmaps) {
+  if (short_has_bitmaps || long_has_bitmaps) {
+    return IntersectStrategy::kBitmapAnd;
+  }
+  if (short_len == 0) return IntersectStrategy::kGallop;
+  return long_len / short_len >= kGallopRatioThreshold
+             ? IntersectStrategy::kGallop
+             : IntersectStrategy::kMerge;
+}
+
 }  // namespace csr
 
 #endif  // CSR_INDEX_COST_MODEL_H_

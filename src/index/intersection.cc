@@ -45,7 +45,27 @@ void ConjunctionIterator::Init(std::vector<PostingCursor> cursors) {
     iters_.push_back(std::move(cursors[order[k]]));
     order_inverse_[order[k]] = k;
   }
+  // Pick each probe cursor's advance strategy once, from its length ratio
+  // against the driver. Bitmap-heavy pairs report kBitmapAnd, which the
+  // k-way leapfrog can't exploit (that's the guard-free pairwise kernel's
+  // job) — treat it as gallop here.
+  merge_.resize(iters_.size());
+  for (size_t k = 0; k < iters_.size(); ++k) {
+    size_t other = k == 0 ? 1 : k;
+    merge_[k] =
+        iters_.size() > 1 &&
+        ChooseIntersectStrategy(iters_[0].size(), iters_[other].size(),
+                                false, false) == IntersectStrategy::kMerge;
+  }
   FindNextMatch();
+}
+
+void ConjunctionIterator::AdvanceTo(size_t k, DocId target) {
+  if (merge_[k]) {
+    iters_[k].MergeTo(target);
+  } else {
+    iters_[k].SkipTo(target);
+  }
 }
 
 void ConjunctionIterator::FindNextMatch() {
@@ -69,14 +89,14 @@ void ConjunctionIterator::FindNextMatch() {
     DocId candidate = iters_[0].doc();
     bool all_match = true;
     for (size_t k = 1; k < iters_.size(); ++k) {
-      iters_[k].SkipTo(candidate);
+      AdvanceTo(k, candidate);
       if (iters_[k].AtEnd()) {
         at_end_ = true;
         return;
       }
       if (iters_[k].doc() != candidate) {
         // Re-align the driver to the larger doc and restart.
-        iters_[0].SkipTo(iters_[k].doc());
+        AdvanceTo(0, iters_[k].doc());
         all_match = false;
         break;
       }
@@ -106,8 +126,29 @@ uint64_t CountIntersection(std::span<const PostingList* const> lists,
   return n;
 }
 
+namespace {
+
+/// True when the 2-way, fully-compressed, guard-free case can dispatch to
+/// the block-pairwise kernel (merge / gallop / bitmap-AND chosen by
+/// ChooseIntersectStrategy). Guarded scans must keep the leapfrog so
+/// ScanGuard ticks once per candidate — budget, deadline, and fault
+/// injection semantics stay exact.
+bool PairwiseEligible(const std::vector<PostingCursor>& cursors,
+                      ScanGuard* guard) {
+  return guard == nullptr && cursors.size() == 2 && cursors[0].valid() &&
+         cursors[1].valid() && cursors[0].packed_source() != nullptr &&
+         cursors[1].packed_source() != nullptr;
+}
+
+}  // namespace
+
 uint64_t CountIntersection(std::vector<PostingCursor> cursors,
                            ScanGuard* guard) {
+  if (PairwiseEligible(cursors, guard)) {
+    return CountPairwiseIntersection(
+        *cursors[0].packed_source(), *cursors[1].packed_source(),
+        cursors[0].cost(), cursors[1].cost());
+  }
   uint64_t n = 0;
   for (ConjunctionIterator it(std::move(cursors), guard); !it.AtEnd();
        it.Next()) {
@@ -134,6 +175,16 @@ AggregationResult IntersectAndAggregate(
     std::span<const uint32_t> doc_lengths, CostCounters* cost,
     ScanGuard* guard) {
   AggregationResult agg;
+  if (PairwiseEligible(cursors, guard)) {
+    ScanPairwiseIntersection(
+        *cursors[0].packed_source(), *cursors[1].packed_source(),
+        cursors[0].cost(), cursors[1].cost(), [&](DocId d) {
+          agg.count++;
+          agg.sum_len += d < doc_lengths.size() ? doc_lengths[d] : 0;
+          if (cost != nullptr) cost->aggregation_entries++;
+        });
+    return agg;
+  }
   for (ConjunctionIterator it(std::move(cursors), guard); !it.AtEnd();
        it.Next()) {
     agg.count++;

@@ -62,9 +62,13 @@ class ConjunctionIterator {
  private:
   void Init(std::vector<PostingCursor> cursors);
   void FindNextMatch();
+  void AdvanceTo(size_t k, DocId target);
 
   std::vector<PostingCursor> iters_;   // sorted by list length
   std::vector<size_t> order_inverse_;  // caller index -> iters_ index
+  // Per-cursor advance strategy (ChooseIntersectStrategy vs the driver):
+  // linear MergeTo for comparable lengths, galloping SkipTo otherwise.
+  std::vector<uint8_t> merge_;
   ScanGuard* guard_ = nullptr;
   DocId current_doc_ = kInvalidDocId;
   bool at_end_ = false;

@@ -1,6 +1,7 @@
 #ifndef CSR_INDEX_INVERTED_INDEX_H_
 #define CSR_INDEX_INVERTED_INDEX_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -107,6 +108,19 @@ class InvertedIndex {
     return doc_lengths_.empty()
                ? 0.0
                : static_cast<double>(total_length_) / doc_lengths_.size();
+  }
+
+  /// Per-representation block counts summed over every compressed list,
+  /// indexed by BlockCodec ([varint, for, bitmap]). All zero while the
+  /// index is uncompacted. Feeds the shell's .stats kernels line and the
+  /// bench's kernels section.
+  std::array<uint64_t, 3> CodecBlockCounts() const {
+    std::array<uint64_t, 3> totals{};
+    for (const CompressedPostingList& l : clists_) {
+      const std::array<uint64_t, 3>& c = l.codec_block_counts();
+      for (size_t k = 0; k < totals.size(); ++k) totals[k] += c[k];
+    }
+    return totals;
   }
 
   uint64_t MemoryBytes() const;

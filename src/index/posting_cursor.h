@@ -29,12 +29,14 @@ class PostingCursor {
   PostingCursor() = default;
 
   PostingCursor(const PostingList* list, CostCounters* cost)
-      : plain_src_(list), size_(list == nullptr ? 0 : list->size()) {
+      : plain_src_(list), cost_(cost),
+        size_(list == nullptr ? 0 : list->size()) {
     if (size_ > 0) plain_.emplace(list->MakeIterator(cost));
   }
 
   PostingCursor(const CompressedPostingList* list, CostCounters* cost)
-      : packed_src_(list), size_(list == nullptr ? 0 : list->size()) {
+      : packed_src_(list), cost_(cost),
+        size_(list == nullptr ? 0 : list->size()) {
     if (size_ > 0) packed_.emplace(list->MakeIterator(cost));
   }
 
@@ -67,6 +69,17 @@ class PostingCursor {
     }
   }
 
+  /// Linear advance to the first posting with docid >= target — the merge
+  /// strategy ChooseIntersectStrategy picks for comparably-sized lists.
+  /// Same destination as SkipTo; only the entries_scanned cost differs.
+  void MergeTo(DocId target) {
+    if (plain_) {
+      plain_->MergeTo(target);
+    } else {
+      packed_->MergeTo(target);
+    }
+  }
+
   /// Block-max probe from the cursor's current block/segment: reports the
   /// last docid and max tf of the block holding the first posting with
   /// docid >= target, without decoding it. False when exhausted.
@@ -83,6 +96,11 @@ class PostingCursor {
     return false;
   }
 
+  /// The compressed list backing this cursor, or nullptr when the term is
+  /// plain/missing. The guard-free pairwise fast path keys off this.
+  const CompressedPostingList* packed_source() const { return packed_src_; }
+  CostCounters* cost() const { return cost_; }
+
  private:
   // Exactly one iterator engaged for a valid cursor; the source pointers
   // back the block-max probes (iterators do not expose their lists).
@@ -90,6 +108,7 @@ class PostingCursor {
   std::optional<CompressedPostingList::Iterator> packed_;
   const PostingList* plain_src_ = nullptr;
   const CompressedPostingList* packed_src_ = nullptr;
+  CostCounters* cost_ = nullptr;
   size_t size_ = 0;
 };
 

@@ -96,6 +96,18 @@ class PostingList {
     /// actually done.
     void SkipTo(DocId target);
 
+    /// Advances to the first posting with docid >= target by linear
+    /// stepping — the merge strategy for comparably-sized lists where the
+    /// expected gap is O(1) postings (see ChooseIntersectStrategy). Steps
+    /// are charged to entries_scanned just like SkipTo's probes.
+    void MergeTo(DocId target) {
+      const auto& ps = list_->postings_;
+      while (pos_ < ps.size() && ps[pos_].doc < target) {
+        ++pos_;
+        if (cost_ != nullptr) cost_->entries_scanned++;
+      }
+    }
+
    private:
     const PostingList* list_;
     CostCounters* cost_;

@@ -1,0 +1,67 @@
+#ifndef CSR_INDEX_SIMD_UNPACK_H_
+#define CSR_INDEX_SIMD_UNPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace csr {
+
+/// Runtime-dispatched fixed-width bit-unpacking kernels backing
+/// ForBlockCodec (and the tf sections of bitmap blocks). The packed layout
+/// is the LSB-first stream PackBits produces: value i occupies bits
+/// [i*bits, (i+1)*bits) of the byte stream, low bits first.
+///
+/// Dispatch is resolved exactly once, the first time a kernel runs:
+///   kAvx2   — 8 values per step: per-lane pshufb gathers each value's
+///             4-byte (or 8-byte, for widths > 16) window, then a variable
+///             per-lane right shift + mask extracts all values at once.
+///   kSse2   — 8 values per step in two 4-value groups; SSE2 has no
+///             variable shift, so each lane is aligned by multiplying with
+///             2^(24-shift) (pmuludq) and shifting the 64-bit product down
+///             by 24. Valid while shift+bits <= 31, i.e. widths <= 24;
+///             wider blocks fall back to scalar (they are rare: a 24-bit
+///             delta block spans >16M docids).
+///   kScalar — portable 64-bit accumulator refill loop.
+/// All levels produce bit-identical output; the differential tests in
+/// codec_test.cc sweep every width against every compiled-in level.
+///
+/// The selection honors, in order: the CSR_FORCE_SCALAR compile-time
+/// option, a non-empty CSR_FORCE_SCALAR environment variable (anything but
+/// "0"), a test override (SetUnpackLevelForTest), and finally CPU feature
+/// detection (__builtin_cpu_supports).
+enum class UnpackLevel : uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// The level query dispatch would use right now (override included).
+UnpackLevel ActiveUnpackLevel();
+
+/// "scalar" / "sse2" / "avx2" — the .stats and bench report string.
+std::string_view UnpackLevelName(UnpackLevel level);
+
+/// True when `level` can run here (compiled in + CPU supports it).
+bool UnpackLevelSupported(UnpackLevel level);
+
+/// Unpacks `count` values of width `bits` (0..32) from p. The caller must
+/// have validated that the packed section fits: PackedBytes(count, bits)
+/// <= avail. Kernels may read ahead within [p, p+avail) but never beyond;
+/// trailing slack bytes never contaminate decoded values.
+void UnpackBitsDispatch(const uint8_t* p, size_t avail, size_t count,
+                        uint32_t bits, uint32_t* out);
+
+/// Per-level entry points for the differential tests and the kernel
+/// microbench. Calling an unsupported level is undefined (guard with
+/// UnpackLevelSupported).
+void UnpackBitsScalar(const uint8_t* p, size_t avail, size_t count,
+                      uint32_t bits, uint32_t* out);
+void UnpackBitsAtLevel(UnpackLevel level, const uint8_t* p, size_t avail,
+                       size_t count, uint32_t bits, uint32_t* out);
+
+/// Test hook: pins dispatch to `level` (pass kScalar to exercise the
+/// fallback, or call ClearUnpackLevelOverride to restore detection). Not
+/// for concurrent use with in-flight queries; tests set it up front.
+void SetUnpackLevelForTest(UnpackLevel level);
+void ClearUnpackLevelOverride();
+
+}  // namespace csr
+
+#endif  // CSR_INDEX_SIMD_UNPACK_H_

@@ -16,7 +16,13 @@ constexpr uint32_t kPostingsMagic = 0x43535250;  // "CSRP"
 constexpr uint32_t kManifestMagic = 0x4353524D;  // "CSRM"
 constexpr uint32_t kCorpusVersion = 1;
 constexpr uint32_t kViewsVersion = 2;  // v2: per-view framing + directory
-constexpr uint32_t kPostingsVersion = 1;
+// v2: blocks may carry the bitmap container tag (BlockCodec::kBitmap).
+// The framing is unchanged — block bytes are persisted verbatim, tag
+// included — so v1 snapshots load as-is; they simply predate bitmap
+// blocks. FromParts rejects unknown tags with InvalidArgument, which the
+// loader surfaces as a corrupt file (rebuild fallback).
+constexpr uint32_t kPostingsVersion = 2;
+constexpr uint32_t kPostingsMinVersion = 1;
 constexpr uint32_t kManifestVersion = 1;
 constexpr uint32_t kSnapshotFormatVersion = 2;
 
@@ -472,7 +478,7 @@ Result<LoadedPostings> LoadPostings(const std::string& path,
                        BinaryReader::OpenFile(path, kPostingsMagic));
   uint32_t version = 0;
   CSR_RETURN_NOT_OK(r.GetU32(&version));
-  if (version != kPostingsVersion) {
+  if (version < kPostingsMinVersion || version > kPostingsVersion) {
     return Status::InvalidArgument("unsupported postings version " +
                                    std::to_string(version) + " in " + path);
   }

@@ -116,6 +116,11 @@ MaterializedView::StatsResult MaterializedView::ComputeStats(
 
 void MaterializedView::Compact() {
   if (compacted_) return;
+  // A view rebuilt after a corrupt-snapshot fallback may carry stale
+  // flat-row scratch from before the rebuild; re-compaction must flatten
+  // only rows_, or the appends below would duplicate tuples and the
+  // second Compact of an idempotence round-trip would diverge byte-wise.
+  flat_ = FlatRows();
   // Sort by (bucket, signature words) so the compacted order — and
   // therefore serialized snapshots — is deterministic, unlike hash-map
   // iteration.

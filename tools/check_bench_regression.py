@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the compressed serving path.
+
+Runs bench_ablation_codec --json fresh and fails if the compressed
+dense-intersection QPS falls below --threshold of the same run's
+uncompressed path, or if the memory ratio drops under --min-ratio.
+Timing-free fields (intersection cardinalities, WAND top-k equality) are
+additionally cross-checked against the committed baseline JSON, which
+catches silent correctness rot that QPS alone would miss.
+
+QPS comparisons are measured on whatever machine runs the suite, so the
+check retries --attempts times before declaring a regression; the
+deterministic cross-checks fail immediately.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+
+# Deterministic outputs that must match the committed baseline exactly.
+EXACT_KEYS = [
+    ("intersection", "dense_mid_result"),
+    ("intersection", "dense_dense_result"),
+    ("intersection", "skewed_result"),
+    ("wand", "identical_topk"),
+]
+
+
+def run_bench(bench):
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        subprocess.run([bench, "--json", tmp.name], check=True,
+                       stdout=subprocess.DEVNULL)
+        with open(tmp.name) as f:
+            return json.load(f)
+
+
+def check_fresh(report, threshold, min_ratio):
+    """Returns a list of failure strings for one fresh run."""
+    failures = []
+    inter = report["intersection"]
+    for scenario in ("dense_mid", "dense_dense"):
+        unc = inter[f"{scenario}_uncompressed_qps"]
+        comp = inter[f"{scenario}_auto_qps"]
+        if comp < threshold * unc:
+            failures.append(
+                f"{scenario}: compressed {comp:.1f} qps < "
+                f"{threshold:.2f}x uncompressed {unc:.1f} qps")
+    ratio = report["memory"]["ratio_uncompressed_over_auto"]
+    if ratio < min_ratio:
+        failures.append(
+            f"memory ratio {ratio:.2f}x < required {min_ratio:.1f}x")
+    return failures
+
+
+def check_exact(report, baseline):
+    failures = []
+    for section, key in EXACT_KEYS:
+        want = baseline.get(section, {}).get(key)
+        got = report.get(section, {}).get(key)
+        if want is None:
+            continue  # baseline predates the field
+        if got != want:
+            failures.append(
+                f"{section}.{key}: fresh run {got!r} != baseline {want!r}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_ablation_codec binary")
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_postings.json")
+    ap.add_argument("--attempts", type=int, default=3)
+    ap.add_argument("--threshold", type=float, default=0.95)
+    ap.add_argument("--min-ratio", type=float, default=7.0)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for attempt in range(1, args.attempts + 1):
+        report = run_bench(args.bench)
+        exact = check_exact(report, baseline)
+        if exact:
+            for msg in exact:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        failures = check_fresh(report, args.threshold, args.min_ratio)
+        if not failures:
+            print(f"perf smoke OK (attempt {attempt}/{args.attempts}): "
+                  f"dense_mid {report['intersection']['dense_mid_auto_qps']:.1f}"
+                  f" vs {report['intersection']['dense_mid_uncompressed_qps']:.1f}"
+                  f" qps uncompressed, ratio "
+                  f"{report['memory']['ratio_uncompressed_over_auto']:.2f}x")
+            return 0
+        print(f"attempt {attempt}/{args.attempts} failed:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+    print("FAIL: perf smoke regression persisted across "
+          f"{args.attempts} attempts", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
