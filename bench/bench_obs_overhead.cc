@@ -1,0 +1,127 @@
+// Observability overhead: the instrumented serving path (metrics registry
+// on, tracing off — the default serving config) must stay within 5% of
+// the fully uninstrumented path on the same engine and workload. Both arms
+// run on ONE engine via the runtime toggles (set_metrics_enabled /
+// set_trace_sample_rate) so index layout, cache contents, and allocator
+// state are identical; rounds interleave A/B to cancel clock and thermal
+// drift. A third arm measures full tracing (sample rate 1.0) for context —
+// tracing allocates a span tree per query, so it is priced, not gated.
+//
+// Emits an `obs_overhead` JSON section for tools/check_bench_regression.py
+// --obs-bench (perf_smoke_obs ctest lane): the gate is
+// ratio_instrumented_over_uninstrumented >= 0.95.
+//
+// Scale with CSR_BENCH_DOCS (default 120k docs).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/query_gen.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace csr;
+  std::string json_path = bench::TakeJsonFlag(&argc, argv);
+  uint32_t num_docs = bench::BenchNumDocs();
+
+  EngineConfig ecfg;
+  ecfg.stats_cache_capacity = 256;  // serving config: cache on
+  auto engine = bench::BuildBenchEngine(num_docs, ecfg);
+
+  // Dense mid-size contexts, 2-3 keywords: the same shape as the codec
+  // bench's dense_mid scenario — large enough postings that per-query
+  // bookkeeping is a measurable fraction of nothing, small enough that a
+  // counter bump would show up if it were on the wrong side of a lock.
+  const uint32_t kWorkload = 200;
+  WorkloadGenerator gen(engine.get(), 4242);
+  std::vector<ContextQuery> queries;
+  for (uint32_t nk = 2; nk <= 3; ++nk) {
+    auto wqs = gen.Generate(kWorkload / 2, nk, 0, 0, 100000);
+    for (auto& wq : wqs) queries.push_back(std::move(wq.query));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no workload queries generated\n");
+    return 1;
+  }
+
+  auto run_pass = [&]() -> uint64_t {
+    uint64_t completed = 0;
+    for (const ContextQuery& q : queries) {
+      auto r = engine->Search(q, EvaluationMode::kContextWithViews);
+      if (r.ok()) ++completed;
+    }
+    return completed;
+  };
+
+  // Warm pass (stats-cache fill, page touch) outside every timed region.
+  engine->set_metrics_enabled(false);
+  run_pass();
+
+  const int kRounds = 6;  // per arm, interleaved
+  double secs_off = 0, secs_on = 0;
+  uint64_t done_off = 0, done_on = 0;
+  for (int round = 0; round < 2 * kRounds; ++round) {
+    bool instrumented = (round % 2) == 1;
+    engine->set_metrics_enabled(instrumented);
+    WallTimer timer;
+    uint64_t completed = run_pass();
+    double secs = timer.ElapsedSeconds();
+    if (instrumented) {
+      secs_on += secs;
+      done_on += completed;
+    } else {
+      secs_off += secs;
+      done_off += completed;
+    }
+  }
+
+  // Traced arm: metrics on AND every query traced. Not part of the gate
+  // (the default trace_sample_rate is 0) — reported so the cost of
+  // always-on tracing is visible.
+  engine->set_metrics_enabled(true);
+  engine->set_trace_sample_rate(1.0);
+  WallTimer traced_timer;
+  uint64_t done_traced = 0;
+  for (int round = 0; round < kRounds; ++round) done_traced += run_pass();
+  double secs_traced = traced_timer.ElapsedSeconds();
+  engine->set_trace_sample_rate(0.0);
+
+  double qps_off = static_cast<double>(done_off) / secs_off;
+  double qps_on = static_cast<double>(done_on) / secs_on;
+  double qps_traced = static_cast<double>(done_traced) / secs_traced;
+  double ratio = qps_off > 0 ? qps_on / qps_off : 0.0;
+
+  std::printf("=== Observability overhead (%zu queries x %d rounds/arm, "
+              "mode=context-with-views) ===\n\n",
+              queries.size(), kRounds);
+  std::printf("%-24s %12s %10s\n", "arm", "QPS", "vs off");
+  std::printf("%-24s %12.0f %9.3fx\n", "uninstrumented", qps_off, 1.0);
+  std::printf("%-24s %12.0f %9.3fx\n", "metrics on, trace off", qps_on,
+              ratio);
+  std::printf("%-24s %12.0f %9.3fx\n", "metrics + trace all", qps_traced,
+              qps_off > 0 ? qps_traced / qps_off : 0.0);
+  std::printf("\nGate: metrics-on/off ratio >= 0.95 "
+              "(tracing is opt-in and priced separately).\n");
+
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.Open();
+    w.OpenObject("obs_overhead");
+    w.Field("workload", std::string("dense_mid"));
+    w.Field("num_docs", static_cast<uint64_t>(num_docs));
+    w.Field("queries", static_cast<uint64_t>(queries.size()));
+    w.Field("rounds_per_arm", static_cast<uint64_t>(kRounds));
+    w.Field("uninstrumented_qps", qps_off);
+    w.Field("instrumented_qps", qps_on);
+    w.Field("ratio_instrumented_over_uninstrumented", ratio);
+    w.Field("traced_qps", qps_traced);
+    w.CloseObject();
+    w.Close();
+    if (Status s = w.WriteFile(json_path); !s.ok()) {
+      std::fprintf(stderr, "json write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -15,6 +15,9 @@
 //   .index compact                compress the inverted indexes + views
 //   .stats                        engine statistics (incl. index memory
 //                                 and pool metrics)
+//   .metrics                      full metrics registry snapshot as JSON
+//   .trace on|off                 trace every query (prints the span tree
+//                                 as JSON after each result)
 //   .quit
 //
 // Blank lines and lines starting with '#' are ignored.
@@ -71,6 +74,9 @@ void RunQuery(csr::ContextSearchEngine& engine,
   for (size_t i = 0; i < r.top_docs.size() && i < 10; ++i) {
     std::printf("  %2zu. doc %-8u %.4f\n", i + 1, r.top_docs[i].doc,
                 r.top_docs[i].score);
+  }
+  if (r.trace != nullptr) {
+    std::printf("%s\n", r.trace->ToJson().c_str());
   }
 }
 
@@ -183,6 +189,23 @@ int main(int argc, char** argv) {
                   after > 0 ? static_cast<double>(before) /
                                   static_cast<double>(after)
                             : 0.0);
+      continue;
+    }
+    if (line == ".metrics") {
+      std::printf("%s\n", engine->MetricsSnapshot().ToJson().c_str());
+      continue;
+    }
+    if (line.rfind(".trace ", 0) == 0) {
+      std::string m = line.substr(7);
+      if (m == "on") {
+        engine->set_trace_sample_rate(1.0);
+        std::printf("tracing every query\n");
+      } else if (m == "off") {
+        engine->set_trace_sample_rate(0.0);
+        std::printf("tracing off\n");
+      } else {
+        std::printf("usage: .trace on|off\n");
+      }
       continue;
     }
     if (line == ".stats") {

@@ -1,11 +1,13 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "engine/top_k.h"
 #include "index/intersection.h"
 #include "util/hash.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace csr {
@@ -120,7 +122,131 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Finish(
     engine->stats_cache_ =
         std::make_unique<StatsCache>(config.stats_cache_capacity);
   }
+  engine->metrics_enabled_.store(config.metrics_enabled,
+                                 std::memory_order_relaxed);
+  engine->set_trace_sample_rate(config.trace_sample_rate);
+  engine->RegisterMetrics();
   return engine;
+}
+
+void ContextSearchEngine::set_trace_sample_rate(double rate) {
+  uint32_t period = 0;
+  if (rate >= 1.0) {
+    period = 1;
+  } else if (rate > 0.0) {
+    period = static_cast<uint32_t>(std::lround(1.0 / rate));
+    if (period == 0) period = 1;
+  }
+  trace_period_.store(period, std::memory_order_relaxed);
+}
+
+bool ContextSearchEngine::ShouldTrace() const {
+  uint32_t period = trace_period_.load(std::memory_order_relaxed);
+  if (period == 0) return false;
+  uint64_t seq = trace_sequence_.fetch_add(1, std::memory_order_relaxed);
+  return seq % period == 0;
+}
+
+void ContextSearchEngine::RegisterMetrics() {
+  // Hot-path instruments: resolved once here, updated through the cached
+  // pointers with relaxed atomics (no lock, no name lookup per query).
+  hot_.queries = &registry_.GetCounter("engine.queries");
+  hot_.queries_failed = &registry_.GetCounter("engine.queries_failed");
+  hot_.queries_degraded = &registry_.GetCounter("engine.queries_degraded");
+  hot_.traces_sampled = &registry_.GetCounter("engine.traces_sampled");
+  hot_.plan_view_hits = &registry_.GetCounter("engine.plan.view_hits");
+  hot_.plan_straightforward =
+      &registry_.GetCounter("engine.plan.straightforward");
+  hot_.plan_conventional = &registry_.GetCounter("engine.plan.conventional");
+  hot_.plan_cache_hits =
+      &registry_.GetCounter("engine.plan.stats_cache_hits");
+  hot_.plan_view_fallbacks =
+      &registry_.GetCounter("engine.plan.view_fallbacks");
+  hot_.cost_entries_scanned =
+      &registry_.GetCounter("engine.cost.entries_scanned");
+  hot_.cost_segments_touched =
+      &registry_.GetCounter("engine.cost.segments_touched");
+  hot_.cost_skips_taken = &registry_.GetCounter("engine.cost.skips_taken");
+  hot_.cost_aggregation_entries =
+      &registry_.GetCounter("engine.cost.aggregation_entries");
+  hot_.cost_view_tuples_scanned =
+      &registry_.GetCounter("engine.cost.view_tuples_scanned");
+  hot_.cost_blocks_skipped =
+      &registry_.GetCounter("engine.cost.blocks_skipped");
+  hot_.cost_bytes_touched =
+      &registry_.GetCounter("engine.cost.bytes_touched");
+  hot_.total_ms = &registry_.GetHistogram("engine.latency.total_ms");
+  hot_.stats_ms = &registry_.GetHistogram("engine.latency.stats_ms");
+  hot_.retrieval_ms = &registry_.GetHistogram("engine.latency.retrieval_ms");
+
+  // Legacy counters register INTO the registry via sample callbacks: each
+  // struct stays authoritative (existing accessors and tests unchanged) and
+  // is read under its own synchronization discipline only at Snapshot time.
+  registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
+    const DegradationStats& d = degradation_;  // relaxed atomics
+    snap.counters["engine.degradation.views_quarantined"] =
+        d.views_quarantined;
+    snap.counters["engine.degradation.quarantine_fallbacks"] =
+        d.quarantine_fallbacks;
+    snap.counters["engine.degradation.deadline_hits"] = d.deadline_hits;
+    snap.counters["engine.degradation.budget_hits"] = d.budget_hits;
+    snap.counters["engine.degradation.fault_trips"] = d.fault_trips;
+    snap.counters["engine.degradation.degraded_queries"] = d.degraded_queries;
+  });
+  registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
+    if (stats_cache_ == nullptr) return;
+    // Each accessor sums the shards under their own mutexes; monotonic but
+    // not one atomic cross-shard snapshot (the StatsCache contract).
+    snap.counters["engine.stats_cache.hits"] = stats_cache_->hits();
+    snap.counters["engine.stats_cache.misses"] = stats_cache_->misses();
+    snap.counters["engine.stats_cache.evictions"] =
+        stats_cache_->evictions();
+    snap.gauges["engine.stats_cache.entries"] =
+        static_cast<double>(stats_cache_->size());
+  });
+  registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
+    // Catalog shape. Search holds no lock on the catalog (it is immutable
+    // during serving; mutators require exclusive access), so neither does
+    // this sample.
+    snap.gauges["engine.views.materialized"] =
+        static_cast<double>(catalog_.size());
+    snap.gauges["engine.views.quarantined"] =
+        static_cast<double>(catalog_.quarantined().size());
+  });
+}
+
+void ContextSearchEngine::RecordQueryMetrics(const SearchMetrics& m,
+                                             EvaluationMode mode,
+                                             bool failed) const {
+  hot_.queries->Increment();
+  if (failed) {
+    hot_.queries_failed->Increment();
+    return;
+  }
+  if (m.degraded) hot_.queries_degraded->Increment();
+  // Plan-choice accounting: exactly one plan counter per successful query,
+  // classifying how the statistics phase was answered.
+  if (mode == EvaluationMode::kConventional) {
+    hot_.plan_conventional->Increment();
+  } else if (m.stats_cache_hit) {
+    hot_.plan_cache_hits->Increment();
+  } else if (m.used_view) {
+    hot_.plan_view_hits->Increment();
+  } else if (m.fell_back_to_straightforward) {
+    hot_.plan_view_fallbacks->Increment();
+  } else {
+    hot_.plan_straightforward->Increment();
+  }
+  hot_.cost_entries_scanned->Increment(m.cost.entries_scanned);
+  hot_.cost_segments_touched->Increment(m.cost.segments_touched);
+  hot_.cost_skips_taken->Increment(m.cost.skips_taken);
+  hot_.cost_aggregation_entries->Increment(m.cost.aggregation_entries);
+  hot_.cost_view_tuples_scanned->Increment(m.cost.view_tuples_scanned);
+  hot_.cost_blocks_skipped->Increment(m.cost.blocks_skipped);
+  hot_.cost_bytes_touched->Increment(m.cost.bytes_touched);
+  hot_.total_ms->Observe(m.total_ms);
+  hot_.stats_ms->Observe(m.stats_ms);
+  hot_.retrieval_ms->Observe(m.retrieval_ms);
 }
 
 void ContextSearchEngine::CompactIndexes() {
@@ -252,7 +378,7 @@ Status ContextSearchEngine::InstallCatalog(
 
 CollectionStats ContextSearchEngine::ComputeContextStats(
     const ContextQuery& query, const QueryStats& qstats, bool with_views,
-    SearchMetrics& metrics, ScanGuard* guard) const {
+    SearchMetrics& metrics, ScanGuard* guard, TraceContext tctx) const {
   bool need_tc = ranking_->NeedsTermCounts();
 
   auto straightforward_plan = [&](std::string_view reason) {
@@ -270,9 +396,11 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
 
   if (!with_views) {
     straightforward_plan("");
+    SpanGuard span(tctx, "plan:straightforward");
+    span.Attr("reason", "views disabled for this mode");
     return StraightforwardCollectionStats(
         content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years, guard);
+        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
   }
 
   const MaterializedView* view = catalog_.FindBest(query.context);
@@ -297,18 +425,25 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
       }
     }
     straightforward_plan(reason);
+    SpanGuard span(tctx, "plan:straightforward");
+    span.Attr("reason", reason);
     return StraightforwardCollectionStats(
         content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years, guard);
+        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
   }
 
   metrics.used_view = true;
   metrics.plan = "stats: view scan over V_K (|K|=" +
                  std::to_string(view->def().num_columns()) + ", " +
                  std::to_string(view->NumTuples()) + " tuples)";
+  SpanGuard span(tctx, "plan:view");
+  span.Attr("view_columns",
+            static_cast<uint64_t>(view->def().num_columns()));
+  span.Attr("view_tuples", view->NumTuples());
   MaterializedView::StatsResult vr = view->ComputeStats(
       query.context, qstats.keywords, tracked_, &metrics.cost, query.years);
   metrics.view_tuples_scanned = metrics.cost.view_tuples_scanned;
+  span.Attr("view_tuples_scanned", metrics.view_tuples_scanned);
 
   CollectionStats stats;
   stats.cardinality = vr.cardinality;
@@ -326,6 +461,14 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
       continue;
     }
     metrics.keywords_uncovered_by_view++;
+    SpanGuard kspan(span.ctx(), "intersect:df");
+    CostCounters before;
+    if (kspan) {
+      before = metrics.cost;
+      kspan.Attr("keyword", static_cast<uint64_t>(qstats.keywords[i]));
+      kspan.Attr("lists",
+                 static_cast<uint64_t>(query.context.size() + 1));
+    }
     std::vector<PostingCursor> cursors;
     cursors.push_back(
         content_index_.cursor(qstats.keywords[i], &metrics.cost));
@@ -341,14 +484,19 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     if (!ok) continue;
     uint64_t df = 0;
     uint64_t tc = 0;
-    for (ConjunctionIterator it(std::move(cursors), guard); !it.AtEnd();
-         it.Next()) {
+    ConjunctionIterator it(std::move(cursors), guard);
+    if (kspan) kspan.Attr("strategy", it.StrategyMix());
+    for (; !it.AtEnd(); it.Next()) {
       if (!query.years.Contains(years_[it.doc()])) continue;
       ++df;
       tc += it.tf(0);
     }
     stats.df[i] = df;
     if (need_tc) stats.tc[i] = tc;
+    if (kspan) {
+      kspan.Attr("df", df);
+      AttrIntersectionCostDelta(kspan.get(), metrics.cost, before);
+    }
   }
   if (metrics.keywords_uncovered_by_view > 0) {
     metrics.plan += " + " +
@@ -397,14 +545,18 @@ void ContextSearchEngine::RecordTrip(const ScanGuard& guard) const {
 Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
                                                  EvaluationMode mode,
                                                  double elapsed_ms) const {
+  const bool record = metrics_enabled();
   if (query.keywords.empty()) {
+    if (record) RecordQueryMetrics(SearchMetrics{}, mode, /*failed=*/true);
     return Status::InvalidArgument("query has no keywords");
   }
   if (mode != EvaluationMode::kConventional && query.context.empty()) {
+    if (record) RecordQueryMetrics(SearchMetrics{}, mode, /*failed=*/true);
     return Status::InvalidArgument(
         "context-sensitive evaluation requires a context specification");
   }
   if (!std::is_sorted(query.context.begin(), query.context.end())) {
+    if (record) RecordQueryMetrics(SearchMetrics{}, mode, /*failed=*/true);
     return Status::InvalidArgument("context predicates must be sorted");
   }
   if (config_.deadline_ms > 0 && elapsed_ms >= config_.deadline_ms) {
@@ -413,65 +565,106 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
     // already too late for; the degradation ladder cannot salvage a query
     // that never ran.
     degradation_.deadline_hits++;
+    if (record) RecordQueryMetrics(SearchMetrics{}, mode, /*failed=*/true);
     return Status::DeadlineExceeded(
-        "query deadline of " + std::to_string(config_.deadline_ms) +
-        " ms consumed before execution (" + std::to_string(elapsed_ms) +
+        "query deadline of " + FormatMillis(config_.deadline_ms) +
+        " ms consumed before execution (" + FormatMillis(elapsed_ms) +
         " ms elapsed in queue)");
   }
 
   WallTimer total_timer;
+  // Trace sampling: every Nth query records a full span tree. The trace
+  // clock starts here, so span times are relative to execution start; the
+  // executor's queue wait is attributed as an attribute, not span time.
+  std::shared_ptr<QueryTrace> trace;
+  TraceContext root;
+  if (ShouldTrace()) {
+    trace = std::make_shared<QueryTrace>();
+    root = TraceContext{trace.get(), trace->root()};
+    trace->root()->Attr("mode", EvaluationModeName(mode));
+    trace->root()->Attr("keywords",
+                        static_cast<uint64_t>(query.keywords.size()));
+    trace->root()->Attr("context_predicates",
+                        static_cast<uint64_t>(query.context.size()));
+    trace->root()->Attr("queue_wait_ms", elapsed_ms);
+    if (record) hot_.traces_sampled->Increment();
+  }
   // One guard spans both phases: the deadline clock covers the whole
   // query — including time already spent queued — and the posting budget
   // is re-granted once when the plan degrades.
   ScanGuard guard(config_.deadline_ms, config_.posting_scan_budget,
                   elapsed_ms);
   SearchResult result;
-  QueryStats qstats = QueryStats::FromKeywords(query.keywords);
+  QueryStats qstats;
+  {
+    SpanGuard parse(root, "parse");
+    qstats = QueryStats::FromKeywords(query.keywords);
+    parse.Attr("unique_keywords",
+               static_cast<uint64_t>(qstats.keywords.size()));
+  }
 
   // Phase 1: collection statistics.
   WallTimer stats_timer;
-  switch (mode) {
-    case EvaluationMode::kConventional:
-      result.stats = GlobalCollectionStats(content_index_, qstats.keywords);
-      result.metrics.plan =
-          "stats: precomputed global statistics (Qt = Qk ∪ P)";
-      break;
-    case EvaluationMode::kContextStraightforward:
-    case EvaluationMode::kContextWithViews: {
-      bool with_views = mode == EvaluationMode::kContextWithViews;
-      std::optional<CollectionStats> cached =
-          stats_cache_ != nullptr
-              ? stats_cache_->Get(query.context, qstats.keywords,
-                                  query.years)
-              : std::nullopt;
-      if (cached.has_value()) {
-        result.stats = *std::move(cached);
-        result.metrics.stats_cache_hit = true;
-        result.metrics.plan = "stats: LRU cache hit";
-      } else {
-        result.stats = ComputeContextStats(query, qstats, with_views,
-                                           result.metrics, &guard);
-        if (guard.tripped()) {
-          // Degradation rung 2: context statistics are partial, therefore
-          // unusable — rank with the (precomputed, exact) global
-          // statistics instead of failing or serving garbage.
-          RecordTrip(guard);
-          if (!config_.degrade_gracefully) return TripStatus(guard);
-          result.stats =
-              GlobalCollectionStats(content_index_, qstats.keywords);
-          result.metrics.degraded = true;
-          result.metrics.degraded_reason =
-              "context statistics abandoned (" + guard.TripReason() +
-              "); ranked with global collection statistics";
-          result.metrics.plan += " -> degraded: global statistics";
-          guard.Reprieve();
-        } else if (stats_cache_ != nullptr) {
-          // Only exact statistics enter the cache.
-          stats_cache_->Put(query.context, qstats.keywords, query.years,
-                            result.stats);
+  {
+    SpanGuard stats_span(root, "stats");
+    switch (mode) {
+      case EvaluationMode::kConventional:
+        result.stats = GlobalCollectionStats(content_index_, qstats.keywords);
+        result.metrics.plan =
+            "stats: precomputed global statistics (Qt = Qk ∪ P)";
+        stats_span.Attr("plan", "conventional-global");
+        break;
+      case EvaluationMode::kContextStraightforward:
+      case EvaluationMode::kContextWithViews: {
+        bool with_views = mode == EvaluationMode::kContextWithViews;
+        std::optional<CollectionStats> cached;
+        {
+          SpanGuard lookup(stats_span.ctx(), "stats_cache_lookup");
+          lookup.Attr("enabled", stats_cache_ != nullptr);
+          cached = stats_cache_ != nullptr
+                       ? stats_cache_->Get(query.context, qstats.keywords,
+                                           query.years)
+                       : std::nullopt;
+          lookup.Attr("hit", cached.has_value());
         }
+        if (cached.has_value()) {
+          result.stats = *std::move(cached);
+          result.metrics.stats_cache_hit = true;
+          result.metrics.plan = "stats: LRU cache hit";
+          stats_span.Attr("plan", "cache-hit");
+        } else {
+          result.stats =
+              ComputeContextStats(query, qstats, with_views, result.metrics,
+                                  &guard, stats_span.ctx());
+          if (guard.tripped()) {
+            // Degradation rung 2: context statistics are partial, therefore
+            // unusable — rank with the (precomputed, exact) global
+            // statistics instead of failing or serving garbage.
+            RecordTrip(guard);
+            if (trace != nullptr) {
+              trace->Event(stats_span.get(), "event:degraded")
+                  ->Attr("reason", guard.TripReason());
+            }
+            if (!config_.degrade_gracefully) {
+              if (record) RecordQueryMetrics(result.metrics, mode, true);
+              return TripStatus(guard);
+            }
+            result.stats =
+                GlobalCollectionStats(content_index_, qstats.keywords);
+            result.metrics.degraded = true;
+            result.metrics.degraded_reason =
+                "context statistics abandoned (" + guard.TripReason() +
+                "); ranked with global collection statistics";
+            result.metrics.plan += " -> degraded: global statistics";
+            guard.Reprieve();
+          } else if (stats_cache_ != nullptr) {
+            // Only exact statistics enter the cache.
+            stats_cache_->Put(query.context, qstats.keywords, query.years,
+                              result.stats);
+          }
+        }
+        break;
       }
-      break;
     }
   }
   result.metrics.stats_ms = stats_timer.ElapsedMillis();
@@ -480,6 +673,7 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
   // all keyword and predicate lists, evaluated most-selective-first with
   // skips (identical across modes — only the statistics differ).
   WallTimer retrieval_timer;
+  SpanGuard retrieval_span(root, "retrieval");
   std::vector<PostingCursor> cursors;
   bool empty_result = false;
   for (TermId w : qstats.keywords) {
@@ -493,10 +687,22 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
 
   bool retrieval_aborted = false;
   if (!empty_result) {
+    // One span covers the fused conjunction + scoring loop: documents are
+    // scored as the intersection produces them, so the two are not
+    // separable in time.
+    SpanGuard ispan(retrieval_span.ctx(), "intersect:retrieval");
+    CostCounters before;
+    if (ispan) before = result.metrics.cost;
     TopKCollector collector(config_.top_k);
     DocStats dstats;
     dstats.tf.resize(qstats.keywords.size());
     ConjunctionIterator it(std::move(cursors), &guard);
+    if (ispan) {
+      ispan.Attr("lists", static_cast<uint64_t>(it.num_lists()));
+      ispan.Attr("strategy", it.StrategyMix());
+      ispan.Attr("scoring", ranking_->name());
+      ispan.Attr("top_k", static_cast<uint64_t>(config_.top_k));
+    }
     for (; !it.AtEnd(); it.Next()) {
       if (!query.years.Contains(years_[it.doc()])) continue;
       result.result_count++;
@@ -510,15 +716,25 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
     }
     retrieval_aborted = it.aborted();
     result.top_docs = collector.Take();
+    if (ispan) {
+      ispan.Attr("docs_scored", result.result_count);
+      ispan.Attr("aborted", retrieval_aborted);
+      AttrIntersectionCostDelta(ispan.get(), result.metrics.cost, before);
+    }
   }
 
   if (retrieval_aborted) {
     // Degradation rung 3: partial top-k over the documents seen so far.
     RecordTrip(guard);
-    if (!config_.degrade_gracefully) return TripStatus(guard);
-    if (result.result_count == 0) {
-      // Nothing was salvaged — an empty "success" would be
-      // indistinguishable from a real empty result, so fail typed.
+    if (trace != nullptr) {
+      trace->Event(retrieval_span.get(), "event:degraded")
+          ->Attr("reason", guard.TripReason());
+    }
+    if (!config_.degrade_gracefully || result.result_count == 0) {
+      // With degradation off, fail typed. With nothing salvaged, also fail
+      // typed — an empty "success" would be indistinguishable from a real
+      // empty result.
+      if (record) RecordQueryMetrics(result.metrics, mode, true);
       return TripStatus(guard);
     }
     result.metrics.degraded = true;
@@ -531,6 +747,7 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
         " documents matched before the stop";
   }
   if (result.metrics.degraded) degradation_.degraded_queries++;
+  retrieval_span.End();
 
   result.metrics.retrieval_ms = retrieval_timer.ElapsedMillis();
   result.metrics.total_ms = total_timer.ElapsedMillis();
@@ -540,6 +757,12 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
                          "-way conjunction, most selective first, top-" +
                          std::to_string(config_.top_k);
   if (retrieval_aborted) result.metrics.plan += " (partial)";
+  if (record) RecordQueryMetrics(result.metrics, mode, /*failed=*/false);
+  if (trace != nullptr) {
+    trace->root()->Attr("degraded", result.metrics.degraded);
+    trace->Finish();
+    result.trace = std::move(trace);
+  }
   return result;
 }
 

@@ -11,6 +11,8 @@
 #include "engine/query.h"
 #include "index/inverted_index.h"
 #include "index/scan_guard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ranking/ranking_function.h"
 #include "engine/stats_cache.h"
 #include "selection/hybrid.h"
@@ -92,6 +94,20 @@ struct EngineConfig {
   /// SearchMetrics::degraded with a reason. false: Search fails fast with
   /// a typed status (kDeadlineExceeded / kResourceExhausted / kDataLoss).
   bool degrade_gracefully = true;
+
+  /// Master switch for the metrics-registry hot-path updates (counters and
+  /// latency histograms recorded by every Search). On by default — the
+  /// cost is a handful of relaxed atomic adds per query, gated by
+  /// bench_obs_overhead to within 5% of the un-instrumented path. Off
+  /// exists for that bench's A/B baseline; the registry itself (and the
+  /// legacy-counter sample callbacks) stays queryable either way.
+  bool metrics_enabled = true;
+
+  /// Fraction of queries that record a full QueryTrace span tree into
+  /// SearchResult::trace (0 disables tracing, 1 traces everything).
+  /// Implemented as trace-every-Nth with N = round(1/rate), so sampling
+  /// is deterministic and costs one relaxed counter increment per query.
+  double trace_sample_rate = 0.0;
 };
 
 /// Cumulative fault-tolerance telemetry for one engine, surfaced through
@@ -219,6 +235,30 @@ class ContextSearchEngine {
   /// budget trips, degraded queries.
   const DegradationStats& degradation() const { return degradation_; }
 
+  // -- Observability ----------------------------------------------------
+
+  /// The engine's metrics registry. Components owned by this engine
+  /// (stats cache, degradation telemetry, per-query cost counters) are
+  /// registered at Build time; external components serving through this
+  /// engine (QueryExecutor) register themselves here. Thread-safe.
+  MetricsRegistry& metrics_registry() const { return registry_; }
+
+  /// Point-in-time snapshot of every registered instrument plus the
+  /// sampled legacy counters, exported under stable dotted names
+  /// (engine.*, executor.*, ...). See MetricsSnapshot::ToJson().
+  csr::MetricsSnapshot MetricsSnapshot() const { return registry_.Snapshot(); }
+
+  /// Runtime toggles mirroring the EngineConfig fields, so a bench (or the
+  /// shell) can A/B instrumented vs un-instrumented serving on ONE engine
+  /// without rebuilding indexes. Safe to flip while Search is in flight.
+  bool metrics_enabled() const {
+    return metrics_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_metrics_enabled(bool on) {
+    metrics_enabled_.store(on, std::memory_order_relaxed);
+  }
+  void set_trace_sample_rate(double rate);
+
  private:
   ContextSearchEngine() = default;
 
@@ -232,10 +272,25 @@ class ContextSearchEngine {
                                       const QueryStats& qstats,
                                       bool with_views,
                                       SearchMetrics& metrics,
-                                      ScanGuard* guard) const;
+                                      ScanGuard* guard,
+                                      TraceContext tctx = {}) const;
 
   /// Folds a tripped guard into the degradation telemetry.
   void RecordTrip(const ScanGuard& guard) const;
+
+  /// Registers the engine-owned instruments and legacy-counter sample
+  /// callbacks into registry_ (called once, at the end of Finish).
+  void RegisterMetrics();
+
+  /// True when this query should record a full trace (every Nth query per
+  /// trace_sample_rate). One relaxed fetch_add; never true when off.
+  bool ShouldTrace() const;
+
+  /// Folds one query's SearchMetrics into the registry counters. Gated on
+  /// metrics_enabled(); all updates go through cached instrument pointers
+  /// (relaxed atomics), never a registry lookup.
+  void RecordQueryMetrics(const SearchMetrics& m, EvaluationMode mode,
+                          bool failed) const;
 
   Corpus corpus_;
   EngineConfig config_;
@@ -258,6 +313,38 @@ class ContextSearchEngine {
   // Mutable for the same reason: telemetry about const queries. All
   // members are relaxed atomics (see DegradationStats).
   mutable DegradationStats degradation_;
+
+  // Observability. The registry is internally synchronized; the hot-path
+  // instrument pointers below are resolved once in RegisterMetrics and
+  // immutable afterwards (updates through them are relaxed atomics).
+  mutable MetricsRegistry registry_;
+  struct HotMetrics {
+    Counter* queries = nullptr;
+    Counter* queries_failed = nullptr;
+    Counter* queries_degraded = nullptr;
+    Counter* traces_sampled = nullptr;
+    Counter* plan_view_hits = nullptr;
+    Counter* plan_straightforward = nullptr;
+    Counter* plan_conventional = nullptr;
+    Counter* plan_cache_hits = nullptr;
+    Counter* plan_view_fallbacks = nullptr;
+    Counter* cost_entries_scanned = nullptr;
+    Counter* cost_segments_touched = nullptr;
+    Counter* cost_skips_taken = nullptr;
+    Counter* cost_aggregation_entries = nullptr;
+    Counter* cost_view_tuples_scanned = nullptr;
+    Counter* cost_blocks_skipped = nullptr;
+    Counter* cost_bytes_touched = nullptr;
+    Histogram* total_ms = nullptr;
+    Histogram* stats_ms = nullptr;
+    Histogram* retrieval_ms = nullptr;
+  };
+  HotMetrics hot_;
+  std::atomic<bool> metrics_enabled_{true};
+  // Trace-every-Nth period derived from trace_sample_rate (0 = off), and
+  // the query sequence counter driving it.
+  std::atomic<uint32_t> trace_period_{0};
+  mutable std::atomic<uint64_t> trace_sequence_{0};
 };
 
 }  // namespace csr

@@ -13,6 +13,29 @@ QueryExecutor::QueryExecutor(const ContextSearchEngine* engine,
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+
+  // Register into the engine's metrics registry before any worker starts:
+  // the histograms are cached raw pointers (lock-free updates in
+  // WorkerLoop), and the sample callback exports the legacy
+  // ExecutorMetrics struct — through the locked metrics() copy-out, never
+  // a bare field read — under stable executor.* names.
+  MetricsRegistry& registry = engine_->metrics_registry();
+  queue_wait_hist_ = &registry.GetHistogram("executor.queue_wait_ms");
+  exec_hist_ = &registry.GetHistogram("executor.exec_ms");
+  metrics_callback_ = registry.AddSampleCallback([this](MetricsSnapshot& s) {
+    ExecutorMetrics m = metrics();  // locked copy-out (takes mu_)
+    s.counters["executor.submitted"] = m.submitted;
+    s.counters["executor.rejected"] = m.rejected;
+    s.counters["executor.completed"] = m.completed;
+    s.gauges["executor.queue_depth"] = static_cast<double>(m.queue_depth);
+    s.gauges["executor.max_queue_depth"] =
+        static_cast<double>(m.max_queue_depth);
+    s.gauges["executor.queue_wait_ms_total"] = m.queue_wait_ms_total;
+    s.gauges["executor.queue_wait_ms_max"] = m.queue_wait_ms_max;
+    s.gauges["executor.exec_ms_total"] = m.exec_ms_total;
+    s.gauges["executor.num_threads"] = static_cast<double>(num_threads());
+  });
+
   workers_.reserve(threads);
   for (uint32_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -32,6 +55,15 @@ void QueryExecutor::Shutdown() {
   std::lock_guard<std::mutex> jlock(join_mu_);
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
+  }
+  // Unhook the registry export once workers are gone. Removal blocks on
+  // any in-flight Snapshot, so after this line no callback can touch this
+  // executor — destruction is safe even if the engine's registry outlives
+  // us. (Lock order here is join_mu_ -> registry mutex; the callback takes
+  // registry mutex -> mu_, never join_mu_, so there is no cycle.)
+  if (metrics_callback_ != 0) {
+    engine_->metrics_registry().RemoveSampleCallback(metrics_callback_);
+    metrics_callback_ = 0;
   }
 }
 
@@ -114,6 +146,12 @@ void QueryExecutor::WorkerLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.completed++;
       metrics_.exec_ms_total += exec_ms;
+    }
+    // Histogram updates are relaxed atomics on cached pointers — outside
+    // mu_ by design (see the registry lock-ordering contract).
+    if (engine_->metrics_enabled()) {
+      queue_wait_hist_->Observe(wait_ms);
+      exec_hist_->Observe(exec_ms);
     }
     task.promise.set_value(std::move(result));
   }

@@ -30,6 +30,15 @@ struct ExecutorConfig {
 /// Point-in-time executor telemetry. Counters are cumulative since
 /// construction; submitted == completed + rejected + queue_depth +
 /// currently-executing.
+///
+/// Synchronization contract (torn-read audit, PR 5): every field —
+/// including the multi-word doubles and max-trackers — is mutated only
+/// under QueryExecutor::mu_, and every read path goes through the locked
+/// copy-out in QueryExecutor::metrics() (the registry sample callback
+/// included). Reading a field of a live executor's struct without mu_ is a
+/// data race: `queue_wait_ms_total += x` and `max_queue_depth = max(...)`
+/// are read-modify-writes, so an unlocked reader can observe a torn or
+/// mid-update value.
 struct ExecutorMetrics {
   uint64_t submitted = 0;   // accepted into the queue
   uint64_t rejected = 0;    // refused with kResourceExhausted (queue full)
@@ -110,6 +119,16 @@ class QueryExecutor {
   const ContextSearchEngine* engine_;
   ExecutorConfig config_;
   std::vector<std::thread> workers_;
+
+  // Observability: per-event latency histograms (cached instrument
+  // pointers, relaxed-atomic updates outside mu_) plus a sample callback
+  // that exports the locked ExecutorMetrics copy-out under executor.*
+  // names. The callback handle is released in Shutdown — the registry
+  // guarantees the callback is not running once removal returns, so a
+  // shut-down executor can be destroyed safely.
+  Histogram* queue_wait_hist_ = nullptr;
+  Histogram* exec_hist_ = nullptr;
+  uint64_t metrics_callback_ = 0;
 
   mutable std::mutex mu_;
   std::mutex join_mu_;                 // serializes Shutdown callers

@@ -2,6 +2,7 @@
 #define CSR_ENGINE_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "util/types.h"
 
 namespace csr {
+
+class QueryTrace;  // obs/trace.h
 
 /// A context-sensitive query Q_c = Q_k | P (Section 2.1): conventional
 /// keywords plus a conjunctive context specification over predicate terms.
@@ -93,6 +96,11 @@ struct SearchResult {
   CollectionStats stats;
 
   SearchMetrics metrics;
+
+  /// Span tree for this query, present only when the query was
+  /// trace-sampled (EngineConfig::trace_sample_rate). Immutable once
+  /// Search returns; serialize with QueryTrace::ToJson().
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 }  // namespace csr

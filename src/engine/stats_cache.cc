@@ -6,10 +6,13 @@ namespace csr {
 
 StatsCache::StatsCache(size_t capacity, size_t num_shards)
     : capacity_(capacity) {
-  if (num_shards == 0) {
-    num_shards = std::min(kDefaultShards, std::max<size_t>(capacity, 1));
-  }
-  num_shards_ = num_shards;
+  if (num_shards == 0) num_shards = kDefaultShards;
+  // Clamp to [1, capacity] for ANY requested count, not just the auto-pick:
+  // the total capacity is distributed across shards, so num_shards >
+  // capacity would leave zero-capacity shards whose Put silently drops
+  // every entry that hashes to them.
+  num_shards_ =
+      std::max<size_t>(1, std::min(num_shards, std::max<size_t>(capacity, 1)));
   shards_ = std::make_unique<Shard[]>(num_shards_);
   // Distribute the total capacity; the first (capacity % shards) shards
   // take one extra entry so the shard capacities sum to `capacity`.
@@ -63,7 +66,8 @@ void StatsCache::Put(std::span<const TermId> context,
   TermIdSet key = MakeKey(context, keywords, range);
   Shard& shard = shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.capacity == 0) return;  // capacity < num_shards leaves some empty
+  // The constructor clamps num_shards_ <= capacity_, so every shard has
+  // capacity >= 1 whenever the cache is enabled.
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->second = std::move(stats);

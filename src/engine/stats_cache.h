@@ -38,15 +38,16 @@ namespace csr {
 /// snapshot across shards.
 class StatsCache {
  public:
-  /// Default shard count; the real count is min(this, capacity) so a tiny
-  /// cache is not split into empty shards.
+  /// Default shard count when the caller does not pick one.
   static constexpr size_t kDefaultShards = 8;
 
   /// capacity == 0 disables the cache (Get always misses, Put drops).
-  /// `num_shards` == 0 picks min(kDefaultShards, capacity); tests pass 1
-  /// for a single deterministic LRU. The total capacity is distributed
-  /// across shards (each shard gets capacity/num_shards, remainder spread
-  /// over the first shards), so the sum of shard capacities == capacity.
+  /// `num_shards` == 0 picks kDefaultShards; tests pass 1 for a single
+  /// deterministic LRU. The count — requested or defaulted — is clamped to
+  /// [1, capacity] so no shard ends up with zero capacity. The total
+  /// capacity is distributed across shards (each shard gets
+  /// capacity/num_shards, remainder spread over the first shards), so the
+  /// sum of shard capacities == capacity and every shard holds >= 1 entry.
   explicit StatsCache(size_t capacity, size_t num_shards = 0);
 
   StatsCache(const StatsCache&) = delete;

@@ -98,8 +98,11 @@ TopKRunResult ExhaustiveOrTopK(const InvertedIndex& index,
 
 TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
                        const CollectionStats& stats, uint32_t k,
-                       double pivot_s, bool block_max) {
+                       double pivot_s, bool block_max, TraceContext tctx) {
   TopKRunResult out;
+  SpanGuard span(tctx, "wand_scoring");
+  span.Attr("top_k", static_cast<uint64_t>(k));
+  span.Attr("block_max", block_max);
   std::vector<TermState> states =
       BuildStates(index, query, stats, pivot_s, &out.cost);
   double avgdl = stats.avgdl();
@@ -228,6 +231,11 @@ TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
     }
   }
   out.top_docs = collector.Take();
+  if (span) {
+    span.Attr("docs_scored", out.docs_scored);
+    span.Attr("docs_skipped", out.docs_skipped);
+    span.Attr("blocks_skipped", out.blocks_skipped);
+  }
   return out;
 }
 

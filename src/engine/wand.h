@@ -6,6 +6,7 @@
 
 #include "engine/query.h"
 #include "index/inverted_index.h"
+#include "obs/trace.h"
 #include "stats/statistics.h"
 
 namespace csr {
@@ -50,10 +51,13 @@ TopKRunResult ExhaustiveOrTopK(const InvertedIndex& index,
 /// with the most favourable length normalization) and fully scores only
 /// pivot documents whose bound sum reaches the current top-K threshold.
 /// `block_max` toggles the block-max refinement (off reproduces classic
-/// WAND, for the ablation bench).
+/// WAND, for the ablation bench). An active `tctx` records a
+/// "wand_scoring" span carrying docs_scored / docs_skipped /
+/// blocks_skipped and the pruning configuration.
 TopKRunResult WandTopK(const InvertedIndex& index, const QueryStats& query,
                        const CollectionStats& stats, uint32_t k,
-                       double pivot_s = 0.2, bool block_max = true);
+                       double pivot_s = 0.2, bool block_max = true,
+                       TraceContext tctx = {});
 
 }  // namespace csr
 

@@ -110,6 +110,22 @@ void ConjunctionIterator::FindNextMatch() {
 
 void ConjunctionIterator::Next() { FindNextMatch(); }
 
+std::string ConjunctionIterator::StrategyMix() const {
+  // merge_[0] describes the driver's own re-alignment advances; probe
+  // cursors are 1..n-1. Count both the same way the advances happen.
+  size_t merge = 0;
+  for (uint8_t m : merge_) merge += m != 0;
+  size_t gallop = merge_.size() - merge;
+  std::string out;
+  if (merge > 0) out += "merge*" + std::to_string(merge);
+  if (gallop > 0) {
+    if (!out.empty()) out += "+";
+    out += "gallop*" + std::to_string(gallop);
+  }
+  if (out.empty()) out = "none";
+  return out;
+}
+
 std::vector<DocId> IntersectAll(std::span<const PostingList* const> lists,
                                 CostCounters* cost) {
   std::vector<DocId> out;
@@ -192,6 +208,36 @@ AggregationResult IntersectAndAggregate(
     if (cost != nullptr) cost->aggregation_entries++;
   }
   return agg;
+}
+
+std::string StrategyMixForSizes(std::vector<uint64_t> sizes) {
+  if (sizes.size() < 2) return "none";
+  std::sort(sizes.begin(), sizes.end());
+  size_t merge = 0;
+  for (size_t k = 0; k < sizes.size(); ++k) {
+    size_t other = k == 0 ? 1 : k;
+    merge += ChooseIntersectStrategy(sizes[0], sizes[other], false, false) ==
+             IntersectStrategy::kMerge;
+  }
+  size_t gallop = sizes.size() - merge;
+  std::string out;
+  if (merge > 0) out += "merge*" + std::to_string(merge);
+  if (gallop > 0) {
+    if (!out.empty()) out += "+";
+    out += "gallop*" + std::to_string(gallop);
+  }
+  return out;
+}
+
+void AttrIntersectionCostDelta(TraceSpan* span, const CostCounters& after,
+                               const CostCounters& before) {
+  if (span == nullptr) return;
+  span->Attr("entries_scanned", after.entries_scanned - before.entries_scanned);
+  span->Attr("segments_touched",
+             after.segments_touched - before.segments_touched);
+  span->Attr("skips_taken", after.skips_taken - before.skips_taken);
+  span->Attr("bytes_touched", after.bytes_touched - before.bytes_touched);
+  span->Attr("blocks_skipped", after.blocks_skipped - before.blocks_skipped);
 }
 
 uint64_t CountContaining(std::span<const DocId> sorted_docs,

@@ -4,12 +4,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "index/cost_model.h"
 #include "index/posting_cursor.h"
 #include "index/posting_list.h"
 #include "index/scan_guard.h"
+#include "obs/trace.h"
 #include "util/types.h"
 
 namespace csr {
@@ -55,6 +57,11 @@ class ConjunctionIterator {
   uint32_t tf(size_t i) const { return iters_[order_inverse_[i]].tf(); }
 
   size_t num_lists() const { return iters_.size(); }
+
+  /// Human-readable summary of the cost-model advance strategies picked at
+  /// Init (ChooseIntersectStrategy per probe cursor against the driver),
+  /// e.g. "gallop*2+merge*1". Trace/telemetry helper, not a hot-path API.
+  std::string StrategyMix() const;
 
   /// Advances to the next document present in every list.
   void Next();
@@ -112,6 +119,18 @@ AggregationResult IntersectAndAggregate(
 uint64_t CountContaining(std::span<const DocId> sorted_docs,
                          const PostingList& list,
                          CostCounters* cost = nullptr);
+
+/// The strategy mix a ConjunctionIterator would pick for cursors of these
+/// sizes (same choice rule as its Init). Lets tracing attribute the
+/// cost-model decision around helpers that hide the iterator
+/// (IntersectAndAggregate, CountIntersection).
+std::string StrategyMixForSizes(std::vector<uint64_t> sizes);
+
+/// Copies the intersection-relevant cost-counter deltas accumulated since
+/// `before` onto `span` as attributes (entries_scanned, segments_touched,
+/// skips_taken, bytes_touched, blocks_skipped). No-op when span is null.
+void AttrIntersectionCostDelta(TraceSpan* span, const CostCounters& after,
+                               const CostCounters& before);
 
 }  // namespace csr
 

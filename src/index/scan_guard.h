@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/fault.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace csr {
@@ -65,9 +66,9 @@ class ScanGuard {
         return "not tripped";
       case Trip::kDeadline: {
         std::string r =
-            "deadline of " + std::to_string(deadline_ms_) + " ms exceeded";
+            "deadline of " + FormatMillis(deadline_ms_) + " ms exceeded";
         if (initial_elapsed_ms_ > 0) {
-          r += " (incl. " + std::to_string(initial_elapsed_ms_) +
+          r += " (incl. " + FormatMillis(initial_elapsed_ms_) +
                " ms of queue wait)";
         }
         return r;

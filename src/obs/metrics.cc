@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+namespace csr {
+
+namespace {
+
+/// JSON number formatting: compact, locale-independent enough for the
+/// values we emit (counts and milliseconds).
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Instrument names are dotted ASCII identifiers by convention, but escape
+/// anyway so a stray name can never produce invalid JSON.
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  assert(!bounds_.empty());
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS add: atomic<double>::fetch_add is C++20 but spotty across
+  // toolchains; the loop compiles to the same RMW on x86.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out;
+  out.reserve(counts_.size());
+  for (const std::atomic<uint64_t>& c : counts_) {
+    out.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": " + std::to_string(v);
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": " + JsonNumber(v);
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonNumber(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + JsonNumber(h.sum) + "}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = DefaultLatencyBucketsMs();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          std::vector<double>(bounds.begin(), bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+uint64_t MetricsRegistry::AddSampleCallback(SampleFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t handle = next_callback_handle_++;
+  callbacks_.emplace_back(handle, std::move(fn));
+  return handle;
+}
+
+void MetricsRegistry::RemoveSampleCallback(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->first == handle) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  // Callbacks run under the registry mutex (see the header's lock-ordering
+  // contract) so RemoveSampleCallback can guarantee quiescence on return.
+  for (const auto& [handle, fn] : callbacks_) fn(snap);
+  return snap;
+}
+
+std::span<const double> MetricsRegistry::DefaultLatencyBucketsMs() {
+  static constexpr std::array<double, 13> kBuckets = {
+      0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+      1000.0};
+  return kBuckets;
+}
+
+}  // namespace csr

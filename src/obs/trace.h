@@ -1,0 +1,151 @@
+#ifndef CSR_OBS_TRACE_H_
+#define CSR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace csr {
+
+/// One node of a per-query span tree: a named, timed slice of query
+/// execution with string-valued attributes and child spans. Times are
+/// milliseconds relative to the owning QueryTrace's start, so a trace is
+/// self-contained and serializable without wall-clock anchors.
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+
+  void Attr(std::string_view key, std::string_view value) {
+    attrs.emplace_back(std::string(key), std::string(value));
+  }
+  void Attr(std::string_view key, const char* value) {
+    Attr(key, std::string_view(value));
+  }
+  void Attr(std::string_view key, uint64_t value) {
+    attrs.emplace_back(std::string(key), std::to_string(value));
+  }
+  void Attr(std::string_view key, double value);
+  void Attr(std::string_view key, bool value) {
+    Attr(key, std::string_view(value ? "true" : "false"));
+  }
+
+  /// Depth-first search by span name (this node included); nullptr when
+  /// absent. Test/debug helper, not a hot-path API.
+  const TraceSpan* Find(std::string_view span_name) const;
+
+  /// Number of spans named `span_name` in this subtree.
+  size_t CountByName(std::string_view span_name) const;
+
+  /// Value of the first attribute named `key` on this span, or "".
+  std::string_view AttrValue(std::string_view key) const;
+
+  void AppendJson(std::string& out, int indent) const;
+};
+
+/// The span tree of one query's execution, produced by
+/// ContextSearchEngine::Search when the query is sampled
+/// (EngineConfig::trace_sample_rate) and returned via
+/// SearchResult::trace. Spans cover parsing, the statistics phase (cache
+/// lookup, plan choice, every posting-list intersection with its cost
+/// deltas and intersect strategy), retrieval, scoring, and degradation
+/// events.
+///
+/// Threading: a QueryTrace belongs to the single thread executing its
+/// query; no member is synchronized. Once Search returns it is immutable
+/// and safe to share (SearchResult holds it by shared_ptr-to-const).
+class QueryTrace {
+ public:
+  QueryTrace() { root_.name = "search"; }
+
+  TraceSpan* root() { return &root_; }
+  const TraceSpan& root() const { return root_; }
+
+  double ElapsedMs() const { return timer_.ElapsedMillis(); }
+
+  /// Starts a child span of `parent` (the root when null). The returned
+  /// pointer stays valid for the trace's lifetime.
+  TraceSpan* StartSpan(TraceSpan* parent, std::string_view name);
+
+  /// Stamps the span's duration from the trace clock.
+  void EndSpan(TraceSpan* span) {
+    span->duration_ms = ElapsedMs() - span->start_ms;
+  }
+
+  /// Zero-duration marker span (degradation events, plan switches).
+  TraceSpan* Event(TraceSpan* parent, std::string_view name) {
+    TraceSpan* s = StartSpan(parent, name);
+    s->duration_ms = 0.0;
+    return s;
+  }
+
+  /// Closes the root span; call once when the query finishes.
+  void Finish() { root_.duration_ms = ElapsedMs(); }
+
+  std::string ToJson() const;
+
+ private:
+  WallTimer timer_;
+  TraceSpan root_;
+};
+
+/// (trace, parent-span) pair threaded through the layers a query crosses.
+/// A default-constructed context is inert: every span started under it is
+/// a no-op, so un-sampled queries pay one null check per would-be span.
+struct TraceContext {
+  QueryTrace* trace = nullptr;
+  TraceSpan* parent = nullptr;
+
+  bool active() const { return trace != nullptr; }
+};
+
+/// RAII child span under a TraceContext; no-op when the context is inert.
+///
+///   SpanGuard span(tctx, "stats");
+///   span.Attr("plan", "view");
+///   DoWork(span.ctx());          // children nest under this span
+///   // duration stamped at scope exit (or explicit End()).
+class SpanGuard {
+ public:
+  SpanGuard(TraceContext ctx, std::string_view name) : trace_(ctx.trace) {
+    if (trace_ != nullptr) span_ = trace_->StartSpan(ctx.parent, name);
+  }
+  ~SpanGuard() { End(); }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  void End() {
+    if (trace_ != nullptr && span_ != nullptr && !ended_) {
+      trace_->EndSpan(span_);
+      ended_ = true;
+    }
+  }
+
+  template <typename T>
+  void Attr(std::string_view key, T value) {
+    if (span_ != nullptr) span_->Attr(key, value);
+  }
+
+  /// Context for nesting children under this span; inert when this guard
+  /// is inert.
+  TraceContext ctx() const { return TraceContext{trace_, span_}; }
+
+  TraceSpan* get() const { return span_; }
+  explicit operator bool() const { return span_ != nullptr; }
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  TraceSpan* span_ = nullptr;
+  bool ended_ = false;
+};
+
+}  // namespace csr
+
+#endif  // CSR_OBS_TRACE_H_

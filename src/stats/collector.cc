@@ -24,8 +24,9 @@ CollectionStats StraightforwardCollectionStats(
     const InvertedIndex& content_index, const InvertedIndex& predicate_index,
     std::span<const TermId> context, std::span<const TermId> keywords,
     bool compute_tc, CostCounters* cost, std::span<const uint16_t> years,
-    YearRange range, ScanGuard* guard) {
+    YearRange range, ScanGuard* guard, TraceContext tctx) {
   CollectionStats stats;
+  const bool tracing = tctx.active() && cost != nullptr;
   auto year_ok = [&](DocId d) {
     return !range.active() || (d < years.size() && range.Contains(years[d]));
   };
@@ -44,8 +45,21 @@ CollectionStats StraightforwardCollectionStats(
     }
     return cursors;
   };
+  auto list_sizes = [&](TermId keyword, bool with_keyword) {
+    std::vector<uint64_t> sizes;
+    if (with_keyword) sizes.push_back(content_index.df(keyword));
+    for (TermId m : context) sizes.push_back(predicate_index.df(m));
+    return sizes;
+  };
 
   if (!empty_context) {
+    SpanGuard span(tctx, "intersect:context");
+    CostCounters before;
+    if (tracing) {
+      before = *cost;
+      span.Attr("lists", static_cast<uint64_t>(context.size()));
+      span.Attr("strategy", StrategyMixForSizes(list_sizes(0, false)));
+    }
     // γ_count and γ_sum(len) over L_m1 ∩ ... ∩ L_mc (Figure 3, bottom),
     // with the optional year predicate applied inside the aggregation.
     if (!range.active()) {
@@ -62,6 +76,10 @@ CollectionStats StraightforwardCollectionStats(
         if (cost != nullptr) cost->aggregation_entries++;
       }
     }
+    if (tracing) {
+      span.Attr("cardinality", stats.cardinality);
+      AttrIntersectionCostDelta(span.get(), *cost, before);
+    }
   }
 
   // df (and tc) per keyword: L_wi ∩ L_m1 ∩ ... ∩ L_mc.
@@ -73,6 +91,14 @@ CollectionStats StraightforwardCollectionStats(
       stats.df.push_back(0);
       if (compute_tc) stats.tc.push_back(0);
       continue;
+    }
+    SpanGuard span(tctx, "intersect:df");
+    CostCounters before;
+    if (tracing) {
+      before = *cost;
+      span.Attr("keyword", static_cast<uint64_t>(w));
+      span.Attr("lists", static_cast<uint64_t>(context.size() + 1));
+      span.Attr("strategy", StrategyMixForSizes(list_sizes(w, true)));
     }
     std::vector<PostingCursor> cursors;
     cursors.reserve(context.size() + 1);
@@ -90,6 +116,10 @@ CollectionStats StraightforwardCollectionStats(
     }
     stats.df.push_back(df);
     if (compute_tc) stats.tc.push_back(tc);
+    if (tracing) {
+      span.Attr("df", df);
+      AttrIntersectionCostDelta(span.get(), *cost, before);
+    }
   }
   return stats;
 }

@@ -6,6 +6,7 @@
 #include "index/cost_model.h"
 #include "index/inverted_index.h"
 #include "index/scan_guard.h"
+#include "obs/trace.h"
 #include "stats/statistics.h"
 #include "util/types.h"
 
@@ -34,12 +35,18 @@ CollectionStats GlobalCollectionStats(const InvertedIndex& content_index,
 /// the returned statistics are PARTIAL — the caller must inspect
 /// guard->tripped() and discard or degrade; partial statistics are never
 /// silently usable.
+///
+/// When `tctx` is active (the query is trace-sampled), every posting-list
+/// intersection records a child span — "intersect:context" for the γ
+/// aggregation, one "intersect:df" per keyword — carrying the cost-counter
+/// deltas (bytes_touched, blocks_skipped, ...) and the intersect strategy
+/// the cost model chose. Inactive contexts cost one null check per span.
 CollectionStats StraightforwardCollectionStats(
     const InvertedIndex& content_index, const InvertedIndex& predicate_index,
     std::span<const TermId> context, std::span<const TermId> keywords,
     bool compute_tc = false, CostCounters* cost = nullptr,
     std::span<const uint16_t> years = {}, YearRange range = {},
-    ScanGuard* guard = nullptr);
+    ScanGuard* guard = nullptr, TraceContext tctx = {});
 
 }  // namespace csr
 

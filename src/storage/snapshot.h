@@ -37,6 +37,15 @@ namespace csr {
 /// (dropped, with the reason recorded in the catalog) while the rest of
 /// the catalog loads; queries whose context only that view covered degrade
 /// to the straightforward plan and are flagged degraded.
+///
+/// Observability state is deliberately NOT part of a snapshot. Registry
+/// counters and the legacy telemetry structs (DegradationStats, cache and
+/// executor counters) are cumulative over a *process lifetime*, not
+/// properties of the index artifact: persisting them would double-count a
+/// prior process's traffic after restore and make fresh-vs-restored
+/// engines report different baselines for identical serving state. A
+/// loaded engine therefore starts with zeroed metrics, the same as a
+/// freshly built one.
 
 Status SaveCorpus(const Corpus& corpus, const std::string& path);
 Result<Corpus> LoadCorpus(const std::string& path);

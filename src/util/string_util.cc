@@ -61,4 +61,10 @@ std::string FormatBytes(uint64_t bytes) {
   return buf;
 }
 
+std::string FormatMillis(double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
 }  // namespace csr

@@ -24,6 +24,11 @@ std::string FormatCount(uint64_t n);
 /// Formats bytes human-readably, e.g. "3.71 MB".
 std::string FormatBytes(uint64_t bytes);
 
+/// Formats a millisecond quantity with one decimal place, e.g. "200.0".
+/// User-facing degradation reasons and error messages use this instead of
+/// std::to_string, which pads doubles to six decimals ("200.000000").
+std::string FormatMillis(double ms);
+
 }  // namespace csr
 
 #endif  // CSR_UTIL_STRING_UTIL_H_

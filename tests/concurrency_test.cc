@@ -286,16 +286,79 @@ TEST(QueryExecutorTest, DeadlineIncludesQueueWait) {
       << shed.status().message();
   EXPECT_EQ(engine->degradation().deadline_hits, before + 1);
 
-  // Partially-consumed deadlines are charged to the guard: the remaining
-  // slice is what execution gets.
+  // Partially-consumed deadlines are charged to the guard: a queue wait
+  // that already blew the deadline must trip on the FIRST Tick — the
+  // deadline poll happens at tick 1, not only at the 64-tick stride — so
+  // not a single posting is scanned on a query that is already too late.
   ScanGuard guard(50.0, 0, /*initial_elapsed_ms=*/60.0);
   EXPECT_TRUE(guard.Tick());
+  EXPECT_EQ(guard.ticks(), 1u);
   EXPECT_EQ(guard.trip(), ScanGuard::Trip::kDeadline);
-  EXPECT_NE(guard.TripReason().find("queue wait"), std::string::npos);
+  std::string reason = guard.TripReason();
+  EXPECT_NE(reason.find("queue wait"), std::string::npos) << reason;
+  // Millisecond quantities are formatted with one decimal ("50.0"), not
+  // the six-zero std::to_string default ("50.000000").
+  EXPECT_NE(reason.find("50.0 ms"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("60.0 ms"), std::string::npos) << reason;
+  EXPECT_EQ(reason.find("000000"), std::string::npos) << reason;
 
   // With no queue wait the same query finishes well inside 50 ms.
   auto fresh = engine->Search(q, EvaluationMode::kContextStraightforward);
   ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+}
+
+// Metrics reader under load (the TSan case for the PR 5 torn-read audit):
+// one thread polls MetricsSnapshot() — which runs the executor's sample
+// callback through the locked ExecutorMetrics copy-out — while worker
+// threads mutate those same fields on every dequeue/completion. Any bare
+// field read in the export path is a data race TSan flags here. The
+// quiescent snapshot at the end must agree exactly with the legacy
+// accessors (the "registered into, not replaced by" contract).
+TEST(ConcurrencyStressTest, MetricsReaderUnderLoad) {
+  EngineConfig ecfg;
+  ecfg.stats_cache_capacity = 8;
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+  constexpr size_t kQueries = 320;
+  std::vector<ContextQuery> queries = FixedWorkload(*engine, kQueries);
+
+  QueryExecutor executor(engine.get(), {4, 64});
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snap = engine->MetricsSnapshot();
+      // Counters are monotone and the callback copies under the executor
+      // mutex, so completions can never outrun submissions in a snapshot.
+      EXPECT_LE(snap.counters["executor.completed"],
+                snap.counters["executor.submitted"]);
+      (void)executor.metrics();
+      (void)engine->degradation().degraded_queries.load();
+    }
+  });
+  std::vector<Result<SearchResult>> results =
+      executor.SearchBatch(queries, EvaluationMode::kContextStraightforward);
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  executor.Shutdown();
+
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Quiescent: registry view == legacy structs, name for name. The
+  // executor has shut down, so its callback is unhooked — the engine's own
+  // instruments must still hold every query.
+  ExecutorMetrics m = executor.metrics();
+  EXPECT_EQ(m.submitted, kQueries);
+  EXPECT_EQ(m.completed, kQueries);
+  MetricsSnapshot snap = engine->MetricsSnapshot();
+  EXPECT_EQ(snap.counters["engine.queries"], kQueries);
+  EXPECT_EQ(snap.counters["engine.stats_cache.hits"],
+            engine->stats_cache()->hits());
+  EXPECT_EQ(snap.counters["engine.stats_cache.misses"],
+            engine->stats_cache()->misses());
+  EXPECT_EQ(snap.counters["engine.degradation.degraded_queries"],
+            engine->degradation().degraded_queries.load());
+  EXPECT_EQ(snap.counters["engine.plan.stats_cache_hits"],
+            engine->stats_cache()->hits());
+  EXPECT_EQ(snap.histograms["engine.latency.total_ms"].count, kQueries);
 }
 
 // One armed fault must fire exactly once no matter how many threads race

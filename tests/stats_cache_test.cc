@@ -122,6 +122,33 @@ TEST(StatsCacheTest, AutoShardCountClampedByCapacity) {
   EXPECT_EQ(StatsCache(0).num_shards(), 1u);   // disabled but well-formed
 }
 
+// Regression (PR 5): an EXPLICIT num_shards above the capacity used to
+// bypass the clamp that the auto-pick path applied, leaving
+// capacity % num_shards shards with zero capacity — Puts landing on those
+// shards were silently dropped, so a configured cache never cached some
+// contexts. Requested counts must clamp exactly like defaulted ones.
+TEST(StatsCacheTest, ExplicitShardCountClampedByCapacity) {
+  StatsCache cache(4, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  size_t cap_sum = 0;
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    EXPECT_GE(cache.shard_capacity(s), 1u) << "shard " << s;
+    cap_sum += cache.shard_capacity(s);
+  }
+  EXPECT_EQ(cap_sum, cache.capacity());
+
+  // Every key must be cacheable: whatever shard a key hashes to has room.
+  for (TermId k = 0; k < 16; ++k) {
+    cache.Put(TermIdSet{k}, {}, StatsWithCardinality(k));
+    std::optional<CollectionStats> hit = cache.Get(TermIdSet{k}, {});
+    ASSERT_TRUE(hit.has_value()) << "Put dropped on key " << k;
+    EXPECT_EQ(hit->cardinality, k);
+  }
+
+  EXPECT_EQ(StatsCache(1, /*num_shards=*/16).num_shards(), 1u);
+  EXPECT_EQ(StatsCache(0, /*num_shards=*/8).num_shards(), 1u);
+}
+
 TEST(StatsCacheTest, ClearResetsEntriesAndCounters) {
   StatsCache cache(4, 2);
   cache.Put(TermIdSet{1}, {}, StatsWithCardinality(1));

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate for the compressed serving path.
+"""Perf-smoke gates for the serving path.
 
-Runs bench_ablation_codec --json fresh and fails if the compressed
-dense-intersection QPS falls below --threshold of the same run's
-uncompressed path, or if the memory ratio drops under --min-ratio.
+Two modes, selectable per invocation (at least one is required):
+
+--bench + --baseline: runs bench_ablation_codec --json fresh and fails if
+the compressed dense-intersection QPS falls below --threshold of the same
+run's uncompressed path, or if the memory ratio drops under --min-ratio.
 Timing-free fields (intersection cardinalities, WAND top-k equality) are
 additionally cross-checked against the committed baseline JSON, which
 catches silent correctness rot that QPS alone would miss.
 
+--obs-bench: runs bench_obs_overhead --json fresh and fails if the
+instrumented (metrics on, tracing off) QPS drops below --obs-threshold of
+the uninstrumented QPS measured in the same interleaved run. Both arms run
+on one engine via runtime toggles, so the ratio isolates the cost of the
+metrics hot path.
+
 QPS comparisons are measured on whatever machine runs the suite, so the
-check retries --attempts times before declaring a regression; the
+checks retry --attempts times before declaring a regression; the
 deterministic cross-checks fail immediately.
 """
 
@@ -38,7 +46,7 @@ def run_bench(bench):
 
 
 def check_fresh(report, threshold, min_ratio):
-    """Returns a list of failure strings for one fresh run."""
+    """Returns a list of failure strings for one fresh codec run."""
     failures = []
     inter = report["intersection"]
     for scenario in ("dense_mid", "dense_dense"):
@@ -68,17 +76,20 @@ def check_exact(report, baseline):
     return failures
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", required=True,
-                    help="path to the bench_ablation_codec binary")
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_postings.json")
-    ap.add_argument("--attempts", type=int, default=3)
-    ap.add_argument("--threshold", type=float, default=0.95)
-    ap.add_argument("--min-ratio", type=float, default=7.0)
-    args = ap.parse_args()
+def check_obs(report, obs_threshold):
+    """Returns a list of failure strings for one fresh obs-overhead run."""
+    obs = report["obs_overhead"]
+    ratio = obs["ratio_instrumented_over_uninstrumented"]
+    if ratio < obs_threshold:
+        return [
+            f"obs_overhead ({obs.get('workload', '?')}): instrumented "
+            f"{obs['instrumented_qps']:.1f} qps / uninstrumented "
+            f"{obs['uninstrumented_qps']:.1f} qps = {ratio:.3f} < "
+            f"required {obs_threshold:.2f}"]
+    return []
 
+
+def run_codec_gate(args):
     with open(args.baseline) as f:
         baseline = json.load(f)
 
@@ -104,6 +115,56 @@ def main():
     print("FAIL: perf smoke regression persisted across "
           f"{args.attempts} attempts", file=sys.stderr)
     return 1
+
+
+def run_obs_gate(args):
+    for attempt in range(1, args.attempts + 1):
+        report = run_bench(args.obs_bench)
+        failures = check_obs(report, args.obs_threshold)
+        if not failures:
+            obs = report["obs_overhead"]
+            print(f"obs overhead OK (attempt {attempt}/{args.attempts}): "
+                  f"instrumented {obs['instrumented_qps']:.1f} qps vs "
+                  f"{obs['uninstrumented_qps']:.1f} uninstrumented "
+                  f"(ratio {obs['ratio_instrumented_over_uninstrumented']:.3f}"
+                  f", traced {obs['traced_qps']:.1f})")
+            return 0
+        print(f"attempt {attempt}/{args.attempts} failed:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+    print("FAIL: obs overhead regression persisted across "
+          f"{args.attempts} attempts", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench",
+                    help="path to the bench_ablation_codec binary")
+    ap.add_argument("--baseline",
+                    help="committed BENCH_postings.json (with --bench)")
+    ap.add_argument("--obs-bench",
+                    help="path to the bench_obs_overhead binary")
+    ap.add_argument("--attempts", type=int, default=3)
+    ap.add_argument("--threshold", type=float, default=0.95)
+    ap.add_argument("--min-ratio", type=float, default=7.0)
+    ap.add_argument("--obs-threshold", type=float, default=0.95)
+    args = ap.parse_args()
+
+    if not args.bench and not args.obs_bench:
+        ap.error("one of --bench or --obs-bench is required")
+    if args.bench and not args.baseline:
+        ap.error("--bench requires --baseline")
+
+    if args.bench:
+        rc = run_codec_gate(args)
+        if rc != 0:
+            return rc
+    if args.obs_bench:
+        rc = run_obs_gate(args)
+        if rc != 0:
+            return rc
+    return 0
 
 
 if __name__ == "__main__":
