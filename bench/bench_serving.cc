@@ -1,0 +1,589 @@
+// Overload-resilience bench for the serving path (DESIGN.md §13).
+//
+// Four phases against one engine:
+//
+//   1. calibrate   closed-loop capacity of the worker pool (QPS ceiling).
+//   2. capacity    open-loop Poisson arrivals at 0.7x capacity, four
+//                  tenants — the healthy-load baseline for goodput.
+//   3. overload    open-loop Poisson + bursty arrivals at 4x capacity.
+//                  Per-tenant admission must keep admitted-query p99
+//                  within the SLO, hold goodput near capacity, and split
+//                  service by the configured WFQ weights.
+//   4. fault storm seeded view-read faults under load: 10% flakiness
+//                  (the retry budget absorbs it), then a full outage
+//                  (the budget drains, the circuit breaker trips to the
+//                  straightforward plan), then disarmed (half-open
+//                  probes close the breaker).
+//
+// Emits BENCH_serving.json with --json; tools/check_bench_regression.py
+// --serving-bench gates goodput, p99-vs-SLO, tenant share drift, and the
+// breaker trip/recover cycle.
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/executor.h"
+#include "eval/query_gen.h"
+#include "util/fault.h"
+#include "util/random.h"
+#include "util/retry.h"
+
+namespace csr::bench {
+namespace {
+
+constexpr uint64_t kStormSeed = 0x57042;
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, idx == 0 ? 0 : idx - 1)];
+}
+
+/// One scheduled open-loop arrival.
+struct Arrival {
+  double t_s = 0.0;   // offset from phase start
+  size_t tenant = 0;
+  size_t query = 0;   // index into the query pool
+};
+
+/// Outcome counts for a load phase (open- or closed-loop).
+struct PhaseStats {
+  uint64_t issued = 0;
+  uint64_t ok = 0;        // successful results (degraded included)
+  uint64_t good = 0;      // ok AND end-to-end latency within the SLO
+  uint64_t degraded = 0;  // ok but served on a degraded plan
+  uint64_t rejected = 0;  // kResourceExhausted at admission
+  uint64_t shed = 0;      // kDeadlineExceeded (deadline consumed queueing)
+  uint64_t failed = 0;    // any other error
+  std::vector<double> ok_latency_ms;
+  double wall_s = 0.0;
+
+  double goodput_qps() const {
+    return wall_s > 0 ? static_cast<double>(good) / wall_s : 0.0;
+  }
+  void Absorb(const Result<SearchResult>& r, double lat_ms, double slo_ms) {
+    issued++;
+    if (r.ok()) {
+      ok++;
+      ok_latency_ms.push_back(lat_ms);
+      if (lat_ms <= slo_ms) good++;
+      if (r.value().metrics.degraded) degraded++;
+    } else if (r.status().code() == StatusCode::kResourceExhausted) {
+      rejected++;
+    } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      shed++;
+    } else {
+      failed++;
+    }
+  }
+};
+
+/// Poisson + bursty arrival schedule: exponential interarrivals whose rate
+/// is modulated 0.875x/1.5x on a 500 ms period with a 20% burst duty
+/// cycle (mean exactly `rate_qps`). Tenants are drawn from `tenant_cdf`,
+/// queries Zipf(s=1)-skewed over the pool — a few hot contexts dominate.
+std::vector<Arrival> MakeSchedule(double rate_qps, double duration_s,
+                                  bool bursty,
+                                  const std::vector<double>& tenant_cdf,
+                                  size_t pool_size, uint64_t seed) {
+  SplitMix64 rng(seed);
+  ZipfDistribution zipf(pool_size, 1.0);
+  std::vector<Arrival> out;
+  double t = 0.0;
+  while (t < duration_s) {
+    double phase = std::fmod(t, 0.5);
+    double rate = rate_qps * (bursty ? (phase < 0.1 ? 1.5 : 0.875) : 1.0);
+    t += -std::log(1.0 - rng.NextDouble()) / rate;
+    if (t >= duration_s) break;
+    Arrival a;
+    a.t_s = t;
+    double u = rng.NextDouble();
+    while (a.tenant + 1 < tenant_cdf.size() && u > tenant_cdf[a.tenant]) {
+      a.tenant++;
+    }
+    a.query = zipf.Sample(rng);
+    out.push_back(a);
+  }
+  return out;
+}
+
+/// Runs an open-loop phase: a dispatcher thread submits on the arrival
+/// schedule (never blocking — rejection is the backpressure signal), and
+/// one collector thread per tenant measures submit-to-completion latency.
+/// Within a tenant, dispatch is FIFO, so the head-of-queue get() measures
+/// true end-to-end latency up to worker-interleaving jitter.
+PhaseStats RunOpenLoop(QueryExecutor& executor,
+                       const std::vector<ContextQuery>& pool,
+                       const std::vector<std::string>& tenant_names,
+                       const std::vector<Arrival>& schedule, double slo_ms) {
+  struct Pending {
+    std::future<Result<SearchResult>> fut;
+    WallTimer timer;
+  };
+  struct Collector {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> q;
+    bool done = false;
+    PhaseStats stats;
+  };
+  std::vector<Collector> collectors(tenant_names.size());
+
+  std::vector<std::thread> threads;
+  threads.reserve(collectors.size());
+  for (Collector& c : collectors) {
+    threads.emplace_back([&c, slo_ms] {
+      for (;;) {
+        std::unique_lock<std::mutex> lock(c.mu);
+        c.cv.wait(lock, [&c] { return !c.q.empty() || c.done; });
+        if (c.q.empty()) return;
+        Pending p = std::move(c.q.front());
+        c.q.pop_front();
+        lock.unlock();
+        Result<SearchResult> r = p.fut.get();
+        c.stats.Absorb(r, p.timer.ElapsedMillis(), slo_ms);
+      }
+    });
+  }
+
+  WallTimer wall;
+  for (const Arrival& a : schedule) {
+    while (wall.ElapsedSeconds() < a.t_s) SleepForMillis(0.2);
+    Pending p;
+    p.timer.Restart();
+    p.fut = executor.SubmitSearch(pool[a.query],
+                                  EvaluationMode::kContextWithViews,
+                                  tenant_names[a.tenant]);
+    Collector& c = collectors[a.tenant];
+    {
+      std::lock_guard<std::mutex> lock(c.mu);
+      c.q.push_back(std::move(p));
+    }
+    c.cv.notify_one();
+  }
+  for (Collector& c : collectors) {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.done = true;
+    c.cv.notify_one();
+  }
+  for (std::thread& t : threads) t.join();
+
+  PhaseStats total;
+  total.wall_s = wall.ElapsedSeconds();
+  for (Collector& c : collectors) {
+    total.issued += c.stats.issued;
+    total.ok += c.stats.ok;
+    total.good += c.stats.good;
+    total.degraded += c.stats.degraded;
+    total.rejected += c.stats.rejected;
+    total.shed += c.stats.shed;
+    total.failed += c.stats.failed;
+    total.ok_latency_ms.insert(total.ok_latency_ms.end(),
+                               c.stats.ok_latency_ms.begin(),
+                               c.stats.ok_latency_ms.end());
+  }
+  return total;
+}
+
+/// Closed-loop batch through the executor, classifying every result.
+/// Submits in small chunks: handing the executor the whole pool at once
+/// would give the tail a queue wait past the engine deadline, and the
+/// deadline shed would be an artifact of the harness, not of load.
+void RunBatch(QueryExecutor& executor,
+              const std::vector<ContextQuery>& queries, double slo_ms,
+              PhaseStats* stats) {
+  const size_t kChunk = 16;
+  for (size_t base = 0; base < queries.size(); base += kChunk) {
+    size_t n = std::min(kChunk, queries.size() - base);
+    WallTimer wall;
+    auto results = executor.SearchBatch(
+        std::span<const ContextQuery>(queries.data() + base, n),
+        EvaluationMode::kContextWithViews);
+    double per_query = wall.ElapsedMillis() / std::max<size_t>(1, n);
+    for (const auto& r : results) stats->Absorb(r, per_query, slo_ms);
+  }
+}
+
+void EmitPhase(JsonWriter& json, const PhaseStats& s, double slo_ms) {
+  std::vector<double> lat = s.ok_latency_ms;
+  json.Field("issued", s.issued);
+  json.Field("ok", s.ok);
+  json.Field("good_within_slo", s.good);
+  json.Field("degraded", s.degraded);
+  json.Field("rejected", s.rejected);
+  json.Field("shed", s.shed);
+  json.Field("failed", s.failed);
+  json.Field("wall_s", s.wall_s);
+  json.Field("goodput_qps", s.goodput_qps());
+  json.Field("admitted_p50_ms", Percentile(lat, 0.50));
+  json.Field("admitted_p99_ms", Percentile(lat, 0.99));
+  json.Field("slo_ms", slo_ms);
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = TakeJsonFlag(&argc, argv);
+  uint32_t num_docs = BenchNumDocs();
+  uint32_t threads =
+      static_cast<uint32_t>(EnvDouble("CSR_BENCH_THREADS", 2));
+  double slo_ms = EnvDouble("CSR_BENCH_SLO_MS", 50.0);
+  double duration_s = EnvDouble("CSR_BENCH_DURATION_S", 2.5);
+
+  EngineConfig ecfg;
+  // End-to-end deadline below the SLO so an admitted query that barely
+  // beats the deadline check still finishes inside the SLO; the stats
+  // cache stays off so every view-path query actually reads the view
+  // (the fault storm needs real view reads to inject into).
+  ecfg.deadline_ms = 0.8 * slo_ms;
+  ecfg.view_breaker.failure_threshold = 2;
+  ecfg.view_breaker.open_ms = 50.0;
+  ecfg.view_breaker.half_open_probes = 2;
+  auto engine = BuildBenchEngine(num_docs, ecfg);
+
+  // Query pools: the serving mix spans contexts above and below T_C; the
+  // storm pool is all large contexts so every query exercises the
+  // view-read path the faults are armed on.
+  WorkloadGenerator gen(engine.get(), 4242);
+  std::vector<ContextQuery> mix_pool;
+  for (uint32_t nk = 2; nk <= 3; ++nk) {
+    for (auto& wq : gen.Generate(50, nk, 0, 0, 100000)) {
+      mix_pool.push_back(std::move(wq.query));
+    }
+  }
+  gen.set_lift_to_roots(true);
+  std::vector<ContextQuery> view_pool;
+  for (uint32_t nk = 2; nk <= 3; ++nk) {
+    for (auto& wq :
+         gen.Generate(50, nk, engine->context_threshold(), 0, 100000)) {
+      view_pool.push_back(std::move(wq.query));
+      mix_pool.push_back(view_pool.back());
+    }
+  }
+  if (mix_pool.empty() || view_pool.empty()) {
+    std::fprintf(stderr, "workload generation came up empty\n");
+    return 1;
+  }
+
+  // The storm is only meaningful if its queries actually read views
+  // (FaultPoint::kViewRead sits on the view scan), so probe each large
+  // -context candidate once and keep the view-answerable ones. At small
+  // corpus scales the advisor may select views whose contexts the
+  // generator never lands on; fall back to queries aimed at the
+  // catalog's own view definitions (context = the view's full column
+  // set, which the view covers by construction).
+  auto uses_view = [&](const ContextQuery& q) {
+    auto r = engine->Search(q, EvaluationMode::kContextWithViews);
+    return r.ok() && r->metrics.used_view;
+  };
+  std::vector<ContextQuery> storm_pool;
+  for (const ContextQuery& q : view_pool) {
+    if (uses_view(q)) storm_pool.push_back(q);
+  }
+  if (storm_pool.empty()) {
+    const ViewCatalog& catalog = engine->catalog();
+    for (size_t i = 0; i < catalog.size(); ++i) {
+      ContextQuery q = view_pool[i % view_pool.size()];
+      q.context = catalog.view(i).def().keyword_columns;
+      q.years = {};
+      if (uses_view(q)) storm_pool.push_back(std::move(q));
+    }
+  }
+  if (storm_pool.empty()) {
+    std::fprintf(stderr,
+                 "no view-answerable storm queries (catalog has %zu views); "
+                 "fault storm cannot exercise the view-read path\n",
+                 engine->catalog().size());
+    return 1;
+  }
+  // Pad the pool so each storm pass draws enough view reads for the
+  // breaker's consecutive-failure statistics to be reliable.
+  const size_t distinct_storm = storm_pool.size();
+  while (storm_pool.size() < 120) {
+    storm_pool.push_back(storm_pool[storm_pool.size() % distinct_storm]);
+  }
+  std::fprintf(stderr, "# storm pool: %zu distinct view-answerable queries "
+               "(padded to %zu)\n", distinct_storm, storm_pool.size());
+
+  // --- Phase 1: closed-loop capacity calibration -------------------------
+  double capacity_qps = 0.0;
+  double mean_exec_ms = 0.0;
+  {
+    QueryExecutor executor(engine.get(), {threads, 1024, {}});
+    PhaseStats warm;
+    RunBatch(executor, mix_pool, slo_ms, &warm);
+    WallTimer timer;
+    PhaseStats timed;
+    const int kPasses = 3;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      RunBatch(executor, mix_pool, slo_ms, &timed);
+    }
+    double secs = timer.ElapsedSeconds();
+    capacity_qps = static_cast<double>(timed.ok) / secs;
+    ExecutorMetrics m = executor.metrics();
+    mean_exec_ms = m.exec_ms_total / std::max<uint64_t>(1, m.completed);
+  }
+  if (capacity_qps <= 0.0) {
+    std::fprintf(stderr, "calibration measured zero capacity\n");
+    return 1;
+  }
+  std::printf("=== Serving under overload (%u docs, %u workers) ===\n\n",
+              num_docs, threads);
+  std::printf("capacity: %.0f qps closed-loop, %.2f ms mean exec, "
+              "SLO %.0f ms\n\n", capacity_qps, mean_exec_ms, slo_ms);
+
+  // Four tenants: weights set the WFQ entitlement, arrival shares are
+  // deliberately mismatched (the light-weight tenants push far past their
+  // entitlement) so overload must arbitrate. Every tenant's 4x arrival
+  // rate exceeds its weight share, so all stay backlogged and served
+  // shares should track weight shares.
+  const std::vector<std::string> tenant_names = {"gold", "silver", "bronze",
+                                                 "free"};
+  const std::vector<double> weights = {4.0, 2.0, 1.0, 1.0};
+  const std::vector<double> arrival_cdf = {0.4, 0.7, 0.9, 1.0};
+  const double weight_sum = 8.0;
+
+  AdmissionConfig admission;
+  admission.slo_ms = slo_ms;
+  admission.max_concurrency = threads;
+  for (size_t i = 0; i < tenant_names.size(); ++i) {
+    TenantConfig t;
+    t.name = tenant_names[i];
+    t.weight = weights[i];
+    // Queue sized to the tenant's service rate times a fraction of the
+    // deadline: any deeper backlog could not drain before the deadline
+    // anyway and would only turn rejections into sheds; the slack keeps
+    // the admitted-query tail comfortably inside the SLO.
+    t.queue_capacity = std::max<size_t>(
+        4, static_cast<size_t>(weights[i] / weight_sum * capacity_qps *
+                               0.6 * ecfg.deadline_ms / 1000.0));
+    admission.tenants.push_back(std::move(t));
+  }
+
+  // --- Phase 2: open-loop at 0.7x capacity (healthy baseline) ------------
+  PhaseStats capacity_run;
+  {
+    QueryExecutor executor(engine.get(), {threads, 1024, admission});
+    auto schedule = MakeSchedule(0.7 * capacity_qps, duration_s,
+                                 /*bursty=*/false, arrival_cdf,
+                                 mix_pool.size(), /*seed=*/1001);
+    capacity_run =
+        RunOpenLoop(executor, mix_pool, tenant_names, schedule, slo_ms);
+  }
+  std::printf("capacity load (0.7x): %.0f qps goodput, %llu/%llu ok, "
+              "%llu rejected, %llu shed\n",
+              capacity_run.goodput_qps(),
+              static_cast<unsigned long long>(capacity_run.ok),
+              static_cast<unsigned long long>(capacity_run.issued),
+              static_cast<unsigned long long>(capacity_run.rejected),
+              static_cast<unsigned long long>(capacity_run.shed));
+
+  // --- Phase 3: open-loop at 4x capacity (overload) ----------------------
+  PhaseStats overload;
+  AdmissionSnapshot overload_admission;
+  {
+    QueryExecutor executor(engine.get(), {threads, 1024, admission});
+    auto schedule = MakeSchedule(4.0 * capacity_qps, duration_s,
+                                 /*bursty=*/true, arrival_cdf,
+                                 mix_pool.size(), /*seed=*/2002);
+    overload =
+        RunOpenLoop(executor, mix_pool, tenant_names, schedule, slo_ms);
+    overload_admission = executor.admission();
+  }
+  {
+    std::vector<double> lat = overload.ok_latency_ms;
+    std::printf("overload (4x, bursty): %.0f qps goodput (%.2fx of "
+                "capacity goodput), p99 %.1f ms, %llu rejected, %llu "
+                "shed\n",
+                overload.goodput_qps(),
+                capacity_run.goodput_qps() > 0
+                    ? overload.goodput_qps() / capacity_run.goodput_qps()
+                    : 0.0,
+                Percentile(lat, 0.99),
+                static_cast<unsigned long long>(overload.rejected),
+                static_cast<unsigned long long>(overload.shed));
+    for (const TenantSnapshot& t : overload_admission.tenants) {
+      double share =
+          overload_admission.completed > 0
+              ? static_cast<double>(t.completed) /
+                    static_cast<double>(overload_admission.completed)
+              : 0.0;
+      std::printf("  tenant %-7s weight %.0f (entitled %.3f)  served "
+                  "%.3f  (%llu done, %llu rejected)\n",
+                  t.name.c_str(), t.weight, t.weight / weight_sum, share,
+                  static_cast<unsigned long long>(t.completed),
+                  static_cast<unsigned long long>(t.rejected));
+    }
+  }
+
+  // --- Phase 4: deterministic fault storm on the view path ---------------
+  // Three acts. (1) Transient flakiness at a 10% fault rate: the retry
+  // budget absorbs the faults — success deposits keep it solvent, so
+  // retries stay approved and the breaker stays closed. (2) Hard outage
+  // (rate 1.0): every read and every retry faults; consecutive failures
+  // trip the breaker (typically before the budget can drain — the
+  // short-circuit stops retry demand entirely), and while it is open
+  // queries go straight to the straightforward plan (bit-identical
+  // scores — views are exact). (3) Outage over: the budget refills and
+  // half-open probes close the breaker.
+  PhaseStats storm_protected, storm_drained, recovery;
+  const CircuitBreaker& breaker = engine->view_breaker();
+  RetryBudget& budget = RetryBudget::Global();
+  budget.Reset();  // also zeroes the withdrawal/denial counters
+  uint64_t trips0 = breaker.trips();
+  uint64_t recoveries0 = breaker.recoveries();
+  uint64_t short_circuits0 = breaker.short_circuits();
+  uint64_t injected0 = FaultInjector::Instance().trips(FaultPoint::kViewRead);
+  uint64_t storm_withdrawals = 0;
+  uint64_t storm_denials = 0;
+  {
+    QueryExecutor executor(engine.get(), {threads, 1024, {}});
+    {
+      ScopedFaultRate flaky(FaultPoint::kViewRead, 0.10, kStormSeed);
+      for (int i = 0; i < 4; ++i) {
+        RunBatch(executor, storm_pool, slo_ms, &storm_protected);
+      }
+    }
+    {
+      ScopedFaultRate outage(FaultPoint::kViewRead, 1.0, kStormSeed);
+      for (int i = 0; i < 6; ++i) {
+        RunBatch(executor, storm_pool, slo_ms, &storm_drained);
+      }
+    }
+    // Read the storm's budget traffic before Reset() wipes the counters.
+    storm_withdrawals = budget.withdrawals();
+    storm_denials = budget.denials();
+    // Outage over: refill the budget, then keep serving until the open_ms
+    // cooldown elapses and half-open probes close the breaker (bounded so
+    // a recovery bug fails the run instead of hanging it).
+    budget.Reset();
+    for (int i = 0; i < 50; ++i) {
+      RunBatch(executor, storm_pool, slo_ms, &recovery);
+      if (breaker.state() == CircuitBreaker::State::kClosed) break;
+      SleepForMillis(5);
+    }
+  }
+  uint64_t storm_trips = breaker.trips() - trips0;
+  uint64_t storm_recoveries = breaker.recoveries() - recoveries0;
+  std::printf("\nfault storm (10%% flaky then full outage, seed %llu): "
+              "%llu retries, %llu denials, breaker %llu trips / %llu "
+              "recoveries, final state %s\n",
+              static_cast<unsigned long long>(kStormSeed),
+              static_cast<unsigned long long>(storm_withdrawals),
+              static_cast<unsigned long long>(storm_denials),
+              static_cast<unsigned long long>(storm_trips),
+              static_cast<unsigned long long>(storm_recoveries),
+              std::string(breaker.StateName()).c_str());
+  if (storm_trips == 0 || breaker.state() != CircuitBreaker::State::kClosed) {
+    std::fprintf(stderr,
+                 "breaker did not complete a trip/recover cycle "
+                 "(%llu faults were injected)\n",
+                 static_cast<unsigned long long>(
+                     FaultInjector::Instance().trips(FaultPoint::kViewRead) -
+                     injected0));
+  }
+
+  if (!json_path.empty()) {
+    PhaseStats storm_all;
+    for (const PhaseStats* s :
+         {&storm_protected, &storm_drained, &recovery}) {
+      storm_all.issued += s->issued;
+      storm_all.ok += s->ok;
+      storm_all.good += s->good;
+      storm_all.degraded += s->degraded;
+      storm_all.rejected += s->rejected;
+      storm_all.shed += s->shed;
+      storm_all.failed += s->failed;
+    }
+    JsonWriter json;
+    json.Open();
+    json.OpenObject("serving");
+    json.Field("num_docs", static_cast<uint64_t>(num_docs));
+    json.Field("threads", static_cast<uint64_t>(threads));
+    json.Field("slo_ms", slo_ms);
+    json.Field("deadline_ms", ecfg.deadline_ms);
+    json.OpenObject("calibration");
+    json.Field("capacity_qps", capacity_qps);
+    json.Field("mean_exec_ms", mean_exec_ms);
+    json.CloseObject();
+    json.OpenObject("capacity");
+    EmitPhase(json, capacity_run, slo_ms);
+    json.CloseObject();
+    json.OpenObject("overload");
+    EmitPhase(json, overload, slo_ms);
+    json.Field("goodput_ratio_vs_capacity",
+               capacity_run.goodput_qps() > 0
+                   ? overload.goodput_qps() / capacity_run.goodput_qps()
+                   : 0.0);
+    json.Field("limit_final",
+               static_cast<uint64_t>(overload_admission.limit));
+    json.Field("limit_increases", overload_admission.limit_increases);
+    json.Field("limit_decreases", overload_admission.limit_decreases);
+    json.OpenObject("tenants");
+    for (const TenantSnapshot& t : overload_admission.tenants) {
+      json.OpenObject(t.name);
+      json.Field("weight", t.weight);
+      json.Field("weight_share", t.weight / weight_sum);
+      json.Field("served_share",
+                 overload_admission.completed > 0
+                     ? static_cast<double>(t.completed) /
+                           static_cast<double>(overload_admission.completed)
+                     : 0.0);
+      json.Field("completed", t.completed);
+      json.Field("rejected", t.rejected);
+      json.Field("shed", t.shed);
+      json.CloseObject();
+    }
+    json.CloseObject();
+    json.CloseObject();
+    json.OpenObject("fault_storm");
+    json.Field("fault_rate", 0.10);
+    json.Field("outage_rate", 1.0);
+    json.Field("seed", kStormSeed);
+    json.Field("queries", storm_all.issued);
+    json.Field("ok", storm_all.ok);
+    json.Field("degraded", storm_all.degraded);
+    json.Field("rejected", storm_all.rejected);
+    json.Field("shed", storm_all.shed);
+    json.Field("failed", storm_all.failed);
+    json.Field("retry_withdrawals", storm_withdrawals);
+    json.Field("retry_denials", storm_denials);
+    json.Field("breaker_trips", storm_trips);
+    json.Field("breaker_recoveries", storm_recoveries);
+    json.Field("breaker_short_circuits",
+               breaker.short_circuits() - short_circuits0);
+    json.Field("breaker_state_final", std::string(breaker.StateName()));
+    json.CloseObject();
+    json.CloseObject();
+    json.Close();
+    if (Status s = json.WriteFile(json_path); !s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace csr::bench
+
+int main(int argc, char** argv) { return csr::bench::Main(argc, argv); }

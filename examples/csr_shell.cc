@@ -16,6 +16,9 @@
 //   .stats                        engine statistics (incl. index memory
 //                                 and pool metrics)
 //   .metrics                      full metrics registry snapshot as JSON
+//   .qos                          serving QoS state: per-tenant queue
+//                                 depths, concurrency limit, retry
+//                                 budget, view-path circuit breaker
 //   .trace on|off                 trace every query (prints the span tree
 //                                 as JSON after each result)
 //   .quit
@@ -193,6 +196,39 @@ int main(int argc, char** argv) {
     }
     if (line == ".metrics") {
       std::printf("%s\n", engine->MetricsSnapshot().ToJson().c_str());
+      continue;
+    }
+    if (line == ".qos") {
+      const csr::CircuitBreaker& breaker = engine->view_breaker();
+      std::printf("view breaker: %s (trips=%llu recoveries=%llu "
+                  "short_circuits=%llu)\n",
+                  std::string(breaker.StateName()).c_str(),
+                  static_cast<unsigned long long>(breaker.trips()),
+                  static_cast<unsigned long long>(breaker.recoveries()),
+                  static_cast<unsigned long long>(breaker.short_circuits()));
+      csr::RetryBudget& budget = csr::RetryBudget::Global();
+      std::printf("retry budget: %.1f/%.1f tokens (withdrawals=%llu "
+                  "denials=%llu)\n",
+                  budget.tokens(), budget.capacity(),
+                  static_cast<unsigned long long>(budget.withdrawals()),
+                  static_cast<unsigned long long>(budget.denials()));
+      if (!g_pool) {
+        std::printf("no pool (run .pool <n> to see admission state)\n");
+        continue;
+      }
+      csr::AdmissionSnapshot a = g_pool->admission();
+      std::printf("admission: limit=%u inflight=%u window_p99=%.2fms "
+                  "slo=%.0fms\n",
+                  a.limit, a.inflight, a.window_p99_ms, a.slo_ms);
+      for (const csr::TenantSnapshot& t : a.tenants) {
+        std::printf("  tenant %-10s w=%-4.1f depth=%zu/%zu admitted=%llu "
+                    "rejected=%llu completed=%llu shed=%llu\n",
+                    t.name.c_str(), t.weight, t.depth, t.queue_capacity,
+                    static_cast<unsigned long long>(t.admitted),
+                    static_cast<unsigned long long>(t.rejected),
+                    static_cast<unsigned long long>(t.completed),
+                    static_cast<unsigned long long>(t.shed));
+      }
       continue;
     }
     if (line.rfind(".trace ", 0) == 0) {

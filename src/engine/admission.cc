@@ -1,0 +1,203 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csr {
+
+namespace {
+
+std::vector<double> LatencyBounds() {
+  std::span<const double> b = MetricsRegistry::DefaultLatencyBucketsMs();
+  return std::vector<double>(b.begin(), b.end());
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         uint32_t num_threads)
+    : config_(std::move(config)), window_hist_(LatencyBounds()) {
+  if (config_.tenants.empty()) {
+    config_.tenants.push_back(TenantConfig{"default", 1.0, 256});
+  }
+  tenants_.reserve(config_.tenants.size());
+  for (TenantConfig& tc : config_.tenants) {
+    if (!(tc.weight > 0.0)) tc.weight = 1.0;
+    if (tc.queue_capacity == 0) tc.queue_capacity = 1;
+    Tenant t;
+    t.config = tc;
+    tenants_.push_back(std::move(t));
+  }
+  if (config_.min_concurrency == 0) config_.min_concurrency = 1;
+  max_limit_ = config_.max_concurrency != 0 ? config_.max_concurrency
+                                            : std::max(1u, num_threads);
+  if (max_limit_ < config_.min_concurrency) {
+    max_limit_ = config_.min_concurrency;
+  }
+  if (config_.adapt_interval == 0) config_.adapt_interval = 1;
+  if (config_.decrease_factor <= 0.0 || config_.decrease_factor >= 1.0) {
+    config_.decrease_factor = 0.7;
+  }
+  // Start wide open; the limiter only pulls back on observed SLO misses.
+  limit_ = max_limit_;
+  window_base_.assign(window_hist_.bounds().size() + 1, 0);
+}
+
+size_t AdmissionController::TenantIndex(std::string_view name) const {
+  if (name.empty()) return 0;
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].config.name == name) return i;
+  }
+  return 0;
+}
+
+bool AdmissionController::CanAdmit(size_t t) const {
+  return tenants_[t].finish_tags.size() < tenants_[t].config.queue_capacity;
+}
+
+Status AdmissionController::TryAdmit(size_t t) {
+  Tenant& tenant = tenants_[t];
+  if (tenant.finish_tags.size() >= tenant.config.queue_capacity) {
+    tenant.rejected++;
+    // Backoff hint: the backlog ahead of a resubmission, divided by the
+    // current service rate (limit workers, EWMA ms each). Clamped so a
+    // cold EWMA or a huge backlog still yields a sane hint.
+    double per_query_ms = ewma_e2e_ms_ > 0.0 ? ewma_e2e_ms_ : 1.0;
+    double hint = static_cast<double>(tenant.finish_tags.size() + 1) *
+                  per_query_ms / static_cast<double>(std::max(1u, limit_));
+    hint = std::clamp(hint, 1.0, 1000.0);
+    return Status::ResourceExhaustedWithRetry(
+        "tenant '" + tenant.config.name + "' queue full (" +
+            std::to_string(tenant.config.queue_capacity) +
+            " queries queued); retry after backoff",
+        hint);
+  }
+  double start = std::max(virtual_time_, tenant.last_finish);
+  double finish = start + 1.0 / tenant.config.weight;
+  tenant.finish_tags.push_back(finish);
+  tenant.last_finish = finish;
+  tenant.admitted++;
+  return Status::OK();
+}
+
+bool AdmissionController::HasRunnable() const {
+  for (const Tenant& t : tenants_) {
+    if (!t.finish_tags.empty()) return true;
+  }
+  return false;
+}
+
+bool AdmissionController::CanDispatch() const {
+  return inflight_ < limit_ && HasRunnable();
+}
+
+size_t AdmissionController::BeginDispatch() {
+  size_t best = tenants_.size();
+  double best_tag = 0.0;
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    const std::deque<double>& tags = tenants_[i].finish_tags;
+    if (tags.empty()) continue;
+    if (best == tenants_.size() || tags.front() < best_tag) {
+      best = i;
+      best_tag = tags.front();
+    }
+  }
+  tenants_[best].finish_tags.pop_front();
+  virtual_time_ = std::max(virtual_time_, best_tag);
+  inflight_++;
+  return best;
+}
+
+void AdmissionController::OnComplete(size_t t, double e2e_ms, bool shed) {
+  if (inflight_ > 0) inflight_--;
+  tenants_[t].completed++;
+  completed_++;
+  if (shed) {
+    tenants_[t].shed++;
+    shed_++;
+  }
+  ewma_e2e_ms_ =
+      ewma_e2e_ms_ == 0.0 ? e2e_ms : 0.9 * ewma_e2e_ms_ + 0.1 * e2e_ms;
+  if (config_.slo_ms <= 0.0) return;
+  window_hist_.Observe(e2e_ms);
+  if (++window_completed_ >= config_.adapt_interval) StepLimiter();
+}
+
+void AdmissionController::StepLimiter() {
+  // Windowed p99 from bucket-count deltas against the window baseline —
+  // the same machinery MetricsSnapshot uses, so the limiter's view matches
+  // what `.metrics` reports.
+  std::vector<uint64_t> counts = window_hist_.bucket_counts();
+  uint64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i] - window_base_[i];
+  }
+  if (total == 0) {
+    window_completed_ = 0;
+    return;
+  }
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(0.99 * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  const std::vector<double>& bounds = window_hist_.bounds();
+  uint64_t seen = 0;
+  double p99 = bounds.back();  // overflow bucket reports the top bound
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i] - window_base_[i];
+    if (seen >= rank) {
+      p99 = i < bounds.size() ? bounds[i] : bounds.back() * 2.0;
+      break;
+    }
+  }
+  window_p99_ms_ = p99;
+  if (p99 > config_.slo_ms) {
+    uint32_t next = static_cast<uint32_t>(
+        std::floor(static_cast<double>(limit_) * config_.decrease_factor));
+    next = std::max(next, config_.min_concurrency);
+    if (next < limit_) {
+      limit_ = next;
+      limit_decreases_++;
+    }
+  } else if (limit_ < max_limit_) {
+    limit_++;
+    limit_increases_++;
+  }
+  window_base_ = std::move(counts);
+  window_completed_ = 0;
+}
+
+size_t AdmissionController::total_depth() const {
+  size_t depth = 0;
+  for (const Tenant& t : tenants_) depth += t.finish_tags.size();
+  return depth;
+}
+
+AdmissionSnapshot AdmissionController::snapshot() const {
+  AdmissionSnapshot s;
+  s.tenants.reserve(tenants_.size());
+  for (const Tenant& t : tenants_) {
+    TenantSnapshot ts;
+    ts.name = t.config.name;
+    ts.weight = t.config.weight;
+    ts.queue_capacity = t.config.queue_capacity;
+    ts.depth = t.finish_tags.size();
+    ts.admitted = t.admitted;
+    ts.rejected = t.rejected;
+    ts.completed = t.completed;
+    ts.shed = t.shed;
+    s.admitted += t.admitted;
+    s.rejected += t.rejected;
+    s.tenants.push_back(std::move(ts));
+  }
+  s.limit = limit_;
+  s.inflight = inflight_;
+  s.completed = completed_;
+  s.shed = shed_;
+  s.limit_increases = limit_increases_;
+  s.limit_decreases = limit_decreases_;
+  s.window_p99_ms = window_p99_ms_;
+  s.slo_ms = config_.slo_ms;
+  return s;
+}
+
+}  // namespace csr

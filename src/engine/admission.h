@@ -1,0 +1,196 @@
+#ifndef CSR_ENGINE_ADMISSION_H_
+#define CSR_ENGINE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace csr {
+
+/// Per-tenant admission control + adaptive concurrency for the query
+/// executor (DESIGN.md §13).
+///
+/// The executor's single bounded FIFO treats all traffic as one class: a
+/// bursty tenant fills the queue and every other tenant eats its latency
+/// or its kResourceExhausted rejections. This module replaces it with
+/// weighted fair queueing across per-tenant queues — each tenant gets a
+/// bounded queue and a weight, and dispatch order follows virtual-time
+/// finish tags, so under saturation tenant i receives ~w_i / Σw of the
+/// service no matter how hard anyone else pushes.
+///
+/// On top sits an AIMD concurrency limiter: when a latency SLO is
+/// configured, the controller watches the windowed p99 of end-to-end
+/// latency and multiplicatively shrinks the dispatch concurrency when the
+/// SLO is violated (queueing delay, not parallelism, is what blows p99
+/// past saturation), probing back up additively while the SLO holds.
+
+/// One traffic class.
+struct TenantConfig {
+  std::string name;
+  /// Relative service share under saturation (> 0).
+  double weight = 1.0;
+  /// Bound on queued-but-not-started queries for this tenant. A full
+  /// tenant queue rejects with kResourceExhausted + retry_after_ms.
+  size_t queue_capacity = 64;
+};
+
+struct AdmissionConfig {
+  /// Traffic classes. Empty configures a single "default" tenant, which
+  /// reproduces the old single-queue FIFO behavior exactly (one queue,
+  /// FIFO tags, fixed concurrency = worker count).
+  std::vector<TenantConfig> tenants;
+
+  /// End-to-end (queue wait + execution) p99 target in milliseconds for
+  /// the adaptive limiter; 0 disables adaptation (fixed concurrency).
+  double slo_ms = 0.0;
+
+  /// Clamp range for the adaptive concurrency limit. max_concurrency 0
+  /// means "number of worker threads".
+  uint32_t min_concurrency = 1;
+  uint32_t max_concurrency = 0;
+
+  /// Multiplicative decrease applied to the limit on an SLO violation.
+  double decrease_factor = 0.7;
+
+  /// Completions per AIMD evaluation window.
+  uint32_t adapt_interval = 32;
+};
+
+/// Point-in-time copy of one tenant's admission state.
+struct TenantSnapshot {
+  std::string name;
+  double weight = 1.0;
+  size_t queue_capacity = 0;
+  size_t depth = 0;       // queued right now
+  uint64_t admitted = 0;  // accepted into the queue
+  uint64_t rejected = 0;  // refused, tenant queue full
+  uint64_t completed = 0;
+  uint64_t shed = 0;      // dispatched but past deadline (engine shed it)
+};
+
+/// Point-in-time copy of the whole controller (shell `.qos`, metrics
+/// callback, tests).
+struct AdmissionSnapshot {
+  std::vector<TenantSnapshot> tenants;
+  uint32_t limit = 0;     // current dispatch concurrency limit
+  uint32_t inflight = 0;  // dispatched, not yet completed
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t limit_increases = 0;
+  uint64_t limit_decreases = 0;
+  double window_p99_ms = 0.0;  // last AIMD window's observed p99
+  double slo_ms = 0.0;
+};
+
+/// Weighted-fair admission queue + AIMD concurrency limiter.
+///
+/// NOT internally synchronized. The owner (QueryExecutor) serializes every
+/// call under its queue mutex — admission decisions are already inside the
+/// enqueue/dequeue critical sections, and a second lock here would only
+/// add a lock-order edge to audit. The one exception is the latency
+/// histogram feeding the limiter, which is relaxed-atomic internally, but
+/// it too is only touched from locked methods.
+///
+/// Virtual-time WFQ: the controller keeps a global virtual clock V. A
+/// query admitted to tenant t gets finish tag
+///     f = max(V, t.last_finish) + 1 / t.weight,
+/// and dispatch always picks the non-empty tenant whose head tag is
+/// smallest, advancing V to that tag. Backlogged tenants therefore
+/// accumulate tags at rate 1/weight and are served proportionally; a
+/// tenant returning from idle starts at the current V (no banked credit).
+class AdmissionController {
+ public:
+  /// `num_threads` is the worker count — the default/maximum concurrency.
+  AdmissionController(AdmissionConfig config, uint32_t num_threads);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  size_t num_tenants() const { return tenants_.size(); }
+
+  /// Resolves a tenant by name; unknown or empty names map to tenant 0
+  /// (the first configured tenant, or "default").
+  size_t TenantIndex(std::string_view name) const;
+
+  const TenantConfig& tenant_config(size_t t) const {
+    return tenants_[t].config;
+  }
+
+  /// Room in tenant t's queue right now (blocking-enqueue predicate).
+  bool CanAdmit(size_t t) const;
+
+  /// Admits one query to tenant t: OK (tag pushed, depth grown) or
+  /// kResourceExhausted carrying a retry_after_ms hint sized from the
+  /// tenant's backlog and the current service rate.
+  Status TryAdmit(size_t t);
+
+  /// Any tenant has queued work.
+  bool HasRunnable() const;
+
+  /// Queued work exists AND the concurrency limit has room.
+  bool CanDispatch() const;
+
+  /// Pops the WFQ-next queued query (precondition: HasRunnable()) and
+  /// counts it in-flight. Returns the tenant whose queue the owner must
+  /// pop. `ignore_limit` exists for shutdown drain.
+  size_t BeginDispatch();
+
+  /// Completes an in-flight query: frees its concurrency slot, records
+  /// the end-to-end latency into the AIMD window, and steps the limiter
+  /// every adapt_interval completions. `shed` marks a query the engine
+  /// refused past-deadline (it still occupied a slot).
+  void OnComplete(size_t t, double e2e_ms, bool shed);
+
+  uint32_t limit() const { return limit_; }
+  uint32_t inflight() const { return inflight_; }
+  size_t depth(size_t t) const { return tenants_[t].finish_tags.size(); }
+  size_t total_depth() const;
+
+  AdmissionSnapshot snapshot() const;
+
+ private:
+  struct Tenant {
+    TenantConfig config;
+    std::deque<double> finish_tags;  // one per queued query, ascending
+    double last_finish = 0.0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+  };
+
+  void StepLimiter();
+
+  AdmissionConfig config_;
+  std::vector<Tenant> tenants_;
+  double virtual_time_ = 0.0;
+
+  uint32_t limit_;
+  uint32_t max_limit_;
+  uint32_t inflight_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t limit_increases_ = 0;
+  uint64_t limit_decreases_ = 0;
+  double ewma_e2e_ms_ = 0.0;  // service-time estimate for retry hints
+  double window_p99_ms_ = 0.0;
+
+  // AIMD latency window: always observed (independent of the engine's
+  // metrics_enabled switch, so turning metrics off cannot starve the
+  // limiter). p99 is computed from bucket-count deltas between windows.
+  Histogram window_hist_;
+  std::vector<uint64_t> window_base_;  // bucket counts at window start
+  uint64_t window_completed_ = 0;      // completions in current window
+};
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_ADMISSION_H_

@@ -6,6 +6,7 @@
 
 #include "engine/top_k.h"
 #include "index/intersection.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -124,6 +125,7 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Finish(
   }
   engine->metrics_enabled_.store(config.metrics_enabled,
                                  std::memory_order_relaxed);
+  engine->view_breaker_.Configure(config.view_breaker);
   engine->set_trace_sample_rate(config.trace_sample_rate);
   engine->RegisterMetrics();
   return engine;
@@ -192,6 +194,26 @@ void ContextSearchEngine::RegisterMetrics() {
     snap.counters["engine.degradation.budget_hits"] = d.budget_hits;
     snap.counters["engine.degradation.fault_trips"] = d.fault_trips;
     snap.counters["engine.degradation.degraded_queries"] = d.degraded_queries;
+    snap.counters["engine.degradation.view_read_faults"] =
+        d.view_read_faults;
+  });
+  registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
+    // Overload-resilience telemetry (DESIGN.md §13). The budget is
+    // process-wide (one bucket shared by every retried site); the breaker
+    // is this engine's view-path breaker. Both are internally
+    // synchronized leaf components, safe to read under the registry mutex.
+    const RetryBudget& budget = RetryBudget::Global();
+    snap.counters["retry.withdrawals"] = budget.withdrawals();
+    snap.counters["retry.denials"] = budget.denials();
+    snap.counters["retry.deposits"] = budget.deposits();
+    snap.gauges["retry.tokens"] = budget.tokens();
+    snap.gauges["retry.capacity"] = budget.capacity();
+    snap.counters["breaker.trips"] = view_breaker_.trips();
+    snap.counters["breaker.recoveries"] = view_breaker_.recoveries();
+    snap.counters["breaker.short_circuits"] = view_breaker_.short_circuits();
+    snap.counters["breaker.probes"] = view_breaker_.probes();
+    snap.gauges["breaker.state"] =
+        static_cast<double>(static_cast<uint32_t>(view_breaker_.state()));
   });
   registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
     if (stats_cache_ == nullptr) return;
@@ -431,6 +453,56 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
         content_index_, predicate_index_, query.context, qstats.keywords,
         need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
   }
+
+  // -- Overload resilience on the view path (DESIGN.md §13) -------------
+  // The view read is a dependency that can fail transiently (injection
+  // point kViewRead). A circuit breaker gates it: while open, queries
+  // short-circuit straight to the straightforward plan without touching
+  // the view. Because views are exact aggregates, both plans produce
+  // bit-identical scores — a short-circuit is a plan choice, not a
+  // degradation.
+  if (!view_breaker_.Allow()) {
+    metrics.fell_back_to_straightforward = true;
+    straightforward_plan("fallback: view circuit breaker open");
+    SpanGuard span(tctx, "plan:straightforward");
+    span.Attr("reason", "view circuit breaker open");
+    return StraightforwardCollectionStats(
+        content_index_, predicate_index_, query.context, qstats.keywords,
+        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
+  }
+  // Transient fault on the read itself: retry within the process-wide
+  // budget (a storm drains the bucket and fails fast into the fallback
+  // instead of multiplying load), then report the outcome to the breaker.
+  bool view_ok = !FaultHit(FaultPoint::kViewRead);
+  if (!view_ok) {
+    degradation_.view_read_faults++;
+    DecorrelatedJitterBackoff backoff(config_.view_retry,
+                                      /*seed=*/0xB0FF5EEDULL);
+    for (uint32_t attempt = 1; attempt < config_.view_retry.max_attempts;
+         ++attempt) {
+      if (!RetryBudget::Global().TryWithdraw()) break;
+      SleepForMillis(backoff.NextDelayMs());
+      view_ok = !FaultHit(FaultPoint::kViewRead);
+      if (view_ok) break;
+      degradation_.view_read_faults++;
+    }
+  }
+  if (!view_ok) {
+    view_breaker_.OnFailure();
+    metrics.fell_back_to_straightforward = true;
+    metrics.degraded = true;
+    metrics.degraded_reason =
+        "transient view-read fault persisted through retry; answered by "
+        "the straightforward plan";
+    straightforward_plan("fallback: transient view-read fault");
+    SpanGuard span(tctx, "plan:straightforward");
+    span.Attr("reason", "transient view-read fault");
+    return StraightforwardCollectionStats(
+        content_index_, predicate_index_, query.context, qstats.keywords,
+        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
+  }
+  view_breaker_.OnSuccess();
+  RetryBudget::Global().Deposit();
 
   metrics.used_view = true;
   metrics.plan = "stats: view scan over V_K (|K|=" +

@@ -18,6 +18,7 @@
 #include "selection/hybrid.h"
 #include "stats/collector.h"
 #include "util/result.h"
+#include "util/retry.h"
 #include "views/view_builder.h"
 #include "views/view_catalog.h"
 
@@ -108,6 +109,19 @@ struct EngineConfig {
   /// Implemented as trace-every-Nth with N = round(1/rate), so sampling
   /// is deterministic and costs one relaxed counter increment per query.
   double trace_sample_rate = 0.0;
+
+  /// Retry policy for transient materialized-view read faults (injection
+  /// point kViewRead). Retries draw on the process-wide RetryBudget
+  /// (util/retry.h), so a correlated fault storm drains one shared bucket
+  /// and degrades into fallbacks instead of amplifying itself.
+  RetryPolicy view_retry{/*max_attempts=*/2, /*base_ms=*/0.05,
+                         /*cap_ms=*/1.0};
+
+  /// Circuit breaker guarding the view read path: after failure_threshold
+  /// consecutive unsalvageable view-read faults, Search stops consulting
+  /// views and serves the straightforward plan (identical scores, higher
+  /// cost) until a half-open probe succeeds.
+  CircuitBreakerConfig view_breaker;
 };
 
 /// Cumulative fault-tolerance telemetry for one engine, surfaced through
@@ -127,6 +141,7 @@ struct DegradationStats {
   std::atomic<uint64_t> budget_hits{0};    // ScanGuard posting-budget trips
   std::atomic<uint64_t> fault_trips{0};    // injected posting faults seen
   std::atomic<uint64_t> degraded_queries{0};  // results with degraded=true
+  std::atomic<uint64_t> view_read_faults{0};  // transient view-read faults
 };
 
 /// The system of the paper, end to end: inverted indexes over content and
@@ -235,6 +250,10 @@ class ContextSearchEngine {
   /// budget trips, degraded queries.
   const DegradationStats& degradation() const { return degradation_; }
 
+  /// The circuit breaker guarding the materialized-view read path
+  /// (state/telemetry for tests and the shell's `.qos`).
+  const CircuitBreaker& view_breaker() const { return view_breaker_; }
+
   // -- Observability ----------------------------------------------------
 
   /// The engine's metrics registry. Components owned by this engine
@@ -313,6 +332,10 @@ class ContextSearchEngine {
   // Mutable for the same reason: telemetry about const queries. All
   // members are relaxed atomics (see DegradationStats).
   mutable DegradationStats degradation_;
+  // View-path circuit breaker (DESIGN.md §13). Internally synchronized
+  // (its own leaf mutex); mutable because breaker transitions are driven
+  // by const Search calls.
+  mutable CircuitBreaker view_breaker_;
 
   // Observability. The registry is internally synchronized; the hot-path
   // instrument pointers below are resolved once in RegisterMetrics and

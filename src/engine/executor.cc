@@ -5,23 +5,47 @@
 
 namespace csr {
 
-QueryExecutor::QueryExecutor(const ContextSearchEngine* engine,
-                             ExecutorConfig config)
-    : engine_(engine), config_(config) {
-  uint32_t threads = config_.num_threads;
+uint32_t QueryExecutor::ResolveThreads(const ExecutorConfig& config) {
+  uint32_t threads = config.num_threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  return threads;
+}
+
+namespace {
+
+/// No explicit tenants → one default tenant bounded by the legacy
+/// queue_capacity knob, which reproduces the old single-queue semantics.
+AdmissionConfig ResolveAdmission(const ExecutorConfig& config) {
+  AdmissionConfig a = config.admission;
+  if (a.tenants.empty()) {
+    size_t cap = std::max<size_t>(1, config.queue_capacity);
+    a.tenants.push_back(TenantConfig{"default", 1.0, cap});
+  }
+  return a;
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const ContextSearchEngine* engine,
+                             ExecutorConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      admission_(ResolveAdmission(config_), ResolveThreads(config_)) {
+  uint32_t threads = ResolveThreads(config_);
+  tenant_queues_.resize(admission_.num_tenants());
 
   // Register into the engine's metrics registry before any worker starts:
   // the histograms are cached raw pointers (lock-free updates in
   // WorkerLoop), and the sample callback exports the legacy
-  // ExecutorMetrics struct — through the locked metrics() copy-out, never
-  // a bare field read — under stable executor.* names.
+  // ExecutorMetrics struct and the admission state — through the locked
+  // copy-outs, never a bare field read — under stable executor.* and
+  // admission.* names.
   MetricsRegistry& registry = engine_->metrics_registry();
   queue_wait_hist_ = &registry.GetHistogram("executor.queue_wait_ms");
   exec_hist_ = &registry.GetHistogram("executor.exec_ms");
+  e2e_hist_ = &registry.GetHistogram("executor.e2e_ms");
   metrics_callback_ = registry.AddSampleCallback([this](MetricsSnapshot& s) {
     ExecutorMetrics m = metrics();  // locked copy-out (takes mu_)
     s.counters["executor.submitted"] = m.submitted;
@@ -34,6 +58,27 @@ QueryExecutor::QueryExecutor(const ContextSearchEngine* engine,
     s.gauges["executor.queue_wait_ms_max"] = m.queue_wait_ms_max;
     s.gauges["executor.exec_ms_total"] = m.exec_ms_total;
     s.gauges["executor.num_threads"] = static_cast<double>(num_threads());
+
+    AdmissionSnapshot a = admission();  // locked copy-out (takes mu_)
+    s.counters["admission.admitted"] = a.admitted;
+    s.counters["admission.rejected"] = a.rejected;
+    s.counters["admission.completed"] = a.completed;
+    s.counters["admission.shed"] = a.shed;
+    s.counters["admission.limit_increases"] = a.limit_increases;
+    s.counters["admission.limit_decreases"] = a.limit_decreases;
+    s.gauges["admission.limit"] = static_cast<double>(a.limit);
+    s.gauges["admission.inflight"] = static_cast<double>(a.inflight);
+    s.gauges["admission.window_p99_ms"] = a.window_p99_ms;
+    s.gauges["admission.slo_ms"] = a.slo_ms;
+    for (const TenantSnapshot& t : a.tenants) {
+      std::string prefix = "admission.tenant." + t.name;
+      s.gauges[prefix + ".depth"] = static_cast<double>(t.depth);
+      s.gauges[prefix + ".weight"] = t.weight;
+      s.counters[prefix + ".admitted"] = t.admitted;
+      s.counters[prefix + ".rejected"] = t.rejected;
+      s.counters[prefix + ".completed"] = t.completed;
+      s.counters[prefix + ".shed"] = t.shed;
+    }
   });
 
   workers_.reserve(threads);
@@ -67,51 +112,54 @@ void QueryExecutor::Shutdown() {
   }
 }
 
-std::future<Result<SearchResult>> QueryExecutor::Enqueue(ContextQuery query,
-                                                         EvaluationMode mode,
-                                                         bool block) {
+std::future<Result<SearchResult>> QueryExecutor::Enqueue(
+    ContextQuery query, EvaluationMode mode, std::string_view tenant,
+    bool block) {
   std::unique_lock<std::mutex> lock(mu_);
+  size_t t = admission_.TenantIndex(tenant);
   if (block) {
-    not_full_.wait(lock, [this] {
-      return shutdown_ || queue_.size() < config_.queue_capacity;
-    });
+    not_full_.wait(lock,
+                   [this, t] { return shutdown_ || admission_.CanAdmit(t); });
   }
   if (shutdown_) {
     lock.unlock();
     std::promise<Result<SearchResult>> p;
-    p.set_value(Status::FailedPrecondition("executor is shut down"));
+    // kUnavailable, not kResourceExhausted: the executor is down, not
+    // overloaded — backing off and resubmitting here cannot succeed.
+    p.set_value(Status::Unavailable("executor is shut down"));
     return p.get_future();
   }
-  if (queue_.size() >= config_.queue_capacity) {
+  Status admitted = admission_.TryAdmit(t);
+  if (!admitted.ok()) {
     metrics_.rejected++;
     lock.unlock();
     std::promise<Result<SearchResult>> p;
-    p.set_value(Status::ResourceExhausted(
-        "executor queue full (" + std::to_string(config_.queue_capacity) +
-        " queries queued); retry or shed load"));
+    p.set_value(std::move(admitted));
     return p.get_future();
   }
-  queue_.push_back(Task{std::move(query), mode, {}, {}});
-  std::future<Result<SearchResult>> f = queue_.back().promise.get_future();
+  tenant_queues_[t].push_back(Task{std::move(query), mode, {}, {}});
+  std::future<Result<SearchResult>> f =
+      tenant_queues_[t].back().promise.get_future();
   metrics_.submitted++;
   metrics_.max_queue_depth =
-      std::max(metrics_.max_queue_depth, queue_.size());
+      std::max(metrics_.max_queue_depth, admission_.total_depth());
   lock.unlock();
   not_empty_.notify_one();
   return f;
 }
 
 std::future<Result<SearchResult>> QueryExecutor::SubmitSearch(
-    ContextQuery query, EvaluationMode mode) {
-  return Enqueue(std::move(query), mode, /*block=*/false);
+    ContextQuery query, EvaluationMode mode, std::string_view tenant) {
+  return Enqueue(std::move(query), mode, tenant, /*block=*/false);
 }
 
 std::vector<Result<SearchResult>> QueryExecutor::SearchBatch(
-    std::span<const ContextQuery> queries, EvaluationMode mode) {
+    std::span<const ContextQuery> queries, EvaluationMode mode,
+    std::string_view tenant) {
   std::vector<std::future<Result<SearchResult>>> futures;
   futures.reserve(queries.size());
   for (const ContextQuery& q : queries) {
-    futures.push_back(Enqueue(q, mode, /*block=*/true));
+    futures.push_back(Enqueue(q, mode, tenant, /*block=*/true));
   }
   std::vector<Result<SearchResult>> results;
   results.reserve(queries.size());
@@ -123,35 +171,58 @@ void QueryExecutor::WorkerLoop() {
   for (;;) {
     Task task;
     double wait_ms;
+    size_t tenant;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      // The dispatch predicate folds in the concurrency limit; shutdown
+      // drains regardless of the limit (latency no longer matters, the
+      // queues must empty so promises resolve).
+      not_empty_.wait(
+          lock, [this] { return shutdown_ || admission_.CanDispatch(); });
+      if (!admission_.HasRunnable()) return;  // shutdown, queues drained
+      tenant = admission_.BeginDispatch();
+      task = std::move(tenant_queues_[tenant].front());
+      tenant_queues_[tenant].pop_front();
       wait_ms = task.queued.ElapsedMillis();
       metrics_.queue_wait_ms_total += wait_ms;
       metrics_.queue_wait_ms_max =
           std::max(metrics_.queue_wait_ms_max, wait_ms);
     }
-    not_full_.notify_one();
+    // notify_all: blocked enqueuers wait on *their* tenant's capacity, and
+    // this dispatch only made room in one tenant — wake them all and let
+    // the predicates sort it out.
+    not_full_.notify_all();
 
     WallTimer exec_timer;
     Result<SearchResult> result =
         engine_->Search(task.query, task.mode, wait_ms);
     double exec_ms = exec_timer.ElapsedMillis();
+    double e2e_ms = wait_ms + exec_ms;
+    // The engine is the single authority on shedding (its deadline check
+    // sees queue wait via elapsed_ms); the executor just classifies the
+    // outcome: a kDeadlineExceeded whose deadline was already gone at
+    // dispatch is a queue shed, not an execution timeout.
+    double deadline_ms = engine_->config().deadline_ms;
+    bool shed = deadline_ms > 0.0 && !result.ok() &&
+                result.status().code() == StatusCode::kDeadlineExceeded &&
+                wait_ms >= deadline_ms;
     {
       // Count completion BEFORE fulfilling the promise: a caller that has
       // observed its future ready must see `completed` include that task.
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.completed++;
       metrics_.exec_ms_total += exec_ms;
+      admission_.OnComplete(tenant, e2e_ms, shed);
     }
+    // The freed concurrency slot (or an AIMD limit raise) may have made a
+    // queued task dispatchable.
+    not_empty_.notify_one();
     // Histogram updates are relaxed atomics on cached pointers — outside
     // mu_ by design (see the registry lock-ordering contract).
     if (engine_->metrics_enabled()) {
       queue_wait_hist_->Observe(wait_ms);
       exec_hist_->Observe(exec_ms);
+      e2e_hist_->Observe(e2e_ms);
     }
     task.promise.set_value(std::move(result));
   }
@@ -160,13 +231,18 @@ void QueryExecutor::WorkerLoop() {
 ExecutorMetrics QueryExecutor::metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   ExecutorMetrics snapshot = metrics_;
-  snapshot.queue_depth = queue_.size();
+  snapshot.queue_depth = admission_.total_depth();
   return snapshot;
+}
+
+AdmissionSnapshot QueryExecutor::admission() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.snapshot();
 }
 
 size_t QueryExecutor::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return admission_.total_depth();
 }
 
 }  // namespace csr

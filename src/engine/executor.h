@@ -7,9 +7,11 @@
 #include <future>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "engine/admission.h"
 #include "engine/engine.h"
 #include "engine/query.h"
 #include "util/result.h"
@@ -21,15 +23,20 @@ struct ExecutorConfig {
   /// Worker threads. 0 picks std::thread::hardware_concurrency() (min 1).
   uint32_t num_threads = 0;
 
-  /// Bound on queued-but-not-started queries. A full queue rejects
-  /// SubmitSearch with kResourceExhausted (backpressure) instead of
-  /// buffering unboundedly; SearchBatch blocks for space instead.
+  /// Queue bound for the default tenant when `admission.tenants` is empty
+  /// (the single-tenant compatibility path). With explicit tenants, each
+  /// tenant's own queue_capacity governs instead.
   size_t queue_capacity = 256;
+
+  /// Per-tenant admission control + adaptive concurrency (DESIGN.md §13).
+  /// Default (no tenants, slo_ms 0) reproduces single-queue FIFO serving
+  /// at full worker concurrency.
+  AdmissionConfig admission;
 };
 
 /// Point-in-time executor telemetry. Counters are cumulative since
-/// construction; submitted == completed + rejected + queue_depth +
-/// currently-executing.
+/// construction; submitted == completed + queue_depth +
+/// currently-executing (rejected tasks never enter the queue).
 ///
 /// Synchronization contract (torn-read audit, PR 5): every field —
 /// including the multi-word doubles and max-trackers — is mutated only
@@ -38,12 +45,13 @@ struct ExecutorConfig {
 /// included). Reading a field of a live executor's struct without mu_ is a
 /// data race: `queue_wait_ms_total += x` and `max_queue_depth = max(...)`
 /// are read-modify-writes, so an unlocked reader can observe a torn or
-/// mid-update value.
+/// mid-update value. The admission controller follows the same contract
+/// (every call under mu_, copy-out via admission()).
 struct ExecutorMetrics {
-  uint64_t submitted = 0;   // accepted into the queue
+  uint64_t submitted = 0;   // accepted into a tenant queue
   uint64_t rejected = 0;    // refused with kResourceExhausted (queue full)
   uint64_t completed = 0;   // promise fulfilled (ok or error)
-  size_t queue_depth = 0;   // tasks waiting right now
+  size_t queue_depth = 0;   // tasks waiting right now, all tenants
   size_t max_queue_depth = 0;
   double queue_wait_ms_total = 0;  // summed over completed tasks
   double queue_wait_ms_max = 0;
@@ -56,20 +64,29 @@ struct ExecutorMetrics {
 /// executor is attached and live).
 ///
 /// Two entry points:
-///  - SubmitSearch: non-blocking; returns a future. When the queue is at
-///    capacity the future is already resolved with kResourceExhausted so
+///  - SubmitSearch: non-blocking; returns a future. When the caller's
+///    tenant queue is at capacity the future is already resolved with
+///    kResourceExhausted carrying a retry_after_ms backoff hint, so
 ///    callers get immediate backpressure, never an unbounded buffer.
 ///  - SearchBatch: convenience for offline/bench workloads; blocks for
 ///    queue space, preserves input order in the returned vector, and only
 ///    returns when every query has finished.
 ///
+/// Scheduling: queued queries sit in per-tenant bounded queues and are
+/// dispatched in weighted-fair order (AdmissionController); concurrent
+/// dispatch is capped by the AIMD limiter when an SLO is configured.
+///
 /// Deadlines: each task records its enqueue time, and the measured queue
 /// wait is passed to Search as `elapsed_ms`, so EngineConfig::deadline_ms
 /// bounds end-to-end latency (queue wait + execution). A query whose
-/// deadline expires while still queued is shed with kDeadlineExceeded.
+/// deadline expires while still queued is shed with kDeadlineExceeded —
+/// the engine's shed path is the single authority for that decision; the
+/// executor only counts the outcome.
 ///
-/// Destruction/Shutdown drains: queued tasks still execute, then workers
-/// join. Submissions after Shutdown resolve to kFailedPrecondition.
+/// Destruction/Shutdown drains: queued tasks still execute (the drain
+/// ignores the concurrency limit), then workers join. Submissions after
+/// Shutdown resolve to kUnavailable — the component is down, not
+/// overloaded, so callers must not interpret it as backpressure.
 class QueryExecutor {
  public:
   /// `engine` must outlive the executor.
@@ -80,22 +97,29 @@ class QueryExecutor {
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  /// Enqueues one query. Never blocks: a full queue (or a shut-down
-  /// executor) yields an already-resolved future carrying the typed error.
+  /// Enqueues one query for `tenant` (empty = default tenant). Never
+  /// blocks: a full tenant queue (or a shut-down executor) yields an
+  /// already-resolved future carrying the typed error.
   std::future<Result<SearchResult>> SubmitSearch(ContextQuery query,
-                                                 EvaluationMode mode);
+                                                 EvaluationMode mode,
+                                                 std::string_view tenant = {});
 
   /// Runs the whole batch through the pool and returns results in input
   /// order. Blocks for queue space (no kResourceExhausted rejections) and
   /// for completion.
   std::vector<Result<SearchResult>> SearchBatch(
-      std::span<const ContextQuery> queries, EvaluationMode mode);
+      std::span<const ContextQuery> queries, EvaluationMode mode,
+      std::string_view tenant = {});
 
-  /// Stops accepting work, drains the queue, joins workers. Idempotent;
+  /// Stops accepting work, drains the queues, joins workers. Idempotent;
   /// also run by the destructor.
   void Shutdown();
 
   ExecutorMetrics metrics() const;
+  /// Locked copy-out of the admission state (per-tenant depths/counters,
+  /// concurrency limit, shed counts). Basis of the admission.* metrics
+  /// and the shell's `.qos`.
+  AdmissionSnapshot admission() const;
   size_t queue_depth() const;
   uint32_t num_threads() const {
     return static_cast<uint32_t>(workers_.size());
@@ -110,10 +134,14 @@ class QueryExecutor {
     WallTimer queued;  // started at enqueue; read at dequeue = queue wait
   };
 
+  static uint32_t ResolveThreads(const ExecutorConfig& config);
+
   /// Shared enqueue path; `block` selects SearchBatch (wait for space) vs
   /// SubmitSearch (reject) semantics.
   std::future<Result<SearchResult>> Enqueue(ContextQuery query,
-                                            EvaluationMode mode, bool block);
+                                            EvaluationMode mode,
+                                            std::string_view tenant,
+                                            bool block);
   void WorkerLoop();
 
   const ContextSearchEngine* engine_;
@@ -122,19 +150,22 @@ class QueryExecutor {
 
   // Observability: per-event latency histograms (cached instrument
   // pointers, relaxed-atomic updates outside mu_) plus a sample callback
-  // that exports the locked ExecutorMetrics copy-out under executor.*
-  // names. The callback handle is released in Shutdown — the registry
-  // guarantees the callback is not running once removal returns, so a
-  // shut-down executor can be destroyed safely.
+  // that exports the locked ExecutorMetrics/AdmissionSnapshot copy-outs
+  // under executor.* / admission.* names. The callback handle is released
+  // in Shutdown — the registry guarantees the callback is not running once
+  // removal returns, so a shut-down executor can be destroyed safely.
   Histogram* queue_wait_hist_ = nullptr;
   Histogram* exec_hist_ = nullptr;
+  Histogram* e2e_hist_ = nullptr;
   uint64_t metrics_callback_ = 0;
 
   mutable std::mutex mu_;
   std::mutex join_mu_;                 // serializes Shutdown callers
-  std::condition_variable not_empty_;  // signalled on push and shutdown
-  std::condition_variable not_full_;   // signalled on pop
-  std::deque<Task> queue_;
+  std::condition_variable not_empty_;  // signalled on push, completion,
+                                       // and shutdown (dispatch predicate)
+  std::condition_variable not_full_;   // signalled on dispatch
+  std::vector<std::deque<Task>> tenant_queues_;  // parallel to admission_
+  AdmissionController admission_;      // guarded by mu_
   bool shutdown_ = false;
   ExecutorMetrics metrics_;  // guarded by mu_; queue_depth derived
 };

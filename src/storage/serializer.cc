@@ -91,14 +91,19 @@ Status BinaryWriter::WriteFile(const std::string& path,
   return Status::OK();
 }
 
-Result<BinaryReader> BinaryReader::OpenFile(const std::string& path,
-                                            uint32_t magic,
-                                            OpenOptions options) {
+namespace {
+
+/// One open attempt; OpenFile wraps it with the retry loop.
+Result<BinaryReader> OpenFileOnce(const std::string& path, uint32_t magic,
+                                  const OpenOptions& options) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::NotFound("cannot open: " + path);
   if (FaultHit(FaultPoint::kStorageRead)) {
     std::fclose(f);
-    return Status::DataLoss("injected storage read fault: " + path);
+    // Transient by definition (a media hiccup, not corrupt bytes):
+    // kUnavailable, the one code the retry loop acts on.
+    return Status::Unavailable("injected transient storage read fault: " +
+                               path);
   }
   std::fseek(f, 0, SEEK_END);
   long fsize = std::ftell(f);
@@ -152,6 +157,33 @@ Result<BinaryReader> BinaryReader::OpenFile(const std::string& path,
     return Status::DataLoss("checksum mismatch in " + path);
   }
   return BinaryReader(std::move(data));
+}
+
+}  // namespace
+
+Result<BinaryReader> BinaryReader::OpenFile(const std::string& path,
+                                            uint32_t magic,
+                                            OpenOptions options) {
+  Result<BinaryReader> r = OpenFileOnce(path, magic, options);
+  if (options.retry.max_attempts <= 1) return r;
+  if (r.ok()) {
+    // Successful protected operation: credit the shared budget.
+    RetryBudget::Global().Deposit();
+    return r;
+  }
+  DecorrelatedJitterBackoff backoff(options.retry, /*seed=*/0x0BE77E2ULL);
+  for (uint32_t attempt = 1; attempt < options.retry.max_attempts;
+       ++attempt) {
+    if (r.status().code() != StatusCode::kUnavailable) return r;
+    if (!RetryBudget::Global().TryWithdraw()) return r;
+    SleepForMillis(backoff.NextDelayMs());
+    r = OpenFileOnce(path, magic, options);
+    if (r.ok()) {
+      RetryBudget::Global().Deposit();
+      return r;
+    }
+  }
+  return r;
 }
 
 Status BinaryReader::GetU8(uint8_t* v) {

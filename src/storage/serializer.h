@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/retry.h"
 #include "util/types.h"
 
 namespace csr {
@@ -58,6 +59,14 @@ struct OpenOptions {
   /// matches the stored payload length exactly (no truncation, no trailing
   /// garbage). Violations are kDataLoss.
   bool strict = true;
+
+  /// Retry policy for *transient* read failures (kUnavailable — e.g. the
+  /// injected kStorageRead fault). The default max_attempts of 1 disables
+  /// retries, keeping one-fault = one-failure semantics for direct
+  /// callers; the snapshot load paths opt in. Retries draw on the
+  /// process-wide RetryBudget, and integrity failures (kDataLoss) are
+  /// never retried — rereading corrupt bytes cannot help.
+  RetryPolicy retry{/*max_attempts=*/1, /*base_ms=*/0.05, /*cap_ms=*/1.0};
 };
 
 /// Sequential reader over a loaded buffer. All getters return OutOfRange

@@ -26,6 +26,18 @@ constexpr uint32_t kPostingsMinVersion = 1;
 constexpr uint32_t kManifestVersion = 1;
 constexpr uint32_t kSnapshotFormatVersion = 2;
 
+/// Open options for the snapshot load paths: transient read faults
+/// (kUnavailable) are retried within the process-wide RetryBudget before
+/// the loader gives up and falls back to its rebuild/quarantine path.
+/// Integrity failures are not retried (OpenOptions contract).
+OpenOptions SnapshotOpen(bool strict = true) {
+  OpenOptions o;
+  o.strict = strict;
+  o.retry = RetryPolicy{/*max_attempts=*/3, /*base_ms=*/0.05,
+                        /*cap_ms=*/1.0};
+  return o;
+}
+
 void PutConfig(BinaryWriter& w, const CorpusConfig& c) {
   w.PutU64(c.seed);
   w.PutU32(c.num_docs);
@@ -91,8 +103,9 @@ Status SaveCorpus(const Corpus& corpus, const std::string& path) {
 }
 
 Result<Corpus> LoadCorpus(const std::string& path) {
-  CSR_ASSIGN_OR_RETURN(BinaryReader r,
-                       BinaryReader::OpenFile(path, kCorpusMagic));
+  CSR_ASSIGN_OR_RETURN(
+      BinaryReader r, BinaryReader::OpenFile(path, kCorpusMagic,
+                                             SnapshotOpen()));
   uint32_t version;
   CSR_RETURN_NOT_OK(r.GetU32(&version));
   if (version != kCorpusVersion) {
@@ -276,7 +289,8 @@ Result<LoadedViews> LoadViews(const std::string& path) {
   // single corrupt view be dropped instead of failing the load wholesale.
   CSR_ASSIGN_OR_RETURN(
       BinaryReader r,
-      BinaryReader::OpenFile(path, kViewsMagic, OpenOptions{.strict = false}));
+      BinaryReader::OpenFile(path, kViewsMagic,
+                             SnapshotOpen(/*strict=*/false)));
 
   uint64_t header_len = 0;
   uint64_t header_sum = 0;
@@ -474,8 +488,9 @@ Result<LoadedPostings> LoadPostings(const std::string& path,
   // views there is no per-list salvage — a damaged postings file is simply
   // ignored in favour of rebuilding from the corpus, so partial recovery
   // would buy nothing.
-  CSR_ASSIGN_OR_RETURN(BinaryReader r,
-                       BinaryReader::OpenFile(path, kPostingsMagic));
+  CSR_ASSIGN_OR_RETURN(
+      BinaryReader r, BinaryReader::OpenFile(path, kPostingsMagic,
+                                             SnapshotOpen()));
   uint32_t version = 0;
   CSR_RETURN_NOT_OK(r.GetU32(&version));
   if (version < kPostingsMinVersion || version > kPostingsVersion) {
@@ -546,7 +561,8 @@ Status SaveManifest(const std::string& dir,
 /// manifest-level byte comparison would only turn salvageable view
 /// corruption into a wholesale failure.
 Status VerifyManifest(const std::string& dir) {
-  auto r = BinaryReader::OpenFile(dir + "/MANIFEST.csr", kManifestMagic);
+  auto r = BinaryReader::OpenFile(dir + "/MANIFEST.csr", kManifestMagic,
+                                  SnapshotOpen());
   if (!r.ok()) {
     // Pre-manifest snapshots stay loadable; anything but "absent" is real.
     if (r.status().code() == StatusCode::kNotFound) return Status::OK();

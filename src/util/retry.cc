@@ -1,0 +1,149 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace csr {
+
+bool RetryBudget::TryWithdraw() {
+  double cur = tokens_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur < 1.0) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (tokens_.compare_exchange_weak(cur, cur - 1.0,
+                                      std::memory_order_relaxed)) {
+      withdrawals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+void RetryBudget::Deposit() {
+  deposits_.fetch_add(1, std::memory_order_relaxed);
+  double cur = tokens_.load(std::memory_order_relaxed);
+  while (true) {
+    double next = cur + deposit_per_success_;
+    if (next > capacity_) next = capacity_;
+    if (next == cur) return;
+    if (tokens_.compare_exchange_weak(cur, next,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void RetryBudget::Reset() {
+  tokens_.store(capacity_, std::memory_order_relaxed);
+  withdrawals_.store(0, std::memory_order_relaxed);
+  denials_.store(0, std::memory_order_relaxed);
+  deposits_.store(0, std::memory_order_relaxed);
+}
+
+RetryBudget& RetryBudget::Global() {
+  static RetryBudget budget;
+  return budget;
+}
+
+void SleepForMillis(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (opened_.ElapsedMillis() < config_.open_ms) {
+        short_circuits_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      // Cooldown elapsed: start probing. Only `half_open_probes` callers
+      // may touch the dependency at once; the rest keep short-circuiting
+      // until the probes report back.
+      state_ = State::kHalfOpen;
+      probes_started_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_started_ >= config_.half_open_probes) {
+        short_circuits_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      ++probes_started_;
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      return;
+    case State::kOpen:
+      // A straggler that passed Allow() before the trip; ignore.
+      return;
+    case State::kHalfOpen:
+      if (++probe_successes_ >= config_.half_open_probes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        recoveries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+  }
+}
+
+void CircuitBreaker::OnFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        TripLocked();
+      }
+      return;
+    case State::kOpen:
+      return;  // straggler
+    case State::kHalfOpen:
+      TripLocked();  // the dependency is still sick; back to open
+      return;
+  }
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = State::kOpen;
+  consecutive_failures_ = 0;
+  probes_started_ = 0;
+  probe_successes_ = 0;
+  opened_.Restart();
+  trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::string_view CircuitBreaker::StateName() const {
+  return CircuitBreakerStateName(state());
+}
+
+std::string_view CircuitBreakerStateName(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace csr

@@ -1,0 +1,194 @@
+#ifndef CSR_UTIL_RETRY_H_
+#define CSR_UTIL_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace csr {
+
+/// Retry/backoff primitives for transient serving faults (DESIGN.md §13).
+/// Three pieces, composable:
+///
+///  - RetryPolicy + DecorrelatedJitterBackoff: how often and how long to
+///    wait between attempts.
+///  - RetryBudget: a global token bucket that caps the *fleet-wide* retry
+///    rate, so a correlated fault storm cannot amplify itself — when the
+///    budget drains, operations fail fast instead of multiplying load.
+///  - CircuitBreaker: per-dependency failure tracking that short-circuits
+///    a persistently failing path to its fallback, probing it periodically
+///    to detect recovery.
+
+/// How a single protected operation retries.
+struct RetryPolicy {
+  /// Total tries including the first attempt. 1 disables retries.
+  uint32_t max_attempts = 3;
+  /// Decorrelated-jitter base sleep (also the minimum sleep).
+  double base_ms = 0.2;
+  /// Per-sleep cap.
+  double cap_ms = 5.0;
+};
+
+/// Decorrelated jitter ("sleep = min(cap, uniform(base, 3 * prev))"): each
+/// delay is drawn from a range anchored to the previous delay, spreading
+/// correlated retriers apart far better than exponential backoff with
+/// equal steps. Deterministic under a fixed seed.
+class DecorrelatedJitterBackoff {
+ public:
+  DecorrelatedJitterBackoff(RetryPolicy policy, uint64_t seed)
+      : policy_(policy), rng_(seed), prev_ms_(policy.base_ms) {}
+
+  double NextDelayMs() {
+    double hi = prev_ms_ * 3.0;
+    if (hi < policy_.base_ms) hi = policy_.base_ms;
+    double d = policy_.base_ms +
+               rng_.NextDouble() * (hi - policy_.base_ms);
+    if (d > policy_.cap_ms) d = policy_.cap_ms;
+    prev_ms_ = d;
+    return d;
+  }
+
+ private:
+  RetryPolicy policy_;
+  SplitMix64 rng_;
+  double prev_ms_;
+};
+
+/// Global retry token bucket. Every successful protected operation
+/// deposits a fraction of a token; every retry withdraws a whole one, so
+/// sustained retries are bounded to `deposit_per_success` of the success
+/// rate plus the burst capacity. When a storm drains the bucket, further
+/// retries are denied and callers surface the transient failure instead
+/// of hammering the faulty dependency.
+///
+/// Thread-safe; tokens are a CAS-updated atomic double, counters are
+/// relaxed atomics (same memory-order contract as DegradationStats).
+class RetryBudget {
+ public:
+  explicit RetryBudget(double capacity = 32.0,
+                       double deposit_per_success = 0.1)
+      : capacity_(capacity),
+        deposit_per_success_(deposit_per_success),
+        tokens_(capacity) {}
+
+  /// Takes one token for a retry. False (and a denial count) when the
+  /// bucket is empty — the caller must not retry.
+  bool TryWithdraw();
+
+  /// Credits a successful protected operation.
+  void Deposit();
+
+  double tokens() const { return tokens_.load(std::memory_order_relaxed); }
+  double capacity() const { return capacity_; }
+  uint64_t withdrawals() const {
+    return withdrawals_.load(std::memory_order_relaxed);
+  }
+  uint64_t denials() const {
+    return denials_.load(std::memory_order_relaxed);
+  }
+  uint64_t deposits() const {
+    return deposits_.load(std::memory_order_relaxed);
+  }
+
+  /// Refills the bucket and zeroes the counters (tests).
+  void Reset();
+
+  /// The process-wide budget shared by every retried site (storage reads,
+  /// view-read salvage). One bucket on purpose: a storm that hits many
+  /// sites at once must share one cap, or each site amplifies separately.
+  static RetryBudget& Global();
+
+ private:
+  double capacity_;
+  double deposit_per_success_;
+  std::atomic<double> tokens_;
+  std::atomic<uint64_t> withdrawals_{0};
+  std::atomic<uint64_t> denials_{0};
+  std::atomic<uint64_t> deposits_{0};
+};
+
+/// Sleeps for a (fractional) millisecond delay; retry sleeps are small, so
+/// this is a plain this_thread::sleep_for.
+void SleepForMillis(double ms);
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip a closed breaker open.
+  uint32_t failure_threshold = 5;
+  /// How long an open breaker rejects before letting probes through.
+  double open_ms = 250.0;
+  /// Probe successes required in half-open before the breaker closes.
+  /// A probe failure reopens immediately.
+  uint32_t half_open_probes = 2;
+};
+
+/// Classic three-state circuit breaker guarding one dependency (here: the
+/// materialized-view read path).
+///
+///   closed --(N consecutive failures)--> open
+///   open   --(open_ms elapsed)--------> half-open (admits probe calls)
+///   half-open --(probe successes)-----> closed
+///   half-open --(probe failure)-------> open
+///
+/// Allow() is the admission check: false means "short-circuit to the
+/// fallback without touching the dependency". Callers that get true MUST
+/// report the outcome with OnSuccess()/OnFailure(), or a half-open
+/// breaker would leak its probe slots and stick.
+///
+/// Internally a small mutex: breaker decisions sit on control-flow edges
+/// (one check per view-path query), not in the posting-scan hot loop.
+class CircuitBreaker {
+ public:
+  enum class State : uint32_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  /// Re-arms thresholds (engine build time, before concurrent use).
+  void Configure(CircuitBreakerConfig config) { config_ = config; }
+
+  /// True: proceed against the dependency (and report the outcome).
+  /// False: the breaker is open — use the fallback path.
+  bool Allow();
+  void OnSuccess();
+  void OnFailure();
+
+  State state() const;
+  std::string_view StateName() const;
+
+  // Cumulative telemetry (monotonic; exported as breaker.* metrics).
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  uint64_t recoveries() const {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+  uint64_t short_circuits() const {
+    return short_circuits_.load(std::memory_order_relaxed);
+  }
+  uint64_t probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void TripLocked();  // requires mu_
+
+  CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;  // closed
+  uint32_t probes_started_ = 0;        // half-open
+  uint32_t probe_successes_ = 0;       // half-open
+  WallTimer opened_;                   // restarted on every trip
+  std::atomic<uint64_t> trips_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<uint64_t> short_circuits_{0};
+  std::atomic<uint64_t> probes_{0};
+};
+
+std::string_view CircuitBreakerStateName(CircuitBreaker::State s);
+
+}  // namespace csr
+
+#endif  // CSR_UTIL_RETRY_H_

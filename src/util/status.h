@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kDataLoss,
+  kUnavailable,
 };
 
 /// A lightweight status object in the RocksDB/Arrow style. The library does
@@ -67,10 +68,32 @@ class Status {
   static Status DataLoss(std::string_view msg) {
     return Status(StatusCode::kDataLoss, msg);
   }
+  /// The operation cannot be served right now but may succeed if retried:
+  /// a transient media fault, or a component that has shut down / not yet
+  /// come up. Distinct from kResourceExhausted (the caller should back
+  /// off) and kDataLoss (retrying cannot help).
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+
+  /// A kResourceExhausted rejection carrying a backoff hint: the caller
+  /// should wait ~`retry_after_ms` before resubmitting. The hint rides on
+  /// the status so admission control can size it from queue state; it is
+  /// advisory, never a guarantee of admission.
+  static Status ResourceExhaustedWithRetry(std::string_view msg,
+                                           double retry_after_ms) {
+    Status s(StatusCode::kResourceExhausted, msg);
+    s.retry_after_ms_ = retry_after_ms;
+    return s;
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Backoff hint in milliseconds; 0 means "none attached". Only
+  /// ResourceExhaustedWithRetry sets it.
+  double retry_after_ms() const { return retry_after_ms_; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: empty query".
   std::string ToString() const;
@@ -85,6 +108,7 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  double retry_after_ms_ = 0.0;  // advisory; excluded from operator==
 };
 
 /// Returns the canonical name of a status code ("Ok", "NotFound", ...).

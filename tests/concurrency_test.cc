@@ -267,7 +267,10 @@ TEST(QueryExecutorTest, ShutdownDrainsThenRejects) {
   }
   auto late = executor.SubmitSearch(queries[0],
                                     EvaluationMode::kContextWithViews);
-  EXPECT_EQ(late.get().status().code(), StatusCode::kFailedPrecondition);
+  // kUnavailable, not kResourceExhausted: "down" must be distinguishable
+  // from "overloaded" — a client backing off and resubmitting to a
+  // shut-down executor would spin forever.
+  EXPECT_EQ(late.get().status().code(), StatusCode::kUnavailable);
 }
 
 TEST(QueryExecutorTest, DeadlineIncludesQueueWait) {

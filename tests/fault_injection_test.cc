@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -15,6 +16,7 @@
 #include "storage/serializer.h"
 #include "storage/snapshot.h"
 #include "util/fault.h"
+#include "util/retry.h"
 
 namespace csr {
 namespace {
@@ -114,6 +116,90 @@ TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnScopeExit) {
   EXPECT_FALSE(FaultHit(FaultPoint::kViewDecode));
 }
 
+TEST_F(FaultInjectorTest, RateTriggerIsDeterministicUnderFixedSeed) {
+  auto& fi = FaultInjector::Instance();
+  constexpr int kHits = 2000;
+  constexpr double kRate = 0.1;
+  constexpr uint64_t kSeed = 42;
+
+  // Record the exact trip pattern of one run...
+  fi.ArmRate(FaultPoint::kPostingAdvance, kRate, kSeed);
+  EXPECT_TRUE(fi.armed(FaultPoint::kPostingAdvance));
+  EXPECT_DOUBLE_EQ(fi.rate(FaultPoint::kPostingAdvance), kRate);
+  std::vector<bool> pattern;
+  for (int i = 0; i < kHits; ++i) {
+    pattern.push_back(FaultHit(FaultPoint::kPostingAdvance));
+  }
+  int trips = static_cast<int>(
+      std::count(pattern.begin(), pattern.end(), true));
+  // ~10% of 2000 = 200; a wildly off count means the threshold math is
+  // broken (e.g. rate scaled wrong), not bad luck.
+  EXPECT_GT(trips, 120);
+  EXPECT_LT(trips, 280);
+
+  // ...then re-arm with the same (rate, seed) and require bit-identical
+  // decisions, hit for hit.
+  fi.ArmRate(FaultPoint::kPostingAdvance, kRate, kSeed);
+  for (int i = 0; i < kHits; ++i) {
+    EXPECT_EQ(FaultHit(FaultPoint::kPostingAdvance), pattern[i]) << i;
+  }
+
+  // A different seed yields a different pattern (astronomically likely).
+  fi.ArmRate(FaultPoint::kPostingAdvance, kRate, kSeed + 1);
+  std::vector<bool> other;
+  for (int i = 0; i < kHits; ++i) {
+    other.push_back(FaultHit(FaultPoint::kPostingAdvance));
+  }
+  EXPECT_NE(pattern, other);
+}
+
+TEST_F(FaultInjectorTest, RateOneFiresEveryHitRateZeroDisarms) {
+  auto& fi = FaultInjector::Instance();
+  fi.ArmRate(FaultPoint::kViewRead, 1.0);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(FaultHit(FaultPoint::kViewRead));
+  fi.ArmRate(FaultPoint::kViewRead, 0.0);
+  EXPECT_FALSE(fi.armed(FaultPoint::kViewRead));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(FaultHit(FaultPoint::kViewRead));
+}
+
+TEST_F(FaultInjectorTest, DisarmClearsBothTriggers) {
+  auto& fi = FaultInjector::Instance();
+  fi.Arm(FaultPoint::kViewRead, 100);
+  fi.ArmRate(FaultPoint::kViewRead, 1.0);
+  EXPECT_TRUE(fi.armed(FaultPoint::kViewRead));
+  fi.Disarm(FaultPoint::kViewRead);
+  EXPECT_FALSE(fi.armed(FaultPoint::kViewRead));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(FaultHit(FaultPoint::kViewRead));
+  }
+}
+
+TEST_F(FaultInjectorTest, OneShotKeepsExactlyOnceAlongsideRateTrigger) {
+  auto& fi = FaultInjector::Instance();
+  const uint64_t trips_before = fi.trips(FaultPoint::kViewDecode);
+  // Rate 0-probability stream + one-shot on the 3rd hit: only the
+  // one-shot fires, exactly once, and the point self-disarms down to the
+  // (still armed, never firing) rate trigger.
+  fi.ArmRate(FaultPoint::kViewDecode, 1e-18, /*seed=*/7);
+  fi.Arm(FaultPoint::kViewDecode, 3);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (FaultHit(FaultPoint::kViewDecode)) fired++;
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fi.trips(FaultPoint::kViewDecode), trips_before + 1);
+  EXPECT_TRUE(fi.armed(FaultPoint::kViewDecode));  // rate trigger remains
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultRateDisarmsOnScopeExit) {
+  auto& fi = FaultInjector::Instance();
+  {
+    ScopedFaultRate f(FaultPoint::kViewRead, 0.5, /*seed=*/9);
+    EXPECT_TRUE(fi.armed(FaultPoint::kViewRead));
+  }
+  EXPECT_FALSE(fi.armed(FaultPoint::kViewRead));
+}
+
 TEST_F(FaultInjectorTest, PointNamesAreDistinct) {
   std::vector<std::string_view> names;
   for (size_t i = 0; i < kNumFaultPoints; ++i) {
@@ -154,20 +240,89 @@ TEST_F(StorageFaultTest, WriteFaultLeavesPreviousFileIntact) {
   EXPECT_EQ(s, "durable");
 }
 
-TEST_F(StorageFaultTest, ReadFaultIsTypedDataLoss) {
+TEST_F(StorageFaultTest, ReadFaultIsTypedUnavailable) {
   TempDir dir;
   BinaryWriter w;
   w.PutString("payload");
   ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x3333).ok());
 
+  // Injected read faults are transient (kUnavailable), distinct from real
+  // corruption (kDataLoss): only the former is a legal retry target. The
+  // default OpenOptions do not retry, so one fault = one failure here.
   ScopedFault f(FaultPoint::kStorageRead);
   auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333);
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
 
-  // One-shot: the retry succeeds.
+  // One-shot: the resubmission succeeds.
   auto retry = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333);
   EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(StorageFaultTest, OpenRetriesTransientFaultWithinBudget) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("payload");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x3333).ok());
+  RetryBudget::Global().Reset();
+
+  // One armed fault, retry-enabled open: the first attempt trips, the
+  // in-call retry succeeds — the caller never sees the fault.
+  ScopedFault f(FaultPoint::kStorageRead);
+  OpenOptions o;
+  o.retry.max_attempts = 3;
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333, o);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(RetryBudget::Global().withdrawals(), 1u);
+  EXPECT_EQ(RetryBudget::Global().deposits(), 1u);
+}
+
+TEST_F(StorageFaultTest, CorruptionIsNeverRetried) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("a reasonably long payload");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x3333).ok());
+  std::FILE* fp = std::fopen(dir.path("f.bin").c_str(), "r+b");
+  ASSERT_NE(fp, nullptr);
+  std::fseek(fp, 14, SEEK_SET);
+  std::fputc('X', fp);
+  std::fclose(fp);
+
+  RetryBudget::Global().Reset();
+  OpenOptions o;
+  o.retry.max_attempts = 3;
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  // Rereading corrupt bytes cannot help: no budget token was spent.
+  EXPECT_EQ(RetryBudget::Global().withdrawals(), 0u);
+}
+
+TEST_F(StorageFaultTest, DrainedBudgetFailsFastInsteadOfRetrying) {
+  TempDir dir;
+  BinaryWriter w;
+  w.PutString("payload");
+  ASSERT_TRUE(w.WriteFile(dir.path("f.bin"), 0x3333).ok());
+
+  RetryBudget drained(/*capacity=*/0.0);
+  EXPECT_FALSE(drained.TryWithdraw());
+  EXPECT_EQ(drained.denials(), 1u);
+
+  // The global budget variant: arm a persistent fault, drain the bucket,
+  // and verify the open gives up after the denial instead of sleeping
+  // through max_attempts.
+  RetryBudget::Global().Reset();
+  while (RetryBudget::Global().TryWithdraw()) {
+  }
+  uint64_t denials_before = RetryBudget::Global().denials();
+  ScopedFault f(FaultPoint::kStorageRead);
+  OpenOptions o;
+  o.retry.max_attempts = 5;
+  auto r = BinaryReader::OpenFile(dir.path("f.bin"), 0x3333, o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(RetryBudget::Global().denials(), denials_before + 1);
+  RetryBudget::Global().Reset();
 }
 
 // -- View decode faults and quarantine --------------------------------------

@@ -42,6 +42,7 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
             "DeadlineExceeded");
   EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusTest, EveryCodeRoundTripsThroughName) {
@@ -51,6 +52,7 @@ TEST(StatusTest, EveryCodeRoundTripsThroughName) {
       StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
       StatusCode::kResourceExhausted, StatusCode::kInternal,
       StatusCode::kDeadlineExceeded,  StatusCode::kDataLoss,
+      StatusCode::kUnavailable,
   };
   std::set<std::string_view> names;
   for (StatusCode c : all) {
@@ -71,6 +73,19 @@ TEST(StatusTest, NewFailureTaxonomyFactories) {
   Status l = Status::DataLoss("checksum mismatch");
   EXPECT_EQ(l.code(), StatusCode::kDataLoss);
   EXPECT_EQ(l.ToString(), "DataLoss: checksum mismatch");
+  Status u = Status::Unavailable("executor is shut down");
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: executor is shut down");
+}
+
+TEST(StatusTest, ResourceExhaustedCarriesRetryAfterHint) {
+  Status s = Status::ResourceExhaustedWithRetry("queue full", 12.5);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(s.retry_after_ms(), 12.5);
+  // The hint is advisory metadata, excluded from equality.
+  EXPECT_EQ(s, Status::ResourceExhausted("queue full"));
+  EXPECT_DOUBLE_EQ(Status::ResourceExhausted("queue full").retry_after_ms(),
+                   0.0);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-smoke gates for the serving path.
 
-Two modes, selectable per invocation (at least one is required):
+Three modes, selectable per invocation (at least one is required):
 
 --bench + --baseline: runs bench_ablation_codec --json fresh and fails if
 the compressed dense-intersection QPS falls below --threshold of the same
@@ -16,16 +16,37 @@ the uninstrumented QPS measured in the same interleaved run. Both arms run
 on one engine via runtime toggles, so the ratio isolates the cost of the
 metrics hot path.
 
+--serving-bench: runs bench_serving --json fresh and fails if, at 4x
+saturation, goodput falls below --serving-goodput of the capacity-load
+goodput, the admitted-query p99 exceeds the SLO, any tenant's served share
+drifts more than --serving-share-tol from its configured weight share, or
+the deterministic fault storm did not drive the view-path circuit breaker
+through a trip-and-recover cycle.
+
+--self-test: runs this script's own pytest-style unit tests (no pytest
+dependency; plain asserts over the pure check functions and the JSON
+loading paths) and exits nonzero on any failure. Wired into ctest so the
+gate logic itself cannot rot silently.
+
 QPS comparisons are measured on whatever machine runs the suite, so the
 checks retry --attempts times before declaring a regression; the
 deterministic cross-checks fail immediately.
+
+All failure paths print a one-line FAIL: diagnosis — a missing binary,
+unreadable baseline, or malformed JSON must read as a clear gate failure,
+never a traceback.
 """
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
+
+
+class GateError(Exception):
+    """A gate cannot even run (missing/unreadable/malformed inputs)."""
 
 
 # Deterministic outputs that must match the committed baseline exactly.
@@ -37,18 +58,49 @@ EXACT_KEYS = [
 ]
 
 
-def run_bench(bench):
-    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
-        subprocess.run([bench, "--json", tmp.name], check=True,
-                       stdout=subprocess.DEVNULL)
-        with open(tmp.name) as f:
+def load_json(path, what):
+    """Loads a JSON file with a clear diagnosis instead of a traceback."""
+    try:
+        with open(path) as f:
             return json.load(f)
+    except FileNotFoundError:
+        raise GateError(f"{what} not found: {path}")
+    except IsADirectoryError:
+        raise GateError(f"{what} is a directory, not a file: {path}")
+    except json.JSONDecodeError as e:
+        raise GateError(f"{what} is not valid JSON ({path}): {e}")
+    except OSError as e:
+        raise GateError(f"cannot read {what} ({path}): {e}")
+
+
+def run_bench(bench):
+    """Runs a bench binary with --json and returns the parsed report."""
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        try:
+            subprocess.run([bench, "--json", tmp.name], check=True,
+                           stdout=subprocess.DEVNULL)
+        except FileNotFoundError:
+            raise GateError(f"bench binary not found: {bench}")
+        except subprocess.CalledProcessError as e:
+            raise GateError(
+                f"bench run failed with exit code {e.returncode}: {bench}")
+        return load_json(tmp.name, f"bench report from {bench}")
+
+
+def section(report, name, bench="the bench"):
+    """Fetches a report section, diagnosing a schema mismatch clearly."""
+    got = report.get(name)
+    if not isinstance(got, dict):
+        raise GateError(
+            f"bench report from {bench} has no '{name}' section — "
+            "schema mismatch between the script and the bench binary?")
+    return got
 
 
 def check_fresh(report, threshold, min_ratio):
     """Returns a list of failure strings for one fresh codec run."""
     failures = []
-    inter = report["intersection"]
+    inter = section(report, "intersection")
     for scenario in ("dense_mid", "dense_dense"):
         unc = inter[f"{scenario}_uncompressed_qps"]
         comp = inter[f"{scenario}_auto_qps"]
@@ -56,7 +108,7 @@ def check_fresh(report, threshold, min_ratio):
             failures.append(
                 f"{scenario}: compressed {comp:.1f} qps < "
                 f"{threshold:.2f}x uncompressed {unc:.1f} qps")
-    ratio = report["memory"]["ratio_uncompressed_over_auto"]
+    ratio = section(report, "memory")["ratio_uncompressed_over_auto"]
     if ratio < min_ratio:
         failures.append(
             f"memory ratio {ratio:.2f}x < required {min_ratio:.1f}x")
@@ -65,20 +117,20 @@ def check_fresh(report, threshold, min_ratio):
 
 def check_exact(report, baseline):
     failures = []
-    for section, key in EXACT_KEYS:
-        want = baseline.get(section, {}).get(key)
-        got = report.get(section, {}).get(key)
+    for sec, key in EXACT_KEYS:
+        want = baseline.get(sec, {}).get(key)
+        got = report.get(sec, {}).get(key)
         if want is None:
             continue  # baseline predates the field
         if got != want:
             failures.append(
-                f"{section}.{key}: fresh run {got!r} != baseline {want!r}")
+                f"{sec}.{key}: fresh run {got!r} != baseline {want!r}")
     return failures
 
 
 def check_obs(report, obs_threshold):
     """Returns a list of failure strings for one fresh obs-overhead run."""
-    obs = report["obs_overhead"]
+    obs = section(report, "obs_overhead")
     ratio = obs["ratio_instrumented_over_uninstrumented"]
     if ratio < obs_threshold:
         return [
@@ -89,52 +141,263 @@ def check_obs(report, obs_threshold):
     return []
 
 
-def run_codec_gate(args):
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-
+def check_serving(report, goodput_floor, share_tol):
+    """Returns a list of failure strings for one fresh serving run."""
+    serving = section(report, "serving")
+    over = serving["overload"]
+    storm = serving["fault_storm"]
+    slo = serving["slo_ms"]
     failures = []
-    for attempt in range(1, args.attempts + 1):
+
+    ratio = over["goodput_ratio_vs_capacity"]
+    if ratio < goodput_floor:
+        failures.append(
+            f"overload goodput {over['goodput_qps']:.1f} qps is "
+            f"{ratio:.3f}x of capacity goodput "
+            f"{serving['capacity']['goodput_qps']:.1f} qps "
+            f"(floor {goodput_floor:.2f}x)")
+
+    p99 = over["admitted_p99_ms"]
+    if p99 > slo:
+        failures.append(
+            f"admitted-query p99 {p99:.2f} ms exceeds the "
+            f"{slo:.1f} ms SLO under overload")
+
+    for name, t in over["tenants"].items():
+        drift = abs(t["served_share"] - t["weight_share"])
+        if drift > share_tol:
+            failures.append(
+                f"tenant '{name}': served share {t['served_share']:.3f}"
+                f" vs weight share {t['weight_share']:.3f} "
+                f"(drift {drift:.3f} > {share_tol:.2f})")
+
+    if storm["breaker_trips"] < 1:
+        failures.append("fault storm never tripped the view-path breaker")
+    if storm["breaker_recoveries"] < 1:
+        failures.append("view-path breaker never recovered after the storm")
+    if storm["breaker_state_final"] != "closed":
+        failures.append(
+            "breaker finished the storm in state "
+            f"'{storm['breaker_state_final']}', expected 'closed'")
+    accounted = (storm["ok"] + storm["failed"] + storm["shed"] +
+                 storm["rejected"])
+    if accounted != storm["queries"]:
+        failures.append(
+            f"fault storm lost queries: {accounted} accounted vs "
+            f"{storm['queries']} issued")
+    return failures
+
+
+def retry_gate(label, attempts, run_once, on_ok):
+    """Shared retry loop for the timing-sensitive gates."""
+    for attempt in range(1, attempts + 1):
+        report, failures = run_once()
+        if failures is None:  # deterministic cross-check failed
+            return 1
+        if not failures:
+            on_ok(report, attempt)
+            return 0
+        print(f"attempt {attempt}/{attempts} failed:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+    print(f"FAIL: {label} regression persisted across "
+          f"{attempts} attempts", file=sys.stderr)
+    return 1
+
+
+def run_codec_gate(args):
+    baseline = load_json(args.baseline, "baseline")
+
+    def once():
         report = run_bench(args.bench)
         exact = check_exact(report, baseline)
         if exact:
             for msg in exact:
                 print(f"FAIL: {msg}", file=sys.stderr)
-            return 1
-        failures = check_fresh(report, args.threshold, args.min_ratio)
-        if not failures:
-            print(f"perf smoke OK (attempt {attempt}/{args.attempts}): "
-                  f"dense_mid {report['intersection']['dense_mid_auto_qps']:.1f}"
-                  f" vs {report['intersection']['dense_mid_uncompressed_qps']:.1f}"
-                  f" qps uncompressed, ratio "
-                  f"{report['memory']['ratio_uncompressed_over_auto']:.2f}x")
-            return 0
-        print(f"attempt {attempt}/{args.attempts} failed:", file=sys.stderr)
-        for msg in failures:
-            print(f"  {msg}", file=sys.stderr)
-    print("FAIL: perf smoke regression persisted across "
-          f"{args.attempts} attempts", file=sys.stderr)
-    return 1
+            return report, None
+        return report, check_fresh(report, args.threshold, args.min_ratio)
+
+    def ok(report, attempt):
+        print(f"perf smoke OK (attempt {attempt}/{args.attempts}): "
+              f"dense_mid {report['intersection']['dense_mid_auto_qps']:.1f}"
+              f" vs {report['intersection']['dense_mid_uncompressed_qps']:.1f}"
+              f" qps uncompressed, ratio "
+              f"{report['memory']['ratio_uncompressed_over_auto']:.2f}x")
+
+    return retry_gate("perf smoke", args.attempts, once, ok)
 
 
 def run_obs_gate(args):
-    for attempt in range(1, args.attempts + 1):
+    def once():
         report = run_bench(args.obs_bench)
-        failures = check_obs(report, args.obs_threshold)
-        if not failures:
-            obs = report["obs_overhead"]
-            print(f"obs overhead OK (attempt {attempt}/{args.attempts}): "
-                  f"instrumented {obs['instrumented_qps']:.1f} qps vs "
-                  f"{obs['uninstrumented_qps']:.1f} uninstrumented "
-                  f"(ratio {obs['ratio_instrumented_over_uninstrumented']:.3f}"
-                  f", traced {obs['traced_qps']:.1f})")
-            return 0
-        print(f"attempt {attempt}/{args.attempts} failed:", file=sys.stderr)
-        for msg in failures:
-            print(f"  {msg}", file=sys.stderr)
-    print("FAIL: obs overhead regression persisted across "
-          f"{args.attempts} attempts", file=sys.stderr)
-    return 1
+        return report, check_obs(report, args.obs_threshold)
+
+    def ok(report, attempt):
+        obs = report["obs_overhead"]
+        print(f"obs overhead OK (attempt {attempt}/{args.attempts}): "
+              f"instrumented {obs['instrumented_qps']:.1f} qps vs "
+              f"{obs['uninstrumented_qps']:.1f} uninstrumented "
+              f"(ratio {obs['ratio_instrumented_over_uninstrumented']:.3f}"
+              f", traced {obs['traced_qps']:.1f})")
+
+    return retry_gate("obs overhead", args.attempts, once, ok)
+
+
+def run_serving_gate(args):
+    def once():
+        report = run_bench(args.serving_bench)
+        return report, check_serving(report, args.serving_goodput,
+                                     args.serving_share_tol)
+
+    def ok(report, attempt):
+        s = report["serving"]
+        over = s["overload"]
+        storm = s["fault_storm"]
+        print(f"serving gate OK (attempt {attempt}/{args.attempts}): "
+              f"overload goodput {over['goodput_qps']:.1f} qps "
+              f"({over['goodput_ratio_vs_capacity']:.2f}x capacity), "
+              f"admitted p99 {over['admitted_p99_ms']:.2f} ms "
+              f"(SLO {s['slo_ms']:.1f}), breaker trips "
+              f"{storm['breaker_trips']} / recoveries "
+              f"{storm['breaker_recoveries']}")
+
+    return retry_gate("serving", args.attempts, once, ok)
+
+
+# ---------------------------------------------------------------------------
+# Self-test (pytest-style test_* functions over the pure pieces; run with
+# --self-test, wired into ctest).
+# ---------------------------------------------------------------------------
+
+def _serving_report(**overrides):
+    """A minimal passing serving report; overrides poke failures in."""
+    over = {
+        "goodput_qps": 90.0, "goodput_ratio_vs_capacity": 0.9,
+        "admitted_p99_ms": 25.0,
+        "tenants": {
+            "a": {"served_share": 0.52, "weight_share": 0.5},
+            "b": {"served_share": 0.48, "weight_share": 0.5},
+        },
+    }
+    storm = {
+        "queries": 100, "ok": 85, "failed": 5, "shed": 5,
+        "rejected": 5, "breaker_trips": 2, "breaker_recoveries": 2,
+        "breaker_state_final": "closed",
+    }
+    serving = {
+        "slo_ms": 30.0, "capacity": {"goodput_qps": 100.0},
+        "overload": over, "fault_storm": storm,
+    }
+    for key, value in overrides.items():
+        holder = (over if key in over else
+                  storm if key in storm else serving)
+        holder[key] = value
+    return {"serving": serving}
+
+
+def test_load_json_missing_file_is_gate_error():
+    try:
+        load_json("/nonexistent/definitely/missing.json", "baseline")
+    except GateError as e:
+        assert "not found" in str(e)
+    else:
+        raise AssertionError("missing file did not raise GateError")
+
+
+def test_load_json_malformed_is_gate_error():
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        tmp.write("{not valid json")
+        path = tmp.name
+    try:
+        load_json(path, "bench report")
+    except GateError as e:
+        assert "not valid JSON" in str(e)
+    else:
+        raise AssertionError("malformed JSON did not raise GateError")
+    finally:
+        os.unlink(path)
+
+
+def test_missing_bench_binary_is_gate_error():
+    try:
+        run_bench("/nonexistent/bench_binary")
+    except GateError as e:
+        assert "not found" in str(e)
+    else:
+        raise AssertionError("missing binary did not raise GateError")
+
+
+def test_missing_section_is_gate_error():
+    try:
+        section({"other": {}}, "serving", "bench_serving")
+    except GateError as e:
+        assert "serving" in str(e)
+    else:
+        raise AssertionError("missing section did not raise GateError")
+
+
+def test_serving_passes_on_good_report():
+    assert check_serving(_serving_report(), 0.8, 0.10) == []
+
+
+def test_serving_fails_on_low_goodput():
+    fails = check_serving(
+        _serving_report(goodput_ratio_vs_capacity=0.5), 0.8, 0.10)
+    assert any("goodput" in f for f in fails), fails
+
+
+def test_serving_fails_on_p99_over_slo():
+    fails = check_serving(_serving_report(admitted_p99_ms=31.0), 0.8, 0.10)
+    assert any("p99" in f for f in fails), fails
+
+
+def test_serving_fails_on_share_drift():
+    fails = check_serving(_serving_report(tenants={
+        "a": {"served_share": 0.8, "weight_share": 0.5},
+        "b": {"served_share": 0.2, "weight_share": 0.5},
+    }), 0.8, 0.10)
+    assert any("drift" in f for f in fails), fails
+
+
+def test_serving_fails_without_breaker_cycle():
+    fails = check_serving(_serving_report(breaker_trips=0), 0.8, 0.10)
+    assert any("never tripped" in f for f in fails), fails
+    fails = check_serving(
+        _serving_report(breaker_state_final="open"), 0.8, 0.10)
+    assert any("state" in f for f in fails), fails
+
+
+def test_serving_fails_on_lost_queries():
+    fails = check_serving(_serving_report(ok=1), 0.8, 0.10)
+    assert any("lost queries" in f for f in fails), fails
+
+
+def test_exact_cross_check_flags_mismatch():
+    base = {"wand": {"identical_topk": True}}
+    assert check_exact({"wand": {"identical_topk": True}}, base) == []
+    fails = check_exact({"wand": {"identical_topk": False}}, base)
+    assert len(fails) == 1 and "identical_topk" in fails[0]
+
+
+def run_self_test():
+    tests = sorted(
+        (name, fn) for name, fn in globals().items()
+        if name.startswith("test_") and callable(fn))
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"  PASS {name}")
+        except AssertionError as e:
+            failed += 1
+            print(f"  FAIL {name}: {e}", file=sys.stderr)
+    total = len(tests)
+    if failed:
+        print(f"self-test: {failed}/{total} FAILED", file=sys.stderr)
+        return 1
+    print(f"self-test: {total}/{total} passed")
+    return 0
 
 
 def main():
@@ -145,23 +408,48 @@ def main():
                     help="committed BENCH_postings.json (with --bench)")
     ap.add_argument("--obs-bench",
                     help="path to the bench_obs_overhead binary")
+    ap.add_argument("--serving-bench",
+                    help="path to the bench_serving binary")
     ap.add_argument("--attempts", type=int, default=3)
     ap.add_argument("--threshold", type=float, default=0.95)
     ap.add_argument("--min-ratio", type=float, default=7.0)
     ap.add_argument("--obs-threshold", type=float, default=0.95)
+    ap.add_argument("--serving-goodput", type=float, default=0.8,
+                    help="overload goodput floor as a fraction of "
+                         "capacity-load goodput")
+    ap.add_argument("--serving-share-tol", type=float, default=0.10,
+                    help="max |served share - weight share| per tenant")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run this script's own unit tests and exit")
     args = ap.parse_args()
 
-    if not args.bench and not args.obs_bench:
-        ap.error("one of --bench or --obs-bench is required")
+    if args.self_test:
+        return run_self_test()
+
+    if not args.bench and not args.obs_bench and not args.serving_bench:
+        ap.error("one of --bench, --obs-bench or --serving-bench "
+                 "is required")
     if args.bench and not args.baseline:
         ap.error("--bench requires --baseline")
 
+    gates = []
     if args.bench:
-        rc = run_codec_gate(args)
-        if rc != 0:
-            return rc
+        gates.append(run_codec_gate)
     if args.obs_bench:
-        rc = run_obs_gate(args)
+        gates.append(run_obs_gate)
+    if args.serving_bench:
+        gates.append(run_serving_gate)
+    for gate in gates:
+        try:
+            rc = gate(args)
+        except GateError as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        except KeyError as e:
+            print(f"FAIL: bench report is missing expected field {e} — "
+                  "schema mismatch between the script and the bench "
+                  "binary?", file=sys.stderr)
+            return 1
         if rc != 0:
             return rc
     return 0
