@@ -1,0 +1,379 @@
+// Live-ingestion bench for the segmented LSM index (DESIGN.md §14).
+//
+// One engine, five phases:
+//
+//   1. setup       build the base engine over a corpus prefix, select and
+//                  materialize views, start the background merger.
+//   2. quiesced    closed-loop query latency with no ingest running — the
+//                  baseline the concurrent phase is judged against.
+//   3. ingest      append the corpus tail in batches while a Poisson
+//                  query stream runs concurrently. Measures sustained
+//                  append docs/sec, per-batch append latency, and query
+//                  latency under ingest (the write buffer and sealed
+//                  segments serve every query through view-delta folds).
+//   4. merge drain stop the merger, drain MergeOnce(), and report merge
+//                  write amplification (merged docs / appended docs).
+//   5. flatten     re-measure the view path with deltas still pending,
+//                  then FlattenSegments() and measure again — the ratio
+//                  isolates the query-time cost of delta folding.
+//
+// Emits BENCH_ingest.json with --json; tools/check_bench_regression.py
+// --ingest-bench gates doc accounting, query failures, fold activity,
+// merge amplification, and the concurrent-vs-quiesced latency ratio.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/query_gen.h"
+#include "util/random.h"
+#include "util/retry.h"
+
+namespace csr::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, idx == 0 ? 0 : idx - 1)];
+}
+
+/// Latency + outcome tallies for one closed- or open-loop query stream.
+struct QueryStats {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t used_view = 0;
+  uint64_t failed = 0;
+  std::vector<double> latency_ms;
+  double wall_s = 0.0;
+
+  void Absorb(const Result<SearchResult>& r, double lat_ms) {
+    issued++;
+    if (r.ok()) {
+      ok++;
+      latency_ms.push_back(lat_ms);
+      if (r.value().metrics.degraded) degraded++;
+      if (r.value().metrics.used_view) used_view++;
+    } else {
+      failed++;
+    }
+  }
+  double qps() const {
+    return wall_s > 0 ? static_cast<double>(ok) / wall_s : 0.0;
+  }
+};
+
+/// Closed-loop passes over the pool, one query at a time. Single-threaded
+/// on purpose: the quiesced and flattened baselines should measure the
+/// engine, not scheduler interleaving.
+QueryStats RunClosedLoop(const ContextSearchEngine& engine,
+                         const std::vector<ContextQuery>& pool, int passes) {
+  QueryStats stats;
+  WallTimer wall;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const ContextQuery& q : pool) {
+      WallTimer timer;
+      auto r = engine.Search(q, EvaluationMode::kContextWithViews);
+      stats.Absorb(r, timer.ElapsedMillis());
+    }
+  }
+  stats.wall_s = wall.ElapsedSeconds();
+  return stats;
+}
+
+void EmitQueryStats(JsonWriter& json, QueryStats& s) {
+  json.Field("issued", s.issued);
+  json.Field("ok", s.ok);
+  json.Field("degraded", s.degraded);
+  json.Field("used_view", s.used_view);
+  json.Field("failed", s.failed);
+  json.Field("wall_s", s.wall_s);
+  json.Field("qps", s.qps());
+  json.Field("p50_ms", Percentile(s.latency_ms, 0.50));
+  json.Field("p99_ms", Percentile(s.latency_ms, 0.99));
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = TakeJsonFlag(&argc, argv);
+  // Smaller default than the query benches: the bench builds the base
+  // index AND re-indexes a third of the corpus through the append path.
+  uint32_t num_docs = BenchNumDocs(60000);
+  uint32_t batch_docs =
+      static_cast<uint32_t>(EnvDouble("CSR_BENCH_INGEST_BATCH", 1000));
+  uint32_t base_docs = num_docs - num_docs / 3;
+
+  EngineConfig ecfg;
+  ecfg.estimator_sample = std::max<uint32_t>(20000, num_docs / 3);
+  // Seal often enough that a one-third tail drives many seal + merge
+  // cycles; the background merger runs on a short interval so merges
+  // genuinely race appends and queries.
+  ecfg.mem_segment_max_docs = std::max<uint32_t>(512, batch_docs * 2);
+  ecfg.merge_trigger_segments = 4;
+  ecfg.merge_interval_ms = 20.0;
+
+  // --- Phase 1: setup ----------------------------------------------------
+  WallTimer timer;
+  auto corpus_r = CorpusGenerator(BenchCorpusConfig(num_docs)).Generate();
+  if (!corpus_r.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 corpus_r.status().ToString().c_str());
+    return 1;
+  }
+  Corpus full = std::move(corpus_r).value();
+  std::vector<Document> tail(full.docs.begin() + base_docs, full.docs.end());
+  full.docs.resize(base_docs);
+  full.config.num_docs = base_docs;
+  double gen_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto engine_r = ContextSearchEngine::Build(std::move(full), ecfg);
+  if (!engine_r.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine_r.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_r).value();
+  double index_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  if (Status s = engine->SelectAndMaterializeViews(); !s.ok()) {
+    std::fprintf(stderr, "view selection failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  double views_s = timer.ElapsedSeconds();
+  std::fprintf(stderr,
+               "# setup: %u base docs + %zu tail (gen %.1fs, index %.1fs, "
+               "views %.1fs, %zu views, T_C=%llu)\n",
+               base_docs, tail.size(), gen_s, index_s, views_s,
+               engine->catalog().size(),
+               static_cast<unsigned long long>(engine->context_threshold()));
+
+  WorkloadGenerator gen(engine.get(), 4242);
+  std::vector<ContextQuery> pool;
+  for (uint32_t nk = 2; nk <= 3; ++nk) {
+    for (auto& wq : gen.Generate(40, nk, 0, 0, 100000)) {
+      pool.push_back(std::move(wq.query));
+    }
+  }
+  gen.set_lift_to_roots(true);
+  for (uint32_t nk = 2; nk <= 3; ++nk) {
+    for (auto& wq :
+         gen.Generate(40, nk, engine->context_threshold(), 0, 100000)) {
+      pool.push_back(std::move(wq.query));
+    }
+  }
+  if (pool.empty()) {
+    std::fprintf(stderr, "workload generation came up empty\n");
+    return 1;
+  }
+
+  std::printf("=== Live ingestion (%u base docs, %zu appended, batch %u) "
+              "===\n\n", base_docs, tail.size(), batch_docs);
+
+  // --- Phase 2: quiesced baseline ---------------------------------------
+  RunClosedLoop(*engine, pool, 1);  // warm caches and code paths
+  QueryStats quiesced = RunClosedLoop(*engine, pool, 3);
+  std::printf("quiesced: %.0f qps, p50 %.3f ms, p99 %.3f ms "
+              "(%llu queries)\n",
+              quiesced.qps(), Percentile(quiesced.latency_ms, 0.50),
+              Percentile(quiesced.latency_ms, 0.99),
+              static_cast<unsigned long long>(quiesced.issued));
+
+  uint64_t counters_before_appended = 0;
+  {
+    auto snap = engine->MetricsSnapshot();
+    counters_before_appended = snap.counters["ingest.appended_docs"];
+  }
+
+  // --- Phase 3: ingest with concurrent Poisson queries -------------------
+  engine->StartBackgroundMerge();
+  std::vector<double> append_ms;
+  QueryStats during;
+  double ingest_wall_s = 0.0;
+  {
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      WallTimer wall;
+      for (size_t pos = 0; pos < tail.size(); pos += batch_docs) {
+        size_t end = std::min(pos + static_cast<size_t>(batch_docs),
+                              tail.size());
+        std::vector<Document> batch(tail.begin() + pos, tail.begin() + end);
+        WallTimer t;
+        if (Status s = engine->AppendDocuments(std::move(batch)); !s.ok()) {
+          std::fprintf(stderr, "append failed: %s\n", s.ToString().c_str());
+          std::exit(1);
+        }
+        append_ms.push_back(t.ElapsedMillis());
+      }
+      ingest_wall_s = wall.ElapsedSeconds();
+      writer_done.store(true, std::memory_order_release);
+    });
+
+    // Poisson arrivals at half the quiesced rate: enough pressure that
+    // every segment layout the writer publishes gets queried, without the
+    // reader starving the writer on small machines.
+    double rate_qps = std::max(20.0, 0.5 * quiesced.qps());
+    SplitMix64 rng(0x1905);
+    WallTimer wall;
+    double next_s = 0.0;
+    size_t qi = 0;
+    while (!writer_done.load(std::memory_order_acquire)) {
+      next_s += -std::log(1.0 - rng.NextDouble()) / rate_qps;
+      while (wall.ElapsedSeconds() < next_s &&
+             !writer_done.load(std::memory_order_acquire)) {
+        SleepForMillis(0.2);
+      }
+      if (writer_done.load(std::memory_order_acquire)) break;
+      WallTimer t;
+      auto r = engine->Search(pool[qi++ % pool.size()],
+                              EvaluationMode::kContextWithViews);
+      during.Absorb(r, t.ElapsedMillis());
+    }
+    during.wall_s = wall.ElapsedSeconds();
+    writer.join();
+  }
+  double docs_per_sec =
+      ingest_wall_s > 0 ? static_cast<double>(tail.size()) / ingest_wall_s
+                        : 0.0;
+  std::printf("ingest: %.0f docs/s sustained (%.2fs wall), append p50 "
+              "%.2f ms, p99 %.2f ms per %u-doc batch\n",
+              docs_per_sec, ingest_wall_s, Percentile(append_ms, 0.50),
+              Percentile(append_ms, 0.99), batch_docs);
+  std::printf("concurrent queries: %llu issued, %llu ok, %llu failed, "
+              "p99 %.3f ms (quiesced p99 %.3f ms)\n",
+              static_cast<unsigned long long>(during.issued),
+              static_cast<unsigned long long>(during.ok),
+              static_cast<unsigned long long>(during.failed),
+              Percentile(during.latency_ms, 0.99),
+              Percentile(quiesced.latency_ms, 0.99));
+
+  // --- Phase 4: merge drain ---------------------------------------------
+  engine->StopBackgroundMerge();
+  while (engine->MergeOnce()) {
+  }
+  auto snap = engine->MetricsSnapshot();
+  uint64_t appended =
+      snap.counters["ingest.appended_docs"] - counters_before_appended;
+  uint64_t merges = snap.counters["segments.merges"];
+  uint64_t merged_docs = snap.counters["segments.merged_docs"];
+  uint64_t seals = snap.counters["ingest.seals"];
+  uint64_t folds = snap.counters["view.delta.folds"];
+  double amplification =
+      appended > 0 ? static_cast<double>(merged_docs) /
+                         static_cast<double>(appended)
+                   : 0.0;
+  size_t segments_after_drain = engine->SegmentInfos().size();
+  std::printf("merges: %llu merges over %llu docs (amplification %.2fx "
+              "of %llu appended), %llu seals, %zu segments after drain\n",
+              static_cast<unsigned long long>(merges),
+              static_cast<unsigned long long>(merged_docs), amplification,
+              static_cast<unsigned long long>(appended),
+              static_cast<unsigned long long>(seals),
+              segments_after_drain);
+
+  // --- Phase 5: delta folds vs flattened ---------------------------------
+  QueryStats with_deltas = RunClosedLoop(*engine, pool, 2);
+  if (Status s = engine->FlattenSegments(); !s.ok()) {
+    std::fprintf(stderr, "flatten failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  QueryStats flattened = RunClosedLoop(*engine, pool, 2);
+  double delta_p50 = Percentile(with_deltas.latency_ms, 0.50);
+  double flat_p50 = Percentile(flattened.latency_ms, 0.50);
+  double fold_overhead = flat_p50 > 0 ? delta_p50 / flat_p50 : 0.0;
+  std::printf("view-delta fold overhead: p50 %.3f ms with deltas vs "
+              "%.3f ms flattened (%.2fx); %llu folds during the run\n",
+              delta_p50, flat_p50, fold_overhead,
+              static_cast<unsigned long long>(folds));
+
+  uint64_t total_docs = engine->total_docs();
+  bool consistent = total_docs == base_docs + tail.size() &&
+                    appended == tail.size();
+  std::printf("accounting: %llu total docs (%s)\n",
+              static_cast<unsigned long long>(total_docs),
+              consistent ? "consistent" : "INCONSISTENT");
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.Open();
+    json.OpenObject("ingest");
+    json.Field("num_docs", static_cast<uint64_t>(num_docs));
+    json.Field("base_docs", static_cast<uint64_t>(base_docs));
+    json.Field("appended_docs", static_cast<uint64_t>(tail.size()));
+    json.Field("batch_docs", static_cast<uint64_t>(batch_docs));
+    json.OpenObject("setup");
+    json.Field("gen_s", gen_s);
+    json.Field("index_s", index_s);
+    json.Field("views_s", views_s);
+    json.CloseObject();
+    json.OpenObject("quiesced");
+    EmitQueryStats(json, quiesced);
+    json.CloseObject();
+    json.OpenObject("ingest_run");
+    json.Field("wall_s", ingest_wall_s);
+    json.Field("docs_per_sec", docs_per_sec);
+    json.Field("append_p50_ms", Percentile(append_ms, 0.50));
+    json.Field("append_p99_ms", Percentile(append_ms, 0.99));
+    json.Field("query_p99_ratio_vs_quiesced",
+               Percentile(quiesced.latency_ms, 0.99) > 0
+                   ? Percentile(during.latency_ms, 0.99) /
+                         Percentile(quiesced.latency_ms, 0.99)
+                   : 0.0);
+    json.OpenObject("queries");
+    EmitQueryStats(json, during);
+    json.CloseObject();
+    json.CloseObject();
+    json.OpenObject("merge");
+    json.Field("merges", merges);
+    json.Field("merged_docs", merged_docs);
+    json.Field("seals", seals);
+    json.Field("amplification", amplification);
+    json.Field("segments_after_drain",
+               static_cast<uint64_t>(segments_after_drain));
+    json.CloseObject();
+    json.OpenObject("view_deltas");
+    json.Field("folds", folds);
+    json.Field("delta_p50_ms", delta_p50);
+    json.Field("flattened_p50_ms", flat_p50);
+    json.Field("fold_overhead_ratio", fold_overhead);
+    json.Field("flattened_qps", flattened.qps());
+    json.Field("flattened_failed", flattened.failed);
+    json.Field("with_deltas_failed", with_deltas.failed);
+    json.CloseObject();
+    json.OpenObject("accounting");
+    json.Field("total_docs", total_docs);
+    json.Field("counter_appended_docs", appended);
+    json.Field("consistent", consistent);
+    json.CloseObject();
+    json.CloseObject();
+    json.Close();
+    if (Status s = json.WriteFile(json_path); !s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace csr::bench
+
+int main(int argc, char** argv) { return csr::bench::Main(argc, argv); }

@@ -15,6 +15,9 @@
 //   .index compact                compress the inverted indexes + views
 //   .stats                        engine statistics (incl. index memory
 //                                 and pool metrics)
+//   .segments                     live segment inventory: per-segment
+//                                 docid range, sealed state, codec block
+//                                 mix, view-delta tuples, memory
 //   .metrics                      full metrics registry snapshot as JSON
 //   .qos                          serving QoS state: per-tenant queue
 //                                 depths, concurrency limit, retry
@@ -31,6 +34,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "corpus/generator.h"
 #include "engine/engine.h"
@@ -192,6 +196,34 @@ int main(int argc, char** argv) {
                   after > 0 ? static_cast<double>(before) /
                                   static_cast<double>(after)
                             : 0.0);
+      continue;
+    }
+    if (line == ".segments") {
+      std::vector<csr::SegmentInfo> infos = engine->SegmentInfos();
+      std::printf("%zu segments, %llu docs total (%llu base)\n",
+                  infos.size(),
+                  static_cast<unsigned long long>(engine->total_docs()),
+                  static_cast<unsigned long long>(engine->base_docs()));
+      uint64_t delta_tuples = 0;
+      for (const csr::SegmentInfo& s : infos) {
+        std::printf("  seg %-4llu docs [%u, %llu) %-8s "
+                    "blocks{varint=%llu for=%llu bitmap=%llu} "
+                    "delta_tuples=%llu %s\n",
+                    static_cast<unsigned long long>(s.id), s.base,
+                    static_cast<unsigned long long>(s.base) + s.num_docs,
+                    s.sealed ? "sealed" : "buffer",
+                    static_cast<unsigned long long>(s.codec_blocks[0]),
+                    static_cast<unsigned long long>(s.codec_blocks[1]),
+                    static_cast<unsigned long long>(s.codec_blocks[2]),
+                    static_cast<unsigned long long>(s.view_delta_tuples),
+                    csr::FormatBytes(s.memory_bytes).c_str());
+        // Segment 0 reports the base catalog's tuples, which are already
+        // merged; only the extras' deltas are pending.
+        if (s.id != 0) delta_tuples += s.view_delta_tuples;
+      }
+      std::printf("  %llu view-delta tuples pending merge into the base "
+                  "catalog\n",
+                  static_cast<unsigned long long>(delta_tuples));
       continue;
     }
     if (line == ".metrics") {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
+#include "engine/merger.h"
 #include "engine/top_k.h"
 #include "index/intersection.h"
 #include "util/fault.h"
@@ -12,6 +14,8 @@
 #include "util/timer.h"
 
 namespace csr {
+
+ContextSearchEngine::~ContextSearchEngine() { StopBackgroundMerge(); }
 
 std::string_view EvaluationModeName(EvaluationMode mode) {
   switch (mode) {
@@ -69,12 +73,14 @@ ContextSearchEngine::BuildWithIndexes(Corpus corpus, EngineConfig config,
   if (config.top_k == 0) {
     return Status::InvalidArgument("top_k must be > 0");
   }
-  if (content_index.num_docs() != corpus.docs.size() ||
-      predicate_index.num_docs() != corpus.docs.size()) {
+  if (content_index.num_docs() != predicate_index.num_docs() ||
+      content_index.num_docs() == 0 ||
+      content_index.num_docs() > corpus.docs.size()) {
     return Status::InvalidArgument(
         "indexes cover " + std::to_string(content_index.num_docs()) + "/" +
         std::to_string(predicate_index.num_docs()) +
-        " documents but the corpus has " + std::to_string(corpus.docs.size()));
+        " documents but the corpus has " + std::to_string(corpus.docs.size()) +
+        " (the base must be a non-empty prefix)");
   }
   auto engine = std::unique_ptr<ContextSearchEngine>(new ContextSearchEngine());
   engine->corpus_ = std::move(corpus);
@@ -99,9 +105,22 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Finish(
   const EngineConfig& config = engine->config_;
   if (config.compressed_postings) engine->CompactIndexes();
 
-  engine->years_.reserve(engine->corpus_.docs.size());
-  for (const Document& d : engine->corpus_.docs) {
-    engine->years_.push_back(d.year);
+  // The indexes define the BASE segment; it may be a prefix of the corpus
+  // (segmented snapshot load — the tail is installed as extra segments
+  // afterwards). years_ is base-local: extras carry their own year arrays
+  // so appends never reallocate a vector under a concurrent query.
+  engine->base_docs_ = engine->content_index_.num_docs();
+  engine->years_.reserve(engine->base_docs_);
+  for (uint64_t i = 0; i < engine->base_docs_; ++i) {
+    engine->years_.push_back(engine->corpus_.docs[i].year);
+  }
+  auto live = std::make_shared<LiveSet>();
+  live->base_docs = engine->base_docs_;
+  live->total_docs = engine->base_docs_;
+  live->epoch = 1;
+  {
+    std::lock_guard<std::mutex> lock(engine->live_mu_);
+    engine->live_ = std::move(live);
   }
 
   engine->context_threshold_ = static_cast<uint64_t>(
@@ -128,6 +147,7 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Finish(
   engine->view_breaker_.Configure(config.view_breaker);
   engine->set_trace_sample_rate(config.trace_sample_rate);
   engine->RegisterMetrics();
+  if (config.background_merge) engine->StartBackgroundMerge();
   return engine;
 }
 
@@ -180,6 +200,13 @@ void ContextSearchEngine::RegisterMetrics() {
   hot_.total_ms = &registry_.GetHistogram("engine.latency.total_ms");
   hot_.stats_ms = &registry_.GetHistogram("engine.latency.stats_ms");
   hot_.retrieval_ms = &registry_.GetHistogram("engine.latency.retrieval_ms");
+  hot_.ingest_docs = &registry_.GetCounter("ingest.appended_docs");
+  hot_.ingest_batches = &registry_.GetCounter("ingest.batches");
+  hot_.ingest_seals = &registry_.GetCounter("ingest.seals");
+  hot_.segment_merges = &registry_.GetCounter("segments.merges");
+  hot_.segment_merged_docs = &registry_.GetCounter("segments.merged_docs");
+  hot_.view_delta_folds = &registry_.GetCounter("view.delta.folds");
+  hot_.view_delta_merges = &registry_.GetCounter("view.delta.merges");
 
   // Legacy counters register INTO the registry via sample callbacks: each
   // struct stays authoritative (existing accessors and tests unchanged) and
@@ -196,6 +223,39 @@ void ContextSearchEngine::RegisterMetrics() {
     snap.counters["engine.degradation.degraded_queries"] = d.degraded_queries;
     snap.counters["engine.degradation.view_read_faults"] =
         d.view_read_faults;
+    snap.counters["engine.degradation.segments_quarantined"] =
+        d.segments_quarantined;
+  });
+  registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
+    // Segment shape and view-delta staleness bound (DESIGN.md §14). One
+    // snapshot copy under the leaf live mutex; everything read from it is
+    // immutable.
+    std::shared_ptr<const LiveSet> live = SnapshotLive();
+    uint64_t sealed = 0;
+    uint64_t buffer_docs = 0;
+    uint64_t delta_tuples = 0;
+    for (const auto& es : live->extras) {
+      if (es->index.sealed) {
+        ++sealed;
+      } else {
+        buffer_docs += es->index.num_docs;
+      }
+      for (const MaterializedView& v : es->view_deltas) {
+        delta_tuples += v.NumTuples();
+      }
+    }
+    snap.gauges["segments.live"] =
+        static_cast<double>(1 + live->extras.size());
+    snap.gauges["segments.sealed"] = static_cast<double>(sealed);
+    snap.gauges["segments.buffer_docs"] = static_cast<double>(buffer_docs);
+    snap.gauges["ingest.total_docs"] = static_cast<double>(live->total_docs);
+    snap.gauges["ingest.base_docs"] = static_cast<double>(live->base_docs);
+    // The per-view staleness bound: how many documents' worth of aggregates
+    // live in query-time-folded deltas rather than the base catalog. Views
+    // are always exact — this bounds merge lag, not error.
+    snap.gauges["view.delta.staleness_docs"] =
+        static_cast<double>(live->total_docs - live->base_docs);
+    snap.gauges["view.delta.tuples"] = static_cast<double>(delta_tuples);
   });
   registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
     // Overload-resilience telemetry (DESIGN.md §13). The budget is
@@ -275,21 +335,404 @@ void ContextSearchEngine::CompactIndexes() {
   content_index_.Compact(/*block_size=*/0, config_.codec_policy);
   predicate_index_.Compact(/*block_size=*/0, config_.codec_policy);
   catalog_.CompactAll();
+  // Sealed extras are compacted at seal time and the write buffer stays
+  // uncompressed by design, so only the base needs work here.
+}
+
+// -- Live-set plumbing (DESIGN.md §14) -----------------------------------
+
+std::shared_ptr<const LiveSet> ContextSearchEngine::SnapshotLive() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  return live_;
+}
+
+void ContextSearchEngine::PublishLive(std::shared_ptr<LiveSet> next) {
+  next->epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(live_mu_);
+  live_ = std::move(next);
+}
+
+std::vector<SearchPart> ContextSearchEngine::MakeParts(
+    const LiveSet& live) const {
+  std::vector<SearchPart> parts;
+  parts.reserve(1 + live.extras.size());
+  SearchPart base;
+  base.content = &content_index_;
+  base.predicate = &predicate_index_;
+  base.years = std::span<const uint16_t>(years_);
+  base.base = 0;
+  base.segment_id = 0;
+  parts.push_back(base);
+  for (const auto& es : live.extras) {
+    SearchPart p;
+    p.content = &es->index.content;
+    p.predicate = &es->index.predicate;
+    p.years = std::span<const uint16_t>(es->index.years);
+    p.base = es->index.base;
+    p.segment_id = es->index.id;
+    p.view_deltas = &es->view_deltas;
+    parts.push_back(p);
+  }
+  return parts;
+}
+
+uint64_t ContextSearchEngine::total_docs() const {
+  return SnapshotLive()->total_docs;
+}
+
+uint16_t ContextSearchEngine::doc_year(DocId d) const {
+  if (d < years_.size()) return years_[d];
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  for (const auto& es : live->extras) {
+    if (d >= es->index.base && d < es->index.base + es->index.num_docs) {
+      return es->index.years[d - es->index.base];
+    }
+  }
+  return 0;
+}
+
+std::vector<SegmentInfo> ContextSearchEngine::SegmentInfos() const {
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  std::vector<SegmentInfo> infos;
+  infos.reserve(1 + live->extras.size());
+  SegmentInfo base;
+  base.id = 0;
+  base.base = 0;
+  base.num_docs = static_cast<uint32_t>(base_docs_);
+  base.sealed = true;
+  base.codec_blocks = content_index_.CodecBlockCounts();
+  base.view_delta_tuples = catalog_.TotalTuples();
+  base.memory_bytes =
+      content_index_.MemoryBytes() + predicate_index_.MemoryBytes();
+  infos.push_back(base);
+  for (const auto& es : live->extras) {
+    SegmentInfo info;
+    info.id = es->index.id;
+    info.base = es->index.base;
+    info.num_docs = es->index.num_docs;
+    info.sealed = es->index.sealed;
+    info.codec_blocks = es->index.content.CodecBlockCounts();
+    for (const MaterializedView& v : es->view_deltas) {
+      info.view_delta_tuples += v.NumTuples();
+    }
+    info.memory_bytes = es->index.MemoryBytes();
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+std::vector<MaterializedView> ContextSearchEngine::BuildViewDeltasLocked(
+    const InvertedIndex& content, DocId first, DocId end) const {
+  std::vector<MaterializedView> deltas;
+  if (catalog_.size() == 0) return deltas;
+  std::vector<ViewDefinition> defs;
+  defs.reserve(catalog_.size());
+  for (size_t i = 0; i < catalog_.size(); ++i) {
+    defs.push_back(catalog_.view(i).def());
+  }
+  ViewParamOptions params;
+  params.track_df = true;
+  params.track_tc = config_.track_tc;
+  params.year_bucket_size = config_.view_year_bucket;
+  // The segment's param table is local (row 0 = global doc `first`), so
+  // the builder maps corpus docids down by table_base.
+  DocParamTable local_table = DocParamTable::Build(content, tracked_);
+  ViewBuilder builder(&corpus_, &local_table, params,
+                      static_cast<uint32_t>(tracked_.size()),
+                      /*table_base=*/first);
+  deltas = builder.BuildRange(defs, first, end);
+  return deltas;
+}
+
+Result<std::shared_ptr<EngineSegment>> ContextSearchEngine::BuildSegmentLocked(
+    DocId first, DocId end, bool seal) {
+  auto segment = std::make_shared<EngineSegment>();
+  IndexBuilder content_builder(config_.segment_size);
+  IndexBuilder predicate_builder(config_.segment_size);
+  segment->index.years.reserve(end - first);
+  for (DocId i = first; i < end; ++i) {
+    const Document& d = corpus_.docs[i];
+    CSR_RETURN_NOT_OK(
+        content_builder.AddDocument(i - first, d.ContentTokens()));
+    CSR_RETURN_NOT_OK(predicate_builder.AddDocument(i - first, d.annotations));
+    segment->index.years.push_back(d.year);
+  }
+  segment->index.content = content_builder.Build();
+  segment->index.predicate = predicate_builder.Build();
+  segment->index.id = next_segment_id_++;
+  segment->index.base = first;
+  segment->index.num_docs = end - first;
+  segment->index.sealed = seal;
+  // Deltas are built from the uncompressed index (DocParamTable walks
+  // posting lists), then everything compacts when the segment seals.
+  segment->view_deltas =
+      BuildViewDeltasLocked(segment->index.content, first, end);
+  if (seal && config_.compressed_postings) {
+    segment->index.content.Compact(/*block_size=*/0, config_.codec_policy);
+    segment->index.predicate.Compact(/*block_size=*/0, config_.codec_policy);
+    for (MaterializedView& v : segment->view_deltas) v.Compact();
+  }
+  return segment;
+}
+
+Status ContextSearchEngine::ResegmentTailLocked(DocId tail_first) {
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  auto next = std::make_shared<LiveSet>();
+  next->base_docs = live->base_docs;
+  for (const auto& es : live->extras) {
+    if (es->index.base + es->index.num_docs <= tail_first) {
+      next->extras.push_back(es);
+    } else if (es->index.base < tail_first) {
+      return Status::Internal("segment straddles the resegmented tail");
+    }
+  }
+  const DocId end = static_cast<DocId>(corpus_.docs.size());
+  const uint32_t seal_at =
+      config_.mem_segment_max_docs == 0 ? UINT32_MAX
+                                        : config_.mem_segment_max_docs;
+  DocId pos = tail_first;
+  while (end - pos >= seal_at) {
+    CSR_ASSIGN_OR_RETURN(std::shared_ptr<EngineSegment> seg,
+                         BuildSegmentLocked(pos, pos + seal_at,
+                                            /*seal=*/true));
+    next->extras.push_back(std::move(seg));
+    pos += seal_at;
+    hot_.ingest_seals->Increment();
+  }
+  if (pos < end) {
+    CSR_ASSIGN_OR_RETURN(std::shared_ptr<EngineSegment> seg,
+                         BuildSegmentLocked(pos, end, /*seal=*/false));
+    next->extras.push_back(std::move(seg));
+  }
+  next->total_docs = end;
+  PublishLive(std::move(next));
+  if (stats_cache_ != nullptr) stats_cache_->Clear();
+  return Status::OK();
 }
 
 uint64_t ContextSearchEngine::ContextSize(
     std::span<const TermId> context) const {
-  std::vector<PostingCursor> cursors;
-  cursors.reserve(context.size());
-  for (TermId m : context) {
-    PostingCursor c = predicate_index_.cursor(m);
-    if (!c.valid()) return 0;
-    cursors.push_back(std::move(c));
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  std::vector<SearchPart> parts = MakeParts(*live);
+  uint64_t total = 0;
+  for (const SearchPart& part : parts) {
+    std::vector<PostingCursor> cursors;
+    cursors.reserve(context.size());
+    bool missing = false;
+    for (TermId m : context) {
+      PostingCursor c = part.predicate->cursor(m);
+      if (!c.valid()) {
+        missing = true;
+        break;
+      }
+      cursors.push_back(std::move(c));
+    }
+    if (!missing) total += CountIntersection(std::move(cursors));
   }
-  return CountIntersection(std::move(cursors));
+  return total;
+}
+
+bool ContextSearchEngine::MergeOnce() {
+  std::lock_guard<std::mutex> ingest(ingest_mu_);
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+
+  // Size-tiered policy over ADJACENT sealed pairs (adjacency preserves the
+  // contiguous global docid space): arm when enough sealed extras are
+  // live, then fold the pair with the smallest combined size.
+  uint64_t sealed = 0;
+  for (const auto& es : live->extras) {
+    if (es->index.sealed) ++sealed;
+  }
+  if (config_.merge_trigger_segments == 0 ||
+      sealed < config_.merge_trigger_segments) {
+    return false;
+  }
+  int64_t best = -1;
+  uint64_t best_docs = UINT64_MAX;
+  for (size_t i = 0; i + 1 < live->extras.size(); ++i) {
+    const IndexSegment& a = live->extras[i]->index;
+    const IndexSegment& b = live->extras[i + 1]->index;
+    if (!a.sealed || !b.sealed) continue;
+    uint64_t docs = static_cast<uint64_t>(a.num_docs) + b.num_docs;
+    if (docs < best_docs) {
+      best_docs = docs;
+      best = static_cast<int64_t>(i);
+    }
+  }
+  if (best < 0) return false;
+
+  // The heavy work happens on immutable shared_ptr inputs; queries keep
+  // serving from the old LiveSet until the swap below.
+  const EngineSegment& a = *live->extras[static_cast<size_t>(best)];
+  const EngineSegment& b = *live->extras[static_cast<size_t>(best) + 1];
+  Result<IndexSegment> merged_index = MergeSegments(
+      a.index, b.index, next_segment_id_++, config_.segment_size);
+  if (!merged_index.ok()) return false;
+
+  auto merged = std::make_shared<EngineSegment>();
+  merged->index = std::move(merged_index).value();
+  merged->index.sealed = true;
+  merged->view_deltas.reserve(a.view_deltas.size());
+  for (size_t v = 0; v < a.view_deltas.size(); ++v) {
+    MaterializedView mv = a.view_deltas[v].Clone();
+    mv.MergeFrom(b.view_deltas[v]);
+    merged->view_deltas.push_back(std::move(mv));
+  }
+  if (config_.compressed_postings) {
+    merged->index.content.Compact(/*block_size=*/0, config_.codec_policy);
+    merged->index.predicate.Compact(/*block_size=*/0, config_.codec_policy);
+    for (MaterializedView& v : merged->view_deltas) v.Compact();
+  }
+
+  auto next = std::make_shared<LiveSet>();
+  next->base_docs = live->base_docs;
+  next->total_docs = live->total_docs;
+  for (size_t i = 0; i < live->extras.size(); ++i) {
+    if (static_cast<int64_t>(i) == best) {
+      next->extras.push_back(merged);
+      ++i;  // skip the second input
+    } else {
+      next->extras.push_back(live->extras[i]);
+    }
+  }
+  PublishLive(std::move(next));
+  hot_.segment_merges->Increment();
+  hot_.segment_merged_docs->Increment(best_docs);
+  hot_.view_delta_merges->Increment(a.view_deltas.size());
+  return true;
+}
+
+Status ContextSearchEngine::FlattenSegments() {
+  std::lock_guard<std::mutex> ingest(ingest_mu_);
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  if (live->extras.empty()) return Status::OK();
+
+  // Fold every extra's postings into the base, docid-ascending; one
+  // compaction at the end reproduces the scratch-built block bytes.
+  InvertedIndex content = std::move(content_index_);
+  InvertedIndex predicate = std::move(predicate_index_);
+  for (const auto& es : live->extras) {
+    content = MergeIndexes(content, es->index.content, config_.segment_size);
+    predicate =
+        MergeIndexes(predicate, es->index.predicate, config_.segment_size);
+    years_.insert(years_.end(), es->index.years.begin(),
+                  es->index.years.end());
+  }
+  if (config_.compressed_postings) {
+    content.Compact(/*block_size=*/0, config_.codec_policy);
+    predicate.Compact(/*block_size=*/0, config_.codec_policy);
+  }
+  content_index_ = std::move(content);
+  predicate_index_ = std::move(predicate);
+
+  // Physically merge the view deltas into the base catalog (integer sums
+  // — bit-identical to a scratch BuildAll over the union).
+  if (catalog_.size() > 0) {
+    std::vector<MaterializedView> views = catalog_.Release();
+    for (const auto& es : live->extras) {
+      for (size_t v = 0; v < views.size(); ++v) {
+        views[v].MergeFrom(es->view_deltas[v]);
+      }
+      hot_.view_delta_merges->Increment(views.size());
+    }
+    for (MaterializedView& v : views) catalog_.Add(std::move(v));
+    if (config_.compressed_postings) catalog_.CompactAll();
+  }
+
+  // The derived artifacts cover the whole collection again.
+  base_docs_ = content_index_.num_docs();
+  param_table_ = std::make_unique<DocParamTable>(
+      DocParamTable::Build(content_index_, tracked_));
+  estimator_ = std::make_unique<ViewSizeEstimator>(
+      &corpus_, corpus_.config.seed ^ 0x5EED, config_.estimator_sample);
+  atm_ = std::make_unique<AtmMapper>(&corpus_, &content_index_,
+                                     &predicate_index_);
+  if (stats_cache_ != nullptr) stats_cache_->Clear();
+
+  auto next = std::make_shared<LiveSet>();
+  next->base_docs = base_docs_;
+  next->total_docs = base_docs_;
+  PublishLive(std::move(next));
+  return Status::OK();
+}
+
+Status ContextSearchEngine::InstallSealedSegment(IndexSegment segment) {
+  std::lock_guard<std::mutex> ingest(ingest_mu_);
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  if (segment.base != live->total_docs) {
+    return Status::InvalidArgument(
+        "segment covers [" + std::to_string(segment.base) + ", ...) but the "
+        "live set ends at " + std::to_string(live->total_docs));
+  }
+  uint64_t end = static_cast<uint64_t>(segment.base) + segment.num_docs;
+  if (segment.num_docs == 0 || end > corpus_.docs.size()) {
+    return Status::InvalidArgument("segment range exceeds the corpus");
+  }
+  if (segment.content.num_docs() != segment.num_docs ||
+      segment.predicate.num_docs() != segment.num_docs ||
+      segment.years.size() != segment.num_docs) {
+    return Status::DataLoss("segment internals disagree with its header");
+  }
+  auto es = std::make_shared<EngineSegment>();
+  es->index = std::move(segment);
+  es->index.sealed = true;
+  // Deltas always align with the CURRENT catalog, so they are rebuilt from
+  // the corpus slice rather than persisted.
+  DocId first = es->index.base;
+  if (es->index.content.compressed()) {
+    // DocParamTable walks uncompressed lists; decode once via a scratch
+    // rebuild of the content index for the delta pass only.
+    IndexBuilder content_builder(config_.segment_size);
+    for (DocId i = first; i < first + es->index.num_docs; ++i) {
+      CSR_RETURN_NOT_OK(content_builder.AddDocument(
+          i - first, corpus_.docs[i].ContentTokens()));
+    }
+    InvertedIndex plain = content_builder.Build();
+    es->view_deltas =
+        BuildViewDeltasLocked(plain, first, first + es->index.num_docs);
+  } else {
+    es->view_deltas = BuildViewDeltasLocked(es->index.content, first,
+                                            first + es->index.num_docs);
+  }
+  if (config_.compressed_postings) {
+    for (MaterializedView& v : es->view_deltas) v.Compact();
+  }
+  next_segment_id_ = std::max(next_segment_id_, es->index.id + 1);
+
+  auto next = std::make_shared<LiveSet>(*live);
+  next->extras.push_back(std::move(es));
+  next->total_docs = end;
+  PublishLive(std::move(next));
+  return Status::OK();
+}
+
+Status ContextSearchEngine::RebuildSegmentsFromCorpus(DocId first) {
+  std::lock_guard<std::mutex> ingest(ingest_mu_);
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  if (first != live->total_docs) {
+    return Status::InvalidArgument(
+        "rebuild must start at the live end (" +
+        std::to_string(live->total_docs) + "), got " + std::to_string(first));
+  }
+  if (first >= corpus_.docs.size()) return Status::OK();
+  return ResegmentTailLocked(first);
+}
+
+void ContextSearchEngine::StartBackgroundMerge() {
+  if (merger_ != nullptr) return;
+  merger_ = std::make_unique<SegmentMerger>(this, config_.merge_interval_ms);
+}
+
+void ContextSearchEngine::StopBackgroundMerge() {
+  if (merger_ == nullptr) return;
+  merger_->Stop();
+  merger_.reset();
 }
 
 Status ContextSearchEngine::SelectAndMaterializeViews() {
+  // Invariant: base views cover exactly the base documents. Fold any live
+  // extras into the base before selection sees the collection.
+  CSR_RETURN_NOT_OK(FlattenSegments());
   TransactionDb db = TransactionDb::FromCorpus(corpus_);
   Kag kag = Kag::Build(db, context_threshold_, context_threshold_);
   SupportFn support = MakeIndexSupportFn(predicate_index_);
@@ -311,6 +754,7 @@ Status ContextSearchEngine::SelectAndMaterializeViews() {
 }
 
 Status ContextSearchEngine::MaterializeViews(std::vector<ViewDefinition> defs) {
+  CSR_RETURN_NOT_OK(FlattenSegments());
   ViewParamOptions params;
   params.track_df = true;
   params.track_tc = config_.track_tc;
@@ -326,9 +770,18 @@ Status ContextSearchEngine::MaterializeViews(std::vector<ViewDefinition> defs) {
 
 Status ContextSearchEngine::AppendDocuments(std::vector<Document> docs) {
   if (docs.empty()) return Status::OK();
-  DocId first_new = static_cast<DocId>(corpus_.docs.size());
 
-  DocId next = first_new;
+  // The append path touches only the TAIL of the collection: the base
+  // index, base views, param table, and estimator are untouched, so the
+  // cost of an append is proportional to the write buffer, not the corpus.
+  // Queries keep serving from their LiveSet snapshot throughout; the new
+  // documents become visible atomically at the PublishLive inside
+  // ResegmentTailLocked.
+  std::lock_guard<std::mutex> ingest(ingest_mu_);
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+
+  DocId next = static_cast<DocId>(corpus_.docs.size());
+  uint64_t appended = docs.size();
   for (Document& d : docs) {
     d.id = next++;
     std::sort(d.annotations.begin(), d.annotations.end());
@@ -338,59 +791,45 @@ Status ContextSearchEngine::AppendDocuments(std::vector<Document> docs) {
     corpus_.docs.push_back(std::move(d));
   }
 
-  // Rebuild the inverted indexes over the grown collection. (A segmented
-  // index would avoid the rebuild; the view maintenance below is the part
-  // this library makes incremental, because selection + materialized
-  // aggregates are the expensive artifacts.)
-  IndexBuilder content_builder(config_.segment_size);
-  IndexBuilder predicate_builder(config_.segment_size);
-  for (const Document& d : corpus_.docs) {
-    CSR_RETURN_NOT_OK(content_builder.AddDocument(d.id, d.ContentTokens()));
-    CSR_RETURN_NOT_OK(predicate_builder.AddDocument(d.id, d.annotations));
+  // Rebuild from the start of the unsealed buffer (if any) so the buffer
+  // absorbs the batch; everything below it is sealed and untouched.
+  DocId tail_first = static_cast<DocId>(live->total_docs);
+  if (!live->extras.empty() && !live->extras.back()->index.sealed) {
+    tail_first = live->extras.back()->index.base;
   }
-  content_index_ = content_builder.Build();
-  predicate_index_ = predicate_builder.Build();
-  if (config_.compressed_postings) {
-    content_index_.Compact(/*block_size=*/0, config_.codec_policy);
-    predicate_index_.Compact(/*block_size=*/0, config_.codec_policy);
-  }
-
-  years_.clear();
-  years_.reserve(corpus_.docs.size());
-  for (const Document& d : corpus_.docs) years_.push_back(d.year);
-
-  // tracked_ is intentionally NOT recomputed: view parameter columns are
-  // slot-aligned to it. The param table must cover the new documents.
-  param_table_ = std::make_unique<DocParamTable>(
-      DocParamTable::Build(content_index_, tracked_));
-  estimator_ = std::make_unique<ViewSizeEstimator>(
-      &corpus_, corpus_.config.seed ^ 0x5EED, config_.estimator_sample);
-  atm_ = std::make_unique<AtmMapper>(&corpus_, &content_index_,
-                                     &predicate_index_);
-  if (stats_cache_ != nullptr) stats_cache_->Clear();
-
-  // Incremental view maintenance: fold only the new documents.
-  if (catalog_.size() > 0) {
-    std::vector<MaterializedView> views = catalog_.Release();
-    ViewParamOptions params;
-    params.track_df = true;
-    params.track_tc = config_.track_tc;
-    params.year_bucket_size = config_.view_year_bucket;
-    ViewBuilder builder(&corpus_, param_table_.get(), params,
-                        static_cast<uint32_t>(tracked_.size()));
-    builder.UpdateAll(views, first_new);
-    for (MaterializedView& v : views) catalog_.Add(std::move(v));
-    if (config_.compressed_postings) catalog_.CompactAll();
-  }
+  CSR_RETURN_NOT_OK(ResegmentTailLocked(tail_first));
+  hot_.ingest_docs->Increment(appended);
+  hot_.ingest_batches->Increment();
   return Status::OK();
 }
 
 Status ContextSearchEngine::InstallCatalog(
     ViewCatalog catalog, const std::vector<TermId>& tracked_terms) {
   if (tracked_terms != tracked_.terms()) {
-    return Status::FailedPrecondition(
-        "snapshot tracked keywords do not match this engine's; was the "
-        "EngineConfig changed since the snapshot was taken?");
+    // The snapshot's tracked set was FROZEN at its original Build; this
+    // engine recomputed one over today's collection (which may have grown
+    // through appends since that build), so honest drift is expected.
+    // Adopt the persisted set — views are slot-aligned to it — as long as
+    // it is something this config could have produced; refuse only what
+    // no build under this config could have (the changed-config guard).
+    if (tracked_terms.size() > config_.tracked_cap) {
+      return Status::FailedPrecondition(
+          "snapshot tracks " + std::to_string(tracked_terms.size()) +
+          " keywords but EngineConfig::tracked_cap is " +
+          std::to_string(config_.tracked_cap) +
+          "; was the EngineConfig changed since the snapshot was taken?");
+    }
+    for (size_t i = 0; i < tracked_terms.size(); ++i) {
+      bool ordered = i == 0 || tracked_terms[i - 1] < tracked_terms[i];
+      if (!ordered || tracked_terms[i] >= content_index_.num_terms()) {
+        return Status::FailedPrecondition(
+            "snapshot tracked keywords are not a sorted set over this "
+            "engine's vocabulary");
+      }
+    }
+    tracked_ = TrackedKeywords::FromTerms(tracked_terms);
+    param_table_ = std::make_unique<DocParamTable>(
+        DocParamTable::Build(content_index_, tracked_));
   }
   degradation_.views_quarantined += catalog.quarantined().size();
   catalog_ = std::move(catalog);
@@ -398,9 +837,26 @@ Status ContextSearchEngine::InstallCatalog(
   return Status::OK();
 }
 
+CollectionStats ContextSearchEngine::FoldGlobalStats(
+    std::span<const SearchPart> parts,
+    std::span<const TermId> keywords) const {
+  CollectionStats total;
+  total.df.assign(keywords.size(), 0);
+  total.tc.assign(keywords.size(), 0);
+  for (const SearchPart& part : parts) {
+    CollectionStats ps = GlobalCollectionStats(*part.content, keywords);
+    total.cardinality += ps.cardinality;
+    total.total_length += ps.total_length;
+    for (size_t i = 0; i < ps.df.size(); ++i) total.df[i] += ps.df[i];
+    for (size_t i = 0; i < ps.tc.size(); ++i) total.tc[i] += ps.tc[i];
+  }
+  return total;
+}
+
 CollectionStats ContextSearchEngine::ComputeContextStats(
     const ContextQuery& query, const QueryStats& qstats, bool with_views,
-    SearchMetrics& metrics, ScanGuard* guard, TraceContext tctx) const {
+    SearchMetrics& metrics, ScanGuard* guard,
+    std::span<const SearchPart> parts, TraceContext tctx) const {
   bool need_tc = ranking_->NeedsTermCounts();
 
   auto straightforward_plan = [&](std::string_view reason) {
@@ -409,6 +865,9 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     metrics.plan += "-way context intersection + ";
     metrics.plan += std::to_string(qstats.keywords.size());
     metrics.plan += " per-keyword intersections";
+    if (parts.size() > 1) {
+      metrics.plan += " over " + std::to_string(parts.size()) + " segments";
+    }
     if (!reason.empty()) {
       metrics.plan += " [";
       metrics.plan += reason;
@@ -416,16 +875,49 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     }
   };
 
+  // The statistics of Section 3 are integer sums (counts, length sums)
+  // over the matching documents, and the parts partition the docid space,
+  // so folding the per-part results reproduces the flattened-index numbers
+  // bit for bit. A tripped guard stops the fold — the result is partial
+  // either way, and the caller inspects the guard before using it.
+  auto straightforward_fold = [&](TraceContext ptx) -> CollectionStats {
+    CollectionStats total;
+    total.df.assign(qstats.keywords.size(), 0);
+    if (need_tc) total.tc.assign(qstats.keywords.size(), 0);
+    for (const SearchPart& part : parts) {
+      CollectionStats ps;
+      if (parts.size() > 1) {
+        SpanGuard pspan(ptx, "segment:" + std::to_string(part.segment_id));
+        ps = StraightforwardCollectionStats(
+            *part.content, *part.predicate, query.context, qstats.keywords,
+            need_tc, &metrics.cost, part.years, query.years, guard,
+            pspan.ctx());
+      } else {
+        ps = StraightforwardCollectionStats(
+            *part.content, *part.predicate, query.context, qstats.keywords,
+            need_tc, &metrics.cost, part.years, query.years, guard, ptx);
+      }
+      total.cardinality += ps.cardinality;
+      total.total_length += ps.total_length;
+      for (size_t i = 0; i < ps.df.size(); ++i) total.df[i] += ps.df[i];
+      if (need_tc) {
+        for (size_t i = 0; i < ps.tc.size(); ++i) total.tc[i] += ps.tc[i];
+      }
+      if (guard != nullptr && guard->tripped()) break;
+    }
+    return total;
+  };
+
   if (!with_views) {
     straightforward_plan("");
     SpanGuard span(tctx, "plan:straightforward");
     span.Attr("reason", "views disabled for this mode");
-    return StraightforwardCollectionStats(
-        content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
+    return straightforward_fold(span.ctx());
   }
 
-  const MaterializedView* view = catalog_.FindBest(query.context);
+  int32_t view_idx = catalog_.FindBestIndex(query.context);
+  const MaterializedView* view =
+      view_idx < 0 ? nullptr : &catalog_.view(static_cast<size_t>(view_idx));
   if (view == nullptr ||
       (query.years.active() && !view->RangeAnswerable(query.years))) {
     metrics.fell_back_to_straightforward = true;
@@ -449,9 +941,7 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     straightforward_plan(reason);
     SpanGuard span(tctx, "plan:straightforward");
     span.Attr("reason", reason);
-    return StraightforwardCollectionStats(
-        content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
+    return straightforward_fold(span.ctx());
   }
 
   // -- Overload resilience on the view path (DESIGN.md §13) -------------
@@ -466,9 +956,7 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     straightforward_plan("fallback: view circuit breaker open");
     SpanGuard span(tctx, "plan:straightforward");
     span.Attr("reason", "view circuit breaker open");
-    return StraightforwardCollectionStats(
-        content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
+    return straightforward_fold(span.ctx());
   }
   // Transient fault on the read itself: retry within the process-wide
   // budget (a storm drains the bucket and fails fast into the fallback
@@ -497,9 +985,7 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     straightforward_plan("fallback: transient view-read fault");
     SpanGuard span(tctx, "plan:straightforward");
     span.Attr("reason", "transient view-read fault");
-    return StraightforwardCollectionStats(
-        content_index_, predicate_index_, query.context, qstats.keywords,
-        need_tc, &metrics.cost, years_, query.years, guard, span.ctx());
+    return straightforward_fold(span.ctx());
   }
   view_breaker_.OnSuccess();
   RetryBudget::Global().Deposit();
@@ -508,30 +994,49 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
   metrics.plan = "stats: view scan over V_K (|K|=" +
                  std::to_string(view->def().num_columns()) + ", " +
                  std::to_string(view->NumTuples()) + " tuples)";
+  if (parts.size() > 1) {
+    metrics.plan +=
+        " + " + std::to_string(parts.size() - 1) + " segment delta(s)";
+  }
   SpanGuard span(tctx, "plan:view");
   span.Attr("view_columns",
             static_cast<uint64_t>(view->def().num_columns()));
   span.Attr("view_tuples", view->NumTuples());
-  MaterializedView::StatsResult vr = view->ComputeStats(
-      query.context, qstats.keywords, tracked_, &metrics.cost, query.years);
+
+  // Fold the base view with every segment's delta at the same catalog
+  // index. Deltas share the base view's definition (columns, tracked
+  // slots, year buckets), so coverage and range-answerability are decided
+  // once by the base; the fold itself is again pure integer sums.
+  CollectionStats stats;
+  stats.df.assign(qstats.keywords.size(), 0);
+  if (need_tc) stats.tc.assign(qstats.keywords.size(), 0);
+  std::vector<bool> covered;
+  for (const SearchPart& part : parts) {
+    const MaterializedView* pv =
+        part.view_deltas == nullptr
+            ? view
+            : &(*part.view_deltas)[static_cast<size_t>(view_idx)];
+    MaterializedView::StatsResult vr = pv->ComputeStats(
+        query.context, qstats.keywords, tracked_, &metrics.cost, query.years);
+    if (part.view_deltas != nullptr) hot_.view_delta_folds->Increment();
+    stats.cardinality += vr.cardinality;
+    stats.total_length += vr.total_length;
+    if (covered.empty()) covered = vr.covered;
+    for (size_t i = 0; i < qstats.keywords.size(); ++i) {
+      if (!vr.covered[i]) continue;
+      stats.df[i] += vr.df[i];
+      if (need_tc) stats.tc[i] += vr.tc[i];
+    }
+  }
   metrics.view_tuples_scanned = metrics.cost.view_tuples_scanned;
   span.Attr("view_tuples_scanned", metrics.view_tuples_scanned);
 
-  CollectionStats stats;
-  stats.cardinality = vr.cardinality;
-  stats.total_length = vr.total_length;
-  stats.df.resize(qstats.keywords.size(), 0);
-  if (need_tc) stats.tc.resize(qstats.keywords.size(), 0);
-
   // Keywords without a parameter column (|L_w| < T_C) are computed at
   // query time; their short lists make this cheap (Section 6.2). Cursors
-  // are single-pass, so each keyword's conjunction gets a fresh set.
+  // are single-pass, so each keyword's conjunction gets a fresh set per
+  // part.
   for (size_t i = 0; i < qstats.keywords.size(); ++i) {
-    if (vr.covered[i]) {
-      stats.df[i] = vr.df[i];
-      if (need_tc) stats.tc[i] = vr.tc[i];
-      continue;
-    }
+    if (!covered.empty() && covered[i]) continue;
     metrics.keywords_uncovered_by_view++;
     SpanGuard kspan(span.ctx(), "intersect:df");
     CostCounters before;
@@ -541,27 +1046,34 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
       kspan.Attr("lists",
                  static_cast<uint64_t>(query.context.size() + 1));
     }
-    std::vector<PostingCursor> cursors;
-    cursors.push_back(
-        content_index_.cursor(qstats.keywords[i], &metrics.cost));
-    if (!cursors.back().valid()) continue;
-    bool ok = true;
-    for (TermId m : query.context) {
-      cursors.push_back(predicate_index_.cursor(m, &metrics.cost));
-      if (!cursors.back().valid()) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
     uint64_t df = 0;
     uint64_t tc = 0;
-    ConjunctionIterator it(std::move(cursors), guard);
-    if (kspan) kspan.Attr("strategy", it.StrategyMix());
-    for (; !it.AtEnd(); it.Next()) {
-      if (!query.years.Contains(years_[it.doc()])) continue;
-      ++df;
-      tc += it.tf(0);
+    bool strategy_attr = false;
+    for (const SearchPart& part : parts) {
+      std::vector<PostingCursor> cursors;
+      cursors.push_back(
+          part.content->cursor(qstats.keywords[i], &metrics.cost));
+      if (!cursors.back().valid()) continue;
+      bool ok = true;
+      for (TermId m : query.context) {
+        cursors.push_back(part.predicate->cursor(m, &metrics.cost));
+        if (!cursors.back().valid()) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      ConjunctionIterator it(std::move(cursors), guard);
+      if (kspan && !strategy_attr) {
+        kspan.Attr("strategy", it.StrategyMix());
+        strategy_attr = true;
+      }
+      for (; !it.AtEnd(); it.Next()) {
+        if (!query.years.Contains(part.years[it.doc()])) continue;
+        ++df;
+        tc += it.tf(0);
+      }
+      if (guard != nullptr && guard->tripped()) break;
     }
     stats.df[i] = df;
     if (need_tc) stats.tc[i] = tc;
@@ -675,13 +1187,22 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
                static_cast<uint64_t>(qstats.keywords.size()));
   }
 
+  // One LiveSet snapshot serves the whole query: concurrent appends,
+  // seals, and merges publish NEW snapshots and never mutate this one, so
+  // both phases see a single frozen collection.
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  std::vector<SearchPart> parts = MakeParts(*live);
+  if (trace != nullptr && parts.size() > 1) {
+    trace->root()->Attr("segments", static_cast<uint64_t>(parts.size()));
+  }
+
   // Phase 1: collection statistics.
   WallTimer stats_timer;
   {
     SpanGuard stats_span(root, "stats");
     switch (mode) {
       case EvaluationMode::kConventional:
-        result.stats = GlobalCollectionStats(content_index_, qstats.keywords);
+        result.stats = FoldGlobalStats(parts, qstats.keywords);
         result.metrics.plan =
             "stats: precomputed global statistics (Qt = Qk ∪ P)";
         stats_span.Attr("plan", "conventional-global");
@@ -693,9 +1214,12 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
         {
           SpanGuard lookup(stats_span.ctx(), "stats_cache_lookup");
           lookup.Attr("enabled", stats_cache_ != nullptr);
+          // The snapshot's epoch is folded into the cache key, so an
+          // entry cached before an append can never answer a query that
+          // sees the appended documents (and vice versa).
           cached = stats_cache_ != nullptr
                        ? stats_cache_->Get(query.context, qstats.keywords,
-                                           query.years)
+                                           query.years, live->epoch)
                        : std::nullopt;
           lookup.Attr("hit", cached.has_value());
         }
@@ -707,7 +1231,7 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
         } else {
           result.stats =
               ComputeContextStats(query, qstats, with_views, result.metrics,
-                                  &guard, stats_span.ctx());
+                                  &guard, parts, stats_span.ctx());
           if (guard.tripped()) {
             // Degradation rung 2: context statistics are partial, therefore
             // unusable — rank with the (precomputed, exact) global
@@ -721,8 +1245,7 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
               if (record) RecordQueryMetrics(result.metrics, mode, true);
               return TripStatus(guard);
             }
-            result.stats =
-                GlobalCollectionStats(content_index_, qstats.keywords);
+            result.stats = FoldGlobalStats(parts, qstats.keywords);
             result.metrics.degraded = true;
             result.metrics.degraded_reason =
                 "context statistics abandoned (" + guard.TripReason() +
@@ -732,7 +1255,7 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
           } else if (stats_cache_ != nullptr) {
             // Only exact statistics enter the cache.
             stats_cache_->Put(query.context, qstats.keywords, query.years,
-                              result.stats);
+                              result.stats, live->epoch);
           }
         }
         break;
@@ -746,19 +1269,28 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
   // skips (identical across modes — only the statistics differ).
   WallTimer retrieval_timer;
   SpanGuard retrieval_span(root, "retrieval");
-  std::vector<PostingCursor> cursors;
-  bool empty_result = false;
-  for (TermId w : qstats.keywords) {
-    cursors.push_back(content_index_.cursor(w, &result.metrics.cost));
-    if (!cursors.back().valid()) empty_result = true;
-  }
-  for (TermId m : query.context) {
-    cursors.push_back(predicate_index_.cursor(m, &result.metrics.cost));
-    if (!cursors.back().valid()) empty_result = true;
+
+  // Per-part cursor sets: a keyword missing from one segment's dictionary
+  // only rules that segment out. Parts are iterated in ascending docid
+  // order through ONE shared collector, so ties resolve exactly as they
+  // would over a flattened index.
+  std::vector<std::pair<const SearchPart*, std::vector<PostingCursor>>> ready;
+  for (const SearchPart& part : parts) {
+    std::vector<PostingCursor> cursors;
+    bool part_empty = false;
+    for (TermId w : qstats.keywords) {
+      cursors.push_back(part.content->cursor(w, &result.metrics.cost));
+      if (!cursors.back().valid()) part_empty = true;
+    }
+    for (TermId m : query.context) {
+      cursors.push_back(part.predicate->cursor(m, &result.metrics.cost));
+      if (!cursors.back().valid()) part_empty = true;
+    }
+    if (!part_empty) ready.emplace_back(&part, std::move(cursors));
   }
 
   bool retrieval_aborted = false;
-  if (!empty_result) {
+  if (!ready.empty()) {
     // One span covers the fused conjunction + scoring loop: documents are
     // scored as the intersection produces them, so the two are not
     // separable in time.
@@ -768,25 +1300,35 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
     TopKCollector collector(config_.top_k);
     DocStats dstats;
     dstats.tf.resize(qstats.keywords.size());
-    ConjunctionIterator it(std::move(cursors), &guard);
-    if (ispan) {
-      ispan.Attr("lists", static_cast<uint64_t>(it.num_lists()));
-      ispan.Attr("strategy", it.StrategyMix());
-      ispan.Attr("scoring", ranking_->name());
-      ispan.Attr("top_k", static_cast<uint64_t>(config_.top_k));
-    }
-    for (; !it.AtEnd(); it.Next()) {
-      if (!query.years.Contains(years_[it.doc()])) continue;
-      result.result_count++;
-      dstats.doc = it.doc();
-      dstats.length = content_index_.doc_length(it.doc());
-      for (size_t i = 0; i < qstats.keywords.size(); ++i) {
-        dstats.tf[i] = it.tf(i);
+    bool shape_attrs = false;
+    for (auto& [part, cursors] : ready) {
+      ConjunctionIterator it(std::move(cursors), &guard);
+      if (ispan && !shape_attrs) {
+        ispan.Attr("lists", static_cast<uint64_t>(it.num_lists()));
+        ispan.Attr("strategy", it.StrategyMix());
+        ispan.Attr("scoring", ranking_->name());
+        ispan.Attr("top_k", static_cast<uint64_t>(config_.top_k));
+        if (ready.size() > 1) {
+          ispan.Attr("segments", static_cast<uint64_t>(ready.size()));
+        }
+        shape_attrs = true;
       }
-      collector.Offer(dstats.doc,
-                      ranking_->Score(qstats, dstats, result.stats));
+      for (; !it.AtEnd(); it.Next()) {
+        if (!query.years.Contains(part->years[it.doc()])) continue;
+        result.result_count++;
+        dstats.doc = part->base + it.doc();
+        dstats.length = part->content->doc_length(it.doc());
+        for (size_t i = 0; i < qstats.keywords.size(); ++i) {
+          dstats.tf[i] = it.tf(i);
+        }
+        collector.Offer(dstats.doc,
+                        ranking_->Score(qstats, dstats, result.stats));
+      }
+      if (it.aborted()) {
+        retrieval_aborted = true;
+        break;
+      }
     }
-    retrieval_aborted = it.aborted();
     result.top_docs = collector.Take();
     if (ispan) {
       ispan.Attr("docs_scored", result.result_count);

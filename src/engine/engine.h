@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "corpus/atm.h"
 #include "corpus/generator.h"
 #include "engine/query.h"
+#include "engine/segments.h"
 #include "index/inverted_index.h"
 #include "index/scan_guard.h"
 #include "obs/metrics.h"
@@ -23,6 +25,8 @@
 #include "views/view_catalog.h"
 
 namespace csr {
+
+class SegmentMerger;
 
 /// Engine configuration. Thresholds follow Section 6.2: T_C defaults to 1%
 /// of the collection and T_V to 4096 tuples.
@@ -122,6 +126,28 @@ struct EngineConfig {
   /// views and serves the straightforward plan (identical scores, higher
   /// cost) until a half-open probe succeeds.
   CircuitBreakerConfig view_breaker;
+
+  // -- Live ingestion (LSM segments, DESIGN.md §14) ----------------------
+
+  /// Documents the in-memory write segment accepts before it seals into an
+  /// immutable (block-compressed, when compressed_postings) segment. 0
+  /// means "never seal automatically" — everything appended stays in one
+  /// growing buffer segment.
+  uint32_t mem_segment_max_docs = 4096;
+
+  /// Sealed segments beyond the base that arm the merge policy: MergeOnce
+  /// (and the background merger) folds the adjacent sealed pair with the
+  /// smallest combined size whenever at least this many sealed extras are
+  /// live.
+  uint32_t merge_trigger_segments = 4;
+
+  /// Run the size-tiered merge policy on a background thread. Off by
+  /// default: tests drive MergeOnce() deterministically; serving setups
+  /// (shell, ingest bench) turn it on or call StartBackgroundMerge().
+  bool background_merge = false;
+
+  /// Poll interval of the background merger when no merge is pending.
+  double merge_interval_ms = 2.0;
 };
 
 /// Cumulative fault-tolerance telemetry for one engine, surfaced through
@@ -142,6 +168,7 @@ struct DegradationStats {
   std::atomic<uint64_t> fault_trips{0};    // injected posting faults seen
   std::atomic<uint64_t> degraded_queries{0};  // results with degraded=true
   std::atomic<uint64_t> view_read_faults{0};  // transient view-read faults
+  std::atomic<uint64_t> segments_quarantined{0};  // dropped loading snapshot
 };
 
 /// The system of the paper, end to end: inverted indexes over content and
@@ -155,24 +182,36 @@ struct DegradationStats {
 ///   ContextQuery q{{w1, w2}, {m1, m2}};
 ///   auto result = engine->Search(q, EvaluationMode::kContextWithViews);
 ///
-/// Threading model (see DESIGN.md §9): Search() and the const accessors
-/// are safe to call from any number of threads concurrently — the indexes,
-/// corpus, catalog, and ranking are immutable after construction, the
-/// statistics cache is internally synchronized (mutex-striped shards), and
-/// the degradation telemetry is atomic. The *mutating* operations —
-/// Build(), SelectAndMaterializeViews(), MaterializeViews(),
-/// AppendDocuments(), InstallCatalog() — require exclusive access: no
-/// Search may be in flight while one of them runs. engine/executor.h
-/// provides a thread pool that serves Search under this contract.
+/// Threading model (see DESIGN.md §9 and §14): Search() and the const
+/// accessors are safe to call from any number of threads concurrently —
+/// the base indexes, corpus prefix, catalog, and ranking are immutable
+/// during serving, the statistics cache is internally synchronized
+/// (mutex-striped shards), and the degradation telemetry is atomic.
+/// AppendDocuments() and MergeOnce() are *ingest* operations: safe to run
+/// concurrently with any number of Searches (queries serve from an
+/// immutable LiveSet snapshot; writers publish a new one by pointer swap)
+/// but serialized against each other on an internal ingest mutex. The
+/// remaining mutators — Build(), SelectAndMaterializeViews(),
+/// MaterializeViews(), InstallCatalog(), FlattenSegments(),
+/// InstallSealedSegment(), RebuildSegmentsFromCorpus() — still require
+/// exclusive access: no Search or ingest may be in flight.
+/// engine/executor.h provides a thread pool that serves Search under this
+/// contract.
 class ContextSearchEngine {
  public:
+  ~ContextSearchEngine();  // stops the background merger before members die
+
   /// Indexes the corpus. Does not select or build views.
   static Result<std::unique_ptr<ContextSearchEngine>> Build(
       Corpus corpus, EngineConfig config);
 
   /// Builds an engine around already-constructed indexes (the snapshot load
   /// path: compressed postings are installed directly, no decode-reencode
-  /// or rebuild). The indexes must cover exactly `corpus.docs`.
+  /// or rebuild). The indexes become the BASE segment and must cover a
+  /// non-empty prefix of `corpus.docs`; any remaining corpus tail is
+  /// installed afterwards via InstallSealedSegment /
+  /// RebuildSegmentsFromCorpus (segmented snapshots) — a legacy snapshot's
+  /// indexes cover the whole corpus and nothing else happens.
   static Result<std::unique_ptr<ContextSearchEngine>> BuildWithIndexes(
       Corpus corpus, EngineConfig config, InvertedIndex content_index,
       InvertedIndex predicate_index);
@@ -191,14 +230,81 @@ class ContextSearchEngine {
   /// used by tests and ablations.
   Status MaterializeViews(std::vector<ViewDefinition> defs);
 
-  /// Appends documents to the collection (they receive the next docids).
-  /// Inverted indexes are rebuilt from the grown corpus; materialized
-  /// views are maintained *incrementally* — only the new documents are
-  /// folded into their partitions, so the (expensive) view selection and
-  /// the existing aggregates stay valid. The tracked-keyword table and
-  /// T_C are frozen at Build time: views are slot-aligned to them. Any
-  /// cached statistics are invalidated.
+  /// Appends documents to the collection (they receive the next docids)
+  /// WHILE SERVING: only the in-memory write segment is rebuilt — the base
+  /// indexes, catalog, and sealed segments are untouched, so concurrent
+  /// Searches proceed against their LiveSet snapshot and observe the new
+  /// documents atomically when the next snapshot publishes. When the write
+  /// segment reaches EngineConfig::mem_segment_max_docs it seals into an
+  /// immutable block-compressed segment. Materialized views are maintained
+  /// synchronously as per-segment deltas (same integer aggregates, folded
+  /// at query time), so the view plan never serves stale statistics. The
+  /// tracked-keyword table and T_C are frozen at Build time: views are
+  /// slot-aligned to them. Cached statistics are invalidated by epoch.
   Status AppendDocuments(std::vector<Document> docs);
+
+  // -- LSM segment lifecycle (DESIGN.md §14) -----------------------------
+
+  /// One step of the size-tiered merge policy: when at least
+  /// EngineConfig::merge_trigger_segments sealed extras are live, folds
+  /// the adjacent sealed pair with the smallest combined document count
+  /// into one segment (posting-level index merge + view-delta merge, then
+  /// block compaction) and publishes the new LiveSet. Returns true when a
+  /// merge happened. Safe concurrently with Search; serialized against
+  /// AppendDocuments.
+  bool MergeOnce();
+
+  /// Folds every extra segment — indexes, years, and view deltas — into
+  /// the base, leaving one segment covering the whole collection. The
+  /// compacted result is bit-identical to a scratch build over the same
+  /// documents (block compaction is a pure function of the logical posting
+  /// sequence; view aggregates are integer sums). Requires exclusive
+  /// access. Idempotent.
+  Status FlattenSegments();
+
+  /// Installs a sealed segment decoded from a snapshot. Must cover exactly
+  /// the next docid range ([live end, live end + num_docs) within the
+  /// corpus); view deltas are rebuilt from the corpus slice against the
+  /// current catalog. Requires exclusive access; call after
+  /// InstallCatalog, in ascending base order.
+  Status InstallSealedSegment(IndexSegment segment);
+
+  /// (Re)builds segments over the corpus slice [first, corpus end): full
+  /// mem_segment_max_docs chunks seal, the remainder becomes the write
+  /// buffer. The snapshot load path uses this to recover quarantined or
+  /// missing segment ranges from the corpus (which is ground truth), and
+  /// to rebuild the unsealed tail that snapshots do not persist. `first`
+  /// must equal the live end. Requires exclusive access.
+  Status RebuildSegmentsFromCorpus(DocId first);
+
+  /// Starts/stops the background merge thread (idempotent). Finish starts
+  /// it automatically when EngineConfig::background_merge is set. The
+  /// destructor stops it.
+  void StartBackgroundMerge();
+  void StopBackgroundMerge();
+
+  /// Total live documents: base + every extra segment. This — not
+  /// content_index().num_docs(), which covers only the base — is the
+  /// collection size queries see.
+  uint64_t total_docs() const;
+
+  /// Documents covered by the base indexes and base catalog views.
+  uint64_t base_docs() const { return base_docs_; }
+
+  /// Per-segment shape rows (base first), for `.segments` and tests.
+  std::vector<SegmentInfo> SegmentInfos() const;
+
+  /// The current immutable LiveSet (never null). Snapshot persistence
+  /// serializes sealed extras from it; tests inspect it.
+  std::shared_ptr<const LiveSet> LiveSnapshot() const {
+    return SnapshotLive();
+  }
+
+  /// Records a segment dropped at snapshot load (corrupt, truncated, or
+  /// missing bytes); the loader rebuilds its range from the corpus.
+  void RecordSegmentQuarantine() const {
+    degradation_.segments_quarantined++;
+  }
 
   /// Installs a catalog loaded from a snapshot (storage/snapshot.h),
   /// replacing the current one. `tracked_terms` must match this engine's
@@ -237,8 +343,8 @@ class ContextSearchEngine {
   /// ContextSize(P) = |∩ L_m|, computed from the predicate index.
   uint64_t ContextSize(std::span<const TermId> context) const;
 
-  /// Publication year of document d.
-  uint16_t doc_year(DocId d) const { return years_[d]; }
+  /// Publication year of document d (global docid; folds over segments).
+  uint16_t doc_year(DocId d) const;
 
   /// Selection telemetry from the last SelectAndMaterializeViews call.
   const HybridResult& selection_result() const { return selection_; }
@@ -292,7 +398,43 @@ class ContextSearchEngine {
                                       bool with_views,
                                       SearchMetrics& metrics,
                                       ScanGuard* guard,
+                                      std::span<const SearchPart> parts,
                                       TraceContext tctx = {}) const;
+
+  /// Conventional-ranking statistics folded over every part (integer sums
+  /// of the per-part precomputed global statistics).
+  CollectionStats FoldGlobalStats(std::span<const SearchPart> parts,
+                                  std::span<const TermId> keywords) const;
+
+  /// The current LiveSet (never null after Finish). One mutex-guarded
+  /// shared_ptr copy; queries call it once and serve from the snapshot.
+  std::shared_ptr<const LiveSet> SnapshotLive() const;
+
+  /// Publishes a new LiveSet (stamps the next epoch). Caller holds
+  /// ingest_mu_ or has exclusive access.
+  void PublishLive(std::shared_ptr<LiveSet> next);
+
+  /// The query-plan parts for one snapshot: base first, then every extra.
+  std::vector<SearchPart> MakeParts(const LiveSet& live) const;
+
+  /// Builds one segment over corpus docs [first, end) with local docids,
+  /// including view deltas against the current catalog; seals (and block-
+  /// compresses, when configured) iff `seal`. Caller holds ingest_mu_.
+  Result<std::shared_ptr<EngineSegment>> BuildSegmentLocked(DocId first,
+                                                            DocId end,
+                                                            bool seal);
+
+  /// Replaces every extra covering [tail_first, corpus end) with freshly
+  /// built segments: full mem_segment_max_docs chunks seal, the remainder
+  /// becomes the unsealed write buffer. Caller holds ingest_mu_; no extra
+  /// may straddle tail_first.
+  Status ResegmentTailLocked(DocId tail_first);
+
+  /// Rebuilds a segment's view deltas from the corpus slice (used when a
+  /// loaded segment carries indexes but deltas must align with the current
+  /// catalog). Caller holds ingest_mu_.
+  std::vector<MaterializedView> BuildViewDeltasLocked(
+      const InvertedIndex& content, DocId first, DocId end) const;
 
   /// Folds a tripped guard into the degradation telemetry.
   void RecordTrip(const ScanGuard& guard) const;
@@ -314,10 +456,11 @@ class ContextSearchEngine {
   Corpus corpus_;
   EngineConfig config_;
   uint64_t context_threshold_ = 0;
-  InvertedIndex content_index_;
-  InvertedIndex predicate_index_;
+  InvertedIndex content_index_;    // the base segment
+  InvertedIndex predicate_index_;  // the base segment
   TrackedKeywords tracked_;
-  std::vector<uint16_t> years_;  // per-document publication year
+  std::vector<uint16_t> years_;  // publication year, BASE documents only
+  uint64_t base_docs_ = 0;       // documents covered by the base indexes
   std::unique_ptr<DocParamTable> param_table_;
   std::unique_ptr<ViewSizeEstimator> estimator_;
   std::unique_ptr<AtmMapper> atm_;
@@ -361,6 +504,14 @@ class ContextSearchEngine {
     Histogram* total_ms = nullptr;
     Histogram* stats_ms = nullptr;
     Histogram* retrieval_ms = nullptr;
+    // Live-ingestion instruments (ingest.*, segments.*, view.delta.*).
+    Counter* ingest_docs = nullptr;
+    Counter* ingest_batches = nullptr;
+    Counter* ingest_seals = nullptr;
+    Counter* segment_merges = nullptr;
+    Counter* segment_merged_docs = nullptr;
+    Counter* view_delta_folds = nullptr;   // query-time delta folds
+    Counter* view_delta_merges = nullptr;  // physical merges at compaction
   };
   HotMetrics hot_;
   std::atomic<bool> metrics_enabled_{true};
@@ -368,6 +519,23 @@ class ContextSearchEngine {
   // the query sequence counter driving it.
   std::atomic<uint32_t> trace_period_{0};
   mutable std::atomic<uint64_t> trace_sequence_{0};
+
+  // -- Live ingestion state (DESIGN.md §14) ------------------------------
+  // live_mu_ is a leaf mutex guarding only the live_ pointer swap: readers
+  // (Search, telemetry) copy the shared_ptr under it and serve from the
+  // immutable snapshot; writers build the next LiveSet outside the lock
+  // and swap it in. ingest_mu_ serializes the writers themselves (append,
+  // seal, merge publish) and protects corpus_.docs growth + the segment id
+  // counter; queries never take it.
+  mutable std::mutex live_mu_;
+  std::shared_ptr<const LiveSet> live_;
+  std::mutex ingest_mu_;
+  uint64_t next_segment_id_ = 1;  // 0 is the base; guarded by ingest_mu_
+  std::atomic<uint64_t> next_epoch_{2};
+
+  // Declared last so it is destroyed first: the merger thread must stop
+  // before any engine state it reads goes away.
+  std::unique_ptr<SegmentMerger> merger_;
 };
 
 }  // namespace csr

@@ -1,0 +1,39 @@
+#include "engine/merger.h"
+
+#include <chrono>
+
+#include "engine/engine.h"
+
+namespace csr {
+
+SegmentMerger::SegmentMerger(ContextSearchEngine* engine, double interval_ms)
+    : engine_(engine),
+      interval_ms_(interval_ms <= 0.0 ? 1.0 : interval_ms),
+      thread_([this] { Run(); }) {}
+
+SegmentMerger::~SegmentMerger() { Stop(); }
+
+void SegmentMerger::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SegmentMerger::Run() {
+  const auto interval = std::chrono::duration<double, std::milli>(interval_ms_);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    bool merged = engine_->MergeOnce();
+    if (merged) merges_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    if (merged) continue;  // cascade: re-check the policy immediately
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+  }
+}
+
+}  // namespace csr

@@ -1,0 +1,51 @@
+#ifndef CSR_ENGINE_MERGER_H_
+#define CSR_ENGINE_MERGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace csr {
+
+class ContextSearchEngine;
+
+/// The background merge/compaction thread of the LSM segment architecture
+/// (DESIGN.md §14). It owns no segment state: each cycle it calls
+/// ContextSearchEngine::MergeOnce(), which applies one step of the
+/// size-tiered policy under the engine's ingest mutex and publishes the
+/// merged LiveSet by pointer swap — so queries are never blocked and the
+/// merger races appends only on that mutex. After a successful merge it
+/// immediately tries again (merges cascade); when nothing is mergeable it
+/// sleeps for `interval_ms` or until Stop().
+class SegmentMerger {
+ public:
+  SegmentMerger(ContextSearchEngine* engine, double interval_ms);
+  ~SegmentMerger();  // joins the thread
+
+  SegmentMerger(const SegmentMerger&) = delete;
+  SegmentMerger& operator=(const SegmentMerger&) = delete;
+
+  /// Signals the thread to exit and joins it. Idempotent.
+  void Stop();
+
+  /// Merges performed by this thread (not counting MergeOnce calls made
+  /// directly by tests or the shell).
+  uint64_t merges() const { return merges_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+
+  ContextSearchEngine* engine_;
+  double interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+  std::atomic<uint64_t> merges_{0};
+  std::thread thread_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_ENGINE_MERGER_H_

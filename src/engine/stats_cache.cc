@@ -25,12 +25,12 @@ StatsCache::StatsCache(size_t capacity, size_t num_shards)
 
 TermIdSet StatsCache::MakeKey(std::span<const TermId> context,
                               std::span<const TermId> keywords,
-                              YearRange range) {
+                              YearRange range, uint64_t epoch) {
   // Context and keywords are separated by a sentinel that can appear in
   // neither, so (ctx={1}, kw={2}) and (ctx={1,2}, kw={}) cannot collide;
-  // the year range is appended the same way.
+  // the year range and the live-set epoch are appended the same way.
   TermIdSet key;
-  key.reserve(context.size() + keywords.size() + 3);
+  key.reserve(context.size() + keywords.size() + 6);
   key.insert(key.end(), context.begin(), context.end());
   key.push_back(kInvalidTermId);
   key.insert(key.end(), keywords.begin(), keywords.end());
@@ -39,14 +39,19 @@ TermIdSet StatsCache::MakeKey(std::span<const TermId> context,
     key.push_back(range.min_year);
     key.push_back(range.max_year);
   }
+  if (epoch != 0) {
+    key.push_back(kInvalidTermId);
+    key.push_back(static_cast<TermId>(epoch & 0xFFFFFFFFu));
+    key.push_back(static_cast<TermId>(epoch >> 32));
+  }
   return key;
 }
 
 std::optional<CollectionStats> StatsCache::Get(
     std::span<const TermId> context, std::span<const TermId> keywords,
-    YearRange range) {
+    YearRange range, uint64_t epoch) {
   if (capacity_ == 0) return std::nullopt;
-  TermIdSet key = MakeKey(context, keywords, range);
+  TermIdSet key = MakeKey(context, keywords, range, epoch);
   Shard& shard = shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -61,9 +66,9 @@ std::optional<CollectionStats> StatsCache::Get(
 
 void StatsCache::Put(std::span<const TermId> context,
                      std::span<const TermId> keywords, YearRange range,
-                     CollectionStats stats) {
+                     CollectionStats stats, uint64_t epoch) {
   if (capacity_ == 0) return;
-  TermIdSet key = MakeKey(context, keywords, range);
+  TermIdSet key = MakeKey(context, keywords, range, epoch);
   Shard& shard = shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   // The constructor clamps num_shards_ <= capacity_, so every shard has

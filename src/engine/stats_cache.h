@@ -56,13 +56,20 @@ class StatsCache {
   /// Returns a copy of the cached stats, or nullopt on a miss. A copy —
   /// not a pointer — because a concurrent Put/eviction on the same shard
   /// may drop the entry the moment the shard lock is released.
+  ///
+  /// `epoch` is part of the key: the engine stamps every live-set publish
+  /// (append, seal, merge) with a new epoch, so a query can only hit
+  /// entries computed against the exact collection snapshot it is serving
+  /// from — a Put racing an append can never poison post-append queries.
+  /// Entries from dead epochs age out through normal LRU pressure.
   std::optional<CollectionStats> Get(std::span<const TermId> context,
                                      std::span<const TermId> keywords,
-                                     YearRange range = {});
+                                     YearRange range = {},
+                                     uint64_t epoch = 0);
 
   void Put(std::span<const TermId> context,
            std::span<const TermId> keywords, YearRange range,
-           CollectionStats stats);
+           CollectionStats stats, uint64_t epoch = 0);
 
   void Put(std::span<const TermId> context,
            std::span<const TermId> keywords, CollectionStats stats) {
@@ -90,7 +97,7 @@ class StatsCache {
  private:
   static TermIdSet MakeKey(std::span<const TermId> context,
                            std::span<const TermId> keywords,
-                           YearRange range);
+                           YearRange range, uint64_t epoch);
 
   using Entry = std::pair<TermIdSet, CollectionStats>;
 

@@ -28,6 +28,17 @@ InvertedIndex InvertedIndex::FromCompressedParts(
   return index;
 }
 
+InvertedIndex InvertedIndex::FromPostingLists(
+    std::vector<PostingList> lists, std::vector<uint32_t> doc_lengths,
+    uint64_t total_length) {
+  InvertedIndex index;
+  index.lists_ = std::move(lists);
+  index.doc_lengths_ = std::move(doc_lengths);
+  index.total_length_ = total_length;
+  index.compacted_ = false;
+  return index;
+}
+
 uint64_t InvertedIndex::MemoryBytes() const {
   uint64_t bytes = doc_lengths_.size() * sizeof(uint32_t);
   if (compacted_) {

@@ -52,6 +52,14 @@ class InvertedIndex {
       std::vector<CompressedPostingList> lists,
       std::vector<uint32_t> doc_lengths, uint64_t total_length);
 
+  /// Assembles an uncompacted index from finished posting lists (the
+  /// segment-merge path: adjacent segments' lists are concatenated
+  /// posting-by-posting, then Compact() reproduces the scratch-built block
+  /// bytes). Every list must already have FinishBuild() called.
+  static InvertedIndex FromPostingLists(std::vector<PostingList> lists,
+                                        std::vector<uint32_t> doc_lengths,
+                                        uint64_t total_length);
+
   /// Returns the uncompressed posting list for `t`, or nullptr if the term
   /// has no postings — or the index has been compacted (use cursor()).
   const PostingList* list(TermId t) const {

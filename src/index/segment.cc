@@ -1,0 +1,64 @@
+#include "index/segment.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "index/posting_cursor.h"
+#include "index/posting_list.h"
+
+namespace csr {
+
+InvertedIndex MergeIndexes(const InvertedIndex& a, const InvertedIndex& b,
+                           uint32_t segment_size) {
+  const size_t num_terms = std::max(a.num_terms(), b.num_terms());
+  const DocId offset = static_cast<DocId>(a.num_docs());
+
+  std::vector<PostingList> lists;
+  lists.reserve(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    PostingList merged(segment_size);
+    PostingCursor ca = a.cursor(static_cast<TermId>(t));
+    if (ca.valid()) {
+      for (; !ca.AtEnd(); ca.Next()) merged.Append(ca.doc(), ca.tf());
+    }
+    PostingCursor cb = b.cursor(static_cast<TermId>(t));
+    if (cb.valid()) {
+      for (; !cb.AtEnd(); cb.Next()) merged.Append(cb.doc() + offset, cb.tf());
+    }
+    merged.FinishBuild();
+    lists.push_back(std::move(merged));
+  }
+
+  std::vector<uint32_t> doc_lengths;
+  doc_lengths.reserve(a.num_docs() + b.num_docs());
+  std::span<const uint32_t> la = a.doc_lengths();
+  std::span<const uint32_t> lb = b.doc_lengths();
+  doc_lengths.insert(doc_lengths.end(), la.begin(), la.end());
+  doc_lengths.insert(doc_lengths.end(), lb.begin(), lb.end());
+
+  return InvertedIndex::FromPostingLists(std::move(lists),
+                                         std::move(doc_lengths),
+                                         a.total_length() + b.total_length());
+}
+
+Result<IndexSegment> MergeSegments(const IndexSegment& a,
+                                   const IndexSegment& b, uint64_t merged_id,
+                                   uint32_t segment_size) {
+  if (b.base != a.base + a.num_docs) {
+    return Status::InvalidArgument("MergeSegments: segments not adjacent");
+  }
+  IndexSegment out;
+  out.id = merged_id;
+  out.base = a.base;
+  out.num_docs = a.num_docs + b.num_docs;
+  out.sealed = false;  // caller seals (and compacts) after the merge
+  out.content = MergeIndexes(a.content, b.content, segment_size);
+  out.predicate = MergeIndexes(a.predicate, b.predicate, segment_size);
+  out.years.reserve(a.years.size() + b.years.size());
+  out.years.insert(out.years.end(), a.years.begin(), a.years.end());
+  out.years.insert(out.years.end(), b.years.begin(), b.years.end());
+  return out;
+}
+
+}  // namespace csr

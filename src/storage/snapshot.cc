@@ -15,7 +15,13 @@ constexpr uint32_t kViewsMagic = 0x43535256;     // "CSRV"
 constexpr uint32_t kPostingsMagic = 0x43535250;  // "CSRP"
 constexpr uint32_t kManifestMagic = 0x4353524D;  // "CSRM"
 constexpr uint32_t kCorpusVersion = 1;
-constexpr uint32_t kViewsVersion = 2;  // v2: per-view framing + directory
+// v2: per-view framing + directory. v3: the header records the base doc
+// count the views aggregate over, so a torn segmented save (views from a
+// newer save paired with an older/absent manifest, or vice versa) is
+// detected instead of silently mis-ranking; v2 files load with the base
+// unknown (no check possible — they predate segmented snapshots).
+constexpr uint32_t kViewsVersion = 3;
+constexpr uint32_t kViewsMinVersion = 2;
 // v2: blocks may carry the bitmap container tag (BlockCodec::kBitmap).
 // The framing is unchanged — block bytes are persisted verbatim, tag
 // included — so v1 snapshots load as-is; they simply predate bitmap
@@ -23,8 +29,16 @@ constexpr uint32_t kViewsVersion = 2;  // v2: per-view framing + directory
 // loader surfaces as a corrupt file (rebuild fallback).
 constexpr uint32_t kPostingsVersion = 2;
 constexpr uint32_t kPostingsMinVersion = 1;
-constexpr uint32_t kManifestVersion = 1;
-constexpr uint32_t kSnapshotFormatVersion = 2;
+constexpr uint32_t kSegmentMagic = 0x43535253;  // "CSRS"
+constexpr uint32_t kSegmentVersion = 1;
+// Manifest v2 / format v3: segmented snapshots. After the version fields
+// the manifest carries the collection layout (base_docs, total_docs, the
+// sealed-segment inventory) before the file list. v1 manifests — whole
+// collection in the base, no segments — load unchanged.
+constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kManifestMinVersion = 1;
+constexpr uint32_t kSnapshotFormatVersion = 3;
+constexpr uint32_t kSnapshotFormatMinVersion = 2;
 
 /// Open options for the snapshot load paths: transient read faults
 /// (kUnavailable) are retried within the process-wide RetryBudget before
@@ -256,7 +270,7 @@ struct ViewFrameEntry {
 }  // namespace
 
 Status SaveViews(const ViewCatalog& catalog, const TrackedKeywords& tracked,
-                 const std::string& path) {
+                 const std::string& path, uint64_t base_docs) {
   std::vector<std::string> frames;
   frames.reserve(catalog.size());
   for (size_t i = 0; i < catalog.size(); ++i) {
@@ -267,6 +281,7 @@ Status SaveViews(const ViewCatalog& catalog, const TrackedKeywords& tracked,
 
   BinaryWriter header;
   header.PutU32(kViewsVersion);
+  header.PutVarint(base_docs);
   header.PutVarintVector(tracked.terms());
   header.PutVarint(catalog.size());
   for (size_t i = 0; i < catalog.size(); ++i) {
@@ -306,11 +321,12 @@ Result<LoadedViews> LoadViews(const std::string& path) {
   BinaryReader h(std::move(header_bytes));
   uint32_t version = 0;
   CSR_RETURN_NOT_OK(h.GetU32(&version));
-  if (version != kViewsVersion) {
+  if (version < kViewsMinVersion || version > kViewsVersion) {
     return Status::InvalidArgument("unsupported views version " +
                                    std::to_string(version) + " in " + path);
   }
   LoadedViews out;
+  if (version >= 3) CSR_RETURN_NOT_OK(h.GetVarint(&out.base_docs));
   CSR_RETURN_NOT_OK(h.GetVarintVector(&out.tracked_terms));
   uint64_t num_views = 0;
   CSR_RETURN_NOT_OK(h.GetVarint(&num_views));
@@ -476,7 +492,9 @@ Status SavePostings(const ContextSearchEngine& engine,
   }
   BinaryWriter w;
   w.PutU32(kPostingsVersion);
-  w.PutVarint(engine.corpus().docs.size());
+  // The base indexes may cover only a prefix of the corpus (segmented
+  // engine); sealed extras are persisted in their own seg-<id>.csr files.
+  w.PutVarint(engine.content_index().num_docs());
   PutIndex(w, engine.content_index());
   PutIndex(w, engine.predicate_index());
   return w.WriteFile(path, kPostingsMagic);
@@ -513,6 +531,66 @@ Result<LoadedPostings> LoadPostings(const std::string& path,
   return out;
 }
 
+Status SaveSegment(const IndexSegment& segment, const std::string& path) {
+  if (!segment.sealed) {
+    return Status::FailedPrecondition(
+        "refusing to persist the unsealed write buffer; it is rebuilt from "
+        "the corpus tail at load");
+  }
+  if (!segment.content.compressed() || !segment.predicate.compressed()) {
+    return Status::FailedPrecondition(
+        "segment serves uncompressed postings; nothing compressed to "
+        "persist");
+  }
+  BinaryWriter w;
+  w.PutU32(kSegmentVersion);
+  w.PutU64(segment.id);
+  w.PutVarint(segment.base);
+  w.PutVarint(segment.num_docs);
+  w.PutVarint(segment.years.size());
+  for (uint16_t y : segment.years) w.PutVarint(y);
+  PutIndex(w, segment.content);
+  PutIndex(w, segment.predicate);
+  return w.WriteFile(path, kSegmentMagic);
+}
+
+Result<IndexSegment> LoadSegment(const std::string& path) {
+  CSR_ASSIGN_OR_RETURN(
+      BinaryReader r, BinaryReader::OpenFile(path, kSegmentMagic,
+                                             SnapshotOpen()));
+  uint32_t version = 0;
+  CSR_RETURN_NOT_OK(r.GetU32(&version));
+  if (version != kSegmentVersion) {
+    return Status::InvalidArgument("unsupported segment version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  IndexSegment seg;
+  CSR_RETURN_NOT_OK(r.GetU64(&seg.id));
+  uint64_t base = 0, num_docs = 0, num_years = 0;
+  CSR_RETURN_NOT_OK(r.GetVarint(&base));
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_docs));
+  CSR_RETURN_NOT_OK(r.GetVarint(&num_years));
+  if (num_docs == 0 || num_years != num_docs) {
+    return Status::InvalidArgument(
+        "segment header disagrees with its year table in " + path);
+  }
+  seg.base = static_cast<DocId>(base);
+  seg.num_docs = static_cast<uint32_t>(num_docs);
+  seg.sealed = true;
+  seg.years.reserve(num_years);
+  for (uint64_t i = 0; i < num_years; ++i) {
+    uint64_t y = 0;
+    CSR_RETURN_NOT_OK(r.GetVarint(&y));
+    seg.years.push_back(static_cast<uint16_t>(y));
+  }
+  CSR_ASSIGN_OR_RETURN(seg.content, GetIndex(r, num_docs));
+  CSR_ASSIGN_OR_RETURN(seg.predicate, GetIndex(r, num_docs));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in segment file " + path);
+  }
+  return seg;
+}
+
 namespace {
 
 /// Size + FNV-1a over a whole file's bytes, for the manifest.
@@ -538,11 +616,42 @@ Status HashFile(const std::string& path, uint64_t* size, uint64_t* sum) {
   return Status::OK();
 }
 
-Status SaveManifest(const std::string& dir,
+/// One sealed segment recorded in a v2 manifest. The inventory — not the
+/// seg files on disk — is authoritative for which segments the snapshot
+/// contains: a crash between writing a merged segment's file and the
+/// manifest swap leaves an orphan file that is simply never consulted, so
+/// a half-merged segment is never served.
+struct ManifestSegment {
+  uint64_t id = 0;
+  DocId base = 0;
+  uint32_t num_docs = 0;
+};
+
+struct ManifestInfo {
+  bool present = false;
+  /// True for v2+ manifests: base_docs and segments are meaningful. v1
+  /// manifests describe whole-collection bases with no extras.
+  bool has_layout = false;
+  uint64_t base_docs = 0;
+  uint64_t total_docs = 0;
+  std::vector<ManifestSegment> segments;
+};
+
+Status SaveManifest(const std::string& dir, uint64_t base_docs,
+                    uint64_t total_docs,
+                    const std::vector<ManifestSegment>& segments,
                     const std::vector<std::string>& names) {
   BinaryWriter w;
   w.PutU32(kManifestVersion);
   w.PutU32(kSnapshotFormatVersion);
+  w.PutVarint(base_docs);
+  w.PutVarint(total_docs);
+  w.PutVarint(segments.size());
+  for (const ManifestSegment& s : segments) {
+    w.PutU64(s.id);
+    w.PutVarint(s.base);
+    w.PutVarint(s.num_docs);
+  }
   w.PutVarint(names.size());
   for (const std::string& name : names) {
     uint64_t size = 0, sum = 0;
@@ -551,33 +660,59 @@ Status SaveManifest(const std::string& dir,
     w.PutU64(size);
     w.PutU64(sum);
   }
+  // WriteFile is temp + fsync + rename: the manifest swap is the snapshot's
+  // commit point.
   return w.WriteFile(dir + "/MANIFEST.csr", kManifestMagic);
 }
 
-/// Verifies the manifest when present. Listed files must exist — a missing
-/// one means a torn multi-file save or a partially copied snapshot, which
-/// is kDataLoss. Content integrity is delegated to each file's own
-/// checksums: corpus.csr is strict, views.csr self-heals per frame, so a
-/// manifest-level byte comparison would only turn salvageable view
-/// corruption into a wholesale failure.
-Status VerifyManifest(const std::string& dir) {
+/// Reads and verifies the manifest when present. Listed files must exist —
+/// a missing one means a torn multi-file save or a partially copied
+/// snapshot, which is kDataLoss (seg files are the exception: the loader
+/// quarantines those per segment and rebuilds from the corpus). Content
+/// integrity is delegated to each file's own checksums: corpus.csr is
+/// strict, views.csr self-heals per frame, so a manifest-level byte
+/// comparison would only turn salvageable corruption into a wholesale
+/// failure.
+Result<ManifestInfo> ReadManifest(const std::string& dir) {
+  ManifestInfo info;
   auto r = BinaryReader::OpenFile(dir + "/MANIFEST.csr", kManifestMagic,
                                   SnapshotOpen());
   if (!r.ok()) {
     // Pre-manifest snapshots stay loadable; anything but "absent" is real.
-    if (r.status().code() == StatusCode::kNotFound) return Status::OK();
+    if (r.status().code() == StatusCode::kNotFound) return info;
     return r.status();
   }
+  info.present = true;
   uint32_t manifest_version = 0, format_version = 0;
   CSR_RETURN_NOT_OK(r->GetU32(&manifest_version));
   CSR_RETURN_NOT_OK(r->GetU32(&format_version));
-  if (manifest_version != kManifestVersion) {
+  if (manifest_version < kManifestMinVersion ||
+      manifest_version > kManifestVersion) {
     return Status::InvalidArgument("unsupported manifest version " +
                                    std::to_string(manifest_version));
   }
-  if (format_version != kSnapshotFormatVersion) {
+  if (format_version < kSnapshotFormatMinVersion ||
+      format_version > kSnapshotFormatVersion) {
     return Status::InvalidArgument("unsupported snapshot format version " +
                                    std::to_string(format_version));
+  }
+  if (manifest_version >= 2) {
+    info.has_layout = true;
+    CSR_RETURN_NOT_OK(r->GetVarint(&info.base_docs));
+    CSR_RETURN_NOT_OK(r->GetVarint(&info.total_docs));
+    uint64_t num_segments = 0;
+    CSR_RETURN_NOT_OK(r->GetVarint(&num_segments));
+    info.segments.reserve(num_segments);
+    for (uint64_t i = 0; i < num_segments; ++i) {
+      ManifestSegment s;
+      uint64_t base = 0, num_docs = 0;
+      CSR_RETURN_NOT_OK(r->GetU64(&s.id));
+      CSR_RETURN_NOT_OK(r->GetVarint(&base));
+      CSR_RETURN_NOT_OK(r->GetVarint(&num_docs));
+      s.base = static_cast<DocId>(base);
+      s.num_docs = static_cast<uint32_t>(num_docs);
+      info.segments.push_back(s);
+    }
   }
   uint64_t num_files = 0;
   CSR_RETURN_NOT_OK(r->GetVarint(&num_files));
@@ -587,6 +722,7 @@ Status VerifyManifest(const std::string& dir) {
     CSR_RETURN_NOT_OK(r->GetString(&name));
     CSR_RETURN_NOT_OK(r->GetU64(&size));
     CSR_RETURN_NOT_OK(r->GetU64(&sum));
+    if (name.rfind("seg-", 0) == 0) continue;  // per-segment salvage below
     std::FILE* f = std::fopen((dir + "/" + name).c_str(), "rb");
     if (f == nullptr) {
       return Status::DataLoss("snapshot incomplete: manifest lists missing " +
@@ -594,39 +730,98 @@ Status VerifyManifest(const std::string& dir) {
     }
     std::fclose(f);
   }
-  return Status::OK();
+  return info;
+}
+
+/// Rebuilds one sealed segment directly from the corpus slice — the
+/// recovery path when a seg file is corrupt, truncated, or missing. The
+/// corpus is ground truth, so the rebuilt segment is bit-identical to the
+/// lost one after compaction.
+Result<IndexSegment> BuildSegmentFromCorpus(const Corpus& corpus, uint64_t id,
+                                            DocId first, uint32_t num_docs,
+                                            const EngineConfig& config) {
+  IndexBuilder content_builder(config.segment_size);
+  IndexBuilder predicate_builder(config.segment_size);
+  IndexSegment seg;
+  seg.id = id;
+  seg.base = first;
+  seg.num_docs = num_docs;
+  seg.sealed = true;
+  seg.years.reserve(num_docs);
+  for (DocId i = first; i < first + num_docs; ++i) {
+    const Document& d = corpus.docs[i];
+    CSR_RETURN_NOT_OK(content_builder.AddDocument(i - first,
+                                                  d.ContentTokens()));
+    CSR_RETURN_NOT_OK(predicate_builder.AddDocument(i - first,
+                                                    d.annotations));
+    seg.years.push_back(d.year);
+  }
+  seg.content = content_builder.Build();
+  seg.predicate = predicate_builder.Build();
+  if (config.compressed_postings) {
+    seg.content.Compact(/*block_size=*/0, config.codec_policy);
+    seg.predicate.Compact(/*block_size=*/0, config.codec_policy);
+  }
+  return seg;
 }
 
 }  // namespace
 
 Status SaveEngineSnapshot(const ContextSearchEngine& engine,
                           const std::string& dir) {
+  // One LiveSet snapshot fixes which segments this save describes; the
+  // caller must not append concurrently (the corpus serializer walks
+  // corpus.docs, which appends mutate).
+  std::shared_ptr<const LiveSet> live = engine.LiveSnapshot();
   CSR_RETURN_NOT_OK(SaveCorpus(engine.corpus(), dir + "/corpus.csr"));
-  CSR_RETURN_NOT_OK(
-      SaveViews(engine.catalog(), engine.tracked(), dir + "/views.csr"));
+  CSR_RETURN_NOT_OK(SaveViews(engine.catalog(), engine.tracked(),
+                              dir + "/views.csr", live->base_docs));
   std::vector<std::string> names = {"corpus.csr", "views.csr"};
-  if (engine.content_index().compressed() &&
-      engine.predicate_index().compressed()) {
+  bool compressed = engine.content_index().compressed() &&
+                    engine.predicate_index().compressed();
+  if (compressed) {
     CSR_RETURN_NOT_OK(SavePostings(engine, dir + "/postings.csr"));
     names.push_back("postings.csr");
   }
+  // Sealed, compressed extras persist block bytes verbatim; the unsealed
+  // write buffer (and, in uncompressed configurations, every extra) is
+  // omitted — the loader rebuilds those ranges from the corpus.
+  std::vector<ManifestSegment> segments;
+  for (const auto& es : live->extras) {
+    if (!es->index.sealed || !es->index.content.compressed()) continue;
+    std::string name = "seg-" + std::to_string(es->index.id) + ".csr";
+    CSR_RETURN_NOT_OK(SaveSegment(es->index, dir + "/" + name));
+    names.push_back(name);
+    segments.push_back(ManifestSegment{es->index.id, es->index.base,
+                                       es->index.num_docs});
+  }
   // Manifest last: a crash before this point leaves no (or a stale)
   // manifest rather than a manifest describing files that never landed.
-  return SaveManifest(dir, names);
+  return SaveManifest(dir, live->base_docs, live->total_docs, segments,
+                      names);
 }
 
 Result<std::unique_ptr<ContextSearchEngine>> LoadEngineSnapshot(
     const std::string& dir, const EngineConfig& config) {
-  CSR_RETURN_NOT_OK(VerifyManifest(dir));
+  CSR_ASSIGN_OR_RETURN(ManifestInfo manifest, ReadManifest(dir));
   CSR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(dir + "/corpus.csr"));
+  uint64_t base_docs =
+      manifest.has_layout ? manifest.base_docs : corpus.docs.size();
+  if (base_docs == 0 || base_docs > corpus.docs.size()) {
+    return Status::DataLoss(
+        "manifest base (" + std::to_string(base_docs) +
+        " docs) does not fit the corpus (" +
+        std::to_string(corpus.docs.size()) + " docs)");
+  }
+
   std::unique_ptr<ContextSearchEngine> engine;
   if (config.compressed_postings) {
-    // Fast path: install the persisted compressed postings directly. Any
-    // failure (absent file, checksum mismatch, bad metadata, doc-count
-    // mismatch with the corpus) falls back to rebuilding from the corpus —
-    // a stale or damaged postings file costs load time, not correctness.
+    // Fast path: install the persisted compressed base postings directly.
+    // Any failure (absent file, checksum mismatch, bad metadata, doc-count
+    // mismatch with the manifest) falls back to rebuilding from the corpus
+    // — a stale or damaged postings file costs load time, not correctness.
     Result<LoadedPostings> lp =
-        LoadPostings(dir + "/postings.csr", corpus.docs.size());
+        LoadPostings(dir + "/postings.csr", base_docs);
     if (lp.ok()) {
       CSR_ASSIGN_OR_RETURN(
           engine, ContextSearchEngine::BuildWithIndexes(
@@ -635,12 +830,96 @@ Result<std::unique_ptr<ContextSearchEngine>> LoadEngineSnapshot(
     }
   }
   if (engine == nullptr) {
-    CSR_ASSIGN_OR_RETURN(engine,
-                         ContextSearchEngine::Build(std::move(corpus), config));
+    if (base_docs == corpus.docs.size()) {
+      CSR_ASSIGN_OR_RETURN(
+          engine, ContextSearchEngine::Build(std::move(corpus), config));
+    } else {
+      // Segmented snapshot with unusable base postings: rebuild the BASE
+      // PREFIX only, so the persisted views (which cover exactly the base)
+      // still align.
+      IndexBuilder content_builder(config.segment_size);
+      IndexBuilder predicate_builder(config.segment_size);
+      for (DocId i = 0; i < base_docs; ++i) {
+        const Document& d = corpus.docs[i];
+        CSR_RETURN_NOT_OK(
+            content_builder.AddDocument(i, d.ContentTokens()));
+        CSR_RETURN_NOT_OK(predicate_builder.AddDocument(i, d.annotations));
+      }
+      CSR_ASSIGN_OR_RETURN(
+          engine, ContextSearchEngine::BuildWithIndexes(
+                      std::move(corpus), config, content_builder.Build(),
+                      predicate_builder.Build()));
+    }
   }
   CSR_ASSIGN_OR_RETURN(LoadedViews views, LoadViews(dir + "/views.csr"));
-  CSR_RETURN_NOT_OK(engine->InstallCatalog(std::move(views.catalog),
-                                           views.tracked_terms));
+  if (views.base_docs != 0 && views.base_docs != engine->base_docs()) {
+    // Torn multi-file save: views.csr aggregated over a different base
+    // than this load reconstructed (e.g. a crash left a newer views file
+    // next to an older — or absent — manifest). Installing them would
+    // silently mis-rank, so quarantine the whole catalog instead; queries
+    // degrade to the straightforward plan, which is always correct.
+    ViewCatalog none;
+    for (const QuarantinedView& q : views.catalog.quarantined()) {
+      none.RecordQuarantine(q);
+    }
+    std::string reason =
+        "views aggregate a " + std::to_string(views.base_docs) +
+        "-doc base but the snapshot base covers " +
+        std::to_string(engine->base_docs()) + " docs (torn save)";
+    for (size_t i = 0; i < views.catalog.size(); ++i) {
+      none.RecordQuarantine(QuarantinedView{
+          views.catalog.view(i).def().keyword_columns, reason});
+    }
+    CSR_RETURN_NOT_OK(
+        engine->InstallCatalog(std::move(none), engine->tracked().terms()));
+  } else {
+    CSR_RETURN_NOT_OK(engine->InstallCatalog(std::move(views.catalog),
+                                             views.tracked_terms));
+  }
+
+  // Reinstall the sealed extras in ascending base order. Any per-segment
+  // failure — unreadable file, checksum mismatch, header/manifest
+  // disagreement, installation rejection — quarantines that segment and
+  // rebuilds its exact docid range from the corpus, so recovery always
+  // converges on the manifest's layout.
+  std::vector<ManifestSegment> inventory = manifest.segments;
+  std::sort(inventory.begin(), inventory.end(),
+            [](const ManifestSegment& a, const ManifestSegment& b) {
+              return a.base < b.base;
+            });
+  for (const ManifestSegment& ms : inventory) {
+    uint64_t live_end = engine->total_docs();
+    uint64_t ms_end = static_cast<uint64_t>(ms.base) + ms.num_docs;
+    if (ms.num_docs == 0 || ms.base != live_end ||
+        ms_end > engine->corpus().docs.size()) {
+      // A layout hole or overlap: the inventory itself is inconsistent.
+      // Skip the entry; the tail rebuild below covers whatever is missing.
+      engine->RecordSegmentQuarantine();
+      continue;
+    }
+    bool installed = false;
+    Result<IndexSegment> seg =
+        LoadSegment(dir + "/seg-" + std::to_string(ms.id) + ".csr");
+    if (seg.ok() && seg->id == ms.id && seg->base == ms.base &&
+        seg->num_docs == ms.num_docs) {
+      installed = engine->InstallSealedSegment(std::move(*seg)).ok();
+    }
+    if (!installed) {
+      engine->RecordSegmentQuarantine();
+      CSR_ASSIGN_OR_RETURN(
+          IndexSegment rebuilt,
+          BuildSegmentFromCorpus(engine->corpus(), ms.id, ms.base,
+                                 ms.num_docs, config));
+      CSR_RETURN_NOT_OK(engine->InstallSealedSegment(std::move(rebuilt)));
+    }
+  }
+
+  // The unsealed write buffer is never persisted; rebuild the remaining
+  // corpus tail (sealing full chunks, buffering the rest).
+  if (engine->total_docs() < engine->corpus().docs.size()) {
+    CSR_RETURN_NOT_OK(engine->RebuildSegmentsFromCorpus(
+        static_cast<DocId>(engine->total_docs())));
+  }
   return engine;
 }
 

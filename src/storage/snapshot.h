@@ -54,15 +54,20 @@ Result<Corpus> LoadCorpus(const std::string& path);
 /// plus the tracked-keyword table it is aligned with. Each view lands in
 /// its own checksummed frame; frame lengths and definitions live in a
 /// checksummed directory so a corrupt view body never desynchronizes its
-/// neighbours.
+/// neighbours. `base_docs` records how many documents the views aggregate
+/// over (the engine's base segment); 0 means "not recorded" and disables
+/// the torn-save cross-check at load.
 Status SaveViews(const ViewCatalog& catalog, const TrackedKeywords& tracked,
-                 const std::string& path);
+                 const std::string& path, uint64_t base_docs = 0);
 
 struct LoadedViews {
   /// Successfully decoded views; quarantined views (and why they were
   /// dropped) are recorded in catalog.quarantined().
   ViewCatalog catalog;
   std::vector<TermId> tracked_terms;
+  /// Base doc count the views aggregate over; 0 when the file predates v3
+  /// (or the saver did not record it).
+  uint64_t base_docs = 0;
 };
 
 /// Loads what is salvageable from `path`. Corruption confined to view
@@ -88,6 +93,19 @@ struct LoadedPostings {
 /// rebuilding from the corpus).
 Result<LoadedPostings> LoadPostings(const std::string& path,
                                     uint64_t expected_docs);
+
+/// Serializes one sealed, block-compressed segment (header + years + both
+/// compressed indexes, block bytes verbatim) into `path`.
+/// FailedPrecondition for unsealed or uncompressed segments — the write
+/// buffer is never persisted (it is rebuilt from the corpus tail), and
+/// uncompressed configurations rebuild segments from the corpus at load.
+Status SaveSegment(const IndexSegment& segment, const std::string& path);
+
+/// Loads one sealed segment, validating checksums and that the indexes,
+/// years, and header agree on the document count. Any mismatch is a typed
+/// error; the snapshot loader quarantines the segment and rebuilds its
+/// docid range from the corpus (which is ground truth).
+Result<IndexSegment> LoadSegment(const std::string& path);
 
 /// Saves corpus + views + compressed postings (when the engine serves
 /// them) + manifest under `dir` (created by the caller).

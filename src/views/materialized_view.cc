@@ -31,6 +31,46 @@ void MaterializedView::AddDocument(
   }
 }
 
+MaterializedView MaterializedView::Clone() const {
+  MaterializedView copy(def_, options_, num_tracked_);
+  copy.rows_ = rows_;
+  copy.compacted_ = compacted_;
+  copy.flat_ = flat_;
+  return copy;
+}
+
+void MaterializedView::MergeFrom(const MaterializedView& other) {
+  if (compacted_) Uncompact();
+  auto upsert = [&](const TupleKey& key, uint64_t count, uint64_t sum_len,
+                    const uint32_t* df_row, const uint32_t* tc_row) {
+    Row& row = rows_[key];
+    if (row.count == 0 && options_.track_df) row.df.assign(num_tracked_, 0);
+    if (row.count == 0 && options_.track_tc) row.tc.assign(num_tracked_, 0);
+    row.count += count;
+    row.sum_len += sum_len;
+    if (options_.track_df && df_row != nullptr) {
+      for (uint32_t s = 0; s < num_tracked_; ++s) row.df[s] += df_row[s];
+    }
+    if (options_.track_tc && tc_row != nullptr) {
+      for (uint32_t s = 0; s < num_tracked_; ++s) row.tc[s] += tc_row[s];
+    }
+  };
+  if (other.compacted_) {
+    const FlatRows& f = other.flat_;
+    for (size_t r = 0; r < f.keys.size(); ++r) {
+      upsert(f.keys[r], f.counts[r], f.sum_lens[r],
+             f.df.empty() ? nullptr : f.df.data() + r * num_tracked_,
+             f.tc.empty() ? nullptr : f.tc.data() + r * num_tracked_);
+    }
+  } else {
+    for (const auto& [key, row] : other.rows_) {
+      upsert(key, row.count, row.sum_len,
+             row.df.empty() ? nullptr : row.df.data(),
+             row.tc.empty() ? nullptr : row.tc.data());
+    }
+  }
+}
+
 bool MaterializedView::RangeAnswerable(YearRange range) const {
   if (!range.active()) return true;
   uint16_t b = options_.year_bucket_size;

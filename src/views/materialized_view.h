@@ -94,6 +94,20 @@ class MaterializedView {
     return compacted_ ? flat_.keys.size() : rows_.size();
   }
 
+  /// Deep copy. MaterializedView is move-only (accidental copies of a
+  /// multi-MB row store are bugs); segment flattening needs an explicit
+  /// one to fold deltas into a fresh base catalog without mutating the
+  /// published snapshot.
+  MaterializedView Clone() const;
+
+  /// Folds another view's rows into this one (tuple-wise sums of count,
+  /// sum_len, and the df/tc parameter columns). Both views must share the
+  /// same definition, options, and tracked-keyword table; this is the
+  /// physical merge of a per-segment delta into its base view, and because
+  /// every aggregate is an integer sum it reproduces exactly what a
+  /// scratch build over the union of documents would have produced.
+  void MergeFrom(const MaterializedView& other);
+
   /// Converts the hash-map row store into flat column arenas sorted by
   /// tuple key: one contiguous parameter block instead of two heap vectors
   /// per row. ComputeStats serves either representation identically (the

@@ -11,17 +11,28 @@ std::vector<MaterializedView> ViewBuilder::BuildAll(
   for (const ViewDefinition& def : defs) {
     views.emplace_back(def, options_, num_tracked_);
   }
-  Route(views, /*first_doc=*/0);
+  Route(views, /*first_doc=*/0, static_cast<DocId>(corpus_->docs.size()));
+  return views;
+}
+
+std::vector<MaterializedView> ViewBuilder::BuildRange(
+    std::span<const ViewDefinition> defs, DocId first, DocId end) const {
+  std::vector<MaterializedView> views;
+  views.reserve(defs.size());
+  for (const ViewDefinition& def : defs) {
+    views.emplace_back(def, options_, num_tracked_);
+  }
+  Route(views, first, end);
   return views;
 }
 
 void ViewBuilder::UpdateAll(std::vector<MaterializedView>& views,
                             DocId first_doc) const {
-  Route(views, first_doc);
+  Route(views, first_doc, static_cast<DocId>(corpus_->docs.size()));
 }
 
-void ViewBuilder::Route(std::vector<MaterializedView>& views,
-                        DocId first_doc) const {
+void ViewBuilder::Route(std::vector<MaterializedView>& views, DocId first_doc,
+                        DocId end_doc) const {
   // Inverted routing: predicate term -> (view index, bit position).
   std::unordered_map<TermId, std::vector<std::pair<uint32_t, uint32_t>>>
       routes;
@@ -36,7 +47,7 @@ void ViewBuilder::Route(std::vector<MaterializedView>& views,
   // at least one keyword column with its annotations.
   std::vector<std::vector<uint32_t>> bits_of_view(views.size());
   std::vector<uint32_t> touched;
-  for (size_t i = first_doc; i < corpus_->docs.size(); ++i) {
+  for (size_t i = first_doc; i < end_doc; ++i) {
     const Document& doc = corpus_->docs[i];
     touched.clear();
     for (TermId m : doc.annotations) {
@@ -48,8 +59,8 @@ void ViewBuilder::Route(std::vector<MaterializedView>& views,
       }
     }
     if (touched.empty()) continue;
-    auto tracked_terms = table_->TrackedOf(doc.id);
-    uint32_t len = table_->doc_length(doc.id);
+    auto tracked_terms = table_->TrackedOf(doc.id - table_base_);
+    uint32_t len = table_->doc_length(doc.id - table_base_);
     for (uint32_t v : touched) {
       BitSignature sig(views[v].def().num_columns());
       for (uint32_t bit : bits_of_view[v]) sig.Set(bit);

@@ -21,17 +21,30 @@ namespace csr {
 /// convention.
 class ViewBuilder {
  public:
-  /// All pointers must outlive the builder.
+  /// All pointers must outlive the builder. `table_base` is the global
+  /// docid backing the table's local row 0: a per-segment DocParamTable is
+  /// built from the segment's own content index, so its rows are local
+  /// while corpus docids stay global (segment builders pass the segment
+  /// base; whole-corpus builders leave it 0).
   ViewBuilder(const Corpus* corpus, const DocParamTable* table,
-              ViewParamOptions options, uint32_t num_tracked)
+              ViewParamOptions options, uint32_t num_tracked,
+              DocId table_base = 0)
       : corpus_(corpus),
         table_(table),
         options_(options),
-        num_tracked_(num_tracked) {}
+        num_tracked_(num_tracked),
+        table_base_(table_base) {}
 
   /// Builds one materialized view per definition.
   std::vector<MaterializedView> BuildAll(
       std::span<const ViewDefinition> defs) const;
+
+  /// Builds one view per definition over the corpus slice [first, end) —
+  /// the per-segment view-delta pass. Aggregates cover exactly the slice's
+  /// documents, so folding the deltas of a partition of the corpus
+  /// reproduces BuildAll bit-for-bit (every column is an integer sum).
+  std::vector<MaterializedView> BuildRange(std::span<const ViewDefinition> defs,
+                                           DocId first, DocId end) const;
 
   /// Incremental maintenance: folds documents with id >= first_doc into
   /// the existing views (same routing as BuildAll, restricted to the new
@@ -40,12 +53,14 @@ class ViewBuilder {
   void UpdateAll(std::vector<MaterializedView>& views, DocId first_doc) const;
 
  private:
-  void Route(std::vector<MaterializedView>& views, DocId first_doc) const;
+  void Route(std::vector<MaterializedView>& views, DocId first_doc,
+             DocId end_doc) const;
 
   const Corpus* corpus_;
   const DocParamTable* table_;
   ViewParamOptions options_;
   uint32_t num_tracked_;
+  DocId table_base_;
 };
 
 }  // namespace csr

@@ -21,23 +21,31 @@ std::vector<MaterializedView> ViewCatalog::Release() {
 
 const MaterializedView* ViewCatalog::FindBest(
     std::span<const TermId> context) const {
-  if (context.empty() || views_.empty()) return nullptr;
+  int32_t idx = FindBestIndex(context);
+  return idx < 0 ? nullptr : &views_[static_cast<size_t>(idx)];
+}
+
+int32_t ViewCatalog::FindBestIndex(std::span<const TermId> context) const {
+  if (context.empty() || views_.empty()) return -1;
 
   // Candidates are views containing the rarest predicate of P.
   const std::vector<uint32_t>* candidates = nullptr;
   for (TermId m : context) {
     auto it = by_term_.find(m);
-    if (it == by_term_.end()) return nullptr;  // some predicate in no view
+    if (it == by_term_.end()) return -1;  // some predicate in no view
     if (candidates == nullptr || it->second.size() < candidates->size()) {
       candidates = &it->second;
     }
   }
 
-  const MaterializedView* best = nullptr;
+  int32_t best = -1;
   for (uint32_t idx : *candidates) {
     const MaterializedView& v = views_[idx];
     if (!v.def().Covers(context)) continue;
-    if (best == nullptr || v.NumTuples() < best->NumTuples()) best = &v;
+    if (best < 0 || v.NumTuples() < views_[static_cast<size_t>(best)]
+                                        .NumTuples()) {
+      best = static_cast<int32_t>(idx);
+    }
   }
   return best;
 }

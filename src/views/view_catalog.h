@@ -46,6 +46,12 @@ class ViewCatalog {
   /// plan).
   const MaterializedView* FindBest(std::span<const TermId> context) const;
 
+  /// Index of the view FindBest would return, or -1. Per-segment view
+  /// deltas are stored in catalog insertion order, so the index picked
+  /// against the base catalog addresses the matching delta in every
+  /// segment.
+  int32_t FindBestIndex(std::span<const TermId> context) const;
+
   size_t size() const { return views_.size(); }
   const MaterializedView& view(size_t i) const { return views_[i]; }
 

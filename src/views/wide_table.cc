@@ -29,6 +29,15 @@ TrackedKeywords TrackedKeywords::Select(const InvertedIndex& content_index,
   return out;
 }
 
+TrackedKeywords TrackedKeywords::FromTerms(std::vector<TermId> terms) {
+  TrackedKeywords out;
+  out.terms_ = std::move(terms);
+  for (uint32_t i = 0; i < out.terms_.size(); ++i) {
+    out.slots_.emplace(out.terms_[i], i);
+  }
+  return out;
+}
+
 DocParamTable DocParamTable::Build(const InvertedIndex& content_index,
                                    const TrackedKeywords& tracked) {
   DocParamTable table;

@@ -27,6 +27,13 @@ class TrackedKeywords {
   static TrackedKeywords Select(const InvertedIndex& content_index,
                                 uint64_t min_df, uint32_t cap = 4096);
 
+  /// Rebuilds a table from a persisted term list (snapshot load). The
+  /// tracked set is frozen at the original Build — recomputing it over a
+  /// collection that has since grown would drift — so loads adopt the
+  /// saved set verbatim. `terms` must be the sorted slot order the views
+  /// were built against (TrackedKeywords::terms() round-trips it).
+  static TrackedKeywords FromTerms(std::vector<TermId> terms);
+
   size_t size() const { return terms_.size(); }
 
   /// Slot of keyword w among tracked keywords, or -1 if untracked.

@@ -65,12 +65,21 @@ class IncrementalTest : public ::testing::Test {
 
 TEST_F(IncrementalTest, CorpusGrew) {
   EXPECT_EQ(incremental_->corpus().docs.size(), 6000u);
-  EXPECT_EQ(incremental_->content_index().num_docs(), 6000u);
-  EXPECT_EQ(incremental_->predicate_index().num_docs(), 6000u);
+  // Appends land in extra segments: the base indexes keep covering the
+  // original documents, while the collection queries see is the full 6000.
+  EXPECT_EQ(incremental_->content_index().num_docs(), 4000u);
+  EXPECT_EQ(incremental_->predicate_index().num_docs(), 4000u);
+  EXPECT_EQ(incremental_->total_docs(), 6000u);
   // Ids are contiguous.
   for (size_t i = 0; i < 6000; ++i) {
     EXPECT_EQ(incremental_->corpus().docs[i].id, i);
   }
+  // Flattening folds every extra into the base, bit-identically.
+  ASSERT_TRUE(incremental_->FlattenSegments().ok());
+  EXPECT_EQ(incremental_->content_index().num_docs(), 6000u);
+  EXPECT_EQ(incremental_->predicate_index().num_docs(), 6000u);
+  EXPECT_EQ(incremental_->total_docs(), 6000u);
+  EXPECT_EQ(incremental_->SegmentInfos().size(), 1u);
 }
 
 TEST_F(IncrementalTest, ViewStatsMatchStraightforwardAfterAppend) {

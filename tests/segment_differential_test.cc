@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+
+namespace csr {
+namespace {
+
+// The differential ingest lane (DESIGN.md §14): an engine grown
+// incrementally — appends, seals, merges, flattens, in several
+// interleavings — must be indistinguishable, query by query, from an
+// engine built from scratch over the same documents. "Indistinguishable"
+// is exact: bit-identical top-k scores (double ==), identical doc ids,
+// identical result counts and collection statistics, and identical
+// degradation state, across every evaluation mode, ranking function, and
+// codec policy. The statistics are integer sums over disjoint docid
+// ranges and the parts are folded in ascending docid order through one
+// collector, so there is no tolerance to hide behind.
+
+constexpr uint32_t kDocs = 2400;
+constexpr uint32_t kPrefix = 1600;
+
+Corpus MakeCorpus(uint32_t docs, uint64_t seed = 777) {
+  CorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 1500;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = seed;
+  return CorpusGenerator(cfg).Generate().value();
+}
+
+std::vector<ViewDefinition> Defs() {
+  return {ViewDefinition{{0, 1, 2, 3}}, ViewDefinition{{0, 1}},
+          ViewDefinition{{4, 5}}};
+}
+
+Corpus PrefixCorpus(const Corpus& full, uint32_t n) {
+  Corpus prefix = full;
+  prefix.docs.resize(n);
+  prefix.config.num_docs = n;
+  return prefix;
+}
+
+std::vector<Document> Slice(const Corpus& full, uint32_t first,
+                            uint32_t end) {
+  return std::vector<Document>(full.docs.begin() + first,
+                               full.docs.begin() + end);
+}
+
+std::vector<ContextQuery> Queries(const Corpus& corpus) {
+  std::vector<ContextQuery> qs;
+  const CorpusConfig& cc = corpus.config;
+  for (TermId root = 0; root < 4; ++root) {
+    TermId w = CorpusGenerator::ConceptTopicalTerm(root, 0, cc.vocab_size,
+                                                   cc.topical_window);
+    qs.push_back(ContextQuery{{w}, {root}});
+    qs.push_back(ContextQuery{{w, w + 1}, {root}});
+  }
+  // A deeper context (two predicates) and a year-restricted query.
+  qs.push_back(ContextQuery{{40, 41}, {0, 4}});
+  ContextQuery ranged{{40}, {0}};
+  ranged.years = YearRange{cc.year_min, static_cast<uint16_t>(
+                                            (cc.year_min + cc.year_max) / 2)};
+  qs.push_back(ranged);
+  return qs;
+}
+
+constexpr EvaluationMode kModes[] = {EvaluationMode::kConventional,
+                                     EvaluationMode::kContextStraightforward,
+                                     EvaluationMode::kContextWithViews};
+
+/// Every observable output that must match, bit for bit.
+void ExpectIdentical(const SearchResult& grown, const SearchResult& scratch,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(grown.result_count, scratch.result_count);
+  EXPECT_EQ(grown.stats.cardinality, scratch.stats.cardinality);
+  EXPECT_EQ(grown.stats.total_length, scratch.stats.total_length);
+  EXPECT_EQ(grown.stats.df, scratch.stats.df);
+  EXPECT_EQ(grown.stats.tc, scratch.stats.tc);
+  ASSERT_EQ(grown.top_docs.size(), scratch.top_docs.size());
+  for (size_t i = 0; i < grown.top_docs.size(); ++i) {
+    EXPECT_EQ(grown.top_docs[i].doc, scratch.top_docs[i].doc)
+        << "rank " << i;
+    // Bit-identical, not approximately equal: both engines must fold the
+    // same integers into the same scoring formula.
+    EXPECT_EQ(grown.top_docs[i].score, scratch.top_docs[i].score)
+        << "rank " << i;
+  }
+  EXPECT_EQ(grown.metrics.degraded, scratch.metrics.degraded);
+  EXPECT_EQ(grown.metrics.degraded_reason, scratch.metrics.degraded_reason);
+}
+
+void CompareEngines(const ContextSearchEngine& grown,
+                    const ContextSearchEngine& scratch,
+                    const std::vector<ContextQuery>& queries,
+                    const std::string& label) {
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (EvaluationMode mode : kModes) {
+      auto g = grown.Search(queries[qi], mode);
+      auto s = scratch.Search(queries[qi], mode);
+      ASSERT_TRUE(g.ok()) << g.status().ToString();
+      ASSERT_TRUE(s.ok()) << s.status().ToString();
+      ExpectIdentical(*g, *s,
+                      label + " query=" + std::to_string(qi) + " mode=" +
+                          std::string(EvaluationModeName(mode)));
+    }
+  }
+}
+
+std::unique_ptr<ContextSearchEngine> BuildScratch(const Corpus& full,
+                                                  const EngineConfig& cfg) {
+  Corpus c = full;
+  auto engine = ContextSearchEngine::Build(std::move(c), cfg).value();
+  EXPECT_TRUE(engine->MaterializeViews(Defs()).ok());
+  return engine;
+}
+
+std::unique_ptr<ContextSearchEngine> BuildPrefix(const Corpus& full,
+                                                 const EngineConfig& cfg,
+                                                 uint32_t prefix) {
+  auto engine =
+      ContextSearchEngine::Build(PrefixCorpus(full, prefix), cfg).value();
+  EXPECT_TRUE(engine->MaterializeViews(Defs()).ok());
+  return engine;
+}
+
+// Interleaving 1: the whole tail in one append (buffer + seals in one
+// publish).
+std::unique_ptr<ContextSearchEngine> GrowSingleBatch(const Corpus& full,
+                                                     const EngineConfig& cfg) {
+  auto engine = BuildPrefix(full, cfg, kPrefix);
+  EXPECT_TRUE(engine->AppendDocuments(Slice(full, kPrefix, kDocs)).ok());
+  return engine;
+}
+
+// Interleaving 2: many small appends with explicit merges between them,
+// driving seal + size-tiered merge repeatedly.
+std::unique_ptr<ContextSearchEngine> GrowSmallBatchesWithMerges(
+    const Corpus& full, const EngineConfig& cfg) {
+  auto engine = BuildPrefix(full, cfg, kPrefix);
+  uint32_t pos = kPrefix;
+  uint32_t step = 100;
+  int batch = 0;
+  while (pos < kDocs) {
+    uint32_t end = std::min(pos + step, kDocs);
+    EXPECT_TRUE(engine->AppendDocuments(Slice(full, pos, end)).ok());
+    pos = end;
+    if (++batch % 2 == 0) {
+      while (engine->MergeOnce()) {
+      }
+    }
+  }
+  return engine;
+}
+
+// Interleaving 3: appends, merges, and queries interleaved — each query
+// runs against whatever segment layout the previous step left behind.
+std::unique_ptr<ContextSearchEngine> GrowInterleavedWithQueries(
+    const Corpus& full, const EngineConfig& cfg) {
+  auto engine = BuildPrefix(full, cfg, kPrefix);
+  std::vector<ContextQuery> qs = Queries(full);
+  uint32_t pos = kPrefix;
+  uint32_t step = 160;
+  int batch = 0;
+  while (pos < kDocs) {
+    uint32_t end = std::min(pos + step, kDocs);
+    EXPECT_TRUE(engine->AppendDocuments(Slice(full, pos, end)).ok());
+    pos = end;
+    auto r = engine->Search(qs[batch % qs.size()],
+                            EvaluationMode::kContextWithViews);
+    EXPECT_TRUE(r.ok());
+    if (batch % 3 == 1) engine->MergeOnce();
+    ++batch;
+  }
+  return engine;
+}
+
+struct GrowthCase {
+  const char* name;
+  std::unique_ptr<ContextSearchEngine> (*grow)(const Corpus&,
+                                               const EngineConfig&);
+};
+
+const GrowthCase kInterleavings[] = {
+    {"single-batch", GrowSingleBatch},
+    {"small-batches+merges", GrowSmallBatchesWithMerges},
+    {"interleaved-queries", GrowInterleavedWithQueries},
+};
+
+struct CodecCase {
+  const char* name;
+  bool compressed;
+  CodecPolicy policy;
+};
+
+const CodecCase kCodecs[] = {
+    {"uncompressed", false, CodecPolicy::kAuto},
+    {"auto", true, CodecPolicy::kAuto},
+    {"bitmap-preferred", true, CodecPolicy::kBitmapPreferred},
+};
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.top_k = 10;
+  cfg.estimator_sample = 1500;
+  cfg.mem_segment_max_docs = 256;
+  cfg.merge_trigger_segments = 3;
+  return cfg;
+}
+
+class SegmentDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { full_ = new Corpus(MakeCorpus(kDocs)); }
+  static void TearDownTestSuite() {
+    delete full_;
+    full_ = nullptr;
+  }
+  static Corpus* full_;
+};
+
+Corpus* SegmentDifferentialTest::full_ = nullptr;
+
+TEST_F(SegmentDifferentialTest, GrownMatchesScratchAcrossInterleavingsAndCodecs) {
+  std::vector<ContextQuery> qs = Queries(*full_);
+  for (const CodecCase& codec : kCodecs) {
+    EngineConfig cfg = BaseConfig();
+    cfg.compressed_postings = codec.compressed;
+    cfg.codec_policy = codec.policy;
+    auto scratch = BuildScratch(*full_, cfg);
+    for (const GrowthCase& gc : kInterleavings) {
+      auto grown = gc.grow(*full_, cfg);
+      ASSERT_EQ(grown->total_docs(), kDocs);
+      CompareEngines(*grown, *scratch,
+                     qs, std::string(codec.name) + "/" + gc.name);
+    }
+  }
+}
+
+TEST_F(SegmentDifferentialTest, AllRankingFunctionsScoreIdentically) {
+  std::vector<ContextQuery> qs = Queries(*full_);
+  for (const char* ranking : {"pivoted", "bm25", "dirichlet"}) {
+    EngineConfig cfg = BaseConfig();
+    cfg.ranking = ranking;
+    // tc columns only when the ranking consumes them: tracked-set coverage
+    // can differ between grown and scratch engines, and an unconsumed tc
+    // vector is filled by the view path but not the straightforward one.
+    cfg.track_tc = std::string_view(ranking) == "dirichlet";
+    auto scratch = BuildScratch(*full_, cfg);
+    auto grown = GrowSmallBatchesWithMerges(*full_, cfg);
+    CompareEngines(*grown, *scratch, qs, std::string("ranking=") + ranking);
+  }
+}
+
+TEST_F(SegmentDifferentialTest, MidIngestQueriesSeeFrozenPrefixSnapshots) {
+  // A query issued between appends must see EXACTLY the documents
+  // published so far — equivalent to a scratch engine over that prefix —
+  // never a torn half-batch.
+  EngineConfig cfg = BaseConfig();
+  auto grown = BuildPrefix(*full_, cfg, kPrefix);
+  std::vector<ContextQuery> qs = Queries(*full_);
+  for (uint32_t end : {kPrefix + 256u, kPrefix + 500u, kDocs}) {
+    uint32_t pos = static_cast<uint32_t>(grown->total_docs());
+    ASSERT_TRUE(grown->AppendDocuments(Slice(*full_, pos, end)).ok());
+    Corpus prefix = PrefixCorpus(*full_, end);
+    auto frozen = ContextSearchEngine::Build(std::move(prefix), cfg).value();
+    ASSERT_TRUE(frozen->MaterializeViews(Defs()).ok());
+    CompareEngines(*grown, *frozen, qs,
+                   "mid-ingest@" + std::to_string(end));
+  }
+}
+
+TEST_F(SegmentDifferentialTest, FlattenReproducesScratchBlocksBitForBit) {
+  // Block compaction is a pure function of the logical posting sequence,
+  // so flatten(grow(...)) must produce byte-identical compressed blocks —
+  // not just equal scores.
+  EngineConfig cfg = BaseConfig();
+  auto scratch = BuildScratch(*full_, cfg);
+  auto grown = GrowSmallBatchesWithMerges(*full_, cfg);
+  ASSERT_TRUE(grown->FlattenSegments().ok());
+  ASSERT_EQ(grown->SegmentInfos().size(), 1u);
+
+  const InvertedIndex& a = grown->content_index();
+  const InvertedIndex& b = scratch->content_index();
+  ASSERT_EQ(a.num_terms(), b.num_terms());
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  for (TermId t = 0; t < a.num_terms(); ++t) {
+    const CompressedPostingList* la = a.clist(t);
+    const CompressedPostingList* lb = b.clist(t);
+    ASSERT_EQ(la == nullptr, lb == nullptr) << "term " << t;
+    if (la == nullptr) continue;
+    EXPECT_EQ(la->raw_bytes(), lb->raw_bytes()) << "term " << t;
+  }
+
+  // And the flattened engine answers exactly like scratch, view plan
+  // included (deltas were folded into the base catalog).
+  CompareEngines(*grown, *scratch, Queries(*full_), "flattened");
+}
+
+TEST_F(SegmentDifferentialTest, MergesPreserveSegmentInventoryInvariants) {
+  EngineConfig cfg = BaseConfig();
+  cfg.mem_segment_max_docs = 128;
+  cfg.merge_trigger_segments = 2;
+  auto grown = GrowSmallBatchesWithMerges(*full_, cfg);
+  while (grown->MergeOnce()) {
+  }
+  std::vector<SegmentInfo> infos = grown->SegmentInfos();
+  ASSERT_GE(infos.size(), 1u);
+  // Contiguous docid ranges, base first.
+  uint64_t expected_base = 0;
+  for (const SegmentInfo& info : infos) {
+    EXPECT_EQ(info.base, expected_base);
+    expected_base += info.num_docs;
+  }
+  EXPECT_EQ(expected_base, grown->total_docs());
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "storage/serializer.h"
+#include "storage/snapshot.h"
+#include "util/fault.h"
+
+namespace csr {
+namespace {
+
+// Crash-safety of the segmented snapshot format (DESIGN.md §14): the
+// manifest — written last, atomically — is the commit point, and its
+// segment inventory (not the seg files on disk) decides what the snapshot
+// contains. The corpus is ground truth, so any damaged, truncated, missing,
+// or torn segment is quarantined and its exact docid range rebuilt; the
+// recovered engine must answer bit-identically to the engine that was
+// saved. A load must never crash, never serve a half-merged segment, and
+// never silently mis-rank — its only legal outcomes are a consistent
+// engine or a typed error.
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("csr_seg_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path(const std::string& name = "") const {
+    return name.empty() ? path_.string() : (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  if (f != nullptr) {
+    char buf[1 << 14];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+    std::fclose(f);
+  }
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+constexpr uint32_t kDocs = 2000;
+constexpr uint32_t kPrefix = 1200;
+
+Corpus MakeCorpus(uint32_t docs = kDocs) {
+  CorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 1500;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = 31;
+  return CorpusGenerator(cfg).Generate().value();
+}
+
+EngineConfig Config() {
+  EngineConfig cfg;
+  cfg.top_k = 10;
+  cfg.estimator_sample = 1500;
+  cfg.mem_segment_max_docs = 256;  // the appended tail seals several extras
+  cfg.merge_trigger_segments = 0;  // merges only when a test asks
+  return cfg;
+}
+
+std::vector<ContextQuery> Queries(const Corpus& corpus) {
+  std::vector<ContextQuery> qs;
+  const CorpusConfig& cc = corpus.config;
+  for (TermId root = 0; root < 4; ++root) {
+    TermId w = CorpusGenerator::ConceptTopicalTerm(root, 0, cc.vocab_size,
+                                                   cc.topical_window);
+    qs.push_back(ContextQuery{{w}, {root}});
+  }
+  qs.push_back(ContextQuery{{40, 41}, {0, 4}});
+  return qs;
+}
+
+constexpr EvaluationMode kModes[] = {EvaluationMode::kConventional,
+                                     EvaluationMode::kContextStraightforward,
+                                     EvaluationMode::kContextWithViews};
+
+void ExpectSameAnswers(const ContextSearchEngine& a,
+                       const ContextSearchEngine& b,
+                       const std::vector<ContextQuery>& qs,
+                       const std::string& label) {
+  for (size_t qi = 0; qi < qs.size(); ++qi) {
+    for (EvaluationMode mode : kModes) {
+      SCOPED_TRACE(label + " query=" + std::to_string(qi) + " mode=" +
+                   std::string(EvaluationModeName(mode)));
+      auto ra = a.Search(qs[qi], mode);
+      auto rb = b.Search(qs[qi], mode);
+      ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+      ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+      EXPECT_EQ(ra->result_count, rb->result_count);
+      EXPECT_EQ(ra->stats.cardinality, rb->stats.cardinality);
+      EXPECT_EQ(ra->stats.total_length, rb->stats.total_length);
+      EXPECT_EQ(ra->stats.df, rb->stats.df);
+      ASSERT_EQ(ra->top_docs.size(), rb->top_docs.size());
+      for (size_t i = 0; i < ra->top_docs.size(); ++i) {
+        EXPECT_EQ(ra->top_docs[i].doc, rb->top_docs[i].doc) << "rank " << i;
+        EXPECT_EQ(ra->top_docs[i].score, rb->top_docs[i].score)
+            << "rank " << i;
+      }
+    }
+  }
+}
+
+/// A grown engine with a non-trivial segment layout: base prefix + several
+/// sealed extras + an unsealed buffer, saved under `dir`.
+std::unique_ptr<ContextSearchEngine> SaveGrownEngine(const Corpus& full,
+                                                     const std::string& dir) {
+  Corpus prefix = full;
+  prefix.docs.resize(kPrefix);
+  prefix.config.num_docs = kPrefix;
+  auto engine = ContextSearchEngine::Build(std::move(prefix), Config()).value();
+  EXPECT_TRUE(
+      engine
+          ->MaterializeViews({ViewDefinition{{0, 1, 2, 3}},
+                              ViewDefinition{{0, 1}}, ViewDefinition{{4, 5}}})
+          .ok());
+  std::vector<Document> tail(full.docs.begin() + kPrefix, full.docs.end());
+  EXPECT_TRUE(engine->AppendDocuments(std::move(tail)).ok());
+  EXPECT_TRUE(SaveEngineSnapshot(*engine, dir).ok());
+  return engine;
+}
+
+std::vector<std::string> SegFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    std::string name = e.path().filename().string();
+    if (name.rfind("seg-", 0) == 0) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class SegmentRecoveryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+TEST_F(SegmentRecoveryTest, SegmentedSnapshotRoundTripsBitIdentically) {
+  TempDir dir;
+  Corpus full = MakeCorpus();
+  auto original = SaveGrownEngine(full, dir.path());
+  ASSERT_GE(SegFiles(dir.path()).size(), 2u) << "layout not segmented";
+
+  auto loaded = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->total_docs(), kDocs);
+  EXPECT_EQ((*loaded)->base_docs(), kPrefix);
+  EXPECT_EQ((*loaded)->degradation().segments_quarantined, 0u);
+  EXPECT_EQ((*loaded)->degradation().views_quarantined, 0u);
+
+  // Same segment layout (sealed inventory is persisted; the unsealed
+  // buffer is rebuilt from the corpus tail).
+  std::vector<SegmentInfo> a = original->SegmentInfos();
+  std::vector<SegmentInfo> b = (*loaded)->SegmentInfos();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].base, b[i].base);
+    EXPECT_EQ(a[i].num_docs, b[i].num_docs);
+    EXPECT_EQ(a[i].sealed, b[i].sealed);
+  }
+  ExpectSameAnswers(*original, **loaded, Queries(full), "roundtrip");
+}
+
+TEST_F(SegmentRecoveryTest, CorruptSegmentIsQuarantinedAndRebuilt) {
+  TempDir dir;
+  Corpus full = MakeCorpus();
+  auto original = SaveGrownEngine(full, dir.path());
+  std::vector<std::string> segs = SegFiles(dir.path());
+  ASSERT_GE(segs.size(), 2u);
+
+  // Flip one payload byte in every seg file: every one must be detected,
+  // quarantined, and rebuilt from the corpus.
+  for (const std::string& name : segs) {
+    std::string bytes = ReadFileBytes(dir.path(name));
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+    WriteFileBytes(dir.path(name), bytes);
+  }
+
+  auto loaded = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->degradation().segments_quarantined, segs.size());
+  EXPECT_EQ((*loaded)->total_docs(), kDocs);
+  ExpectSameAnswers(*original, **loaded, Queries(full), "all-segs-corrupt");
+}
+
+TEST_F(SegmentRecoveryTest, TruncatedAndMissingSegmentsRecovered) {
+  TempDir dir;
+  Corpus full = MakeCorpus();
+  auto original = SaveGrownEngine(full, dir.path());
+  std::vector<std::string> segs = SegFiles(dir.path());
+  ASSERT_GE(segs.size(), 2u);
+
+  // A torn seal: the first seg file only half-landed on disk.
+  std::string bytes = ReadFileBytes(dir.path(segs[0]));
+  WriteFileBytes(dir.path(segs[0]),
+                 std::string_view(bytes).substr(0, bytes.size() / 2));
+  // And another vanished entirely.
+  std::filesystem::remove(dir.path(segs[1]));
+
+  auto loaded = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->degradation().segments_quarantined, 2u);
+  EXPECT_EQ((*loaded)->total_docs(), kDocs);
+  ExpectSameAnswers(*original, **loaded, Queries(full), "torn+missing");
+}
+
+TEST_F(SegmentRecoveryTest, OrphanSegmentFromCrashedMergeIsNeverServed) {
+  TempDir dir;
+  Corpus full = MakeCorpus();
+  auto original = SaveGrownEngine(full, dir.path());
+  std::vector<std::string> segs = SegFiles(dir.path());
+  ASSERT_GE(segs.size(), 2u);
+
+  // A crash between writing a merged segment's file and the manifest swap
+  // leaves an orphan seg file the manifest never lists. It must be
+  // ignored: same layout, same answers, nothing quarantined.
+  std::filesystem::copy_file(dir.path(segs[0]), dir.path("seg-777.csr"));
+
+  auto loaded = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->degradation().segments_quarantined, 0u);
+  EXPECT_EQ((*loaded)->total_docs(), kDocs);
+  EXPECT_EQ((*loaded)->SegmentInfos().size(), original->SegmentInfos().size());
+  ExpectSameAnswers(*original, **loaded, Queries(full), "orphan-ignored");
+}
+
+TEST_F(SegmentRecoveryTest, TornMultiFileSaveNeverServesInconsistency) {
+  TempDir dir;
+  Corpus full = MakeCorpus(2600);
+  Corpus first = full;
+  first.docs.resize(kDocs);
+  first.config.num_docs = kDocs;
+  auto engine = SaveGrownEngine(first, dir.path());  // consistent save #1
+  std::vector<Document> tail(full.docs.begin() + kDocs, full.docs.end());
+  ASSERT_TRUE(engine->AppendDocuments(std::move(tail)).ok());
+
+  // References for the two states a load may legally observe.
+  auto old_ref = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(old_ref.ok());
+  std::vector<ContextQuery> qs = Queries(full);
+
+  // Crash save #2 at every write in turn (corpus, views, postings, each
+  // seg file, manifest). Whatever the torn directory holds, the load must
+  // produce a consistent engine over the old or new document set — or fail
+  // with a typed error. Never a crash, never a mix.
+  for (uint64_t nth = 1; nth <= 10; ++nth) {
+    SCOPED_TRACE("crash at write #" + std::to_string(nth));
+    FaultInjector::Instance().Arm(FaultPoint::kStorageWrite, nth);
+    Status s = SaveEngineSnapshot(*engine, dir.path());
+    FaultInjector::Instance().Disarm(FaultPoint::kStorageWrite);
+    if (s.ok()) break;  // nth exceeded this save's write count
+
+    auto loaded = LoadEngineSnapshot(dir.path(), Config());
+    if (!loaded.ok()) {
+      EXPECT_NE(loaded.status().code(), StatusCode::kOk);
+      continue;
+    }
+    uint64_t docs = (*loaded)->total_docs();
+    ASSERT_TRUE(docs == kDocs || docs == 2600u) << docs;
+    if (docs == 2600u) {
+      ExpectSameAnswers(*engine, **loaded, qs, "torn->new-state");
+    } else {
+      ExpectSameAnswers(**old_ref, **loaded, qs, "torn->old-state");
+    }
+  }
+
+  // After the storm, a clean save must fully converge on the new state.
+  ASSERT_TRUE(SaveEngineSnapshot(*engine, dir.path()).ok());
+  auto final_load = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(final_load.ok()) << final_load.status().ToString();
+  EXPECT_EQ((*final_load)->total_docs(), 2600u);
+  ExpectSameAnswers(*engine, **final_load, qs, "clean-save-after-storm");
+}
+
+TEST_F(SegmentRecoveryTest, ReadFaultStormLoadsAreTypedOrConsistent) {
+  TempDir dir;
+  Corpus full = MakeCorpus();
+  auto original = SaveGrownEngine(full, dir.path());
+  std::vector<ContextQuery> qs = Queries(full);
+
+  // Probabilistic read faults across every open in the load path. Each
+  // attempt must either fail with a typed error or produce an engine that
+  // answers exactly like the saved one (quarantine + corpus rebuild hides
+  // transient segment-read faults entirely).
+  int successes = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ScopedFaultRate storm(FaultPoint::kStorageRead, 0.25, seed);
+    auto loaded = LoadEngineSnapshot(dir.path(), Config());
+    if (!loaded.ok()) {
+      EXPECT_NE(loaded.status().code(), StatusCode::kOk);
+      continue;
+    }
+    ++successes;
+    EXPECT_EQ((*loaded)->total_docs(), kDocs);
+    ExpectSameAnswers(*original, **loaded, qs, "read-storm");
+  }
+  // The storm is seeded deterministically; at least one attempt survives
+  // (retries + quarantine absorb a 25% fault rate most of the time).
+  EXPECT_GE(successes, 1);
+}
+
+TEST_F(SegmentRecoveryTest, StaleViewsAgainstDifferentBaseAreQuarantined) {
+  TempDir dir;
+  Corpus full = MakeCorpus();
+  auto original = SaveGrownEngine(full, dir.path());
+
+  // Simulate the torn-save interleaving the views-v3 base check exists
+  // for: a views.csr whose aggregates cover a different base than the
+  // manifest describes. Rewrite views.csr from a flattened clone (base =
+  // whole collection) while the manifest still says base = kPrefix.
+  auto clone = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(clone.ok());
+  ASSERT_TRUE((*clone)->FlattenSegments().ok());
+  ASSERT_TRUE(SaveViews((*clone)->catalog(), (*clone)->tracked(),
+                        dir.path("views.csr"), (*clone)->base_docs())
+                  .ok());
+
+  auto loaded = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Every view quarantined, none serving; answers still correct via the
+  // straightforward plan.
+  EXPECT_EQ((*loaded)->catalog().size(), 0u);
+  EXPECT_EQ((*loaded)->degradation().views_quarantined, 3u);
+  for (const ContextQuery& q : Queries(full)) {
+    auto r = (*loaded)->Search(q, EvaluationMode::kContextWithViews);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->metrics.used_view);
+    auto ref = original->Search(q, EvaluationMode::kContextStraightforward);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(r->stats.cardinality, ref->stats.cardinality);
+    EXPECT_EQ(r->stats.df, ref->stats.df);
+  }
+}
+
+TEST_F(SegmentRecoveryTest, ManifestV1StillLoadsWholeCollectionBase) {
+  TempDir dir;
+  Corpus full = MakeCorpus();
+  // A non-segmented engine (no appends): its v1-era layout is "base covers
+  // everything", which is what v1 manifests describe.
+  auto engine = ContextSearchEngine::Build(full, Config()).value();
+  ASSERT_TRUE(engine->MaterializeViews({ViewDefinition{{0, 1}}}).ok());
+  ASSERT_TRUE(SaveEngineSnapshot(*engine, dir.path()).ok());
+
+  // Rewrite MANIFEST.csr as version 1: no layout section, just the file
+  // list. kManifestMagic / entry format mirror storage/snapshot.cc.
+  BinaryWriter w;
+  w.PutU32(1);  // manifest version 1
+  w.PutU32(2);  // snapshot format 2 (pre-segments)
+  std::vector<std::string> names = {"corpus.csr", "views.csr",
+                                    "postings.csr"};
+  w.PutVarint(names.size());
+  for (const std::string& name : names) {
+    std::string bytes = ReadFileBytes(dir.path(name));
+    w.PutString(name);
+    w.PutU64(bytes.size());
+    w.PutU64(Fnv1a(bytes));
+  }
+  ASSERT_TRUE(w.WriteFile(dir.path("MANIFEST.csr"), 0x4353524D).ok());
+
+  auto loaded = LoadEngineSnapshot(dir.path(), Config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->total_docs(), kDocs);
+  EXPECT_EQ((*loaded)->base_docs(), kDocs);
+  ExpectSameAnswers(*engine, **loaded, Queries(full), "manifest-v1");
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-smoke gates for the serving path.
 
-Three modes, selectable per invocation (at least one is required):
+Four modes, selectable per invocation (at least one is required):
 
 --bench + --baseline: runs bench_ablation_codec --json fresh and fails if
 the compressed dense-intersection QPS falls below --threshold of the same
@@ -22,6 +22,14 @@ goodput, the admitted-query p99 exceeds the SLO, any tenant's served share
 drifts more than --serving-share-tol from its configured weight share, or
 the deterministic fault storm did not drive the view-path circuit breaker
 through a trip-and-recover cycle.
+
+--ingest-bench: runs bench_ingest --json fresh and fails if live
+ingestion misbehaved: document accounting is inconsistent, any query
+failed at any phase, queries never folded view deltas, the merge drain
+did not run (or its write amplification exceeds --ingest-max-amp), or
+query p99 under concurrent ingest blew past --ingest-p99-factor of the
+quiesced p99 (with a --ingest-p99-floor-ms absolute floor so microsecond
+baselines don't turn scheduler jitter into failures).
 
 --self-test: runs this script's own pytest-style unit tests (no pytest
 dependency; plain asserts over the pure check functions and the JSON
@@ -188,6 +196,56 @@ def check_serving(report, goodput_floor, share_tol):
     return failures
 
 
+def check_ingest_exact(report):
+    """Deterministic ingest checks — a failure here never retries."""
+    ing = section(report, "ingest", "bench_ingest")
+    acct = ing["accounting"]
+    failures = []
+    if not acct["consistent"]:
+        failures.append(
+            f"doc accounting inconsistent: {acct['total_docs']} total vs "
+            f"{ing['base_docs']} base + {ing['appended_docs']} appended "
+            f"({acct['counter_appended_docs']} per the ingest counter)")
+    for phase, failed in (
+            ("quiesced", ing["quiesced"]["failed"]),
+            ("concurrent-ingest", ing["ingest_run"]["queries"]["failed"]),
+            ("with-deltas", ing["view_deltas"]["with_deltas_failed"]),
+            ("flattened", ing["view_deltas"]["flattened_failed"])):
+        if failed > 0:
+            failures.append(f"{failed} queries failed in the {phase} phase")
+    if ing["view_deltas"]["folds"] < 1:
+        failures.append(
+            "queries never folded a view delta — the concurrent stream "
+            "did not exercise the segment view path")
+    if ing["merge"]["merges"] < 1:
+        failures.append("the merge drain never merged a segment")
+    return failures
+
+
+def check_ingest_perf(report, max_amp, p99_factor, p99_floor_ms):
+    """Timing-sensitive ingest checks — retried across attempts."""
+    ing = section(report, "ingest", "bench_ingest")
+    failures = []
+    amp = ing["merge"]["amplification"]
+    if amp > max_amp:
+        failures.append(
+            f"merge write amplification {amp:.2f}x exceeds the "
+            f"{max_amp:.1f}x ceiling ({ing['merge']['merged_docs']} docs "
+            f"merged for {ing['appended_docs']} appended)")
+    run = ing["ingest_run"]
+    if run["docs_per_sec"] <= 0:
+        failures.append("sustained append rate measured as zero")
+    quiesced_p99 = ing["quiesced"]["p99_ms"]
+    during_p99 = run["queries"]["p99_ms"]
+    allowed = max(p99_factor * quiesced_p99, p99_floor_ms)
+    if during_p99 > allowed:
+        failures.append(
+            f"query p99 under ingest {during_p99:.2f} ms exceeds "
+            f"{allowed:.2f} ms (max of {p99_factor:.0f}x quiesced "
+            f"{quiesced_p99:.2f} ms and the {p99_floor_ms:.0f} ms floor)")
+    return failures
+
+
 def retry_gate(label, attempts, run_once, on_ok):
     """Shared retry loop for the timing-sensitive gates."""
     for attempt in range(1, attempts + 1):
@@ -262,6 +320,31 @@ def run_serving_gate(args):
               f"{storm['breaker_recoveries']}")
 
     return retry_gate("serving", args.attempts, once, ok)
+
+
+def run_ingest_gate(args):
+    def once():
+        report = run_bench(args.ingest_bench)
+        exact = check_ingest_exact(report)
+        if exact:
+            for msg in exact:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return report, None
+        return report, check_ingest_perf(
+            report, args.ingest_max_amp, args.ingest_p99_factor,
+            args.ingest_p99_floor_ms)
+
+    def ok(report, attempt):
+        ing = report["ingest"]
+        print(f"ingest gate OK (attempt {attempt}/{args.attempts}): "
+              f"{ing['ingest_run']['docs_per_sec']:.0f} docs/s sustained, "
+              f"query p99 {ing['ingest_run']['queries']['p99_ms']:.2f} ms "
+              f"under ingest vs {ing['quiesced']['p99_ms']:.2f} quiesced, "
+              f"amplification {ing['merge']['amplification']:.2f}x, "
+              f"fold overhead "
+              f"{ing['view_deltas']['fold_overhead_ratio']:.2f}x")
+
+    return retry_gate("ingest", args.attempts, once, ok)
 
 
 # ---------------------------------------------------------------------------
@@ -373,6 +456,80 @@ def test_serving_fails_on_lost_queries():
     assert any("lost queries" in f for f in fails), fails
 
 
+def _ingest_report(**overrides):
+    """A minimal passing ingest report; overrides poke failures in."""
+    run = {
+        "docs_per_sec": 5000.0,
+        "queries": {"failed": 0, "p99_ms": 4.0},
+    }
+    ing = {
+        "base_docs": 40000, "appended_docs": 20000,
+        "accounting": {"consistent": True, "total_docs": 60000,
+                       "counter_appended_docs": 20000},
+        "quiesced": {"failed": 0, "p99_ms": 2.0},
+        "ingest_run": run,
+        "merge": {"merges": 5, "merged_docs": 30000,
+                  "amplification": 1.5},
+        "view_deltas": {"folds": 200, "with_deltas_failed": 0,
+                        "flattened_failed": 0,
+                        "fold_overhead_ratio": 1.2},
+    }
+    for key, value in overrides.items():
+        holder = run if key in run else ing
+        holder[key] = value
+    return {"ingest": ing}
+
+
+def test_ingest_passes_on_good_report():
+    assert check_ingest_exact(_ingest_report()) == []
+    assert check_ingest_perf(_ingest_report(), 8.0, 20.0, 50.0) == []
+
+
+def test_ingest_fails_on_inconsistent_accounting():
+    fails = check_ingest_exact(_ingest_report(accounting={
+        "consistent": False, "total_docs": 59000,
+        "counter_appended_docs": 19000}))
+    assert any("accounting" in f for f in fails), fails
+
+
+def test_ingest_fails_on_failed_queries():
+    fails = check_ingest_exact(
+        _ingest_report(quiesced={"failed": 3, "p99_ms": 2.0}))
+    assert any("failed in the quiesced" in f for f in fails), fails
+    fails = check_ingest_exact(
+        _ingest_report(queries={"failed": 1, "p99_ms": 4.0}))
+    assert any("concurrent-ingest" in f for f in fails), fails
+
+
+def test_ingest_fails_without_folds_or_merges():
+    fails = check_ingest_exact(_ingest_report(view_deltas={
+        "folds": 0, "with_deltas_failed": 0, "flattened_failed": 0,
+        "fold_overhead_ratio": 1.0}))
+    assert any("never folded" in f for f in fails), fails
+    fails = check_ingest_exact(_ingest_report(merge={
+        "merges": 0, "merged_docs": 0, "amplification": 0.0}))
+    assert any("never merged" in f for f in fails), fails
+
+
+def test_ingest_fails_on_high_amplification():
+    fails = check_ingest_perf(_ingest_report(merge={
+        "merges": 5, "merged_docs": 200000, "amplification": 10.0}),
+        8.0, 20.0, 50.0)
+    assert any("amplification" in f for f in fails), fails
+
+
+def test_ingest_p99_floor_absorbs_jitter_on_tiny_baselines():
+    # quiesced p99 2 ms, during-ingest p99 45 ms: 20x factor alone would
+    # fail (allowed 40 ms) but the 50 ms floor keeps it green...
+    report = _ingest_report(
+        queries={"failed": 0, "p99_ms": 45.0, }, docs_per_sec=5000.0)
+    assert check_ingest_perf(report, 8.0, 20.0, 50.0) == []
+    # ...while a p99 past both factor and floor still fails.
+    report = _ingest_report(queries={"failed": 0, "p99_ms": 80.0})
+    fails = check_ingest_perf(report, 8.0, 20.0, 50.0)
+    assert any("p99 under ingest" in f for f in fails), fails
+
+
 def test_exact_cross_check_flags_mismatch():
     base = {"wand": {"identical_topk": True}}
     assert check_exact({"wand": {"identical_topk": True}}, base) == []
@@ -410,6 +567,8 @@ def main():
                     help="path to the bench_obs_overhead binary")
     ap.add_argument("--serving-bench",
                     help="path to the bench_serving binary")
+    ap.add_argument("--ingest-bench",
+                    help="path to the bench_ingest binary")
     ap.add_argument("--attempts", type=int, default=3)
     ap.add_argument("--threshold", type=float, default=0.95)
     ap.add_argument("--min-ratio", type=float, default=7.0)
@@ -419,6 +578,15 @@ def main():
                          "capacity-load goodput")
     ap.add_argument("--serving-share-tol", type=float, default=0.10,
                     help="max |served share - weight share| per tenant")
+    ap.add_argument("--ingest-max-amp", type=float, default=8.0,
+                    help="merge write-amplification ceiling "
+                         "(merged docs / appended docs)")
+    ap.add_argument("--ingest-p99-factor", type=float, default=20.0,
+                    help="allowed query-p99 inflation under concurrent "
+                         "ingest, as a multiple of the quiesced p99")
+    ap.add_argument("--ingest-p99-floor-ms", type=float, default=50.0,
+                    help="absolute query-p99 allowance under ingest, "
+                         "whichever of factor/floor is larger wins")
     ap.add_argument("--self-test", action="store_true",
                     help="run this script's own unit tests and exit")
     args = ap.parse_args()
@@ -426,9 +594,10 @@ def main():
     if args.self_test:
         return run_self_test()
 
-    if not args.bench and not args.obs_bench and not args.serving_bench:
-        ap.error("one of --bench, --obs-bench or --serving-bench "
-                 "is required")
+    if (not args.bench and not args.obs_bench and not args.serving_bench
+            and not args.ingest_bench):
+        ap.error("one of --bench, --obs-bench, --serving-bench or "
+                 "--ingest-bench is required")
     if args.bench and not args.baseline:
         ap.error("--bench requires --baseline")
 
@@ -439,6 +608,8 @@ def main():
         gates.append(run_obs_gate)
     if args.serving_bench:
         gates.append(run_serving_gate)
+    if args.ingest_bench:
+        gates.append(run_ingest_gate)
     for gate in gates:
         try:
             rc = gate(args)
