@@ -22,6 +22,8 @@
 #include "index/intersection.h"
 #include "index/posting_cursor.h"
 #include "index/posting_list.h"
+#include "index/simd_intersect.h"
+#include "index/simd_unpack.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -213,6 +215,100 @@ double MeasureQps(Fn&& fn) {
   return static_cast<double>(iters) / timer.ElapsedSeconds();
 }
 
+/// Millions of input values (both sides) consumed per second by `fn`,
+/// which intersects `values_per_call` values per invocation.
+template <typename Fn>
+double MeasureMvs(uint64_t values_per_call, Fn&& fn) {
+  fn();
+  csr::WallTimer timer;
+  uint64_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedSeconds() < 0.3);
+  return static_cast<double>(values_per_call) * static_cast<double>(iters) /
+         timer.ElapsedSeconds() / 1e6;
+}
+
+std::vector<uint32_t> RandomSortedValues(uint64_t seed, size_t n,
+                                         uint32_t max_gap) {
+  csr::SplitMix64 rng(seed);
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  uint32_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    v += 1 + static_cast<uint32_t>(rng.NextBounded(max_gap));
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// Kernel-level throughput per ratio bucket: the same decoded-array
+/// kernels the block-pairwise path dispatches to, measured at kScalar and
+/// at the detected dispatch level. The gate (check_bench_regression.py
+/// --intersect-bench) holds the floors: pairwise >= 1.3x scalar on
+/// near-equal lists, gallop >= 2x scalar at ratio >= 1000, and `result`
+/// exactly reproducible (the kernels are deterministic).
+void WriteKernelSection(csr::bench::JsonWriter& j) {
+  using csr::IntersectKernel;
+  using csr::UnpackLevel;
+  const UnpackLevel simd = csr::ActiveUnpackLevel();
+
+  j.OpenObject("intersect_kernels");
+  j.Field("dispatch_level",
+          std::string(csr::UnpackLevelName(simd)));
+  j.OpenObject("thresholds");
+  j.Field("gallop_ratio", csr::kGallopRatioThreshold);
+  j.Field("wide_probe_ratio", csr::kWideProbeRatioThreshold);
+  j.Field("simd_gallop_ratio", csr::kSimdGallopRatioThreshold);
+  j.CloseObject();
+
+  struct Bucket {
+    const char* name;
+    uint64_t ratio;
+    size_t nfreq;
+  };
+  // One bucket per kernel regime plus the threshold neighborhoods the
+  // selector constants were audited against (crossover visibility).
+  const Bucket buckets[] = {
+      {"near_equal", 1, 1u << 20},  {"ratio_8", 8, 1u << 20},
+      {"ratio_32", 32, 1u << 20},   {"ratio_64", 64, 1u << 20},
+      {"ratio_512", 512, 1u << 20}, {"ratio_4096", 4096, 1u << 22},
+  };
+  for (const Bucket& b : buckets) {
+    const size_t nrare = b.nfreq / b.ratio;
+    std::vector<uint32_t> rare =
+        RandomSortedValues(101 + b.ratio, nrare,
+                           static_cast<uint32_t>(2 * b.ratio));
+    std::vector<uint32_t> freq = RandomSortedValues(57, b.nfreq, 2);
+    std::vector<uint32_t> out(nrare);
+    const IntersectKernel kernel = csr::ChooseIntersectKernel(nrare, b.nfreq);
+    const uint64_t per_call = nrare + b.nfreq;
+
+    uint64_t result = 0;
+    auto run = [&](UnpackLevel level) {
+      result = csr::IntersectAtLevel(level, kernel, rare.data(), nrare,
+                                     freq.data(), b.nfreq, out.data());
+      benchmark::DoNotOptimize(out.data());
+    };
+    const double scalar_mvs =
+        MeasureMvs(per_call, [&] { run(UnpackLevel::kScalar); });
+    const double simd_mvs = MeasureMvs(per_call, [&] { run(simd); });
+
+    j.OpenObject(b.name);
+    j.Field("kernel", std::string(csr::IntersectKernelName(kernel)));
+    j.Field("ratio", b.ratio);
+    j.Field("rare_size", static_cast<uint64_t>(nrare));
+    j.Field("freq_size", static_cast<uint64_t>(b.nfreq));
+    j.Field("result", result);
+    j.Field("scalar_mvs", scalar_mvs);
+    j.Field("simd_mvs", simd_mvs);
+    j.Field("speedup", scalar_mvs > 0 ? simd_mvs / scalar_mvs : 0.0);
+    j.CloseObject();
+  }
+  j.CloseObject();
+}
+
 void WriteJsonReport(const std::string& path) {
   const uint32_t kUniverse = 1 << 21;
   PostingList long_list = MakeUniformList(kUniverse, 2, 128);
@@ -254,6 +350,8 @@ void WriteJsonReport(const std::string& path) {
   j.Field("compressed_bytes_total",
           static_cast<uint64_t>(clong.MemoryBytes() + cshort.MemoryBytes()));
   j.CloseObject();
+
+  WriteKernelSection(j);
   j.Close();
 
   if (csr::Status s = j.WriteFile(path); !s.ok()) {

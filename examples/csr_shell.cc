@@ -39,6 +39,7 @@
 #include "corpus/generator.h"
 #include "engine/engine.h"
 #include "engine/executor.h"
+#include "index/simd_intersect.h"
 #include "index/simd_unpack.h"
 #include "engine/query_parser.h"
 #include "storage/snapshot.h"
@@ -308,6 +309,22 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(blocks[0]),
                   static_cast<unsigned long long>(blocks[1]),
                   static_cast<unsigned long long>(blocks[2]));
+      const csr::IntersectTallies it = csr::SnapshotIntersectTallies();
+      std::printf("intersect: pairwise=%llu wide_probe=%llu gallop=%llu "
+                  "leapfrog{merge=%llu gallop=%llu}\n",
+                  static_cast<unsigned long long>(it.pairwise),
+                  static_cast<unsigned long long>(it.wide_probe),
+                  static_cast<unsigned long long>(it.gallop),
+                  static_cast<unsigned long long>(it.leapfrog_merge),
+                  static_cast<unsigned long long>(it.leapfrog_gallop));
+      std::printf("intersect ratios:");
+      for (size_t k = 0; k < csr::kIntersectRatioBuckets; ++k) {
+        if (it.ratio_hist[k] == 0) continue;
+        std::printf(" %llux:%llu",
+                    static_cast<unsigned long long>(1ull << k),
+                    static_cast<unsigned long long>(it.ratio_hist[k]));
+      }
+      std::printf("\n");
       const csr::DegradationStats& d = engine->degradation();
       std::printf("degradation: quarantined=%llu fallbacks=%llu "
                   "deadline=%llu budget=%llu faults=%llu degraded=%llu\n",

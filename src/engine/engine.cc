@@ -8,6 +8,7 @@
 #include "engine/merger.h"
 #include "engine/top_k.h"
 #include "index/intersection.h"
+#include "index/simd_intersect.h"
 #include "util/fault.h"
 #include "util/hash.h"
 #include "util/string_util.h"
@@ -225,6 +226,27 @@ void ContextSearchEngine::RegisterMetrics() {
         d.view_read_faults;
     snap.counters["engine.degradation.segments_quarantined"] =
         d.segments_quarantined;
+  });
+  registry_.AddSampleCallback([](csr::MetricsSnapshot& snap) {
+    // Intersection-kernel selector decisions (DESIGN.md §15). The tallies
+    // are process-wide relaxed atomics in simd_intersect.cc — shared
+    // across engines, monotone, read without locks.
+    const IntersectTallies t = SnapshotIntersectTallies();
+    snap.counters["intersect.kernel.pairwise"] = t.pairwise;
+    snap.counters["intersect.kernel.wide_probe"] = t.wide_probe;
+    snap.counters["intersect.kernel.gallop"] = t.gallop;
+    snap.counters["intersect.leapfrog.merge"] = t.leapfrog_merge;
+    snap.counters["intersect.leapfrog.gallop"] = t.leapfrog_gallop;
+    for (size_t i = 0; i < kIntersectRatioBuckets; ++i) {
+      if (t.ratio_hist[i] == 0) continue;  // keep .metrics output dense
+      std::string name = "intersect.ratio." + std::to_string(1ull << i);
+      if (i + 1 < kIntersectRatioBuckets) {
+        name += "_" + std::to_string(1ull << (i + 1));
+      } else {
+        name += "_plus";
+      }
+      snap.counters[name] = t.ratio_hist[i];
+    }
   });
   registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
     // Segment shape and view-delta staleness bound (DESIGN.md §14). One

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "index/simd_intersect.h"
 #include "index/simd_unpack.h"
 
 namespace csr {
@@ -958,6 +959,16 @@ class PairwiseSide {
 /// are intersected against the probe side's blocks. Sink sees either
 /// whole 64-bit AND words (Word) or individual matches (Doc), always in
 /// increasing docid order.
+///
+/// Array×array windows dispatch to the SIMD kernel family
+/// (simd_intersect.h): the overlapping slices of both decoded blocks are
+/// handed to SimdIntersect, which picks pairwise-shuffle / wide-probe /
+/// SIMD-gallop from the window length ratio and the active dispatch
+/// level. Cost parity with the per-value probe loop is kept analytically:
+/// the probe side is charged one entries_scanned per driver value at or
+/// above the probe block's first possible docid — exactly what
+/// PairwiseSide::Contains charged, and independent of the dispatch level,
+/// so counters stay bit-identical under CSR_FORCE_SCALAR differentials.
 template <typename Sink>
 void PairwiseIntersectImpl(const CompressedPostingList& drv,
                            const CompressedPostingList& oth,
@@ -965,6 +976,7 @@ void PairwiseIntersectImpl(const CompressedPostingList& drv,
                            bool merge_probe, Sink&& sink) {
   PairwiseSide a(drv, drv_cost);
   PairwiseSide b(oth, oth_cost);
+  std::vector<DocId> matches;  // kernel scratch, reused across windows
   const size_t nblocks = drv.num_blocks();
   for (size_t db = 0; db < nblocks; ++db) {
     a.MoveTo(db);
@@ -996,7 +1008,7 @@ void PairwiseIntersectImpl(const CompressedPostingList& drv,
         if (oth_cost != nullptr) {
           oth_cost->entries_scanned += (hi - lo) / 64 + 1;
         }
-      } else {
+      } else if (b.IsBitmap()) {
         std::span<const DocId> docs = a.Docs();
         drv_block_touched = true;
         size_t& pos = a.pos();
@@ -1010,6 +1022,59 @@ void PairwiseIntersectImpl(const CompressedPostingList& drv,
           // then leap candidate-free probe blocks (charged to
           // blocks_skipped) instead of walking them one by one.
           next_d = docs[pos];
+          continue;
+        }
+      } else {
+        std::span<const DocId> docs = a.Docs();
+        drv_block_touched = true;
+        size_t& pos = a.pos();
+        while (pos < docs.size() && docs[pos] < next_d) ++pos;
+        // Driver window: candidates in [next_d, hi].
+        const size_t wend = static_cast<size_t>(
+            std::upper_bound(docs.begin() + pos, docs.end(), hi) -
+            docs.begin());
+        if (wend > pos) {
+          // Values below the probe block's first possible docid sit in the
+          // inter-block gap; Contains never charged (or decoded) for them.
+          // Block 0 may start AT its base, later blocks strictly above it.
+          const DocId min_in =
+              om.base + (b.current_block() == 0 ? 0 : 1);
+          const size_t in_from = static_cast<size_t>(
+              std::lower_bound(docs.begin() + pos, docs.begin() + wend,
+                               min_in) -
+              docs.begin());
+          if (in_from < wend) {
+            if (oth_cost != nullptr) {
+              oth_cost->entries_scanned += wend - in_from;
+            }
+            std::span<const DocId> bdocs = b.Docs();
+            size_t& bpos = b.pos();
+            const size_t bstart = static_cast<size_t>(
+                std::lower_bound(bdocs.begin() + bpos, bdocs.end(),
+                                 docs[in_from]) -
+                bdocs.begin());
+            const size_t bend = static_cast<size_t>(
+                std::upper_bound(bdocs.begin() + bstart, bdocs.end(), hi) -
+                bdocs.begin());
+            if (bend > bstart) {
+              matches.resize(std::min(wend - in_from, bend - bstart));
+              const size_t nm = SimdIntersect(
+                  docs.data() + in_from, wend - in_from,
+                  bdocs.data() + bstart, bend - bstart, matches.data());
+              for (size_t k = 0; k < nm; ++k) sink.Doc(matches[k]);
+            }
+            // All docids <= hi in this probe block are consumed; future
+            // probes (same block, later windows) are strictly above hi.
+            bpos = bend;
+          }
+        }
+        a.pos() = wend;
+        if (wend >= docs.size()) break;  // driver block exhausted
+        if (docs[wend] > hi) {
+          // Gallop straight to the next driver candidate: SeekBlock can
+          // then leap candidate-free probe blocks (charged to
+          // blocks_skipped) instead of walking them one by one.
+          next_d = docs[wend];
           continue;
         }
       }

@@ -47,20 +47,35 @@ struct CostCounters {
   }
 };
 
-/// How a pairwise intersection steps its lists. Chosen per list-pair from
-/// the lengths and block representations (ChooseIntersectStrategy below);
+/// How a pairwise intersection steps its lists. Chosen per list-pair (and,
+/// in the block-pairwise kernel, per overlapping block window) from the
+/// lengths and block representations (ChooseIntersectStrategy below);
 /// every strategy visits exactly the same matches — only the probe cost
 /// differs — so results are bit-identical by construction.
 enum class IntersectStrategy : uint8_t {
-  kMerge,      // linear stepping: comparable lengths, gaps of O(1) steps
-  kGallop,     // exponential probes: one list much longer than the other
-  kBitmapAnd,  // word-wise AND / O(1) bit probes through bitmap blocks
+  kMerge,       // linear stepping: comparable lengths, gaps of O(1) steps
+  kGallop,      // exponential probes: one list much longer than the other
+  kBitmapAnd,   // word-wise AND / O(1) bit probes through bitmap blocks
+  kWideProbe,   // SIMD wide-probe (v3): rare values tested against 32-wide
+                // windows of the frequent list
+  kSimdGallop,  // SIMD galloping: block-granular exponential probes plus a
+                // vectorized final membership test
 };
 
 /// Expected inter-match gap in the longer list ~= length ratio; galloping
 /// costs ~2·log2(gap) probes against the merge's gap single-compare
 /// steps, which puts the crossover near a ratio of 16.
 inline constexpr uint64_t kGallopRatioThreshold = 16;
+
+/// Ratio-driven SIMD kernel selection, after Lemire/Kurz intersectInt
+/// (SIMDCompressionAndIntersection): below 50x the 2-way shuffle kernel
+/// (or cursor merge/gallop) wins; from 50x the frequent side is cheaper to
+/// probe in 32-value windows; past 1000x probing even windows linearly
+/// loses to block-granular galloping. The perf_smoke_intersect bench
+/// re-measures these crossovers every run (bench_ablation_intersection
+/// `intersect_kernels.thresholds`).
+inline constexpr uint64_t kWideProbeRatioThreshold = 50;
+inline constexpr uint64_t kSimdGallopRatioThreshold = 1000;
 
 inline IntersectStrategy ChooseIntersectStrategy(uint64_t short_len,
                                                  uint64_t long_len,
@@ -69,10 +84,12 @@ inline IntersectStrategy ChooseIntersectStrategy(uint64_t short_len,
   if (short_has_bitmaps || long_has_bitmaps) {
     return IntersectStrategy::kBitmapAnd;
   }
-  if (short_len == 0) return IntersectStrategy::kGallop;
-  return long_len / short_len >= kGallopRatioThreshold
-             ? IntersectStrategy::kGallop
-             : IntersectStrategy::kMerge;
+  if (short_len == 0) return IntersectStrategy::kSimdGallop;
+  const uint64_t ratio = long_len / short_len;
+  if (ratio >= kSimdGallopRatioThreshold) return IntersectStrategy::kSimdGallop;
+  if (ratio >= kWideProbeRatioThreshold) return IntersectStrategy::kWideProbe;
+  return ratio >= kGallopRatioThreshold ? IntersectStrategy::kGallop
+                                        : IntersectStrategy::kMerge;
 }
 
 }  // namespace csr

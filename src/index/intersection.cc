@@ -4,6 +4,8 @@
 #include <numeric>
 #include <utility>
 
+#include "index/simd_intersect.h"
+
 namespace csr {
 
 ConjunctionIterator::ConjunctionIterator(
@@ -49,19 +51,21 @@ void ConjunctionIterator::Init(std::vector<PostingCursor> cursors) {
   // against the driver. Bitmap-heavy pairs report kBitmapAnd, which the
   // k-way leapfrog can't exploit (that's the guard-free pairwise kernel's
   // job) — treat it as gallop here.
-  merge_.resize(iters_.size());
-  for (size_t k = 0; k < iters_.size(); ++k) {
-    size_t other = k == 0 ? 1 : k;
-    merge_[k] =
-        iters_.size() > 1 &&
-        ChooseIntersectStrategy(iters_[0].size(), iters_[other].size(),
-                                false, false) == IntersectStrategy::kMerge;
+  strategy_.assign(iters_.size(), IntersectStrategy::kGallop);
+  if (iters_.size() > 1) {
+    for (size_t k = 0; k < iters_.size(); ++k) {
+      size_t other = k == 0 ? 1 : k;
+      strategy_[k] = ChooseIntersectStrategy(
+          iters_[0].size(), iters_[other].size(), false, false);
+      RecordLeapfrogChoice(strategy_[k] == IntersectStrategy::kMerge,
+                           iters_[0].size(), iters_[other].size());
+    }
   }
   FindNextMatch();
 }
 
 void ConjunctionIterator::AdvanceTo(size_t k, DocId target) {
-  if (merge_[k]) {
+  if (strategy_[k] == IntersectStrategy::kMerge) {
     iters_[k].MergeTo(target);
   } else {
     iters_[k].SkipTo(target);
@@ -110,20 +114,31 @@ void ConjunctionIterator::FindNextMatch() {
 
 void ConjunctionIterator::Next() { FindNextMatch(); }
 
-std::string ConjunctionIterator::StrategyMix() const {
-  // merge_[0] describes the driver's own re-alignment advances; probe
-  // cursors are 1..n-1. Count both the same way the advances happen.
-  size_t merge = 0;
-  for (uint8_t m : merge_) merge += m != 0;
-  size_t gallop = merge_.size() - merge;
+namespace {
+
+/// "merge*2+gallop*1" style roll-up of per-cursor strategy picks. Buckets
+/// follow the IntersectStrategy enum order.
+std::string FormatStrategyMix(const size_t counts[5]) {
+  static constexpr const char* kNames[5] = {"merge", "gallop", "bitmap",
+                                            "wideprobe", "simdgallop"};
   std::string out;
-  if (merge > 0) out += "merge*" + std::to_string(merge);
-  if (gallop > 0) {
+  for (size_t s = 0; s < 5; ++s) {
+    if (counts[s] == 0) continue;
     if (!out.empty()) out += "+";
-    out += "gallop*" + std::to_string(gallop);
+    out += std::string(kNames[s]) + "*" + std::to_string(counts[s]);
   }
   if (out.empty()) out = "none";
   return out;
+}
+
+}  // namespace
+
+std::string ConjunctionIterator::StrategyMix() const {
+  // strategy_[0] describes the driver's own re-alignment advances; probe
+  // cursors are 1..n-1. Count both the same way the advances happen.
+  size_t counts[5] = {};
+  for (IntersectStrategy s : strategy_) counts[static_cast<size_t>(s)]++;
+  return FormatStrategyMix(counts);
 }
 
 std::vector<DocId> IntersectAll(std::span<const PostingList* const> lists,
@@ -213,20 +228,13 @@ AggregationResult IntersectAndAggregate(
 std::string StrategyMixForSizes(std::vector<uint64_t> sizes) {
   if (sizes.size() < 2) return "none";
   std::sort(sizes.begin(), sizes.end());
-  size_t merge = 0;
+  size_t counts[5] = {};
   for (size_t k = 0; k < sizes.size(); ++k) {
     size_t other = k == 0 ? 1 : k;
-    merge += ChooseIntersectStrategy(sizes[0], sizes[other], false, false) ==
-             IntersectStrategy::kMerge;
+    counts[static_cast<size_t>(
+        ChooseIntersectStrategy(sizes[0], sizes[other], false, false))]++;
   }
-  size_t gallop = sizes.size() - merge;
-  std::string out;
-  if (merge > 0) out += "merge*" + std::to_string(merge);
-  if (gallop > 0) {
-    if (!out.empty()) out += "+";
-    out += "gallop*" + std::to_string(gallop);
-  }
-  return out;
+  return FormatStrategyMix(counts);
 }
 
 void AttrIntersectionCostDelta(TraceSpan* span, const CostCounters& after,

@@ -60,7 +60,8 @@ class ConjunctionIterator {
 
   /// Human-readable summary of the cost-model advance strategies picked at
   /// Init (ChooseIntersectStrategy per probe cursor against the driver),
-  /// e.g. "gallop*2+merge*1". Trace/telemetry helper, not a hot-path API.
+  /// e.g. "gallop*2+merge*1" or "simdgallop*1+wideprobe*1". Trace/telemetry
+  /// helper, not a hot-path API.
   std::string StrategyMix() const;
 
   /// Advances to the next document present in every list.
@@ -74,8 +75,10 @@ class ConjunctionIterator {
   std::vector<PostingCursor> iters_;   // sorted by list length
   std::vector<size_t> order_inverse_;  // caller index -> iters_ index
   // Per-cursor advance strategy (ChooseIntersectStrategy vs the driver):
-  // linear MergeTo for comparable lengths, galloping SkipTo otherwise.
-  std::vector<uint8_t> merge_;
+  // linear MergeTo for kMerge, galloping SkipTo for every other pick (the
+  // SIMD kernel strategies need decoded windows, which only the guard-free
+  // pairwise path has — here they just name how skewed the pair is).
+  std::vector<IntersectStrategy> strategy_;
   ScanGuard* guard_ = nullptr;
   DocId current_doc_ = kInvalidDocId;
   bool at_end_ = false;

@@ -20,6 +20,7 @@
 #include "index/posting_cursor.h"
 #include "index/posting_list.h"
 #include "index/scan_guard.h"
+#include "index/simd_intersect.h"
 #include "index/simd_unpack.h"
 #include "util/random.h"
 
@@ -256,6 +257,140 @@ TEST(RepresentationMatrixTest, TopKIdenticalAcrossPoliciesAndKernels) {
     (void)ranking;
     (void)pc;
   }
+}
+
+// -- Intersection kernels: every policy pair, every dispatch level ----------
+//
+// The guard-free pairwise path now windows decoded array blocks through
+// the SIMD kernel family (simd_intersect.h), selecting pairwise /
+// wide-probe / gallop per window. Sweep every (policy × policy ×
+// dispatch level) cell over the adversarial shapes: the emitted docids
+// must equal the set_intersection reference at every level.
+
+TEST(RepresentationMatrixTest, PairwiseKernelsBitIdenticalAcrossLevels) {
+  std::vector<Shape> shapes = AdversarialShapes();
+  for (const Shape& sa : shapes) {
+    for (const Shape& sb : shapes) {
+      std::vector<DocId> ref = ReferenceIntersection(sa.postings,
+                                                     sb.postings);
+      PostingList pa = ToList(sa.postings);
+      PostingList pb = ToList(sb.postings);
+      for (CodecPolicy qa : kPolicies) {
+        for (CodecPolicy qb : kPolicies) {
+          auto ca = CompressedPostingList::FromPostingList(pa, 64, qa);
+          auto cb = CompressedPostingList::FromPostingList(pb, 64, qb);
+          for (UnpackLevel lvl :
+               {UnpackLevel::kScalar, UnpackLevel::kSse2,
+                UnpackLevel::kAvx2}) {
+            if (!UnpackLevelSupported(lvl)) continue;
+            SetUnpackLevelForTest(lvl);
+            std::vector<DocId> got;
+            ScanPairwiseIntersection(ca, cb, nullptr, nullptr,
+                                     [&](DocId d) { got.push_back(d); });
+            EXPECT_EQ(got, ref)
+                << sa.name << " x " << sb.name << " [" << PolicyName(qa)
+                << " x " << PolicyName(qb) << "] level "
+                << UnpackLevelName(lvl);
+          }
+          ClearUnpackLevelOverride();
+        }
+      }
+    }
+  }
+}
+
+// -- Segmented index (PR 7): per-part cursors, per-part strategies ----------
+//
+// A grown engine intersects per segment part, so each part picks its own
+// kernel/strategy from its own list sizes. Results must stay bit-identical
+// across dispatch levels, and the selector must actually run (tallies).
+
+TEST(RepresentationMatrixTest, SegmentedTopKIdenticalAcrossLevels) {
+  CorpusConfig cc;
+  cc.num_docs = 2400;
+  cc.vocab_size = 1200;
+  cc.ontology_fanouts = {4, 3};
+  cc.seed = 31;
+  auto corpus = CorpusGenerator(cc).Generate();
+  ASSERT_TRUE(corpus.ok());
+
+  EngineConfig cfg;
+  cfg.top_k = 10;
+  cfg.track_tc = true;
+  cfg.compressed_postings = true;
+  cfg.codec_policy = CodecPolicy::kAuto;
+
+  auto grow = [&]() {
+    Corpus prefix = *corpus;
+    prefix.docs.resize(1600);
+    prefix.config.num_docs = 1600;
+    auto r = ContextSearchEngine::Build(std::move(prefix), cfg);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    auto engine = std::move(r).value();
+    // Two appends → several parts (write segment + sealed segments).
+    EXPECT_TRUE(engine
+                    ->AppendDocuments(std::vector<Document>(
+                        corpus->docs.begin() + 1600,
+                        corpus->docs.begin() + 2000))
+                    .ok());
+    EXPECT_TRUE(engine
+                    ->AppendDocuments(std::vector<Document>(
+                        corpus->docs.begin() + 2000, corpus->docs.end()))
+                    .ok());
+    return engine;
+  };
+
+  TermId w = CorpusGenerator::ConceptTopicalTerm(0, 0, cc.vocab_size,
+                                                 cc.topical_window);
+  const ContextQuery queries[] = {ContextQuery{{w, 5}, {0}},
+                                  ContextQuery{{w, w + 1}, {0, 4}}};
+
+  SetUnpackLevelForTest(UnpackLevel::kScalar);
+  auto ref_engine = grow();
+  ResetIntersectTalliesForTest();
+  std::vector<SearchResult> want;
+  for (const ContextQuery& q : queries) {
+    for (EvaluationMode mode : {EvaluationMode::kConventional,
+                                EvaluationMode::kContextStraightforward}) {
+      auto r = ref_engine->Search(q, mode);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      want.push_back(std::move(r).value());
+    }
+  }
+  // The segmented search path consulted the selector (kernel or leapfrog).
+  const IntersectTallies t = SnapshotIntersectTallies();
+  EXPECT_GT(t.pairwise + t.wide_probe + t.gallop + t.leapfrog_merge +
+                t.leapfrog_gallop,
+            0u);
+
+  for (UnpackLevel lvl : {UnpackLevel::kSse2, UnpackLevel::kAvx2}) {
+    if (!UnpackLevelSupported(lvl)) continue;
+    SetUnpackLevelForTest(lvl);
+    auto engine = grow();
+    size_t wi = 0;
+    for (const ContextQuery& q : queries) {
+      for (EvaluationMode mode :
+           {EvaluationMode::kConventional,
+            EvaluationMode::kContextStraightforward}) {
+        auto got = engine->Search(q, mode);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        const SearchResult& ref = want[wi++];
+        ASSERT_EQ(got->top_docs.size(), ref.top_docs.size())
+            << UnpackLevelName(lvl);
+        EXPECT_EQ(got->result_count, ref.result_count);
+        EXPECT_EQ(got->stats.cardinality, ref.stats.cardinality);
+        EXPECT_EQ(got->stats.df, ref.stats.df);
+        for (size_t i = 0; i < ref.top_docs.size(); ++i) {
+          EXPECT_EQ(got->top_docs[i].doc, ref.top_docs[i].doc)
+              << UnpackLevelName(lvl) << " rank " << i;
+          EXPECT_EQ(got->top_docs[i].score, ref.top_docs[i].score)
+              << UnpackLevelName(lvl) << " rank " << i
+              << " (scores must be bit-identical)";
+        }
+      }
+    }
+  }
+  ClearUnpackLevelOverride();
 }
 
 // -- Bitmap damage: typed errors, never UB ----------------------------------

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-smoke gates for the serving path.
 
-Four modes, selectable per invocation (at least one is required):
+Five modes, selectable per invocation (at least one is required):
 
 --bench + --baseline: runs bench_ablation_codec --json fresh and fails if
 the compressed dense-intersection QPS falls below --threshold of the same
@@ -30,6 +30,18 @@ did not run (or its write amplification exceeds --ingest-max-amp), or
 query p99 under concurrent ingest blew past --ingest-p99-factor of the
 quiesced p99 (with a --ingest-p99-floor-ms absolute floor so microsecond
 baselines don't turn scheduler jitter into failures).
+
+--intersect-bench + --baseline: runs bench_ablation_intersection --json
+fresh and fails if the SIMD intersection kernels lose their edge over the
+scalar reference kernels measured in the same run: the near-equal pairwise
+bucket must hold --intersect-near-floor speedup and the ratio-4096 gallop
+bucket --intersect-gallop-floor. Kernel selection (which kernel each ratio
+bucket picks), exact result cardinalities, and the selector thresholds are
+cross-checked against the committed baseline, which catches silent
+selector or correctness rot that Mv/s alone would miss. On a
+CSR_FORCE_SCALAR build (dispatch_level "scalar") the speedup floors are
+skipped — both arms run the same scalar code — but the deterministic
+cross-checks still apply.
 
 --self-test: runs this script's own pytest-style unit tests (no pytest
 dependency; plain asserts over the pure check functions and the JSON
@@ -246,6 +258,76 @@ def check_ingest_perf(report, max_amp, p99_factor, p99_floor_ms):
     return failures
 
 
+# Ratio buckets emitted by bench_ablation_intersection's intersect_kernels
+# section, and the per-bucket fields that are deterministic (fixed seeds).
+INTERSECT_BUCKETS = ("near_equal", "ratio_8", "ratio_32", "ratio_64",
+                     "ratio_512", "ratio_4096")
+INTERSECT_EXACT_FIELDS = ("kernel", "ratio", "rare_size", "freq_size",
+                          "result")
+
+
+def check_intersect_exact(report, baseline):
+    """Deterministic intersect-kernel checks — never retried.
+
+    Kernel choice per ratio bucket, bucket shapes, result cardinalities and
+    the selector thresholds are all seed-determined, so any drift from the
+    committed baseline is a selector or correctness change, not noise.
+    """
+    failures = []
+    fresh = section(report, "intersect_kernels",
+                    "bench_ablation_intersection")
+    base = baseline.get("intersect_kernels")
+    if not isinstance(base, dict):
+        return failures  # baseline predates the section
+    for name, want in base.get("thresholds", {}).items():
+        got = fresh.get("thresholds", {}).get(name)
+        if got != want:
+            failures.append(
+                f"intersect_kernels.thresholds.{name}: fresh run {got!r} "
+                f"!= baseline {want!r}")
+    for bucket in INTERSECT_BUCKETS:
+        base_bucket = base.get(bucket)
+        if not isinstance(base_bucket, dict):
+            continue  # baseline predates the bucket
+        fresh_bucket = fresh.get(bucket, {})
+        for field in INTERSECT_EXACT_FIELDS:
+            want = base_bucket.get(field)
+            if want is None:
+                continue
+            got = fresh_bucket.get(field)
+            if got != want:
+                failures.append(
+                    f"intersect_kernels.{bucket}.{field}: fresh run "
+                    f"{got!r} != baseline {want!r}")
+    return failures
+
+
+def check_intersect_perf(report, near_floor, gallop_floor):
+    """Timing-sensitive intersect-kernel checks — retried across attempts."""
+    fresh = section(report, "intersect_kernels",
+                    "bench_ablation_intersection")
+    failures = []
+    for bucket in INTERSECT_BUCKETS:
+        b = fresh[bucket]
+        if b["scalar_mvs"] <= 0 or b["simd_mvs"] <= 0:
+            failures.append(
+                f"{bucket}: non-positive throughput (scalar "
+                f"{b['scalar_mvs']}, simd {b['simd_mvs']} Mv/s)")
+    if fresh["dispatch_level"] == "scalar":
+        # CSR_FORCE_SCALAR build: both arms run the same kernels, so a
+        # speedup floor would only gate measurement noise.
+        return failures
+    for bucket, floor in (("near_equal", near_floor),
+                          ("ratio_4096", gallop_floor)):
+        b = fresh[bucket]
+        if b["speedup"] < floor:
+            failures.append(
+                f"{bucket} ({b['kernel']}, {fresh['dispatch_level']}): "
+                f"simd {b['simd_mvs']:.1f} Mv/s is {b['speedup']:.2f}x "
+                f"scalar {b['scalar_mvs']:.1f} Mv/s (floor {floor:.1f}x)")
+    return failures
+
+
 def retry_gate(label, attempts, run_once, on_ok):
     """Shared retry loop for the timing-sensitive gates."""
     for attempt in range(1, attempts + 1):
@@ -283,6 +365,31 @@ def run_codec_gate(args):
               f"{report['memory']['ratio_uncompressed_over_auto']:.2f}x")
 
     return retry_gate("perf smoke", args.attempts, once, ok)
+
+
+def run_intersect_gate(args):
+    baseline = load_json(args.baseline, "baseline")
+
+    def once():
+        report = run_bench(args.intersect_bench)
+        exact = check_intersect_exact(report, baseline)
+        if exact:
+            for msg in exact:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return report, None
+        return report, check_intersect_perf(
+            report, args.intersect_near_floor, args.intersect_gallop_floor)
+
+    def ok(report, attempt):
+        k = report["intersect_kernels"]
+        print(f"intersect gate OK (attempt {attempt}/{args.attempts}, "
+              f"{k['dispatch_level']}): near_equal "
+              f"{k['near_equal']['speedup']:.2f}x, ratio_4096 "
+              f"{k['ratio_4096']['speedup']:.2f}x vs scalar "
+              f"({k['near_equal']['simd_mvs']:.0f} / "
+              f"{k['ratio_4096']['simd_mvs']:.0f} Mv/s)")
+
+    return retry_gate("intersect kernels", args.attempts, once, ok)
 
 
 def run_obs_gate(args):
@@ -530,6 +637,82 @@ def test_ingest_p99_floor_absorbs_jitter_on_tiny_baselines():
     assert any("p99 under ingest" in f for f in fails), fails
 
 
+def _intersect_report(dispatch_level="avx2", **overrides):
+    """A minimal passing intersect report; overrides poke failures in."""
+    kernels = {"near_equal": "pairwise", "ratio_8": "pairwise",
+               "ratio_32": "pairwise", "ratio_64": "wide_probe",
+               "ratio_512": "wide_probe", "ratio_4096": "gallop"}
+    sec = {
+        "dispatch_level": dispatch_level,
+        "thresholds": {"gallop_ratio": 16, "wide_probe_ratio": 50,
+                       "simd_gallop_ratio": 1000},
+    }
+    for bucket, kernel in kernels.items():
+        sec[bucket] = {"kernel": kernel, "ratio": 1, "rare_size": 1000,
+                       "freq_size": 1000, "result": 500,
+                       "scalar_mvs": 100.0, "simd_mvs": 300.0,
+                       "speedup": 3.0}
+    for key, value in overrides.items():
+        bucket, field = key.rsplit("_", 1)
+        sec[bucket][field] = value
+    return {"intersect_kernels": sec}
+
+
+def test_intersect_passes_on_good_report():
+    report = _intersect_report()
+    assert check_intersect_exact(report, report) == []
+    assert check_intersect_perf(report, 1.3, 2.0) == []
+
+
+def test_intersect_fails_below_speedup_floors():
+    fails = check_intersect_perf(
+        _intersect_report(near_equal_speedup=1.1), 1.3, 2.0)
+    assert any("near_equal" in f and "floor" in f for f in fails), fails
+    fails = check_intersect_perf(
+        _intersect_report(ratio_4096_speedup=1.5), 1.3, 2.0)
+    assert any("ratio_4096" in f for f in fails), fails
+
+
+def test_intersect_scalar_build_skips_speedup_floors():
+    # CSR_FORCE_SCALAR: speedup ~1.0 everywhere must not fail the gate.
+    report = _intersect_report(dispatch_level="scalar",
+                               near_equal_speedup=1.0,
+                               ratio_4096_speedup=1.0)
+    assert check_intersect_perf(report, 1.3, 2.0) == []
+
+
+def test_intersect_zero_throughput_fails_even_on_scalar():
+    report = _intersect_report(dispatch_level="scalar")
+    report["intersect_kernels"]["ratio_512"]["simd_mvs"] = 0.0
+    fails = check_intersect_perf(report, 1.3, 2.0)
+    assert any("non-positive" in f for f in fails), fails
+
+
+def test_intersect_exact_flags_kernel_and_result_drift():
+    base = _intersect_report()
+    drift = _intersect_report()
+    drift["intersect_kernels"]["ratio_64"]["kernel"] = "gallop"
+    fails = check_intersect_exact(drift, base)
+    assert any("ratio_64.kernel" in f for f in fails), fails
+    drift = _intersect_report()
+    drift["intersect_kernels"]["near_equal"]["result"] = 501
+    fails = check_intersect_exact(drift, base)
+    assert any("near_equal.result" in f for f in fails), fails
+    drift = _intersect_report()
+    drift["intersect_kernels"]["thresholds"]["wide_probe_ratio"] = 64
+    fails = check_intersect_exact(drift, base)
+    assert any("thresholds.wide_probe_ratio" in f for f in fails), fails
+
+
+def test_intersect_exact_tolerates_older_baseline():
+    # A baseline without the section (or with fewer buckets) predates the
+    # kernels and must not fail the gate.
+    assert check_intersect_exact(_intersect_report(), {"bench": "x"}) == []
+    base = _intersect_report()
+    del base["intersect_kernels"]["ratio_512"]
+    assert check_intersect_exact(_intersect_report(), base) == []
+
+
 def test_exact_cross_check_flags_mismatch():
     base = {"wand": {"identical_topk": True}}
     assert check_exact({"wand": {"identical_topk": True}}, base) == []
@@ -569,6 +752,8 @@ def main():
                     help="path to the bench_serving binary")
     ap.add_argument("--ingest-bench",
                     help="path to the bench_ingest binary")
+    ap.add_argument("--intersect-bench",
+                    help="path to the bench_ablation_intersection binary")
     ap.add_argument("--attempts", type=int, default=3)
     ap.add_argument("--threshold", type=float, default=0.95)
     ap.add_argument("--min-ratio", type=float, default=7.0)
@@ -587,6 +772,12 @@ def main():
     ap.add_argument("--ingest-p99-floor-ms", type=float, default=50.0,
                     help="absolute query-p99 allowance under ingest, "
                          "whichever of factor/floor is larger wins")
+    ap.add_argument("--intersect-near-floor", type=float, default=1.3,
+                    help="SIMD-over-scalar speedup floor for the "
+                         "near-equal pairwise bucket")
+    ap.add_argument("--intersect-gallop-floor", type=float, default=2.0,
+                    help="SIMD-over-scalar speedup floor for the "
+                         "ratio-4096 gallop bucket")
     ap.add_argument("--self-test", action="store_true",
                     help="run this script's own unit tests and exit")
     args = ap.parse_args()
@@ -595,11 +786,11 @@ def main():
         return run_self_test()
 
     if (not args.bench and not args.obs_bench and not args.serving_bench
-            and not args.ingest_bench):
-        ap.error("one of --bench, --obs-bench, --serving-bench or "
-                 "--ingest-bench is required")
-    if args.bench and not args.baseline:
-        ap.error("--bench requires --baseline")
+            and not args.ingest_bench and not args.intersect_bench):
+        ap.error("one of --bench, --obs-bench, --serving-bench, "
+                 "--ingest-bench or --intersect-bench is required")
+    if (args.bench or args.intersect_bench) and not args.baseline:
+        ap.error("--bench/--intersect-bench require --baseline")
 
     gates = []
     if args.bench:
@@ -610,6 +801,8 @@ def main():
         gates.append(run_serving_gate)
     if args.ingest_bench:
         gates.append(run_ingest_gate)
+    if args.intersect_bench:
+        gates.append(run_intersect_gate)
     for gate in gates:
         try:
             rc = gate(args)
