@@ -14,6 +14,9 @@
 //                  (the budget drains, the circuit breaker trips to the
 //                  straightforward plan), then disarmed (half-open
 //                  probes close the breaker).
+//   5. pipeline    staged pipeline executor vs per-query workers on a
+//                  shared-hot-context pool: QPS, p99, blocks decoded
+//                  per query, and the intersect-stage batch histogram.
 //
 // Emits BENCH_serving.json with --json; tools/check_bench_regression.py
 // --serving-bench gates goodput, p99-vs-SLO, tenant share drift, and the
@@ -35,6 +38,7 @@
 #include "bench/bench_common.h"
 #include "engine/executor.h"
 #include "eval/query_gen.h"
+#include "index/codec.h"
 #include "util/fault.h"
 #include "util/random.h"
 #include "util/retry.h"
@@ -211,14 +215,14 @@ PhaseStats RunOpenLoop(QueryExecutor& executor,
 /// deadline shed would be an artifact of the harness, not of load.
 void RunBatch(QueryExecutor& executor,
               const std::vector<ContextQuery>& queries, double slo_ms,
-              PhaseStats* stats) {
+              PhaseStats* stats,
+              EvaluationMode mode = EvaluationMode::kContextWithViews) {
   const size_t kChunk = 16;
   for (size_t base = 0; base < queries.size(); base += kChunk) {
     size_t n = std::min(kChunk, queries.size() - base);
     WallTimer wall;
     auto results = executor.SearchBatch(
-        std::span<const ContextQuery>(queries.data() + base, n),
-        EvaluationMode::kContextWithViews);
+        std::span<const ContextQuery>(queries.data() + base, n), mode);
     double per_query = wall.ElapsedMillis() / std::max<size_t>(1, n);
     for (const auto& r : results) stats->Absorb(r, per_query, slo_ms);
   }
@@ -501,6 +505,172 @@ int Main(int argc, char** argv) {
                      injected0));
   }
 
+  // --- Phase 5: staged pipeline vs per-query workers ---------------------
+  // Closed-loop passes over a shared-hot-context pool: a handful of
+  // distinct keyword sets, all qualified by the SAME large context, tiled
+  // out so the in-flight window always holds repeats of the same terms —
+  // the serving shape batching targets (many concurrent queries against
+  // one hot context). Conventional evaluation keeps every posting advance
+  // in the intersect stage (context modes scan predicate lists for
+  // statistics in the parse stage, which batching cannot share). The
+  // per-query-worker baseline decodes each hot posting block once per
+  // query; the staged pipeline batches term-sharing queries on the
+  // intersect stage and decodes each block once per batch (DESIGN.md
+  // §16). Same engine, same pool, same pass count — the only variable is
+  // the executor architecture.
+  PhaseStats pipe_base, pipe_staged;
+  double pipe_base_qps = 0.0, pipe_staged_qps = 0.0;
+  double pipe_base_blocks = 0.0, pipe_staged_blocks = 0.0;
+  PipelineMetrics pipe_metrics;
+  {
+    // The hottest (largest) context in the view pool becomes the shared
+    // context; every pool entry intersects it with its own keywords.
+    TermIdSet hot_ctx = view_pool[0].context;
+    uint64_t hot_size = engine->ContextSize(hot_ctx);
+    for (const ContextQuery& q : view_pool) {
+      uint64_t size = engine->ContextSize(q.context);
+      if (size > hot_size) {
+        hot_ctx = q.context;
+        hot_size = size;
+      }
+    }
+    // Four distinct keyword sets, tiled: the overload phases draw queries
+    // Zipf(s=1)-skewed, so a handful of hot queries dominating the
+    // in-flight window is the measured serving shape, not a contrivance.
+    // Candidates are probed once and only SELECTIVE conjunctions kept
+    // (small result sets): those are probe-driven — the driver keyword
+    // list seeks into the big context lists block by block, so per-block
+    // decode is the dominant cost and sharing it across a batch pays.
+    // Result-heavy queries are scoring-bound, and scores depend on each
+    // query's own terms, so no executor architecture can share that
+    // work; including them would measure scoring throughput, not
+    // posting-scan batching.
+    const EvaluationMode mode = EvaluationMode::kConventional;
+    const size_t kDistinct = std::min<size_t>(4, mix_pool.size());
+    std::vector<ContextQuery> distinct;
+    for (const ContextQuery& base : mix_pool) {
+      if (distinct.size() >= kDistinct) break;
+      ContextQuery q = base;
+      q.context = hot_ctx;
+      q.years = {};
+      uint64_t probe_b0 = SnapshotDecodeTallies().blocks_decoded;
+      auto probe = engine->Search(q, mode);
+      uint64_t probe_blocks =
+          SnapshotDecodeTallies().blocks_decoded - probe_b0;
+      if (!probe.ok()) continue;
+      if (probe->result_count == 0 || probe->result_count > 512) continue;
+      // Require real block traffic, too: a conjunction whose driver list
+      // skips nearly everything decodes tens of blocks and leaves
+      // nothing worth sharing.
+      if (probe_blocks < 128) continue;
+      distinct.push_back(std::move(q));
+    }
+    // At corpus scales where nothing selective exists, fall back to the
+    // head of the mix pool so the phase still runs.
+    for (size_t i = 0; distinct.size() < kDistinct; ++i) {
+      ContextQuery q = mix_pool[i];
+      q.context = hot_ctx;
+      q.years = {};
+      distinct.push_back(std::move(q));
+    }
+    std::vector<ContextQuery> hot_pool;
+    while (hot_pool.size() < 192) {
+      hot_pool.push_back(distinct[hot_pool.size() % kDistinct]);
+    }
+    // Selective queries are fast (hundreds of microseconds), so several
+    // passes are needed for a stable timed region.
+    const int kPasses = 10;
+    if (std::getenv("CSR_BENCH_PIPE_DIAG")) {
+      for (size_t i = 0; i < kDistinct; ++i) {
+        uint64_t b0 = SnapshotDecodeTallies().blocks_decoded;
+        auto r = engine->Search(hot_pool[i], mode);
+        uint64_t blk = SnapshotDecodeTallies().blocks_decoded - b0;
+        if (!r.ok()) {
+          std::printf("  diag q%zu: %s\n", i,
+                      r.status().message().c_str());
+          continue;
+        }
+        const SearchMetrics& m = r->metrics;
+        std::printf(
+            "  diag q%zu: kw=%zu results=%llu total=%.2fms stats=%.2fms "
+            "retr=%.2fms entries=%llu skips=%llu blk_dec=%llu "
+            "blk_skip=%llu bytes=%llu\n",
+            i, hot_pool[i].keywords.size(),
+            static_cast<unsigned long long>(r->result_count),
+            m.total_ms, m.stats_ms, m.retrieval_ms,
+            static_cast<unsigned long long>(m.cost.entries_scanned),
+            static_cast<unsigned long long>(m.cost.skips_taken),
+            static_cast<unsigned long long>(blk),
+            static_cast<unsigned long long>(m.cost.blocks_skipped),
+            static_cast<unsigned long long>(m.cost.bytes_touched));
+      }
+    }
+    {
+      QueryExecutor executor(engine.get(), {threads, 1024, {}});
+      PhaseStats warm;
+      RunBatch(executor, hot_pool, slo_ms, &warm, mode);
+      uint64_t blocks0 = SnapshotDecodeTallies().blocks_decoded;
+      WallTimer timer;
+      for (int i = 0; i < kPasses; ++i) {
+        RunBatch(executor, hot_pool, slo_ms, &pipe_base, mode);
+      }
+      double secs = timer.ElapsedSeconds();
+      uint64_t blocks = SnapshotDecodeTallies().blocks_decoded - blocks0;
+      pipe_base_qps = secs > 0 ? static_cast<double>(pipe_base.ok) / secs : 0;
+      pipe_base_blocks = pipe_base.ok > 0
+                             ? static_cast<double>(blocks) /
+                                   static_cast<double>(pipe_base.ok)
+                             : 0;
+    }
+    {
+      ExecutorConfig pcfg;
+      pcfg.num_threads = threads;
+      pcfg.queue_capacity = 1024;
+      pcfg.pipeline.enabled = true;
+      // A whole submission chunk can share one arena scope, and the hot
+      // context's decoded blocks at this corpus scale outgrow the 1 MiB
+      // default (overflow falls back to private decode, muting sharing).
+      pcfg.pipeline.max_batch = 16;
+      pcfg.pipeline.arena_bytes = 4u << 20;
+      QueryExecutor executor(engine.get(), pcfg);
+      PhaseStats warm;
+      RunBatch(executor, hot_pool, slo_ms, &warm, mode);
+      uint64_t blocks0 = SnapshotDecodeTallies().blocks_decoded;
+      WallTimer timer;
+      for (int i = 0; i < kPasses; ++i) {
+        RunBatch(executor, hot_pool, slo_ms, &pipe_staged, mode);
+      }
+      double secs = timer.ElapsedSeconds();
+      uint64_t blocks = SnapshotDecodeTallies().blocks_decoded - blocks0;
+      pipe_staged_qps =
+          secs > 0 ? static_cast<double>(pipe_staged.ok) / secs : 0;
+      pipe_staged_blocks = pipe_staged.ok > 0
+                               ? static_cast<double>(blocks) /
+                                     static_cast<double>(pipe_staged.ok)
+                               : 0;
+      pipe_metrics = executor.pipeline();
+    }
+  }
+  {
+    std::vector<double> blat = pipe_base.ok_latency_ms;
+    std::vector<double> plat = pipe_staged.ok_latency_ms;
+    std::printf("\npipeline (shared-hot-context pool): per-query-worker "
+                "%.0f qps p99 %.1f ms %.2f blk/q; staged %.0f qps p99 "
+                "%.1f ms %.2f blk/q (%.2fx qps, %.2fx blocks)\n",
+                pipe_base_qps, Percentile(blat, 0.99), pipe_base_blocks,
+                pipe_staged_qps, Percentile(plat, 0.99), pipe_staged_blocks,
+                pipe_base_qps > 0 ? pipe_staged_qps / pipe_base_qps : 0.0,
+                pipe_base_blocks > 0 ? pipe_staged_blocks / pipe_base_blocks
+                                     : 0.0);
+    std::printf("  batches: %llu (%llu queries batched, max batch %llu), "
+                "arena %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(pipe_metrics.batches),
+                static_cast<unsigned long long>(pipe_metrics.batched_queries),
+                static_cast<unsigned long long>(pipe_metrics.max_batch),
+                static_cast<unsigned long long>(pipe_metrics.arena_hits),
+                static_cast<unsigned long long>(pipe_metrics.arena_misses));
+  }
+
   if (!json_path.empty()) {
     PhaseStats storm_all;
     for (const PhaseStats* s :
@@ -571,6 +741,42 @@ int Main(int argc, char** argv) {
     json.Field("breaker_short_circuits",
                breaker.short_circuits() - short_circuits0);
     json.Field("breaker_state_final", std::string(breaker.StateName()));
+    json.CloseObject();
+    json.OpenObject("pipeline");
+    {
+      std::vector<double> blat = pipe_base.ok_latency_ms;
+      std::vector<double> plat = pipe_staged.ok_latency_ms;
+      json.Field("slo_ms", slo_ms);
+      json.OpenObject("per_query_worker");
+      json.Field("qps", pipe_base_qps);
+      json.Field("ok", pipe_base.ok);
+      json.Field("p99_ms", Percentile(blat, 0.99));
+      json.Field("blocks_per_query", pipe_base_blocks);
+      json.CloseObject();
+      json.OpenObject("pipelined");
+      json.Field("qps", pipe_staged_qps);
+      json.Field("ok", pipe_staged.ok);
+      json.Field("p99_ms", Percentile(plat, 0.99));
+      json.Field("blocks_per_query", pipe_staged_blocks);
+      json.Field("batches", pipe_metrics.batches);
+      json.Field("batched_queries", pipe_metrics.batched_queries);
+      json.Field("max_batch", pipe_metrics.max_batch);
+      json.Field("arena_hits", pipe_metrics.arena_hits);
+      json.Field("arena_misses", pipe_metrics.arena_misses);
+      json.OpenObject("batch_size_hist");
+      for (size_t i = 1; i < pipe_metrics.batch_size_counts.size(); ++i) {
+        if (pipe_metrics.batch_size_counts[i] > 0) {
+          json.Field(std::to_string(i), pipe_metrics.batch_size_counts[i]);
+        }
+      }
+      json.CloseObject();
+      json.CloseObject();
+      json.Field("qps_ratio",
+                 pipe_base_qps > 0 ? pipe_staged_qps / pipe_base_qps : 0.0);
+      json.Field("blocks_per_query_ratio",
+                 pipe_base_blocks > 0 ? pipe_staged_blocks / pipe_base_blocks
+                                      : 0.0);
+    }
     json.CloseObject();
     json.CloseObject();
     json.Close();

@@ -9,8 +9,13 @@
 //   <keywords>                    run a conventional query
 //   .mode conv|direct|views       evaluation mode for '|' queries
 //   .context <predicate...>       show a context's size and covering view
-//   .pool <n>                     route queries through an n-thread
-//                                 QueryExecutor (0 disables the pool)
+//   .pool <n> [staged]            route queries through an n-thread
+//                                 QueryExecutor (0 disables the pool);
+//                                 "staged" runs the parse/intersect/score
+//                                 pipeline instead of per-query workers
+//   .pipeline                     staged-pipeline state: per-stage queue
+//                                 depth, worker occupancy, intersect
+//                                 batch-size histogram, arena hit rate
 //   .save <dir> / .load <dir>     snapshot the engine / restore it
 //   .index compact                compress the inverted indexes + views
 //   .stats                        engine statistics (incl. index memory
@@ -145,18 +150,75 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line.rfind(".pool ", 0) == 0) {
-      long n = atol(line.substr(6).c_str());
+      std::istringstream args(line.substr(6));
+      long n = -1;
+      std::string flavor;
+      args >> n >> flavor;
       if (n < 0) { std::printf("pool size must be >= 0\n"); continue; }
+      if (!flavor.empty() && flavor != "staged") {
+        std::printf("usage: .pool <n> [staged]\n");
+        continue;
+      }
       g_pool.reset();  // drain the old pool before rewiring
       if (n == 0) {
         std::printf("pool disabled\n");
       } else {
         csr::ExecutorConfig pcfg;
         pcfg.num_threads = static_cast<uint32_t>(n);
+        pcfg.pipeline.enabled = (flavor == "staged");
         g_pool = std::make_unique<csr::QueryExecutor>(engine.get(), pcfg);
-        std::printf("pool = %u threads, queue capacity %zu\n",
-                    g_pool->num_threads(), pcfg.queue_capacity);
+        std::printf("pool = %u threads (%s), queue capacity %zu\n",
+                    g_pool->num_threads(),
+                    pcfg.pipeline.enabled ? "staged pipeline"
+                                          : "per-query workers",
+                    pcfg.queue_capacity);
       }
+      continue;
+    }
+    if (line == ".pipeline") {
+      if (!g_pool) {
+        std::printf("no pool (run .pool <n> staged)\n");
+        continue;
+      }
+      csr::PipelineMetrics p = g_pool->pipeline();
+      if (!p.enabled) {
+        std::printf("pool runs per-query workers (run .pool <n> staged)\n");
+        continue;
+      }
+      struct Row { const char* name; const csr::PipelineStageMetrics* s; };
+      const Row rows[] = {{"parse", &p.parse},
+                          {"intersect", &p.intersect},
+                          {"score", &p.score}};
+      for (const Row& row : rows) {
+        double occupancy =
+            p.uptime_ms > 0 && row.s->workers > 0
+                ? row.s->busy_ms_total /
+                      (p.uptime_ms * static_cast<double>(row.s->workers))
+                : 0.0;
+        std::printf("  %-9s workers=%-2zu processed=%-8llu depth=%zu "
+                    "(max %zu) wait_ms=%-8.2f busy=%.0f%%\n",
+                    row.name, row.s->workers,
+                    static_cast<unsigned long long>(row.s->processed),
+                    row.s->queue_depth, row.s->max_queue_depth,
+                    row.s->queue_wait_ms_total, 100.0 * occupancy);
+      }
+      std::printf("  batches: %llu total, %llu queries batched, max %llu",
+                  static_cast<unsigned long long>(p.batches),
+                  static_cast<unsigned long long>(p.batched_queries),
+                  static_cast<unsigned long long>(p.max_batch));
+      std::printf("; sizes:");
+      for (size_t k = 1; k < p.batch_size_counts.size(); ++k) {
+        if (p.batch_size_counts[k] == 0) continue;
+        std::printf(" %zux:%llu", k,
+                    static_cast<unsigned long long>(p.batch_size_counts[k]));
+      }
+      uint64_t lookups = p.arena_hits + p.arena_misses;
+      std::printf("\n  arena: %llu hits / %llu misses (%.0f%% hit rate)\n",
+                  static_cast<unsigned long long>(p.arena_hits),
+                  static_cast<unsigned long long>(p.arena_misses),
+                  lookups > 0 ? 100.0 * static_cast<double>(p.arena_hits) /
+                                    static_cast<double>(lookups)
+                              : 0.0);
       continue;
     }
     if (line.rfind(".save ", 0) == 0) {

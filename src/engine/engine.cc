@@ -1148,9 +1148,8 @@ void ContextSearchEngine::RecordTrip(const ScanGuard& guard) const {
   }
 }
 
-Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
-                                                 EvaluationMode mode,
-                                                 double elapsed_ms) const {
+Result<std::unique_ptr<PreparedSearch>> ContextSearchEngine::BeginSearch(
+    const ContextQuery& query, EvaluationMode mode, double elapsed_ms) const {
   const bool record = metrics_enabled();
   if (query.keywords.empty()) {
     if (record) RecordQueryMetrics(SearchMetrics{}, mode, /*failed=*/true);
@@ -1178,60 +1177,62 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
         " ms elapsed in queue)");
   }
 
-  WallTimer total_timer;
+  // One guard spans every stage: the deadline clock covers the whole
+  // query — including time spent in inter-stage queues — and the posting
+  // budget is re-granted once when the plan degrades.
+  auto ps = std::make_unique<PreparedSearch>(
+      query, mode, config_.top_k, config_.deadline_ms,
+      config_.posting_scan_budget, elapsed_ms);
+  ps->record = record;
   // Trace sampling: every Nth query records a full span tree. The trace
   // clock starts here, so span times are relative to execution start; the
-  // executor's queue wait is attributed as an attribute, not span time.
-  std::shared_ptr<QueryTrace> trace;
-  TraceContext root;
+  // executor's queue waits are attributed as attributes, not span time.
   if (ShouldTrace()) {
-    trace = std::make_shared<QueryTrace>();
-    root = TraceContext{trace.get(), trace->root()};
-    trace->root()->Attr("mode", EvaluationModeName(mode));
-    trace->root()->Attr("keywords",
-                        static_cast<uint64_t>(query.keywords.size()));
-    trace->root()->Attr("context_predicates",
-                        static_cast<uint64_t>(query.context.size()));
-    trace->root()->Attr("queue_wait_ms", elapsed_ms);
+    ps->trace = std::make_shared<QueryTrace>();
+    ps->root = TraceContext{ps->trace.get(), ps->trace->root()};
+    ps->trace->root()->Attr("mode", EvaluationModeName(mode));
+    ps->trace->root()->Attr("keywords",
+                            static_cast<uint64_t>(query.keywords.size()));
+    ps->trace->root()->Attr("context_predicates",
+                            static_cast<uint64_t>(query.context.size()));
+    ps->trace->root()->Attr("queue_wait_ms", elapsed_ms);
     if (record) hot_.traces_sampled->Increment();
   }
-  // One guard spans both phases: the deadline clock covers the whole
-  // query — including time already spent queued — and the posting budget
-  // is re-granted once when the plan degrades.
-  ScanGuard guard(config_.deadline_ms, config_.posting_scan_budget,
-                  elapsed_ms);
-  SearchResult result;
-  QueryStats qstats;
   {
-    SpanGuard parse(root, "parse");
-    qstats = QueryStats::FromKeywords(query.keywords);
+    SpanGuard parse(ps->root, "parse");
+    ps->qstats = QueryStats::FromKeywords(ps->query.keywords);
     parse.Attr("unique_keywords",
-               static_cast<uint64_t>(qstats.keywords.size()));
+               static_cast<uint64_t>(ps->qstats.keywords.size()));
   }
 
   // One LiveSet snapshot serves the whole query: concurrent appends,
   // seals, and merges publish NEW snapshots and never mutate this one, so
-  // both phases see a single frozen collection.
-  std::shared_ptr<const LiveSet> live = SnapshotLive();
-  std::vector<SearchPart> parts = MakeParts(*live);
-  if (trace != nullptr && parts.size() > 1) {
-    trace->root()->Attr("segments", static_cast<uint64_t>(parts.size()));
+  // every stage sees a single frozen collection.
+  ps->live = SnapshotLive();
+  ps->parts = MakeParts(*ps->live);
+  if (ps->trace != nullptr && ps->parts.size() > 1) {
+    ps->trace->root()->Attr("segments",
+                            static_cast<uint64_t>(ps->parts.size()));
   }
+  return ps;
+}
 
+Status ContextSearchEngine::SearchStats(PreparedSearch& ps) const {
+  SearchResult& result = ps.result;
   // Phase 1: collection statistics.
   WallTimer stats_timer;
   {
-    SpanGuard stats_span(root, "stats");
-    switch (mode) {
+    SpanGuard stats_span(ps.root, "stats");
+    switch (ps.mode) {
       case EvaluationMode::kConventional:
-        result.stats = FoldGlobalStats(parts, qstats.keywords);
+        result.stats = FoldGlobalStats(ps.parts, ps.qstats.keywords);
         result.metrics.plan =
             "stats: precomputed global statistics (Qt = Qk ∪ P)";
         stats_span.Attr("plan", "conventional-global");
         break;
       case EvaluationMode::kContextStraightforward:
       case EvaluationMode::kContextWithViews: {
-        bool with_views = mode == EvaluationMode::kContextWithViews;
+        bool with_views = ps.mode == EvaluationMode::kContextWithViews;
         std::optional<CollectionStats> cached;
         {
           SpanGuard lookup(stats_span.ctx(), "stats_cache_lookup");
@@ -1240,8 +1241,9 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
           // entry cached before an append can never answer a query that
           // sees the appended documents (and vice versa).
           cached = stats_cache_ != nullptr
-                       ? stats_cache_->Get(query.context, qstats.keywords,
-                                           query.years, live->epoch)
+                       ? stats_cache_->Get(ps.query.context,
+                                           ps.qstats.keywords, ps.query.years,
+                                           ps.live->epoch)
                        : std::nullopt;
           lookup.Attr("hit", cached.has_value());
         }
@@ -1252,32 +1254,35 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
           stats_span.Attr("plan", "cache-hit");
         } else {
           result.stats =
-              ComputeContextStats(query, qstats, with_views, result.metrics,
-                                  &guard, parts, stats_span.ctx());
-          if (guard.tripped()) {
+              ComputeContextStats(ps.query, ps.qstats, with_views,
+                                  result.metrics, &ps.guard, ps.parts,
+                                  stats_span.ctx());
+          if (ps.guard.tripped()) {
             // Degradation rung 2: context statistics are partial, therefore
             // unusable — rank with the (precomputed, exact) global
             // statistics instead of failing or serving garbage.
-            RecordTrip(guard);
-            if (trace != nullptr) {
-              trace->Event(stats_span.get(), "event:degraded")
-                  ->Attr("reason", guard.TripReason());
+            RecordTrip(ps.guard);
+            if (ps.trace != nullptr) {
+              ps.trace->Event(stats_span.get(), "event:degraded")
+                  ->Attr("reason", ps.guard.TripReason());
             }
             if (!config_.degrade_gracefully) {
-              if (record) RecordQueryMetrics(result.metrics, mode, true);
-              return TripStatus(guard);
+              if (ps.record) {
+                RecordQueryMetrics(result.metrics, ps.mode, true);
+              }
+              return TripStatus(ps.guard);
             }
-            result.stats = FoldGlobalStats(parts, qstats.keywords);
+            result.stats = FoldGlobalStats(ps.parts, ps.qstats.keywords);
             result.metrics.degraded = true;
             result.metrics.degraded_reason =
-                "context statistics abandoned (" + guard.TripReason() +
+                "context statistics abandoned (" + ps.guard.TripReason() +
                 "); ranked with global collection statistics";
             result.metrics.plan += " -> degraded: global statistics";
-            guard.Reprieve();
+            ps.guard.Reprieve();
           } else if (stats_cache_ != nullptr) {
             // Only exact statistics enter the cache.
-            stats_cache_->Put(query.context, qstats.keywords, query.years,
-                              result.stats, live->epoch);
+            stats_cache_->Put(ps.query.context, ps.qstats.keywords,
+                              ps.query.years, result.stats, ps.live->epoch);
           }
         }
         break;
@@ -1285,46 +1290,66 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
     }
   }
   result.metrics.stats_ms = stats_timer.ElapsedMillis();
+  return Status::OK();
+}
 
-  // Phase 2: retrieval + scoring. The unranked result is the conjunction of
-  // all keyword and predicate lists, evaluated most-selective-first with
-  // skips (identical across modes — only the statistics differ).
+void ContextSearchEngine::ScorePending(PreparedSearch& ps) const {
+  if (ps.pending.empty()) return;
+  const size_t k = ps.qstats.keywords.size();
+  DocStats dstats;
+  dstats.tf.resize(k);
+  size_t row = 0;
+  for (const PreparedSearch::Match& m : ps.pending) {
+    dstats.doc = m.doc;
+    dstats.length = m.length;
+    for (size_t i = 0; i < k; ++i) dstats.tf[i] = ps.pending_tfs[row + i];
+    ps.collector.Offer(dstats.doc,
+                       ranking_->Score(ps.qstats, dstats, ps.result.stats));
+    row += k;
+  }
+  ps.pending.clear();
+  ps.pending_tfs.clear();
+}
+
+Status ContextSearchEngine::SearchIntersect(PreparedSearch& ps) const {
+  SearchResult& result = ps.result;
+  // Phase 2: retrieval. The unranked result is the conjunction of all
+  // keyword and predicate lists, evaluated most-selective-first with skips
+  // (identical across modes — only the statistics differ). Matches are
+  // scored in chunks as the intersection produces them (the score stage
+  // drains the final chunk), so memory stays bounded and the Offer order
+  // matches the fused loop exactly.
+  constexpr size_t kScoreChunk = 4096;
   WallTimer retrieval_timer;
-  SpanGuard retrieval_span(root, "retrieval");
+  SpanGuard retrieval_span(ps.root, "retrieval");
 
   // Per-part cursor sets: a keyword missing from one segment's dictionary
   // only rules that segment out. Parts are iterated in ascending docid
   // order through ONE shared collector, so ties resolve exactly as they
   // would over a flattened index.
   std::vector<std::pair<const SearchPart*, std::vector<PostingCursor>>> ready;
-  for (const SearchPart& part : parts) {
+  for (const SearchPart& part : ps.parts) {
     std::vector<PostingCursor> cursors;
     bool part_empty = false;
-    for (TermId w : qstats.keywords) {
+    for (TermId w : ps.qstats.keywords) {
       cursors.push_back(part.content->cursor(w, &result.metrics.cost));
       if (!cursors.back().valid()) part_empty = true;
     }
-    for (TermId m : query.context) {
+    for (TermId m : ps.query.context) {
       cursors.push_back(part.predicate->cursor(m, &result.metrics.cost));
       if (!cursors.back().valid()) part_empty = true;
     }
     if (!part_empty) ready.emplace_back(&part, std::move(cursors));
   }
 
-  bool retrieval_aborted = false;
   if (!ready.empty()) {
-    // One span covers the fused conjunction + scoring loop: documents are
-    // scored as the intersection produces them, so the two are not
-    // separable in time.
     SpanGuard ispan(retrieval_span.ctx(), "intersect:retrieval");
     CostCounters before;
     if (ispan) before = result.metrics.cost;
-    TopKCollector collector(config_.top_k);
-    DocStats dstats;
-    dstats.tf.resize(qstats.keywords.size());
+    const size_t k = ps.qstats.keywords.size();
     bool shape_attrs = false;
     for (auto& [part, cursors] : ready) {
-      ConjunctionIterator it(std::move(cursors), &guard);
+      ConjunctionIterator it(std::move(cursors), &ps.guard);
       if (ispan && !shape_attrs) {
         ispan.Attr("lists", static_cast<uint64_t>(it.num_lists()));
         ispan.Attr("strategy", it.StrategyMix());
@@ -1336,70 +1361,102 @@ Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
         shape_attrs = true;
       }
       for (; !it.AtEnd(); it.Next()) {
-        if (!query.years.Contains(part->years[it.doc()])) continue;
+        if (!ps.query.years.Contains(part->years[it.doc()])) continue;
         result.result_count++;
-        dstats.doc = part->base + it.doc();
-        dstats.length = part->content->doc_length(it.doc());
-        for (size_t i = 0; i < qstats.keywords.size(); ++i) {
-          dstats.tf[i] = it.tf(i);
-        }
-        collector.Offer(dstats.doc,
-                        ranking_->Score(qstats, dstats, result.stats));
+        ps.pending.push_back(PreparedSearch::Match{
+            part->base + it.doc(), part->content->doc_length(it.doc())});
+        // tfs are read at match time — the lazy per-block tf decode (and
+        // its cost charge) happens exactly where the fused loop paid it.
+        for (size_t i = 0; i < k; ++i) ps.pending_tfs.push_back(it.tf(i));
+        if (ps.pending.size() >= kScoreChunk) ScorePending(ps);
       }
       if (it.aborted()) {
-        retrieval_aborted = true;
+        ps.retrieval_aborted = true;
         break;
       }
     }
-    result.top_docs = collector.Take();
     if (ispan) {
       ispan.Attr("docs_scored", result.result_count);
-      ispan.Attr("aborted", retrieval_aborted);
+      ispan.Attr("aborted", ps.retrieval_aborted);
       AttrIntersectionCostDelta(ispan.get(), result.metrics.cost, before);
     }
   }
 
-  if (retrieval_aborted) {
+  if (ps.retrieval_aborted) {
     // Degradation rung 3: partial top-k over the documents seen so far.
-    RecordTrip(guard);
-    if (trace != nullptr) {
-      trace->Event(retrieval_span.get(), "event:degraded")
-          ->Attr("reason", guard.TripReason());
+    RecordTrip(ps.guard);
+    if (ps.trace != nullptr) {
+      ps.trace->Event(retrieval_span.get(), "event:degraded")
+          ->Attr("reason", ps.guard.TripReason());
     }
     if (!config_.degrade_gracefully || result.result_count == 0) {
       // With degradation off, fail typed. With nothing salvaged, also fail
       // typed — an empty "success" would be indistinguishable from a real
       // empty result.
-      if (record) RecordQueryMetrics(result.metrics, mode, true);
-      return TripStatus(guard);
+      if (ps.record) RecordQueryMetrics(result.metrics, ps.mode, true);
+      return TripStatus(ps.guard);
     }
     result.metrics.degraded = true;
     if (!result.metrics.degraded_reason.empty()) {
       result.metrics.degraded_reason += "; ";
     }
     result.metrics.degraded_reason +=
-        "retrieval stopped early (" + guard.TripReason() +
+        "retrieval stopped early (" + ps.guard.TripReason() +
         "); top-k ranks the " + std::to_string(result.result_count) +
         " documents matched before the stop";
   }
-  if (result.metrics.degraded) degradation_.degraded_queries++;
   retrieval_span.End();
+  result.metrics.retrieval_ms += retrieval_timer.ElapsedMillis();
+  return Status::OK();
+}
 
-  result.metrics.retrieval_ms = retrieval_timer.ElapsedMillis();
-  result.metrics.total_ms = total_timer.ElapsedMillis();
+Result<SearchResult> ContextSearchEngine::FinishSearch(
+    PreparedSearch& ps) const {
+  SearchResult& result = ps.result;
+  WallTimer score_timer;
+  ScorePending(ps);
+  result.top_docs = ps.collector.Take();
+  if (result.metrics.degraded) degradation_.degraded_queries++;
+
+  result.metrics.retrieval_ms += score_timer.ElapsedMillis();
+  result.metrics.total_ms = ps.total_timer.ElapsedMillis();
   result.metrics.plan += "; retrieval: " +
-                         std::to_string(qstats.keywords.size() +
-                                        query.context.size()) +
+                         std::to_string(ps.qstats.keywords.size() +
+                                        ps.query.context.size()) +
                          "-way conjunction, most selective first, top-" +
                          std::to_string(config_.top_k);
-  if (retrieval_aborted) result.metrics.plan += " (partial)";
-  if (record) RecordQueryMetrics(result.metrics, mode, /*failed=*/false);
-  if (trace != nullptr) {
-    trace->root()->Attr("degraded", result.metrics.degraded);
-    trace->Finish();
-    result.trace = std::move(trace);
+  if (ps.retrieval_aborted) result.metrics.plan += " (partial)";
+  if (ps.record) RecordQueryMetrics(result.metrics, ps.mode, /*failed=*/false);
+  if (ps.trace != nullptr) {
+    ps.trace->root()->Attr("degraded", result.metrics.degraded);
+    ps.trace->Finish();
+    result.trace = std::move(ps.trace);
   }
-  return result;
+  return std::move(result);
+}
+
+void ContextSearchEngine::NoteStageWait(PreparedSearch& ps,
+                                        std::string_view stage,
+                                        double wait_ms) const {
+  ps.guard.AddQueueWait(wait_ms);
+  if (ps.trace != nullptr) {
+    ps.trace->Event(ps.root.parent, "stage:" + std::string(stage))
+        ->Attr("queue_wait_ms", wait_ms);
+  }
+}
+
+Result<SearchResult> ContextSearchEngine::Search(const ContextQuery& query,
+                                                 EvaluationMode mode,
+                                                 double elapsed_ms) const {
+  // Exactly the staged pipeline's sequence, run inline — pipelined and
+  // sequential execution are bit-identical by construction.
+  Result<std::unique_ptr<PreparedSearch>> prep =
+      BeginSearch(query, mode, elapsed_ms);
+  if (!prep.ok()) return prep.status();
+  PreparedSearch& ps = **prep;
+  if (Status s = SearchStats(ps); !s.ok()) return s;
+  if (Status s = SearchIntersect(ps); !s.ok()) return s;
+  return FinishSearch(ps);
 }
 
 }  // namespace csr

@@ -5,12 +5,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "corpus/atm.h"
 #include "corpus/generator.h"
 #include "engine/query.h"
 #include "engine/segments.h"
+#include "engine/top_k.h"
 #include "index/inverted_index.h"
 #include "index/scan_guard.h"
 #include "obs/metrics.h"
@@ -171,6 +173,60 @@ struct DegradationStats {
   std::atomic<uint64_t> segments_quarantined{0};  // dropped loading snapshot
 };
 
+/// The in-flight state of one phased Search. The staged pipeline executor
+/// (engine/executor.h) carries one of these across its stages:
+///
+///   BeginSearch(q, mode, wait)   parse/plan — validation, trace + guard
+///                                setup, LiveSet snapshot
+///   SearchStats(ps)              phase 1 — collection statistics (cache,
+///                                views, degradation rung 2)
+///   SearchIntersect(ps)          phase 2 — k-way conjunction, match
+///                                materialization (degradation rung 3)
+///   FinishSearch(ps)             score/top-k — final chunk scoring,
+///                                metrics, trace finish
+///
+/// Search() itself runs exactly this sequence inline, so pipelined and
+/// sequential execution are bit-identical by construction (same scores,
+/// tie-breaks, cost counters, and degradation reasons). A PreparedSearch
+/// is owned by one stage at a time; queue handoffs provide the
+/// happens-before edges, so no member needs synchronization.
+struct PreparedSearch {
+  PreparedSearch(const ContextQuery& q, EvaluationMode m, uint32_t top_k,
+                 double deadline_ms, uint64_t budget, double elapsed_ms)
+      : query(q),
+        mode(m),
+        guard(deadline_ms, budget, elapsed_ms),
+        collector(top_k) {}
+  PreparedSearch(const PreparedSearch&) = delete;
+  PreparedSearch& operator=(const PreparedSearch&) = delete;
+
+  ContextQuery query;
+  EvaluationMode mode;
+  ScanGuard guard;          // one guard spans all stages (wall clock runs
+                            // across queue waits; see AddQueueWait)
+  TopKCollector collector;
+  WallTimer total_timer;    // started at BeginSearch; read at FinishSearch
+  bool record = false;      // metrics_enabled() snapshot from BeginSearch
+  std::shared_ptr<QueryTrace> trace;
+  TraceContext root;
+  QueryStats qstats;
+  std::shared_ptr<const LiveSet> live;
+  std::vector<SearchPart> parts;
+  SearchResult result;
+
+  /// Matches materialized by SearchIntersect. Scored in chunks as the
+  /// intersection produces them (bounding memory for huge conjunctions)
+  /// with the final chunk scored by FinishSearch; the Offer order equals
+  /// the fused loop's, so top-k ties break identically.
+  struct Match {
+    DocId doc;        // global docid
+    uint32_t length;  // len(d)
+  };
+  std::vector<Match> pending;
+  std::vector<uint32_t> pending_tfs;  // pending.size() x unique keywords
+  bool retrieval_aborted = false;
+};
+
 /// The system of the paper, end to end: inverted indexes over content and
 /// predicates, conventional and context-sensitive query evaluation, and the
 /// materialized-view pipeline (selection + building + query-time matching).
@@ -327,6 +383,40 @@ class ContextSearchEngine {
   Result<SearchResult> Search(const ContextQuery& query, EvaluationMode mode,
                               double elapsed_ms = 0.0) const;
 
+  // -- Phased Search (staged pipeline executor) --------------------------
+  // Search() == BeginSearch -> SearchStats -> SearchIntersect ->
+  // FinishSearch, run inline. The executor runs the same sequence with
+  // queue handoffs between stages; results are bit-identical. Every
+  // function records query metrics and returns the same typed statuses the
+  // monolithic Search would, so a stage error is final — resolve the
+  // query's promise with it and drop the PreparedSearch.
+
+  /// Parse/plan stage: validation, early shed when the deadline was
+  /// consumed in the queue, trace + guard setup, LiveSet snapshot.
+  Result<std::unique_ptr<PreparedSearch>> BeginSearch(
+      const ContextQuery& query, EvaluationMode mode,
+      double elapsed_ms = 0.0) const;
+
+  /// Phase 1: collection statistics (cache lookup, views, degradation
+  /// rung 2 or its typed failure).
+  Status SearchStats(PreparedSearch& ps) const;
+
+  /// Phase 2: per-part conjunctions, match materialization with chunked
+  /// scoring, degradation rung 3 or its typed failure. Runs under the
+  /// calling thread's DecodedBlockArena when one is installed.
+  Status SearchIntersect(PreparedSearch& ps) const;
+
+  /// Score/top-k stage: scores the final match chunk, extracts the top-k,
+  /// stamps metrics and finishes the trace.
+  Result<SearchResult> FinishSearch(PreparedSearch& ps) const;
+
+  /// Attributes `wait_ms` of inter-stage queue wait to the query: the
+  /// guard's cumulative queue-wait accounting (surfaced by TripReason) and
+  /// a `stage:<stage>` trace event carrying queue_wait_ms. The deadline
+  /// clock needs no charge — it has been running since BeginSearch.
+  void NoteStageWait(PreparedSearch& ps, std::string_view stage,
+                     double wait_ms) const;
+
   // -- Accessors --------------------------------------------------------
   const Corpus& corpus() const { return corpus_; }
   const InvertedIndex& content_index() const { return content_index_; }
@@ -438,6 +528,10 @@ class ContextSearchEngine {
 
   /// Folds a tripped guard into the degradation telemetry.
   void RecordTrip(const ScanGuard& guard) const;
+
+  /// Scores every pending match into the collector (chunk drain of the
+  /// phased retrieval; see PreparedSearch::pending).
+  void ScorePending(PreparedSearch& ps) const;
 
   /// Registers the engine-owned instruments and legacy-counter sample
   /// callbacks into registry_ (called once, at the end of Finish).

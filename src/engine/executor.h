@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string_view>
@@ -14,10 +15,42 @@
 #include "engine/admission.h"
 #include "engine/engine.h"
 #include "engine/query.h"
+#include "index/codec.h"
 #include "util/result.h"
 #include "util/timer.h"
 
 namespace csr {
+
+/// Staged pipeline execution (DESIGN.md §16). Off by default: the legacy
+/// one-query-per-worker pool keeps its exact semantics. When enabled,
+/// each query flows parse/plan -> intersect -> score/top-k through
+/// bounded inter-stage queues, and the intersect stage batches in-flight
+/// queries that share terms so each posting block is decoded once per
+/// batch (per-batch DecodedBlockArena).
+struct PipelineConfig {
+  bool enabled = false;
+
+  /// Per-stage worker pools. intersect_workers == 0 picks the executor's
+  /// resolved num_threads (the intersect stage does the posting-scan
+  /// work, so it gets the pool the legacy path would have had).
+  uint32_t parse_workers = 1;
+  uint32_t intersect_workers = 0;
+  uint32_t score_workers = 1;
+
+  /// Bound of each inter-stage queue. A full downstream queue blocks the
+  /// upstream stage (backpressure), which in turn keeps admission queues
+  /// full and lets per-tenant rejection engage.
+  size_t stage_queue_capacity = 64;
+
+  /// Most queries one intersect batch may group (>= 1). Queries join a
+  /// batch only when they share at least one term with the batch head.
+  size_t max_batch = 8;
+
+  /// Byte bound of each intersect worker's decoded-block arena. Past the
+  /// bound new blocks decode privately (correct, just uncached), so batch
+  /// memory stays bounded however hot the shared terms are.
+  size_t arena_bytes = DecodedBlockArena::kDefaultMaxBytes;
+};
 
 struct ExecutorConfig {
   /// Worker threads. 0 picks std::thread::hardware_concurrency() (min 1).
@@ -32,6 +65,9 @@ struct ExecutorConfig {
   /// Default (no tenants, slo_ms 0) reproduces single-queue FIFO serving
   /// at full worker concurrency.
   AdmissionConfig admission;
+
+  /// Staged pipeline + cross-query posting-scan batching (DESIGN.md §16).
+  PipelineConfig pipeline;
 };
 
 /// Point-in-time executor telemetry. Counters are cumulative since
@@ -56,6 +92,38 @@ struct ExecutorMetrics {
   double queue_wait_ms_total = 0;  // summed over completed tasks
   double queue_wait_ms_max = 0;
   double exec_ms_total = 0;  // summed Search wall time, completed tasks
+};
+
+/// Point-in-time telemetry for one pipeline stage. `queue_depth` is the
+/// stage's INPUT queue (for parse that is the admission queues);
+/// `busy_ms_total` sums the stage's time actually executing work, so
+/// occupancy = busy_ms_total / (uptime_ms * workers).
+struct PipelineStageMetrics {
+  uint32_t workers = 0;
+  uint64_t processed = 0;
+  size_t queue_depth = 0;
+  size_t max_queue_depth = 0;
+  double queue_wait_ms_total = 0;
+  double busy_ms_total = 0;
+};
+
+/// Locked copy-out of the staged pipeline's state; all-zero (enabled ==
+/// false) when the executor runs the legacy one-query-per-worker pool.
+struct PipelineMetrics {
+  bool enabled = false;
+  double uptime_ms = 0;
+  PipelineStageMetrics parse;
+  PipelineStageMetrics intersect;
+  PipelineStageMetrics score;
+
+  uint64_t batches = 0;          // intersect batches formed
+  uint64_t batched_queries = 0;  // queries that shared a batch (size >= 2)
+  size_t max_batch = 0;          // largest batch observed
+  /// batch_size_counts[n] = number of batches of exactly n queries
+  /// (index 0 unused).
+  std::vector<uint64_t> batch_size_counts;
+  uint64_t arena_hits = 0;    // block decodes avoided via batch arenas
+  uint64_t arena_misses = 0;  // block decodes the arenas performed
 };
 
 /// A fixed-size thread pool serving ContextSearchEngine::Search under the
@@ -120,9 +188,15 @@ class QueryExecutor {
   /// concurrency limit, shed counts). Basis of the admission.* metrics
   /// and the shell's `.qos`.
   AdmissionSnapshot admission() const;
+  /// Locked copy-out of the pipeline state (per-stage depth/occupancy,
+  /// batch-size histogram). Basis of pipeline.* metrics and the shell's
+  /// `.pipeline`; `enabled == false` when running the legacy pool.
+  PipelineMetrics pipeline() const;
   size_t queue_depth() const;
   uint32_t num_threads() const {
-    return static_cast<uint32_t>(workers_.size());
+    return static_cast<uint32_t>(workers_.size() + parse_workers_.size() +
+                                 intersect_workers_.size() +
+                                 score_workers_.size());
   }
   const ContextSearchEngine& engine() const { return *engine_; }
 
@@ -132,6 +206,48 @@ class QueryExecutor {
     EvaluationMode mode;
     std::promise<Result<SearchResult>> promise;
     WallTimer queued;  // started at enqueue; read at dequeue = queue wait
+  };
+
+  /// One query in flight through the staged pipeline. Owned by exactly
+  /// one stage at a time; the bounded-queue handoff publishes it to the
+  /// next stage (mutex acquire/release = happens-before), so no field
+  /// needs its own synchronization.
+  struct PipelineTask {
+    std::unique_ptr<PreparedSearch> ps;
+    std::promise<Result<SearchResult>> promise;
+    size_t tenant = 0;
+    double admission_wait_ms = 0;  // pre-parse wait; shed classification
+    WallTimer enqueued;            // started at Enqueue; read = e2e time
+    WallTimer staged;              // restarted at each queue push
+    std::vector<TermId> terms;     // sorted unique keywords ∪ context
+    bool failed = false;           // finalized mid-batch with an error
+  };
+
+  /// Bounded MPMC queue of PipelineTasks. Push blocks while full (that is
+  /// the backpressure), Pop blocks while empty; Close wakes everyone and
+  /// makes Pop return false once drained. PopBatch additionally pulls up
+  /// to max_batch-1 queued tasks sharing a term with the head, forming
+  /// the intersect stage's shared-decode batch.
+  class StageQueue {
+   public:
+    explicit StageQueue(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    bool Push(PipelineTask task);
+    bool Pop(PipelineTask& out);
+    bool PopBatch(std::vector<PipelineTask>& out, size_t max_batch);
+    void Close();
+    size_t depth() const;
+    size_t max_depth() const;
+
+   private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<PipelineTask> q_;
+    size_t max_depth_ = 0;
+    bool closed_ = false;
   };
 
   static uint32_t ResolveThreads(const ExecutorConfig& config);
@@ -144,9 +260,26 @@ class QueryExecutor {
                                             bool block);
   void WorkerLoop();
 
+  // Pipeline stage loops (pipeline.enabled only). Parse shares the
+  // admission dispatch head with the legacy loop; intersect and score
+  // consume the bounded stage queues.
+  void ParseLoop();
+  void IntersectLoop();
+  void ScoreLoop();
+  /// Completion bookkeeping shared by every stage that resolves a query
+  /// (identical to the legacy loop's: completed++ and OnComplete BEFORE
+  /// the promise resolves, histograms outside mu_).
+  void FinalizeTask(PipelineTask& task, Result<SearchResult> result);
+
   const ContextSearchEngine* engine_;
   ExecutorConfig config_;
   std::vector<std::thread> workers_;
+  std::vector<std::thread> parse_workers_;
+  std::vector<std::thread> intersect_workers_;
+  std::vector<std::thread> score_workers_;
+  std::unique_ptr<StageQueue> intersect_q_;
+  std::unique_ptr<StageQueue> score_q_;
+  WallTimer uptime_;
 
   // Observability: per-event latency histograms (cached instrument
   // pointers, relaxed-atomic updates outside mu_) plus a sample callback
@@ -168,6 +301,26 @@ class QueryExecutor {
   AdmissionController admission_;      // guarded by mu_
   bool shutdown_ = false;
   ExecutorMetrics metrics_;  // guarded by mu_; queue_depth derived
+
+  /// Pipeline counters guarded by mu_ (stage queue depths live in the
+  /// StageQueues; pipeline() merges both under a consistent read).
+  struct PipelineCounters {
+    uint64_t parse_processed = 0;
+    uint64_t intersect_processed = 0;
+    uint64_t score_processed = 0;
+    double parse_busy_ms = 0;
+    double intersect_busy_ms = 0;
+    double score_busy_ms = 0;
+    double intersect_wait_ms = 0;
+    double score_wait_ms = 0;
+    uint64_t batches = 0;
+    uint64_t batched_queries = 0;
+    size_t max_batch = 0;
+    std::vector<uint64_t> batch_size_counts;
+    uint64_t arena_hits = 0;
+    uint64_t arena_misses = 0;
+  };
+  PipelineCounters pipeline_counters_;  // guarded by mu_
 };
 
 }  // namespace csr

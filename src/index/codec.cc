@@ -1,6 +1,7 @@
 #include "index/codec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -516,6 +517,83 @@ Status DecodeTaggedTfs(std::string_view in, size_t tf_offset, size_t count,
 
 }  // namespace
 
+namespace {
+
+// Process-wide decode tallies (same relaxed-atomic idiom as the intersect
+// kernel tallies): charged on every successful docid-section decode and on
+// every arena-served block load. Benches snapshot deltas.
+std::atomic<uint64_t> g_blocks_decoded{0};
+std::atomic<uint64_t> g_arena_hits{0};
+
+thread_local DecodedBlockArena* tl_active_arena = nullptr;
+
+}  // namespace
+
+DecodeTallies SnapshotDecodeTallies() {
+  DecodeTallies t;
+  t.blocks_decoded = g_blocks_decoded.load(std::memory_order_relaxed);
+  t.arena_hits = g_arena_hits.load(std::memory_order_relaxed);
+  return t;
+}
+
+DecodedBlockArena::Scope::Scope(DecodedBlockArena* arena)
+    : prev_(tl_active_arena) {
+  tl_active_arena = arena;
+}
+
+DecodedBlockArena::Scope::~Scope() { tl_active_arena = prev_; }
+
+DecodedBlockArena* DecodedBlockArena::Active() { return tl_active_arena; }
+
+const DecodedBlockArena::Entry* DecodedBlockArena::GetDocs(
+    const CompressedPostingList* list, size_t block) {
+  auto it = map_.find(Key{list, block});
+  if (it != map_.end()) {
+    ++hits_;
+    g_arena_hits.fetch_add(1, std::memory_order_relaxed);
+    return &it->second;
+  }
+  // At the byte bound new blocks decode privately and are not cached — the
+  // arena degrades to a no-op rather than growing without bound.
+  if (bytes_ >= max_bytes_) return nullptr;
+  const CompressedPostingList::BlockMeta& meta = list->blocks()[block];
+  Entry e;
+  Status s = DecodeTaggedDocs(list->BlockBytes(block), meta.base, meta.count,
+                              e.docs, &e.tf_offset);
+  if (!s.ok() || e.docs.empty()) return nullptr;  // caller poisons privately
+  ++misses_;
+  g_blocks_decoded.fetch_add(1, std::memory_order_relaxed);
+  bytes_ += e.docs.size() * sizeof(DocId);
+  auto [ins, inserted] = map_.emplace(Key{list, block}, std::move(e));
+  (void)inserted;
+  return &ins->second;
+}
+
+const DecodedBlockArena::Entry* DecodedBlockArena::GetTfs(
+    const CompressedPostingList* list, size_t block) {
+  auto it = map_.find(Key{list, block});
+  if (it == map_.end()) return nullptr;
+  Entry& e = it->second;
+  if (!e.tfs_loaded) {
+    if (bytes_ >= max_bytes_) return nullptr;
+    const CompressedPostingList::BlockMeta& meta = list->blocks()[block];
+    Status s = DecodeTaggedTfs(list->BlockBytes(block), e.tf_offset,
+                               meta.count, e.tfs);
+    if (!s.ok()) {
+      e.tfs.clear();
+      return nullptr;
+    }
+    e.tfs_loaded = true;
+    bytes_ += e.tfs.size() * sizeof(uint32_t);
+  }
+  return &e;
+}
+
+void DecodedBlockArena::Clear() {
+  map_.clear();
+  bytes_ = 0;
+}
+
 CompressedPostingList CompressedPostingList::FromPostings(
     std::span<const Posting> postings, uint32_t block_size,
     CodecPolicy policy) {
@@ -667,16 +745,36 @@ void CompressedPostingList::Iterator::LoadBlock(size_t block) {
   block_ = block;
   pos_ = 0;
   tfs_loaded_ = false;
+  tfs_ = {};
   const BlockMeta& meta = list_->blocks_[block];
+  if (DecodedBlockArena* arena = DecodedBlockArena::Active()) {
+    if (const DecodedBlockArena::Entry* e = arena->GetDocs(list_, block)) {
+      // Shared decode: every iterator in the batch views the same run, but
+      // the cost charge is identical to a private decode — per-query
+      // counters must not depend on batch composition.
+      docs_ = std::span<const DocId>(e->docs);
+      tf_offset_ = e->tf_offset;
+      if (cost_ != nullptr) {
+        cost_->segments_touched++;
+        cost_->bytes_touched += 1 + tf_offset_;  // tag + docid section
+      }
+      return;
+    }
+    // nullptr: arena at its byte bound, or a corrupt block — decode
+    // privately, exactly as without an arena.
+  }
   Status s = DecodeTaggedDocs(BlockBytes(block), meta.base, meta.count,
-                              docs_, &tf_offset_);
-  if (!s.ok() || docs_.empty()) {
+                              own_docs_, &tf_offset_);
+  if (!s.ok() || own_docs_.empty()) {
     // Defensive: self-built lists cannot hit this, and persisted lists are
     // whole-file checksummed before they get here. Poison rather than UB.
-    docs_.clear();
+    own_docs_.clear();
+    docs_ = {};
     at_end_ = true;
     return;
   }
+  g_blocks_decoded.fetch_add(1, std::memory_order_relaxed);
+  docs_ = std::span<const DocId>(own_docs_);
   if (cost_ != nullptr) {
     cost_->segments_touched++;
     cost_->bytes_touched += 1 + tf_offset_;  // tag + docid section
@@ -686,16 +784,28 @@ void CompressedPostingList::Iterator::LoadBlock(size_t block) {
 void CompressedPostingList::Iterator::LoadTfs() const {
   tfs_loaded_ = true;
   if (at_end_ || docs_.empty()) {
-    tfs_.clear();
+    own_tfs_.clear();
+    tfs_ = {};
     return;
   }
   std::string_view raw = BlockBytes(block_);
-  Status s =
-      DecodeTaggedTfs(raw, tf_offset_, list_->blocks_[block_].count, tfs_);
+  if (DecodedBlockArena* arena = DecodedBlockArena::Active()) {
+    if (const DecodedBlockArena::Entry* e = arena->GetTfs(list_, block_)) {
+      tfs_ = std::span<const uint32_t>(e->tfs);
+      if (cost_ != nullptr) {
+        cost_->bytes_touched += raw.size() - (1 + tf_offset_);
+      }
+      return;
+    }
+  }
+  Status s = DecodeTaggedTfs(raw, tf_offset_, list_->blocks_[block_].count,
+                             own_tfs_);
   if (!s.ok()) {
-    tfs_.clear();  // tf() degrades to 0; docids stay servable
+    own_tfs_.clear();  // tf() degrades to 0; docids stay servable
+    tfs_ = {};
     return;
   }
+  tfs_ = std::span<const uint32_t>(own_tfs_);
   if (cost_ != nullptr) {
     cost_->bytes_touched += raw.size() - (1 + tf_offset_);
   }

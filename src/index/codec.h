@@ -7,6 +7,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "index/cost_model.h"
@@ -159,6 +160,108 @@ enum class BlockCodec : uint8_t { kVarint = 0, kFor = 1, kBitmap = 2 };
 /// forced policies exist for the codec ablation bench.
 enum class CodecPolicy { kAuto, kVarintOnly, kForOnly, kBitmapPreferred };
 
+class CompressedPostingList;
+
+/// Per-batch decoded-block arena (staged pipeline executor, DESIGN.md
+/// §16). While a thread has an arena installed (Scope), every
+/// CompressedPostingList::Iterator block load first consults it: the
+/// first query in a batch to touch a (list, block) pair decodes it into
+/// the arena, and every later ConjunctionIterator in the same batch
+/// shares the decoded run by span — the block is decoded once per batch.
+/// CostCounters are still charged per query exactly as if each query had
+/// decoded the block itself, so cost-driven behavior (degradation
+/// ladders, perf gates, trace attribution) is bit-identical with and
+/// without an arena.
+///
+/// Deliberately per-batch, NOT a global cache: the arena is owned and
+/// cleared by one intersect worker per batch, so it needs no
+/// synchronization, its memory is bounded by `max_bytes` (past the bound
+/// new blocks decode privately and are not cached), and entries can
+/// never outlive the LiveSet snapshot their list pointers came from.
+class DecodedBlockArena {
+ public:
+  static constexpr size_t kDefaultMaxBytes = 1 << 20;
+
+  explicit DecodedBlockArena(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes == 0 ? kDefaultMaxBytes : max_bytes) {}
+
+  struct Entry {
+    std::vector<DocId> docs;      // decoded docid section
+    size_t tf_offset = 0;         // tf section offset within the body
+    std::vector<uint32_t> tfs;    // decoded lazily on first GetTfs
+    bool tfs_loaded = false;
+  };
+
+  /// The decoded docids of `block`, decoding on first touch. Returns
+  /// nullptr when the block cannot be cached (decode failure, or the
+  /// arena is at its byte bound) — the caller then decodes privately,
+  /// exactly as without an arena. The returned entry stays valid until
+  /// Clear() or destruction.
+  const Entry* GetDocs(const CompressedPostingList* list, size_t block);
+
+  /// The decoded tfs of `block` (requires a prior successful GetDocs for
+  /// the same block). nullptr on decode failure or budget overflow.
+  const Entry* GetTfs(const CompressedPostingList* list, size_t block);
+
+  /// Drops every entry; called between batches.
+  void Clear();
+
+  size_t bytes() const { return bytes_; }
+  size_t entries() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Installs `arena` as the calling thread's active arena for the
+  /// scope's lifetime (restoring the previous one on exit). Iterator
+  /// block loads on this thread consult it; other threads are unaffected.
+  class Scope {
+   public:
+    explicit Scope(DecodedBlockArena* arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    DecodedBlockArena* prev_;
+  };
+
+  /// The calling thread's active arena (nullptr outside any Scope).
+  static DecodedBlockArena* Active();
+
+ private:
+  struct Key {
+    const CompressedPostingList* list;
+    size_t block;
+    bool operator==(const Key& o) const {
+      return list == o.list && block == o.block;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = reinterpret_cast<uintptr_t>(k.list) * 0x9E3779B97F4A7C15ULL;
+      h ^= (k.block + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Process-wide posting-block decode tallies (relaxed atomics, mirroring
+/// the intersect-kernel tallies in simd_intersect.h): how many block docid
+/// sections were actually decoded by iterators vs served from a batch
+/// arena. The serving bench snapshots deltas to report
+/// blocks-decoded-per-query with and without cross-query batching.
+struct DecodeTallies {
+  uint64_t blocks_decoded = 0;  // docid sections decoded (arena or private)
+  uint64_t arena_hits = 0;      // block loads served from an active arena
+};
+DecodeTallies SnapshotDecodeTallies();
+
 /// An immutable, block-compressed posting list with a per-block skip
 /// table carrying block-max metadata (max docid AND max tf per block, the
 /// block-max WAND structure). Functionally equivalent to PostingList (same
@@ -281,8 +384,14 @@ class CompressedPostingList {
 
     const CompressedPostingList* list_;
     CostCounters* cost_;
-    std::vector<DocId> docs_;  // decoded docids of the current block
-    mutable std::vector<uint32_t> tfs_;
+    // The current block's decoded sections. The spans view either this
+    // iterator's own storage (own_docs_/own_tfs_) or a shared entry in
+    // the thread's active DecodedBlockArena; the arena outlives every
+    // iterator of its batch, so the views stay valid across Next/SkipTo.
+    std::vector<DocId> own_docs_;
+    std::span<const DocId> docs_;
+    mutable std::vector<uint32_t> own_tfs_;
+    mutable std::span<const uint32_t> tfs_;
     mutable bool tfs_loaded_ = false;
     size_t tf_offset_ = 0;  // tf section offset within the block body
     size_t block_ = 0;

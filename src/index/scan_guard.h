@@ -31,7 +31,22 @@ class ScanGuard {
             double initial_elapsed_ms = 0.0)
       : deadline_ms_(deadline_ms),
         budget_(posting_budget),
-        initial_elapsed_ms_(initial_elapsed_ms) {}
+        initial_elapsed_ms_(initial_elapsed_ms),
+        queue_wait_ms_(initial_elapsed_ms) {}
+
+  /// Attributes `ms` of additional queue wait to this guard. The staged
+  /// executor calls this at every stage handoff, so TripReason() reports
+  /// the *cumulative* wait across all stages, not just the admission
+  /// queue. Attribution only: the deadline clock (timer_) has been running
+  /// since construction and already covers inter-stage waits, so this must
+  /// NOT feed the deadline arithmetic — that would double-charge the wait.
+  void AddQueueWait(double ms) {
+    if (ms > 0) queue_wait_ms_ += ms;
+  }
+
+  /// Total queue wait charged against this query: the initial (admission)
+  /// wait plus every AddQueueWait stage handoff.
+  double queue_wait_ms() const { return queue_wait_ms_; }
 
   /// Charges one posting advance. Returns true when the scan must stop.
   /// The deadline is polled on the first tick and every 64th after, so a
@@ -67,8 +82,8 @@ class ScanGuard {
       case Trip::kDeadline: {
         std::string r =
             "deadline of " + FormatMillis(deadline_ms_) + " ms exceeded";
-        if (initial_elapsed_ms_ > 0) {
-          r += " (incl. " + FormatMillis(initial_elapsed_ms_) +
+        if (queue_wait_ms_ > 0) {
+          r += " (incl. " + FormatMillis(queue_wait_ms_) +
                " ms of queue wait)";
         }
         return r;
@@ -97,6 +112,7 @@ class ScanGuard {
   double deadline_ms_;
   uint64_t budget_;
   double initial_elapsed_ms_ = 0.0;
+  double queue_wait_ms_ = 0.0;  // attribution only; never re-charged
   uint64_t ticks_ = 0;
   Trip trip_ = Trip::kNone;
 };

@@ -1,5 +1,8 @@
 #include "util/fault.h"
 
+#include <chrono>
+#include <thread>
+
 namespace csr {
 
 std::string_view FaultPointName(FaultPoint p) {
@@ -64,6 +67,16 @@ void FaultInjector::ArmRate(FaultPoint p, double rate, uint64_t seed) {
   }
 }
 
+void FaultInjector::ArmDelay(FaultPoint p, uint64_t micros) {
+  Slot& s = slots_[static_cast<size_t>(p)];
+  uint64_t prev = s.delay_micros.exchange(micros, std::memory_order_release);
+  if (prev == 0 && micros != 0) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else if (prev != 0 && micros == 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
 void FaultInjector::Disarm(FaultPoint p) {
   Slot& s = slots_[static_cast<size_t>(p)];
   uint64_t prev = s.fail_at.exchange(0, std::memory_order_relaxed);
@@ -71,6 +84,8 @@ void FaultInjector::Disarm(FaultPoint p) {
   uint64_t rate_prev =
       s.rate_threshold.exchange(0, std::memory_order_relaxed);
   if (rate_prev != 0) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  uint64_t delay_prev = s.delay_micros.exchange(0, std::memory_order_relaxed);
+  if (delay_prev != 0) armed_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::DisarmAll() {
@@ -82,6 +97,12 @@ void FaultInjector::DisarmAll() {
 bool FaultInjector::Hit(FaultPoint p) {
   if (armed_count_.load(std::memory_order_acquire) == 0) return false;
   Slot& s = slots_[static_cast<size_t>(p)];
+  // The delay trigger slows the hit but never fires it: tests use it to
+  // make one pipeline stage slow without introducing failures.
+  uint64_t delay = s.delay_micros.load(std::memory_order_acquire);
+  if (delay != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
   uint64_t fail_at = s.fail_at.load(std::memory_order_acquire);
   if (fail_at != 0) {
     uint64_t h = s.hits.fetch_add(1, std::memory_order_acq_rel) + 1;

@@ -23,7 +23,7 @@ inline constexpr size_t kNumFaultPoints = 5;
 
 std::string_view FaultPointName(FaultPoint p);
 
-/// Deterministic fault-injection registry (process-wide singleton). Two
+/// Deterministic fault-injection registry (process-wide singleton). Three
 /// trigger mechanisms per point, independently armable:
 ///
 ///  - One-shot: Arm() makes the point fail on the Nth hit after arming,
@@ -34,6 +34,10 @@ std::string_view FaultPointName(FaultPoint p);
 ///    scenario is reproducible: under a fixed seed the Kth hit of the
 ///    point fires or not deterministically, regardless of which thread
 ///    lands on it. The trigger stays armed until Disarm().
+///  - Delay: ArmDelay() makes every hit sleep for a fixed duration before
+///    returning (without injecting a failure), so tests can make one
+///    pipeline stage arbitrarily slow — e.g. a slow-intersect scenario via
+///    kPostingAdvance — and observe backpressure instead of errors.
 ///
 /// Single-fire semantics under concurrency: Hit() may be called from any
 /// number of threads (every query's ScanGuard ticks through it). The Nth
@@ -62,7 +66,12 @@ class FaultInjector {
   /// one-shot is consulted first and keeps its exactly-once contract.
   void ArmRate(FaultPoint p, double rate, uint64_t seed = 0x57042);
 
-  /// Clears both the one-shot and the rate trigger for `p`.
+  /// Arms `p` to sleep `micros` microseconds on every hit (0 disarms the
+  /// delay trigger). Delays never inject a failure — Hit() still returns
+  /// false unless a one-shot or rate trigger fires on the same hit.
+  void ArmDelay(FaultPoint p, uint64_t micros);
+
+  /// Clears the one-shot, rate, and delay triggers for `p`.
   void Disarm(FaultPoint p);
   void DisarmAll();
 
@@ -90,6 +99,8 @@ class FaultInjector {
     std::atomic<uint64_t> rate_seq{0};
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> trips{0};
+    // Delay trigger: every hit sleeps this long (0 = disarmed).
+    std::atomic<uint64_t> delay_micros{0};
   };
   std::array<Slot, kNumFaultPoints> slots_;
   std::atomic<int> armed_count_{0};
@@ -107,6 +118,20 @@ class ScopedFault {
   ~ScopedFault() { FaultInjector::Instance().Disarm(p_); }
   ScopedFault(const ScopedFault&) = delete;
   ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultPoint p_;
+};
+
+/// RAII delay arming for slow-stage scenarios: disarms on scope exit.
+class ScopedFaultDelay {
+ public:
+  ScopedFaultDelay(FaultPoint p, uint64_t micros) : p_(p) {
+    FaultInjector::Instance().ArmDelay(p_, micros);
+  }
+  ~ScopedFaultDelay() { FaultInjector::Instance().Disarm(p_); }
+  ScopedFaultDelay(const ScopedFaultDelay&) = delete;
+  ScopedFaultDelay& operator=(const ScopedFaultDelay&) = delete;
 
  private:
   FaultPoint p_;

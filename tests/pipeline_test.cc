@@ -1,0 +1,416 @@
+// Staged-pipeline executor suite (ctest -L concurrency -L overload; also
+// runs in the TSan lane). Covers DESIGN.md §16:
+//
+//  1. Differential: the pipelined executor (parse -> intersect -> score
+//     through bounded queues, cross-query batch decoding) returns results
+//     bit-identical to sequential Search — docs, scores, result counts,
+//     degradation reasons — across every ranking mode and codec policy.
+//  2. Batching: queries sharing hot context terms form intersect batches
+//     whose shared posting blocks decode once (arena hits observed), with
+//     per-query cost counters charged exactly as unbatched execution.
+//  3. Backpressure: a slow intersect stage (posting-advance fault delay)
+//     fills ONLY the intersect queue; parse workers keep draining
+//     admission queues, and overflowing tenants get typed
+//     kResourceExhausted rejections with a retry_after_ms hint.
+//  4. Deadline attribution: inter-stage queue waits count against the
+//     query deadline, and the trip message says how much was queue wait.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "engine/engine.h"
+#include "engine/executor.h"
+#include "index/codec.h"
+#include "util/fault.h"
+
+namespace csr {
+namespace {
+
+Corpus SmallCorpus(uint32_t docs = 3000, uint64_t seed = 77) {
+  CorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.vocab_size = 2000;
+  cfg.ontology_fanouts = {4, 3};
+  cfg.seed = seed;
+  return CorpusGenerator(cfg).Generate().value();
+}
+
+/// Mixed workload biased toward a few hot contexts so in-flight queries
+/// share (term, segment) posting cursors — the batching opportunity.
+std::vector<ContextQuery> SharedContextWorkload(
+    const ContextSearchEngine& engine, size_t n) {
+  const CorpusConfig& cc = engine.corpus().config;
+  auto topical = [&](TermId concept_id, uint32_t j) {
+    return CorpusGenerator::ConceptTopicalTerm(concept_id, j, cc.vocab_size,
+                                               cc.topical_window);
+  };
+  std::vector<ContextQuery> queries;
+  for (size_t i = 0; i < n; ++i) {
+    TermId c = static_cast<TermId>(i % 4);  // 4 hot contexts
+    ContextQuery q;
+    q.keywords = {topical(c, static_cast<uint32_t>(i % 3))};
+    if (i % 3 == 1) q.keywords.push_back(topical((c + 2) % 4, 0));
+    q.context = {c};
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+ExecutorConfig PipelinedConfig(size_t max_batch = 8,
+                               size_t stage_capacity = 64) {
+  ExecutorConfig config;
+  config.pipeline.enabled = true;
+  config.pipeline.parse_workers = 2;
+  config.pipeline.intersect_workers = 2;
+  config.pipeline.score_workers = 2;
+  config.pipeline.max_batch = max_batch;
+  config.pipeline.stage_queue_capacity = stage_capacity;
+  return config;
+}
+
+void ExpectBitIdentical(const Result<SearchResult>& got,
+                        const Result<SearchResult>& want, size_t i) {
+  ASSERT_EQ(got.ok(), want.ok()) << i;
+  if (!got.ok()) {
+    EXPECT_EQ(got.status().code(), want.status().code()) << i;
+    return;
+  }
+  const SearchResult& a = got.value();
+  const SearchResult& b = want.value();
+  EXPECT_EQ(a.result_count, b.result_count) << i;
+  EXPECT_EQ(a.metrics.degraded, b.metrics.degraded) << i;
+  EXPECT_EQ(a.metrics.degraded_reason, b.metrics.degraded_reason) << i;
+  ASSERT_EQ(a.top_docs.size(), b.top_docs.size()) << i;
+  for (size_t k = 0; k < a.top_docs.size(); ++k) {
+    EXPECT_EQ(a.top_docs[k].doc, b.top_docs[k].doc) << i << "@" << k;
+    EXPECT_EQ(a.top_docs[k].score, b.top_docs[k].score) << i << "@" << k;
+  }
+}
+
+// ------------------------------------------------------- differentials
+
+/// Pipelined vs sequential across every ranking function (kAuto codec)
+/// and every codec policy (pivoted ranking), in all three evaluation
+/// modes. The pipeline runs the exact same BeginSearch/SearchStats/
+/// SearchIntersect/FinishSearch sequence Search runs inline, so every doc,
+/// score, tie-break, and degradation string must match bit for bit.
+TEST(PipelineDifferentialTest, BitIdenticalAcrossRankingsAndCodecs) {
+  struct Variant {
+    const char* ranking;
+    CodecPolicy policy;
+  };
+  const Variant variants[] = {
+      {"pivoted", CodecPolicy::kAuto},
+      {"bm25", CodecPolicy::kAuto},
+      {"dirichlet", CodecPolicy::kAuto},
+      {"pivoted", CodecPolicy::kVarintOnly},
+      {"pivoted", CodecPolicy::kForOnly},
+      {"pivoted", CodecPolicy::kBitmapPreferred},
+  };
+  const EvaluationMode modes[] = {EvaluationMode::kConventional,
+                                  EvaluationMode::kContextStraightforward,
+                                  EvaluationMode::kContextWithViews};
+  Corpus corpus = SmallCorpus();
+  for (const Variant& v : variants) {
+    EngineConfig ecfg;
+    ecfg.ranking = v.ranking;
+    ecfg.codec_policy = v.policy;
+    ecfg.track_tc = true;  // language-model ranking needs tc columns
+    auto engine = ContextSearchEngine::Build(corpus, ecfg).value();
+    ASSERT_TRUE(
+        engine->MaterializeViews({ViewDefinition{{0, 1, 2, 3}}}).ok());
+    std::vector<ContextQuery> queries = SharedContextWorkload(*engine, 24);
+    for (EvaluationMode mode : modes) {
+      std::vector<Result<SearchResult>> baseline;
+      for (const ContextQuery& q : queries) {
+        baseline.push_back(engine->Search(q, mode));
+      }
+      QueryExecutor executor(engine.get(), PipelinedConfig());
+      auto piped = executor.SearchBatch(queries, mode);
+      ASSERT_EQ(piped.size(), baseline.size());
+      for (size_t i = 0; i < piped.size(); ++i) {
+        ExpectBitIdentical(piped[i], baseline[i], i);
+      }
+    }
+  }
+}
+
+/// Cross-query batching must not change what each query is charged: the
+/// per-query cost counters (entries scanned, segments touched, bytes
+/// touched) are identical whether a block decode was shared or private.
+TEST(PipelineDifferentialTest, BatchedCostCountersMatchSequential) {
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), {}).value();
+  std::vector<ContextQuery> queries = SharedContextWorkload(*engine, 32);
+  std::vector<Result<SearchResult>> baseline;
+  for (const ContextQuery& q : queries) {
+    baseline.push_back(
+        engine->Search(q, EvaluationMode::kContextStraightforward));
+  }
+  QueryExecutor executor(engine.get(), PipelinedConfig());
+  auto piped =
+      executor.SearchBatch(queries, EvaluationMode::kContextStraightforward);
+  ASSERT_EQ(piped.size(), baseline.size());
+  for (size_t i = 0; i < piped.size(); ++i) {
+    ASSERT_TRUE(piped[i].ok());
+    ASSERT_TRUE(baseline[i].ok());
+    const CostCounters& a = piped[i].value().metrics.cost;
+    const CostCounters& b = baseline[i].value().metrics.cost;
+    EXPECT_EQ(a.entries_scanned, b.entries_scanned) << i;
+    EXPECT_EQ(a.segments_touched, b.segments_touched) << i;
+    EXPECT_EQ(a.bytes_touched, b.bytes_touched) << i;
+    EXPECT_EQ(a.skips_taken, b.skips_taken) << i;
+    EXPECT_EQ(a.blocks_skipped, b.blocks_skipped) << i;
+  }
+}
+
+/// A hot shared-context pool pushed through one intersect worker must
+/// actually form batches and share block decodes (arena hits > 0), and
+/// the executor's batch histogram must account for every batch.
+TEST(PipelineBatchingTest, SharedHotContextsProduceArenaHits) {
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), {}).value();
+  std::vector<ContextQuery> queries = SharedContextWorkload(*engine, 96);
+
+  ExecutorConfig config = PipelinedConfig(/*max_batch=*/8);
+  // One intersect worker and a generous queue: in-flight queries pile up
+  // behind it, giving PopBatch real grouping opportunities.
+  config.pipeline.parse_workers = 4;
+  config.pipeline.intersect_workers = 1;
+  QueryExecutor executor(engine.get(), config);
+  auto results =
+      executor.SearchBatch(queries, EvaluationMode::kContextStraightforward);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+
+  PipelineMetrics pm = executor.pipeline();
+  ASSERT_TRUE(pm.enabled);
+  EXPECT_EQ(pm.parse.processed, queries.size());
+  EXPECT_EQ(pm.intersect.processed, queries.size());
+  EXPECT_EQ(pm.score.processed, queries.size());
+  EXPECT_GE(pm.batches, 1u);
+  // The histogram accounts for every batch, and batch sizes sum to the
+  // query count.
+  uint64_t hist_batches = 0, hist_queries = 0;
+  for (size_t n = 1; n < pm.batch_size_counts.size(); ++n) {
+    hist_batches += pm.batch_size_counts[n];
+    hist_queries += n * pm.batch_size_counts[n];
+  }
+  EXPECT_EQ(hist_batches, pm.batches);
+  EXPECT_EQ(hist_queries, queries.size());
+  // With 96 queries over 4 hot contexts funneled through one worker, at
+  // least one batch must have grouped, and grouped batches share decodes.
+  EXPECT_GE(pm.batched_queries, 2u);
+  EXPECT_GE(pm.max_batch, 2u);
+  EXPECT_GE(pm.arena_hits, 1u);
+}
+
+// ------------------------------------------------------- backpressure
+
+/// Slow ONLY the intersect stage (fault-injected delay on every posting
+/// advance) and flood a tiny pipeline: the intersect queue must fill to
+/// its bound, parse must keep draining admission queues behind it, and
+/// the overflowing tenant must see typed kResourceExhausted with a
+/// retry hint — not a hang, not a crash, not silent queue growth.
+TEST(PipelineBackpressureTest, SlowIntersectFillsOnlyIntersectQueue) {
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), {}).value();
+  std::vector<ContextQuery> queries = SharedContextWorkload(*engine, 64);
+
+  ExecutorConfig config;
+  config.pipeline.enabled = true;
+  config.pipeline.parse_workers = 1;
+  config.pipeline.intersect_workers = 1;
+  config.pipeline.score_workers = 1;
+  config.pipeline.stage_queue_capacity = 2;
+  config.pipeline.max_batch = 1;  // no grouping: every query pays the delay
+  config.queue_capacity = 4;
+  QueryExecutor executor(engine.get(), config);
+
+  std::vector<std::future<Result<SearchResult>>> futures;
+  uint64_t rejected = 0;
+  uint64_t submitted = 0;
+  PipelineMetrics pm;
+  {
+    // ~300us per posting advance: the intersect stage becomes the
+    // bottleneck while parse and score stay effectively free. Conventional
+    // mode matters here: context modes scan predicate lists for statistics
+    // inside the parse stage, which would slow parse too — conventional
+    // stats are precomputed, so the only posting advances (and thus the
+    // only delays) happen in the intersect stage's conjunction.
+    ScopedFaultDelay slow(FaultPoint::kPostingAdvance, 300);
+    // Submit with a yield between queries (one core: a tight loop would
+    // finish before the stage workers ever run) until backpressure has
+    // provably propagated: the intersect queue hit its bound, and the
+    // backlog behind the blocked parse worker overflowed admission into a
+    // typed rejection. Bounded so a backpressure bug fails, never hangs.
+    WallTimer flood;
+    while (flood.ElapsedSeconds() < 30.0 &&
+           (pm.intersect.max_queue_depth <
+                config.pipeline.stage_queue_capacity ||
+            rejected == 0)) {
+      auto f = executor.SubmitSearch(queries[submitted % queries.size()],
+                                     EvaluationMode::kConventional);
+      submitted++;
+      // Rejections resolve immediately; completed futures here are only
+      // the typed rejects (real results take >= the injected delay).
+      if (f.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        Result<SearchResult> r = f.get();
+        if (!r.ok()) {
+          EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+          EXPECT_GT(r.status().retry_after_ms(), 0.0);
+          rejected++;
+          continue;
+        }
+        futures.push_back(std::move(f));  // unreachable; keep shape
+      } else {
+        futures.push_back(std::move(f));
+      }
+      SleepForMillis(0.5);
+      pm = executor.pipeline();
+    }
+    // The flood outran a 4-deep admission queue + 2-deep stage queues:
+    // some queries must have been rejected.
+    EXPECT_GE(rejected, 1u);
+    // Backpressure reached the intersect queue's bound...
+    EXPECT_EQ(pm.intersect.max_queue_depth,
+              config.pipeline.stage_queue_capacity);
+    // ...while the score queue never backed up behind the slow stage.
+    EXPECT_LE(pm.score.max_queue_depth, config.pipeline.stage_queue_capacity);
+    // Parse stayed live: it processed everything it dispatched, which is
+    // at least what intersect has finished plus the queued/backlogged.
+    EXPECT_GE(pm.parse.processed, pm.intersect.processed);
+  }
+  // Delay disarmed: the backlog drains and every accepted query finishes.
+  for (auto& f : futures) {
+    Result<SearchResult> r = f.get();
+    EXPECT_TRUE(r.ok() ||
+                r.status().code() == StatusCode::kDeadlineExceeded);
+  }
+  ExecutorMetrics em = executor.metrics();
+  EXPECT_EQ(em.completed + em.rejected, submitted);
+  EXPECT_EQ(em.rejected, rejected);
+}
+
+// -------------------------------------------- queue-wait attribution
+
+/// Inter-stage queue wait counts against the query deadline (the guard's
+/// wall clock spans all stages), and a deadline trip names the queue wait
+/// in its reason so operators can tell queueing from slow scans.
+TEST(PipelineDeadlineTest, QueueWaitChargedCumulativelyAcrossStages) {
+  EngineConfig ecfg;
+  ecfg.deadline_ms = 15.0;
+  ecfg.degrade_gracefully = false;  // trips surface as typed errors
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), ecfg).value();
+  std::vector<ContextQuery> queries = SharedContextWorkload(*engine, 48);
+
+  ExecutorConfig config;
+  config.pipeline.enabled = true;
+  config.pipeline.parse_workers = 2;
+  config.pipeline.intersect_workers = 1;
+  config.pipeline.score_workers = 1;
+  config.pipeline.stage_queue_capacity = 32;
+  config.pipeline.max_batch = 1;
+  QueryExecutor executor(engine.get(), config);
+
+  uint64_t deadline_trips = 0;
+  {
+    // 500us per posting advance: a backlog forms ahead of the intersect
+    // stage, so later queries' deadlines burn down in the stage queue.
+    ScopedFaultDelay slow(FaultPoint::kPostingAdvance, 500);
+    auto results =
+        executor.SearchBatch(queries, EvaluationMode::kContextStraightforward);
+    for (const auto& r : results) {
+      if (!r.ok() &&
+          r.status().code() == StatusCode::kDeadlineExceeded) {
+        deadline_trips++;
+      }
+    }
+  }
+  // With a 15ms budget against a ~millisecond-per-query slowdown and a
+  // deep backlog, most of the tail must have tripped — proving waits
+  // accumulate (a per-stage-reset clock would never trip on queue time).
+  EXPECT_GE(deadline_trips, 1u);
+}
+
+/// The ScanGuard accumulates queue wait for attribution: a deadline trip
+/// that followed queue waiting must say so in its reason string.
+TEST(PipelineDeadlineTest, TripReasonNamesQueueWait) {
+  ScanGuard guard(/*deadline_ms=*/1.0, /*budget=*/0, /*initial_elapsed=*/0.5);
+  guard.AddQueueWait(0.75);
+  EXPECT_DOUBLE_EQ(guard.queue_wait_ms(), 0.5 + 0.75);
+  SleepForMillis(2.0);
+  // Force the deadline poll (tick 1 polls).
+  (void)guard.Tick();
+  ASSERT_TRUE(guard.tripped());
+  std::string reason = guard.TripReason();
+  EXPECT_NE(reason.find("deadline"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("queue wait"), std::string::npos) << reason;
+}
+
+// ---------------------------------------------------------- lifecycle
+
+/// Shutdown mid-flood: accepted queries all resolve (ok or typed error),
+/// submissions after shutdown get kUnavailable, and the stage drain
+/// leaves nothing stuck in a queue.
+TEST(PipelineLifecycleTest, ShutdownDrainsAllStages) {
+  auto engine = ContextSearchEngine::Build(SmallCorpus(), {}).value();
+  std::vector<ContextQuery> queries = SharedContextWorkload(*engine, 32);
+  auto executor = std::make_unique<QueryExecutor>(
+      engine.get(), PipelinedConfig(/*max_batch=*/4, /*stage_capacity=*/4));
+  std::vector<std::future<Result<SearchResult>>> futures;
+  for (const ContextQuery& q : queries) {
+    futures.push_back(
+        executor->SubmitSearch(q, EvaluationMode::kContextStraightforward));
+  }
+  executor->Shutdown();
+  size_t resolved = 0;
+  for (auto& f : futures) {
+    Result<SearchResult> r = f.get();  // must not hang
+    resolved++;
+    if (!r.ok()) {
+      EXPECT_NE(r.status().code(), StatusCode::kUnavailable);
+    }
+  }
+  EXPECT_EQ(resolved, futures.size());
+  auto late = executor->SubmitSearch(queries[0],
+                                     EvaluationMode::kContextStraightforward);
+  Result<SearchResult> r = late.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+/// The pipelined executor under concurrent ingestion: appends publish new
+/// LiveSet snapshots while batches pin old ones (arena keys are raw list
+/// pointers into pinned snapshots). TSan exercises this test in the
+/// concurrency lane; here we assert it completes and answers stay sane.
+TEST(PipelineLifecycleTest, BatchingSurvivesConcurrentAppends) {
+  Corpus corpus = SmallCorpus();
+  auto engine = ContextSearchEngine::Build(corpus, {}).value();
+  std::vector<ContextQuery> queries = SharedContextWorkload(*engine, 48);
+  QueryExecutor executor(engine.get(), PipelinedConfig(/*max_batch=*/8));
+
+  std::vector<std::future<Result<SearchResult>>> futures;
+  for (const ContextQuery& q : queries) {
+    futures.push_back(
+        executor.SubmitSearch(q, EvaluationMode::kContextStraightforward));
+  }
+  // Concurrent appends: each publishes a new snapshot; in-flight batches
+  // keep serving from the snapshots they pinned at BeginSearch.
+  for (uint32_t i = 0; i < 8; ++i) {
+    Document d;
+    d.year = static_cast<uint16_t>(2000 + (i % 10));
+    d.title = {TermId(100 + i), TermId(101 + i)};
+    d.abstract_text = {TermId(102 + i)};
+    d.annotations = {TermId(i % 4)};
+    ASSERT_TRUE(engine->AppendDocuments({std::move(d)}).ok());
+  }
+  for (auto& f : futures) {
+    Result<SearchResult> r = f.get();
+    ASSERT_TRUE(r.ok());
+  }
+}
+
+}  // namespace
+}  // namespace csr

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-smoke gates for the serving path.
 
-Five modes, selectable per invocation (at least one is required):
+Six modes, selectable per invocation (at least one is required):
 
 --bench + --baseline: runs bench_ablation_codec --json fresh and fails if
 the compressed dense-intersection QPS falls below --threshold of the same
@@ -22,6 +22,14 @@ goodput, the admitted-query p99 exceeds the SLO, any tenant's served share
 drifts more than --serving-share-tol from its configured weight share, or
 the deterministic fault storm did not drive the view-path circuit breaker
 through a trip-and-recover cycle.
+
+--pipeline-bench: runs bench_serving --json fresh and fails if the staged
+pipeline executor (DESIGN.md §16) lost its edge over the per-query-worker
+pool on the shared-hot-context pool: pipelined QPS must hold
+--pipeline-qps-floor of the per-query-worker QPS, the pipelined p99 must
+stay inside the SLO, the intersect stage must actually have batched
+queries, and batching must cut decoded blocks per query to at most
+--pipeline-blocks-ceiling of the per-query-worker figure.
 
 --ingest-bench: runs bench_ingest --json fresh and fails if live
 ingestion misbehaved: document accounting is inconsistent, any query
@@ -205,6 +213,45 @@ def check_serving(report, goodput_floor, share_tol):
         failures.append(
             f"fault storm lost queries: {accounted} accounted vs "
             f"{storm['queries']} issued")
+    return failures
+
+
+def check_pipeline(report, qps_floor, blocks_ceiling):
+    """Returns a list of failure strings for one fresh pipeline run."""
+    pipe = section(report, "serving", "bench_serving").get("pipeline")
+    if not isinstance(pipe, dict):
+        raise GateError(
+            "bench report has no 'serving.pipeline' section — bench_serving "
+            "predates the staged pipeline phase?")
+    base = pipe["per_query_worker"]
+    staged = pipe["pipelined"]
+    slo = pipe["slo_ms"]
+    failures = []
+
+    ratio = pipe["qps_ratio"]
+    if ratio < qps_floor:
+        failures.append(
+            f"pipelined {staged['qps']:.1f} qps is {ratio:.3f}x of "
+            f"per-query-worker {base['qps']:.1f} qps "
+            f"(floor {qps_floor:.2f}x)")
+
+    p99 = staged["p99_ms"]
+    if p99 > slo:
+        failures.append(
+            f"pipelined p99 {p99:.2f} ms exceeds the {slo:.1f} ms SLO")
+
+    if staged["batched_queries"] < 2:
+        failures.append(
+            "the intersect stage never batched queries sharing terms "
+            f"({staged['batches']} batches, all singletons)")
+
+    blocks = pipe["blocks_per_query_ratio"]
+    if blocks > blocks_ceiling:
+        failures.append(
+            f"pipelined decodes {staged['blocks_per_query']:.2f} blocks/"
+            f"query = {blocks:.3f}x of per-query-worker "
+            f"{base['blocks_per_query']:.2f} "
+            f"(ceiling {blocks_ceiling:.2f}x)")
     return failures
 
 
@@ -429,6 +476,27 @@ def run_serving_gate(args):
     return retry_gate("serving", args.attempts, once, ok)
 
 
+def run_pipeline_gate(args):
+    def once():
+        report = run_bench(args.pipeline_bench)
+        return report, check_pipeline(report, args.pipeline_qps_floor,
+                                      args.pipeline_blocks_ceiling)
+
+    def ok(report, attempt):
+        pipe = report["serving"]["pipeline"]
+        staged = pipe["pipelined"]
+        print(f"pipeline gate OK (attempt {attempt}/{args.attempts}): "
+              f"pipelined {staged['qps']:.1f} qps "
+              f"({pipe['qps_ratio']:.2f}x per-query-worker), p99 "
+              f"{staged['p99_ms']:.2f} ms (SLO {pipe['slo_ms']:.1f}), "
+              f"{staged['blocks_per_query']:.2f} blocks/query "
+              f"({pipe['blocks_per_query_ratio']:.2f}x), "
+              f"{staged['batched_queries']} queries batched across "
+              f"{staged['batches']} batches (max {staged['max_batch']})")
+
+    return retry_gate("pipeline", args.attempts, once, ok)
+
+
 def run_ingest_gate(args):
     def once():
         report = run_bench(args.ingest_bench)
@@ -561,6 +629,59 @@ def test_serving_fails_without_breaker_cycle():
 def test_serving_fails_on_lost_queries():
     fails = check_serving(_serving_report(ok=1), 0.8, 0.10)
     assert any("lost queries" in f for f in fails), fails
+
+
+def _pipeline_report(**overrides):
+    """A minimal passing pipeline report; overrides poke failures in."""
+    base = {"qps": 100.0, "ok": 576, "p99_ms": 20.0,
+            "blocks_per_query": 40.0}
+    staged = {"qps": 130.0, "ok": 576, "p99_ms": 22.0,
+              "blocks_per_query": 20.0, "batches": 150,
+              "batched_queries": 400, "max_batch": 8,
+              "arena_hits": 900, "arena_misses": 300}
+    pipe = {
+        "slo_ms": 30.0, "per_query_worker": base, "pipelined": staged,
+        "qps_ratio": 1.3, "blocks_per_query_ratio": 0.5,
+    }
+    for key, value in overrides.items():
+        holder = (base if key in base and key not in staged else
+                  staged if key in staged else pipe)
+        holder[key] = value
+    return {"serving": {"pipeline": pipe}}
+
+
+def test_pipeline_passes_on_good_report():
+    assert check_pipeline(_pipeline_report(), 1.15, 0.8) == []
+
+
+def test_pipeline_fails_below_qps_floor():
+    fails = check_pipeline(_pipeline_report(qps_ratio=1.05), 1.15, 0.8)
+    assert any("floor" in f for f in fails), fails
+
+
+def test_pipeline_fails_on_p99_over_slo():
+    fails = check_pipeline(_pipeline_report(p99_ms=31.0), 1.15, 0.8)
+    assert any("SLO" in f for f in fails), fails
+
+
+def test_pipeline_fails_without_batching():
+    fails = check_pipeline(_pipeline_report(batched_queries=0), 1.15, 0.8)
+    assert any("never batched" in f for f in fails), fails
+
+
+def test_pipeline_fails_on_blocks_over_ceiling():
+    fails = check_pipeline(
+        _pipeline_report(blocks_per_query_ratio=0.95), 1.15, 0.8)
+    assert any("ceiling" in f for f in fails), fails
+
+
+def test_pipeline_missing_section_is_gate_error():
+    try:
+        check_pipeline({"serving": {}}, 1.15, 0.8)
+    except GateError as e:
+        assert "pipeline" in str(e)
+    else:
+        raise AssertionError("missing section did not raise GateError")
 
 
 def _ingest_report(**overrides):
@@ -752,6 +873,8 @@ def main():
                     help="path to the bench_serving binary")
     ap.add_argument("--ingest-bench",
                     help="path to the bench_ingest binary")
+    ap.add_argument("--pipeline-bench",
+                    help="path to the bench_serving binary (pipeline gate)")
     ap.add_argument("--intersect-bench",
                     help="path to the bench_ablation_intersection binary")
     ap.add_argument("--attempts", type=int, default=3)
@@ -772,6 +895,12 @@ def main():
     ap.add_argument("--ingest-p99-floor-ms", type=float, default=50.0,
                     help="absolute query-p99 allowance under ingest, "
                          "whichever of factor/floor is larger wins")
+    ap.add_argument("--pipeline-qps-floor", type=float, default=1.15,
+                    help="pipelined-over-per-query-worker QPS floor on "
+                         "the shared-hot-context pool")
+    ap.add_argument("--pipeline-blocks-ceiling", type=float, default=0.8,
+                    help="max pipelined decoded-blocks-per-query as a "
+                         "fraction of the per-query-worker figure")
     ap.add_argument("--intersect-near-floor", type=float, default=1.3,
                     help="SIMD-over-scalar speedup floor for the "
                          "near-equal pairwise bucket")
@@ -786,9 +915,11 @@ def main():
         return run_self_test()
 
     if (not args.bench and not args.obs_bench and not args.serving_bench
-            and not args.ingest_bench and not args.intersect_bench):
+            and not args.ingest_bench and not args.intersect_bench
+            and not args.pipeline_bench):
         ap.error("one of --bench, --obs-bench, --serving-bench, "
-                 "--ingest-bench or --intersect-bench is required")
+                 "--ingest-bench, --pipeline-bench or --intersect-bench "
+                 "is required")
     if (args.bench or args.intersect_bench) and not args.baseline:
         ap.error("--bench/--intersect-bench require --baseline")
 
@@ -801,6 +932,8 @@ def main():
         gates.append(run_serving_gate)
     if args.ingest_bench:
         gates.append(run_ingest_gate)
+    if args.pipeline_bench:
+        gates.append(run_pipeline_gate)
     if args.intersect_bench:
         gates.append(run_intersect_gate)
     for gate in gates:
