@@ -17,12 +17,22 @@
 //   5. pipeline    staged pipeline executor vs per-query workers on a
 //                  shared-hot-context pool: QPS, p99, blocks decoded
 //                  per query, and the intersect-stage batch histogram.
+//   6. adaptive    online view selection (DESIGN.md §17) on its own
+//                  engine with NO offline catalog: a Zipf context
+//                  workload whose hot set drifts, a cold-start warmup
+//                  curve, steady-state hit rate under a budget sized
+//                  (from measured view bytes) to hold only about half
+//                  the working set, a hot-context stampede, and the
+//                  adaptive-vs-straightforward QPS ratio with top-k
+//                  verified bit-identical.
 //
 // Emits BENCH_serving.json with --json; tools/check_bench_regression.py
 // --serving-bench gates goodput, p99-vs-SLO, tenant share drift, and the
-// breaker trip/recover cycle.
+// breaker trip/recover cycle; --adaptive-bench gates the phase-6 hit
+// rate, budget ceiling, QPS ratio, and top-k equality.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -671,6 +681,302 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(pipe_metrics.arena_misses));
   }
 
+  // --- Phase 6: online adaptive view selection ---------------------------
+  // A separate engine with NO offline catalog: every context-sensitive
+  // query either hits the adaptive cache or pays the straightforward
+  // plan, so the cache's learning loop is the only thing measured. Capped
+  // at a smaller corpus than the serving phases — the phase measures
+  // hit-rate dynamics and a QPS ratio, both of which are scale-stable,
+  // and two extra engine builds at full scale would dominate the bench.
+  struct AdaptivePhaseReport {
+    uint64_t num_docs = 0;
+    uint64_t contexts = 0;
+    uint64_t budget_bytes = 0;
+    uint64_t view_bytes_total = 0;
+    uint64_t resident_bytes_max = 0;
+    double steady_hit_rate = 0.0;
+    double qps_no_views = 0.0;
+    double qps_adaptive = 0.0;
+    bool topk_identical = true;
+    uint64_t installs = 0;
+    uint64_t evictions = 0;
+    uint64_t refreshes = 0;
+    uint64_t rejected_budget = 0;
+    std::vector<double> hit_rate_curve;  // one entry per batch
+    uint64_t stampede_cold_misses = 0;
+    uint64_t stampede_installs = 0;
+    bool stampede_resident = false;
+  } ap;
+  {
+    ap.num_docs = std::min(num_docs, 40000u);
+    auto corpus_r = CorpusGenerator(
+                        BenchCorpusConfig(static_cast<uint32_t>(ap.num_docs)))
+                        .Generate();
+    if (!corpus_r.ok()) {
+      std::fprintf(stderr, "adaptive-phase corpus generation failed: %s\n",
+                   corpus_r.status().ToString().c_str());
+      return 1;
+    }
+    Corpus corpus = std::move(corpus_r).value();
+
+    // Probe: install a view for every candidate context under a loose
+    // budget to measure REAL resident bytes; the measured total then
+    // sizes a binding budget (~55%, floored so the largest single view
+    // still fits) for the engine under test.
+    EngineConfig acfg;
+    acfg.adaptive_view_budget_bytes = 1ull << 40;
+    acfg.adaptive_min_score_ms = 0.01;
+    acfg.adaptive_cooldown_steps = 2;
+    auto probe_r = ContextSearchEngine::Build(corpus, acfg);
+    if (!probe_r.ok()) {
+      std::fprintf(stderr, "adaptive-phase probe build failed: %s\n",
+                   probe_r.status().ToString().c_str());
+      return 1;
+    }
+    auto probe = std::move(probe_r).value();
+
+    // Candidate contexts: large (view-worthy) lifted contexts, like the
+    // Figure 7 experiment; the last distinct one is held out as the
+    // stampede target and never appears in the drift workload.
+    WorkloadGenerator agen(probe.get(), 31337);
+    agen.set_lift_to_roots(true);
+    std::vector<TermIdSet> ctxs;
+    std::vector<std::vector<TermId>> kwsets;
+    for (uint32_t nk = 2; nk <= 3 && ctxs.size() < 11; ++nk) {
+      for (auto& wq :
+           agen.Generate(80, nk, probe->context_threshold(), 0, 100000)) {
+        kwsets.push_back(wq.query.keywords);
+        if (ctxs.size() < 11 &&
+            std::find(ctxs.begin(), ctxs.end(), wq.query.context) ==
+                ctxs.end()) {
+          ctxs.push_back(wq.query.context);
+        }
+      }
+    }
+    if (ctxs.size() < 3 || kwsets.empty()) {
+      std::fprintf(stderr,
+                   "adaptive phase: only %zu distinct large contexts at "
+                   "this scale; skipping phase\n",
+                   ctxs.size());
+      return 1;
+    }
+    TermIdSet stampede_ctx = ctxs.back();
+    ctxs.pop_back();
+    ap.contexts = ctxs.size();
+
+    uint64_t max_view_bytes = 0;
+    for (size_t i = 0; i < ctxs.size(); ++i) {
+      ContextQuery q{kwsets[i % kwsets.size()], ctxs[i]};
+      auto r = probe->Search(q, EvaluationMode::kContextWithViews);
+      if (!r.ok()) continue;
+      probe->AdaptiveStep();
+    }
+    {
+      auto version = probe->adaptive()->Snapshot();
+      ap.view_bytes_total = version->resident_bytes;
+      for (const auto& av : version->views) {
+        max_view_bytes = std::max(max_view_bytes, av->bytes);
+      }
+      if (version->views.size() < ctxs.size()) {
+        std::fprintf(stderr, "# adaptive probe: %zu/%zu views installed\n",
+                     version->views.size(), ctxs.size());
+      }
+    }
+    ap.budget_bytes =
+        std::max(ap.view_bytes_total * 11 / 20, max_view_bytes + 1);
+    probe.reset();
+
+    EngineConfig dcfg;
+    dcfg.adaptive_view_budget_bytes = ap.budget_bytes;
+    dcfg.adaptive_min_score_ms = 0.05;
+    dcfg.adaptive_cooldown_steps = 2;
+    auto aengine_r = ContextSearchEngine::Build(std::move(corpus), dcfg);
+    if (!aengine_r.ok()) {
+      std::fprintf(stderr, "adaptive-phase engine build failed: %s\n",
+                   aengine_r.status().ToString().c_str());
+      return 1;
+    }
+    auto aengine = std::move(aengine_r).value();
+    const AdaptiveViewController* ctl = aengine->adaptive();
+
+    // Drifting Zipf workload: queries draw contexts Zipf(s=1)-skewed, and
+    // the rank->context mapping rotates every 5 batches, so the hot set
+    // keeps moving and the cache must keep evicting cold views for the
+    // new hot ones. The first half is the cold-start warmup; the second
+    // half is the steady-state window the hit-rate gate reads.
+    SplitMix64 arng(0xADA9F1);
+    ZipfDistribution azipf(ctxs.size(), 1.0);
+    const int kBatches = 24;
+    const int kPerBatch = 60;
+    uint64_t drift = 0;
+    uint64_t prev_hits = 0, prev_misses = 0;
+    uint64_t steady_hits0 = 0, steady_misses0 = 0;
+    for (int b = 0; b < kBatches; ++b) {
+      if (b > 0 && b % 5 == 0) drift++;
+      for (int i = 0; i < kPerBatch; ++i) {
+        size_t ci = (azipf.Sample(arng) + drift) % ctxs.size();
+        ContextQuery q{kwsets[(static_cast<size_t>(b) * kPerBatch + i) %
+                              kwsets.size()],
+                       ctxs[ci]};
+        auto r = aengine->Search(q, EvaluationMode::kContextWithViews);
+        if (!r.ok()) {
+          std::fprintf(stderr, "adaptive-phase query failed: %s\n",
+                       r.status().ToString().c_str());
+          return 1;
+        }
+      }
+      aengine->AdaptiveStep();
+      aengine->AdaptiveStep();
+      ap.resident_bytes_max = std::max(
+          ap.resident_bytes_max, ctl->Snapshot()->resident_bytes);
+      uint64_t h = ctl->telemetry().hits;
+      uint64_t m = ctl->telemetry().misses;
+      uint64_t dh = h - prev_hits;
+      uint64_t dm = m - prev_misses;
+      ap.hit_rate_curve.push_back(
+          dh + dm == 0 ? 0.0
+                       : static_cast<double>(dh) /
+                             static_cast<double>(dh + dm));
+      if (b + 1 == kBatches / 2) {
+        steady_hits0 = h;
+        steady_misses0 = m;
+      }
+      prev_hits = h;
+      prev_misses = m;
+    }
+    {
+      uint64_t sh = ctl->telemetry().hits - steady_hits0;
+      uint64_t sm = ctl->telemetry().misses - steady_misses0;
+      ap.steady_hit_rate =
+          sh + sm == 0
+              ? 0.0
+              : static_cast<double>(sh) / static_cast<double>(sh + sm);
+    }
+
+    // Top-k equality: the whole point of exact adaptive views is that no
+    // query can tell which plan served it. Checked for every context at
+    // whatever residency state the drift left it in.
+    for (size_t i = 0; i < ctxs.size() && ap.topk_identical; ++i) {
+      for (size_t v = 0; v < 3; ++v) {
+        ContextQuery q{kwsets[(i * 3 + v) % kwsets.size()], ctxs[i]};
+        auto a = aengine->Search(q, EvaluationMode::kContextWithViews);
+        auto s = aengine->Search(q, EvaluationMode::kContextStraightforward);
+        if (!a.ok() || !s.ok() ||
+            a->result_count != s->result_count ||
+            a->stats.cardinality != s->stats.cardinality ||
+            a->stats.df != s->stats.df ||
+            a->top_docs.size() != s->top_docs.size()) {
+          ap.topk_identical = false;
+          break;
+        }
+        for (size_t k = 0; k < a->top_docs.size(); ++k) {
+          if (a->top_docs[k].doc != s->top_docs[k].doc ||
+              a->top_docs[k].score != s->top_docs[k].score) {
+            ap.topk_identical = false;
+            break;
+          }
+        }
+      }
+    }
+
+    // QPS: one fixed query sequence over the final drift state, timed
+    // once per plan. Straightforward mode never consults the cache, so
+    // running it on the same engine is a clean no-views baseline.
+    std::vector<ContextQuery> seq;
+    for (int i = 0; i < 300; ++i) {
+      size_t ci = (azipf.Sample(arng) + drift) % ctxs.size();
+      seq.push_back(ContextQuery{kwsets[i % kwsets.size()], ctxs[ci]});
+    }
+    {
+      WallTimer timer;
+      for (const ContextQuery& q : seq) {
+        if (!aengine->Search(q, EvaluationMode::kContextStraightforward)
+                 .ok()) {
+          ap.topk_identical = false;
+        }
+      }
+      double secs = timer.ElapsedSeconds();
+      ap.qps_no_views =
+          secs > 0 ? static_cast<double>(seq.size()) / secs : 0.0;
+    }
+    {
+      WallTimer timer;
+      for (const ContextQuery& q : seq) {
+        if (!aengine->Search(q, EvaluationMode::kContextWithViews).ok()) {
+          ap.topk_identical = false;
+        }
+      }
+      double secs = timer.ElapsedSeconds();
+      ap.qps_adaptive =
+          secs > 0 ? static_cast<double>(seq.size()) / secs : 0.0;
+    }
+
+    // Stampede: a brand-new hot context, hammered by concurrent threads
+    // while the controller steps. Every thread misses until the ONE
+    // step-driven build installs the view; the install count stays far
+    // below the miss count (no thundering-herd of builds), and the
+    // context ends resident.
+    {
+      uint64_t misses0 = ctl->telemetry().misses;
+      uint64_t installs0 = ctl->telemetry().installs;
+      std::atomic<bool> step_stop{false};
+      std::thread stepper([&] {
+        while (!step_stop.load(std::memory_order_relaxed)) {
+          aengine->AdaptiveStep();
+          SleepForMillis(1);
+        }
+      });
+      std::vector<std::thread> stormers;
+      for (uint32_t t = 0; t < std::max(2u, threads); ++t) {
+        stormers.emplace_back([&, t] {
+          for (int i = 0; i < 40; ++i) {
+            ContextQuery q{kwsets[(t * 40 + static_cast<uint32_t>(i)) %
+                                  kwsets.size()],
+                           stampede_ctx};
+            auto r =
+                aengine->Search(q, EvaluationMode::kContextWithViews);
+            (void)r;
+          }
+        });
+      }
+      for (auto& t : stormers) t.join();
+      step_stop.store(true, std::memory_order_relaxed);
+      stepper.join();
+      for (int i = 0; i < 4; ++i) aengine->AdaptiveStep();
+      ap.stampede_cold_misses = ctl->telemetry().misses - misses0;
+      ap.stampede_installs = ctl->telemetry().installs - installs0;
+      ap.stampede_resident =
+          ctl->Snapshot()->FindBest(stampede_ctx) != nullptr;
+      ap.resident_bytes_max = std::max(
+          ap.resident_bytes_max, ctl->Snapshot()->resident_bytes);
+    }
+
+    ap.installs = ctl->telemetry().installs;
+    ap.evictions = ctl->telemetry().evictions;
+    ap.refreshes = ctl->telemetry().refreshes;
+    ap.rejected_budget = ctl->telemetry().rejected_budget;
+    std::printf(
+        "\nadaptive (%llu docs, %llu contexts, budget %llu of %llu view "
+        "bytes): steady hit rate %.2f, %.0f qps straightforward -> %.0f "
+        "qps adaptive (%.2fx), %llu installs / %llu evictions / %llu "
+        "refreshes, top-k %s\n",
+        static_cast<unsigned long long>(ap.num_docs),
+        static_cast<unsigned long long>(ap.contexts),
+        static_cast<unsigned long long>(ap.budget_bytes),
+        static_cast<unsigned long long>(ap.view_bytes_total),
+        ap.steady_hit_rate, ap.qps_no_views, ap.qps_adaptive,
+        ap.qps_no_views > 0 ? ap.qps_adaptive / ap.qps_no_views : 0.0,
+        static_cast<unsigned long long>(ap.installs),
+        static_cast<unsigned long long>(ap.evictions),
+        static_cast<unsigned long long>(ap.refreshes),
+        ap.topk_identical ? "identical" : "MISMATCH");
+    std::printf("  stampede: %llu cold misses -> %llu install(s), "
+                "resident=%s\n",
+                static_cast<unsigned long long>(ap.stampede_cold_misses),
+                static_cast<unsigned long long>(ap.stampede_installs),
+                ap.stampede_resident ? "true" : "false");
+  }
+
   if (!json_path.empty()) {
     PhaseStats storm_all;
     for (const PhaseStats* s :
@@ -777,6 +1083,35 @@ int Main(int argc, char** argv) {
                  pipe_base_blocks > 0 ? pipe_staged_blocks / pipe_base_blocks
                                       : 0.0);
     }
+    json.CloseObject();
+    json.OpenObject("adaptive");
+    json.Field("num_docs", ap.num_docs);
+    json.Field("contexts", ap.contexts);
+    json.Field("budget_bytes", ap.budget_bytes);
+    json.Field("view_bytes_total", ap.view_bytes_total);
+    json.Field("resident_bytes_max", ap.resident_bytes_max);
+    json.Field("steady_hit_rate", ap.steady_hit_rate);
+    json.Field("qps_no_views", ap.qps_no_views);
+    json.Field("qps_adaptive", ap.qps_adaptive);
+    json.Field("qps_ratio",
+               ap.qps_no_views > 0 ? ap.qps_adaptive / ap.qps_no_views : 0.0);
+    json.Field("topk_identical", ap.topk_identical);
+    json.Field("installs", ap.installs);
+    json.Field("evictions", ap.evictions);
+    json.Field("refreshes", ap.refreshes);
+    json.Field("rejected_budget", ap.rejected_budget);
+    // JsonWriter has no array support; the warmup curve is an object
+    // keyed by batch index, like the pipeline batch histogram.
+    json.OpenObject("hit_rate_by_batch");
+    for (size_t b = 0; b < ap.hit_rate_curve.size(); ++b) {
+      json.Field(std::to_string(b), ap.hit_rate_curve[b]);
+    }
+    json.CloseObject();
+    json.OpenObject("stampede");
+    json.Field("cold_misses", ap.stampede_cold_misses);
+    json.Field("installs", ap.stampede_installs);
+    json.Field("resident", ap.stampede_resident);
+    json.CloseObject();
     json.CloseObject();
     json.CloseObject();
     json.Close();

@@ -20,6 +20,10 @@
 //   .index compact                compress the inverted indexes + views
 //   .stats                        engine statistics (incl. index memory
 //                                 and pool metrics)
+//   .adaptive [step]              adaptive view cache: budget, resident
+//                                 views with per-segment deltas, candidate
+//                                 scores, hit/install/evict telemetry;
+//                                 "step" runs one decision cycle first
 //   .segments                     live segment inventory: per-segment
 //                                 docid range, sealed state, codec block
 //                                 mix, view-delta tuples, memory
@@ -105,6 +109,10 @@ int main(int argc, char** argv) {
 
   csr::EngineConfig ecfg;
   ecfg.stats_cache_capacity = 64;
+  // Online adaptive view cache (DESIGN.md §17): observes the queries the
+  // offline catalog cannot serve; `.adaptive step` runs decision cycles.
+  ecfg.adaptive_view_budget_bytes = 16ull << 20;
+  ecfg.adaptive_min_score_ms = 0.5;
   auto engine_r =
       csr::ContextSearchEngine::Build(std::move(corpus_r).value(), ecfg);
   if (!engine_r.ok()) return 1;
@@ -336,6 +344,56 @@ int main(int argc, char** argv) {
         std::printf("tracing off\n");
       } else {
         std::printf("usage: .trace on|off\n");
+      }
+      continue;
+    }
+    if (line == ".adaptive" || line == ".adaptive step") {
+      const csr::AdaptiveViewController* ctl = engine->adaptive();
+      if (ctl == nullptr) {
+        std::printf("adaptive cache disabled "
+                    "(adaptive_view_budget_bytes = 0)\n");
+        continue;
+      }
+      if (line == ".adaptive step") {
+        std::printf("step: %s\n", engine->AdaptiveStep()
+                                       ? "worked (install/refresh/reject)"
+                                       : "nothing to do");
+      }
+      auto version = ctl->Snapshot();
+      const csr::AdaptiveCacheTelemetry& t = ctl->telemetry();
+      std::printf("adaptive: version=%llu resident=%s of %s budget "
+                  "(%zu views), %zu candidates\n",
+                  static_cast<unsigned long long>(version->version),
+                  csr::FormatBytes(version->resident_bytes).c_str(),
+                  csr::FormatBytes(ctl->config().budget_bytes).c_str(),
+                  version->views.size(), ctl->CandidateCount());
+      std::printf("  hits=%llu misses=%llu installs=%llu evictions=%llu "
+                  "refreshes=%llu rejected=%llu build_failures=%llu "
+                  "stale_part_fallbacks=%llu build_ms=%.1f\n",
+                  static_cast<unsigned long long>(t.hits.load()),
+                  static_cast<unsigned long long>(t.misses.load()),
+                  static_cast<unsigned long long>(t.installs.load()),
+                  static_cast<unsigned long long>(t.evictions.load()),
+                  static_cast<unsigned long long>(t.refreshes.load()),
+                  static_cast<unsigned long long>(t.rejected_budget.load()),
+                  static_cast<unsigned long long>(t.build_failures.load()),
+                  static_cast<unsigned long long>(
+                      t.stale_part_fallbacks.load()),
+                  static_cast<double>(t.build_micros.load()) / 1000.0);
+      for (const auto& av : version->views) {
+        std::string cols;
+        for (csr::TermId c : av->def.keyword_columns) {
+          if (!cols.empty()) cols += ' ';
+          cols += "C" + std::to_string(c);
+        }
+        std::printf("  view {%s}: %s, %llu tuples, base_docs=%llu, "
+                    "%zu delta(s), epoch=%llu, score=%.2f\n",
+                    cols.c_str(), csr::FormatBytes(av->bytes).c_str(),
+                    static_cast<unsigned long long>(av->NumTuples()),
+                    static_cast<unsigned long long>(av->base_docs),
+                    av->deltas.size(),
+                    static_cast<unsigned long long>(av->built_epoch),
+                    ctl->ScoreOf(av->def.keyword_columns));
       }
       continue;
     }

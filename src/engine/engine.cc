@@ -16,7 +16,12 @@
 
 namespace csr {
 
-ContextSearchEngine::~ContextSearchEngine() { StopBackgroundMerge(); }
+ContextSearchEngine::~ContextSearchEngine() {
+  // The adaptive thread's materialize hook reads live state (and the
+  // merger publishes it), so stop adaptive first, then the merger.
+  StopAdaptiveSelection();
+  StopBackgroundMerge();
+}
 
 std::string_view EvaluationModeName(EvaluationMode mode) {
   switch (mode) {
@@ -147,9 +152,47 @@ Result<std::unique_ptr<ContextSearchEngine>> ContextSearchEngine::Finish(
                                  std::memory_order_relaxed);
   engine->view_breaker_.Configure(config.view_breaker);
   engine->set_trace_sample_rate(config.trace_sample_rate);
+  engine->InitAdaptive();
   engine->RegisterMetrics();
   if (config.background_merge) engine->StartBackgroundMerge();
+  if (config.adaptive_background) engine->StartAdaptiveSelection();
   return engine;
+}
+
+void ContextSearchEngine::InitAdaptive() {
+  if (config_.adaptive_view_budget_bytes == 0) return;
+  AdaptiveSelectionConfig acfg;
+  acfg.budget_bytes = config_.adaptive_view_budget_bytes;
+  acfg.half_life = config_.adaptive_half_life;
+  acfg.min_score = config_.adaptive_min_score_ms;
+  acfg.max_context_terms = config_.adaptive_max_context_terms;
+  acfg.cooldown_steps = config_.adaptive_cooldown_steps;
+  acfg.interval_ms = config_.adaptive_interval_ms;
+  AdaptiveViewController::Hooks hooks;
+  hooks.materialize = [this](const ViewDefinition& def,
+                             std::shared_ptr<const AdaptiveView> prior) {
+    return BuildAdaptiveView(def, std::move(prior));
+  };
+  hooks.estimate_bytes = [this](const ViewDefinition& def) {
+    ViewParamOptions options{/*track_df=*/true, config_.track_tc,
+                             config_.view_year_bucket};
+    return estimator_->EstimateBytes(
+        def, options, static_cast<uint32_t>(tracked_.size()));
+  };
+  hooks.live_epoch = [this] { return SnapshotLive()->epoch; };
+  adaptive_ = std::make_unique<AdaptiveViewController>(acfg, std::move(hooks));
+}
+
+bool ContextSearchEngine::AdaptiveStep() const {
+  return adaptive_ != nullptr && adaptive_->Step();
+}
+
+void ContextSearchEngine::StartAdaptiveSelection() {
+  if (adaptive_ != nullptr) adaptive_->Start();
+}
+
+void ContextSearchEngine::StopAdaptiveSelection() {
+  if (adaptive_ != nullptr) adaptive_->Stop();
 }
 
 void ContextSearchEngine::set_trace_sample_rate(double rate) {
@@ -185,6 +228,8 @@ void ContextSearchEngine::RegisterMetrics() {
       &registry_.GetCounter("engine.plan.stats_cache_hits");
   hot_.plan_view_fallbacks =
       &registry_.GetCounter("engine.plan.view_fallbacks");
+  hot_.plan_adaptive_hits =
+      &registry_.GetCounter("engine.plan.adaptive_view_hits");
   hot_.cost_entries_scanned =
       &registry_.GetCounter("engine.cost.entries_scanned");
   hot_.cost_segments_touched =
@@ -317,6 +362,44 @@ void ContextSearchEngine::RegisterMetrics() {
     snap.gauges["engine.views.quarantined"] =
         static_cast<double>(catalog_.quarantined().size());
   });
+  registry_.AddSampleCallback([this](csr::MetricsSnapshot& snap) {
+    // Adaptive view cache (DESIGN.md §17): monotone telemetry counters
+    // plus a point-in-time read of the published version. Both are leaf-
+    // synchronized (relaxed atomics / one shared_ptr copy).
+    if (adaptive_ == nullptr) return;
+    const AdaptiveCacheTelemetry& t = adaptive_->telemetry();
+    uint64_t hits = t.hits;
+    uint64_t misses = t.misses;
+    snap.counters["view.cache.hits"] = hits;
+    snap.counters["view.cache.misses"] = misses;
+    snap.counters["view.cache.installs"] = t.installs;
+    snap.counters["view.cache.evictions"] = t.evictions;
+    snap.counters["view.cache.refreshes"] = t.refreshes;
+    snap.counters["view.cache.rejected_budget"] = t.rejected_budget;
+    snap.counters["view.cache.build_failures"] = t.build_failures;
+    snap.counters["view.cache.stale_part_fallbacks"] = t.stale_part_fallbacks;
+    double build_ms = static_cast<double>(t.build_micros) / 1000.0;
+    snap.gauges["view.cache.build_ms_total"] = build_ms;
+    snap.gauges["view.cache.hit_rate"] =
+        hits + misses == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    // Build-cost amortization: milliseconds of materialization paid per
+    // view hit so far (drops toward zero as residents keep paying off).
+    snap.gauges["view.cache.build_ms_per_hit"] =
+        hits == 0 ? build_ms : build_ms / static_cast<double>(hits);
+    auto version = adaptive_->Snapshot();
+    snap.gauges["view.cache.resident_views"] =
+        static_cast<double>(version->views.size());
+    snap.gauges["view.cache.resident_bytes"] =
+        static_cast<double>(version->resident_bytes);
+    snap.gauges["view.cache.budget_bytes"] =
+        static_cast<double>(adaptive_->config().budget_bytes);
+    snap.gauges["view.cache.version"] =
+        static_cast<double>(version->version);
+    snap.gauges["view.cache.candidates"] =
+        static_cast<double>(adaptive_->CandidateCount());
+  });
 }
 
 void ContextSearchEngine::RecordQueryMetrics(const SearchMetrics& m,
@@ -336,6 +419,7 @@ void ContextSearchEngine::RecordQueryMetrics(const SearchMetrics& m,
     hot_.plan_cache_hits->Increment();
   } else if (m.used_view) {
     hot_.plan_view_hits->Increment();
+    if (m.used_adaptive_view) hot_.plan_adaptive_hits->Increment();
   } else if (m.fell_back_to_straightforward) {
     hot_.plan_view_fallbacks->Increment();
   } else {
@@ -353,7 +437,37 @@ void ContextSearchEngine::RecordQueryMetrics(const SearchMetrics& m,
   hot_.retrieval_ms->Observe(m.retrieval_ms);
 }
 
+namespace {
+
+// Exclusive mutators invalidate the shapes adaptive residents were built
+// against (base indexes, tracked table, estimator), so they stop the
+// controller, drop its resident set, and restart the background thread on
+// exit. Nested mutators (SelectAndMaterializeViews -> FlattenSegments) are
+// safe: the inner guard observes the thread already stopped and leaves the
+// restart to the outer one.
+class AdaptiveExclusiveGuard {
+ public:
+  explicit AdaptiveExclusiveGuard(AdaptiveViewController* c) : c_(c) {
+    if (c_ == nullptr) return;
+    was_running_ = c_->running();
+    c_->Stop();
+    c_->Reset();
+  }
+  ~AdaptiveExclusiveGuard() {
+    if (c_ != nullptr && was_running_) c_->Start();
+  }
+  AdaptiveExclusiveGuard(const AdaptiveExclusiveGuard&) = delete;
+  AdaptiveExclusiveGuard& operator=(const AdaptiveExclusiveGuard&) = delete;
+
+ private:
+  AdaptiveViewController* c_;
+  bool was_running_ = false;
+};
+
+}  // namespace
+
 void ContextSearchEngine::CompactIndexes() {
+  AdaptiveExclusiveGuard adaptive_guard(adaptive_.get());
   content_index_.Compact(/*block_size=*/0, config_.codec_policy);
   predicate_index_.Compact(/*block_size=*/0, config_.codec_policy);
   catalog_.CompactAll();
@@ -464,6 +578,73 @@ std::vector<MaterializedView> ContextSearchEngine::BuildViewDeltasLocked(
                       /*table_base=*/first);
   deltas = builder.BuildRange(defs, first, end);
   return deltas;
+}
+
+std::shared_ptr<const AdaptiveView> ContextSearchEngine::BuildAdaptiveView(
+    const ViewDefinition& def,
+    std::shared_ptr<const AdaptiveView> prior) const {
+  // Pin ONE LiveSet snapshot for the whole build: the shared_ptrs keep
+  // every segment alive even if a concurrent merge retires it, so the
+  // build always completes against a consistent collection state. Built
+  // over indexes only — never corpus_.docs, which concurrent appends grow
+  // (vector reallocation under a reader). If parts of the snapshot are
+  // merged away before install, queries detect the id mismatch per part
+  // and fall back; the controller's refresh path tops the view up.
+  std::shared_ptr<const LiveSet> live = SnapshotLive();
+  if (adaptive_build_intercept_) adaptive_build_intercept_();
+  if (def.num_columns() == 0 || def.num_columns() > 64) return nullptr;
+
+  ViewParamOptions options;
+  options.track_df = true;
+  options.track_tc = config_.track_tc;
+  options.year_bucket_size = config_.view_year_bucket;
+  auto av = std::make_shared<AdaptiveView>();
+  av->def = def;
+  av->built_epoch = live->epoch;
+  av->base_docs = live->base_docs;
+
+  // Base members (content_index_, predicate_index_, years_, tracked_) are
+  // only mutated by exclusive mutators, which stop this thread first —
+  // see AdaptiveExclusiveGuard. A top-up refresh reuses the prior base
+  // outright when the base extent is unchanged.
+  if (prior != nullptr && prior->base != nullptr &&
+      prior->base_docs == live->base_docs) {
+    av->base = prior->base;
+  } else {
+    MaterializedView base = BuildViewFromIndexes(
+        def, options, tracked_, content_index_, predicate_index_, years_);
+    base.Compact();
+    av->base = std::make_shared<const MaterializedView>(std::move(base));
+  }
+  av->bytes = av->base->MemoryBytes();
+
+  for (const auto& es : live->extras) {
+    AdaptiveDelta delta;
+    delta.segment_id = es->index.id;
+    delta.base = es->index.base;
+    delta.num_docs = es->index.num_docs;
+    // Reuse the prior's delta for a still-live segment (ids are never
+    // reused with different content, so an id + extent match is exact).
+    if (prior != nullptr) {
+      for (const AdaptiveDelta& pd : prior->deltas) {
+        if (pd.segment_id == delta.segment_id && pd.base == delta.base &&
+            pd.num_docs == delta.num_docs) {
+          delta.view = pd.view;
+          break;
+        }
+      }
+    }
+    if (delta.view == nullptr) {
+      MaterializedView dv = BuildViewFromIndexes(
+          def, options, tracked_, es->index.content, es->index.predicate,
+          es->index.years);
+      dv.Compact();
+      delta.view = std::make_shared<const MaterializedView>(std::move(dv));
+    }
+    av->bytes += delta.view->MemoryBytes();
+    av->deltas.push_back(std::move(delta));
+  }
+  return av;
 }
 
 Result<std::shared_ptr<EngineSegment>> ContextSearchEngine::BuildSegmentLocked(
@@ -625,6 +806,7 @@ bool ContextSearchEngine::MergeOnce() {
 }
 
 Status ContextSearchEngine::FlattenSegments() {
+  AdaptiveExclusiveGuard adaptive_guard(adaptive_.get());
   std::lock_guard<std::mutex> ingest(ingest_mu_);
   std::shared_ptr<const LiveSet> live = SnapshotLive();
   if (live->extras.empty()) return Status::OK();
@@ -776,6 +958,7 @@ Status ContextSearchEngine::SelectAndMaterializeViews() {
 }
 
 Status ContextSearchEngine::MaterializeViews(std::vector<ViewDefinition> defs) {
+  AdaptiveExclusiveGuard adaptive_guard(adaptive_.get());
   CSR_RETURN_NOT_OK(FlattenSegments());
   ViewParamOptions params;
   params.track_df = true;
@@ -827,6 +1010,7 @@ Status ContextSearchEngine::AppendDocuments(std::vector<Document> docs) {
 
 Status ContextSearchEngine::InstallCatalog(
     ViewCatalog catalog, const std::vector<TermId>& tracked_terms) {
+  AdaptiveExclusiveGuard adaptive_guard(adaptive_.get());
   if (tracked_terms != tracked_.terms()) {
     // The snapshot's tracked set was FROZEN at its original Build; this
     // engine recomputed one over today's collection (which may have grown
@@ -942,6 +1126,143 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
       view_idx < 0 ? nullptr : &catalog_.view(static_cast<size_t>(view_idx));
   if (view == nullptr ||
       (query.years.active() && !view->RangeAnswerable(query.years))) {
+    // -- Online adaptive view cache (DESIGN.md §17) ----------------------
+    // Consulted only when the offline catalog has no usable view: the
+    // catalog is the paper's cost-based choice; the cache fills the gaps
+    // offline selection could not anticipate. Queries take one immutable
+    // version snapshot, so a concurrent install/evict republish is never
+    // observed torn. Adaptive views carry the same exact integer
+    // aggregates as catalog views — the plans are bit-identical.
+    if (adaptive_ != nullptr) {
+      std::shared_ptr<const AdaptiveCatalogVersion> aversion =
+          adaptive_->Snapshot();
+      std::shared_ptr<const AdaptiveView> av =
+          aversion->FindBest(query.context);
+      if (av != nullptr && av->base != nullptr &&
+          (!query.years.active() ||
+           av->base->RangeAnswerable(query.years))) {
+        metrics.used_view = true;
+        metrics.used_adaptive_view = true;
+        metrics.plan = "stats: adaptive view scan over V_K (|K|=" +
+                       std::to_string(av->def.num_columns()) + ", " +
+                       std::to_string(av->NumTuples()) + " tuples, v" +
+                       std::to_string(aversion->version) + ")";
+        SpanGuard span(tctx, "plan:adaptive_view");
+        span.Attr("view_columns",
+                  static_cast<uint64_t>(av->def.num_columns()));
+        span.Attr("view_tuples", av->NumTuples());
+        span.Attr("catalog_version", aversion->version);
+
+        // Fold the view's base + per-segment deltas over the parts.
+        // Parts with no matching delta (appended/merged after the build)
+        // are answered by the straightforward plan FOR THAT PART, so a
+        // stale resident is never wrong, only slower. Deltas are keyed by
+        // segment id (never reused with different content); base/docid
+        // extents are cross-checked belt-and-braces.
+        CollectionStats stats;
+        stats.df.assign(qstats.keywords.size(), 0);
+        if (need_tc) stats.tc.assign(qstats.keywords.size(), 0);
+        std::vector<bool> covered;
+        std::vector<const SearchPart*> view_served;
+        uint64_t stale_parts = 0;
+        for (const SearchPart& part : parts) {
+          uint32_t part_docs =
+              static_cast<uint32_t>(part.content->num_docs());
+          const MaterializedView* pv = nullptr;
+          if (part.view_deltas == nullptr) {
+            // The base part; matches iff the base extent is unchanged
+            // (exclusive mutators that change it reset the controller).
+            if (part.base == 0 && part_docs == av->base_docs) {
+              pv = av->base.get();
+            }
+          } else {
+            pv = av->DeltaFor(part.segment_id, part.base, part_docs);
+          }
+          if (pv != nullptr) {
+            MaterializedView::StatsResult vr =
+                pv->ComputeStats(query.context, qstats.keywords, tracked_,
+                                 &metrics.cost, query.years);
+            stats.cardinality += vr.cardinality;
+            stats.total_length += vr.total_length;
+            if (covered.empty()) covered = vr.covered;
+            for (size_t i = 0; i < qstats.keywords.size(); ++i) {
+              if (!vr.covered[i]) continue;
+              stats.df[i] += vr.df[i];
+              if (need_tc) stats.tc[i] += vr.tc[i];
+            }
+            view_served.push_back(&part);
+            continue;
+          }
+          ++stale_parts;
+          SpanGuard pspan(span.ctx(),
+                          "segment:" + std::to_string(part.segment_id) +
+                              ":straightforward");
+          CollectionStats ps = StraightforwardCollectionStats(
+              *part.content, *part.predicate, query.context,
+              qstats.keywords, need_tc, &metrics.cost, part.years,
+              query.years, guard, pspan.ctx());
+          stats.cardinality += ps.cardinality;
+          stats.total_length += ps.total_length;
+          for (size_t i = 0; i < ps.df.size(); ++i) stats.df[i] += ps.df[i];
+          if (need_tc) {
+            for (size_t i = 0; i < ps.tc.size(); ++i) {
+              stats.tc[i] += ps.tc[i];
+            }
+          }
+          if (guard != nullptr && guard->tripped()) break;
+        }
+        metrics.view_tuples_scanned = metrics.cost.view_tuples_scanned;
+        if (stale_parts > 0) {
+          adaptive_->NoteStalePartFallback(stale_parts);
+          metrics.plan += " + " + std::to_string(stale_parts) +
+                          " stale segment(s) answered straightforwardly";
+        }
+
+        // Keywords without a parameter column are computed at query time —
+        // over the VIEW-SERVED parts only (straightforward-served parts
+        // already returned full per-keyword statistics above).
+        uint32_t uncovered = 0;
+        for (size_t i = 0; i < qstats.keywords.size(); ++i) {
+          if (covered.empty() || covered[i]) continue;
+          ++uncovered;
+          uint64_t df = 0;
+          uint64_t tc = 0;
+          for (const SearchPart* part : view_served) {
+            std::vector<PostingCursor> cursors;
+            cursors.push_back(
+                part->content->cursor(qstats.keywords[i], &metrics.cost));
+            if (!cursors.back().valid()) continue;
+            bool ok = true;
+            for (TermId m : query.context) {
+              cursors.push_back(part->predicate->cursor(m, &metrics.cost));
+              if (!cursors.back().valid()) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) continue;
+            ConjunctionIterator it(std::move(cursors), guard);
+            for (; !it.AtEnd(); it.Next()) {
+              if (!query.years.Contains(part->years[it.doc()])) continue;
+              ++df;
+              tc += it.tf(0);
+            }
+            if (guard != nullptr && guard->tripped()) break;
+          }
+          stats.df[i] += df;
+          if (need_tc) stats.tc[i] += tc;
+        }
+        metrics.keywords_uncovered_by_view = uncovered;
+        if (uncovered > 0) {
+          metrics.plan +=
+              " + " + std::to_string(uncovered) +
+              " query-time df intersection(s) for untracked keywords";
+        }
+        adaptive_->RecordHit(query.context);
+        return stats;
+      }
+    }
+
     metrics.fell_back_to_straightforward = true;
     std::string reason = view == nullptr
                              ? "fallback: no usable view"
@@ -963,6 +1284,18 @@ CollectionStats ContextSearchEngine::ComputeContextStats(
     straightforward_plan(reason);
     SpanGuard span(tctx, "plan:straightforward");
     span.Attr("reason", reason);
+    // Fund the adaptive estimator with the cost the miss actually paid.
+    // Year-restricted queries are excluded: whether a future view could
+    // answer them depends on bucket alignment, so their misses would
+    // inflate scores for contexts the cache might never serve.
+    if (adaptive_ != nullptr && view == nullptr && !query.years.active()) {
+      WallTimer miss_timer;
+      CollectionStats s = straightforward_fold(span.ctx());
+      if (guard == nullptr || !guard->tripped()) {
+        adaptive_->RecordMiss(query.context, miss_timer.ElapsedMillis());
+      }
+      return s;
+    }
     return straightforward_fold(span.ctx());
   }
 

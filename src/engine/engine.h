@@ -19,6 +19,7 @@
 #include "obs/trace.h"
 #include "ranking/ranking_function.h"
 #include "engine/stats_cache.h"
+#include "selection/adaptive.h"
 #include "selection/hybrid.h"
 #include "stats/collector.h"
 #include "util/result.h"
@@ -150,6 +151,34 @@ struct EngineConfig {
 
   /// Poll interval of the background merger when no merge is pending.
   double merge_interval_ms = 2.0;
+
+  // -- Online adaptive view selection (DESIGN.md §17) --------------------
+
+  /// Hard byte budget for the adaptive view cache (actual MemoryBytes of
+  /// resident adaptive views). 0 disables the whole subsystem: no
+  /// controller is created and the query path never consults it.
+  uint64_t adaptive_view_budget_bytes = 0;
+
+  /// Benefit decay half-life in view-eligible observations (see
+  /// AdaptiveSelectionConfig::half_life).
+  double adaptive_half_life = 256.0;
+
+  /// Minimum decayed score (accumulated straightforward milliseconds)
+  /// before a context is worth materializing.
+  double adaptive_min_score_ms = 2.0;
+
+  /// Widest context admitted as an adaptive candidate.
+  uint32_t adaptive_max_context_terms = 8;
+
+  /// Steps a rejected or evicted candidate sits out (thrash guard).
+  uint32_t adaptive_cooldown_steps = 8;
+
+  /// Run the controller's decision loop on a background thread. Off by
+  /// default: tests and benches drive AdaptiveStep() deterministically.
+  bool adaptive_background = false;
+
+  /// Poll interval of the adaptive background thread when idle.
+  double adaptive_interval_ms = 5.0;
 };
 
 /// Cumulative fault-tolerance telemetry for one engine, surfaced through
@@ -450,6 +479,30 @@ class ContextSearchEngine {
   /// (state/telemetry for tests and the shell's `.qos`).
   const CircuitBreaker& view_breaker() const { return view_breaker_; }
 
+  // -- Online adaptive view selection (DESIGN.md §17) --------------------
+
+  /// The adaptive controller, or null when
+  /// EngineConfig::adaptive_view_budget_bytes is 0.
+  const AdaptiveViewController* adaptive() const { return adaptive_.get(); }
+
+  /// One adaptive decision cycle (install / refresh / nothing). Tests and
+  /// benches call this instead of running the background thread; returns
+  /// false when the subsystem is disabled or the cycle found no work.
+  bool AdaptiveStep() const;
+
+  /// Starts/stops the adaptive background thread (idempotent; no-ops when
+  /// the subsystem is disabled). Finish starts it automatically when
+  /// EngineConfig::adaptive_background is set.
+  void StartAdaptiveSelection();
+  void StopAdaptiveSelection();
+
+  /// Test hook: invoked by the adaptive materializer right after it pins
+  /// its LiveSet snapshot and before it builds — a test can run MergeOnce
+  /// there to prove builds racing a merge stay correct.
+  void SetAdaptiveBuildInterceptForTest(std::function<void()> fn) {
+    adaptive_build_intercept_ = std::move(fn);
+  }
+
   // -- Observability ----------------------------------------------------
 
   /// The engine's metrics registry. Components owned by this engine
@@ -547,6 +600,20 @@ class ContextSearchEngine {
   void RecordQueryMetrics(const SearchMetrics& m, EvaluationMode mode,
                           bool failed) const;
 
+  /// The adaptive controller's materialize hook: builds `def` against the
+  /// CURRENT live snapshot — base via the index-side builder (never the
+  /// growing corpus vector), one delta per extra segment — reusing
+  /// `prior`'s base and still-live deltas when given. Runs on the
+  /// controller's background thread concurrently with queries, appends,
+  /// and merges.
+  std::shared_ptr<const AdaptiveView> BuildAdaptiveView(
+      const ViewDefinition& def,
+      std::shared_ptr<const AdaptiveView> prior) const;
+
+  /// Creates + starts the controller (Finish tail, after the estimator
+  /// exists); no-op when the budget is 0.
+  void InitAdaptive();
+
   Corpus corpus_;
   EngineConfig config_;
   uint64_t context_threshold_ = 0;
@@ -588,6 +655,7 @@ class ContextSearchEngine {
     Counter* plan_conventional = nullptr;
     Counter* plan_cache_hits = nullptr;
     Counter* plan_view_fallbacks = nullptr;
+    Counter* plan_adaptive_hits = nullptr;  // stats served by the adaptive cache
     Counter* cost_entries_scanned = nullptr;
     Counter* cost_segments_touched = nullptr;
     Counter* cost_skips_taken = nullptr;
@@ -627,8 +695,18 @@ class ContextSearchEngine {
   uint64_t next_segment_id_ = 1;  // 0 is the base; guarded by ingest_mu_
   std::atomic<uint64_t> next_epoch_{2};
 
+  // -- Online adaptive view selection (DESIGN.md §17) --------------------
+  // The controller is internally synchronized; mutable because the query
+  // path (const Search) records hits/misses into its estimator. Null when
+  // adaptive_view_budget_bytes is 0. Exclusive mutators (flatten, catalog
+  // install, compaction) stop + reset it — see AdaptiveExclusiveGuard in
+  // engine.cc.
+  mutable std::unique_ptr<AdaptiveViewController> adaptive_;
+  std::function<void()> adaptive_build_intercept_;  // test-only, see setter
+
   // Declared last so it is destroyed first: the merger thread must stop
-  // before any engine state it reads goes away.
+  // before any engine state it reads goes away. (The engine destructor
+  // stops the adaptive thread explicitly before members die.)
   std::unique_ptr<SegmentMerger> merger_;
 };
 

@@ -64,6 +64,9 @@ struct SearchMetrics {
   double stats_ms = 0.0;      // collection-statistics phase
   double retrieval_ms = 0.0;  // conjunction + scoring phase
   bool used_view = false;
+  /// The statistics came from an adaptively materialized view (online
+  /// selection cache) rather than the offline catalog. Implies used_view.
+  bool used_adaptive_view = false;
   bool fell_back_to_straightforward = false;
   bool stats_cache_hit = false;
   uint64_t view_tuples_scanned = 0;

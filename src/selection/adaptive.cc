@@ -1,0 +1,382 @@
+#include "selection/adaptive.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace csr {
+
+std::shared_ptr<const AdaptiveView> AdaptiveCatalogVersion::FindBest(
+    std::span<const TermId> context) const {
+  std::shared_ptr<const AdaptiveView> best;
+  uint64_t best_tuples = 0;
+  for (const auto& av : views) {
+    if (!av->def.Covers(context)) continue;
+    uint64_t tuples = av->NumTuples();
+    if (best == nullptr || tuples < best_tuples) {
+      best = av;
+      best_tuples = tuples;
+    }
+  }
+  return best;
+}
+
+AdaptiveViewController::AdaptiveViewController(AdaptiveSelectionConfig config,
+                                               Hooks hooks)
+    : config_(config), hooks_(std::move(hooks)) {
+  if (config_.half_life <= 0.0) config_.half_life = 1.0;
+  auto empty = std::make_shared<AdaptiveCatalogVersion>();
+  empty->version = next_version_++;
+  published_ = std::move(empty);
+}
+
+AdaptiveViewController::~AdaptiveViewController() { Stop(); }
+
+std::shared_ptr<const AdaptiveCatalogVersion> AdaptiveViewController::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return published_;
+}
+
+void AdaptiveViewController::DecayTo(Entry& e, uint64_t now) const {
+  if (now > e.last_obs) {
+    e.score *= std::exp2(-static_cast<double>(now - e.last_obs) /
+                         config_.half_life);
+  }
+  e.last_obs = now;
+}
+
+void AdaptiveViewController::RecordMiss(const TermIdSet& context,
+                                        double cost_ms) {
+  if (context.empty() || context.size() > config_.max_context_terms ||
+      context.size() > 64) {
+    return;
+  }
+  if (cost_ms < 1e-4) cost_ms = 1e-4;
+  telemetry_.misses.fetch_add(1, std::memory_order_relaxed);
+  uint64_t key = HashTermIds(context);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t now = ++obs_clock_;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= config_.max_candidates) {
+      // Drop the coldest non-resident entry to admit the newcomer.
+      auto victim = entries_.end();
+      double victim_score = 0.0;
+      for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+        if (cur->second.resident) continue;
+        DecayTo(cur->second, now);
+        if (victim == entries_.end() || cur->second.score < victim_score) {
+          victim = cur;
+          victim_score = cur->second.score;
+        }
+      }
+      if (victim == entries_.end()) return;  // table full of residents
+      entries_.erase(victim);
+    }
+    Entry e;
+    e.context = context;
+    e.score = cost_ms;
+    e.cost_ewma = cost_ms;
+    e.last_obs = now;
+    entries_.emplace(key, std::move(e));
+    return;
+  }
+  Entry& e = it->second;
+  // A 64-bit hash collision between two distinct contexts is vanishingly
+  // unlikely; if it happens the slot keeps its original owner and the
+  // newcomer is simply not learned (never a wrong view: the published
+  // catalog matches by definition coverage, not by hash).
+  if (e.context != context) return;
+  DecayTo(e, now);
+  e.score += cost_ms;
+  e.cost_ewma = e.cost_ewma == 0.0 ? cost_ms
+                                   : 0.8 * e.cost_ewma + 0.2 * cost_ms;
+}
+
+void AdaptiveViewController::RecordHit(const TermIdSet& context) {
+  telemetry_.hits.fetch_add(1, std::memory_order_relaxed);
+  uint64_t key = HashTermIds(context);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t now = ++obs_clock_;
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.context != context) return;
+  Entry& e = it->second;
+  DecayTo(e, now);
+  // Credit the hit with the straightforward cost it avoided, so a hot
+  // resident's score tracks its ongoing benefit, not just its history.
+  e.score += e.cost_ewma;
+}
+
+void AdaptiveViewController::NoteStalePartFallback(uint64_t parts) {
+  telemetry_.stale_part_fallbacks.fetch_add(parts, std::memory_order_relaxed);
+}
+
+double AdaptiveViewController::ScoreOf(const TermIdSet& context) const {
+  uint64_t key = HashTermIds(context);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.context != context) return 0.0;
+  Entry copy = it->second;
+  DecayTo(copy, obs_clock_);
+  return copy.score;
+}
+
+size_t AdaptiveViewController::CandidateCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void AdaptiveViewController::PublishLocked() {
+  auto next = std::make_shared<AdaptiveCatalogVersion>();
+  next->version = next_version_++;
+  next->views.reserve(residents_.size());
+  for (const auto& [key, av] : residents_) {
+    next->resident_bytes += av->bytes;
+    next->views.push_back(av);
+  }
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  published_ = std::move(next);
+}
+
+bool AdaptiveViewController::Step() {
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  uint64_t step;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    step = ++step_clock_;
+  }
+  if (StepInstall(step)) return true;
+  return StepRefresh();
+}
+
+bool AdaptiveViewController::StepInstall(uint64_t step) {
+  // Decision 1 (under mu_): the best-scoring non-resident candidate that
+  // clears min_score and is not cooling down.
+  TermIdSet winner_context;
+  uint64_t winner_key = 0;
+  double winner_score = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t now = obs_clock_;
+    for (auto& [key, e] : entries_) {
+      if (e.resident || e.cooldown_until > step) continue;
+      DecayTo(e, now);
+      if (e.score < config_.min_score) continue;
+      if (winner_context.empty() || e.score > winner_score) {
+        winner_context = e.context;
+        winner_key = key;
+        winner_score = e.score;
+      }
+    }
+  }
+  if (winner_context.empty()) return false;
+
+  auto cool = [&](uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.cooldown_until = step + config_.cooldown_steps;
+    }
+  };
+
+  ViewDefinition def;
+  def.keyword_columns = winner_context;
+
+  // Pre-admission gate: a candidate whose lower-bound estimate already
+  // exceeds the whole budget can never fit; skip the build entirely.
+  if (hooks_.estimate_bytes != nullptr &&
+      hooks_.estimate_bytes(def) > config_.budget_bytes) {
+    telemetry_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+    cool(winner_key);
+    return true;
+  }
+
+  // Materialize OUTSIDE every controller lock: queries keep recording and
+  // snapshotting, and the engine's builder reads only immutable state.
+  WallTimer timer;
+  std::shared_ptr<const AdaptiveView> built =
+      hooks_.materialize(def, nullptr);
+  telemetry_.build_micros.fetch_add(
+      static_cast<uint64_t>(timer.ElapsedMillis() * 1000.0),
+      std::memory_order_relaxed);
+  if (built == nullptr) {
+    telemetry_.build_failures.fetch_add(1, std::memory_order_relaxed);
+    cool(winner_key);
+    return true;
+  }
+  if (built->bytes > config_.budget_bytes) {
+    telemetry_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+    cool(winner_key);
+    return true;
+  }
+
+  // Decision 2 (under mu_): fit the built view under the budget, evicting
+  // the coldest residents — but only when the winner is clearly hotter
+  // than each victim (hysteresis); otherwise reject and cool down.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t now = obs_clock_;
+    uint64_t resident_bytes = 0;
+    for (const auto& [key, av] : residents_) resident_bytes += av->bytes;
+    std::vector<uint64_t> evict;
+    while (resident_bytes + built->bytes > config_.budget_bytes) {
+      uint64_t victim_key = 0;
+      double victim_score = 0.0;
+      bool found = false;
+      for (auto& [key, av] : residents_) {
+        if (std::find(evict.begin(), evict.end(), key) != evict.end()) {
+          continue;
+        }
+        auto it = entries_.find(key);
+        double score = 0.0;
+        if (it != entries_.end()) {
+          DecayTo(it->second, now);
+          score = it->second.score;
+        }
+        if (!found || score < victim_score) {
+          victim_key = key;
+          victim_score = score;
+          found = true;
+        }
+      }
+      if (!found || victim_score * config_.evict_hysteresis >= winner_score) {
+        break;  // not worth displacing what is already resident
+      }
+      evict.push_back(victim_key);
+      resident_bytes -= residents_[victim_key]->bytes;
+    }
+    if (resident_bytes + built->bytes > config_.budget_bytes) {
+      // The eviction loop gave up: reject the install and cool down.
+      telemetry_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+      auto it = entries_.find(winner_key);
+      if (it != entries_.end()) {
+        it->second.cooldown_until = step + config_.cooldown_steps;
+      }
+      return true;
+    }
+    for (uint64_t key : evict) {
+      residents_.erase(key);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        it->second.resident = false;
+        it->second.cooldown_until = step + config_.cooldown_steps;
+      }
+      telemetry_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    residents_[winner_key] = built;
+    auto it = entries_.find(winner_key);
+    if (it != entries_.end()) it->second.resident = true;
+    telemetry_.installs.fetch_add(1, std::memory_order_relaxed);
+    PublishLocked();
+  }
+  return true;
+}
+
+bool AdaptiveViewController::StepRefresh() {
+  if (hooks_.live_epoch == nullptr) return false;
+  uint64_t live = hooks_.live_epoch();
+  uint64_t stale_key = 0;
+  std::shared_ptr<const AdaptiveView> prior;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t oldest = live;
+    for (const auto& [key, av] : residents_) {
+      if (av->built_epoch < oldest) {
+        oldest = av->built_epoch;
+        stale_key = key;
+        prior = av;
+      }
+    }
+  }
+  if (prior == nullptr) return false;
+
+  WallTimer timer;
+  std::shared_ptr<const AdaptiveView> built =
+      hooks_.materialize(prior->def, prior);
+  telemetry_.build_micros.fetch_add(
+      static_cast<uint64_t>(timer.ElapsedMillis() * 1000.0),
+      std::memory_order_relaxed);
+  if (built == nullptr) {
+    telemetry_.build_failures.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = residents_.find(stale_key);
+    // The resident may have been evicted while the refresh built; drop
+    // the rebuild rather than resurrecting it.
+    if (it == residents_.end() || it->second != prior) return true;
+    uint64_t other_bytes = 0;
+    for (const auto& [key, av] : residents_) {
+      if (key != stale_key) other_bytes += av->bytes;
+    }
+    if (other_bytes + built->bytes > config_.budget_bytes) {
+      // A refresh may not push the cache over budget: shrink by dropping
+      // the refreshed view entirely (it will re-earn its place).
+      residents_.erase(it);
+      auto ent = entries_.find(stale_key);
+      if (ent != entries_.end()) ent->second.resident = false;
+      telemetry_.evictions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      it->second = built;
+      telemetry_.refreshes.fetch_add(1, std::memory_order_relaxed);
+    }
+    PublishLocked();
+  }
+  return true;
+}
+
+void AdaptiveViewController::Reset() {
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  residents_.clear();
+  PublishLocked();
+}
+
+void AdaptiveViewController::Start() {
+  if (bg_running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = false;
+  }
+  bg_running_.store(true, std::memory_order_relaxed);
+  bg_thread_ = std::thread(&AdaptiveViewController::RunBackground, this);
+}
+
+void AdaptiveViewController::Stop() {
+  if (!bg_running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+  bg_running_.store(false, std::memory_order_relaxed);
+}
+
+bool AdaptiveViewController::running() const {
+  return bg_running_.load(std::memory_order_relaxed);
+}
+
+void AdaptiveViewController::RunBackground() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      if (bg_stop_) return;
+    }
+    bool worked = Step();
+    std::unique_lock<std::mutex> lock(bg_mu_);
+    if (bg_stop_) return;
+    if (!worked) {
+      bg_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                config_.interval_ms),
+                      [this] { return bg_stop_; });
+    }
+  }
+}
+
+}  // namespace csr

@@ -1,0 +1,291 @@
+#ifndef CSR_SELECTION_ADAPTIVE_H_
+#define CSR_SELECTION_ADAPTIVE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/types.h"
+#include "views/materialized_view.h"
+#include "views/view_def.h"
+
+namespace csr {
+
+/// One per-segment delta of an adaptively materialized view: partial
+/// aggregates over exactly the segment's documents. Deltas are keyed by
+/// segment id — ids are never reused with different content (every buffer
+/// rebuild and every merge allocates a fresh id), so an id match means the
+/// delta's aggregates are exact for that part; base/num_docs are kept as a
+/// belt-and-braces cross-check. Parts with no matching delta (appended or
+/// merged after the build) are answered by the straightforward plan for
+/// just that part, so a stale adaptive view is never wrong, only slower.
+struct AdaptiveDelta {
+  uint64_t segment_id = 0;
+  DocId base = 0;
+  uint32_t num_docs = 0;
+  std::shared_ptr<const MaterializedView> view;
+};
+
+/// An adaptively materialized view: a base view covering documents
+/// [0, base_docs) plus per-segment deltas, all immutable once published.
+/// Refreshes build a NEW AdaptiveView that shares the base and still-live
+/// delta shared_ptrs and adds only the missing segments (top-up), so a
+/// refresh costs O(new documents), not O(collection).
+struct AdaptiveView {
+  ViewDefinition def;
+  std::shared_ptr<const MaterializedView> base;
+  uint64_t base_docs = 0;
+  std::vector<AdaptiveDelta> deltas;
+
+  /// Actual resident bytes (MaterializedView::MemoryBytes of the base plus
+  /// every delta) measured at build time — the budget is accounted in real
+  /// bytes, never in modeled estimates.
+  uint64_t bytes = 0;
+
+  /// LiveSet epoch of the snapshot this view was built against; the
+  /// controller refreshes residents whose epoch lags the live one.
+  uint64_t built_epoch = 0;
+
+  /// The delta exactly matching a query part, or nullptr (the part was
+  /// appended/merged after this build; the caller falls back per-part).
+  const MaterializedView* DeltaFor(uint64_t segment_id, DocId part_base,
+                                   uint32_t part_docs) const {
+    for (const AdaptiveDelta& d : deltas) {
+      if (d.segment_id == segment_id && d.base == part_base &&
+          d.num_docs == part_docs) {
+        return d.view.get();
+      }
+    }
+    return nullptr;
+  }
+
+  uint64_t NumTuples() const {
+    uint64_t n = base == nullptr ? 0 : base->NumTuples();
+    for (const AdaptiveDelta& d : deltas) n += d.view->NumTuples();
+    return n;
+  }
+};
+
+/// An immutable published version of the adaptive cache. Queries take one
+/// shared_ptr snapshot and serve entirely from it; installs and evictions
+/// publish a NEW version by pointer swap (epoch-stamped), so an in-flight
+/// query can never observe a torn catalog — it either sees the old version
+/// or the new one, and the shared_ptrs keep whichever it sees alive.
+struct AdaptiveCatalogVersion {
+  uint64_t version = 0;
+  uint64_t resident_bytes = 0;
+  std::vector<std::shared_ptr<const AdaptiveView>> views;
+
+  /// Smallest usable resident view for the sorted context P (P ⊆ K), or
+  /// nullptr. Mirrors ViewCatalog::FindBest; the resident set is small
+  /// (budget-bounded), so a linear scan is fine.
+  std::shared_ptr<const AdaptiveView> FindBest(
+      std::span<const TermId> context) const;
+};
+
+/// Tuning for the online selection policy (DESIGN.md §17).
+struct AdaptiveSelectionConfig {
+  /// Hard ceiling on resident adaptive-view bytes (actual MemoryBytes).
+  /// The published resident_bytes never exceeds it.
+  uint64_t budget_bytes = 0;
+
+  /// Benefit decay half-life, in view-eligible observations: an entry
+  /// untouched for this many RecordMiss/RecordHit events across the table
+  /// loses half its score. Observation-driven (not wall clock) so tests
+  /// and replays are deterministic.
+  double half_life = 256.0;
+
+  /// Minimum decayed score (accumulated straightforward milliseconds)
+  /// before a candidate is worth materializing.
+  double min_score = 2.0;
+
+  /// Widest context |P| admitted as a candidate key (also capped at 64
+  /// keyword columns by the index-side builder).
+  uint32_t max_context_terms = 8;
+
+  /// Steps a rejected or evicted entry sits out before it can be
+  /// reconsidered (thrash guard half 1).
+  uint32_t cooldown_steps = 8;
+
+  /// Thrash guard half 2: a resident is evicted to make room only when
+  /// victim_score * hysteresis < winner_score; otherwise the install is
+  /// rejected and the winner cools down.
+  double evict_hysteresis = 1.25;
+
+  /// Candidate-table cap; the lowest-score non-resident entry is dropped
+  /// when a new context would exceed it.
+  size_t max_candidates = 4096;
+
+  /// Poll interval of the background thread when a Step found no work.
+  double interval_ms = 5.0;
+};
+
+/// Monotone telemetry (relaxed atomics; same memory-order contract as
+/// DegradationStats). Exported by the engine as view.cache.* metrics.
+struct AdaptiveCacheTelemetry {
+  std::atomic<uint64_t> hits{0};    // stats answered by an adaptive view
+  std::atomic<uint64_t> misses{0};  // view-eligible, straightforward-served
+  std::atomic<uint64_t> installs{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> refreshes{0};        // top-up rebuilds of residents
+  std::atomic<uint64_t> rejected_budget{0};  // would not fit / not worth it
+  std::atomic<uint64_t> build_failures{0};
+  std::atomic<uint64_t> stale_part_fallbacks{0};  // per-part straightforward
+  std::atomic<uint64_t> build_micros{0};  // total materialization time
+};
+
+/// Online view selection: feeds the live query stream into a decaying
+/// benefit estimator per candidate context set, materializes winners on a
+/// background thread under a hard byte budget, and evicts cold residents —
+/// the continuous counterpart of the paper's offline algorithms, after
+/// Aouiche et al.'s workload-driven candidate generation. Lazily
+/// materialized like Desbordante's CachingUpperSetMapping: the first
+/// touches of a context pay the straightforward cost (and fund the
+/// estimator); later touches hit the cached view.
+///
+/// The controller is engine-agnostic: everything it needs from the serving
+/// system arrives through Hooks, so tests drive it with synthetic builders
+/// and the engine binds its own index-backed materializer.
+///
+/// Threading: RecordMiss/RecordHit/Snapshot are safe from any number of
+/// query threads. Step() may run concurrently with them (it is what the
+/// background thread calls); concurrent Step calls serialize on an
+/// internal mutex. Reset() requires the background thread stopped and no
+/// Step in flight (the engine's exclusive mutators guarantee this).
+class AdaptiveViewController {
+ public:
+  struct Hooks {
+    /// Builds the full adaptive view for `def` against the CURRENT live
+    /// snapshot, reusing `prior`'s base and still-live deltas when given
+    /// (top-up refresh). Returns nullptr on failure; the controller
+    /// records the failure and cools the candidate down. Called off the
+    /// query path, with no controller lock held.
+    std::function<std::shared_ptr<const AdaptiveView>(
+        const ViewDefinition& def,
+        std::shared_ptr<const AdaptiveView> prior)>
+        materialize;
+
+    /// Lower-bound resident-byte estimate for pre-admission gating (a
+    /// candidate that cannot possibly fit is never built).
+    std::function<uint64_t(const ViewDefinition& def)> estimate_bytes;
+
+    /// The live collection epoch; residents built under an older epoch
+    /// are refresh candidates.
+    std::function<uint64_t()> live_epoch;
+  };
+
+  AdaptiveViewController(AdaptiveSelectionConfig config, Hooks hooks);
+  ~AdaptiveViewController();  // stops the background thread
+
+  AdaptiveViewController(const AdaptiveViewController&) = delete;
+  AdaptiveViewController& operator=(const AdaptiveViewController&) = delete;
+
+  /// The current published version (never null). One leaf-mutex-guarded
+  /// shared_ptr copy per query.
+  std::shared_ptr<const AdaptiveCatalogVersion> Snapshot() const;
+
+  /// A view-eligible query was answered by the straightforward plan at
+  /// `cost_ms`. Feeds the candidate's decayed benefit estimator. Contexts
+  /// wider than max_context_terms are ignored.
+  void RecordMiss(const TermIdSet& context, double cost_ms);
+
+  /// A query was answered by the resident view for `context`: refresh its
+  /// recency (credit = its EWMA straightforward cost, i.e. the cost the
+  /// hit avoided) so hot residents stay ahead of new candidates.
+  void RecordHit(const TermIdSet& context);
+
+  /// A resident served a query but one or more parts had no matching
+  /// delta and fell back per-part (telemetry only).
+  void NoteStalePartFallback(uint64_t parts);
+
+  /// One decision cycle: install the best-scoring candidate that clears
+  /// min_score (evicting colder residents if the budget requires and the
+  /// hysteresis allows), else top-up the most stale resident. Returns
+  /// true when it changed or attempted to change the resident set.
+  /// Materialization runs outside every controller lock.
+  bool Step();
+
+  /// Drops all residents and candidates and publishes an empty version.
+  /// For the engine's exclusive mutators (flatten/catalog install), which
+  /// invalidate the shapes residents were built against. Requires the
+  /// background thread stopped.
+  void Reset();
+
+  /// Starts/stops the background thread (both idempotent). Stop joins,
+  /// so any in-flight materialization completes first.
+  void Start();
+  void Stop();
+  bool running() const;
+
+  const AdaptiveCacheTelemetry& telemetry() const { return telemetry_; }
+  const AdaptiveSelectionConfig& config() const { return config_; }
+
+  /// Decayed score of `context` as of the latest observation (0 when
+  /// unknown). For tests and the shell.
+  double ScoreOf(const TermIdSet& context) const;
+
+  size_t CandidateCount() const;
+
+ private:
+  struct Entry {
+    TermIdSet context;
+    double score = 0.0;      // decayed accumulated straightforward ms
+    double cost_ewma = 0.0;  // smoothed per-query straightforward ms
+    uint64_t last_obs = 0;   // observation clock at last touch
+    uint64_t cooldown_until = 0;  // step counter gate
+    bool resident = false;
+  };
+
+  /// Applies the pending decay to `e` and stamps it touched at `now`.
+  void DecayTo(Entry& e, uint64_t now) const;
+
+  /// Publishes a new immutable version assembled from residents_.
+  /// Caller holds mu_.
+  void PublishLocked();
+
+  bool StepInstall(uint64_t step);
+  bool StepRefresh();
+
+  void RunBackground();
+
+  AdaptiveSelectionConfig config_;
+  Hooks hooks_;
+  mutable AdaptiveCacheTelemetry telemetry_;
+
+  // mu_ guards the estimator table, the resident map, and the observation
+  // clock. Query-path holders (RecordMiss/RecordHit) do O(context) work
+  // under it; Step holds it only for decisions, never during a build.
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;  // HashTermIds(context) key
+  std::unordered_map<uint64_t, std::shared_ptr<const AdaptiveView>>
+      residents_;
+  uint64_t obs_clock_ = 0;
+  uint64_t step_clock_ = 0;
+  uint64_t next_version_ = 1;
+
+  // Leaf mutex for the published-version swap; queries touch only this.
+  mutable std::mutex catalog_mu_;
+  std::shared_ptr<const AdaptiveCatalogVersion> published_;
+
+  // Serializes Step callers (the background thread plus tests/shell).
+  std::mutex step_mu_;
+
+  // Background thread plumbing (SegmentMerger pattern).
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  std::atomic<bool> bg_running_{false};
+  std::thread bg_thread_;
+};
+
+}  // namespace csr
+
+#endif  // CSR_SELECTION_ADAPTIVE_H_

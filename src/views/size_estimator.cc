@@ -13,38 +13,86 @@ ViewSizeEstimator::ViewSizeEstimator(const Corpus* corpus, uint64_t seed,
   SplitMix64 rng(seed);
   size_t n = corpus_->docs.size();
   std::vector<size_t> idx = SampleWithoutReplacement(n, sample_size, rng);
-  sample_.reserve(idx.size());
-  for (size_t i : idx) sample_.push_back(static_cast<DocId>(i));
+  sample_annotations_.reserve(idx.size());
+  for (size_t i : idx) sample_annotations_.push_back(corpus_->docs[i].annotations);
   all_docs_.reserve(n);
   for (size_t i = 0; i < n; ++i) all_docs_.push_back(static_cast<DocId>(i));
 }
 
+namespace {
+
+// Signatures are summarized by a 64-bit hash of the sorted bit positions;
+// a collision would undercount by one tuple, which is harmless for the
+// thresholding these estimates feed.
+inline bool HashAnnotations(const ViewDefinition& def,
+                            const std::vector<TermId>& annotations,
+                            uint64_t* out) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  bool any = false;
+  for (TermId m : annotations) {
+    int32_t bit = def.BitOf(m);
+    if (bit < 0) continue;
+    any = true;
+    h = HashCombine(h, static_cast<uint64_t>(bit));
+  }
+  *out = h;
+  return any;
+}
+
+}  // namespace
+
 uint64_t ViewSizeEstimator::CountDistinct(
     const ViewDefinition& def, const std::vector<DocId>& docs) const {
-  // Signatures are summarized by a 64-bit hash of the sorted bit positions;
-  // a collision would undercount by one tuple, which is harmless for the
-  // thresholding these estimates feed.
   std::unordered_set<uint64_t> seen;
+  uint64_t h = 0;
   for (DocId d : docs) {
-    uint64_t h = 0x9E3779B97F4A7C15ULL;
-    bool any = false;
-    for (TermId m : corpus_->docs[d].annotations) {
-      int32_t bit = def.BitOf(m);
-      if (bit < 0) continue;
-      any = true;
-      h = HashCombine(h, static_cast<uint64_t>(bit));
-    }
-    if (any) seen.insert(h);
+    if (HashAnnotations(def, corpus_->docs[d].annotations, &h)) seen.insert(h);
+  }
+  return seen.size();
+}
+
+uint64_t ViewSizeEstimator::CountDistinctFrozen(
+    const ViewDefinition& def) const {
+  std::unordered_set<uint64_t> seen;
+  uint64_t h = 0;
+  for (const std::vector<TermId>& annotations : sample_annotations_) {
+    if (HashAnnotations(def, annotations, &h)) seen.insert(h);
   }
   return seen.size();
 }
 
 uint64_t ViewSizeEstimator::Estimate(const ViewDefinition& def) const {
-  return CountDistinct(def, sample_);
+  return CountDistinctFrozen(def);
 }
 
 uint64_t ViewSizeEstimator::Exact(const ViewDefinition& def) const {
   return CountDistinct(def, all_docs_);
+}
+
+uint64_t ViewSizeEstimator::BytesPerTuple(uint32_t keyword_columns,
+                                          const ViewParamOptions& options,
+                                          uint32_t num_tracked) {
+  // One payload word per 64 keyword columns, matching BitSignature's
+  // bitmap blocks. The tuple key is the signature's inline header (a
+  // std::vector) plus the year bucket, padded to the vector's alignment —
+  // TupleKey itself is private to MaterializedView, so the cross-check
+  // test pins this model against actual Compact() MemoryBytes.
+  uint64_t sig_words = (static_cast<uint64_t>(keyword_columns) + 63) / 64;
+  uint64_t key_bytes =
+      (sizeof(BitSignature) + sizeof(uint16_t) + alignof(BitSignature) - 1) &
+      ~(static_cast<uint64_t>(alignof(BitSignature)) - 1);
+  uint64_t bytes = key_bytes + sig_words * sizeof(uint64_t) +
+                   2 * sizeof(uint64_t);  // count + sum_len columns
+  if (options.track_df) bytes += sizeof(uint32_t) * uint64_t{num_tracked};
+  if (options.track_tc) bytes += sizeof(uint32_t) * uint64_t{num_tracked};
+  return bytes;
+}
+
+uint64_t ViewSizeEstimator::EstimateBytes(const ViewDefinition& def,
+                                          const ViewParamOptions& options,
+                                          uint32_t num_tracked) const {
+  return Estimate(def) *
+         BytesPerTuple(def.num_columns(), options, num_tracked);
 }
 
 }  // namespace csr

@@ -70,4 +70,70 @@ void ViewBuilder::Route(std::vector<MaterializedView>& views, DocId first_doc,
   }
 }
 
+MaterializedView BuildViewFromIndexes(const ViewDefinition& def,
+                                      ViewParamOptions options,
+                                      const TrackedKeywords& tracked,
+                                      const InvertedIndex& content,
+                                      const InvertedIndex& predicate,
+                                      std::span<const uint16_t> years) {
+  const uint32_t num_tracked = static_cast<uint32_t>(tracked.size());
+  MaterializedView view(def, options, num_tracked);
+  const uint32_t cols = def.num_columns();
+  const uint64_t num_docs = content.num_docs();
+  if (cols == 0 || cols > 64 || num_docs == 0) return view;
+
+  // Pass 1: one 64-bit signature mask per local document, filled from the
+  // predicate posting lists of the view's keyword columns.
+  std::vector<uint64_t> masks(num_docs, 0);
+  for (uint32_t bit = 0; bit < cols; ++bit) {
+    TermId m = def.keyword_columns[bit];
+    if (m >= predicate.num_terms()) continue;
+    for (PostingCursor c = predicate.cursor(m); c.valid() && !c.AtEnd();
+         c.Next()) {
+      masks[c.doc()] |= 1ULL << bit;
+    }
+  }
+
+  // Only documents in a non-empty partition contribute rows (the all-zero
+  // partition is never stored); remap them densely.
+  std::vector<uint32_t> slot_of_doc(num_docs, UINT32_MAX);
+  std::vector<DocId> touched;
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    if (masks[d] == 0) continue;
+    slot_of_doc[d] = static_cast<uint32_t>(touched.size());
+    touched.push_back(static_cast<DocId>(d));
+  }
+  if (touched.empty()) return view;
+
+  // Pass 2: (slot, tf) parameter pairs per touched document from the
+  // tracked keywords' content lists. Iterating slots in ascending order
+  // appends each document's pairs sorted by slot, matching what a
+  // DocParamTable row would hold.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> params(
+      touched.size());
+  for (uint32_t slot = 0; slot < num_tracked; ++slot) {
+    TermId w = tracked.TermAt(slot);
+    if (w >= content.num_terms()) continue;
+    for (PostingCursor c = content.cursor(w); c.valid() && !c.AtEnd();
+         c.Next()) {
+      uint32_t t = slot_of_doc[c.doc()];
+      if (t != UINT32_MAX) params[t].emplace_back(slot, c.tf());
+    }
+  }
+
+  for (size_t t = 0; t < touched.size(); ++t) {
+    DocId d = touched[t];
+    BitSignature sig(cols);
+    uint64_t mask = masks[d];
+    while (mask != 0) {
+      uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(mask));
+      sig.Set(bit);
+      mask &= mask - 1;
+    }
+    uint16_t year = d < years.size() ? years[d] : 0;
+    view.AddDocument(sig, content.doc_length(d), params[t], year);
+  }
+  return view;
+}
+
 }  // namespace csr

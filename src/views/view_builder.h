@@ -63,6 +63,30 @@ class ViewBuilder {
   DocId table_base_;
 };
 
+/// Builds one view directly from a segment's indexes, touching NO corpus
+/// state: keyword-column signatures come from the predicate index's
+/// posting lists, parameter columns from the tracked keywords' content
+/// lists, and lengths from the index-side doc-length array. `years` is the
+/// segment's local year array (may be empty when the view has no time
+/// dimension). Works on compressed and uncompressed indexes alike
+/// (everything goes through PostingCursor).
+///
+/// This is the builder the adaptive controller's background
+/// materialization uses: ViewBuilder::Route reads corpus_->docs, which
+/// concurrent appends grow (a std::vector reallocation race), while an
+/// index inside a published LiveSet snapshot is immutable. Every aggregate
+/// is the same integer sum, so the result is identical to a corpus-based
+/// BuildRange over the same documents.
+///
+/// `def` must have at most 64 keyword columns (the adaptive candidate cap
+/// enforces this); wider definitions return an empty view.
+MaterializedView BuildViewFromIndexes(const ViewDefinition& def,
+                                      ViewParamOptions options,
+                                      const TrackedKeywords& tracked,
+                                      const InvertedIndex& content,
+                                      const InvertedIndex& predicate,
+                                      std::span<const uint16_t> years);
+
 }  // namespace csr
 
 #endif  // CSR_VIEWS_VIEW_BUILDER_H_

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-smoke gates for the serving path.
 
-Six modes, selectable per invocation (at least one is required):
+Seven modes, selectable per invocation (at least one is required):
 
 --bench + --baseline: runs bench_ablation_codec --json fresh and fails if
 the compressed dense-intersection QPS falls below --threshold of the same
@@ -30,6 +30,15 @@ pool on the shared-hot-context pool: pipelined QPS must hold
 stay inside the SLO, the intersect stage must actually have batched
 queries, and batching must cut decoded blocks per query to at most
 --pipeline-blocks-ceiling of the per-query-worker figure.
+
+--adaptive-bench: runs bench_serving --json fresh and fails if the online
+adaptive view cache (DESIGN.md §17) misbehaved on the drifting-Zipf phase:
+steady-state hit rate must hold --adaptive-hit-floor, resident view bytes
+must never exceed the configured budget, adaptive QPS must hold
+--adaptive-qps-floor of the straightforward-plan QPS on the same query
+sequence, top-k must stay bit-identical throughout, the drifting hot set
+must have forced at least one eviction (so the budget actually bound), and
+the cold-context stampede must end with the hot view resident.
 
 --ingest-bench: runs bench_ingest --json fresh and fails if live
 ingestion misbehaved: document accounting is inconsistent, any query
@@ -252,6 +261,59 @@ def check_pipeline(report, qps_floor, blocks_ceiling):
             f"query = {blocks:.3f}x of per-query-worker "
             f"{base['blocks_per_query']:.2f} "
             f"(ceiling {blocks_ceiling:.2f}x)")
+    return failures
+
+
+def check_adaptive(report, hit_floor, qps_floor):
+    """Returns a list of failure strings for one fresh adaptive run.
+
+    Budget ceiling, top-k equality, eviction churn, and stampede
+    convergence are load-independent, but they ride the same retry loop
+    as the timing-sensitive hit-rate and QPS checks: on a cold or noisy
+    machine the drift workload can legitimately land differently, and a
+    genuine violation will persist across every attempt anyway.
+    """
+    ad = section(report, "serving", "bench_serving").get("adaptive")
+    if not isinstance(ad, dict):
+        raise GateError(
+            "bench report has no 'serving.adaptive' section — "
+            "bench_serving predates the online view-selection phase?")
+    failures = []
+
+    if ad["resident_bytes_max"] > ad["budget_bytes"]:
+        failures.append(
+            f"resident views peaked at {ad['resident_bytes_max']} bytes, "
+            f"over the {ad['budget_bytes']}-byte budget")
+
+    if not ad["topk_identical"]:
+        failures.append(
+            "adaptive-view top-k diverged from the straightforward plan")
+
+    rate = ad["steady_hit_rate"]
+    if rate < hit_floor:
+        failures.append(
+            f"steady-state hit rate {rate:.3f} is below the "
+            f"{hit_floor:.2f} floor")
+
+    ratio = ad["qps_ratio"]
+    if ratio < qps_floor:
+        failures.append(
+            f"adaptive {ad['qps_adaptive']:.1f} qps is {ratio:.3f}x of "
+            f"the no-views {ad['qps_no_views']:.1f} qps "
+            f"(floor {qps_floor:.2f}x)")
+
+    if ad["evictions"] < 1:
+        failures.append(
+            "the drifting hot set never forced an eviction — the budget "
+            "did not bind, so the phase proved nothing about churn")
+
+    stampede = ad["stampede"]
+    if stampede["installs"] < 1 or not stampede["resident"]:
+        failures.append(
+            f"the cold-context stampede did not converge to a resident "
+            f"view ({stampede['cold_misses']} misses, "
+            f"{stampede['installs']} installs, "
+            f"resident={stampede['resident']})")
     return failures
 
 
@@ -497,6 +559,26 @@ def run_pipeline_gate(args):
     return retry_gate("pipeline", args.attempts, once, ok)
 
 
+def run_adaptive_gate(args):
+    def once():
+        report = run_bench(args.adaptive_bench)
+        return report, check_adaptive(report, args.adaptive_hit_floor,
+                                      args.adaptive_qps_floor)
+
+    def ok(report, attempt):
+        ad = report["serving"]["adaptive"]
+        print(f"adaptive gate OK (attempt {attempt}/{args.attempts}): "
+              f"steady hit rate {ad['steady_hit_rate']:.2f}, "
+              f"{ad['qps_adaptive']:.1f} qps adaptive "
+              f"({ad['qps_ratio']:.2f}x no-views), resident max "
+              f"{ad['resident_bytes_max']} of {ad['budget_bytes']} budget "
+              f"bytes, {ad['installs']} installs / {ad['evictions']} "
+              f"evictions, stampede {ad['stampede']['installs']} "
+              f"install(s)")
+
+    return retry_gate("adaptive", args.attempts, once, ok)
+
+
 def run_ingest_gate(args):
     def once():
         report = run_bench(args.ingest_bench)
@@ -680,6 +762,75 @@ def test_pipeline_missing_section_is_gate_error():
         check_pipeline({"serving": {}}, 1.15, 0.8)
     except GateError as e:
         assert "pipeline" in str(e)
+    else:
+        raise AssertionError("missing section did not raise GateError")
+
+
+def _adaptive_report(**overrides):
+    """A minimal passing adaptive report; overrides poke failures in.
+
+    Pass a full dict as `stampede=` to override the nested object.
+    """
+    ad = {
+        "num_docs": 8000, "contexts": 10,
+        "budget_bytes": 60000, "view_bytes_total": 110000,
+        "resident_bytes_max": 54000,
+        "steady_hit_rate": 0.66,
+        "qps_no_views": 8000.0, "qps_adaptive": 15200.0,
+        "qps_ratio": 1.9, "topk_identical": True,
+        "installs": 9, "evictions": 5, "refreshes": 0,
+        "rejected_budget": 40,
+        "hit_rate_by_batch": {"0": 0.0, "1": 0.55},
+        "stampede": {"cold_misses": 80, "installs": 1, "resident": True},
+    }
+    ad.update(overrides)
+    return {"serving": {"adaptive": ad}}
+
+
+def test_adaptive_passes_on_good_report():
+    assert check_adaptive(_adaptive_report(), 0.5, 1.2) == []
+
+
+def test_adaptive_fails_below_hit_floor():
+    fails = check_adaptive(_adaptive_report(steady_hit_rate=0.31), 0.5, 1.2)
+    assert any("hit rate" in f for f in fails), fails
+
+
+def test_adaptive_fails_on_budget_breach():
+    fails = check_adaptive(
+        _adaptive_report(resident_bytes_max=60001), 0.5, 1.2)
+    assert any("budget" in f for f in fails), fails
+
+
+def test_adaptive_fails_on_topk_mismatch():
+    fails = check_adaptive(_adaptive_report(topk_identical=False), 0.5, 1.2)
+    assert any("diverged" in f for f in fails), fails
+
+
+def test_adaptive_fails_below_qps_floor():
+    fails = check_adaptive(_adaptive_report(qps_ratio=1.1), 0.5, 1.2)
+    assert any("floor 1.20x" in f for f in fails), fails
+
+
+def test_adaptive_fails_without_evictions():
+    fails = check_adaptive(_adaptive_report(evictions=0), 0.5, 1.2)
+    assert any("eviction" in f for f in fails), fails
+
+
+def test_adaptive_fails_on_unresolved_stampede():
+    fails = check_adaptive(
+        _adaptive_report(
+            stampede={"cold_misses": 80, "installs": 0,
+                      "resident": False}),
+        0.5, 1.2)
+    assert any("stampede" in f for f in fails), fails
+
+
+def test_adaptive_missing_section_is_gate_error():
+    try:
+        check_adaptive({"serving": {}}, 0.5, 1.2)
+    except GateError as e:
+        assert "adaptive" in str(e)
     else:
         raise AssertionError("missing section did not raise GateError")
 
@@ -875,6 +1026,9 @@ def main():
                     help="path to the bench_ingest binary")
     ap.add_argument("--pipeline-bench",
                     help="path to the bench_serving binary (pipeline gate)")
+    ap.add_argument("--adaptive-bench",
+                    help="path to the bench_serving binary (adaptive "
+                         "view-cache gate)")
     ap.add_argument("--intersect-bench",
                     help="path to the bench_ablation_intersection binary")
     ap.add_argument("--attempts", type=int, default=3)
@@ -901,6 +1055,12 @@ def main():
     ap.add_argument("--pipeline-blocks-ceiling", type=float, default=0.8,
                     help="max pipelined decoded-blocks-per-query as a "
                          "fraction of the per-query-worker figure")
+    ap.add_argument("--adaptive-hit-floor", type=float, default=0.5,
+                    help="steady-state adaptive view-cache hit-rate floor "
+                         "on the drifting-Zipf workload")
+    ap.add_argument("--adaptive-qps-floor", type=float, default=1.2,
+                    help="adaptive-over-straightforward QPS floor on the "
+                         "fixed post-drift query sequence")
     ap.add_argument("--intersect-near-floor", type=float, default=1.3,
                     help="SIMD-over-scalar speedup floor for the "
                          "near-equal pairwise bucket")
@@ -916,10 +1076,10 @@ def main():
 
     if (not args.bench and not args.obs_bench and not args.serving_bench
             and not args.ingest_bench and not args.intersect_bench
-            and not args.pipeline_bench):
+            and not args.pipeline_bench and not args.adaptive_bench):
         ap.error("one of --bench, --obs-bench, --serving-bench, "
-                 "--ingest-bench, --pipeline-bench or --intersect-bench "
-                 "is required")
+                 "--ingest-bench, --pipeline-bench, --adaptive-bench or "
+                 "--intersect-bench is required")
     if (args.bench or args.intersect_bench) and not args.baseline:
         ap.error("--bench/--intersect-bench require --baseline")
 
@@ -934,6 +1094,8 @@ def main():
         gates.append(run_ingest_gate)
     if args.pipeline_bench:
         gates.append(run_pipeline_gate)
+    if args.adaptive_bench:
+        gates.append(run_adaptive_gate)
     if args.intersect_bench:
         gates.append(run_intersect_gate)
     for gate in gates:
